@@ -1,0 +1,58 @@
+//! The native single-node baseline ("Local-GPU" / "Local-FPGA" in
+//! Fig. 2).
+//!
+//! Runs the unmodified workload driver on a [`haocl::Platform::local`]
+//! platform: one node, zero-cost interconnect — semantically the vendor
+//! OpenCL runtime on a single machine. The difference between this and a
+//! one-node HaoCL cluster is exactly the wrapper/backbone overhead the
+//! paper's abstract claims is negligible.
+
+use haocl::{DeviceKind, Error, Platform};
+use haocl_workloads::{registry_with_all, RunOptions, RunReport, Workload};
+
+/// Runs `workload` natively on a single node holding `devices`.
+///
+/// # Errors
+///
+/// Propagates driver failures.
+///
+/// # Panics
+///
+/// Panics if `devices` is empty (a node needs at least one device).
+pub fn run_local(
+    devices: &[DeviceKind],
+    workload: &Workload,
+    opts: &RunOptions,
+) -> Result<RunReport, Error> {
+    let platform = Platform::local_with_registry(devices, registry_with_all())?;
+    workload.run(&platform, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haocl_workloads::matmul::MatmulConfig;
+
+    #[test]
+    fn local_gpu_runs_and_verifies() {
+        let report = run_local(
+            &[DeviceKind::Gpu],
+            &Workload::MatrixMul(MatmulConfig::test_scale()),
+            &RunOptions::full(),
+        )
+        .unwrap();
+        assert_eq!(report.verified, Some(true));
+        assert_eq!(report.devices, 1);
+    }
+
+    #[test]
+    fn local_fpga_runs_prebuilt_kernels() {
+        let report = run_local(
+            &[DeviceKind::Fpga],
+            &Workload::MatrixMul(MatmulConfig::test_scale()),
+            &RunOptions::full(),
+        )
+        .unwrap();
+        assert_eq!(report.verified, Some(true));
+    }
+}

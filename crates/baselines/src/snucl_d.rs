@@ -1,0 +1,133 @@
+//! A SnuCL-D-like distributed OpenCL comparator.
+//!
+//! SnuCL-D ("A Distributed OpenCL Framework using Redundant Computation
+//! and Data Replication", PLDI 2016) replicates the host program on every
+//! node to eliminate the central control bottleneck. The consequences the
+//! paper highlights — and this comparator models — are:
+//!
+//! * **No FPGA support** ("previously proposed frameworks only consider
+//!   CPUs and GPUs", §I): FPGA clusters are rejected.
+//! * **No CFD** ("Note CFD cannot be implemented on SnuCL-D without
+//!   significant change", §IV-B): the workload is rejected.
+//! * **Redundant data placement**: because every node re-executes the
+//!   host program, every node materializes the *full* input, so input
+//!   traffic grows with the node count instead of staying constant.
+//! * **Coarse-grained scheduling**: plain even splits (the nnz-balanced
+//!   SpMV split is a HaoCL-side refinement; SnuCL-D's modeled runs use
+//!   the same even split, so this shows up on skewed inputs).
+
+use haocl::{DeviceKind, Error, Platform, Status};
+use haocl_cluster::ClusterConfig;
+use haocl_workloads::{registry_with_all, RunOptions, RunReport, Workload};
+
+/// The SnuCL-D-like runtime.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SnuClD;
+
+impl SnuClD {
+    /// Creates the comparator.
+    pub fn new() -> Self {
+        SnuClD
+    }
+
+    /// Runs `workload` on a SnuCL-D-managed cluster of `config`.
+    ///
+    /// # Errors
+    ///
+    /// [`Status::DeviceNotFound`] for clusters containing FPGAs;
+    /// [`Status::InvalidOperation`] for the CFD workload; driver failures
+    /// otherwise.
+    pub fn run(
+        &self,
+        config: &ClusterConfig,
+        workload: &Workload,
+        opts: &RunOptions,
+    ) -> Result<RunReport, Error> {
+        if config
+            .nodes
+            .iter()
+            .any(|n| n.devices.contains(&DeviceKind::Fpga))
+        {
+            return Err(Error::api(
+                Status::DeviceNotFound,
+                "SnuCL-D supports CPU/GPU clusters only (no FPGA abstraction)",
+            ));
+        }
+        if matches!(workload, Workload::Cfd(_)) {
+            return Err(Error::api(
+                Status::InvalidOperation,
+                "CFD cannot be implemented on SnuCL-D without significant change",
+            ));
+        }
+        let platform = Platform::cluster(config, registry_with_all())?;
+        let opts = RunOptions {
+            replicate_inputs: true,
+            ..*opts
+        };
+        let mut report = workload.run(&platform, &opts)?;
+        report.app = format!("{} (SnuCL-D)", report.app);
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haocl_workloads::cfd::CfdConfig;
+    use haocl_workloads::matmul::MatmulConfig;
+
+    #[test]
+    fn rejects_fpga_clusters() {
+        let err = SnuClD::new()
+            .run(
+                &ClusterConfig::hetero_cluster(1, 1),
+                &Workload::MatrixMul(MatmulConfig::test_scale()),
+                &RunOptions::full(),
+            )
+            .unwrap_err();
+        assert_eq!(err.status(), Some(Status::DeviceNotFound));
+    }
+
+    #[test]
+    fn rejects_cfd() {
+        let err = SnuClD::new()
+            .run(
+                &ClusterConfig::gpu_cluster(2),
+                &Workload::Cfd(CfdConfig::test_scale()),
+                &RunOptions::full(),
+            )
+            .unwrap_err();
+        assert_eq!(err.status(), Some(Status::InvalidOperation));
+    }
+
+    #[test]
+    fn runs_and_verifies_on_gpu_cluster() {
+        let report = SnuClD::new()
+            .run(
+                &ClusterConfig::gpu_cluster(2),
+                &Workload::MatrixMul(MatmulConfig::test_scale()),
+                &RunOptions::full(),
+            )
+            .unwrap();
+        assert_eq!(report.verified, Some(true), "{report}");
+        assert!(report.app.contains("SnuCL-D"));
+    }
+
+    #[test]
+    fn replication_makes_it_slower_than_haocl_at_scale() {
+        use haocl_workloads::matmul;
+        let cfg = matmul::MatmulConfig::with_n(4096);
+        let workload = Workload::MatrixMul(cfg);
+        let opts = RunOptions::modeled();
+        let config = ClusterConfig::gpu_cluster(4);
+        let haocl_platform = Platform::cluster(&config, registry_with_all()).unwrap();
+        let haocl_run = workload.run(&haocl_platform, &opts).unwrap();
+        let snucl_run = SnuClD::new().run(&config, &workload, &opts).unwrap();
+        assert!(
+            snucl_run.makespan > haocl_run.makespan,
+            "SnuCL-D {} should exceed HaoCL {}",
+            snucl_run.makespan,
+            haocl_run.makespan
+        );
+    }
+}

@@ -1,0 +1,21 @@
+//! Criterion bench for the design-choice ablations: scheduler-policy
+//! placement of a mixed kernel burst, and the network-bandwidth sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use haocl_bench::ablations;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("scheduler_policies_x16", |b| {
+        b.iter(|| ablations::scheduler_policies(16).expect("ablation"));
+    });
+    group.bench_function("network_bandwidth_3pt", |b| {
+        b.iter(|| ablations::network_bandwidth(&[1.0, 10.0, 100.0]).expect("ablation"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for the Fig. 2 harness: one end-to-end HaoCL point
+//! per cluster kind (GPU / FPGA / hetero), full fidelity at test scale so
+//! the whole stack (compiler, VM, backbone, devices) is exercised.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use haocl_bench::run_haocl;
+use haocl_cluster::ClusterConfig;
+use haocl_workloads::matmul::MatmulConfig;
+use haocl_workloads::{RunOptions, Workload};
+
+fn bench_fig2(c: &mut Criterion) {
+    let workload = Workload::MatrixMul(MatmulConfig::test_scale());
+    let opts = RunOptions {
+        verify: false,
+        ..RunOptions::full()
+    };
+    let mut group = c.benchmark_group("fig2_endtoend");
+    group.sample_size(10);
+    for (label, config) in [
+        ("gpu_x2", ClusterConfig::gpu_cluster(2)),
+        ("fpga_x2", ClusterConfig::fpga_cluster(2)),
+        ("hetero_1_1", ClusterConfig::hetero_cluster(1, 1)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, cfg| {
+            b.iter(|| run_haocl(cfg, &workload, &opts).expect("run"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion bench for the Fig. 3 harness: one MatrixMul breakdown point
+//! (modeled fidelity, paper-style size) per node count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use haocl_bench::fig3;
+use haocl_workloads::RunOptions;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_breakdown");
+    group.sample_size(10);
+    for nodes in [2usize, 4, 9] {
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &n| {
+            b.iter(|| fig3::rows(&[4000], &[n], &RunOptions::modeled()).expect("rows"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

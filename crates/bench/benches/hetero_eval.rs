@@ -1,0 +1,37 @@
+//! Criterion bench for the §IV-C heterogeneity harness: MM data-split
+//! and SpMV stage-split on a small mixed cluster.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use haocl::Platform;
+use haocl_bench::run_haocl;
+use haocl_cluster::ClusterConfig;
+use haocl_workloads::matmul::MatmulConfig;
+use haocl_workloads::spmv::{self, SpmvConfig};
+use haocl_workloads::{registry_with_all, RunOptions, Workload};
+
+fn bench_hetero(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hetero_eval");
+    group.sample_size(10);
+    let opts = RunOptions {
+        verify: false,
+        ..RunOptions::full()
+    };
+    group.bench_function("mm_data_split_1g1f", |b| {
+        let config = ClusterConfig::hetero_cluster(1, 1);
+        let workload = Workload::MatrixMul(MatmulConfig::test_scale());
+        b.iter(|| run_haocl(&config, &workload, &opts).expect("run"));
+    });
+    group.bench_function("spmv_stage_split_1g1f", |b| {
+        let config = ClusterConfig::hetero_cluster(1, 1);
+        let cfg = SpmvConfig::test_scale();
+        b.iter(|| {
+            let platform = Platform::cluster(&config, registry_with_all()).expect("platform");
+            spmv::run_hetero(&platform, &cfg, &opts).expect("run")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hetero);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for the "negligible overhead" harness: the same
+//! workload on one node, native vs through the HaoCL backbone.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use haocl::DeviceKind;
+use haocl_baselines::run_local;
+use haocl_bench::run_haocl;
+use haocl_cluster::ClusterConfig;
+use haocl_workloads::matmul::MatmulConfig;
+use haocl_workloads::{RunOptions, Workload};
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overhead");
+    group.sample_size(10);
+    let workload = Workload::MatrixMul(MatmulConfig::test_scale());
+    let opts = RunOptions {
+        verify: false,
+        ..RunOptions::full()
+    };
+    group.bench_function("local_native", |b| {
+        b.iter(|| run_local(&[DeviceKind::Gpu], &workload, &opts).expect("run"));
+    });
+    group.bench_function("haocl_single_node", |b| {
+        let config = ClusterConfig::gpu_cluster(1);
+        b.iter(|| run_haocl(&config, &workload, &opts).expect("run"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

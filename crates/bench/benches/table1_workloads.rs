@@ -1,0 +1,35 @@
+//! Criterion bench for the Table I generators: how fast each workload's
+//! input set is produced at test scale (the generators also run inside
+//! every full-fidelity experiment).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use haocl_workloads::{bfs, cfd, knn, matmul, spmv};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_workloads");
+    group.bench_function("matmul_gen", |b| {
+        let cfg = matmul::MatmulConfig::test_scale();
+        b.iter(|| matmul::generate_matrix(&cfg, "a"));
+    });
+    group.bench_function("cfd_gen", |b| {
+        let cfg = cfd::CfdConfig::test_scale();
+        b.iter(|| cfd::generate_state(&cfg));
+    });
+    group.bench_function("knn_gen", |b| {
+        let cfg = knn::KnnConfig::test_scale();
+        b.iter(|| knn::generate_records(&cfg));
+    });
+    group.bench_function("bfs_gen", |b| {
+        let cfg = bfs::BfsConfig::test_scale();
+        b.iter(|| bfs::generate_graph(&cfg));
+    });
+    group.bench_function("spmv_gen", |b| {
+        let cfg = spmv::SpmvConfig::test_scale();
+        b.iter(|| spmv::generate_matrix(&cfg));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Design-choice ablations beyond the paper's figures: scheduler-policy
+//! quality on a mixed cluster and the interconnect-bandwidth sweep.
+//!
+//! ```text
+//! cargo run --release -p haocl-bench --bin ablations
+//! ```
+
+use haocl_bench::{ablations, text::render_table};
+
+fn main() {
+    println!("Ablation 1 — scheduling policy (32 mixed kernels on 2 GPU + 2 FPGA nodes)");
+    println!();
+    let rows = ablations::scheduler_policies(32).expect("scheduler ablation");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(name, makespan)| vec![name.clone(), format!("{makespan}")])
+        .collect();
+    print!("{}", render_table(&["policy", "makespan"], &table));
+    println!();
+
+    println!("Ablation 2 — interconnect bandwidth (MatrixMul, 8 GPU nodes, paper scale)");
+    println!();
+    let rows =
+        ablations::network_bandwidth(&[1.0, 2.5, 10.0, 25.0, 100.0]).expect("bandwidth ablation");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(gbps, makespan)| vec![format!("{gbps} Gb/s"), format!("{makespan}")])
+        .collect();
+    print!("{}", render_table(&["link", "makespan"], &table));
+}

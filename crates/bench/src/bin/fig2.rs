@@ -1,0 +1,56 @@
+//! Regenerates Fig. 2: end-to-end speedup over a single GPU/FPGA node
+//! for all five benchmarks across cluster sizes and systems.
+//!
+//! ```text
+//! cargo run --release -p haocl-bench --bin fig2           # paper scale (modeled)
+//! cargo run --release -p haocl-bench --bin fig2 -- --small  # quick test scale
+//! ```
+
+use haocl_bench::{fig2, text::render_table};
+use haocl_workloads::{RunOptions, Workload};
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let workloads = if small {
+        Workload::test_suite()
+    } else {
+        Workload::paper_suite()
+    };
+    let node_counts = [1usize, 2, 4, 8, 16];
+    // Steady-state (data-resident) measurement: the paper's regime where
+    // the data lives distributed; pass --staged for cold-start runs.
+    let opts = if std::env::args().any(|a| a == "--staged") {
+        RunOptions::modeled()
+    } else {
+        RunOptions::modeled_resident()
+    };
+    println!("Fig. 2 — End-to-end speedup over a single GPU (virtual time)");
+    println!();
+    for workload in &workloads {
+        let rows = fig2::rows(workload, &node_counts, &opts).expect("fig2 rows");
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.series.clone(),
+                    r.nodes.to_string(),
+                    format!("{}", r.makespan),
+                    format!("{:.2}x", r.speedup),
+                    format!("{:.2}x", r.scaling),
+                ]
+            })
+            .collect();
+        println!("== {} ==", workload.name());
+        print!(
+            "{}",
+            render_table(
+                &["series", "nodes", "makespan", "vs Local-GPU", "scaling"],
+                &table
+            )
+        );
+        if matches!(workload, Workload::Cfd(_)) {
+            println!("(SnuCL-D: CFD cannot be implemented without significant change)");
+        }
+        println!();
+    }
+}

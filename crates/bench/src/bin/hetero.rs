@@ -1,0 +1,34 @@
+//! Regenerates the §IV-C heterogeneity evaluation: MatrixMul (same
+//! kernel, split data) and SpMV (partition stage on GPUs, compute stage
+//! on FPGAs) on growing mixed clusters.
+//!
+//! ```text
+//! cargo run --release -p haocl-bench --bin hetero
+//! ```
+
+use haocl_bench::{hetero, text::render_table};
+use haocl_workloads::RunOptions;
+
+fn main() {
+    let clusters = [(1usize, 1usize), (2, 1), (2, 2), (4, 2), (4, 4), (8, 4)];
+    let rows = hetero::rows(&clusters, &RunOptions::modeled_resident()).expect("hetero rows");
+    println!("Heterogeneity evaluation (§IV-C) — mixed GPU+FPGA clusters");
+    println!();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                format!("{}G+{}F", r.gpus, r.fpgas),
+                format!("{}", r.makespan),
+                format!("{:.2}x", r.speedup),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(&["workload", "cluster", "makespan", "speedup"], &table)
+    );
+    println!();
+    println!("(speedups are relative to the smallest mixed cluster of each series)");
+}

@@ -1,0 +1,50 @@
+//! Measures the abstract's claim that HaoCL "imposes a negligible
+//! overhead": every benchmark on one GPU node, native vs through the
+//! HaoCL wrapper + Gigabit backbone.
+//!
+//! ```text
+//! cargo run --release -p haocl-bench --bin overhead
+//! ```
+
+use haocl_bench::{overhead, text::render_table};
+use haocl_workloads::{RunOptions, Workload};
+
+fn main() {
+    let rows = overhead::rows(&Workload::paper_suite(), &RunOptions::modeled())
+        .expect("overhead rows");
+    println!("Single-node overhead: HaoCL vs native OpenCL (virtual time)");
+    println!();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.app.to_string(),
+                format!("{}", r.local),
+                format!("{}", r.haocl_colocated),
+                format!("{:+.2}%", r.overhead_pct),
+                format!("{}", r.haocl_remote),
+                format!("{:+.2}%", r.remote_overhead_pct),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &[
+                "app",
+                "Local (native)",
+                "HaoCL (co-located)",
+                "overhead",
+                "HaoCL (remote host)",
+                "overhead",
+            ],
+            &table
+        )
+    );
+    println!();
+    println!(
+        "(co-located = the paper's single-node deployment, host on the device\n\
+         node; remote = host on a separate machine, so the input crosses the\n\
+         Gigabit link — dominated by data shipping for I/O-bound apps)"
+    );
+}

@@ -1,0 +1,28 @@
+//! Regenerates Table I: benchmark applications and input sizes.
+//!
+//! ```text
+//! cargo run -p haocl-bench --bin table1
+//! ```
+
+use haocl_bench::text::render_table;
+use haocl_workloads::table::table1;
+
+fn main() {
+    println!("Table I — Benchmark applications");
+    println!();
+    let rows: Vec<Vec<String>> = table1()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.app.to_string(),
+                r.description.to_string(),
+                r.paper_input_size.to_string(),
+                format!("{:.0} MB", r.generated_bytes as f64 / 1e6),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(&["App.", "Description", "Paper size", "Generated"], &rows)
+    );
+}

@@ -1,0 +1,72 @@
+//! Plain-text table rendering for the report binaries.
+
+/// Renders an aligned text table with a header row.
+///
+/// # Examples
+///
+/// ```
+/// let t = haocl_bench::text::render_table(
+///     &["app", "time"],
+///     &[vec!["MatrixMul".to_string(), "1.2s".to_string()]],
+/// );
+/// assert!(t.contains("MatrixMul"));
+/// assert!(t.lines().count() >= 3);
+/// ```
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_columns() {
+        let t = render_table(
+            &["a", "bbbb"],
+            &[
+                vec!["xx".into(), "y".into()],
+                vec!["x".into(), "yyyyy".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // The separator is as wide as the widest row.
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[1].len() >= lines[0].len());
+    }
+
+    #[test]
+    fn empty_rows_still_render_header() {
+        let t = render_table(&["only"], &[]);
+        assert!(t.starts_with("only\n"));
+    }
+}

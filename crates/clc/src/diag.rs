@@ -1,0 +1,153 @@
+//! Compiler diagnostics and source spans.
+
+use std::error::Error;
+use std::fmt;
+
+/// A half-open byte range into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span covering `start..end`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// 1-based (line, column) of the span start within `source`.
+    pub fn line_col(&self, source: &str) -> (usize, usize) {
+        let mut line = 1;
+        let mut col = 1;
+        for (i, ch) in source.char_indices() {
+            if i >= self.start {
+                break;
+            }
+            if ch == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        (line, col)
+    }
+}
+
+/// The compilation stage that produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Tokenization.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Type checking / lowering.
+    Sema,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Stage::Lex => "lex",
+            Stage::Parse => "parse",
+            Stage::Sema => "sema",
+        })
+    }
+}
+
+/// A build failure: one or more diagnostics with positions, formatted into
+/// an OpenCL-style build log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClcError {
+    stage: Stage,
+    message: String,
+    line: usize,
+    col: usize,
+}
+
+impl ClcError {
+    /// Creates an error for `stage` at `span` within `source`.
+    pub fn at(stage: Stage, span: Span, source: &str, message: impl Into<String>) -> Self {
+        let (line, col) = span.line_col(source);
+        ClcError {
+            stage,
+            message: message.into(),
+            line,
+            col,
+        }
+    }
+
+    /// The stage that failed.
+    pub fn stage(&self) -> Stage {
+        self.stage
+    }
+
+    /// The diagnostic message without position information.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// 1-based source line of the error.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// The `clGetProgramBuildInfo(CL_PROGRAM_BUILD_LOG)` equivalent.
+    pub fn build_log(&self) -> String {
+        format!(
+            "{}:{}: error ({}): {}",
+            self.line, self.col, self.stage, self.message
+        )
+    }
+}
+
+impl fmt::Display for ClcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.build_log())
+    }
+}
+
+impl Error for ClcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge_covers_both() {
+        let a = Span::new(3, 5);
+        let b = Span::new(10, 12);
+        assert_eq!(a.merge(b), Span::new(3, 12));
+        assert_eq!(b.merge(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn line_col_counts_newlines() {
+        let src = "abc\ndef\nghi";
+        assert_eq!(Span::new(0, 1).line_col(src), (1, 1));
+        assert_eq!(Span::new(4, 5).line_col(src), (2, 1));
+        assert_eq!(Span::new(6, 7).line_col(src), (2, 3));
+        assert_eq!(Span::new(9, 10).line_col(src), (3, 2));
+    }
+
+    #[test]
+    fn build_log_format() {
+        let src = "x\nyz";
+        let err = ClcError::at(Stage::Parse, Span::new(3, 4), src, "expected `;`");
+        assert_eq!(err.build_log(), "2:2: error (parse): expected `;`");
+        assert_eq!(err.line(), 2);
+        assert_eq!(err.message(), "expected `;`");
+        assert_eq!(err.stage(), Stage::Parse);
+    }
+}

@@ -1,0 +1,405 @@
+//! Tokenizer for the OpenCL C subset.
+
+use crate::diag::{ClcError, Span, Stage};
+
+/// A lexical token kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An identifier or keyword (keywords are resolved by the parser).
+    Ident(String),
+    /// An integer literal, already decoded (decimal or `0x` hex), with a
+    /// flag recording a `u`/`U` suffix and one recording an `l`/`L` suffix.
+    IntLit {
+        /// The decoded value.
+        value: u64,
+        /// `u`/`U` suffix present.
+        unsigned: bool,
+        /// `l`/`L` suffix present.
+        long: bool,
+    },
+    /// A floating literal; `single` records an `f`/`F` suffix.
+    FloatLit {
+        /// The decoded value.
+        value: f64,
+        /// `f`/`F` suffix present.
+        single: bool,
+    },
+    /// Punctuation and operators, e.g. `+`, `<<=`, `(`.
+    Punct(&'static str),
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it came from.
+    pub span: Span,
+}
+
+/// All multi- and single-character punctuators, longest first so maximal
+/// munch works by scanning in order.
+const PUNCTUATORS: &[&str] = &[
+    "<<=", ">>=", "...", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "+=", "-=", "*=", "/=",
+    "%=", "&=", "|=", "^=", "++", "--", "->", "+", "-", "*", "/", "%", "=", "<", ">", "!", "&",
+    "|", "^", "~", "?", ":", ";", ",", ".", "(", ")", "[", "]", "{", "}",
+];
+
+/// Tokenizes `source`.
+///
+/// Line (`//`) and block (`/* */`) comments and all whitespace are
+/// skipped. Preprocessor lines (starting with `#`) are skipped to the end
+/// of line — the subset has no macro expansion, but benchmark sources may
+/// carry `#pragma` lines.
+///
+/// # Errors
+///
+/// Returns an error for unterminated block comments, malformed numeric
+/// literals and characters outside the language.
+pub fn lex(source: &str) -> Result<Vec<Token>, ClcError> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments and preprocessor lines.
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+            let start = i;
+            i += 2;
+            loop {
+                if i + 1 >= bytes.len() {
+                    return Err(ClcError::at(
+                        Stage::Lex,
+                        Span::new(start, bytes.len()),
+                        source,
+                        "unterminated block comment",
+                    ));
+                }
+                if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                    i += 2;
+                    break;
+                }
+                i += 1;
+            }
+            continue;
+        }
+        if c == '#' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident(source[start..i].to_string()),
+                span: Span::new(start, i),
+            });
+            continue;
+        }
+        // Numeric literals.
+        if c.is_ascii_digit() || (c == '.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit())
+        {
+            let (tok, next) = lex_number(source, i)?;
+            tokens.push(tok);
+            i = next;
+            continue;
+        }
+        // Punctuators, maximal munch.
+        if let Some(p) = PUNCTUATORS
+            .iter()
+            .find(|p| source[i..].starts_with(*p))
+        {
+            tokens.push(Token {
+                kind: TokenKind::Punct(p),
+                span: Span::new(i, i + p.len()),
+            });
+            i += p.len();
+            continue;
+        }
+        return Err(ClcError::at(
+            Stage::Lex,
+            Span::new(i, i + 1),
+            source,
+            format!("unexpected character `{c}`"),
+        ));
+    }
+    Ok(tokens)
+}
+
+fn lex_number(source: &str, start: usize) -> Result<(Token, usize), ClcError> {
+    let bytes = source.as_bytes();
+    let mut i = start;
+    // Hex integer.
+    if source[i..].starts_with("0x") || source[i..].starts_with("0X") {
+        i += 2;
+        let digits_start = i;
+        while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+            i += 1;
+        }
+        if i == digits_start {
+            return Err(ClcError::at(
+                Stage::Lex,
+                Span::new(start, i),
+                source,
+                "hex literal needs at least one digit",
+            ));
+        }
+        let value = u64::from_str_radix(&source[digits_start..i], 16).map_err(|_| {
+            ClcError::at(
+                Stage::Lex,
+                Span::new(start, i),
+                source,
+                "hex literal does not fit in 64 bits",
+            )
+        })?;
+        let (unsigned, long, next) = int_suffix(bytes, i);
+        return Ok((
+            Token {
+                kind: TokenKind::IntLit {
+                    value,
+                    unsigned,
+                    long,
+                },
+                span: Span::new(start, next),
+            },
+            next,
+        ));
+    }
+    // Decimal: integer part, optional fraction, optional exponent.
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    let mut is_float = false;
+    if i < bytes.len() && bytes[i] == b'.' {
+        is_float = true;
+        i += 1;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
+        }
+    }
+    if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+        let mut j = i + 1;
+        if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j].is_ascii_digit() {
+            is_float = true;
+            i = j;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+        }
+    }
+    if is_float {
+        let value: f64 = source[start..i].parse().map_err(|_| {
+            ClcError::at(
+                Stage::Lex,
+                Span::new(start, i),
+                source,
+                "malformed floating literal",
+            )
+        })?;
+        let mut single = false;
+        let mut next = i;
+        if next < bytes.len() && (bytes[next] == b'f' || bytes[next] == b'F') {
+            single = true;
+            next += 1;
+        }
+        Ok((
+            Token {
+                kind: TokenKind::FloatLit { value, single },
+                span: Span::new(start, next),
+            },
+            next,
+        ))
+    } else {
+        let value: u64 = source[start..i].parse().map_err(|_| {
+            ClcError::at(
+                Stage::Lex,
+                Span::new(start, i),
+                source,
+                "integer literal does not fit in 64 bits",
+            )
+        })?;
+        // A float suffix directly on an integer body (e.g. `1f`) makes it
+        // a float literal, matching OpenCL C.
+        if i < bytes.len() && (bytes[i] == b'f' || bytes[i] == b'F') {
+            return Ok((
+                Token {
+                    kind: TokenKind::FloatLit {
+                        value: value as f64,
+                        single: true,
+                    },
+                    span: Span::new(start, i + 1),
+                },
+                i + 1,
+            ));
+        }
+        let (unsigned, long, next) = int_suffix(bytes, i);
+        Ok((
+            Token {
+                kind: TokenKind::IntLit {
+                    value,
+                    unsigned,
+                    long,
+                },
+                span: Span::new(start, next),
+            },
+            next,
+        ))
+    }
+}
+
+fn int_suffix(bytes: &[u8], mut i: usize) -> (bool, bool, usize) {
+    let mut unsigned = false;
+    let mut long = false;
+    for _ in 0..2 {
+        if i < bytes.len() && (bytes[i] == b'u' || bytes[i] == b'U') && !unsigned {
+            unsigned = true;
+            i += 1;
+        } else if i < bytes.len() && (bytes[i] == b'l' || bytes[i] == b'L') && !long {
+            long = true;
+            i += 1;
+        }
+    }
+    (unsigned, long, i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_identifiers_and_puncts() {
+        assert_eq!(
+            kinds("a+_b2"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Punct("+"),
+                TokenKind::Ident("_b2".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn maximal_munch_operators() {
+        assert_eq!(
+            kinds("a<<=b<<c<=d"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Punct("<<="),
+                TokenKind::Ident("b".into()),
+                TokenKind::Punct("<<"),
+                TokenKind::Ident("c".into()),
+                TokenKind::Punct("<="),
+                TokenKind::Ident("d".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_integer_literals() {
+        assert_eq!(
+            kinds("42 0x2A 7u 9ul 3L"),
+            vec![
+                TokenKind::IntLit { value: 42, unsigned: false, long: false },
+                TokenKind::IntLit { value: 42, unsigned: false, long: false },
+                TokenKind::IntLit { value: 7, unsigned: true, long: false },
+                TokenKind::IntLit { value: 9, unsigned: true, long: true },
+                TokenKind::IntLit { value: 3, unsigned: false, long: true },
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_float_literals() {
+        assert_eq!(
+            kinds("1.5 2.0f .25 1e3 2.5e-2 1f"),
+            vec![
+                TokenKind::FloatLit { value: 1.5, single: false },
+                TokenKind::FloatLit { value: 2.0, single: true },
+                TokenKind::FloatLit { value: 0.25, single: false },
+                TokenKind::FloatLit { value: 1e3, single: false },
+                TokenKind::FloatLit { value: 2.5e-2, single: false },
+                TokenKind::FloatLit { value: 1.0, single: true },
+            ]
+        );
+    }
+
+    #[test]
+    fn member_access_is_not_a_float() {
+        assert_eq!(
+            kinds("s.x"),
+            vec![
+                TokenKind::Ident("s".into()),
+                TokenKind::Punct("."),
+                TokenKind::Ident("x".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_pragmas() {
+        let src = "a // one\n/* two\nthree */ b\n#pragma OPENCL EXTENSION cl_khr_fp64 : enable\nc";
+        assert_eq!(
+            kinds(src),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Ident("c".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        let err = lex("x /* nope").unwrap_err();
+        assert!(err.message().contains("unterminated"));
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        let err = lex("a @ b").unwrap_err();
+        assert!(err.message().contains('@'));
+    }
+
+    #[test]
+    fn spans_point_at_tokens() {
+        let toks = lex("ab  cd").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(4, 6));
+    }
+
+    #[test]
+    fn exponent_without_digits_is_identifier_suffix() {
+        // `1e` is the int 1 followed by identifier `e` (C would reject,
+        // we tolerate by splitting — parser will then reject the sequence).
+        assert_eq!(
+            kinds("1e"),
+            vec![
+                TokenKind::IntLit { value: 1, unsigned: false, long: false },
+                TokenKind::Ident("e".into()),
+            ]
+        );
+    }
+}

@@ -1,0 +1,221 @@
+//! The OpenCL C type system subset.
+
+use std::fmt;
+
+/// OpenCL address spaces for pointer types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AddressSpace {
+    /// `__global` — cluster-visible device buffers.
+    Global,
+    /// `__local` — work-group shared scratchpad.
+    Local,
+    /// `__constant` — read-only global data.
+    Constant,
+    /// `__private` — per-work-item storage (the default).
+    Private,
+}
+
+impl fmt::Display for AddressSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AddressSpace::Global => "__global",
+            AddressSpace::Local => "__local",
+            AddressSpace::Constant => "__constant",
+            AddressSpace::Private => "__private",
+        })
+    }
+}
+
+/// The scalar types the VM can manipulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ScalarType {
+    /// `bool` (also the result of comparisons).
+    Bool,
+    /// 32-bit signed `int`.
+    I32,
+    /// 32-bit unsigned `uint`.
+    U32,
+    /// 64-bit signed `long`.
+    I64,
+    /// 64-bit unsigned `ulong` / `size_t`.
+    U64,
+    /// 32-bit `float`.
+    F32,
+    /// 64-bit `double`.
+    F64,
+}
+
+impl ScalarType {
+    /// Size of one element in bytes (as stored in buffers).
+    pub fn size_bytes(self) -> usize {
+        match self {
+            ScalarType::Bool => 1,
+            ScalarType::I32 | ScalarType::U32 | ScalarType::F32 => 4,
+            ScalarType::I64 | ScalarType::U64 | ScalarType::F64 => 8,
+        }
+    }
+
+    /// Whether this is `float` or `double`.
+    pub fn is_float(self) -> bool {
+        matches!(self, ScalarType::F32 | ScalarType::F64)
+    }
+
+    /// Whether this is a (signed or unsigned) integer.
+    pub fn is_integer(self) -> bool {
+        matches!(
+            self,
+            ScalarType::I32 | ScalarType::U32 | ScalarType::I64 | ScalarType::U64
+        )
+    }
+
+    /// Whether this is a signed integer.
+    pub fn is_signed(self) -> bool {
+        matches!(self, ScalarType::I32 | ScalarType::I64)
+    }
+
+    /// The type both operands convert to in binary arithmetic
+    /// (C "usual arithmetic conversions", restricted to our subset).
+    pub fn unify(self, other: ScalarType) -> ScalarType {
+        use ScalarType::*;
+        if self == other {
+            return self;
+        }
+        // Floats dominate; wider floats dominate narrower.
+        if self == F64 || other == F64 {
+            return F64;
+        }
+        if self == F32 || other == F32 {
+            return F32;
+        }
+        // Integer promotion: wider wins; on equal width unsigned wins.
+        let rank = |t: ScalarType| match t {
+            Bool => 0u8,
+            I32 => 1,
+            U32 => 2,
+            I64 => 3,
+            U64 => 4,
+            F32 | F64 => unreachable!("floats handled above"),
+        };
+        if rank(self) >= rank(other) {
+            self.promote_past_bool()
+        } else {
+            other.promote_past_bool()
+        }
+    }
+
+    fn promote_past_bool(self) -> ScalarType {
+        if self == ScalarType::Bool {
+            ScalarType::I32
+        } else {
+            self
+        }
+    }
+}
+
+impl fmt::Display for ScalarType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ScalarType::Bool => "bool",
+            ScalarType::I32 => "int",
+            ScalarType::U32 => "uint",
+            ScalarType::I64 => "long",
+            ScalarType::U64 => "ulong",
+            ScalarType::F32 => "float",
+            ScalarType::F64 => "double",
+        })
+    }
+}
+
+/// A full type: scalar, pointer-to-scalar, or `void`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// `void` — only valid as a kernel return type.
+    Void,
+    /// A scalar value.
+    Scalar(ScalarType),
+    /// A pointer to scalars in some address space.
+    Pointer(AddressSpace, ScalarType),
+}
+
+impl Type {
+    /// The scalar inside, if this is a scalar type.
+    pub fn as_scalar(self) -> Option<ScalarType> {
+        match self {
+            Type::Scalar(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The `(address space, element)` pair, if this is a pointer.
+    pub fn as_pointer(self) -> Option<(AddressSpace, ScalarType)> {
+        match self {
+            Type::Pointer(a, s) => Some((a, s)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Void => f.write_str("void"),
+            Type::Scalar(s) => write!(f, "{s}"),
+            Type::Pointer(a, s) => write!(f, "{a} {s}*"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ScalarType::*;
+
+    #[test]
+    fn sizes_match_c_layout() {
+        assert_eq!(I32.size_bytes(), 4);
+        assert_eq!(U32.size_bytes(), 4);
+        assert_eq!(F32.size_bytes(), 4);
+        assert_eq!(I64.size_bytes(), 8);
+        assert_eq!(U64.size_bytes(), 8);
+        assert_eq!(F64.size_bytes(), 8);
+        assert_eq!(Bool.size_bytes(), 1);
+    }
+
+    #[test]
+    fn unify_prefers_floats() {
+        assert_eq!(I32.unify(F32), F32);
+        assert_eq!(F32.unify(I64), F32);
+        assert_eq!(F32.unify(F64), F64);
+        assert_eq!(U64.unify(F64), F64);
+    }
+
+    #[test]
+    fn unify_integer_ranks() {
+        assert_eq!(I32.unify(U32), U32);
+        assert_eq!(I32.unify(I64), I64);
+        assert_eq!(U32.unify(I64), I64);
+        assert_eq!(I64.unify(U64), U64);
+        assert_eq!(Bool.unify(Bool), Bool);
+        assert_eq!(Bool.unify(I32), I32);
+    }
+
+    #[test]
+    fn unify_is_commutative() {
+        let all = [Bool, I32, U32, I64, U64, F32, F64];
+        for &a in &all {
+            for &b in &all {
+                assert_eq!(a.unify(b), b.unify(a), "unify({a}, {b})");
+            }
+        }
+    }
+
+    #[test]
+    fn type_accessors() {
+        assert_eq!(Type::Scalar(I32).as_scalar(), Some(I32));
+        assert_eq!(Type::Void.as_scalar(), None);
+        let p = Type::Pointer(AddressSpace::Global, F32);
+        assert_eq!(p.as_pointer(), Some((AddressSpace::Global, F32)));
+        assert_eq!(p.as_scalar(), None);
+        assert_eq!(p.to_string(), "__global float*");
+    }
+}

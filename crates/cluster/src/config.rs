@@ -1,0 +1,379 @@
+//! The cluster configuration file.
+//!
+//! The paper's host process "reads the address and port defined in a
+//! system configuration file and creates a message and a data listener
+//! for each node" (§III-C). The format here is line-oriented:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! host 10.0.0.1:7000
+//! node gpu0  10.0.1.1:7100 gpu
+//! node gpu1  10.0.1.2:7100 gpu
+//! node fpga0 10.0.2.1:7100 fpga
+//! node fat0  10.0.3.1:7100 cpu,gpu,fpga
+//! bandwidth_gbps 1.0
+//! latency_us 50
+//! ```
+
+use haocl_net::LinkModel;
+use haocl_proto::messages::DeviceKind;
+use haocl_sim::SimDuration;
+
+use crate::error::ClusterError;
+
+/// One device node in the cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSpec {
+    /// Unique node name.
+    pub name: String,
+    /// Message-listener address (`"host:port"`); the data listener is at
+    /// `port + 1`.
+    pub addr: String,
+    /// The devices installed in the node, in index order.
+    pub devices: Vec<DeviceKind>,
+}
+
+impl NodeSpec {
+    /// The data-listener address (`port + 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address has no parseable port (validated at config
+    /// construction).
+    pub fn data_addr(&self) -> String {
+        data_addr_of(&self.addr).expect("validated at construction")
+    }
+}
+
+fn data_addr_of(addr: &str) -> Option<String> {
+    let (h, p) = addr.rsplit_once(':')?;
+    let port: u32 = p.parse().ok()?;
+    Some(format!("{h}:{}", port + 1))
+}
+
+/// A parsed cluster configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// The host process address (selects the host's transmit NIC).
+    pub host_addr: String,
+    /// Device nodes in declaration order (their [`haocl_proto::ids::NodeId`]s
+    /// are their positions).
+    pub nodes: Vec<NodeSpec>,
+    /// The interconnect model.
+    pub link: LinkModel,
+}
+
+impl ClusterConfig {
+    /// Parses the configuration file format.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Config`] with a line-numbered message on any
+    /// malformed directive, duplicate node name/address, missing host
+    /// line, or empty cluster.
+    pub fn parse(text: &str) -> Result<Self, ClusterError> {
+        let mut host_addr: Option<String> = None;
+        let mut nodes: Vec<NodeSpec> = Vec::new();
+        let mut bandwidth_gbps = 1.0f64;
+        let mut latency = SimDuration::from_micros(50);
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let directive = parts.next().expect("non-empty line");
+            let err = |msg: String| ClusterError::Config(format!("line {}: {msg}", lineno + 1));
+            match directive {
+                "host" => {
+                    let addr = parts
+                        .next()
+                        .ok_or_else(|| err("`host` needs an address".into()))?;
+                    if host_addr.is_some() {
+                        return Err(err("duplicate `host` line".into()));
+                    }
+                    host_addr = Some(addr.to_string());
+                }
+                "node" => {
+                    let name = parts
+                        .next()
+                        .ok_or_else(|| err("`node` needs a name".into()))?;
+                    let addr = parts
+                        .next()
+                        .ok_or_else(|| err("`node` needs an address".into()))?;
+                    let devices_str = parts
+                        .next()
+                        .ok_or_else(|| err("`node` needs a device list".into()))?;
+                    if data_addr_of(addr).is_none() {
+                        return Err(err(format!("address `{addr}` is not host:port")));
+                    }
+                    let mut devices = Vec::new();
+                    for d in devices_str.split(',') {
+                        devices.push(match d {
+                            "cpu" => DeviceKind::Cpu,
+                            "gpu" => DeviceKind::Gpu,
+                            "fpga" => DeviceKind::Fpga,
+                            other => {
+                                return Err(err(format!("unknown device kind `{other}`")))
+                            }
+                        });
+                    }
+                    if nodes.iter().any(|n| n.name == name) {
+                        return Err(err(format!("duplicate node name `{name}`")));
+                    }
+                    if nodes.iter().any(|n| n.addr == addr) {
+                        return Err(err(format!("duplicate node address `{addr}`")));
+                    }
+                    nodes.push(NodeSpec {
+                        name: name.to_string(),
+                        addr: addr.to_string(),
+                        devices,
+                    });
+                }
+                "bandwidth_gbps" => {
+                    let v: f64 = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| err("`bandwidth_gbps` needs a number".into()))?;
+                    if !(v.is_finite() && v > 0.0) {
+                        return Err(err("bandwidth must be positive".into()));
+                    }
+                    bandwidth_gbps = v;
+                }
+                "latency_us" => {
+                    let v: u64 = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| err("`latency_us` needs an integer".into()))?;
+                    latency = SimDuration::from_micros(v);
+                }
+                other => return Err(err(format!("unknown directive `{other}`"))),
+            }
+            if parts.next().is_some() {
+                return Err(ClusterError::Config(format!(
+                    "line {}: trailing tokens",
+                    lineno + 1
+                )));
+            }
+        }
+        let host_addr =
+            host_addr.ok_or_else(|| ClusterError::Config("missing `host` line".into()))?;
+        if nodes.is_empty() {
+            return Err(ClusterError::Config("no `node` lines".into()));
+        }
+        Ok(ClusterConfig {
+            host_addr,
+            nodes,
+            link: LinkModel::custom(bandwidth_gbps * 125.0e6, latency),
+        })
+    }
+
+    /// A synthetic cluster of `n` single-GPU nodes on Gigabit Ethernet
+    /// (the paper's GPU configuration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn gpu_cluster(n: usize) -> Self {
+        Self::uniform_cluster(n, DeviceKind::Gpu)
+    }
+
+    /// A single-node cluster whose host process runs *on* the device
+    /// node (loopback backbone): the paper's single-node deployment,
+    /// used for the "negligible overhead" comparison.
+    pub fn colocated_single(kind: DeviceKind) -> Self {
+        ClusterConfig {
+            host_addr: "10.0.1.1:7000".to_string(),
+            nodes: vec![NodeSpec {
+                name: "colocated0".to_string(),
+                addr: "10.0.1.1:7100".to_string(),
+                devices: vec![kind],
+            }],
+            link: LinkModel::gigabit_ethernet(),
+        }
+    }
+
+    /// A synthetic cluster of `n` single-FPGA nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn fpga_cluster(n: usize) -> Self {
+        Self::uniform_cluster(n, DeviceKind::Fpga)
+    }
+
+    /// A synthetic mixed cluster of `gpus` GPU nodes and `fpgas` FPGA
+    /// nodes (the paper's GPU+FPGA configuration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if both counts are zero.
+    pub fn hetero_cluster(gpus: usize, fpgas: usize) -> Self {
+        assert!(gpus + fpgas > 0, "cluster needs at least one node");
+        let mut nodes = Vec::new();
+        for i in 0..gpus {
+            nodes.push(NodeSpec {
+                name: format!("gpu{i}"),
+                addr: format!("10.0.1.{}:7100", i + 1),
+                devices: vec![DeviceKind::Gpu],
+            });
+        }
+        for i in 0..fpgas {
+            nodes.push(NodeSpec {
+                name: format!("fpga{i}"),
+                addr: format!("10.0.2.{}:7100", i + 1),
+                devices: vec![DeviceKind::Fpga],
+            });
+        }
+        ClusterConfig {
+            host_addr: "10.0.0.1:7000".to_string(),
+            nodes,
+            link: LinkModel::gigabit_ethernet(),
+        }
+    }
+
+    fn uniform_cluster(n: usize, kind: DeviceKind) -> Self {
+        assert!(n > 0, "cluster needs at least one node");
+        match kind {
+            DeviceKind::Gpu => Self::hetero_cluster(n, 0),
+            DeviceKind::Fpga => Self::hetero_cluster(0, n),
+            DeviceKind::Cpu => {
+                let nodes = (0..n)
+                    .map(|i| NodeSpec {
+                        name: format!("cpu{i}"),
+                        addr: format!("10.0.3.{}:7100", i + 1),
+                        devices: vec![DeviceKind::Cpu],
+                    })
+                    .collect();
+                ClusterConfig {
+                    host_addr: "10.0.0.1:7000".to_string(),
+                    nodes,
+                    link: LinkModel::gigabit_ethernet(),
+                }
+            }
+        }
+    }
+
+    /// Renders the config back into file format (round-trippable).
+    pub fn to_file_string(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("host {}\n", self.host_addr));
+        for n in &self.nodes {
+            let devices: Vec<&str> = n
+                .devices
+                .iter()
+                .map(|d| match d {
+                    DeviceKind::Cpu => "cpu",
+                    DeviceKind::Gpu => "gpu",
+                    DeviceKind::Fpga => "fpga",
+                })
+                .collect();
+            out.push_str(&format!("node {} {} {}\n", n.name, n.addr, devices.join(",")));
+        }
+        out.push_str(&format!(
+            "bandwidth_gbps {}\n",
+            self.link.bandwidth_bps / 125.0e6
+        ));
+        out.push_str(&format!(
+            "latency_us {}\n",
+            self.link.latency.as_nanos() / 1000
+        ));
+        out
+    }
+
+    /// Total device count across all nodes.
+    pub fn device_count(&self) -> usize {
+        self.nodes.iter().map(|n| n.devices.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\n# demo cluster\nhost 10.0.0.1:7000\nnode gpu0 10.0.1.1:7100 gpu\nnode fat0 10.0.3.1:7100 cpu,gpu,fpga\nbandwidth_gbps 1.0\nlatency_us 50\n";
+
+    #[test]
+    fn parses_sample() {
+        let c = ClusterConfig::parse(SAMPLE).unwrap();
+        assert_eq!(c.host_addr, "10.0.0.1:7000");
+        assert_eq!(c.nodes.len(), 2);
+        assert_eq!(c.nodes[0].devices, vec![DeviceKind::Gpu]);
+        assert_eq!(
+            c.nodes[1].devices,
+            vec![DeviceKind::Cpu, DeviceKind::Gpu, DeviceKind::Fpga]
+        );
+        assert_eq!(c.device_count(), 4);
+        assert!((c.link.bandwidth_bps - 125.0e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn roundtrips_through_file_format() {
+        let c = ClusterConfig::parse(SAMPLE).unwrap();
+        let again = ClusterConfig::parse(&c.to_file_string()).unwrap();
+        assert_eq!(again, c);
+    }
+
+    #[test]
+    fn data_addr_is_port_plus_one() {
+        let c = ClusterConfig::parse(SAMPLE).unwrap();
+        assert_eq!(c.nodes[0].data_addr(), "10.0.1.1:7101");
+    }
+
+    #[test]
+    fn missing_host_rejected() {
+        let err = ClusterConfig::parse("node a 1:1 gpu\n").unwrap_err();
+        assert!(matches!(err, ClusterError::Config(m) if m.contains("host")));
+    }
+
+    #[test]
+    fn empty_cluster_rejected() {
+        let err = ClusterConfig::parse("host h:1\n").unwrap_err();
+        assert!(matches!(err, ClusterError::Config(m) if m.contains("node")));
+    }
+
+    #[test]
+    fn bad_device_kind_rejected() {
+        let err =
+            ClusterConfig::parse("host h:1\nnode a 10.0.0.2:1 tpu\n").unwrap_err();
+        assert!(matches!(err, ClusterError::Config(m) if m.contains("tpu")));
+    }
+
+    #[test]
+    fn duplicate_names_and_addrs_rejected() {
+        let err = ClusterConfig::parse("host h:1\nnode a 10.0.0.2:1 gpu\nnode a 10.0.0.3:1 gpu\n")
+            .unwrap_err();
+        assert!(matches!(err, ClusterError::Config(m) if m.contains("duplicate node name")));
+        let err = ClusterConfig::parse("host h:1\nnode a 10.0.0.2:1 gpu\nnode b 10.0.0.2:1 gpu\n")
+            .unwrap_err();
+        assert!(matches!(err, ClusterError::Config(m) if m.contains("duplicate node address")));
+    }
+
+    #[test]
+    fn error_messages_carry_line_numbers() {
+        let err = ClusterConfig::parse("host h:1\nwat\n").unwrap_err();
+        assert!(matches!(err, ClusterError::Config(m) if m.contains("line 2")));
+    }
+
+    #[test]
+    fn synthetic_clusters() {
+        let c = ClusterConfig::gpu_cluster(16);
+        assert_eq!(c.nodes.len(), 16);
+        assert!(c.nodes.iter().all(|n| n.devices == vec![DeviceKind::Gpu]));
+        let h = ClusterConfig::hetero_cluster(2, 2);
+        assert_eq!(h.device_count(), 4);
+        let f = ClusterConfig::fpga_cluster(4);
+        assert!(f.nodes.iter().all(|n| n.devices == vec![DeviceKind::Fpga]));
+        // All addresses unique.
+        let mut addrs: Vec<_> = h.nodes.iter().map(|n| &n.addr).collect();
+        addrs.sort();
+        addrs.dedup();
+        assert_eq!(addrs.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_node_synthetic_panics() {
+        let _ = ClusterConfig::gpu_cluster(0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Cluster runtime failure taxonomy.
+
+use std::error::Error;
+use std::fmt;
+
+use haocl_net::NetError;
+use haocl_proto::wire::WireError;
+
+/// A cluster runtime failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// A backbone failure.
+    Net(NetError),
+    /// A protocol (de)serialization failure.
+    Wire(WireError),
+    /// The remote node replied with an OpenCL-style error.
+    Remote {
+        /// The OpenCL status code (see [`haocl_proto::messages::status`]).
+        code: i32,
+        /// Human-readable detail from the node.
+        message: String,
+    },
+    /// The cluster configuration is invalid.
+    Config(String),
+    /// The node replied with something that does not answer the call.
+    UnexpectedReply(String),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Net(e) => write!(f, "backbone error: {e}"),
+            ClusterError::Wire(e) => write!(f, "protocol error: {e}"),
+            ClusterError::Remote { code, message } => {
+                write!(f, "remote error {code}: {message}")
+            }
+            ClusterError::Config(msg) => write!(f, "configuration error: {msg}"),
+            ClusterError::UnexpectedReply(msg) => write!(f, "unexpected reply: {msg}"),
+        }
+    }
+}
+
+impl Error for ClusterError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ClusterError::Net(e) => Some(e),
+            ClusterError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetError> for ClusterError {
+    fn from(e: NetError) -> Self {
+        ClusterError::Net(e)
+    }
+}
+
+impl From<WireError> for ClusterError {
+    fn from(e: WireError) -> Self {
+        ClusterError::Wire(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: ClusterError = NetError::Disconnected.into();
+        assert!(e.to_string().contains("backbone"));
+        let e: ClusterError = WireError::InvalidUtf8.into();
+        assert!(e.to_string().contains("protocol"));
+        let e = ClusterError::Remote {
+            code: -46,
+            message: "no such kernel".into(),
+        };
+        assert!(e.to_string().contains("-46"));
+    }
+}

@@ -1,0 +1,240 @@
+//! The host-side runtime.
+//!
+//! The host process executes the user's OpenCL program and owns the
+//! cluster-facing side of the backbone: it connects a message and a data
+//! connection to every node in the configuration, performs the device-ID
+//! mapping handshake ("when the user program calls clGetDeviceIDs, the
+//! wrapper lib creates a device ID request message for each compute
+//! node… the backbone obtains the device's id of each compute node and
+//! records this mapping", §III-C), and forwards calls *synchronously* —
+//! after sending a message the host waits for the response before taking
+//! the next action, exactly as described in the paper.
+
+use std::sync::atomic::Ordering;
+
+use parking_lot::Mutex;
+
+use haocl_net::{Conn, Fabric};
+use haocl_proto::ids::{IdAllocator, NodeId, RequestId, UserId};
+use haocl_proto::messages::{ApiCall, ApiReply, DeviceDescriptor, Request, Response};
+use haocl_proto::wire::{decode_from_slice, encode_to_vec};
+use haocl_sim::{Clock, SimTime};
+
+use crate::config::ClusterConfig;
+use crate::error::ClusterError;
+
+/// One device in the cluster, as mapped during the handshake.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemoteDevice {
+    /// The node hosting the device.
+    pub node: NodeId,
+    /// The node's configured name.
+    pub node_name: String,
+    /// Device index within the node.
+    pub device: u8,
+    /// The advertised model summary.
+    pub descriptor: DeviceDescriptor,
+}
+
+/// The outcome of one forwarded call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallOutcome {
+    /// The node's reply.
+    pub reply: ApiReply,
+    /// Virtual time the operation completed on the node.
+    pub node_completed: SimTime,
+    /// Virtual time the response reached the host.
+    pub host_received: SimTime,
+}
+
+struct NodeLink {
+    name: String,
+    /// Message connection (control plane).
+    msg: Mutex<Conn>,
+    /// Data connection (buffer contents, §III-C's data listener).
+    data: Mutex<Conn>,
+}
+
+/// The host runtime: device mapping plus synchronous call forwarding.
+pub struct HostRuntime {
+    user: UserId,
+    links: Vec<NodeLink>,
+    devices: Vec<RemoteDevice>,
+    request_ids: IdAllocator,
+    clock: Clock,
+}
+
+impl HostRuntime {
+    /// Connects to every node in `config` and performs the hello/device
+    /// mapping handshake.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError`] if any node is unreachable or answers the
+    /// handshake with anything but its device inventory.
+    pub fn connect(fabric: &Fabric, config: &ClusterConfig) -> Result<Self, ClusterError> {
+        let host_name = config
+            .host_addr
+            .split(':')
+            .next()
+            .unwrap_or(&config.host_addr)
+            .to_string();
+        let mut runtime = HostRuntime {
+            user: UserId::new(1),
+            links: Vec::new(),
+            devices: Vec::new(),
+            request_ids: IdAllocator::new(),
+            clock: fabric.clock().clone(),
+        };
+        for (i, spec) in config.nodes.iter().enumerate() {
+            let msg = fabric.connect(&host_name, &spec.addr)?;
+            let data = fabric.connect(&host_name, &spec.data_addr())?;
+            runtime.links.push(NodeLink {
+                name: spec.name.clone(),
+                msg: Mutex::new(msg),
+                data: Mutex::new(data),
+            });
+            let node = NodeId::new(i as u32);
+            let outcome = runtime.call(
+                node,
+                ApiCall::Hello {
+                    client: format!("haocl-host/{host_name}"),
+                },
+            )?;
+            match outcome.reply {
+                ApiReply::NodeInfo { devices } => {
+                    for d in devices {
+                        runtime.devices.push(RemoteDevice {
+                            node,
+                            node_name: spec.name.clone(),
+                            device: d.index,
+                            descriptor: d,
+                        });
+                    }
+                }
+                other => {
+                    return Err(ClusterError::UnexpectedReply(format!(
+                        "hello answered with {other:?}"
+                    )));
+                }
+            }
+        }
+        Ok(runtime)
+    }
+
+    /// The mapped devices, cluster-wide, in `(node, device)` order.
+    pub fn devices(&self) -> &[RemoteDevice] {
+        &self.devices
+    }
+
+    /// Number of nodes connected.
+    pub fn node_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// The session's user id.
+    pub fn user(&self) -> UserId {
+        self.user
+    }
+
+    /// Sets the session's user id (multi-user support).
+    pub fn set_user(&mut self, user: UserId) {
+        self.user = user;
+    }
+
+    /// Forwards `call` to `node` and waits synchronously for its reply.
+    ///
+    /// Buffer-content calls (`WriteBuffer`/`ReadBuffer`) travel on the
+    /// node's data connection; everything else on the message connection.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Remote`] when the node answers with an error
+    /// reply; transport errors otherwise.
+    pub fn call(&self, node: NodeId, call: ApiCall) -> Result<CallOutcome, ClusterError> {
+        let link = self
+            .links
+            .get(node.raw() as usize)
+            .ok_or_else(|| ClusterError::Config(format!("unknown node {node}")))?;
+        let is_data = matches!(
+            call,
+            ApiCall::WriteBuffer { .. }
+                | ApiCall::ReadBuffer { .. }
+                | ApiCall::WriteBufferModeled { .. }
+                | ApiCall::ReadBufferModeled { .. }
+        );
+        let id = RequestId::new(self.request_ids.next());
+        let now = self.clock.now();
+        let request = Request {
+            id,
+            user: self.user,
+            sent_at_nanos: now.as_nanos(),
+            body: call,
+        };
+        // Modeled writes stand in for bulk data packages: charge the link
+        // as if the payload were on the wire.
+        let virtual_len = match &request.body {
+            ApiCall::WriteBufferModeled { len, .. } => *len,
+            _ => 0,
+        };
+        let payload = encode_to_vec(&request);
+        let mut conn = if is_data {
+            link.data.lock()
+        } else {
+            link.msg.lock()
+        };
+        conn.send_frame_virtual(&payload, now, virtual_len)?;
+        // Synchronous host semantics: wait for this call's response.
+        let (frame, received_at) = conn.recv_frame()?;
+        drop(conn);
+        let response: Response = decode_from_slice(&frame)?;
+        if response.id != id {
+            return Err(ClusterError::UnexpectedReply(format!(
+                "response {} does not match request {id}",
+                response.id
+            )));
+        }
+        self.clock.advance_to(received_at);
+        match response.body {
+            ApiReply::Error { code, message } => Err(ClusterError::Remote { code, message }),
+            reply => Ok(CallOutcome {
+                reply,
+                node_completed: SimTime::from_nanos(response.completed_at_nanos),
+                host_received: received_at,
+            }),
+        }
+    }
+
+    /// Sends `Shutdown` to every node (best effort) for orderly teardown.
+    pub fn shutdown_cluster(&self) {
+        for i in 0..self.links.len() {
+            let _ = self.call(NodeId::new(i as u32), ApiCall::Shutdown);
+        }
+    }
+
+    /// The configured name of `node`.
+    pub fn node_name(&self, node: NodeId) -> Option<&str> {
+        self.links.get(node.raw() as usize).map(|l| l.name.as_str())
+    }
+
+    fn _assert_send_sync() {
+        fn assert<T: Send + Sync>() {}
+        assert::<HostRuntime>();
+        let _ = Ordering::SeqCst;
+    }
+}
+
+impl std::fmt::Debug for HostRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HostRuntime")
+            .field("user", &self.user)
+            .field("nodes", &self.links.len())
+            .field("devices", &self.devices.len())
+            .finish()
+    }
+}

@@ -1,0 +1,48 @@
+//! The HaoCL cluster runtime: Node Management Processes and the host.
+//!
+//! This crate wires the substrates together into the system of Fig. 1:
+//!
+//! * [`config`] — the cluster configuration file (host address, node
+//!   addresses and device inventories, link parameters) the paper's host
+//!   process reads at startup (§III-C).
+//! * [`nmp`] — the **Node Management Process** (§III-D): a daemon on each
+//!   device node that accepts connections on a *message* port and a
+//!   *data* port, unpacks message packages, executes them on its
+//!   simulated devices and replies. FPGAs only serve kernels pre-built in
+//!   their bitstream registry.
+//! * [`host`] — the host-side runtime: connects to every node from the
+//!   config, performs the `clGetDeviceIDs` device-mapping handshake, and
+//!   forwards calls synchronously (the paper's host listener is
+//!   synchronous; node listeners are asynchronous).
+//! * [`local`] — [`LocalCluster`]: spawns a whole cluster in-process
+//!   (NMPs as OS threads on a shared [`haocl_net::Fabric`]) for tests,
+//!   examples and benchmarks.
+//! * [`session`] — multi-user session bookkeeping (§I, §III-D).
+//!
+//! # Examples
+//!
+//! ```
+//! use haocl_cluster::{ClusterConfig, LocalCluster};
+//! use haocl_kernel::KernelRegistry;
+//! use haocl_proto::messages::ApiCall;
+//!
+//! let config = ClusterConfig::gpu_cluster(2);
+//! let cluster = LocalCluster::launch(&config, KernelRegistry::new())?;
+//! let host = cluster.host();
+//! assert_eq!(host.devices().len(), 2);
+//! # Ok::<(), haocl_cluster::ClusterError>(())
+//! ```
+
+pub mod config;
+pub mod error;
+pub mod host;
+pub mod local;
+pub mod nmp;
+pub mod session;
+
+pub use config::{ClusterConfig, NodeSpec};
+pub use error::ClusterError;
+pub use host::{HostRuntime, RemoteDevice};
+pub use local::LocalCluster;
+pub use nmp::NmpHandle;
+pub use session::SessionManager;

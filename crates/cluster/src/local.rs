@@ -1,0 +1,167 @@
+//! In-process cluster launcher.
+
+use haocl_kernel::KernelRegistry;
+use haocl_net::Fabric;
+use haocl_sim::Clock;
+
+use crate::config::ClusterConfig;
+use crate::error::ClusterError;
+use crate::host::HostRuntime;
+use crate::nmp::NmpHandle;
+
+/// A whole HaoCL cluster running in-process: one NMP thread pair per node
+/// on a shared fabric, plus a connected host runtime.
+///
+/// Dropping the cluster shuts the daemons down and joins their threads.
+///
+/// # Examples
+///
+/// ```
+/// use haocl_cluster::{ClusterConfig, LocalCluster};
+/// use haocl_kernel::KernelRegistry;
+///
+/// let cluster = LocalCluster::launch(
+///     &ClusterConfig::hetero_cluster(1, 1),
+///     KernelRegistry::new(),
+/// )?;
+/// assert_eq!(cluster.host().node_count(), 2);
+/// assert_eq!(cluster.host().devices().len(), 2);
+/// # Ok::<(), haocl_cluster::ClusterError>(())
+/// ```
+pub struct LocalCluster {
+    fabric: Fabric,
+    handles: Vec<NmpHandle>,
+    host: HostRuntime,
+}
+
+impl LocalCluster {
+    /// Spawns NMPs for every node in `config` and connects the host.
+    ///
+    /// `registry` is shared by all nodes as their bitstream store (and
+    /// native fast path); pass an empty registry for pure-source runs.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError`] on address clashes or handshake failures.
+    pub fn launch(
+        config: &ClusterConfig,
+        registry: KernelRegistry,
+    ) -> Result<Self, ClusterError> {
+        let fabric = Fabric::new(Clock::new(), config.link);
+        let mut handles = Vec::with_capacity(config.nodes.len());
+        for spec in &config.nodes {
+            handles.push(NmpHandle::spawn(&fabric, spec, registry.clone())?);
+        }
+        let host = HostRuntime::connect(&fabric, config)?;
+        Ok(LocalCluster {
+            fabric,
+            handles,
+            host,
+        })
+    }
+
+    /// The connected host runtime.
+    pub fn host(&self) -> &HostRuntime {
+        &self.host
+    }
+
+    /// Mutable access to the host runtime (e.g. to switch users).
+    pub fn host_mut(&mut self) -> &mut HostRuntime {
+        &mut self.host
+    }
+
+    /// The shared fabric (to attach extra clients or inspect the link).
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Kills the NMP of node `index` abruptly (failure injection): its
+    /// listener threads stop and join, connections drop. Returns `false`
+    /// if the node was already killed or the index is out of range.
+    pub fn kill_node(&mut self, index: usize) -> bool {
+        if index >= self.handles.len() {
+            return false;
+        }
+        // Replace with a tombstone by draining just that handle.
+        let handle = self.handles.remove(index);
+        handle.stop();
+        true
+    }
+
+    /// Number of NMPs still running.
+    pub fn live_nodes(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Orderly shutdown: notifies every NMP, then stops and joins them.
+    pub fn shutdown(mut self) {
+        self.host.shutdown_cluster();
+        for h in self.handles.drain(..) {
+            h.stop();
+        }
+    }
+}
+
+impl std::fmt::Debug for LocalCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalCluster")
+            .field("nodes", &self.handles.len())
+            .field("devices", &self.host.devices().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haocl_proto::ids::NodeId;
+    use haocl_proto::messages::{ApiCall, ApiReply, DeviceKind};
+
+    #[test]
+    fn launch_maps_every_device_in_order() {
+        let cluster =
+            LocalCluster::launch(&ClusterConfig::hetero_cluster(2, 1), KernelRegistry::new())
+                .unwrap();
+        let devices = cluster.host().devices();
+        assert_eq!(devices.len(), 3);
+        assert_eq!(devices[0].descriptor.kind, DeviceKind::Gpu);
+        assert_eq!(devices[1].descriptor.kind, DeviceKind::Gpu);
+        assert_eq!(devices[2].descriptor.kind, DeviceKind::Fpga);
+        assert_eq!(devices[2].node, NodeId::new(2));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn ping_every_node() {
+        let cluster =
+            LocalCluster::launch(&ClusterConfig::gpu_cluster(3), KernelRegistry::new()).unwrap();
+        for i in 0..3 {
+            let outcome = cluster
+                .host()
+                .call(NodeId::new(i), ApiCall::Ping)
+                .unwrap();
+            assert!(matches!(outcome.reply, ApiReply::Pong { .. }));
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn drop_without_shutdown_is_clean() {
+        let cluster =
+            LocalCluster::launch(&ClusterConfig::gpu_cluster(1), KernelRegistry::new()).unwrap();
+        drop(cluster); // NmpHandle::drop must stop threads without hanging.
+    }
+
+    #[test]
+    fn two_clusters_can_coexist() {
+        // Separate fabrics: identical addresses do not clash.
+        let a = LocalCluster::launch(&ClusterConfig::gpu_cluster(1), KernelRegistry::new())
+            .unwrap();
+        let b = LocalCluster::launch(&ClusterConfig::gpu_cluster(1), KernelRegistry::new())
+            .unwrap();
+        assert_eq!(a.host().devices().len(), 1);
+        assert_eq!(b.host().devices().len(), 1);
+        a.shutdown();
+        b.shutdown();
+    }
+}

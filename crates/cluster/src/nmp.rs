@@ -1,0 +1,893 @@
+//! The Node Management Process (paper §III-D).
+//!
+//! "The daemon process runs on each device (accelerator) node for the
+//! actual execution of OpenCL API calls." Each NMP binds a *message*
+//! listener and a *data* listener (§III-C), accepts connections
+//! asynchronously, and for each incoming package unpacks it, executes it
+//! against the node's simulated devices and replies.
+//!
+//! FPGA devices refuse online source builds; their kernels come from the
+//! node's bitstream [`KernelRegistry`] via
+//! [`haocl_proto::messages::ApiCall::LoadBitstream`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use haocl_device::device::DeviceError;
+use haocl_device::memory::MemoryError;
+use haocl_device::{presets, SimDevice};
+use haocl_kernel::{CostModel, Kernel, KernelRegistry, NdRange};
+use haocl_net::{Conn, Fabric, Listener, NetError};
+use haocl_proto::ids::{KernelId, ProgramId, UserId};
+use haocl_proto::messages::{status, ApiCall, ApiReply, Request, Response};
+use haocl_proto::wire::{decode_from_slice, encode_to_vec};
+use haocl_sim::SimTime;
+
+use crate::config::NodeSpec;
+use crate::error::ClusterError;
+
+/// How often blocking loops check the stop flag.
+const POLL: Duration = Duration::from_millis(20);
+
+enum ProgramEntry {
+    /// Source-compiled program (CPU/GPU path).
+    Built(haocl_kernel::CompiledProgram),
+    /// Pre-built bitstream kernel names (FPGA path).
+    Bitstream(Vec<String>),
+}
+
+struct NodeState {
+    devices: Vec<SimDevice>,
+    programs: HashMap<(ProgramId, u8), ProgramEntry>,
+    kernels: HashMap<KernelId, (u8, Kernel)>,
+    registry: KernelRegistry,
+    launches_by_user: HashMap<UserId, u64>,
+}
+
+/// A running NMP: its listener threads and stop control.
+///
+/// Dropping the handle stops the daemon and joins its threads.
+pub struct NmpHandle {
+    name: String,
+    addr: String,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl NmpHandle {
+    /// Spawns the NMP for `spec` on `fabric`, with `registry` as its
+    /// bitstream store.
+    ///
+    /// Binds the message listener at `spec.addr` and the data listener at
+    /// `spec.data_addr()`, then serves until stopped.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Net`] if either address is already bound.
+    pub fn spawn(
+        fabric: &Fabric,
+        spec: &NodeSpec,
+        registry: KernelRegistry,
+    ) -> Result<Self, ClusterError> {
+        let devices = spec
+            .devices
+            .iter()
+            .map(|k| SimDevice::new(presets::by_kind(*k)))
+            .collect();
+        let state = Arc::new(Mutex::new(NodeState {
+            devices,
+            programs: HashMap::new(),
+            kernels: HashMap::new(),
+            registry,
+            launches_by_user: HashMap::new(),
+        }));
+        let stop = Arc::new(AtomicBool::new(false));
+        let msg_listener = fabric.bind(&spec.addr)?;
+        let data_listener = fabric.bind(&spec.data_addr())?;
+        let threads = vec![
+            spawn_accept_loop(msg_listener, Arc::clone(&state), Arc::clone(&stop)),
+            spawn_accept_loop(data_listener, Arc::clone(&state), Arc::clone(&stop)),
+        ];
+        Ok(NmpHandle {
+            name: spec.name.clone(),
+            addr: spec.addr.clone(),
+            stop,
+            threads,
+        })
+    }
+
+    /// The node's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The message-listener address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Stops the daemon and joins its threads.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for NmpHandle {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+impl std::fmt::Debug for NmpHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "NmpHandle({} @ {})", self.name, self.addr)
+    }
+}
+
+fn spawn_accept_loop(
+    listener: Listener,
+    state: Arc<Mutex<NodeState>>,
+    stop: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        // Serve threads are tracked so the accept loop can join them on
+        // shutdown (the paper's per-message thread model, §III-C).
+        let mut serving: Vec<JoinHandle<()>> = Vec::new();
+        while !stop.load(Ordering::SeqCst) {
+            match listener.accept_timeout(POLL) {
+                Ok(conn) => {
+                    let state = Arc::clone(&state);
+                    let stop = Arc::clone(&stop);
+                    serving.push(std::thread::spawn(move || serve(conn, state, stop)));
+                }
+                Err(NetError::Timeout) => continue,
+                Err(_) => break,
+            }
+        }
+        for t in serving {
+            let _ = t.join();
+        }
+    })
+}
+
+fn serve(mut conn: Conn, state: Arc<Mutex<NodeState>>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        let (frame, arrival) = match conn.recv_frame_timeout(POLL) {
+            Ok(x) => x,
+            Err(NetError::Timeout) => continue,
+            Err(_) => break,
+        };
+        let request: Request = match decode_from_slice(&frame) {
+            Ok(r) => r,
+            // A malformed package: drop the connection, as a real daemon
+            // would after a framing-level protocol violation.
+            Err(_) => break,
+        };
+        let is_shutdown = matches!(request.body, ApiCall::Shutdown);
+        let response = handle(&state, request, arrival);
+        let send_at = response.completed_at_nanos;
+        // Modeled data replies stand in for bulk payloads: charge the
+        // return link as if the bytes were on it.
+        let virtual_len = match &response.body {
+            ApiReply::DataModeled { len } => *len,
+            _ => 0,
+        };
+        if conn
+            .send_frame_virtual(
+                &encode_to_vec(&response),
+                SimTime::from_nanos(send_at),
+                virtual_len,
+            )
+            .is_err()
+        {
+            break;
+        }
+        if is_shutdown {
+            break;
+        }
+    }
+}
+
+fn handle(state: &Mutex<NodeState>, request: Request, arrival: SimTime) -> Response {
+    let mut state = state.lock();
+    let user = request.user;
+    let (body, completed) = dispatch(&mut state, user, request.body, arrival);
+    Response {
+        id: request.id,
+        completed_at_nanos: completed.as_nanos(),
+        body,
+    }
+}
+
+fn err_reply(code: i32, message: impl Into<String>) -> ApiReply {
+    ApiReply::Error {
+        code,
+        message: message.into(),
+    }
+}
+
+fn device_error_reply(e: DeviceError) -> ApiReply {
+    let code = match &e {
+        DeviceError::Memory(MemoryError::OutOfMemory { .. }) => {
+            status::MEM_OBJECT_ALLOCATION_FAILURE
+        }
+        DeviceError::Memory(MemoryError::UnknownBuffer(_)) => status::INVALID_MEM_OBJECT,
+        DeviceError::Memory(MemoryError::DuplicateBuffer(_)) => status::INVALID_VALUE,
+        DeviceError::Memory(MemoryError::OutOfBounds { .. }) => status::INVALID_VALUE,
+        DeviceError::Memory(MemoryError::VirtualBuffer(_)) => status::INVALID_OPERATION,
+        DeviceError::Exec(_) => status::INVALID_KERNEL_ARGS,
+        DeviceError::NotSupported(_) => status::INVALID_OPERATION,
+    };
+    err_reply(code, e.to_string())
+}
+
+fn dispatch(
+    state: &mut NodeState,
+    user: UserId,
+    call: ApiCall,
+    at: SimTime,
+) -> (ApiReply, SimTime) {
+    match call {
+        ApiCall::Hello { client: _ } | ApiCall::ListDevices => {
+            let devices = state
+                .devices
+                .iter()
+                .enumerate()
+                .map(|(i, d)| d.descriptor(i as u8))
+                .collect();
+            (ApiReply::NodeInfo { devices }, at)
+        }
+        ApiCall::Ping => (
+            ApiReply::Pong {
+                now_nanos: at.as_nanos(),
+            },
+            at,
+        ),
+        ApiCall::Shutdown => (ApiReply::Ack, at),
+        ApiCall::CreateBufferModeled {
+            device,
+            buffer,
+            size,
+        } => match device_mut(state, device) {
+            Err(reply) => (reply, at),
+            Ok(dev) => match dev.alloc_buffer_modeled(buffer, size) {
+                Ok(()) => (ApiReply::Ack, at),
+                Err(e) => (device_error_reply(e), at),
+            },
+        },
+        ApiCall::WriteBufferModeled {
+            device,
+            buffer,
+            offset,
+            len,
+        } => match device_mut(state, device) {
+            Err(reply) => (reply, at),
+            Ok(dev) => match dev.transfer_modeled(buffer, offset, len, at) {
+                Ok(grant) => (ApiReply::Ack, grant.end),
+                Err(e) => (device_error_reply(e), at),
+            },
+        },
+        ApiCall::ReadBufferModeled {
+            device,
+            buffer,
+            offset,
+            len,
+        } => match device_mut(state, device) {
+            Err(reply) => (reply, at),
+            Ok(dev) => match dev.transfer_modeled(buffer, offset, len, at) {
+                Ok(grant) => (ApiReply::DataModeled { len }, grant.end),
+                Err(e) => (device_error_reply(e), at),
+            },
+        },
+        ApiCall::QueryProfile => {
+            let mut entries = Vec::new();
+            for (i, d) in state.devices.iter().enumerate() {
+                entries.extend(d.profile_entries(i as u8));
+            }
+            (ApiReply::Profile { entries }, at)
+        }
+        ApiCall::CreateBuffer {
+            device,
+            buffer,
+            size,
+        } => match device_mut(state, device) {
+            Err(reply) => (reply, at),
+            Ok(dev) => match dev.alloc_buffer(buffer, size) {
+                Ok(()) => (ApiReply::Ack, at),
+                Err(e) => (device_error_reply(e), at),
+            },
+        },
+        ApiCall::ReleaseBuffer { device, buffer } => match device_mut(state, device) {
+            Err(reply) => (reply, at),
+            Ok(dev) => match dev.free_buffer(buffer) {
+                Ok(()) => (ApiReply::Ack, at),
+                Err(e) => (device_error_reply(e), at),
+            },
+        },
+        ApiCall::WriteBuffer {
+            device,
+            buffer,
+            offset,
+            data,
+        } => match device_mut(state, device) {
+            Err(reply) => (reply, at),
+            Ok(dev) => match dev.write_buffer(buffer, offset, &data, at) {
+                Ok(grant) => (ApiReply::Ack, grant.end),
+                Err(e) => (device_error_reply(e), at),
+            },
+        },
+        ApiCall::ReadBuffer {
+            device,
+            buffer,
+            offset,
+            len,
+        } => match device_mut(state, device) {
+            Err(reply) => (reply, at),
+            Ok(dev) => match dev.read_buffer(buffer, offset, len, at) {
+                Ok((bytes, grant)) => (
+                    ApiReply::Data {
+                        bytes: Bytes::from(bytes),
+                    },
+                    grant.end,
+                ),
+                Err(e) => (device_error_reply(e), at),
+            },
+        },
+        ApiCall::CopyBuffer {
+            device,
+            src,
+            dst,
+            src_offset,
+            dst_offset,
+            len,
+        } => match device_mut(state, device) {
+            Err(reply) => (reply, at),
+            Ok(dev) => match dev.copy_buffer(src, dst, src_offset, dst_offset, len, at) {
+                Ok(grant) => (ApiReply::Ack, grant.end),
+                Err(e) => (device_error_reply(e), at),
+            },
+        },
+        ApiCall::BuildProgram {
+            device,
+            program,
+            source,
+        } => {
+            let kind = match state.devices.get(device as usize) {
+                Some(d) => d.model().kind,
+                None => return (err_reply(status::INVALID_DEVICE, "no such device"), at),
+            };
+            if kind == haocl_proto::messages::DeviceKind::Fpga {
+                return (
+                    err_reply(
+                        status::INVALID_OPERATION,
+                        "FPGA devices load pre-built bitstreams (use LoadBitstream)",
+                    ),
+                    at,
+                );
+            }
+            match haocl_clc::compile(&source) {
+                Ok(compiled) => {
+                    state
+                        .programs
+                        .insert((program, device), ProgramEntry::Built(compiled));
+                    (
+                        ApiReply::BuildLog {
+                            ok: true,
+                            log: String::new(),
+                        },
+                        at,
+                    )
+                }
+                Err(e) => (
+                    ApiReply::BuildLog {
+                        ok: false,
+                        log: e.build_log(),
+                    },
+                    at,
+                ),
+            }
+        }
+        ApiCall::LoadBitstream {
+            device,
+            program,
+            kernels,
+        } => {
+            if state.devices.get(device as usize).is_none() {
+                return (err_reply(status::INVALID_DEVICE, "no such device"), at);
+            }
+            let missing: Vec<&String> = kernels
+                .iter()
+                .filter(|k| !state.registry.contains(k))
+                .collect();
+            if !missing.is_empty() {
+                return (
+                    ApiReply::BuildLog {
+                        ok: false,
+                        log: format!(
+                            "bitstream store is missing kernels: {}",
+                            missing
+                                .iter()
+                                .map(|s| s.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ),
+                    },
+                    at,
+                );
+            }
+            let n = kernels.len();
+            state
+                .programs
+                .insert((program, device), ProgramEntry::Bitstream(kernels));
+            let grant = state.devices[device as usize].note_program_loaded(program, at);
+            (
+                ApiReply::BuildLog {
+                    ok: true,
+                    log: format!("loaded {n} pre-built kernel(s)"),
+                },
+                grant.end,
+            )
+        }
+        ApiCall::CreateKernel {
+            device,
+            kernel,
+            program,
+            name,
+        } => {
+            let Some(entry) = state.programs.get(&(program, device)) else {
+                return (
+                    err_reply(
+                        status::INVALID_PROGRAM,
+                        "program is unknown or not built for this device",
+                    ),
+                    at,
+                );
+            };
+            let resolved = match entry {
+                ProgramEntry::Bitstream(names) => {
+                    if !names.iter().any(|n| n == &name) {
+                        return (
+                            err_reply(
+                                status::INVALID_KERNEL_NAME,
+                                format!("`{name}` is not in the loaded bitstream"),
+                            ),
+                            at,
+                        );
+                    }
+                    match state.registry.get(&name) {
+                        Some(native) => Kernel::Native(native),
+                        None => {
+                            return (
+                                err_reply(
+                                    status::INVALID_KERNEL_NAME,
+                                    format!("bitstream kernel `{name}` vanished from the store"),
+                                ),
+                                at,
+                            )
+                        }
+                    }
+                }
+                ProgramEntry::Built(compiled) => {
+                    // Fast path: a registered native implementation with the
+                    // same name supersedes VM execution of the source.
+                    if let Some(native) = state.registry.get(&name) {
+                        Kernel::Native(native)
+                    } else {
+                        match compiled.kernel(&name) {
+                            Some(k) => Kernel::Compiled(Arc::new(k.clone())),
+                            None => {
+                                return (
+                                    err_reply(
+                                        status::INVALID_KERNEL_NAME,
+                                        format!("no kernel `{name}` in program"),
+                                    ),
+                                    at,
+                                )
+                            }
+                        }
+                    }
+                }
+            };
+            let arity = resolved.arity() as u32;
+            state.kernels.insert(kernel, (device, resolved));
+            (ApiReply::KernelInfo { arity }, at)
+        }
+        ApiCall::LaunchKernel {
+            device,
+            kernel,
+            args,
+            range,
+            cost,
+            fidelity,
+            shared: _,
+        } => {
+            let Some((kernel_device, k)) = state.kernels.get(&kernel).cloned() else {
+                return (err_reply(status::INVALID_KERNEL, "unknown kernel"), at);
+            };
+            if kernel_device != device {
+                return (
+                    err_reply(
+                        status::INVALID_DEVICE,
+                        "kernel was created for a different device",
+                    ),
+                    at,
+                );
+            }
+            let nd = NdRange {
+                work_dim: range.work_dim,
+                global: range.global,
+                local: range.local,
+            };
+            let cost = cost_from_wire(&cost);
+            *state.launches_by_user.entry(user).or_insert(0) += 1;
+            let Some(dev) = state.devices.get_mut(device as usize) else {
+                return (err_reply(status::INVALID_DEVICE, "no such device"), at);
+            };
+            match dev.launch(&k, &args, &nd, &cost, fidelity, at) {
+                // Enqueue is non-blocking (OpenCL semantics): the reply
+                // leaves at receipt time while the kernel occupies the
+                // device timeline until `end_nanos`. Later operations on
+                // this device queue behind it; the host only waits at
+                // `clFinish`/reads.
+                Ok(outcome) => (
+                    ApiReply::LaunchDone {
+                        start_nanos: outcome.grant.start.as_nanos(),
+                        end_nanos: outcome.grant.end.as_nanos(),
+                        instructions: outcome.instructions,
+                    },
+                    at,
+                ),
+                Err(e) => (device_error_reply(e), at),
+            }
+        }
+    }
+}
+
+fn device_mut(state: &mut NodeState, device: u8) -> Result<&mut SimDevice, ApiReply> {
+    state
+        .devices
+        .get_mut(device as usize)
+        .ok_or_else(|| err_reply(status::INVALID_DEVICE, format!("no device {device}")))
+}
+
+fn cost_from_wire(w: &haocl_proto::messages::WireCost) -> CostModel {
+    let mut c = CostModel::new()
+        .flops(w.flops.max(0.0))
+        .bytes_read(w.bytes_read.max(0.0))
+        .bytes_written(w.bytes_written.max(0.0));
+    if !w.uniform {
+        c = c.divergent();
+    }
+    if w.streaming {
+        c = c.streaming();
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+    use haocl_net::LinkModel;
+    use haocl_proto::ids::{BufferId, RequestId};
+    use haocl_proto::messages::{Fidelity, WireArg, WireCost, WireNdRange};
+    use haocl_sim::Clock;
+
+    fn call(conn: &mut Conn, user: u32, body: ApiCall) -> (ApiReply, SimTime) {
+        static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+        let id = RequestId::new(NEXT.fetch_add(1, Ordering::Relaxed));
+        let req = Request {
+            id,
+            user: UserId::new(user),
+            sent_at_nanos: 0,
+            body,
+        };
+        conn.send_frame(&encode_to_vec(&req), SimTime::ZERO).unwrap();
+        let (frame, _) = conn.recv_frame().unwrap();
+        let resp: Response = decode_from_slice(&frame).unwrap();
+        assert_eq!(resp.id, id);
+        (resp.body, SimTime::from_nanos(resp.completed_at_nanos))
+    }
+
+    fn launch_one_node() -> (Fabric, NmpHandle, Conn) {
+        let fabric = Fabric::new(Clock::new(), LinkModel::gigabit_ethernet());
+        let config = ClusterConfig::gpu_cluster(1);
+        let handle = NmpHandle::spawn(&fabric, &config.nodes[0], KernelRegistry::new()).unwrap();
+        let conn = fabric.connect("10.0.0.1", &config.nodes[0].addr).unwrap();
+        (fabric, handle, conn)
+    }
+
+    #[test]
+    fn hello_reports_devices() {
+        let (_f, handle, mut conn) = launch_one_node();
+        let (reply, _) = call(&mut conn, 1, ApiCall::Hello { client: "t".into() });
+        match reply {
+            ApiReply::NodeInfo { devices } => {
+                assert_eq!(devices.len(), 1);
+                assert_eq!(devices[0].kind, haocl_proto::messages::DeviceKind::Gpu);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        handle.stop();
+    }
+
+    #[test]
+    fn full_kernel_flow_over_the_wire() {
+        let (_f, handle, mut conn) = launch_one_node();
+        let buf = BufferId::new(1);
+        let (r, _) = call(
+            &mut conn,
+            1,
+            ApiCall::CreateBuffer {
+                device: 0,
+                buffer: buf,
+                size: 16,
+            },
+        );
+        assert_eq!(r, ApiReply::Ack);
+        let data: Vec<u8> = [1.0f32, 2.0, 3.0, 4.0]
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect();
+        let (r, _) = call(
+            &mut conn,
+            1,
+            ApiCall::WriteBuffer {
+                device: 0,
+                buffer: buf,
+                offset: 0,
+                data: Bytes::from(data),
+            },
+        );
+        assert_eq!(r, ApiReply::Ack);
+        let (r, _) = call(
+            &mut conn,
+            1,
+            ApiCall::BuildProgram {
+                device: 0,
+                program: ProgramId::new(1),
+                source: "__kernel void dbl(__global float* a) { int i = get_global_id(0); a[i] = a[i] * 2.0f; }"
+                    .into(),
+            },
+        );
+        assert!(matches!(r, ApiReply::BuildLog { ok: true, .. }));
+        let (r, _) = call(
+            &mut conn,
+            1,
+            ApiCall::CreateKernel {
+                device: 0,
+                kernel: KernelId::new(1),
+                program: ProgramId::new(1),
+                name: "dbl".into(),
+            },
+        );
+        assert_eq!(r, ApiReply::KernelInfo { arity: 1 });
+        let (r, t) = call(
+            &mut conn,
+            1,
+            ApiCall::LaunchKernel {
+                device: 0,
+                kernel: KernelId::new(1),
+                args: vec![WireArg::Buffer(buf)],
+                range: WireNdRange {
+                    work_dim: 1,
+                    global: [4, 1, 1],
+                    local: [2, 1, 1],
+                },
+                cost: WireCost {
+                    flops: 4.0,
+                    bytes_read: 16.0,
+                    bytes_written: 16.0,
+                    uniform: true,
+                    streaming: false,
+                },
+                fidelity: Fidelity::Full,
+                shared: false,
+            },
+        );
+        assert!(matches!(r, ApiReply::LaunchDone { .. }));
+        assert!(t > SimTime::ZERO);
+        let (r, _) = call(
+            &mut conn,
+            1,
+            ApiCall::ReadBuffer {
+                device: 0,
+                buffer: buf,
+                offset: 0,
+                len: 16,
+            },
+        );
+        match r {
+            ApiReply::Data { bytes } => {
+                let vals: Vec<f32> = bytes
+                    .chunks_exact(4)
+                    .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                    .collect();
+                assert_eq!(vals, vec![2.0, 4.0, 6.0, 8.0]);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        // Profile now shows the launch.
+        let (r, _) = call(&mut conn, 1, ApiCall::QueryProfile);
+        match r {
+            ApiReply::Profile { entries } => {
+                assert_eq!(entries.len(), 1);
+                assert_eq!(entries[0].kernel, "dbl");
+                assert_eq!(entries[0].runs, 1);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        handle.stop();
+    }
+
+    #[test]
+    fn build_failure_returns_log() {
+        let (_f, handle, mut conn) = launch_one_node();
+        let (r, _) = call(
+            &mut conn,
+            1,
+            ApiCall::BuildProgram {
+                device: 0,
+                program: ProgramId::new(1),
+                source: "__kernel void broken( {".into(),
+            },
+        );
+        match r {
+            ApiReply::BuildLog { ok, log } => {
+                assert!(!ok);
+                assert!(log.contains("error"));
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        handle.stop();
+    }
+
+    #[test]
+    fn fpga_rejects_source_build_but_loads_bitstreams() {
+        let fabric = Fabric::new(Clock::new(), LinkModel::gigabit_ethernet());
+        let config = ClusterConfig::fpga_cluster(1);
+        let registry = KernelRegistry::new();
+        registry.register(Arc::new(NopKernel));
+        let handle = NmpHandle::spawn(&fabric, &config.nodes[0], registry).unwrap();
+        let mut conn = fabric.connect("10.0.0.1", &config.nodes[0].addr).unwrap();
+        let (r, _) = call(
+            &mut conn,
+            1,
+            ApiCall::BuildProgram {
+                device: 0,
+                program: ProgramId::new(1),
+                source: "__kernel void f() {}".into(),
+            },
+        );
+        assert!(
+            matches!(r, ApiReply::Error { code, .. } if code == status::INVALID_OPERATION)
+        );
+        let (r, _) = call(
+            &mut conn,
+            1,
+            ApiCall::LoadBitstream {
+                device: 0,
+                program: ProgramId::new(2),
+                kernels: vec!["nop".into()],
+            },
+        );
+        assert!(matches!(r, ApiReply::BuildLog { ok: true, .. }));
+        let (r, _) = call(
+            &mut conn,
+            1,
+            ApiCall::LoadBitstream {
+                device: 0,
+                program: ProgramId::new(3),
+                kernels: vec!["missing".into()],
+            },
+        );
+        assert!(matches!(r, ApiReply::BuildLog { ok: false, .. }));
+        handle.stop();
+    }
+
+    struct NopKernel;
+
+    impl haocl_kernel::NativeKernel for NopKernel {
+        fn name(&self) -> &str {
+            "nop"
+        }
+
+        fn arity(&self) -> usize {
+            0
+        }
+
+        fn execute(
+            &self,
+            _args: &[haocl_kernel::ArgValue],
+            _buffers: &mut [haocl_kernel::GlobalBuffer],
+            _range: &NdRange,
+        ) -> Result<haocl_kernel::ExecStats, haocl_kernel::ExecError> {
+            Ok(haocl_kernel::ExecStats::default())
+        }
+    }
+
+    #[test]
+    fn unknown_objects_yield_opencl_codes() {
+        let (_f, handle, mut conn) = launch_one_node();
+        let (r, _) = call(
+            &mut conn,
+            1,
+            ApiCall::ReleaseBuffer {
+                device: 0,
+                buffer: BufferId::new(42),
+            },
+        );
+        assert!(matches!(r, ApiReply::Error { code, .. } if code == status::INVALID_MEM_OBJECT));
+        let (r, _) = call(
+            &mut conn,
+            1,
+            ApiCall::CreateKernel {
+                device: 0,
+                kernel: KernelId::new(1),
+                program: ProgramId::new(9),
+                name: "f".into(),
+            },
+        );
+        assert!(matches!(r, ApiReply::Error { code, .. } if code == status::INVALID_PROGRAM));
+        let (r, _) = call(
+            &mut conn,
+            1,
+            ApiCall::CreateBuffer {
+                device: 7,
+                buffer: BufferId::new(1),
+                size: 4,
+            },
+        );
+        assert!(matches!(r, ApiReply::Error { code, .. } if code == status::INVALID_DEVICE));
+        handle.stop();
+    }
+
+    #[test]
+    fn shutdown_message_closes_connection() {
+        let (_f, handle, mut conn) = launch_one_node();
+        let (r, _) = call(&mut conn, 1, ApiCall::Shutdown);
+        assert_eq!(r, ApiReply::Ack);
+        handle.stop();
+    }
+
+    #[test]
+    fn two_connections_share_node_state() {
+        let (f, handle, mut conn1) = launch_one_node();
+        let mut conn2 = f.connect("10.0.0.9", handle.addr()).unwrap();
+        let (r, _) = call(
+            &mut conn1,
+            1,
+            ApiCall::CreateBuffer {
+                device: 0,
+                buffer: BufferId::new(5),
+                size: 64,
+            },
+        );
+        assert_eq!(r, ApiReply::Ack);
+        // Second user sees the same buffer (duplicate creation fails).
+        let (r, _) = call(
+            &mut conn2,
+            2,
+            ApiCall::CreateBuffer {
+                device: 0,
+                buffer: BufferId::new(5),
+                size: 64,
+            },
+        );
+        assert!(matches!(r, ApiReply::Error { code, .. } if code == status::INVALID_VALUE));
+        handle.stop();
+    }
+}

@@ -1,0 +1,154 @@
+//! Multi-user session bookkeeping.
+//!
+//! The paper motivates HaoCL with "large-scale cloud systems that need to
+//! serve massive requests from many users simultaneously" (§I) and has
+//! the NMP receive commands "along with additional information such as
+//! user ID, device ID, shared flag" (§III-D). [`SessionManager`]
+//! allocates user ids on the host and tracks per-session activity.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use haocl_proto::ids::{IdAllocator, UserId};
+
+/// Statistics for one session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// API calls issued.
+    pub calls: u64,
+    /// Kernel launches issued.
+    pub launches: u64,
+}
+
+#[derive(Debug)]
+struct SessionInfo {
+    name: String,
+    stats: SessionStats,
+}
+
+/// Allocates user ids and tracks per-session activity on the host.
+///
+/// # Examples
+///
+/// ```
+/// use haocl_cluster::SessionManager;
+///
+/// let sessions = SessionManager::new();
+/// let alice = sessions.open("alice");
+/// let bob = sessions.open("bob");
+/// assert_ne!(alice, bob);
+/// sessions.note_launch(alice);
+/// assert_eq!(sessions.stats(alice).unwrap().launches, 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct SessionManager {
+    ids: IdAllocator,
+    sessions: Mutex<HashMap<UserId, SessionInfo>>,
+}
+
+impl SessionManager {
+    /// Creates an empty manager.
+    pub fn new() -> Self {
+        SessionManager::default()
+    }
+
+    /// Opens a session for a named user, returning its id.
+    pub fn open(&self, name: impl Into<String>) -> UserId {
+        let user = UserId::new(self.ids.next() as u32);
+        self.sessions.lock().insert(
+            user,
+            SessionInfo {
+                name: name.into(),
+                stats: SessionStats::default(),
+            },
+        );
+        user
+    }
+
+    /// Closes a session, returning its final stats.
+    pub fn close(&self, user: UserId) -> Option<SessionStats> {
+        self.sessions.lock().remove(&user).map(|s| s.stats)
+    }
+
+    /// Records one forwarded API call for `user`.
+    pub fn note_call(&self, user: UserId) {
+        if let Some(s) = self.sessions.lock().get_mut(&user) {
+            s.stats.calls += 1;
+        }
+    }
+
+    /// Records one kernel launch for `user`.
+    pub fn note_launch(&self, user: UserId) {
+        if let Some(s) = self.sessions.lock().get_mut(&user) {
+            s.stats.calls += 1;
+            s.stats.launches += 1;
+        }
+    }
+
+    /// The stats of an open session.
+    pub fn stats(&self, user: UserId) -> Option<SessionStats> {
+        self.sessions.lock().get(&user).map(|s| s.stats)
+    }
+
+    /// The display name of an open session.
+    pub fn name(&self, user: UserId) -> Option<String> {
+        self.sessions.lock().get(&user).map(|s| s.name.clone())
+    }
+
+    /// Number of open sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.lock().len()
+    }
+
+    /// Whether no sessions are open.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sessions_are_distinct_and_tracked() {
+        let m = SessionManager::new();
+        let a = m.open("a");
+        let b = m.open("b");
+        assert_ne!(a, b);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.name(a).unwrap(), "a");
+        m.note_call(a);
+        m.note_launch(a);
+        assert_eq!(
+            m.stats(a).unwrap(),
+            SessionStats {
+                calls: 2,
+                launches: 1
+            }
+        );
+        assert_eq!(m.stats(b).unwrap(), SessionStats::default());
+    }
+
+    #[test]
+    fn close_returns_final_stats() {
+        let m = SessionManager::new();
+        let a = m.open("a");
+        m.note_launch(a);
+        let stats = m.close(a).unwrap();
+        assert_eq!(stats.launches, 1);
+        assert!(m.stats(a).is_none());
+        assert!(m.close(a).is_none());
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn notes_on_closed_sessions_are_ignored() {
+        let m = SessionManager::new();
+        let a = m.open("a");
+        m.close(a);
+        m.note_call(a); // must not panic or resurrect
+        assert!(m.stats(a).is_none());
+    }
+}

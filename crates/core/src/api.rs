@@ -1,0 +1,223 @@
+//! OpenCL-style free functions.
+//!
+//! The paper's wrapper lib "adopts identical names as standard OpenCL
+//! APIs to maintain good usability and portability" (§III-B). These free
+//! functions are the Rust-idiom spellings of the `cl*` entry points, so a
+//! host program ports mechanically:
+//!
+//! | OpenCL C                   | HaoCL                              |
+//! |----------------------------|------------------------------------|
+//! | `clGetDeviceIDs`           | [`get_device_ids`]                 |
+//! | `clCreateContext`          | [`create_context`]                 |
+//! | `clCreateCommandQueue`     | [`create_command_queue`]           |
+//! | `clCreateBuffer`           | [`create_buffer`]                  |
+//! | `clCreateProgramWithSource`| [`create_program_with_source`]     |
+//! | `clBuildProgram`           | [`build_program`]                  |
+//! | `clCreateKernel`           | [`create_kernel`]                  |
+//! | `clSetKernelArg`           | [`set_kernel_arg`]                 |
+//! | `clEnqueueWriteBuffer`     | [`enqueue_write_buffer`]           |
+//! | `clEnqueueNDRangeKernel`   | [`enqueue_nd_range_kernel`]        |
+//! | `clEnqueueReadBuffer`      | [`enqueue_read_buffer`]            |
+//! | `clFinish`                 | [`finish`]                         |
+//!
+//! Object lifetimes replace `clRetain*`/`clRelease*`: every handle is
+//! reference-counted and frees itself on drop.
+
+use haocl_kernel::NdRange;
+
+use crate::buffer::{Buffer, MemFlags};
+use crate::context::Context;
+use crate::error::Error;
+use crate::event::Event;
+use crate::kernel::Kernel;
+use crate::platform::{Device, DeviceType, Platform};
+use crate::program::Program;
+use crate::queue::CommandQueue;
+
+/// A `clSetKernelArg` payload.
+#[derive(Debug, Clone)]
+pub enum KernelArg<'a> {
+    /// A buffer object (`cl_mem`).
+    Buffer(&'a Buffer),
+    /// A `float` scalar.
+    F32(f32),
+    /// A `double` scalar.
+    F64(f64),
+    /// An `int` scalar.
+    I32(i32),
+    /// A `uint` scalar.
+    U32(u32),
+    /// A `long` scalar.
+    I64(i64),
+    /// A `ulong` scalar.
+    U64(u64),
+    /// A dynamically-sized `__local` allocation.
+    LocalBytes(u64),
+}
+
+/// `clGetDeviceIDs`: the platform's devices passing `filter`.
+pub fn get_device_ids(platform: &Platform, filter: DeviceType) -> Vec<Device> {
+    platform.devices(filter)
+}
+
+/// `clCreateContext`.
+///
+/// # Errors
+///
+/// See [`Context::new`].
+pub fn create_context(platform: &Platform, devices: &[Device]) -> Result<Context, Error> {
+    Context::new(platform, devices)
+}
+
+/// `clCreateCommandQueue`.
+///
+/// # Errors
+///
+/// See [`CommandQueue::new`].
+pub fn create_command_queue(context: &Context, device: &Device) -> Result<CommandQueue, Error> {
+    CommandQueue::new(context, device)
+}
+
+/// `clCreateBuffer`.
+///
+/// # Errors
+///
+/// See [`Buffer::new`].
+pub fn create_buffer(context: &Context, flags: MemFlags, size: u64) -> Result<Buffer, Error> {
+    Buffer::new(context, flags, size)
+}
+
+/// `clCreateProgramWithSource`.
+pub fn create_program_with_source(context: &Context, source: &str) -> Program {
+    Program::from_source(context, source)
+}
+
+/// `clBuildProgram`.
+///
+/// # Errors
+///
+/// See [`Program::build`].
+pub fn build_program(program: &Program) -> Result<(), Error> {
+    program.build()
+}
+
+/// `clCreateKernel`.
+///
+/// # Errors
+///
+/// See [`Kernel::new`].
+pub fn create_kernel(program: &Program, name: &str) -> Result<Kernel, Error> {
+    Kernel::new(program, name)
+}
+
+/// `clSetKernelArg`.
+///
+/// # Errors
+///
+/// See the typed setters on [`Kernel`].
+pub fn set_kernel_arg(kernel: &Kernel, index: u32, arg: KernelArg<'_>) -> Result<(), Error> {
+    match arg {
+        KernelArg::Buffer(b) => kernel.set_arg_buffer(index, b),
+        KernelArg::F32(v) => kernel.set_arg_f32(index, v),
+        KernelArg::F64(v) => kernel.set_arg_f64(index, v),
+        KernelArg::I32(v) => kernel.set_arg_i32(index, v),
+        KernelArg::U32(v) => kernel.set_arg_u32(index, v),
+        KernelArg::I64(v) => kernel.set_arg_i64(index, v),
+        KernelArg::U64(v) => kernel.set_arg_u64(index, v),
+        KernelArg::LocalBytes(b) => kernel.set_arg_local(index, b),
+    }
+}
+
+/// `clEnqueueWriteBuffer` (always blocking; host semantics are
+/// synchronous).
+///
+/// # Errors
+///
+/// See [`CommandQueue::enqueue_write_buffer`].
+pub fn enqueue_write_buffer(
+    queue: &CommandQueue,
+    buffer: &Buffer,
+    offset: u64,
+    data: &[u8],
+) -> Result<Event, Error> {
+    queue.enqueue_write_buffer(buffer, offset, data)
+}
+
+/// `clEnqueueReadBuffer` (always blocking).
+///
+/// # Errors
+///
+/// See [`CommandQueue::enqueue_read_buffer`].
+pub fn enqueue_read_buffer(
+    queue: &CommandQueue,
+    buffer: &Buffer,
+    offset: u64,
+    out: &mut [u8],
+) -> Result<Event, Error> {
+    queue.enqueue_read_buffer(buffer, offset, out)
+}
+
+/// `clEnqueueNDRangeKernel`.
+///
+/// # Errors
+///
+/// See [`CommandQueue::enqueue_nd_range_kernel`].
+pub fn enqueue_nd_range_kernel(
+    queue: &CommandQueue,
+    kernel: &Kernel,
+    range: NdRange,
+) -> Result<Event, Error> {
+    queue.enqueue_nd_range_kernel(kernel, range)
+}
+
+/// `clFinish`.
+pub fn finish(queue: &CommandQueue) -> haocl_sim::SimTime {
+    queue.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haocl_proto::messages::DeviceKind;
+
+    #[test]
+    fn ported_opencl_host_program_runs_unchanged() {
+        // The canonical OpenCL "saxpy" host program, call for call.
+        let platform = Platform::local(&[DeviceKind::Gpu]).unwrap();
+        let devices = get_device_ids(&platform, DeviceType::Gpu);
+        let context = create_context(&platform, &devices).unwrap();
+        let queue = create_command_queue(&context, &devices[0]).unwrap();
+        let program = create_program_with_source(
+            &context,
+            "__kernel void saxpy(float a, __global const float* x, __global float* y) {
+                int i = get_global_id(0);
+                y[i] = a * x[i] + y[i];
+            }",
+        );
+        build_program(&program).unwrap();
+        let kernel = create_kernel(&program, "saxpy").unwrap();
+
+        let n = 8usize;
+        let xs: Vec<u8> = (0..n).flat_map(|i| (i as f32).to_le_bytes()).collect();
+        let ys: Vec<u8> = (0..n).flat_map(|_| 1.0f32.to_le_bytes()).collect();
+        let x = create_buffer(&context, MemFlags::READ_ONLY, (n * 4) as u64).unwrap();
+        let y = create_buffer(&context, MemFlags::READ_WRITE, (n * 4) as u64).unwrap();
+        enqueue_write_buffer(&queue, &x, 0, &xs).unwrap();
+        enqueue_write_buffer(&queue, &y, 0, &ys).unwrap();
+
+        set_kernel_arg(&kernel, 0, KernelArg::F32(2.0)).unwrap();
+        set_kernel_arg(&kernel, 1, KernelArg::Buffer(&x)).unwrap();
+        set_kernel_arg(&kernel, 2, KernelArg::Buffer(&y)).unwrap();
+        enqueue_nd_range_kernel(&queue, &kernel, NdRange::linear(n as u64, 4)).unwrap();
+
+        let mut out = vec![0u8; n * 4];
+        enqueue_read_buffer(&queue, &y, 0, &mut out).unwrap();
+        finish(&queue);
+        let vals: Vec<f32> = out
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let expect: Vec<f32> = (0..n).map(|i| 2.0 * i as f32 + 1.0).collect();
+        assert_eq!(vals, expect);
+    }
+}

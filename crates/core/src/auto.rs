@@ -1,0 +1,220 @@
+//! The extendable task scheduling component (§III-B).
+//!
+//! Instead of enqueueing on an explicit per-device queue (user-directed
+//! placement), an [`AutoScheduler`] routes each launch through a
+//! pluggable [`SchedulingPolicy`] — the paper's upgrade path to automatic
+//! heterogeneity-aware scheduling, fed by the runtime profile of every
+//! completed launch.
+
+use parking_lot::Mutex;
+
+use haocl_kernel::NdRange;
+use haocl_sched::{DeviceView, Scheduler, SchedulingPolicy, TaskSpec};
+use haocl_sim::SimTime;
+
+use crate::context::Context;
+use crate::error::{Error, Status};
+use crate::event::Event;
+use crate::kernel::Kernel;
+use crate::queue::CommandQueue;
+
+/// Scheduler-routed kernel launching over a context's devices.
+pub struct AutoScheduler {
+    context: Context,
+    queues: Vec<CommandQueue>,
+    scheduler: Scheduler,
+    /// Host-side view of when each device's queue drains.
+    busy_until: Mutex<Vec<SimTime>>,
+}
+
+impl AutoScheduler {
+    /// Creates the component over all of `context`'s devices, driven by
+    /// `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates queue-creation failures.
+    pub fn new(context: &Context, policy: Box<dyn SchedulingPolicy>) -> Result<Self, Error> {
+        let queues = context
+            .devices()
+            .iter()
+            .map(|d| CommandQueue::new(context, d))
+            .collect::<Result<Vec<_>, _>>()?;
+        let n = queues.len();
+        Ok(AutoScheduler {
+            context: context.clone(),
+            queues,
+            scheduler: Scheduler::new(policy),
+            busy_until: Mutex::new(vec![SimTime::ZERO; n]),
+        })
+    }
+
+    /// The active policy's name.
+    pub fn policy_name(&self) -> &str {
+        self.scheduler.policy_name()
+    }
+
+    /// Swaps the placement policy, keeping accumulated profiles.
+    pub fn set_policy(&mut self, policy: Box<dyn SchedulingPolicy>) {
+        self.scheduler.set_policy(policy);
+    }
+
+    /// The per-device queues, in context device order (for explicit
+    /// placement when mixing modes).
+    pub fn queues(&self) -> &[CommandQueue] {
+        &self.queues
+    }
+
+    /// Launches `kernel`, letting the policy choose the device.
+    ///
+    /// FPGA devices are considered only for bitstream programs (§III-D).
+    /// Returns the completion event and the index (within the context's
+    /// device list) of the chosen device.
+    ///
+    /// # Errors
+    ///
+    /// [`Status::InvalidOperation`] when no device is eligible; launch
+    /// failures from the chosen queue otherwise.
+    pub fn launch(&self, kernel: &Kernel, range: NdRange) -> Result<(Event, usize), Error> {
+        let task = TaskSpec::new(kernel.name())
+            .cost(kernel.cost())
+            .fpga_eligible(kernel.program().is_bitstream());
+        let views: Vec<DeviceView> = {
+            let busy = self.busy_until.lock();
+            self.context
+                .devices()
+                .iter()
+                .zip(busy.iter())
+                .map(|(d, &until)| {
+                    DeviceView::from_descriptor(d.node(), &d.info.descriptor)
+                        .loaded(until, u32::from(until > SimTime::ZERO))
+                })
+                .collect()
+        };
+        let choice = self
+            .scheduler
+            .place(&task, &views)
+            .map_err(|e| Error::api(Status::InvalidOperation, e.to_string()))?;
+        let event = self.queues[choice].enqueue_nd_range_kernel(kernel, range)?;
+        {
+            let mut busy = self.busy_until.lock();
+            busy[choice] = busy[choice].max(event.finished_at());
+        }
+        self.scheduler.profile().record(
+            kernel.name(),
+            self.context.devices()[choice].kind(),
+            event.duration(),
+        );
+        Ok((event, choice))
+    }
+}
+
+impl std::fmt::Debug for AutoScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "AutoScheduler({}, {} devices)",
+            self.policy_name(),
+            self.queues.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::{Buffer, MemFlags};
+    use crate::platform::{DeviceType, Platform};
+    use crate::program::Program;
+    use haocl_kernel::CostModel;
+    use haocl_proto::messages::DeviceKind;
+    use haocl_sched::policies;
+
+    fn setup(kinds: &[DeviceKind]) -> (Platform, Context) {
+        let p = Platform::local(kinds).unwrap();
+        let ctx = Context::new(&p, &p.devices(DeviceType::All)).unwrap();
+        (p, ctx)
+    }
+
+    #[test]
+    fn round_robin_spreads_launches() {
+        let (_p, ctx) = setup(&[DeviceKind::Gpu, DeviceKind::Gpu]);
+        let auto = AutoScheduler::new(&ctx, Box::new(policies::RoundRobin::new())).unwrap();
+        let prog = Program::from_source(
+            &ctx,
+            "__kernel void f(__global int* a) { a[get_global_id(0)] = 1; }",
+        );
+        prog.build().unwrap();
+        let k = Kernel::new(&prog, "f").unwrap();
+        let buf = Buffer::new(&ctx, MemFlags::READ_WRITE, 16).unwrap();
+        k.set_arg_buffer(0, &buf).unwrap();
+        let mut picks = Vec::new();
+        for _ in 0..4 {
+            let (_, dev) = auto.launch(&k, NdRange::linear(4, 1)).unwrap();
+            picks.push(dev);
+        }
+        assert_eq!(picks, vec![0, 1, 0, 1]);
+    }
+
+    struct FillOnes;
+
+    impl haocl_kernel::NativeKernel for FillOnes {
+        fn name(&self) -> &str {
+            "fill_ones"
+        }
+
+        fn arity(&self) -> usize {
+            1
+        }
+
+        fn execute(
+            &self,
+            _args: &[haocl_kernel::ArgValue],
+            buffers: &mut [haocl_kernel::GlobalBuffer],
+            range: &NdRange,
+        ) -> Result<haocl_kernel::ExecStats, haocl_kernel::ExecError> {
+            let n = (range.total_items() as usize).min(buffers[0].len() / 4);
+            let ones = vec![1i32; n];
+            let bytes: Vec<u8> = ones.iter().flat_map(|v| v.to_le_bytes()).collect();
+            buffers[0].as_bytes_mut()[..bytes.len()].copy_from_slice(&bytes);
+            Ok(haocl_kernel::ExecStats::default())
+        }
+    }
+
+    #[test]
+    fn bitstream_programs_route_streaming_work_to_the_fpga() {
+        let registry = haocl_kernel::KernelRegistry::new();
+        registry.register(std::sync::Arc::new(FillOnes));
+        let p =
+            Platform::local_with_registry(&[DeviceKind::Fpga, DeviceKind::Gpu], registry)
+                .unwrap();
+        let ctx = Context::new(&p, &p.devices(DeviceType::All)).unwrap();
+        let auto = AutoScheduler::new(&ctx, Box::new(policies::HeteroAware::new())).unwrap();
+        let prog = Program::with_bitstream_kernels(&ctx, ["fill_ones"]);
+        prog.build().unwrap();
+        let k = Kernel::new(&prog, "fill_ones").unwrap();
+        let buf = Buffer::new(&ctx, MemFlags::READ_WRITE, 16).unwrap();
+        k.set_arg_buffer(0, &buf).unwrap();
+        k.set_cost(CostModel::new().flops(1e10).bytes_read(1e6).streaming());
+        let (_, dev) = auto.launch(&k, NdRange::linear(4, 1)).unwrap();
+        assert_eq!(ctx.devices()[dev].kind(), DeviceKind::Fpga);
+    }
+
+    #[test]
+    fn profile_feeds_back_into_placement() {
+        let (_p, ctx) = setup(&[DeviceKind::Cpu, DeviceKind::Gpu]);
+        let auto = AutoScheduler::new(&ctx, Box::new(policies::HeteroAware::new())).unwrap();
+        let prog = Program::from_source(
+            &ctx,
+            "__kernel void f(__global int* a) { a[get_global_id(0)] = 1; }",
+        );
+        prog.build().unwrap();
+        let k = Kernel::new(&prog, "f").unwrap();
+        let buf = Buffer::new(&ctx, MemFlags::READ_WRITE, 16).unwrap();
+        k.set_arg_buffer(0, &buf).unwrap();
+        k.set_cost(CostModel::new().flops(1e9));
+        let (_, first) = auto.launch(&k, NdRange::linear(4, 1)).unwrap();
+        // Dense uniform work goes to the GPU (device index 1).
+        assert_eq!(first, 1);
+    }
+}

@@ -1,0 +1,615 @@
+//! `cl_mem` buffers with host-mediated coherence.
+//!
+//! A HaoCL buffer keeps a *host shadow copy* plus replicas on whichever
+//! device nodes have used it. Coherence is single-writer: a kernel launch
+//! makes the launching device the sole up-to-date copy; the shadow is
+//! refreshed by pulling the whole buffer back over the backbone before
+//! any other consumer sees it. All transfers are host-mediated, exactly
+//! as in the paper — the host node "is responsible for the message
+//! packaging and message delivering across the entire cluster" (§III-A).
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use haocl_proto::ids::BufferId;
+use haocl_proto::messages::{ApiCall, ApiReply};
+use haocl_sim::Phase;
+
+use crate::context::Context;
+use crate::error::{Error, Status};
+use crate::platform::{Device, PlatformInner};
+
+/// Buffer access flags (`CL_MEM_*`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemFlags(u32);
+
+impl MemFlags {
+    /// Kernels may read and write (`CL_MEM_READ_WRITE`).
+    pub const READ_WRITE: MemFlags = MemFlags(1);
+    /// Kernels only read (`CL_MEM_READ_ONLY`) — replicas stay valid
+    /// across launches, saving re-transfers.
+    pub const READ_ONLY: MemFlags = MemFlags(4);
+    /// Kernels only write (`CL_MEM_WRITE_ONLY`).
+    pub const WRITE_ONLY: MemFlags = MemFlags(2);
+
+    /// Whether kernels may write through this buffer.
+    pub fn kernel_writable(self) -> bool {
+        self != MemFlags::READ_ONLY
+    }
+}
+
+#[derive(Debug)]
+struct BufState {
+    /// Host copy of the buffer contents (empty for modeled buffers).
+    shadow: Vec<u8>,
+    /// Devices (global indices) holding an allocation.
+    allocated: HashSet<usize>,
+    /// Devices whose copy matches the newest contents.
+    current: HashSet<usize>,
+    /// Whether the shadow matches the newest contents.
+    shadow_current: bool,
+}
+
+pub(crate) struct BufferInner {
+    platform: Arc<PlatformInner>,
+    pub(crate) id: BufferId,
+    size: u64,
+    flags: MemFlags,
+    /// Modeled buffers carry no bytes anywhere: transfers and launches
+    /// charge virtual time only (paper-scale benchmarking).
+    modeled: bool,
+    state: Mutex<BufState>,
+}
+
+/// An OpenCL buffer object.
+#[derive(Clone)]
+pub struct Buffer {
+    pub(crate) inner: Arc<BufferInner>,
+}
+
+impl Buffer {
+    /// Creates a buffer of `size` bytes in `context` (`clCreateBuffer`).
+    ///
+    /// The host shadow is zero-filled; device allocations happen lazily
+    /// on first use. Creation charges the `DataCreate` phase.
+    ///
+    /// # Errors
+    ///
+    /// [`Status::InvalidBufferSize`] for a zero-sized buffer.
+    pub fn new(context: &Context, flags: MemFlags, size: u64) -> Result<Self, Error> {
+        Self::with_mode(context, flags, size, false)
+    }
+
+    /// Creates a *modeled* buffer: no bytes are materialized on the host
+    /// or any device; transfers and launches charge virtual time only.
+    ///
+    /// Use together with [`crate::Fidelity::Modeled`] launches and the
+    /// `enqueue_*_buffer_modeled` queue operations for paper-scale
+    /// benchmarking.
+    ///
+    /// # Errors
+    ///
+    /// [`Status::InvalidBufferSize`] for a zero-sized buffer.
+    pub fn new_modeled(context: &Context, flags: MemFlags, size: u64) -> Result<Self, Error> {
+        Self::with_mode(context, flags, size, true)
+    }
+
+    fn with_mode(
+        context: &Context,
+        flags: MemFlags,
+        size: u64,
+        modeled: bool,
+    ) -> Result<Self, Error> {
+        if size == 0 {
+            return Err(Error::api(
+                Status::InvalidBufferSize,
+                "buffer size must be nonzero",
+            ));
+        }
+        let platform = Arc::clone(&context.platform);
+        let id = BufferId::new(platform.ids.next());
+        Ok(Buffer {
+            inner: Arc::new(BufferInner {
+                platform,
+                id,
+                size,
+                flags,
+                modeled,
+                state: Mutex::new(BufState {
+                    shadow: if modeled { Vec::new() } else { vec![0; size as usize] },
+                    allocated: HashSet::new(),
+                    current: HashSet::new(),
+                    shadow_current: true,
+                }),
+            }),
+        })
+    }
+
+    /// Whether this is a modeled (timing-only) buffer.
+    pub fn is_modeled(&self) -> bool {
+        self.inner.modeled
+    }
+
+    /// Buffer size in bytes.
+    pub fn size(&self) -> u64 {
+        self.inner.size
+    }
+
+    /// The access flags.
+    pub fn flags(&self) -> MemFlags {
+        self.inner.flags
+    }
+
+    /// The cluster-unique buffer handle.
+    pub fn id(&self) -> BufferId {
+        self.inner.id
+    }
+}
+
+impl std::fmt::Debug for Buffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Buffer({}, {} bytes)", self.inner.id, self.inner.size)
+    }
+}
+
+impl Drop for BufferInner {
+    /// `clReleaseMemObject`: frees the device-side allocations when the
+    /// last handle drops. Best-effort — nodes that already went away are
+    /// ignored (destructors never fail).
+    fn drop(&mut self) {
+        let st = self.state.get_mut();
+        for &dev in &st.allocated {
+            if let Some(info) = self.platform.host().devices().get(dev) {
+                let _ = self.platform.host().call(
+                    info.node,
+                    ApiCall::ReleaseBuffer {
+                        device: info.device,
+                        buffer: self.id,
+                    },
+                );
+            }
+        }
+    }
+}
+
+impl BufferInner {
+    /// Makes `device` hold the newest contents (allocating and
+    /// transferring as needed). Used before reads by kernels.
+    pub(crate) fn make_current_on(&self, device: &Device) -> Result<(), Error> {
+        let mut st = self.state.lock();
+        if st.current.contains(&device.index) {
+            return Ok(());
+        }
+        self.refresh_shadow_locked(&mut st)?;
+        self.allocate_locked(&mut st, device)?;
+        let call = if self.modeled {
+            ApiCall::WriteBufferModeled {
+                device: device.device_index(),
+                buffer: self.id,
+                offset: 0,
+                len: self.size,
+            }
+        } else {
+            ApiCall::WriteBuffer {
+                device: device.device_index(),
+                buffer: self.id,
+                offset: 0,
+                data: Bytes::copy_from_slice(&st.shadow),
+            }
+        };
+        self.platform
+            .call_traced(device.node(), call, Phase::DataTransfer)?;
+        st.current.insert(device.index);
+        Ok(())
+    }
+
+    /// Records that a kernel on `device` may have written the buffer.
+    pub(crate) fn note_kernel_write(&self, device: &Device) {
+        if !self.flags.kernel_writable() {
+            return;
+        }
+        let mut st = self.state.lock();
+        st.current.clear();
+        st.current.insert(device.index);
+        st.shadow_current = false;
+    }
+
+    /// Host write (`clEnqueueWriteBuffer`): updates the shadow and pushes
+    /// the change to `device`.
+    pub(crate) fn host_write(
+        &self,
+        device: &Device,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<(), Error> {
+        if self.modeled {
+            return Err(Error::api(
+                Status::InvalidOperation,
+                "buffer is modeled; use enqueue_write_buffer_modeled",
+            ));
+        }
+        let end = offset
+            .checked_add(data.len() as u64)
+            .filter(|&e| e <= self.size)
+            .ok_or_else(|| {
+                Error::api(
+                    Status::InvalidValue,
+                    format!(
+                        "write [{offset}, {offset}+{}) outside buffer of {} bytes",
+                        data.len(),
+                        self.size
+                    ),
+                )
+            })?;
+        let mut st = self.state.lock();
+        self.refresh_shadow_locked(&mut st)?;
+        st.shadow[offset as usize..end as usize].copy_from_slice(data);
+        st.shadow_current = true;
+        self.allocate_locked(&mut st, device)?;
+        // If the device already had the newest pre-write contents, a
+        // partial push keeps it equal; otherwise push the whole shadow.
+        let was_current = st.current.contains(&device.index);
+        let (push_offset, payload) = if was_current {
+            (offset, Bytes::copy_from_slice(data))
+        } else {
+            (0, Bytes::copy_from_slice(&st.shadow))
+        };
+        self.platform.call_traced(
+            device.node(),
+            ApiCall::WriteBuffer {
+                device: device.device_index(),
+                buffer: self.id,
+                offset: push_offset,
+                data: payload,
+            },
+            Phase::DataTransfer,
+        )?;
+        st.current.clear();
+        st.current.insert(device.index);
+        Ok(())
+    }
+
+    /// Host read (`clEnqueueReadBuffer`): pulls from the owning device if
+    /// the shadow is stale, then copies out.
+    pub(crate) fn host_read(&self, offset: u64, out: &mut [u8]) -> Result<(), Error> {
+        if self.modeled {
+            return Err(Error::api(
+                Status::InvalidOperation,
+                "buffer is modeled; use enqueue_read_buffer_modeled",
+            ));
+        }
+        let end = offset
+            .checked_add(out.len() as u64)
+            .filter(|&e| e <= self.size)
+            .ok_or_else(|| {
+                Error::api(
+                    Status::InvalidValue,
+                    format!(
+                        "read [{offset}, {offset}+{}) outside buffer of {} bytes",
+                        out.len(),
+                        self.size
+                    ),
+                )
+            })?;
+        let mut st = self.state.lock();
+        if st.shadow_current {
+            out.copy_from_slice(&st.shadow[offset as usize..end as usize]);
+            return Ok(());
+        }
+        // Ranged pull from the owning device: only the requested bytes
+        // cross the backbone (real OpenCL reads are ranged). The shadow
+        // range is refreshed opportunistically but stays stale overall.
+        let owner = self.owner_device(&st)?;
+        let outcome = self.platform.call_traced(
+            owner.node,
+            ApiCall::ReadBuffer {
+                device: owner.device,
+                buffer: self.id,
+                offset,
+                len: out.len() as u64,
+            },
+            Phase::DataTransfer,
+        )?;
+        match outcome.reply {
+            ApiReply::Data { bytes } => {
+                out.copy_from_slice(&bytes);
+                st.shadow[offset as usize..end as usize].copy_from_slice(&bytes);
+                Ok(())
+            }
+            other => Err(Error::Transport(format!(
+                "ReadBuffer answered with {other:?}"
+            ))),
+        }
+    }
+
+    fn owner_device(
+        &self,
+        st: &BufState,
+    ) -> Result<haocl_cluster::RemoteDevice, Error> {
+        let owner = *st
+            .current
+            .iter()
+            .next()
+            .expect("a stale shadow implies a current device");
+        self.platform
+            .host()
+            .devices()
+            .get(owner)
+            .cloned()
+            .ok_or_else(|| Error::Transport(format!("device {owner} vanished")))
+    }
+
+    /// Modeled host write: charges the network + PCIe transfer for `len`
+    /// bytes without carrying data.
+    pub(crate) fn host_write_modeled(
+        &self,
+        device: &Device,
+        offset: u64,
+        len: u64,
+    ) -> Result<(), Error> {
+        if !self.modeled {
+            return Err(Error::api(
+                Status::InvalidOperation,
+                "buffer carries real data; use enqueue_write_buffer",
+            ));
+        }
+        let ok = offset.checked_add(len).is_some_and(|e| e <= self.size);
+        if !ok {
+            return Err(Error::api(
+                Status::InvalidValue,
+                format!(
+                    "write [{offset}, {offset}+{len}) outside buffer of {} bytes",
+                    self.size
+                ),
+            ));
+        }
+        let mut st = self.state.lock();
+        self.allocate_locked(&mut st, device)?;
+        let was_current = st.current.contains(&device.index);
+        let (push_offset, push_len) = if was_current || st.allocated.len() == 1 {
+            (offset, len)
+        } else {
+            (0, self.size)
+        };
+        self.platform.call_traced(
+            device.node(),
+            ApiCall::WriteBufferModeled {
+                device: device.device_index(),
+                buffer: self.id,
+                offset: push_offset,
+                len: push_len,
+            },
+            Phase::DataTransfer,
+        )?;
+        st.shadow_current = true;
+        st.current.clear();
+        st.current.insert(device.index);
+        Ok(())
+    }
+
+    /// Modeled host read: charges the pull from the owning device (if the
+    /// shadow is stale) without carrying data.
+    pub(crate) fn host_read_modeled(&self, offset: u64, len: u64) -> Result<(), Error> {
+        if !self.modeled {
+            return Err(Error::api(
+                Status::InvalidOperation,
+                "buffer carries real data; use enqueue_read_buffer",
+            ));
+        }
+        let ok = offset.checked_add(len).is_some_and(|e| e <= self.size);
+        if !ok {
+            return Err(Error::api(
+                Status::InvalidValue,
+                format!(
+                    "read [{offset}, {offset}+{len}) outside buffer of {} bytes",
+                    self.size
+                ),
+            ));
+        }
+        let st = self.state.lock();
+        if st.shadow_current {
+            return Ok(());
+        }
+        // Ranged modeled pull from the owning device.
+        let owner = self.owner_device(&st)?;
+        self.platform.call_traced(
+            owner.node,
+            ApiCall::ReadBufferModeled {
+                device: owner.device,
+                buffer: self.id,
+                offset,
+                len,
+            },
+            Phase::DataTransfer,
+        )?;
+        Ok(())
+    }
+
+    /// Whether `device` holds the newest contents (after
+    /// [`BufferInner::make_current_on`] it does). Used by coherence tests.
+    #[cfg(test)]
+    pub(crate) fn is_current_on(&self, device: &Device) -> bool {
+        self.state.lock().current.contains(&device.index)
+    }
+
+    pub(crate) fn note_device_write_full(&self, device: &Device) {
+        let mut st = self.state.lock();
+        st.current.clear();
+        st.current.insert(device.index);
+        st.shadow_current = false;
+    }
+
+    fn allocate_locked(&self, st: &mut BufState, device: &Device) -> Result<(), Error> {
+        if st.allocated.contains(&device.index) {
+            return Ok(());
+        }
+        let call = if self.modeled {
+            ApiCall::CreateBufferModeled {
+                device: device.device_index(),
+                buffer: self.id,
+                size: self.size,
+            }
+        } else {
+            ApiCall::CreateBuffer {
+                device: device.device_index(),
+                buffer: self.id,
+                size: self.size,
+            }
+        };
+        self.platform
+            .call_traced(device.node(), call, Phase::DataCreate)?;
+        st.allocated.insert(device.index);
+        Ok(())
+    }
+
+    /// Pulls the newest contents into the shadow if stale.
+    fn refresh_shadow_locked(&self, st: &mut BufState) -> Result<(), Error> {
+        if st.shadow_current {
+            return Ok(());
+        }
+        let owner = *st
+            .current
+            .iter()
+            .next()
+            .expect("a stale shadow implies a current device");
+        // Find the Device handle for the owner index.
+        let info = self
+            .platform
+            .host()
+            .devices()
+            .get(owner)
+            .cloned()
+            .ok_or_else(|| Error::Transport(format!("device {owner} vanished")))?;
+        let call = if self.modeled {
+            ApiCall::ReadBufferModeled {
+                device: info.device,
+                buffer: self.id,
+                offset: 0,
+                len: self.size,
+            }
+        } else {
+            ApiCall::ReadBuffer {
+                device: info.device,
+                buffer: self.id,
+                offset: 0,
+                len: self.size,
+            }
+        };
+        let outcome = self
+            .platform
+            .call_traced(info.node, call, Phase::DataTransfer)?;
+        match outcome.reply {
+            ApiReply::Data { bytes } => {
+                st.shadow.copy_from_slice(&bytes);
+                st.shadow_current = true;
+                Ok(())
+            }
+            ApiReply::DataModeled { .. } => {
+                st.shadow_current = true;
+                Ok(())
+            }
+            other => Err(Error::Transport(format!(
+                "ReadBuffer answered with {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::{DeviceType, Platform};
+    use haocl_proto::messages::DeviceKind;
+
+    fn setup() -> (Platform, Context) {
+        let p = Platform::local(&[DeviceKind::Gpu, DeviceKind::Gpu]).unwrap();
+        let devs = p.devices(DeviceType::All);
+        let ctx = Context::new(&p, &devs).unwrap();
+        (p, ctx)
+    }
+
+    #[test]
+    fn zero_sized_buffer_rejected() {
+        let (_p, ctx) = setup();
+        let err = Buffer::new(&ctx, MemFlags::READ_WRITE, 0).unwrap_err();
+        assert_eq!(err.status(), Some(Status::InvalidBufferSize));
+    }
+
+    #[test]
+    fn write_then_read_roundtrips_through_a_device() {
+        let (_p, ctx) = setup();
+        let buf = Buffer::new(&ctx, MemFlags::READ_WRITE, 8).unwrap();
+        let dev = &ctx.devices()[0];
+        buf.inner.host_write(dev, 2, &[9, 8, 7]).unwrap();
+        let mut out = vec![0u8; 8];
+        buf.inner.host_read(0, &mut out).unwrap();
+        assert_eq!(out, vec![0, 0, 9, 8, 7, 0, 0, 0]);
+    }
+
+    #[test]
+    fn out_of_bounds_host_ops_rejected() {
+        let (_p, ctx) = setup();
+        let buf = Buffer::new(&ctx, MemFlags::READ_WRITE, 4).unwrap();
+        let dev = &ctx.devices()[0];
+        assert!(buf.inner.host_write(dev, 3, &[1, 2]).is_err());
+        let mut out = vec![0u8; 8];
+        assert!(buf.inner.host_read(0, &mut out).is_err());
+        // Overflowing offset must not wrap.
+        assert!(buf.inner.host_write(dev, u64::MAX, &[1]).is_err());
+    }
+
+    #[test]
+    fn kernel_write_invalidates_other_replicas() {
+        let (_p, ctx) = setup();
+        let buf = Buffer::new(&ctx, MemFlags::READ_WRITE, 4).unwrap();
+        let d0 = &ctx.devices()[0];
+        let d1 = &ctx.devices()[1];
+        buf.inner.make_current_on(d0).unwrap();
+        buf.inner.make_current_on(d1).unwrap();
+        assert!(buf.inner.is_current_on(d0));
+        assert!(buf.inner.is_current_on(d1));
+        buf.inner.note_kernel_write(d0);
+        assert!(buf.inner.is_current_on(d0));
+        assert!(!buf.inner.is_current_on(d1));
+        // Re-making d1 current pulls through the host.
+        buf.inner.make_current_on(d1).unwrap();
+        assert!(buf.inner.is_current_on(d1));
+    }
+
+    #[test]
+    fn read_only_buffers_survive_kernel_launches() {
+        let (_p, ctx) = setup();
+        let buf = Buffer::new(&ctx, MemFlags::READ_ONLY, 4).unwrap();
+        let d0 = &ctx.devices()[0];
+        buf.inner.make_current_on(d0).unwrap();
+        buf.inner.note_kernel_write(d0); // ignored for READ_ONLY
+        assert!(buf.inner.is_current_on(d0));
+    }
+
+    #[test]
+    fn dropping_a_buffer_frees_device_memory() {
+        // The P4 model holds 8 GiB. Two 5 GiB buffers only fit if the
+        // first is released when dropped.
+        let (_p, ctx) = setup();
+        let dev = ctx.devices()[0].clone();
+        {
+            let big = Buffer::new_modeled(&ctx, MemFlags::READ_WRITE, 5 << 30).unwrap();
+            big.inner.make_current_on(&dev).unwrap();
+        } // drop releases the device allocation
+        let again = Buffer::new_modeled(&ctx, MemFlags::READ_WRITE, 5 << 30).unwrap();
+        again
+            .inner
+            .make_current_on(&dev)
+            .expect("memory must have been reclaimed");
+    }
+
+    #[test]
+    fn flags_classify_writability() {
+        assert!(MemFlags::READ_WRITE.kernel_writable());
+        assert!(MemFlags::WRITE_ONLY.kernel_writable());
+        assert!(!MemFlags::READ_ONLY.kernel_writable());
+    }
+}

@@ -1,0 +1,90 @@
+//! OpenCL contexts.
+
+use std::sync::Arc;
+
+use crate::error::{Error, Status};
+use crate::platform::{Device, Platform, PlatformInner};
+
+/// An OpenCL context: the set of devices a program's objects may touch.
+#[derive(Clone)]
+pub struct Context {
+    pub(crate) platform: Arc<PlatformInner>,
+    pub(crate) devices: Vec<Device>,
+}
+
+impl Context {
+    /// Creates a context over `devices` (`clCreateContext`).
+    ///
+    /// # Errors
+    ///
+    /// [`Status::InvalidValue`] if `devices` is empty or contains
+    /// duplicates.
+    pub fn new(platform: &Platform, devices: &[Device]) -> Result<Self, Error> {
+        if devices.is_empty() {
+            return Err(Error::api(
+                Status::InvalidValue,
+                "a context needs at least one device",
+            ));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for d in devices {
+            if !seen.insert(d.index) {
+                return Err(Error::api(
+                    Status::InvalidValue,
+                    format!("device {} listed twice", d.index),
+                ));
+            }
+        }
+        Ok(Context {
+            platform: Arc::clone(&platform.inner),
+            devices: devices.to_vec(),
+        })
+    }
+
+    /// The context's devices, in creation order.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// Whether `device` belongs to this context.
+    pub fn contains(&self, device: &Device) -> bool {
+        self.devices.iter().any(|d| d.index == device.index)
+    }
+}
+
+impl std::fmt::Debug for Context {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Context({} devices)", self.devices.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::DeviceType;
+    use haocl_proto::messages::DeviceKind;
+
+    #[test]
+    fn context_over_selected_devices() {
+        let p = Platform::local(&[DeviceKind::Gpu, DeviceKind::Fpga]).unwrap();
+        let all = p.devices(DeviceType::All);
+        let ctx = Context::new(&p, &all).unwrap();
+        assert_eq!(ctx.devices().len(), 2);
+        assert!(ctx.contains(&all[1]));
+    }
+
+    #[test]
+    fn empty_context_rejected() {
+        let p = Platform::local(&[DeviceKind::Gpu]).unwrap();
+        let err = Context::new(&p, &[]).unwrap_err();
+        assert_eq!(err.status(), Some(Status::InvalidValue));
+    }
+
+    #[test]
+    fn duplicate_devices_rejected() {
+        let p = Platform::local(&[DeviceKind::Gpu]).unwrap();
+        let d = p.devices(DeviceType::All);
+        let err = Context::new(&p, &[d[0].clone(), d[0].clone()]).unwrap_err();
+        assert_eq!(err.status(), Some(Status::InvalidValue));
+    }
+}

@@ -1,0 +1,202 @@
+//! OpenCL-style status codes and the crate error type.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use haocl_cluster::ClusterError;
+use haocl_proto::messages::status;
+
+/// OpenCL status codes, mirroring the `CL_*` constants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Status {
+    /// CL_SUCCESS.
+    Success,
+    /// CL_DEVICE_NOT_FOUND.
+    DeviceNotFound,
+    /// CL_DEVICE_NOT_AVAILABLE.
+    DeviceNotAvailable,
+    /// CL_MEM_OBJECT_ALLOCATION_FAILURE.
+    MemObjectAllocationFailure,
+    /// CL_OUT_OF_RESOURCES.
+    OutOfResources,
+    /// CL_OUT_OF_HOST_MEMORY.
+    OutOfHostMemory,
+    /// CL_BUILD_PROGRAM_FAILURE.
+    BuildProgramFailure,
+    /// CL_INVALID_VALUE.
+    InvalidValue,
+    /// CL_INVALID_DEVICE.
+    InvalidDevice,
+    /// CL_INVALID_CONTEXT.
+    InvalidContext,
+    /// CL_INVALID_MEM_OBJECT.
+    InvalidMemObject,
+    /// CL_INVALID_PROGRAM.
+    InvalidProgram,
+    /// CL_INVALID_PROGRAM_EXECUTABLE.
+    InvalidProgramExecutable,
+    /// CL_INVALID_KERNEL_NAME.
+    InvalidKernelName,
+    /// CL_INVALID_KERNEL.
+    InvalidKernel,
+    /// CL_INVALID_ARG_INDEX.
+    InvalidArgIndex,
+    /// CL_INVALID_KERNEL_ARGS.
+    InvalidKernelArgs,
+    /// CL_INVALID_WORK_GROUP_SIZE.
+    InvalidWorkGroupSize,
+    /// CL_INVALID_OPERATION.
+    InvalidOperation,
+    /// CL_INVALID_BUFFER_SIZE.
+    InvalidBufferSize,
+    /// Any other negative code.
+    Other(i32),
+}
+
+impl Status {
+    /// Maps a wire status code onto the enum.
+    pub fn from_code(code: i32) -> Status {
+        match code {
+            status::SUCCESS => Status::Success,
+            status::DEVICE_NOT_FOUND => Status::DeviceNotFound,
+            status::DEVICE_NOT_AVAILABLE => Status::DeviceNotAvailable,
+            status::MEM_OBJECT_ALLOCATION_FAILURE => Status::MemObjectAllocationFailure,
+            status::OUT_OF_RESOURCES => Status::OutOfResources,
+            status::OUT_OF_HOST_MEMORY => Status::OutOfHostMemory,
+            status::BUILD_PROGRAM_FAILURE => Status::BuildProgramFailure,
+            status::INVALID_VALUE => Status::InvalidValue,
+            status::INVALID_DEVICE => Status::InvalidDevice,
+            status::INVALID_MEM_OBJECT => Status::InvalidMemObject,
+            status::INVALID_PROGRAM => Status::InvalidProgram,
+            status::INVALID_KERNEL_NAME => Status::InvalidKernelName,
+            status::INVALID_KERNEL => Status::InvalidKernel,
+            status::INVALID_KERNEL_ARGS => Status::InvalidKernelArgs,
+            status::INVALID_WORK_GROUP_SIZE => Status::InvalidWorkGroupSize,
+            status::INVALID_OPERATION => Status::InvalidOperation,
+            status::INVALID_BUFFER_SIZE => Status::InvalidBufferSize,
+            other => Status::Other(other),
+        }
+    }
+
+    /// The wire code for this status.
+    pub fn code(self) -> i32 {
+        match self {
+            Status::Success => status::SUCCESS,
+            Status::DeviceNotFound => status::DEVICE_NOT_FOUND,
+            Status::DeviceNotAvailable => status::DEVICE_NOT_AVAILABLE,
+            Status::MemObjectAllocationFailure => status::MEM_OBJECT_ALLOCATION_FAILURE,
+            Status::OutOfResources => status::OUT_OF_RESOURCES,
+            Status::OutOfHostMemory => status::OUT_OF_HOST_MEMORY,
+            Status::BuildProgramFailure => status::BUILD_PROGRAM_FAILURE,
+            Status::InvalidValue => status::INVALID_VALUE,
+            Status::InvalidDevice => status::INVALID_DEVICE,
+            Status::InvalidContext => -34,
+            Status::InvalidMemObject => status::INVALID_MEM_OBJECT,
+            Status::InvalidProgram => status::INVALID_PROGRAM,
+            Status::InvalidProgramExecutable => -45,
+            Status::InvalidKernelName => status::INVALID_KERNEL_NAME,
+            Status::InvalidKernel => status::INVALID_KERNEL,
+            Status::InvalidArgIndex => -49,
+            Status::InvalidKernelArgs => status::INVALID_KERNEL_ARGS,
+            Status::InvalidWorkGroupSize => status::INVALID_WORK_GROUP_SIZE,
+            Status::InvalidOperation => status::INVALID_OPERATION,
+            Status::InvalidBufferSize => status::INVALID_BUFFER_SIZE,
+            Status::Other(code) => code,
+        }
+    }
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?} ({})", self.code())
+    }
+}
+
+/// The crate error type: an OpenCL status with context, or a transport
+/// failure underneath the wrapper.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// An API-level failure with its OpenCL status.
+    Api {
+        /// The status code.
+        status: Status,
+        /// What went wrong.
+        message: String,
+    },
+    /// The backbone or protocol failed underneath the call.
+    Transport(String),
+}
+
+impl Error {
+    /// Creates an API error.
+    pub fn api(status: Status, message: impl Into<String>) -> Self {
+        Error::Api {
+            status,
+            message: message.into(),
+        }
+    }
+
+    /// The OpenCL status, if this is an API error.
+    pub fn status(&self) -> Option<Status> {
+        match self {
+            Error::Api { status, .. } => Some(*status),
+            Error::Transport(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Api { status, message } => write!(f, "{status}: {message}"),
+            Error::Transport(msg) => write!(f, "transport failure: {msg}"),
+        }
+    }
+}
+
+impl StdError for Error {}
+
+impl From<ClusterError> for Error {
+    fn from(e: ClusterError) -> Self {
+        match e {
+            ClusterError::Remote { code, message } => Error::Api {
+                status: Status::from_code(code),
+                message,
+            },
+            other => Error::Transport(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_codes_roundtrip() {
+        for code in [0, -1, -2, -4, -5, -6, -11, -30, -33, -38, -44, -46, -48, -52, -54, -59, -61]
+        {
+            assert_eq!(Status::from_code(code).code(), code);
+        }
+        assert_eq!(Status::from_code(-999), Status::Other(-999));
+        assert_eq!(Status::Other(-999).code(), -999);
+    }
+
+    #[test]
+    fn remote_errors_map_to_api_errors() {
+        let e: Error = ClusterError::Remote {
+            code: -46,
+            message: "no kernel".into(),
+        }
+        .into();
+        assert_eq!(e.status(), Some(Status::InvalidKernelName));
+        assert!(e.to_string().contains("no kernel"));
+    }
+
+    #[test]
+    fn transport_errors_have_no_status() {
+        let e: Error = ClusterError::Config("bad".into()).into();
+        assert_eq!(e.status(), None);
+        assert!(e.to_string().contains("transport"));
+    }
+}

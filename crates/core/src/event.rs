@@ -1,0 +1,130 @@
+//! `cl_event` objects with virtual-time profiling.
+
+use std::sync::Arc;
+
+use haocl_sim::{SimDuration, SimTime};
+
+/// What an event measured (`CL_COMMAND_*`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommandType {
+    /// `clEnqueueWriteBuffer`.
+    WriteBuffer,
+    /// `clEnqueueReadBuffer`.
+    ReadBuffer,
+    /// `clEnqueueCopyBuffer`.
+    CopyBuffer,
+    /// `clEnqueueNDRangeKernel`.
+    NdRangeKernel,
+}
+
+#[derive(Debug)]
+struct EventInner {
+    command: CommandType,
+    queued: SimTime,
+    start: SimTime,
+    end: SimTime,
+    instructions: u64,
+}
+
+/// A completed command with OpenCL-style profiling info.
+///
+/// HaoCL's host semantics are synchronous (§III-C), so an event is
+/// complete by the time the enqueue call returns; its value is the
+/// profiling data (`CL_PROFILING_COMMAND_QUEUED/START/END` on the
+/// virtual clock).
+#[derive(Debug, Clone)]
+pub struct Event {
+    inner: Arc<EventInner>,
+}
+
+impl Event {
+    pub(crate) fn new(
+        command: CommandType,
+        queued: SimTime,
+        start: SimTime,
+        end: SimTime,
+        instructions: u64,
+    ) -> Self {
+        Event {
+            inner: Arc::new(EventInner {
+                command,
+                queued,
+                start,
+                end,
+                instructions,
+            }),
+        }
+    }
+
+    /// What this event measured.
+    pub fn command_type(&self) -> CommandType {
+        self.inner.command
+    }
+
+    /// When the command was enqueued (`CL_PROFILING_COMMAND_QUEUED`).
+    pub fn queued_at(&self) -> SimTime {
+        self.inner.queued
+    }
+
+    /// When execution started on the device
+    /// (`CL_PROFILING_COMMAND_START`).
+    pub fn started_at(&self) -> SimTime {
+        self.inner.start
+    }
+
+    /// When execution finished on the device
+    /// (`CL_PROFILING_COMMAND_END`).
+    pub fn finished_at(&self) -> SimTime {
+        self.inner.end
+    }
+
+    /// Device execution time (`END − START`).
+    pub fn duration(&self) -> SimDuration {
+        self.inner.end - self.inner.start
+    }
+
+    /// Queueing delay before the device picked the command up.
+    pub fn queueing_delay(&self) -> SimDuration {
+        self.inner.start.saturating_duration_since(self.inner.queued)
+    }
+
+    /// Bytecode instructions retired (kernel launches in full fidelity;
+    /// zero otherwise).
+    pub fn instructions(&self) -> u64 {
+        self.inner.instructions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiling_accessors() {
+        let e = Event::new(
+            CommandType::NdRangeKernel,
+            SimTime::from_nanos(10),
+            SimTime::from_nanos(30),
+            SimTime::from_nanos(100),
+            42,
+        );
+        assert_eq!(e.command_type(), CommandType::NdRangeKernel);
+        assert_eq!(e.queued_at(), SimTime::from_nanos(10));
+        assert_eq!(e.duration(), SimDuration::from_nanos(70));
+        assert_eq!(e.queueing_delay(), SimDuration::from_nanos(20));
+        assert_eq!(e.instructions(), 42);
+    }
+
+    #[test]
+    fn clone_shares_data() {
+        let e = Event::new(
+            CommandType::ReadBuffer,
+            SimTime::ZERO,
+            SimTime::ZERO,
+            SimTime::from_nanos(5),
+            0,
+        );
+        let f = e.clone();
+        assert_eq!(f.finished_at(), e.finished_at());
+    }
+}

@@ -1,0 +1,374 @@
+//! The platform layer: HaoCL's ICD entry point.
+//!
+//! A [`Platform`] fronts a set of devices behind one dispatch target. The
+//! cluster platform forwards everything over the backbone; the local
+//! platform is the same stack with a zero-cost interconnect, which is the
+//! "native OpenCL single node" the paper's evaluation normalizes against.
+
+use std::sync::Arc;
+
+use haocl_cluster::{ClusterConfig, HostRuntime, LocalCluster, NodeSpec, RemoteDevice};
+use haocl_kernel::KernelRegistry;
+use haocl_net::LinkModel;
+use haocl_proto::ids::{IdAllocator, NodeId, UserId};
+use haocl_proto::messages::{ApiCall, DeviceKind};
+use haocl_sim::{Clock, Phase, PhaseBreakdown, SimDuration, SimTime, Tracer};
+
+use crate::error::Error;
+
+/// Host-side memory generation rate used to cost data creation
+/// (a memcpy-like 10 GB/s, matching a Xeon-class host).
+const HOST_GEN_BANDWIDTH: f64 = 10.0e9;
+
+pub(crate) struct PlatformInner {
+    cluster: LocalCluster,
+    pub(crate) ids: IdAllocator,
+    pub(crate) tracer: Tracer,
+    name: String,
+}
+
+impl PlatformInner {
+    pub(crate) fn host(&self) -> &HostRuntime {
+        self.cluster.host()
+    }
+
+    pub(crate) fn clock(&self) -> &Clock {
+        self.cluster.host().clock()
+    }
+
+    /// Forwards a call and records its wall-virtual duration under
+    /// `phase`.
+    pub(crate) fn call_traced(
+        &self,
+        node: NodeId,
+        call: ApiCall,
+        phase: Phase,
+    ) -> Result<haocl_cluster::host::CallOutcome, Error> {
+        let started = self.clock().now();
+        let outcome = self.host().call(node, call)?;
+        self.tracer
+            .record(phase, outcome.host_received.saturating_duration_since(started));
+        Ok(outcome)
+    }
+}
+
+/// The device classes `get_device_ids` can filter by (`CL_DEVICE_TYPE_*`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceType {
+    /// CPUs only.
+    Cpu,
+    /// GPUs only.
+    Gpu,
+    /// Accelerators (FPGAs) only.
+    Accelerator,
+    /// Every device.
+    All,
+}
+
+impl DeviceType {
+    /// Whether a device kind passes this filter.
+    pub fn matches(self, kind: DeviceKind) -> bool {
+        match self {
+            DeviceType::All => true,
+            DeviceType::Cpu => kind == DeviceKind::Cpu,
+            DeviceType::Gpu => kind == DeviceKind::Gpu,
+            DeviceType::Accelerator => kind == DeviceKind::Fpga,
+        }
+    }
+}
+
+/// A device handle: a position in the platform's cluster-wide device map.
+#[derive(Clone)]
+pub struct Device {
+    pub(crate) platform: Arc<PlatformInner>,
+    pub(crate) index: usize,
+    pub(crate) info: RemoteDevice,
+}
+
+impl Device {
+    /// The device's model name (`CL_DEVICE_NAME`).
+    pub fn name(&self) -> &str {
+        &self.info.descriptor.name
+    }
+
+    /// The device class.
+    pub fn kind(&self) -> DeviceKind {
+        self.info.descriptor.kind
+    }
+
+    /// Global memory capacity in bytes (`CL_DEVICE_GLOBAL_MEM_SIZE`).
+    pub fn global_mem_size(&self) -> u64 {
+        self.info.descriptor.mem_bytes
+    }
+
+    /// The configured name of the node hosting this device.
+    pub fn node_name(&self) -> &str {
+        &self.info.node_name
+    }
+
+    /// The device's position in the platform's device map.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The advertised device model summary.
+    pub fn descriptor(&self) -> &haocl_proto::messages::DeviceDescriptor {
+        &self.info.descriptor
+    }
+
+    /// The id of the node hosting this device.
+    pub fn node_id(&self) -> NodeId {
+        self.info.node
+    }
+
+    pub(crate) fn node(&self) -> NodeId {
+        self.info.node
+    }
+
+    pub(crate) fn device_index(&self) -> u8 {
+        self.info.device
+    }
+}
+
+impl std::fmt::Debug for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Device[{}] {} on {} ({})",
+            self.index,
+            self.name(),
+            self.node_name(),
+            self.kind()
+        )
+    }
+}
+
+/// The HaoCL platform.
+#[derive(Clone)]
+pub struct Platform {
+    pub(crate) inner: Arc<PlatformInner>,
+}
+
+impl Platform {
+    /// Connects a platform to a whole cluster described by `config`.
+    ///
+    /// `registry` is the cluster-wide bitstream store (pre-built native
+    /// kernels); FPGA nodes serve only kernels found there.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cluster launch/handshake failures as
+    /// [`Error::Transport`].
+    pub fn cluster(config: &ClusterConfig, registry: KernelRegistry) -> Result<Self, Error> {
+        let cluster = LocalCluster::launch(config, registry)?;
+        Ok(Platform {
+            inner: Arc::new(PlatformInner {
+                cluster,
+                ids: IdAllocator::new(),
+                tracer: Tracer::new(),
+                name: "HaoCL".to_string(),
+            }),
+        })
+    }
+
+    /// A single-node platform with a zero-cost interconnect: the "native
+    /// OpenCL on one machine" baseline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates launch failures as [`Error::Transport`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices` is empty.
+    pub fn local(devices: &[DeviceKind]) -> Result<Self, Error> {
+        Self::local_with_registry(devices, KernelRegistry::new())
+    }
+
+    /// [`Platform::local`] with a bitstream/native-kernel store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates launch failures as [`Error::Transport`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices` is empty.
+    pub fn local_with_registry(
+        devices: &[DeviceKind],
+        registry: KernelRegistry,
+    ) -> Result<Self, Error> {
+        assert!(!devices.is_empty(), "a node needs at least one device");
+        let config = ClusterConfig {
+            host_addr: "local:7000".to_string(),
+            nodes: vec![NodeSpec {
+                name: "local0".to_string(),
+                addr: "local:7100".to_string(),
+                devices: devices.to_vec(),
+            }],
+            // Effectively free interconnect: in-machine PCIe dwarfs it.
+            link: LinkModel::custom(1.0e15, SimDuration::ZERO),
+        };
+        let cluster = LocalCluster::launch(&config, registry)?;
+        Ok(Platform {
+            inner: Arc::new(PlatformInner {
+                cluster,
+                ids: IdAllocator::new(),
+                tracer: Tracer::new(),
+                name: "HaoCL (local)".to_string(),
+            }),
+        })
+    }
+
+    /// The platform name (`CL_PLATFORM_NAME`).
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// The mapped devices passing `filter` (`clGetDeviceIDs`).
+    pub fn devices(&self, filter: DeviceType) -> Vec<Device> {
+        self.inner
+            .host()
+            .devices()
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| filter.matches(d.descriptor.kind))
+            .map(|(index, d)| Device {
+                platform: Arc::clone(&self.inner),
+                index,
+                info: d.clone(),
+            })
+            .collect()
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &Clock {
+        self.inner.clock()
+    }
+
+    /// The virtual-time phase breakdown accumulated so far (Fig. 3's
+    /// instrumentation).
+    pub fn phase_breakdown(&self) -> PhaseBreakdown {
+        self.inner.tracer.breakdown()
+    }
+
+    /// Clears the phase breakdown (between benchmark runs).
+    pub fn reset_phases(&self) {
+        self.inner.tracer.reset()
+    }
+
+    /// Charges host-side generation of `bytes` of input data to the
+    /// `DataCreate` phase, advancing the virtual clock.
+    ///
+    /// The paper's Fig. 3 counts data creation as a first-class phase;
+    /// workload generators call this to model it.
+    pub fn charge_data_creation(&self, bytes: u64) {
+        let dur = SimDuration::from_secs_f64(bytes as f64 / HOST_GEN_BANDWIDTH);
+        self.inner.clock().advance_by(dur);
+        self.inner.tracer.record(Phase::DataCreate, dur);
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.inner.clock().now()
+    }
+
+    /// Pulls the runtime profile from every node: per-device, per-kernel
+    /// execution statistics (the "runtime profiling information from the
+    /// cluster" the paper's automatic scheduler feeds on, §III-B).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures; a node that answers with anything
+    /// but a profile is a protocol error.
+    pub fn query_profiles(
+        &self,
+    ) -> Result<Vec<(NodeId, Vec<haocl_proto::messages::ProfileEntry>)>, Error> {
+        let mut out = Vec::new();
+        for i in 0..self.inner.host().node_count() {
+            let node = NodeId::new(i as u32);
+            let outcome = self
+                .inner
+                .host()
+                .call(node, ApiCall::QueryProfile)?;
+            match outcome.reply {
+                haocl_proto::messages::ApiReply::Profile { entries } => {
+                    out.push((node, entries));
+                }
+                other => {
+                    return Err(Error::Transport(format!(
+                        "QueryProfile answered with {other:?}"
+                    )));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Switches the session's user id (multi-user support, §III-D).
+    ///
+    /// Affects subsequently created contexts/queues sharing this
+    /// platform handle.
+    pub fn set_user(&mut self, _user: UserId) {
+        // The HostRuntime user is fixed per connection in this
+        // implementation; sessions are tracked by the SessionManager.
+        // Kept as an explicit extension point.
+    }
+}
+
+impl std::fmt::Debug for Platform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Platform")
+            .field("name", &self.inner.name)
+            .field("devices", &self.inner.host().devices().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_platform_lists_devices() {
+        let p = Platform::local(&[DeviceKind::Gpu, DeviceKind::Cpu]).unwrap();
+        assert_eq!(p.devices(DeviceType::All).len(), 2);
+        assert_eq!(p.devices(DeviceType::Gpu).len(), 1);
+        assert_eq!(p.devices(DeviceType::Cpu).len(), 1);
+        assert_eq!(p.devices(DeviceType::Accelerator).len(), 0);
+        assert!(p.name().contains("HaoCL"));
+    }
+
+    #[test]
+    fn cluster_platform_maps_all_nodes() {
+        let p = Platform::cluster(
+            &ClusterConfig::hetero_cluster(2, 2),
+            KernelRegistry::new(),
+        )
+        .unwrap();
+        assert_eq!(p.devices(DeviceType::All).len(), 4);
+        assert_eq!(p.devices(DeviceType::Accelerator).len(), 2);
+        let gpus = p.devices(DeviceType::Gpu);
+        assert_eq!(gpus[0].kind(), DeviceKind::Gpu);
+        assert!(gpus[0].global_mem_size() > 0);
+    }
+
+    #[test]
+    fn device_type_filters() {
+        assert!(DeviceType::All.matches(DeviceKind::Fpga));
+        assert!(DeviceType::Accelerator.matches(DeviceKind::Fpga));
+        assert!(!DeviceType::Gpu.matches(DeviceKind::Fpga));
+    }
+
+    #[test]
+    fn data_creation_advances_clock_and_phase() {
+        let p = Platform::local(&[DeviceKind::Gpu]).unwrap();
+        let before = p.now();
+        p.charge_data_creation(10_000_000_000); // 1 s at 10 GB/s
+        assert!(p.now() > before);
+        let b = p.phase_breakdown();
+        assert!(b.time(Phase::DataCreate) >= SimDuration::from_millis(999));
+        p.reset_phases();
+        assert_eq!(p.phase_breakdown().total(), SimDuration::ZERO);
+    }
+}

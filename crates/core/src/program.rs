@@ -1,0 +1,227 @@
+//! `cl_program` objects.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use haocl_proto::ids::ProgramId;
+use haocl_proto::messages::{ApiCall, ApiReply, DeviceKind};
+use haocl_sim::Phase;
+
+use crate::context::Context;
+use crate::error::{Error, Status};
+use crate::platform::PlatformInner;
+
+pub(crate) enum ProgramForm {
+    /// OpenCL C source, compiled on CPU/GPU nodes.
+    Source(String),
+    /// Names of pre-built bitstream kernels (FPGA path, also usable as a
+    /// native fast path on other devices).
+    Bitstream(Vec<String>),
+}
+
+pub(crate) struct ProgramInner {
+    pub(crate) platform: Arc<PlatformInner>,
+    pub(crate) context: Context,
+    pub(crate) id: ProgramId,
+    pub(crate) form: ProgramForm,
+    /// Devices (global indices) the program has been built for.
+    pub(crate) built: Mutex<HashSet<usize>>,
+    build_log: Mutex<String>,
+}
+
+/// An OpenCL program: source text or a set of pre-built kernels, built
+/// per device.
+#[derive(Clone)]
+pub struct Program {
+    pub(crate) inner: Arc<ProgramInner>,
+}
+
+impl Program {
+    /// Creates a program from OpenCL C source
+    /// (`clCreateProgramWithSource`).
+    pub fn from_source(context: &Context, source: impl Into<String>) -> Self {
+        Self::with_form(context, ProgramForm::Source(source.into()))
+    }
+
+    /// Creates a program from pre-built bitstream kernel names (the
+    /// `clCreateProgramWithBinary` analogue; required for FPGA devices,
+    /// §III-D).
+    pub fn with_bitstream_kernels<I, S>(context: &Context, kernels: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self::with_form(
+            context,
+            ProgramForm::Bitstream(kernels.into_iter().map(Into::into).collect()),
+        )
+    }
+
+    fn with_form(context: &Context, form: ProgramForm) -> Self {
+        let platform = Arc::clone(&context.platform);
+        let id = ProgramId::new(platform.ids.next());
+        Program {
+            inner: Arc::new(ProgramInner {
+                platform,
+                context: context.clone(),
+                id,
+                form,
+                built: Mutex::new(HashSet::new()),
+                build_log: Mutex::new(String::new()),
+            }),
+        }
+    }
+
+    /// Builds the program for every device in its context
+    /// (`clBuildProgram`).
+    ///
+    /// Source programs are rejected by FPGA devices; bitstream programs
+    /// load on any device whose node's registry holds the named kernels.
+    ///
+    /// # Errors
+    ///
+    /// [`Status::BuildProgramFailure`] with the build log on compile or
+    /// load failure; [`Status::InvalidOperation`] when source meets FPGA.
+    pub fn build(&self) -> Result<(), Error> {
+        let devices = self.inner.context.devices().to_vec();
+        for device in &devices {
+            if self.inner.built.lock().contains(&device.index) {
+                continue;
+            }
+            let call = match &self.inner.form {
+                ProgramForm::Source(source) => {
+                    if device.kind() == DeviceKind::Fpga {
+                        return Err(Error::api(
+                            Status::InvalidOperation,
+                            format!(
+                                "device {} is an FPGA: build from source is not supported, \
+                                 use Program::with_bitstream_kernels",
+                                device.index()
+                            ),
+                        ));
+                    }
+                    ApiCall::BuildProgram {
+                        device: device.device_index(),
+                        program: self.inner.id,
+                        source: source.clone(),
+                    }
+                }
+                ProgramForm::Bitstream(kernels) => ApiCall::LoadBitstream {
+                    device: device.device_index(),
+                    program: self.inner.id,
+                    kernels: kernels.clone(),
+                },
+            };
+            let outcome = self
+                .inner
+                .platform
+                .call_traced(device.node(), call, Phase::Init)?;
+            match outcome.reply {
+                ApiReply::BuildLog { ok: true, log } => {
+                    *self.inner.build_log.lock() = log;
+                    self.inner.built.lock().insert(device.index);
+                }
+                ApiReply::BuildLog { ok: false, log } => {
+                    *self.inner.build_log.lock() = log.clone();
+                    return Err(Error::api(Status::BuildProgramFailure, log));
+                }
+                other => {
+                    return Err(Error::Transport(format!(
+                        "build answered with {other:?}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The last build log (`clGetProgramBuildInfo(CL_PROGRAM_BUILD_LOG)`).
+    pub fn build_log(&self) -> String {
+        self.inner.build_log.lock().clone()
+    }
+
+    /// Whether the program has been built for `device_index`.
+    pub fn is_built_for(&self, device_index: usize) -> bool {
+        self.inner.built.lock().contains(&device_index)
+    }
+
+    /// The context the program belongs to.
+    pub fn context(&self) -> &Context {
+        &self.inner.context
+    }
+
+    /// Whether this is a bitstream (pre-built) program.
+    pub fn is_bitstream(&self) -> bool {
+        matches!(self.inner.form, ProgramForm::Bitstream(_))
+    }
+}
+
+impl std::fmt::Debug for Program {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Program({}, {})",
+            self.inner.id,
+            if self.is_bitstream() {
+                "bitstream"
+            } else {
+                "source"
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::{DeviceType, Platform};
+
+    #[test]
+    fn source_program_builds_on_gpu() {
+        let p = Platform::local(&[DeviceKind::Gpu]).unwrap();
+        let ctx = Context::new(&p, &p.devices(DeviceType::All)).unwrap();
+        let prog = Program::from_source(&ctx, "__kernel void f(__global int* a) { a[0] = 1; }");
+        prog.build().unwrap();
+        assert!(prog.is_built_for(0));
+        assert!(!prog.is_bitstream());
+    }
+
+    #[test]
+    fn bad_source_yields_build_failure_with_log() {
+        let p = Platform::local(&[DeviceKind::Gpu]).unwrap();
+        let ctx = Context::new(&p, &p.devices(DeviceType::All)).unwrap();
+        let prog = Program::from_source(&ctx, "__kernel void broken(");
+        let err = prog.build().unwrap_err();
+        assert_eq!(err.status(), Some(Status::BuildProgramFailure));
+        assert!(prog.build_log().contains("error"));
+    }
+
+    #[test]
+    fn source_program_refuses_fpga() {
+        let p = Platform::local(&[DeviceKind::Fpga]).unwrap();
+        let ctx = Context::new(&p, &p.devices(DeviceType::All)).unwrap();
+        let prog = Program::from_source(&ctx, "__kernel void f() {}");
+        let err = prog.build().unwrap_err();
+        assert_eq!(err.status(), Some(Status::InvalidOperation));
+    }
+
+    #[test]
+    fn missing_bitstream_kernel_fails_build() {
+        let p = Platform::local(&[DeviceKind::Fpga]).unwrap();
+        let ctx = Context::new(&p, &p.devices(DeviceType::All)).unwrap();
+        let prog = Program::with_bitstream_kernels(&ctx, ["ghost_kernel"]);
+        let err = prog.build().unwrap_err();
+        assert_eq!(err.status(), Some(Status::BuildProgramFailure));
+    }
+
+    #[test]
+    fn rebuild_is_idempotent() {
+        let p = Platform::local(&[DeviceKind::Gpu]).unwrap();
+        let ctx = Context::new(&p, &p.devices(DeviceType::All)).unwrap();
+        let prog = Program::from_source(&ctx, "__kernel void f(__global int* a) { a[0] = 1; }");
+        prog.build().unwrap();
+        prog.build().unwrap(); // second build skips already-built devices
+    }
+}

@@ -1,0 +1,498 @@
+//! `cl_command_queue` objects.
+//!
+//! HaoCL host semantics are synchronous (§III-C: the host "will wait for
+//! the response message and then take the next action"), so every
+//! enqueue completes before it returns; ordering within and across
+//! queues on the same device is enforced by the device's serialized
+//! timeline. Events carry virtual-time profiling.
+
+use haocl_kernel::NdRange;
+use haocl_proto::messages::{ApiCall, ApiReply, WireArg, WireCost, WireNdRange};
+use haocl_sim::{Phase, SimTime};
+
+use crate::buffer::Buffer;
+use crate::context::Context;
+use crate::error::{Error, Status};
+use crate::event::{CommandType, Event};
+use crate::kernel::{Kernel, StoredArg};
+use crate::platform::Device;
+
+/// An in-order command queue bound to one device.
+#[derive(Clone)]
+pub struct CommandQueue {
+    context: Context,
+    device: Device,
+    /// Completion time of the latest asynchronous launch (clFinish
+    /// target). Shared across clones of the queue.
+    last_end: std::sync::Arc<parking_lot::Mutex<SimTime>>,
+}
+
+impl CommandQueue {
+    /// Creates a queue on `device` (`clCreateCommandQueue`).
+    ///
+    /// # Errors
+    ///
+    /// [`Status::InvalidDevice`] if `device` is not in `context`.
+    pub fn new(context: &Context, device: &Device) -> Result<Self, Error> {
+        if !context.contains(device) {
+            return Err(Error::api(
+                Status::InvalidDevice,
+                format!("device {} is not in the context", device.index()),
+            ));
+        }
+        Ok(CommandQueue {
+            context: context.clone(),
+            device: device.clone(),
+            last_end: std::sync::Arc::new(parking_lot::Mutex::new(SimTime::ZERO)),
+        })
+    }
+
+    /// The queue's device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The queue's context.
+    pub fn context(&self) -> &Context {
+        &self.context
+    }
+
+    /// Writes host data into a buffer (`clEnqueueWriteBuffer`).
+    ///
+    /// # Errors
+    ///
+    /// [`Status::InvalidValue`] for out-of-range writes; transport errors
+    /// otherwise.
+    pub fn enqueue_write_buffer(
+        &self,
+        buffer: &Buffer,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<Event, Error> {
+        let queued = self.now();
+        buffer.inner.host_write(&self.device, offset, data)?;
+        let end = self.now();
+        Ok(Event::new(CommandType::WriteBuffer, queued, queued, end, 0))
+    }
+
+    /// Reads a buffer back to host memory (`clEnqueueReadBuffer`).
+    ///
+    /// # Errors
+    ///
+    /// [`Status::InvalidValue`] for out-of-range reads; transport errors
+    /// otherwise.
+    pub fn enqueue_read_buffer(
+        &self,
+        buffer: &Buffer,
+        offset: u64,
+        out: &mut [u8],
+    ) -> Result<Event, Error> {
+        let queued = self.now();
+        buffer.inner.host_read(offset, out)?;
+        let end = self.now();
+        Ok(Event::new(CommandType::ReadBuffer, queued, queued, end, 0))
+    }
+
+    /// Modeled write: charges the transfer of `len` bytes into a
+    /// [`Buffer::new_modeled`] buffer without carrying data.
+    ///
+    /// # Errors
+    ///
+    /// [`Status::InvalidOperation`] on a non-modeled buffer;
+    /// [`Status::InvalidValue`] for out-of-range writes.
+    pub fn enqueue_write_buffer_modeled(
+        &self,
+        buffer: &Buffer,
+        offset: u64,
+        len: u64,
+    ) -> Result<Event, Error> {
+        let queued = self.now();
+        buffer.inner.host_write_modeled(&self.device, offset, len)?;
+        let end = self.now();
+        Ok(Event::new(CommandType::WriteBuffer, queued, queued, end, 0))
+    }
+
+    /// Modeled read: charges the pull of `len` bytes from a
+    /// [`Buffer::new_modeled`] buffer without carrying data.
+    ///
+    /// # Errors
+    ///
+    /// [`Status::InvalidOperation`] on a non-modeled buffer;
+    /// [`Status::InvalidValue`] for out-of-range reads.
+    pub fn enqueue_read_buffer_modeled(
+        &self,
+        buffer: &Buffer,
+        offset: u64,
+        len: u64,
+    ) -> Result<Event, Error> {
+        let queued = self.now();
+        buffer.inner.host_read_modeled(offset, len)?;
+        let end = self.now();
+        Ok(Event::new(CommandType::ReadBuffer, queued, queued, end, 0))
+    }
+
+    /// Copies between buffers on this queue's device
+    /// (`clEnqueueCopyBuffer`).
+    ///
+    /// # Errors
+    ///
+    /// [`Status::InvalidValue`] for out-of-range ranges; transport errors
+    /// otherwise.
+    pub fn enqueue_copy_buffer(
+        &self,
+        src: &Buffer,
+        dst: &Buffer,
+        src_offset: u64,
+        dst_offset: u64,
+        len: u64,
+    ) -> Result<Event, Error> {
+        if src_offset + len > src.size() || dst_offset + len > dst.size() {
+            return Err(Error::api(
+                Status::InvalidValue,
+                "copy range outside buffer bounds",
+            ));
+        }
+        let queued = self.now();
+        src.inner.make_current_on(&self.device)?;
+        dst.inner.make_current_on(&self.device)?;
+        let outcome = self.device.platform.call_traced(
+            self.device.node(),
+            ApiCall::CopyBuffer {
+                device: self.device.device_index(),
+                src: src.inner.id,
+                dst: dst.inner.id,
+                src_offset,
+                dst_offset,
+                len,
+            },
+            Phase::DataTransfer,
+        )?;
+        dst.inner.note_device_write_full(&self.device);
+        Ok(Event::new(
+            CommandType::CopyBuffer,
+            queued,
+            queued,
+            outcome.node_completed,
+            0,
+        ))
+    }
+
+    /// Launches a kernel across `range` (`clEnqueueNDRangeKernel`).
+    ///
+    /// Buffer arguments are made current on this queue's device first
+    /// (transfers are charged to the `DataTransfer` phase); the launch
+    /// itself is charged to `Compute`.
+    ///
+    /// # Errors
+    ///
+    /// [`Status::InvalidKernelArgs`] if any argument is unset; remote
+    /// launch failures with their OpenCL codes.
+    pub fn enqueue_nd_range_kernel(
+        &self,
+        kernel: &Kernel,
+        range: NdRange,
+    ) -> Result<Event, Error> {
+        let queued = self.now();
+        let args = kernel.bound_args()?;
+        // Stage buffer arguments onto this device.
+        for arg in &args {
+            if let StoredArg::Buffer(b) = arg {
+                b.inner.make_current_on(&self.device)?;
+            }
+        }
+        let remote_kernel = kernel.ensure_remote(&self.device)?;
+        let wire_args: Vec<WireArg> = args
+            .iter()
+            .map(|a| match a {
+                StoredArg::Buffer(b) => WireArg::Buffer(b.inner.id),
+                StoredArg::Scalar(w) => *w,
+                StoredArg::Local(bytes) => WireArg::LocalBytes(*bytes),
+            })
+            .collect();
+        let cost = kernel.cost();
+        let outcome = self.device.platform.call_traced(
+            self.device.node(),
+            ApiCall::LaunchKernel {
+                device: self.device.device_index(),
+                kernel: remote_kernel,
+                args: wire_args,
+                range: WireNdRange {
+                    work_dim: range.work_dim,
+                    global: range.global,
+                    local: range.local,
+                },
+                cost: WireCost {
+                    flops: cost.total_flops(),
+                    bytes_read: cost.total_bytes_read(),
+                    bytes_written: cost.total_bytes_written(),
+                    uniform: cost.is_uniform(),
+                    streaming: cost.is_streaming(),
+                },
+                fidelity: kernel.fidelity(),
+                shared: false,
+            },
+            Phase::Compute,
+        )?;
+        let ApiReply::LaunchDone {
+            start_nanos,
+            end_nanos,
+            instructions,
+        } = outcome.reply
+        else {
+            return Err(Error::Transport(format!(
+                "LaunchKernel answered with {:?}",
+                outcome.reply
+            )));
+        };
+        // The launch may have written through any writable buffer arg.
+        for arg in &args {
+            if let StoredArg::Buffer(b) = arg {
+                b.inner.note_kernel_write(&self.device);
+            }
+        }
+        let event = Event::new(
+            CommandType::NdRangeKernel,
+            queued,
+            SimTime::from_nanos(start_nanos),
+            SimTime::from_nanos(end_nanos),
+            instructions,
+        );
+        // The enqueue RPC round-trip was traced above; the kernel runs
+        // asynchronously until `end_nanos` — charge its device time to
+        // the Compute phase and remember it for `finish`.
+        self.device
+            .platform
+            .tracer
+            .record(Phase::Compute, event.duration());
+        {
+            let mut last = self.last_end.lock();
+            *last = (*last).max(event.finished_at());
+        }
+        Ok(event)
+    }
+
+    /// Blocks until all enqueued commands complete (`clFinish`).
+    ///
+    /// Transfers are synchronous already; kernel launches are
+    /// asynchronous, so this advances the virtual clock to the completion
+    /// of the latest launch on this queue and returns the new time.
+    pub fn finish(&self) -> SimTime {
+        let last = *self.last_end.lock();
+        self.device.platform.clock().advance_to(last);
+        self.now()
+    }
+
+    /// Issues queued commands (`clFlush`) — a no-op under synchronous
+    /// host semantics.
+    pub fn flush(&self) {}
+
+    fn now(&self) -> SimTime {
+        self.device.platform.clock().now()
+    }
+}
+
+impl std::fmt::Debug for CommandQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CommandQueue(device {})", self.device.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::MemFlags;
+    use crate::platform::{DeviceType, Platform};
+    use crate::program::Program;
+    use haocl_proto::messages::DeviceKind;
+
+    fn gpu_setup() -> (Platform, Context, CommandQueue) {
+        let p = Platform::local(&[DeviceKind::Gpu]).unwrap();
+        let devs = p.devices(DeviceType::All);
+        let ctx = Context::new(&p, &devs).unwrap();
+        let q = CommandQueue::new(&ctx, &devs[0]).unwrap();
+        (p, ctx, q)
+    }
+
+    #[test]
+    fn queue_requires_context_membership() {
+        let p = Platform::local(&[DeviceKind::Gpu, DeviceKind::Cpu]).unwrap();
+        let devs = p.devices(DeviceType::All);
+        let ctx = Context::new(&p, &devs[..1]).unwrap();
+        let err = CommandQueue::new(&ctx, &devs[1]).unwrap_err();
+        assert_eq!(err.status(), Some(Status::InvalidDevice));
+    }
+
+    #[test]
+    fn write_launch_read_roundtrip() {
+        let (_p, ctx, q) = gpu_setup();
+        let prog = Program::from_source(
+            &ctx,
+            "__kernel void neg(__global int* a) { int i = get_global_id(0); a[i] = -a[i]; }",
+        );
+        prog.build().unwrap();
+        let k = Kernel::new(&prog, "neg").unwrap();
+        let buf = Buffer::new(&ctx, MemFlags::READ_WRITE, 16).unwrap();
+        let data: Vec<u8> = [1i32, 2, 3, 4].iter().flat_map(|v| v.to_le_bytes()).collect();
+        q.enqueue_write_buffer(&buf, 0, &data).unwrap();
+        k.set_arg_buffer(0, &buf).unwrap();
+        let ev = q
+            .enqueue_nd_range_kernel(&k, NdRange::linear(4, 2))
+            .unwrap();
+        assert!(ev.finished_at() >= ev.started_at());
+        assert!(ev.instructions() > 0);
+        let mut out = vec![0u8; 16];
+        q.enqueue_read_buffer(&buf, 0, &mut out).unwrap();
+        let vals: Vec<i32> = out
+            .chunks_exact(4)
+            .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        assert_eq!(vals, vec![-1, -2, -3, -4]);
+        q.finish();
+    }
+
+    #[test]
+    fn copy_buffer_on_device() {
+        let (_p, ctx, q) = gpu_setup();
+        let a = Buffer::new(&ctx, MemFlags::READ_WRITE, 8).unwrap();
+        let b = Buffer::new(&ctx, MemFlags::READ_WRITE, 8).unwrap();
+        q.enqueue_write_buffer(&a, 0, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        q.enqueue_copy_buffer(&a, &b, 4, 0, 4).unwrap();
+        let mut out = vec![0u8; 8];
+        q.enqueue_read_buffer(&b, 0, &mut out).unwrap();
+        assert_eq!(out, vec![5, 6, 7, 8, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn copy_bounds_checked() {
+        let (_p, ctx, q) = gpu_setup();
+        let a = Buffer::new(&ctx, MemFlags::READ_WRITE, 8).unwrap();
+        let b = Buffer::new(&ctx, MemFlags::READ_WRITE, 4).unwrap();
+        let err = q.enqueue_copy_buffer(&a, &b, 0, 0, 8).unwrap_err();
+        assert_eq!(err.status(), Some(Status::InvalidValue));
+    }
+
+    #[test]
+    fn launch_with_unset_args_fails() {
+        let (_p, ctx, q) = gpu_setup();
+        let prog = Program::from_source(
+            &ctx,
+            "__kernel void f(__global int* a, int n) { a[0] = n; }",
+        );
+        prog.build().unwrap();
+        let k = Kernel::new(&prog, "f").unwrap();
+        let err = q
+            .enqueue_nd_range_kernel(&k, NdRange::linear(1, 1))
+            .unwrap_err();
+        assert_eq!(err.status(), Some(Status::InvalidKernelArgs));
+    }
+
+    #[test]
+    fn data_moves_between_devices_via_host() {
+        // Write on device 0, compute on device 1, read back: coherence
+        // must route through the host transparently.
+        let p = Platform::local(&[DeviceKind::Gpu, DeviceKind::Gpu]).unwrap();
+        let devs = p.devices(DeviceType::All);
+        let ctx = Context::new(&p, &devs).unwrap();
+        let q0 = CommandQueue::new(&ctx, &devs[0]).unwrap();
+        let q1 = CommandQueue::new(&ctx, &devs[1]).unwrap();
+        let prog = Program::from_source(
+            &ctx,
+            "__kernel void inc(__global int* a) { int i = get_global_id(0); a[i] = a[i] + 1; }",
+        );
+        prog.build().unwrap();
+        let k = Kernel::new(&prog, "inc").unwrap();
+        let buf = Buffer::new(&ctx, MemFlags::READ_WRITE, 8).unwrap();
+        let data: Vec<u8> = [10i32, 20].iter().flat_map(|v| v.to_le_bytes()).collect();
+        q0.enqueue_write_buffer(&buf, 0, &data).unwrap();
+        k.set_arg_buffer(0, &buf).unwrap();
+        // Launch on device 0, then on device 1: the second launch must see
+        // the first launch's result.
+        q0.enqueue_nd_range_kernel(&k, NdRange::linear(2, 1)).unwrap();
+        q1.enqueue_nd_range_kernel(&k, NdRange::linear(2, 1)).unwrap();
+        let mut out = vec![0u8; 8];
+        q1.enqueue_read_buffer(&buf, 0, &mut out).unwrap();
+        let vals: Vec<i32> = out
+            .chunks_exact(4)
+            .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        assert_eq!(vals, vec![12, 22]);
+    }
+
+    #[test]
+    fn modeled_pipeline_charges_time_without_data() {
+        let (p, ctx, q) = gpu_setup();
+        let prog = Program::from_source(
+            &ctx,
+            "__kernel void big(__global float* a) { int i = get_global_id(0); a[i] = 1.0f; }",
+        );
+        prog.build().unwrap();
+        let k = Kernel::new(&prog, "big").unwrap();
+        k.set_fidelity(crate::Fidelity::Modeled);
+        k.set_cost(haocl_kernel::CostModel::new().flops(1e12).bytes_read(4e9));
+        // A "1 GB" buffer that allocates nothing.
+        let buf = Buffer::new_modeled(&ctx, MemFlags::READ_WRITE, 1 << 30).unwrap();
+        assert!(buf.is_modeled());
+        let t0 = p.now();
+        q.enqueue_write_buffer_modeled(&buf, 0, 1 << 30).unwrap();
+        k.set_arg_buffer(0, &buf).unwrap();
+        let ev = q
+            .enqueue_nd_range_kernel(&k, NdRange::linear(1 << 20, 256))
+            .unwrap();
+        q.enqueue_read_buffer_modeled(&buf, 0, 1 << 30).unwrap();
+        // PCIe at 12 GB/s: 1 GiB each way ≈ 90 ms each; kernel ≈ 260 ms.
+        let elapsed = p.now() - t0;
+        assert!(elapsed > haocl_sim::SimDuration::from_millis(100), "{elapsed}");
+        assert_eq!(ev.instructions(), 0);
+    }
+
+    #[test]
+    fn modeled_ops_rejected_on_real_buffers_and_vice_versa() {
+        let (_p, ctx, q) = gpu_setup();
+        let real = Buffer::new(&ctx, MemFlags::READ_WRITE, 8).unwrap();
+        let modeled = Buffer::new_modeled(&ctx, MemFlags::READ_WRITE, 8).unwrap();
+        assert_eq!(
+            q.enqueue_write_buffer_modeled(&real, 0, 8).unwrap_err().status(),
+            Some(Status::InvalidOperation)
+        );
+        assert_eq!(
+            q.enqueue_write_buffer(&modeled, 0, &[1u8; 8]).unwrap_err().status(),
+            Some(Status::InvalidOperation)
+        );
+        let mut out = [0u8; 8];
+        assert_eq!(
+            q.enqueue_read_buffer(&modeled, 0, &mut out).unwrap_err().status(),
+            Some(Status::InvalidOperation)
+        );
+    }
+
+    #[test]
+    fn full_fidelity_launch_on_modeled_buffer_fails_remotely() {
+        let (_p, ctx, q) = gpu_setup();
+        let prog = Program::from_source(
+            &ctx,
+            "__kernel void w(__global int* a) { a[0] = 1; }",
+        );
+        prog.build().unwrap();
+        let k = Kernel::new(&prog, "w").unwrap();
+        let buf = Buffer::new_modeled(&ctx, MemFlags::READ_WRITE, 8).unwrap();
+        k.set_arg_buffer(0, &buf).unwrap();
+        // Fidelity stays Full: the node must reject executing against a
+        // virtual buffer.
+        let err = q
+            .enqueue_nd_range_kernel(&k, NdRange::linear(1, 1))
+            .unwrap_err();
+        assert_eq!(err.status(), Some(Status::InvalidOperation));
+    }
+
+    #[test]
+    fn events_report_phase_times() {
+        let (p, ctx, q) = gpu_setup();
+        p.reset_phases();
+        let buf = Buffer::new(&ctx, MemFlags::READ_WRITE, 1 << 20).unwrap();
+        let data = vec![1u8; 1 << 20];
+        q.enqueue_write_buffer(&buf, 0, &data).unwrap();
+        let breakdown = p.phase_breakdown();
+        // PCIe transfer of 1 MiB must have been charged to DataTransfer.
+        assert!(breakdown.time(haocl_sim::Phase::DataTransfer) > haocl_sim::SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,452 @@
+//! Per-device buffer store with capacity accounting.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use haocl_kernel::GlobalBuffer;
+use haocl_proto::ids::BufferId;
+
+/// A device memory allocation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemoryError {
+    /// A data-carrying operation touched a virtual (modeled) buffer.
+    VirtualBuffer(BufferId),
+    /// The allocation would exceed device capacity.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes still free.
+        available: u64,
+    },
+    /// The buffer handle is unknown on this device.
+    UnknownBuffer(BufferId),
+    /// The handle is already allocated on this device.
+    DuplicateBuffer(BufferId),
+    /// An access fell outside a buffer.
+    OutOfBounds {
+        /// The buffer accessed.
+        buffer: BufferId,
+        /// Byte offset requested.
+        offset: u64,
+        /// Length requested.
+        len: u64,
+        /// Actual buffer size.
+        size: u64,
+    },
+}
+
+impl fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryError::OutOfMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "out of device memory: requested {requested} bytes, {available} free"
+            ),
+            MemoryError::UnknownBuffer(id) => write!(f, "unknown buffer {id}"),
+            MemoryError::VirtualBuffer(id) => write!(
+                f,
+                "buffer {id} is virtual (modeled); it carries no real data"
+            ),
+            MemoryError::DuplicateBuffer(id) => write!(f, "buffer {id} already exists"),
+            MemoryError::OutOfBounds {
+                buffer,
+                offset,
+                len,
+                size,
+            } => write!(
+                f,
+                "access [{offset}, {offset}+{len}) outside buffer {buffer} of {size} bytes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MemoryError {}
+
+/// How a buffer is stored on the device.
+#[derive(Debug)]
+enum Backing {
+    /// Real bytes (full-fidelity execution).
+    Real(GlobalBuffer),
+    /// Capacity accounting only, no bytes (modeled runs at paper scale).
+    Virtual(u64),
+}
+
+impl Backing {
+    fn len(&self) -> u64 {
+        match self {
+            Backing::Real(b) => b.len() as u64,
+            Backing::Virtual(size) => *size,
+        }
+    }
+}
+
+/// Manages the buffers resident on one device.
+///
+/// # Examples
+///
+/// ```
+/// use haocl_device::MemoryManager;
+/// use haocl_proto::ids::BufferId;
+///
+/// let mut mem = MemoryManager::new(1024);
+/// let id = BufferId::new(1);
+/// mem.alloc(id, 256)?;
+/// mem.write(id, 0, &[1, 2, 3])?;
+/// assert_eq!(mem.read(id, 0, 3)?, vec![1, 2, 3]);
+/// assert_eq!(mem.used_bytes(), 256);
+/// # Ok::<(), haocl_device::memory::MemoryError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct MemoryManager {
+    capacity: u64,
+    used: u64,
+    buffers: HashMap<BufferId, Backing>,
+}
+
+impl MemoryManager {
+    /// Creates a store with `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        MemoryManager {
+            capacity,
+            used: 0,
+            buffers: HashMap::new(),
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    /// Number of live buffers.
+    pub fn buffer_count(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// Allocates a zero-filled buffer under `id`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemoryError::DuplicateBuffer`] if `id` exists;
+    /// [`MemoryError::OutOfMemory`] if capacity would be exceeded.
+    pub fn alloc(&mut self, id: BufferId, size: u64) -> Result<(), MemoryError> {
+        self.alloc_backing(id, size, false)
+    }
+
+    /// Allocates a *virtual* buffer: capacity is accounted for but no
+    /// bytes are backed. Only modeled transfers and modeled launches may
+    /// touch it.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MemoryManager::alloc`].
+    pub fn alloc_virtual(&mut self, id: BufferId, size: u64) -> Result<(), MemoryError> {
+        self.alloc_backing(id, size, true)
+    }
+
+    fn alloc_backing(&mut self, id: BufferId, size: u64, virt: bool) -> Result<(), MemoryError> {
+        if self.buffers.contains_key(&id) {
+            return Err(MemoryError::DuplicateBuffer(id));
+        }
+        let available = self.capacity - self.used;
+        if size > available {
+            return Err(MemoryError::OutOfMemory {
+                requested: size,
+                available,
+            });
+        }
+        let backing = if virt {
+            Backing::Virtual(size)
+        } else {
+            Backing::Real(GlobalBuffer::zeroed(size as usize))
+        };
+        self.buffers.insert(id, backing);
+        self.used += size;
+        Ok(())
+    }
+
+    /// Frees the buffer under `id`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemoryError::UnknownBuffer`] if `id` is not allocated.
+    pub fn free(&mut self, id: BufferId) -> Result<(), MemoryError> {
+        match self.buffers.remove(&id) {
+            Some(buf) => {
+                self.used -= buf.len();
+                Ok(())
+            }
+            None => Err(MemoryError::UnknownBuffer(id)),
+        }
+    }
+
+    /// Writes `data` into the buffer at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemoryError::UnknownBuffer`] or [`MemoryError::OutOfBounds`].
+    pub fn write(&mut self, id: BufferId, offset: u64, data: &[u8]) -> Result<(), MemoryError> {
+        let backing = self
+            .buffers
+            .get_mut(&id)
+            .ok_or(MemoryError::UnknownBuffer(id))?;
+        let buf = match backing {
+            Backing::Real(b) => b,
+            Backing::Virtual(_) => return Err(MemoryError::VirtualBuffer(id)),
+        };
+        let size = buf.len() as u64;
+        let len = data.len() as u64;
+        if offset.checked_add(len).map_or(true, |end| end > size) {
+            return Err(MemoryError::OutOfBounds {
+                buffer: id,
+                offset,
+                len,
+                size,
+            });
+        }
+        buf.as_bytes_mut()[offset as usize..(offset + len) as usize].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Reads `len` bytes from the buffer at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemoryError::UnknownBuffer`] or [`MemoryError::OutOfBounds`].
+    pub fn read(&self, id: BufferId, offset: u64, len: u64) -> Result<Vec<u8>, MemoryError> {
+        let backing = self.buffers.get(&id).ok_or(MemoryError::UnknownBuffer(id))?;
+        let buf = match backing {
+            Backing::Real(b) => b,
+            Backing::Virtual(_) => return Err(MemoryError::VirtualBuffer(id)),
+        };
+        let size = buf.len() as u64;
+        if offset.checked_add(len).map_or(true, |end| end > size) {
+            return Err(MemoryError::OutOfBounds {
+                buffer: id,
+                offset,
+                len,
+                size,
+            });
+        }
+        Ok(buf.as_bytes()[offset as usize..(offset + len) as usize].to_vec())
+    }
+
+    /// Copies `len` bytes between two buffers (or within one).
+    ///
+    /// # Errors
+    ///
+    /// [`MemoryError::UnknownBuffer`] or [`MemoryError::OutOfBounds`].
+    pub fn copy(
+        &mut self,
+        src: BufferId,
+        dst: BufferId,
+        src_offset: u64,
+        dst_offset: u64,
+        len: u64,
+    ) -> Result<(), MemoryError> {
+        let data = self.read(src, src_offset, len)?;
+        self.write(dst, dst_offset, &data)
+    }
+
+    /// Whether `id` is allocated here.
+    pub fn contains(&self, id: BufferId) -> bool {
+        self.buffers.contains_key(&id)
+    }
+
+    /// Size in bytes of buffer `id`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemoryError::UnknownBuffer`] if `id` is not allocated.
+    pub fn size_of(&self, id: BufferId) -> Result<u64, MemoryError> {
+        self.buffers
+            .get(&id)
+            .map(Backing::len)
+            .ok_or(MemoryError::UnknownBuffer(id))
+    }
+
+    /// Whether `id` is a virtual (modeled) buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`MemoryError::UnknownBuffer`] if `id` is not allocated.
+    pub fn is_virtual(&self, id: BufferId) -> Result<bool, MemoryError> {
+        self.buffers
+            .get(&id)
+            .map(|b| matches!(b, Backing::Virtual(_)))
+            .ok_or(MemoryError::UnknownBuffer(id))
+    }
+
+    /// Temporarily removes the buffers named by `ids` (deduplicated, in
+    /// first-appearance order) for a kernel launch, returning them with a
+    /// mapping from each input position to its slot.
+    ///
+    /// Re-insert with [`MemoryManager::restore`].
+    ///
+    /// # Errors
+    ///
+    /// [`MemoryError::UnknownBuffer`] if any id is missing (no buffers are
+    /// removed in that case).
+    pub fn take_for_launch(
+        &mut self,
+        ids: &[BufferId],
+    ) -> Result<(Vec<(BufferId, GlobalBuffer)>, Vec<usize>), MemoryError> {
+        for id in ids {
+            match self.buffers.get(id) {
+                None => return Err(MemoryError::UnknownBuffer(*id)),
+                Some(Backing::Virtual(_)) => return Err(MemoryError::VirtualBuffer(*id)),
+                Some(Backing::Real(_)) => {}
+            }
+        }
+        let mut taken: Vec<(BufferId, GlobalBuffer)> = Vec::new();
+        let mut slots = Vec::with_capacity(ids.len());
+        for id in ids {
+            if let Some(pos) = taken.iter().position(|(t, _)| t == id) {
+                slots.push(pos);
+            } else {
+                let Some(Backing::Real(buf)) = self.buffers.remove(id) else {
+                    unreachable!("checked above");
+                };
+                taken.push((*id, buf));
+                slots.push(taken.len() - 1);
+            }
+        }
+        Ok((taken, slots))
+    }
+
+    /// Returns buffers taken by [`MemoryManager::take_for_launch`].
+    pub fn restore(&mut self, taken: Vec<(BufferId, GlobalBuffer)>) {
+        for (id, buf) in taken {
+            self.buffers.insert(id, Backing::Real(buf));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u64) -> BufferId {
+        BufferId::new(n)
+    }
+
+    #[test]
+    fn alloc_free_tracks_usage() {
+        let mut m = MemoryManager::new(1000);
+        m.alloc(id(1), 400).unwrap();
+        m.alloc(id(2), 600).unwrap();
+        assert_eq!(m.used_bytes(), 1000);
+        assert_eq!(m.buffer_count(), 2);
+        m.free(id(1)).unwrap();
+        assert_eq!(m.used_bytes(), 600);
+    }
+
+    #[test]
+    fn over_allocation_fails() {
+        let mut m = MemoryManager::new(100);
+        m.alloc(id(1), 80).unwrap();
+        let err = m.alloc(id(2), 21).unwrap_err();
+        assert_eq!(
+            err,
+            MemoryError::OutOfMemory {
+                requested: 21,
+                available: 20
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let mut m = MemoryManager::new(100);
+        m.alloc(id(1), 10).unwrap();
+        assert_eq!(m.alloc(id(1), 10), Err(MemoryError::DuplicateBuffer(id(1))));
+    }
+
+    #[test]
+    fn write_read_roundtrip_with_offset() {
+        let mut m = MemoryManager::new(100);
+        m.alloc(id(1), 10).unwrap();
+        m.write(id(1), 4, &[9, 8, 7]).unwrap();
+        assert_eq!(m.read(id(1), 4, 3).unwrap(), vec![9, 8, 7]);
+        assert_eq!(m.read(id(1), 0, 4).unwrap(), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn out_of_bounds_write_rejected() {
+        let mut m = MemoryManager::new(100);
+        m.alloc(id(1), 10).unwrap();
+        let err = m.write(id(1), 8, &[1, 2, 3]).unwrap_err();
+        assert!(matches!(err, MemoryError::OutOfBounds { .. }));
+        // Offset overflow must not wrap around.
+        let err = m.write(id(1), u64::MAX, &[1]).unwrap_err();
+        assert!(matches!(err, MemoryError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn copy_between_buffers() {
+        let mut m = MemoryManager::new(100);
+        m.alloc(id(1), 4).unwrap();
+        m.alloc(id(2), 4).unwrap();
+        m.write(id(1), 0, &[1, 2, 3, 4]).unwrap();
+        m.copy(id(1), id(2), 1, 0, 3).unwrap();
+        assert_eq!(m.read(id(2), 0, 4).unwrap(), vec![2, 3, 4, 0]);
+    }
+
+    #[test]
+    fn take_for_launch_deduplicates() {
+        let mut m = MemoryManager::new(100);
+        m.alloc(id(1), 4).unwrap();
+        m.alloc(id(2), 4).unwrap();
+        let (taken, slots) = m.take_for_launch(&[id(1), id(2), id(1)]).unwrap();
+        assert_eq!(taken.len(), 2);
+        assert_eq!(slots, vec![0, 1, 0]);
+        assert_eq!(m.buffer_count(), 0);
+        m.restore(taken);
+        assert_eq!(m.buffer_count(), 2);
+    }
+
+    #[test]
+    fn take_for_launch_is_atomic_on_failure() {
+        let mut m = MemoryManager::new(100);
+        m.alloc(id(1), 4).unwrap();
+        let err = m.take_for_launch(&[id(1), id(9)]).unwrap_err();
+        assert_eq!(err, MemoryError::UnknownBuffer(id(9)));
+        // Nothing was removed.
+        assert!(m.contains(id(1)));
+    }
+
+    #[test]
+    fn virtual_buffers_account_capacity_without_bytes() {
+        let mut m = MemoryManager::new(100);
+        m.alloc_virtual(id(1), 80).unwrap();
+        assert_eq!(m.used_bytes(), 80);
+        assert!(m.is_virtual(id(1)).unwrap());
+        assert_eq!(m.size_of(id(1)).unwrap(), 80);
+        // Real data operations are rejected.
+        assert_eq!(m.write(id(1), 0, &[1]), Err(MemoryError::VirtualBuffer(id(1))));
+        assert_eq!(m.read(id(1), 0, 1), Err(MemoryError::VirtualBuffer(id(1))));
+        assert_eq!(
+            m.take_for_launch(&[id(1)]).unwrap_err(),
+            MemoryError::VirtualBuffer(id(1))
+        );
+        m.free(id(1)).unwrap();
+        assert_eq!(m.used_bytes(), 0);
+    }
+
+    #[test]
+    fn size_of_reports_length() {
+        let mut m = MemoryManager::new(100);
+        m.alloc(id(1), 42).unwrap();
+        assert_eq!(m.size_of(id(1)).unwrap(), 42);
+        assert!(m.size_of(id(2)).is_err());
+    }
+}

@@ -1,0 +1,183 @@
+//! The analytic device performance model.
+
+use haocl_kernel::CostModel;
+use haocl_proto::messages::{DeviceDescriptor, DeviceKind};
+use haocl_sim::SimDuration;
+
+/// A roofline-style performance and power model of one device.
+///
+/// Kernel time is `max(compute_time, memory_time) + fixed overheads`,
+/// where the effective compute rate depends on how well the launch's
+/// structure (uniform? streaming?) matches the device class:
+///
+/// * **CPU** — modest peak, tolerant of divergence.
+/// * **GPU** — high peak for uniform data-parallel work, heavily
+///   penalized by divergence.
+/// * **FPGA** — modelled as a streaming processor (paper §III-A): a deep
+///   pipeline with a fill latency per launch and a *streaming efficiency*
+///   factor — near its peak on streaming passes, far below it otherwise.
+///   Loading a bitstream (reconfiguration) costs extra, once per program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceModel {
+    /// Device class.
+    pub kind: DeviceKind,
+    /// Human-readable model name.
+    pub name: String,
+    /// Global memory capacity, bytes.
+    pub mem_bytes: u64,
+    /// Peak single-precision compute, FLOP/s.
+    pub peak_flops: f64,
+    /// Global memory bandwidth, bytes/s.
+    pub mem_bandwidth: f64,
+    /// Host-to-device (PCIe) bandwidth, bytes/s.
+    pub pcie_bandwidth: f64,
+    /// Fixed cost to launch any kernel.
+    pub launch_overhead: SimDuration,
+    /// Fraction of peak sustained on bulk data-parallel (batch) work.
+    pub batch_fraction: f64,
+    /// Fraction of peak sustained on sequential streaming passes. High
+    /// for dataflow pipelines (FPGAs), low for latency-hiding architectures
+    /// that need massive independent parallelism (GPUs).
+    pub streaming_fraction: f64,
+    /// Multiplier (>1) applied to compute time for divergent launches.
+    pub divergence_penalty: f64,
+    /// Pipeline fill latency added per launch (FPGAs).
+    pub pipeline_fill: SimDuration,
+    /// Bitstream load / reconfiguration time (FPGAs; zero otherwise).
+    pub reconfig_time: SimDuration,
+    /// Power draw under load, watts.
+    pub load_power_watts: f64,
+    /// Idle power draw, watts.
+    pub idle_power_watts: f64,
+}
+
+impl DeviceModel {
+    /// Virtual execution time of a launch described by `cost`.
+    ///
+    /// Uses the roofline: compute-bound time and memory-bound time are
+    /// computed independently and the kernel takes the larger, plus the
+    /// launch overhead (and pipeline fill for streaming processors).
+    pub fn kernel_time(&self, cost: &CostModel) -> SimDuration {
+        let fraction = if cost.is_streaming() {
+            self.streaming_fraction
+        } else {
+            self.batch_fraction
+        };
+        let mut rate = self.peak_flops * fraction;
+        if !cost.is_uniform() {
+            rate /= self.divergence_penalty;
+        }
+        let compute_secs = if rate > 0.0 {
+            cost.total_flops() / rate
+        } else {
+            0.0
+        };
+        let memory_secs = if self.mem_bandwidth > 0.0 {
+            cost.total_bytes() / self.mem_bandwidth
+        } else {
+            0.0
+        };
+        let body = SimDuration::from_secs_f64(compute_secs.max(memory_secs));
+        self.launch_overhead + self.pipeline_fill + body
+    }
+
+    /// Virtual time to move `bytes` across the host↔device link (PCIe).
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        if self.pcie_bandwidth <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_secs_f64(bytes as f64 / self.pcie_bandwidth)
+    }
+
+    /// Energy consumed running under load for `dur`, joules.
+    pub fn energy(&self, dur: SimDuration) -> f64 {
+        self.load_power_watts * dur.as_secs_f64()
+    }
+
+    /// The wire descriptor advertised to the host.
+    pub fn descriptor(&self, index: u8) -> DeviceDescriptor {
+        DeviceDescriptor {
+            index,
+            kind: self.kind,
+            name: self.name.clone(),
+            mem_bytes: self.mem_bytes,
+            gflops: self.peak_flops / 1e9,
+            mem_bandwidth_gbps: self.mem_bandwidth / 1e9,
+            power_watts: self.load_power_watts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn compute_bound_launch_scales_with_flops() {
+        let gpu = presets::tesla_p4();
+        let small = CostModel::new().flops(1e9);
+        let large = CostModel::new().flops(4e9);
+        let t1 = gpu.kernel_time(&small) - gpu.launch_overhead;
+        let t4 = gpu.kernel_time(&large) - gpu.launch_overhead;
+        let ratio = t4.as_secs_f64() / t1.as_secs_f64();
+        assert!((ratio - 4.0).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn memory_bound_launch_ignores_extra_bandwidth_headroom() {
+        let gpu = presets::tesla_p4();
+        // Almost no compute, lots of traffic: memory roofline dominates.
+        let cost = CostModel::new().flops(1.0).bytes_read(192e9 / 2.0);
+        let t = gpu.kernel_time(&cost);
+        assert!((t.as_secs_f64() - 0.5).abs() < 0.01, "t = {t}");
+    }
+
+    #[test]
+    fn divergence_penalizes_gpu_more_than_cpu() {
+        let gpu = presets::tesla_p4();
+        let cpu = presets::xeon_e5_2686();
+        let uniform = CostModel::new().flops(1e10);
+        let divergent = CostModel::new().flops(1e10).divergent();
+        let gpu_slowdown = gpu.kernel_time(&divergent).as_secs_f64()
+            / gpu.kernel_time(&uniform).as_secs_f64();
+        let cpu_slowdown = cpu.kernel_time(&divergent).as_secs_f64()
+            / cpu.kernel_time(&uniform).as_secs_f64();
+        assert!(gpu_slowdown > cpu_slowdown);
+    }
+
+    #[test]
+    fn fpga_prefers_streaming() {
+        let fpga = presets::vu9p();
+        let stream = CostModel::new().flops(1e10).streaming();
+        let batch = CostModel::new().flops(1e10);
+        assert!(fpga.kernel_time(&stream) < fpga.kernel_time(&batch));
+    }
+
+    #[test]
+    fn transfer_time_is_linear_in_bytes() {
+        let gpu = presets::tesla_p4();
+        let t1 = gpu.transfer_time(1 << 20);
+        let t2 = gpu.transfer_time(2 << 20);
+        // Within a nanosecond of exactly double (float rounding).
+        let diff = t2.as_nanos() as i64 - 2 * t1.as_nanos() as i64;
+        assert!(diff.abs() <= 1, "diff {diff}ns");
+    }
+
+    #[test]
+    fn descriptor_mirrors_model() {
+        let fpga = presets::vu9p();
+        let d = fpga.descriptor(3);
+        assert_eq!(d.index, 3);
+        assert_eq!(d.kind, DeviceKind::Fpga);
+        assert_eq!(d.mem_bytes, fpga.mem_bytes);
+        assert!((d.gflops - fpga.peak_flops / 1e9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_scales_with_time() {
+        let gpu = presets::tesla_p4();
+        let e = gpu.energy(SimDuration::from_secs(2));
+        assert!((e - 2.0 * gpu.load_power_watts).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,127 @@
+//! Calibrated device models for the paper's cluster hardware.
+//!
+//! Numbers come from public spec sheets, derated to sustained rates. The
+//! reproduction only needs the *ratios* to be faithful — GPU ≫ FPGA ≫ CPU
+//! on uniform dense compute, FPGA best on energy and on streaming passes —
+//! because the paper's figures are speedups normalized to a single node.
+
+use haocl_proto::messages::DeviceKind;
+use haocl_sim::SimDuration;
+
+use crate::model::DeviceModel;
+
+/// Intel Xeon E5-2686 v4 (18 cores, AVX2) — the CPU in every node of the
+/// paper's Alibaba Cloud cluster.
+pub fn xeon_e5_2686() -> DeviceModel {
+    DeviceModel {
+        kind: DeviceKind::Cpu,
+        name: "Intel Xeon E5-2686 v4 (simulated)".to_string(),
+        mem_bytes: 64 << 30,
+        peak_flops: 1.0e12,
+        mem_bandwidth: 70.0e9,
+        // Host memory is the device memory: copies still cost a memcpy.
+        pcie_bandwidth: 20.0e9,
+        launch_overhead: SimDuration::from_micros(4),
+        batch_fraction: 0.55,
+        streaming_fraction: 0.50,
+        divergence_penalty: 1.3,
+        pipeline_fill: SimDuration::ZERO,
+        reconfig_time: SimDuration::ZERO,
+        load_power_watts: 145.0,
+        idle_power_watts: 60.0,
+    }
+}
+
+/// NVIDIA Tesla P4 — the GPU in the paper's 16 GPU nodes.
+pub fn tesla_p4() -> DeviceModel {
+    DeviceModel {
+        kind: DeviceKind::Gpu,
+        name: "NVIDIA Tesla P4 (simulated)".to_string(),
+        mem_bytes: 8 << 30,
+        peak_flops: 5.5e12,
+        mem_bandwidth: 192.0e9,
+        pcie_bandwidth: 12.0e9,
+        launch_overhead: SimDuration::from_micros(10),
+        batch_fraction: 0.70,
+        streaming_fraction: 0.25,
+        divergence_penalty: 4.0,
+        pipeline_fill: SimDuration::ZERO,
+        reconfig_time: SimDuration::ZERO,
+        load_power_watts: 75.0,
+        idle_power_watts: 8.0,
+    }
+}
+
+/// Xilinx VU9P — the FPGA in the paper's 4 FPGA nodes, used as a
+/// streaming processor with pre-built bitstreams (§III-D).
+pub fn vu9p() -> DeviceModel {
+    DeviceModel {
+        kind: DeviceKind::Fpga,
+        name: "Xilinx VU9P (simulated)".to_string(),
+        mem_bytes: 16 << 30,
+        peak_flops: 1.8e12,
+        mem_bandwidth: 60.0e9,
+        pcie_bandwidth: 10.0e9,
+        launch_overhead: SimDuration::from_micros(20),
+        // Off its streaming sweet spot the dataflow pipeline stalls
+        // (batch), but as a pure dataflow pipe it nears peak (streaming).
+        batch_fraction: 0.35,
+        streaming_fraction: 0.85,
+        divergence_penalty: 2.0,
+        pipeline_fill: SimDuration::from_micros(50),
+        reconfig_time: SimDuration::from_secs(2),
+        load_power_watts: 45.0,
+        idle_power_watts: 12.0,
+    }
+}
+
+/// The preset for a device kind (the node constructor's default).
+pub fn by_kind(kind: DeviceKind) -> DeviceModel {
+    match kind {
+        DeviceKind::Cpu => xeon_e5_2686(),
+        DeviceKind::Gpu => tesla_p4(),
+        DeviceKind::Fpga => vu9p(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haocl_kernel::CostModel;
+
+    #[test]
+    fn presets_have_expected_kinds() {
+        assert_eq!(xeon_e5_2686().kind, DeviceKind::Cpu);
+        assert_eq!(tesla_p4().kind, DeviceKind::Gpu);
+        assert_eq!(vu9p().kind, DeviceKind::Fpga);
+        assert_eq!(by_kind(DeviceKind::Gpu).name, tesla_p4().name);
+    }
+
+    #[test]
+    fn gpu_beats_cpu_and_fpga_on_uniform_dense_compute() {
+        let cost = CostModel::new().flops(1e11).bytes_read(1e8);
+        let gpu = tesla_p4().kernel_time(&cost);
+        let cpu = xeon_e5_2686().kernel_time(&cost);
+        let fpga = vu9p().kernel_time(&cost);
+        assert!(gpu < fpga, "gpu {gpu} vs fpga {fpga}");
+        assert!(fpga < cpu, "fpga {fpga} vs cpu {cpu}");
+    }
+
+    #[test]
+    fn fpga_is_most_energy_efficient_on_streaming_work() {
+        let cost = CostModel::new().flops(1e11).bytes_read(1e9).streaming();
+        let joules = |m: &DeviceModel| m.energy(m.kernel_time(&cost));
+        let gpu = joules(&tesla_p4());
+        let cpu = joules(&xeon_e5_2686());
+        let fpga = joules(&vu9p());
+        assert!(fpga < gpu, "fpga {fpga} J vs gpu {gpu} J");
+        assert!(fpga < cpu, "fpga {fpga} J vs cpu {cpu} J");
+    }
+
+    #[test]
+    fn only_the_fpga_pays_reconfiguration() {
+        assert_eq!(tesla_p4().reconfig_time, SimDuration::ZERO);
+        assert_eq!(xeon_e5_2686().reconfig_time, SimDuration::ZERO);
+        assert!(vu9p().reconfig_time > SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,158 @@
+//! The pre-built kernel store ("bitstream registry").
+//!
+//! FPGA nodes in the paper cannot compile arbitrary OpenCL source online;
+//! their kernels arrive as pre-built bitstreams (§III-D). The
+//! [`KernelRegistry`] models that store: named [`NativeKernel`]s are
+//! registered at deployment time and looked up by name at launch time.
+//! CPU/GPU nodes also consult the registry as a fast path before falling
+//! back to source compilation.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::NativeKernel;
+
+/// A thread-safe, shareable store of pre-built kernels keyed by name.
+///
+/// Cloning is cheap and clones share the same underlying store.
+///
+/// # Examples
+///
+/// ```
+/// use haocl_kernel::KernelRegistry;
+///
+/// let registry = KernelRegistry::new();
+/// assert!(registry.get("matmul").is_none());
+/// assert!(registry.is_empty());
+/// ```
+#[derive(Clone, Default)]
+pub struct KernelRegistry {
+    inner: Arc<RwLock<HashMap<String, Arc<dyn NativeKernel>>>>,
+}
+
+impl KernelRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        KernelRegistry::default()
+    }
+
+    /// Registers (or replaces) a kernel under its own name.
+    ///
+    /// Returns the previously registered kernel, if any.
+    pub fn register(&self, kernel: Arc<dyn NativeKernel>) -> Option<Arc<dyn NativeKernel>> {
+        let name = kernel.name().to_string();
+        self.inner.write().insert(name, kernel)
+    }
+
+    /// Looks up a kernel by name.
+    pub fn get(&self, name: &str) -> Option<Arc<dyn NativeKernel>> {
+        self.inner.read().get(name).cloned()
+    }
+
+    /// Whether `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.inner.read().contains_key(name)
+    }
+
+    /// Removes a kernel by name, returning it if present.
+    pub fn unregister(&self, name: &str) -> Option<Arc<dyn NativeKernel>> {
+        self.inner.write().remove(name)
+    }
+
+    /// Registered kernel names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered kernels.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether the registry has no kernels.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+}
+
+impl std::fmt::Debug for KernelRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KernelRegistry")
+            .field("kernels", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArgValue, ExecError, ExecStats, GlobalBuffer, NdRange};
+
+    struct Noop(&'static str);
+
+    impl NativeKernel for Noop {
+        fn name(&self) -> &str {
+            self.0
+        }
+
+        fn arity(&self) -> usize {
+            0
+        }
+
+        fn execute(
+            &self,
+            _args: &[ArgValue],
+            _buffers: &mut [GlobalBuffer],
+            _range: &NdRange,
+        ) -> Result<ExecStats, ExecError> {
+            Ok(ExecStats::default())
+        }
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let r = KernelRegistry::new();
+        assert!(r.register(Arc::new(Noop("a"))).is_none());
+        assert!(r.contains("a"));
+        assert_eq!(r.get("a").unwrap().name(), "a");
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn replace_returns_previous() {
+        let r = KernelRegistry::new();
+        r.register(Arc::new(Noop("k")));
+        let prev = r.register(Arc::new(Noop("k")));
+        assert!(prev.is_some());
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn unregister_removes() {
+        let r = KernelRegistry::new();
+        r.register(Arc::new(Noop("k")));
+        assert!(r.unregister("k").is_some());
+        assert!(r.unregister("k").is_none());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let r = KernelRegistry::new();
+        let r2 = r.clone();
+        r.register(Arc::new(Noop("shared")));
+        assert!(r2.contains("shared"));
+    }
+
+    #[test]
+    fn names_are_sorted() {
+        let r = KernelRegistry::new();
+        r.register(Arc::new(Noop("zeta")));
+        r.register(Arc::new(Noop("alpha")));
+        assert_eq!(r.names(), vec!["alpha", "zeta"]);
+    }
+}

@@ -1,0 +1,614 @@
+//! The in-process network fabric with a virtual-time link model.
+//!
+//! Addresses are `"host:port"` strings, exactly like the paper's cluster
+//! configuration file. A node [`Fabric::bind`]s an acceptor at its
+//! address; the host [`Fabric::connect`]s from its own host name. Every
+//! frame transmission:
+//!
+//! 1. serializes on the *sender host's NIC* (one transmit resource per
+//!    host name — the paper's Gigabit links are full-duplex, so receive
+//!    does not contend with transmit),
+//! 2. takes one propagation latency,
+//! 3. arrives with a virtual timestamp the receiver reads back.
+//!
+//! The shared host NIC is the backbone's bottleneck under fan-out, which
+//! is what limits scaling for communication-heavy benchmarks in Fig. 2.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use haocl_sim::{Clock, Resource, SimDuration, SimTime};
+
+use crate::error::NetError;
+use crate::frame::{encode_frame, segment, FrameAssembler};
+
+/// Bandwidth/latency model of every link in the fabric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    /// Link bandwidth, bytes per second.
+    pub bandwidth_bps: f64,
+    /// One-way propagation + switching latency.
+    pub latency: SimDuration,
+}
+
+impl LinkModel {
+    /// Gigabit Ethernet: 125 MB/s, 50 µs one-way latency (the paper's
+    /// interconnect).
+    pub fn gigabit_ethernet() -> Self {
+        LinkModel {
+            bandwidth_bps: 125.0e6,
+            latency: SimDuration::from_micros(50),
+        }
+    }
+
+    /// 10-Gigabit Ethernet (for ablation sweeps).
+    pub fn ten_gigabit_ethernet() -> Self {
+        LinkModel {
+            bandwidth_bps: 1.25e9,
+            latency: SimDuration::from_micros(20),
+        }
+    }
+
+    /// A custom link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_bps` is not positive and finite.
+    pub fn custom(bandwidth_bps: f64, latency: SimDuration) -> Self {
+        assert!(
+            bandwidth_bps.is_finite() && bandwidth_bps > 0.0,
+            "bandwidth must be positive"
+        );
+        LinkModel {
+            bandwidth_bps,
+            latency,
+        }
+    }
+
+    /// Virtual time to push `bytes` through the link (excluding latency).
+    pub fn transmit_time(&self, bytes: usize) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 / self.bandwidth_bps)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Chunk {
+    bytes: Vec<u8>,
+    arrival: SimTime,
+}
+
+struct FabricInner {
+    link: LinkModel,
+    clock: Clock,
+    listeners: Mutex<HashMap<String, Sender<Conn>>>,
+    /// Transmit NIC per host name.
+    nics: Mutex<HashMap<String, Resource>>,
+}
+
+/// The shared in-process network.
+///
+/// Cloning is cheap; clones address the same fabric.
+#[derive(Clone)]
+pub struct Fabric {
+    inner: Arc<FabricInner>,
+}
+
+impl Fabric {
+    /// Creates a fabric on `clock` with the given link model.
+    pub fn new(clock: Clock, link: LinkModel) -> Self {
+        Fabric {
+            inner: Arc::new(FabricInner {
+                link,
+                clock,
+                listeners: Mutex::new(HashMap::new()),
+                nics: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// The fabric's link model.
+    pub fn link(&self) -> LinkModel {
+        self.inner.link
+    }
+
+    /// The fabric's virtual clock.
+    pub fn clock(&self) -> &Clock {
+        &self.inner.clock
+    }
+
+    /// Binds an acceptor at `addr` (`"host:port"`).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::AddressInUse`] if a listener is already bound there.
+    pub fn bind(&self, addr: &str) -> Result<Listener, NetError> {
+        let mut listeners = self.inner.listeners.lock();
+        if listeners.contains_key(addr) {
+            return Err(NetError::AddressInUse {
+                addr: addr.to_string(),
+            });
+        }
+        let (tx, rx) = unbounded();
+        listeners.insert(addr.to_string(), tx);
+        Ok(Listener {
+            addr: addr.to_string(),
+            incoming: rx,
+            fabric: Arc::clone(&self.inner),
+        })
+    }
+
+    /// Dials the listener at `to`, identifying as host `from`.
+    ///
+    /// `from` is the *host name* of the caller (no port); it selects which
+    /// transmit NIC the caller's frames serialize on.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::ConnectionRefused`] if nothing is bound at `to`, or
+    /// [`NetError::Disconnected`] if the listener was dropped.
+    pub fn connect(&self, from: &str, to: &str) -> Result<Conn, NetError> {
+        let listeners = self.inner.listeners.lock();
+        let tx = listeners
+            .get(to)
+            .ok_or_else(|| NetError::ConnectionRefused {
+                addr: to.to_string(),
+            })?
+            .clone();
+        drop(listeners);
+        let (a_tx, b_rx) = unbounded::<Chunk>();
+        let (b_tx, a_rx) = unbounded::<Chunk>();
+        let client = Conn {
+            local_host: host_of(from),
+            peer: to.to_string(),
+            tx: a_tx,
+            rx: a_rx,
+            assembler: FrameAssembler::new(),
+            ready: Vec::new(),
+            fabric: Arc::clone(&self.inner),
+        };
+        let server = Conn {
+            local_host: host_of(to),
+            peer: from.to_string(),
+            tx: b_tx,
+            rx: b_rx,
+            assembler: FrameAssembler::new(),
+            ready: Vec::new(),
+            fabric: Arc::clone(&self.inner),
+        };
+        tx.send(server).map_err(|_| NetError::Disconnected)?;
+        Ok(client)
+    }
+
+    /// Removes the listener at `addr`, refusing future connections.
+    pub fn unbind(&self, addr: &str) {
+        self.inner.listeners.lock().remove(addr);
+    }
+}
+
+impl std::fmt::Debug for Fabric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let listeners = self.inner.listeners.lock();
+        f.debug_struct("Fabric")
+            .field("link", &self.inner.link)
+            .field("listeners", &listeners.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+fn host_of(addr: &str) -> String {
+    addr.split(':').next().unwrap_or(addr).to_string()
+}
+
+/// An acceptor bound to an address.
+pub struct Listener {
+    addr: String,
+    incoming: Receiver<Conn>,
+    fabric: Arc<FabricInner>,
+}
+
+impl Listener {
+    /// The bound address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Blocks until a connection arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Disconnected`] if the fabric is torn down.
+    pub fn accept(&self) -> Result<Conn, NetError> {
+        self.incoming.recv().map_err(|_| NetError::Disconnected)
+    }
+
+    /// Accepts a pending connection without blocking.
+    pub fn try_accept(&self) -> Option<Conn> {
+        self.incoming.try_recv().ok()
+    }
+
+    /// Blocks up to `timeout` (wall-clock) for a connection.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Timeout`] on expiry, [`NetError::Disconnected`] on
+    /// teardown.
+    pub fn accept_timeout(&self, timeout: Duration) -> Result<Conn, NetError> {
+        use crossbeam::channel::RecvTimeoutError;
+        self.incoming.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => NetError::Timeout,
+            RecvTimeoutError::Disconnected => NetError::Disconnected,
+        })
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        self.fabric.listeners.lock().remove(&self.addr);
+    }
+}
+
+impl std::fmt::Debug for Listener {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Listener({})", self.addr)
+    }
+}
+
+/// One side of an established connection.
+pub struct Conn {
+    local_host: String,
+    peer: String,
+    tx: Sender<Chunk>,
+    rx: Receiver<Chunk>,
+    assembler: FrameAssembler,
+    /// Frames completed by earlier chunks but not yet returned.
+    ready: Vec<(Vec<u8>, SimTime)>,
+    fabric: Arc<FabricInner>,
+}
+
+impl Conn {
+    /// The remote address or host this side talks to.
+    pub fn peer(&self) -> &str {
+        &self.peer
+    }
+
+    /// Sends one frame at virtual time `at`; returns its arrival time at
+    /// the peer.
+    ///
+    /// The frame serializes on this host's transmit NIC — concurrent
+    /// frames from the same host queue behind each other — then takes one
+    /// propagation latency.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Disconnected`] if the peer is gone.
+    pub fn send_frame(&mut self, payload: &[u8], at: SimTime) -> Result<SimTime, NetError> {
+        self.send_frame_virtual(payload, at, 0)
+    }
+
+    /// Like [`Conn::send_frame`], but charges the link as if the payload
+    /// were at least `virtual_len` bytes long.
+    ///
+    /// This is the *modeled transfer* path: a tiny descriptor frame
+    /// stands in for a bulk data package whose bytes are not actually
+    /// materialized (paper-scale benchmarking), while virtual timing is
+    /// identical to shipping the real data.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Disconnected`] if the peer is gone.
+    pub fn send_frame_virtual(
+        &mut self,
+        payload: &[u8],
+        at: SimTime,
+        virtual_len: u64,
+    ) -> Result<SimTime, NetError> {
+        let frame = encode_frame(payload);
+        // Loopback: co-located peers (same host name) never touch the
+        // NIC — the paper's single-node deployment runs the host process
+        // on the device node itself.
+        let arrival = if host_of(&self.peer) == self.local_host {
+            at
+        } else {
+            let charged = (frame.len() as u64).max(virtual_len.saturating_add(4));
+            let service = self.fabric.link.transmit_time(charged as usize);
+            let grant = {
+                let mut nics = self.fabric.nics.lock();
+                let nic = nics
+                    .entry(self.local_host.clone())
+                    .or_insert_with(|| Resource::new(format!("nic:{}", self.local_host)));
+                nic.acquire(at, service)
+            };
+            grant.end + self.fabric.link.latency
+        };
+        self.fabric.clock.advance_to(arrival);
+        for chunk in segment(&frame) {
+            self.tx
+                .send(Chunk {
+                    bytes: chunk,
+                    arrival,
+                })
+                .map_err(|_| NetError::Disconnected)?;
+        }
+        Ok(arrival)
+    }
+
+    /// Blocks until a whole frame is available; returns it with its
+    /// virtual arrival time.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Disconnected`] if the peer is gone before a frame
+    /// completes; [`NetError::BadFrame`] on corruption.
+    pub fn recv_frame(&mut self) -> Result<(Vec<u8>, SimTime), NetError> {
+        loop {
+            if !self.ready.is_empty() {
+                return Ok(self.ready.remove(0));
+            }
+            let chunk = self.rx.recv().map_err(|_| NetError::Disconnected)?;
+            self.ingest(chunk)?;
+        }
+    }
+
+    /// Like [`Conn::recv_frame`] with a wall-clock timeout.
+    ///
+    /// # Errors
+    ///
+    /// Additionally returns [`NetError::Timeout`] on expiry.
+    pub fn recv_frame_timeout(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<(Vec<u8>, SimTime), NetError> {
+        use crossbeam::channel::RecvTimeoutError;
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if !self.ready.is_empty() {
+                return Ok(self.ready.remove(0));
+            }
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            let chunk = self.rx.recv_timeout(remaining).map_err(|e| match e {
+                RecvTimeoutError::Timeout => NetError::Timeout,
+                RecvTimeoutError::Disconnected => NetError::Disconnected,
+            })?;
+            self.ingest(chunk)?;
+        }
+    }
+
+    /// Receives a frame if one is already complete or completable from
+    /// queued chunks, without blocking.
+    pub fn try_recv_frame(&mut self) -> Result<Option<(Vec<u8>, SimTime)>, NetError> {
+        loop {
+            if !self.ready.is_empty() {
+                return Ok(Some(self.ready.remove(0)));
+            }
+            match self.rx.try_recv() {
+                Ok(chunk) => self.ingest(chunk)?,
+                Err(_) => return Ok(None),
+            }
+        }
+    }
+
+    fn ingest(&mut self, chunk: Chunk) -> Result<(), NetError> {
+        let arrival = chunk.arrival;
+        self.fabric.clock.advance_to(arrival);
+        for frame in self.assembler.push(&chunk.bytes)? {
+            self.ready.push((frame, arrival));
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Conn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Conn({} -> {})", self.local_host, self.peer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric() -> Fabric {
+        Fabric::new(Clock::new(), LinkModel::gigabit_ethernet())
+    }
+
+    #[test]
+    fn bind_connect_accept_roundtrip() {
+        let f = fabric();
+        let listener = f.bind("node1:7001").unwrap();
+        let mut client = f.connect("host", "node1:7001").unwrap();
+        let mut server = listener.accept().unwrap();
+        assert_eq!(server.peer(), "host");
+        assert_eq!(client.peer(), "node1:7001");
+
+        client.send_frame(b"ping", SimTime::ZERO).unwrap();
+        let (data, _) = server.recv_frame().unwrap();
+        assert_eq!(data, b"ping");
+
+        server.send_frame(b"pong", SimTime::ZERO).unwrap();
+        let (data, _) = client.recv_frame().unwrap();
+        assert_eq!(data, b"pong");
+    }
+
+    #[test]
+    fn double_bind_rejected() {
+        let f = fabric();
+        let _l = f.bind("n:1").unwrap();
+        let err = f.bind("n:1").unwrap_err();
+        assert!(matches!(err, NetError::AddressInUse { .. }));
+    }
+
+    #[test]
+    fn connect_to_unbound_refused() {
+        let f = fabric();
+        let err = f.connect("host", "nowhere:9").unwrap_err();
+        assert!(matches!(err, NetError::ConnectionRefused { .. }));
+    }
+
+    #[test]
+    fn dropping_listener_frees_address() {
+        let f = fabric();
+        drop(f.bind("n:1").unwrap());
+        assert!(f.bind("n:1").is_ok());
+    }
+
+    #[test]
+    fn large_frame_transits_in_chunks() {
+        let f = fabric();
+        let listener = f.bind("n:1").unwrap();
+        let mut client = f.connect("host", "n:1").unwrap();
+        let mut server = listener.accept().unwrap();
+        let payload: Vec<u8> = (0..100_000).map(|i| (i % 256) as u8).collect();
+        client.send_frame(&payload, SimTime::ZERO).unwrap();
+        let (data, _) = server.recv_frame().unwrap();
+        assert_eq!(data, payload);
+    }
+
+    #[test]
+    fn arrival_time_includes_transmit_and_latency() {
+        let f = fabric();
+        let listener = f.bind("n:1").unwrap();
+        let mut client = f.connect("host", "n:1").unwrap();
+        let mut server = listener.accept().unwrap();
+        let payload = vec![0u8; 125_000]; // 1 ms at 125 MB/s (+ prefix)
+        let arrival = client.send_frame(&payload, SimTime::ZERO).unwrap();
+        let (_, at) = server.recv_frame().unwrap();
+        assert_eq!(at, arrival);
+        let expect_min = SimTime::ZERO
+            + LinkModel::gigabit_ethernet().transmit_time(125_000)
+            + LinkModel::gigabit_ethernet().latency;
+        assert!(at >= expect_min, "{at} < {expect_min}");
+    }
+
+    #[test]
+    fn same_host_fanout_serializes_on_the_nic() {
+        let f = fabric();
+        let l1 = f.bind("n1:1").unwrap();
+        let l2 = f.bind("n2:1").unwrap();
+        let mut c1 = f.connect("host", "n1:1").unwrap();
+        let mut c2 = f.connect("host", "n2:1").unwrap();
+        let _s1 = l1.accept().unwrap();
+        let _s2 = l2.accept().unwrap();
+        let payload = vec![0u8; 1_000_000];
+        let a1 = c1.send_frame(&payload, SimTime::ZERO).unwrap();
+        let a2 = c2.send_frame(&payload, SimTime::ZERO).unwrap();
+        // Second transfer queued behind the first on host's NIC.
+        let service = LinkModel::gigabit_ethernet().transmit_time(1_000_004);
+        assert_eq!(a2 - a1, service);
+    }
+
+    #[test]
+    fn different_hosts_do_not_contend() {
+        let f = fabric();
+        let l = f.bind("sink:1").unwrap();
+        let mut c1 = f.connect("hostA", "sink:1").unwrap();
+        let mut c2 = f.connect("hostB", "sink:1").unwrap();
+        let _s1 = l.accept().unwrap();
+        let _s2 = l.accept().unwrap();
+        let payload = vec![0u8; 1_000_000];
+        let a1 = c1.send_frame(&payload, SimTime::ZERO).unwrap();
+        let a2 = c2.send_frame(&payload, SimTime::ZERO).unwrap();
+        assert_eq!(a1, a2, "independent NICs transmit in parallel");
+    }
+
+    #[test]
+    fn disconnected_peer_detected() {
+        let f = fabric();
+        let listener = f.bind("n:1").unwrap();
+        let mut client = f.connect("host", "n:1").unwrap();
+        let server = listener.accept().unwrap();
+        drop(server);
+        // Sends may buffer; receive must detect the closed peer.
+        let err = client.recv_frame().unwrap_err();
+        assert_eq!(err, NetError::Disconnected);
+    }
+
+    #[test]
+    fn try_recv_returns_none_when_empty() {
+        let f = fabric();
+        let listener = f.bind("n:1").unwrap();
+        let _client = f.connect("host", "n:1").unwrap();
+        let mut server = listener.accept().unwrap();
+        assert_eq!(server.try_recv_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let f = fabric();
+        let listener = f.bind("n:1").unwrap();
+        let _client = f.connect("host", "n:1").unwrap();
+        let mut server = listener.accept().unwrap();
+        let err = server
+            .recv_frame_timeout(Duration::from_millis(10))
+            .unwrap_err();
+        assert_eq!(err, NetError::Timeout);
+    }
+
+    #[test]
+    fn cross_thread_request_reply() {
+        let f = fabric();
+        let listener = f.bind("n:1").unwrap();
+        let handle = std::thread::spawn(move || {
+            let mut server = listener.accept().unwrap();
+            let (req, at) = server.recv_frame().unwrap();
+            server.send_frame(&req, at).unwrap(); // echo
+        });
+        let mut client = f.connect("host", "n:1").unwrap();
+        client.send_frame(b"echo me", SimTime::ZERO).unwrap();
+        let (reply, _) = client.recv_frame().unwrap();
+        assert_eq!(reply, b"echo me");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn colocated_peers_use_loopback() {
+        let f = fabric();
+        let listener = f.bind("nodeA:7100").unwrap();
+        // Host process running on nodeA itself.
+        let mut client = f.connect("nodeA", "nodeA:7100").unwrap();
+        let mut server = listener.accept().unwrap();
+        let arrival = client
+            .send_frame(&vec![0u8; 1_000_000], SimTime::ZERO)
+            .unwrap();
+        assert_eq!(arrival, SimTime::ZERO, "loopback is free in virtual time");
+        let (_, at) = server.recv_frame().unwrap();
+        assert_eq!(at, SimTime::ZERO);
+        // The reply path is loopback too.
+        let back = server.send_frame(b"ok", SimTime::ZERO).unwrap();
+        assert_eq!(back, SimTime::ZERO);
+    }
+
+    #[test]
+    fn virtual_frames_charge_like_bulk_data() {
+        let f = fabric();
+        let listener = f.bind("n:1").unwrap();
+        let mut client = f.connect("host", "n:1").unwrap();
+        let mut server = listener.accept().unwrap();
+        // A 20-byte descriptor charged as 1 MB.
+        let arrival = client
+            .send_frame_virtual(&[7u8; 20], SimTime::ZERO, 1_000_000)
+            .unwrap();
+        let (payload, at) = server.recv_frame().unwrap();
+        assert_eq!(payload, vec![7u8; 20]);
+        assert_eq!(at, arrival);
+        let expect = SimTime::ZERO
+            + LinkModel::gigabit_ethernet().transmit_time(1_000_004)
+            + LinkModel::gigabit_ethernet().latency;
+        assert_eq!(at, expect);
+    }
+
+    #[test]
+    fn clock_advances_with_traffic() {
+        let clock = Clock::new();
+        let f = Fabric::new(clock.clone(), LinkModel::gigabit_ethernet());
+        let listener = f.bind("n:1").unwrap();
+        let mut client = f.connect("host", "n:1").unwrap();
+        let mut server = listener.accept().unwrap();
+        client.send_frame(&vec![0u8; 125_000], SimTime::ZERO).unwrap();
+        server.recv_frame().unwrap();
+        assert!(clock.now() > SimTime::ZERO);
+    }
+}

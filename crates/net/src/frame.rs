@@ -1,0 +1,196 @@
+//! Length-prefixed framing with MTU segmentation.
+//!
+//! Every message/data package travels as one *frame*: a little-endian
+//! `u32` length prefix followed by the payload. On the wire a frame is
+//! segmented into [`MTU`]-sized chunks (standard Ethernet payload size)
+//! and reassembled by a [`FrameAssembler`] at the receiver — partial
+//! arrival, interleaved boundary cases and corrupt prefixes are all
+//! exercised by the tests rather than hidden behind an in-process queue.
+
+use crate::error::NetError;
+
+/// Ethernet payload size used for segmentation.
+pub const MTU: usize = 1500;
+
+/// Maximum accepted frame payload (guards against corrupt prefixes).
+pub const MAX_FRAME_LEN: u32 = 1 << 30;
+
+/// Encodes a payload as a frame: length prefix plus body.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Splits an encoded frame into MTU-sized chunks (the last may be short).
+///
+/// An empty frame still produces one chunk (the 4-byte prefix).
+pub fn segment(frame: &[u8]) -> Vec<Vec<u8>> {
+    frame.chunks(MTU).map(|c| c.to_vec()).collect()
+}
+
+/// Incremental reassembly of frames from a chunk stream.
+///
+/// # Examples
+///
+/// ```
+/// use haocl_net::frame::{encode_frame, segment, FrameAssembler};
+///
+/// let payload = vec![7u8; 4000];
+/// let mut asm = FrameAssembler::new();
+/// let mut frames = Vec::new();
+/// for chunk in segment(&encode_frame(&payload)) {
+///     frames.extend(asm.push(&chunk)?);
+/// }
+/// assert_eq!(frames, vec![payload]);
+/// # Ok::<(), haocl_net::NetError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+}
+
+impl FrameAssembler {
+    /// Creates an empty assembler.
+    pub fn new() -> Self {
+        FrameAssembler::default()
+    }
+
+    /// Feeds received bytes in; returns every frame completed by them.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::BadFrame`] if a length prefix exceeds
+    /// [`MAX_FRAME_LEN`].
+    pub fn push(&mut self, chunk: &[u8]) -> Result<Vec<Vec<u8>>, NetError> {
+        self.buf.extend_from_slice(chunk);
+        let mut out = Vec::new();
+        loop {
+            if self.buf.len() < 4 {
+                break;
+            }
+            let len = u32::from_le_bytes(self.buf[..4].try_into().expect("4 bytes"));
+            if len > MAX_FRAME_LEN {
+                return Err(NetError::BadFrame {
+                    reason: format!("length prefix {len} exceeds limit"),
+                });
+            }
+            let total = 4 + len as usize;
+            if self.buf.len() < total {
+                break;
+            }
+            let mut rest = self.buf.split_off(total);
+            std::mem::swap(&mut self.buf, &mut rest);
+            out.push(rest[4..].to_vec());
+        }
+        Ok(out)
+    }
+
+    /// Bytes buffered awaiting completion of the current frame.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let mut asm = FrameAssembler::new();
+        let frames = asm.push(&encode_frame(&[])).unwrap();
+        assert_eq!(frames, vec![Vec::<u8>::new()]);
+        assert_eq!(asm.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn single_chunk_roundtrips() {
+        let mut asm = FrameAssembler::new();
+        let frames = asm.push(&encode_frame(b"abc")).unwrap();
+        assert_eq!(frames, vec![b"abc".to_vec()]);
+    }
+
+    #[test]
+    fn large_frame_segments_and_reassembles() {
+        let payload: Vec<u8> = (0..10_000).map(|i| (i % 251) as u8).collect();
+        let chunks = segment(&encode_frame(&payload));
+        assert!(chunks.len() > 1);
+        assert!(chunks.iter().all(|c| c.len() <= MTU));
+        let mut asm = FrameAssembler::new();
+        let mut frames = Vec::new();
+        for c in &chunks {
+            frames.extend(asm.push(c).unwrap());
+        }
+        assert_eq!(frames, vec![payload]);
+    }
+
+    #[test]
+    fn two_frames_in_one_chunk() {
+        let mut bytes = encode_frame(b"one");
+        bytes.extend_from_slice(&encode_frame(b"two"));
+        let mut asm = FrameAssembler::new();
+        let frames = asm.push(&bytes).unwrap();
+        assert_eq!(frames, vec![b"one".to_vec(), b"two".to_vec()]);
+    }
+
+    #[test]
+    fn frame_split_at_awkward_boundaries() {
+        let payload = vec![9u8; 100];
+        let bytes = encode_frame(&payload);
+        let mut asm = FrameAssembler::new();
+        // Feed one byte at a time: the worst case.
+        let mut frames = Vec::new();
+        for b in &bytes {
+            frames.extend(asm.push(std::slice::from_ref(b)).unwrap());
+        }
+        assert_eq!(frames, vec![payload]);
+    }
+
+    #[test]
+    fn oversized_prefix_rejected() {
+        let mut asm = FrameAssembler::new();
+        let bad = (MAX_FRAME_LEN + 1).to_le_bytes();
+        let err = asm.push(&bad).unwrap_err();
+        assert!(matches!(err, NetError::BadFrame { .. }));
+    }
+
+    #[test]
+    fn pending_bytes_tracks_partial_frames() {
+        let mut asm = FrameAssembler::new();
+        let bytes = encode_frame(&[1, 2, 3, 4]);
+        asm.push(&bytes[..5]).unwrap();
+        assert_eq!(asm.pending_bytes(), 5);
+        asm.push(&bytes[5..]).unwrap();
+        assert_eq!(asm.pending_bytes(), 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn arbitrary_payload_sequences_reassemble(
+            payloads in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 0..5000), 1..6),
+            cut in 1usize..2000,
+        ) {
+            // Concatenate all frames, feed them in `cut`-sized pieces.
+            let mut stream = Vec::new();
+            for p in &payloads {
+                stream.extend_from_slice(&encode_frame(p));
+            }
+            let mut asm = FrameAssembler::new();
+            let mut frames = Vec::new();
+            for piece in stream.chunks(cut) {
+                frames.extend(asm.push(piece).unwrap());
+            }
+            prop_assert_eq!(frames, payloads);
+            prop_assert_eq!(asm.pending_bytes(), 0);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Cluster-wide identifier newtypes.
+//!
+//! Every object the host hands out — buffers, programs, kernels, queues,
+//! events — is identified by a cluster-unique integer. Newtypes keep the
+//! ID spaces statically distinct (C-NEWTYPE): `BufferId` cannot be passed
+//! where `KernelId` is expected.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident, $raw:ty, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name($raw);
+
+        impl $name {
+            /// Wraps a raw identifier value.
+            pub const fn new(raw: $raw) -> Self {
+                $name(raw)
+            }
+
+            /// The raw identifier value.
+            pub const fn raw(self) -> $raw {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$raw> for $name {
+            fn from(raw: $raw) -> Self {
+                $name(raw)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// A device node in the cluster (position in the cluster config).
+    NodeId,
+    u32,
+    "node"
+);
+id_newtype!(
+    /// A user/session on the host (multi-tenant support, §III-D).
+    UserId,
+    u32,
+    "user"
+);
+id_newtype!(
+    /// A `cl_mem` buffer object.
+    BufferId,
+    u64,
+    "buf"
+);
+id_newtype!(
+    /// A `cl_program` object.
+    ProgramId,
+    u64,
+    "prog"
+);
+id_newtype!(
+    /// A `cl_kernel` object.
+    KernelId,
+    u64,
+    "kern"
+);
+id_newtype!(
+    /// A `cl_command_queue` object.
+    QueueId,
+    u64,
+    "queue"
+);
+id_newtype!(
+    /// A `cl_event` object.
+    EventId,
+    u64,
+    "event"
+);
+id_newtype!(
+    /// A request/response correlation token on the backbone.
+    RequestId,
+    u64,
+    "req"
+);
+
+/// A monotonically increasing ID allocator, shared across threads.
+///
+/// # Examples
+///
+/// ```
+/// use haocl_proto::ids::{BufferId, IdAllocator};
+///
+/// let alloc = IdAllocator::new();
+/// let a: BufferId = BufferId::new(alloc.next());
+/// let b: BufferId = BufferId::new(alloc.next());
+/// assert_ne!(a, b);
+/// ```
+#[derive(Debug, Default)]
+pub struct IdAllocator {
+    next: AtomicU64,
+}
+
+impl IdAllocator {
+    /// Creates an allocator starting at 1 (0 is reserved as "null").
+    pub fn new() -> Self {
+        IdAllocator {
+            next: AtomicU64::new(1),
+        }
+    }
+
+    /// Returns the next unique value.
+    pub fn next(&self) -> u64 {
+        self.next.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(NodeId::new(3).to_string(), "node3");
+        assert_eq!(BufferId::new(9).to_string(), "buf9");
+        assert_eq!(RequestId::new(1).to_string(), "req1");
+    }
+
+    #[test]
+    fn raw_roundtrip() {
+        assert_eq!(KernelId::new(77).raw(), 77);
+        assert_eq!(KernelId::from(77u64), KernelId::new(77));
+    }
+
+    #[test]
+    fn allocator_is_unique_across_threads() {
+        let alloc = std::sync::Arc::new(IdAllocator::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let a = std::sync::Arc::clone(&alloc);
+                std::thread::spawn(move || (0..1000).map(|_| a.next()).collect::<Vec<_>>())
+            })
+            .collect();
+        let mut seen = HashSet::new();
+        for h in handles {
+            for id in h.join().unwrap() {
+                assert!(seen.insert(id), "duplicate id {id}");
+            }
+        }
+        assert_eq!(seen.len(), 4000);
+        assert!(!seen.contains(&0), "0 is reserved");
+    }
+
+    #[test]
+    fn distinct_id_spaces_do_not_compare() {
+        // Compile-time property: BufferId and KernelId are different types.
+        // (If this compiles, the static distinction holds.)
+        fn takes_buffer(_: BufferId) {}
+        takes_buffer(BufferId::new(1));
+    }
+}

@@ -1,0 +1,52 @@
+//! The extensible task scheduling component (paper §III-B).
+//!
+//! The demo paper ships *user-directed* placement and sketches an
+//! upgrade path: "it can be upgraded to an automatic scheduler with the
+//! runtime profiling information from the cluster to enable more accurate
+//! heterogeneity-aware task scheduling." This crate implements both the
+//! shipped behaviour and that upgrade:
+//!
+//! * [`task`] — [`TaskSpec`] (one kernel launch as the scheduler sees it)
+//!   and [`task::TaskGraph`] (the dependency DAG of Fig. 1).
+//! * [`monitor`] — [`DeviceView`]: the host-side snapshot of every device
+//!   in the cluster (model summary + load + data locality).
+//! * [`profile`] — [`ProfileDb`]: per-(kernel, device-class) exponential
+//!   moving averages of observed execution times, fed by NMP profile
+//!   reports.
+//! * [`policy`] — the object-safe [`SchedulingPolicy`] trait users extend
+//!   with their own algorithms.
+//! * [`policies`] — six built-ins: user-directed, round-robin,
+//!   least-loaded, heterogeneity-aware (profile + model driven),
+//!   power-aware and locality-aware.
+//!
+//! # Examples
+//!
+//! ```
+//! use haocl_sched::{policies, DeviceView, ProfileDb, Scheduler, TaskSpec};
+//! use haocl_kernel::CostModel;
+//! use haocl_proto::messages::DeviceKind;
+//!
+//! let scheduler = Scheduler::new(Box::new(policies::HeteroAware::new()));
+//! let devices = vec![
+//!     DeviceView::sample(0, 0, DeviceKind::Gpu),
+//!     DeviceView::sample(1, 0, DeviceKind::Fpga),
+//! ];
+//! // A streaming task lands on the FPGA.
+//! let task = TaskSpec::new("spmv_compute")
+//!     .cost(CostModel::new().flops(1e9).bytes_read(1e6).streaming())
+//!     .fpga_eligible(true);
+//! let choice = scheduler.place(&task, &devices)?;
+//! assert_eq!(devices[choice].kind, DeviceKind::Fpga);
+//! # Ok::<(), haocl_sched::SchedError>(())
+//! ```
+
+pub mod monitor;
+pub mod policies;
+pub mod policy;
+pub mod profile;
+pub mod task;
+
+pub use monitor::DeviceView;
+pub use policy::{SchedError, Scheduler, SchedulingPolicy};
+pub use profile::ProfileDb;
+pub use task::TaskSpec;

@@ -1,0 +1,120 @@
+//! Host-side runtime view of the cluster's devices.
+
+use haocl_proto::ids::NodeId;
+use haocl_proto::messages::{DeviceDescriptor, DeviceKind};
+use haocl_sim::SimTime;
+
+/// The scheduler's snapshot of one device: its advertised model plus the
+/// load and locality information the runtime monitor maintains.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceView {
+    /// The node hosting the device.
+    pub node: NodeId,
+    /// Device index within the node.
+    pub device: u8,
+    /// Device class.
+    pub kind: DeviceKind,
+    /// Peak single-precision throughput, GFLOP/s (from the descriptor).
+    pub gflops: f64,
+    /// Memory bandwidth, GB/s.
+    pub mem_bandwidth_gbps: f64,
+    /// Load power, watts.
+    pub power_watts: f64,
+    /// Device memory capacity, bytes.
+    pub mem_bytes: u64,
+    /// When the device's queue drains (virtual time).
+    pub busy_until: SimTime,
+    /// Launches currently queued.
+    pub queue_depth: u32,
+    /// Bytes of the *current task's* input already resident on this
+    /// device (computed per task by the runtime before placement).
+    pub local_bytes: u64,
+}
+
+impl DeviceView {
+    /// Builds a view from a wire descriptor with an idle load state.
+    pub fn from_descriptor(node: NodeId, d: &DeviceDescriptor) -> Self {
+        DeviceView {
+            node,
+            device: d.index,
+            kind: d.kind,
+            gflops: d.gflops,
+            mem_bandwidth_gbps: d.mem_bandwidth_gbps,
+            power_watts: d.power_watts,
+            mem_bytes: d.mem_bytes,
+            busy_until: SimTime::ZERO,
+            queue_depth: 0,
+            local_bytes: 0,
+        }
+    }
+
+    /// A representative idle device of the given class (for tests,
+    /// examples and policy documentation).
+    pub fn sample(node: u32, device: u8, kind: DeviceKind) -> Self {
+        let (gflops, bw, watts, mem) = match kind {
+            DeviceKind::Cpu => (1000.0, 70.0, 145.0, 64u64 << 30),
+            DeviceKind::Gpu => (5500.0, 192.0, 75.0, 8 << 30),
+            DeviceKind::Fpga => (1800.0, 60.0, 45.0, 16 << 30),
+        };
+        DeviceView {
+            node: NodeId::new(node),
+            device,
+            kind,
+            gflops,
+            mem_bandwidth_gbps: bw,
+            power_watts: watts,
+            mem_bytes: mem,
+            busy_until: SimTime::ZERO,
+            queue_depth: 0,
+            local_bytes: 0,
+        }
+    }
+
+    /// Sets the load state (builder-style, for constructing snapshots).
+    pub fn loaded(mut self, busy_until: SimTime, queue_depth: u32) -> Self {
+        self.busy_until = busy_until;
+        self.queue_depth = queue_depth;
+        self
+    }
+
+    /// Sets the resident-data figure for the task under placement.
+    pub fn with_local_bytes(mut self, bytes: u64) -> Self {
+        self.local_bytes = bytes;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_descriptor_copies_model() {
+        let d = DeviceDescriptor {
+            index: 2,
+            kind: DeviceKind::Fpga,
+            name: "x".into(),
+            mem_bytes: 1024,
+            gflops: 1800.0,
+            mem_bandwidth_gbps: 60.0,
+            power_watts: 45.0,
+        };
+        let v = DeviceView::from_descriptor(NodeId::new(7), &d);
+        assert_eq!(v.node, NodeId::new(7));
+        assert_eq!(v.device, 2);
+        assert_eq!(v.kind, DeviceKind::Fpga);
+        assert_eq!(v.mem_bytes, 1024);
+        assert_eq!(v.busy_until, SimTime::ZERO);
+        assert_eq!(v.queue_depth, 0);
+    }
+
+    #[test]
+    fn builders_set_load_and_locality() {
+        let v = DeviceView::sample(0, 0, DeviceKind::Gpu)
+            .loaded(SimTime::from_nanos(10), 3)
+            .with_local_bytes(4096);
+        assert_eq!(v.busy_until, SimTime::from_nanos(10));
+        assert_eq!(v.queue_depth, 3);
+        assert_eq!(v.local_bytes, 4096);
+    }
+}

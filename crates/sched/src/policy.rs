@@ -1,0 +1,271 @@
+//! The extensible policy interface.
+
+use std::fmt;
+
+use haocl_proto::messages::DeviceKind;
+use haocl_sim::SimDuration;
+
+use crate::monitor::DeviceView;
+use crate::profile::ProfileDb;
+use crate::task::TaskSpec;
+
+/// A placement failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedError {
+    /// No device in the snapshot can legally run the task.
+    NoEligibleDevice {
+        /// The kernel that could not be placed.
+        kernel: String,
+    },
+    /// The task was pinned to a device that is not in the snapshot.
+    PinnedDeviceMissing {
+        /// The kernel that could not be placed.
+        kernel: String,
+    },
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::NoEligibleDevice { kernel } => {
+                write!(f, "no eligible device for kernel `{kernel}`")
+            }
+            SchedError::PinnedDeviceMissing { kernel } => {
+                write!(f, "pinned device for kernel `{kernel}` is not present")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+/// A pluggable placement algorithm (object-safe so users can ship their
+/// own as trait objects — "designers can design and illustrate their own
+/// scheduling algorithms and embed them into HaoCL", paper §I).
+///
+/// Implementations choose among the devices in `devices` (already
+/// filtered for legality by [`Scheduler::place`]) and return an index
+/// into that slice, or `None` to fall through to the scheduler's error.
+pub trait SchedulingPolicy: Send + Sync {
+    /// The policy's display name (shown in ablation reports).
+    fn name(&self) -> &str;
+
+    /// Picks a device index from `eligible` for `task`.
+    ///
+    /// `eligible` pairs each candidate with its index in the original
+    /// snapshot; implementations return the *original* index.
+    fn place(
+        &self,
+        task: &TaskSpec,
+        eligible: &[(usize, &DeviceView)],
+        profile: &ProfileDb,
+    ) -> Option<usize>;
+}
+
+/// The scheduling component: legality filtering plus a pluggable policy
+/// and the shared profiling database.
+pub struct Scheduler {
+    policy: Box<dyn SchedulingPolicy>,
+    profile: ProfileDb,
+}
+
+impl Scheduler {
+    /// Creates a scheduler driven by `policy`.
+    pub fn new(policy: Box<dyn SchedulingPolicy>) -> Self {
+        Scheduler {
+            policy,
+            profile: ProfileDb::new(),
+        }
+    }
+
+    /// The active policy's name.
+    pub fn policy_name(&self) -> &str {
+        self.policy.name()
+    }
+
+    /// The shared profiling database (record observations here).
+    pub fn profile(&self) -> &ProfileDb {
+        &self.profile
+    }
+
+    /// Swaps the policy at runtime, keeping accumulated profiles.
+    pub fn set_policy(&mut self, policy: Box<dyn SchedulingPolicy>) {
+        self.policy = policy;
+    }
+
+    /// Places `task` on one of `devices`, returning the chosen index.
+    ///
+    /// Legality filtering happens here, for every policy:
+    /// * pinned tasks go to their pinned device (or fail),
+    /// * FPGA devices are candidates only for `fpga_eligible` tasks.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::PinnedDeviceMissing`] or
+    /// [`SchedError::NoEligibleDevice`].
+    pub fn place(&self, task: &TaskSpec, devices: &[DeviceView]) -> Result<usize, SchedError> {
+        if let Some((node, dev)) = task.pinned {
+            return devices
+                .iter()
+                .position(|d| d.node == node && d.device == dev)
+                .ok_or_else(|| SchedError::PinnedDeviceMissing {
+                    kernel: task.kernel.clone(),
+                });
+        }
+        let eligible: Vec<(usize, &DeviceView)> = devices
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.kind != DeviceKind::Fpga || task.fpga_eligible)
+            .collect();
+        if eligible.is_empty() {
+            return Err(SchedError::NoEligibleDevice {
+                kernel: task.kernel.clone(),
+            });
+        }
+        self.policy
+            .place(task, &eligible, &self.profile)
+            .ok_or_else(|| SchedError::NoEligibleDevice {
+                kernel: task.kernel.clone(),
+            })
+    }
+}
+
+impl fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("policy", &self.policy.name())
+            .field("profile_keys", &self.profile.len())
+            .finish()
+    }
+}
+
+/// Host-side estimate of how long `task` runs on a device of this class.
+///
+/// Mirrors the device model's roofline with class-level match factors;
+/// it is intentionally an *estimate* (the host does not know the exact
+/// device internals) — observed profiles override it when available.
+pub fn estimate_time(task: &TaskSpec, view: &DeviceView) -> SimDuration {
+    let streaming = task.cost.is_streaming();
+    let fraction = match (view.kind, streaming) {
+        (DeviceKind::Gpu, false) => 0.70,
+        (DeviceKind::Gpu, true) => 0.25,
+        (DeviceKind::Cpu, false) => 0.55,
+        (DeviceKind::Cpu, true) => 0.50,
+        (DeviceKind::Fpga, false) => 0.35,
+        (DeviceKind::Fpga, true) => 0.85,
+    };
+    let mut rate = view.gflops * 1e9 * fraction;
+    if !task.cost.is_uniform() {
+        rate /= match view.kind {
+            DeviceKind::Gpu => 4.0,
+            DeviceKind::Cpu => 1.3,
+            DeviceKind::Fpga => 2.0,
+        };
+    }
+    let compute = if rate > 0.0 {
+        task.cost.total_flops() / rate
+    } else {
+        0.0
+    };
+    let bw = view.mem_bandwidth_gbps * 1e9;
+    let memory = if bw > 0.0 {
+        task.cost.total_bytes() / bw
+    } else {
+        0.0
+    };
+    SimDuration::from_secs_f64(compute.max(memory))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haocl_kernel::CostModel;
+    use haocl_proto::ids::NodeId;
+
+    struct FirstFit;
+
+    impl SchedulingPolicy for FirstFit {
+        fn name(&self) -> &str {
+            "first-fit"
+        }
+
+        fn place(
+            &self,
+            _task: &TaskSpec,
+            eligible: &[(usize, &DeviceView)],
+            _profile: &ProfileDb,
+        ) -> Option<usize> {
+            eligible.first().map(|(i, _)| *i)
+        }
+    }
+
+    fn snapshot() -> Vec<DeviceView> {
+        vec![
+            DeviceView::sample(0, 0, DeviceKind::Fpga),
+            DeviceView::sample(1, 0, DeviceKind::Gpu),
+            DeviceView::sample(2, 0, DeviceKind::Cpu),
+        ]
+    }
+
+    #[test]
+    fn fpga_filtered_unless_eligible() {
+        let s = Scheduler::new(Box::new(FirstFit));
+        let devices = snapshot();
+        let plain = TaskSpec::new("k");
+        assert_eq!(s.place(&plain, &devices).unwrap(), 1); // skips FPGA
+        let bitstream = TaskSpec::new("k").fpga_eligible(true);
+        assert_eq!(s.place(&bitstream, &devices).unwrap(), 0);
+    }
+
+    #[test]
+    fn pinned_task_bypasses_policy() {
+        let s = Scheduler::new(Box::new(FirstFit));
+        let devices = snapshot();
+        let t = TaskSpec::new("k").pin(NodeId::new(2), 0);
+        assert_eq!(s.place(&t, &devices).unwrap(), 2);
+    }
+
+    #[test]
+    fn pinned_to_missing_device_errors() {
+        let s = Scheduler::new(Box::new(FirstFit));
+        let t = TaskSpec::new("k").pin(NodeId::new(9), 0);
+        let err = s.place(&t, &snapshot()).unwrap_err();
+        assert!(matches!(err, SchedError::PinnedDeviceMissing { .. }));
+    }
+
+    #[test]
+    fn no_devices_errors() {
+        let s = Scheduler::new(Box::new(FirstFit));
+        let t = TaskSpec::new("k");
+        let err = s.place(&t, &[]).unwrap_err();
+        assert!(matches!(err, SchedError::NoEligibleDevice { .. }));
+    }
+
+    #[test]
+    fn only_fpgas_and_ineligible_task_errors() {
+        let s = Scheduler::new(Box::new(FirstFit));
+        let devices = vec![DeviceView::sample(0, 0, DeviceKind::Fpga)];
+        let err = s.place(&TaskSpec::new("k"), &devices).unwrap_err();
+        assert!(matches!(err, SchedError::NoEligibleDevice { .. }));
+    }
+
+    #[test]
+    fn estimate_prefers_gpu_for_batch_fpga_for_streaming() {
+        let gpu = DeviceView::sample(0, 0, DeviceKind::Gpu);
+        let fpga = DeviceView::sample(1, 0, DeviceKind::Fpga);
+        let batch = TaskSpec::new("k").cost(CostModel::new().flops(1e10));
+        assert!(estimate_time(&batch, &gpu) < estimate_time(&batch, &fpga));
+        let stream = TaskSpec::new("k").cost(CostModel::new().flops(1e10).streaming());
+        assert!(estimate_time(&stream, &fpga) < estimate_time(&stream, &gpu));
+    }
+
+    #[test]
+    fn policy_can_be_swapped_keeping_profile() {
+        let mut s = Scheduler::new(Box::new(FirstFit));
+        s.profile()
+            .record("k", DeviceKind::Gpu, SimDuration::from_nanos(5));
+        s.set_policy(Box::new(FirstFit));
+        assert_eq!(s.profile().runs("k", DeviceKind::Gpu), 1);
+        assert_eq!(s.policy_name(), "first-fit");
+    }
+}

@@ -1,0 +1,107 @@
+//! A shared monotonic virtual clock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A monotonic virtual clock shared by every component of a simulation.
+///
+/// The clock only moves forward: [`Clock::advance_to`] is a monotonic max,
+/// so concurrent actors (NMP threads, the host runtime) can each push the
+/// clock to the completion time of their latest operation without ever
+/// rewinding another actor's progress. Cloning is cheap and all clones
+/// observe the same time.
+///
+/// # Examples
+///
+/// ```
+/// use haocl_sim::{Clock, SimDuration, SimTime};
+///
+/// let clock = Clock::new();
+/// clock.advance_by(SimDuration::from_micros(5));
+/// let other = clock.clone();
+/// assert_eq!(other.now(), SimTime::ZERO + SimDuration::from_micros(5));
+/// // Advancing to an earlier instant is a no-op.
+/// other.advance_to(SimTime::ZERO);
+/// assert_eq!(clock.now().as_nanos(), 5_000);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Clock {
+    now_nanos: Arc<AtomicU64>,
+}
+
+impl Clock {
+    /// Creates a clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Clock::default()
+    }
+
+    /// The current virtual instant.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.now_nanos.load(Ordering::SeqCst))
+    }
+
+    /// Moves the clock forward to `instant` if it is later than now.
+    ///
+    /// Returns the (possibly unchanged) new time.
+    pub fn advance_to(&self, instant: SimTime) -> SimTime {
+        let target = instant.as_nanos();
+        let prev = self.now_nanos.fetch_max(target, Ordering::SeqCst);
+        SimTime::from_nanos(prev.max(target))
+    }
+
+    /// Moves the clock forward by `dur` from the current instant.
+    ///
+    /// Returns the new time.
+    pub fn advance_by(&self, dur: SimDuration) -> SimTime {
+        // fetch_add keeps concurrent advances cumulative rather than racy.
+        let prev = self.now_nanos.fetch_add(dur.as_nanos(), Ordering::SeqCst);
+        SimTime::from_nanos(prev + dur.as_nanos())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(Clock::new().now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn advance_to_is_monotonic_max() {
+        let clock = Clock::new();
+        clock.advance_to(SimTime::from_nanos(100));
+        clock.advance_to(SimTime::from_nanos(50));
+        assert_eq!(clock.now(), SimTime::from_nanos(100));
+    }
+
+    #[test]
+    fn clones_share_time() {
+        let clock = Clock::new();
+        let dolly = clock.clone();
+        dolly.advance_by(SimDuration::from_nanos(7));
+        assert_eq!(clock.now(), SimTime::from_nanos(7));
+    }
+
+    #[test]
+    fn concurrent_advances_accumulate() {
+        let clock = Clock::new();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = clock.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.advance_by(SimDuration::from_nanos(1));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(clock.now(), SimTime::from_nanos(8000));
+    }
+}

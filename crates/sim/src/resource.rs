@@ -1,0 +1,168 @@
+//! Serialized resources with `busy_until` admission.
+//!
+//! A [`Resource`] models anything that can do one thing at a time: a device
+//! compute pipeline, a PCIe lane, an Ethernet link, the host NIC. Operations
+//! are admitted in call order; an operation requested at time `t` begins at
+//! `max(t, busy_until)` and the resource stays busy until it completes.
+//! This is the elementary queueing building block behind HaoCL's virtual
+//! timing — contention on the shared host NIC is what bends the Fig. 2
+//! scaling curves away from ideal.
+
+use crate::time::{SimDuration, SimTime};
+
+/// The admission result for one operation on a [`Resource`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grant {
+    /// When the operation actually started (after queueing).
+    pub start: SimTime,
+    /// When the operation completes and the resource frees up.
+    pub end: SimTime,
+}
+
+impl Grant {
+    /// Time spent waiting for the resource before starting.
+    pub fn queueing(&self, requested_at: SimTime) -> SimDuration {
+        self.start.saturating_duration_since(requested_at)
+    }
+
+    /// Time the operation itself occupied the resource.
+    pub fn service(&self) -> SimDuration {
+        self.end - self.start
+    }
+}
+
+/// A resource that serializes operations and tracks utilization.
+///
+/// # Examples
+///
+/// ```
+/// use haocl_sim::{Resource, SimDuration, SimTime};
+///
+/// let mut dev = Resource::new("gpu0");
+/// let a = dev.acquire(SimTime::ZERO, SimDuration::from_micros(10));
+/// // Requested while busy: queues behind `a`.
+/// let b = dev.acquire(SimTime::ZERO, SimDuration::from_micros(10));
+/// assert_eq!(b.start, a.end);
+/// assert_eq!(dev.busy_time(), SimDuration::from_micros(20));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Resource {
+    name: String,
+    busy_until: SimTime,
+    busy_time: SimDuration,
+    operations: u64,
+}
+
+impl Resource {
+    /// Creates an idle resource with a diagnostic `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Resource {
+            name: name.into(),
+            busy_until: SimTime::ZERO,
+            busy_time: SimDuration::ZERO,
+            operations: 0,
+        }
+    }
+
+    /// The diagnostic name given at construction.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The instant the resource becomes free.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Total time the resource has been occupied.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy_time
+    }
+
+    /// How many operations have been admitted.
+    pub fn operations(&self) -> u64 {
+        self.operations
+    }
+
+    /// Admits an operation of length `service` requested at `at`.
+    ///
+    /// The operation starts as soon as the resource is free and never
+    /// before `at`.
+    pub fn acquire(&mut self, at: SimTime, service: SimDuration) -> Grant {
+        let start = at.max(self.busy_until);
+        let end = start + service;
+        self.busy_until = end;
+        self.busy_time += service;
+        self.operations += 1;
+        Grant { start, end }
+    }
+
+    /// Utilization over `[SimTime::ZERO, horizon]`, in `0.0..=1.0`.
+    ///
+    /// Returns `0.0` for a zero horizon.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon == SimTime::ZERO {
+            return 0.0;
+        }
+        (self.busy_time.as_secs_f64() / horizon.as_secs_f64()).min(1.0)
+    }
+
+    /// Resets the resource to idle, clearing accounting.
+    pub fn reset(&mut self) {
+        self.busy_until = SimTime::ZERO;
+        self.busy_time = SimDuration::ZERO;
+        self.operations = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_resource_starts_immediately() {
+        let mut r = Resource::new("r");
+        let g = r.acquire(SimTime::from_nanos(5), SimDuration::from_nanos(10));
+        assert_eq!(g.start, SimTime::from_nanos(5));
+        assert_eq!(g.end, SimTime::from_nanos(15));
+        assert_eq!(g.queueing(SimTime::from_nanos(5)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn busy_resource_queues() {
+        let mut r = Resource::new("r");
+        r.acquire(SimTime::ZERO, SimDuration::from_nanos(100));
+        let g = r.acquire(SimTime::from_nanos(30), SimDuration::from_nanos(10));
+        assert_eq!(g.start, SimTime::from_nanos(100));
+        assert_eq!(g.queueing(SimTime::from_nanos(30)), SimDuration::from_nanos(70));
+        assert_eq!(g.service(), SimDuration::from_nanos(10));
+    }
+
+    #[test]
+    fn gap_leaves_resource_idle() {
+        let mut r = Resource::new("r");
+        r.acquire(SimTime::ZERO, SimDuration::from_nanos(10));
+        let g = r.acquire(SimTime::from_nanos(100), SimDuration::from_nanos(10));
+        assert_eq!(g.start, SimTime::from_nanos(100));
+        // busy_time counts service only, not the idle gap.
+        assert_eq!(r.busy_time(), SimDuration::from_nanos(20));
+    }
+
+    #[test]
+    fn utilization_is_fraction_of_horizon() {
+        let mut r = Resource::new("r");
+        r.acquire(SimTime::ZERO, SimDuration::from_nanos(25));
+        assert!((r.utilization(SimTime::from_nanos(100)) - 0.25).abs() < 1e-12);
+        assert_eq!(r.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut r = Resource::new("r");
+        r.acquire(SimTime::ZERO, SimDuration::from_nanos(25));
+        r.reset();
+        assert_eq!(r.busy_until(), SimTime::ZERO);
+        assert_eq!(r.busy_time(), SimDuration::ZERO);
+        assert_eq!(r.operations(), 0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Deterministic seed derivation.
+//!
+//! Every stochastic component in the reproduction (workload generators,
+//! randomized schedules, property tests' corpora) draws its randomness from
+//! a seed derived with [`derive_seed`], so a whole experiment re-runs
+//! bit-for-bit from a single root seed printed in its report.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The root seed used by the benchmark harness unless overridden.
+pub const DEFAULT_ROOT_SEED: u64 = 0x0a0c_1202_2020_1c0e;
+
+/// Derives a child seed from a root seed and a textual label.
+///
+/// Uses the FNV-1a hash folded with splitmix64 finalization; labels that
+/// differ in any byte produce unrelated streams.
+///
+/// # Examples
+///
+/// ```
+/// use haocl_sim::rng::derive_seed;
+///
+/// let a = derive_seed(42, "matmul/gen");
+/// let b = derive_seed(42, "matmul/gen");
+/// let c = derive_seed(42, "bfs/gen");
+/// assert_eq!(a, b);
+/// assert_ne!(a, c);
+/// ```
+pub fn derive_seed(root: u64, label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ root;
+    for &b in label.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    splitmix64(h)
+}
+
+/// Creates a [`StdRng`] for the `(root, label)` pair.
+///
+/// # Examples
+///
+/// ```
+/// use haocl_sim::rng::labeled_rng;
+/// use rand::Rng;
+///
+/// let mut r1 = labeled_rng(7, "gen");
+/// let mut r2 = labeled_rng(7, "gen");
+/// assert_eq!(r1.gen::<u64>(), r2.gen::<u64>());
+/// ```
+pub fn labeled_rng(root: u64, label: &str) -> StdRng {
+    StdRng::seed_from_u64(derive_seed(root, label))
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn derivation_is_deterministic() {
+        assert_eq!(derive_seed(1, "x"), derive_seed(1, "x"));
+    }
+
+    #[test]
+    fn roots_separate_streams() {
+        assert_ne!(derive_seed(1, "x"), derive_seed(2, "x"));
+    }
+
+    #[test]
+    fn labels_separate_streams() {
+        assert_ne!(derive_seed(1, "x"), derive_seed(1, "y"));
+        assert_ne!(derive_seed(1, "ab"), derive_seed(1, "ba"));
+    }
+
+    #[test]
+    fn rng_reproduces_sequence() {
+        let seq1: Vec<u32> = {
+            let mut r = labeled_rng(99, "seq");
+            (0..16).map(|_| r.gen()).collect()
+        };
+        let seq2: Vec<u32> = {
+            let mut r = labeled_rng(99, "seq");
+            (0..16).map(|_| r.gen()).collect()
+        };
+        assert_eq!(seq1, seq2);
+    }
+}

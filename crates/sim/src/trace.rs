@@ -1,0 +1,213 @@
+//! Phase tracing for breakdown analysis.
+//!
+//! Fig. 3 of the HaoCL paper decomposes MatrixMul runtime into *data
+//! creation*, *data transfer* and *compute* (system initialization is
+//! reported as negligible). [`Tracer`] accumulates virtual-time spans per
+//! [`Phase`]; [`PhaseBreakdown`] is the aggregated result the Fig. 3 bench
+//! prints.
+
+use std::fmt;
+
+use parking_lot::Mutex;
+
+use crate::time::SimDuration;
+
+/// The runtime phases the paper's breakdown analysis distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Phase {
+    /// System/context initialization (reported as negligible in the paper).
+    Init,
+    /// Creating input data and device buffers.
+    DataCreate,
+    /// Moving data between host and device nodes.
+    DataTransfer,
+    /// Kernel execution on the accelerator.
+    Compute,
+}
+
+impl Phase {
+    /// All phases, in reporting order.
+    pub const ALL: [Phase; 4] = [
+        Phase::Init,
+        Phase::DataCreate,
+        Phase::DataTransfer,
+        Phase::Compute,
+    ];
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Phase::Init => "Init",
+            Phase::DataCreate => "DataCreate",
+            Phase::DataTransfer => "DataTransfer",
+            Phase::Compute => "Compute",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Accumulated time per phase.
+///
+/// # Examples
+///
+/// ```
+/// use haocl_sim::{Phase, PhaseBreakdown, SimDuration};
+///
+/// let mut b = PhaseBreakdown::default();
+/// b.add(Phase::Compute, SimDuration::from_millis(30));
+/// b.add(Phase::DataTransfer, SimDuration::from_millis(10));
+/// assert!((b.fraction(Phase::Compute) - 0.75).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    spans: [SimDuration; 4],
+}
+
+impl PhaseBreakdown {
+    /// Adds `dur` to `phase`.
+    pub fn add(&mut self, phase: Phase, dur: SimDuration) {
+        self.spans[phase as usize] += dur;
+    }
+
+    /// Total time recorded for `phase`.
+    pub fn time(&self, phase: Phase) -> SimDuration {
+        self.spans[phase as usize]
+    }
+
+    /// Sum over all phases.
+    pub fn total(&self) -> SimDuration {
+        self.spans.iter().copied().sum()
+    }
+
+    /// Fraction of the total spent in `phase` (`0.0` if nothing recorded).
+    pub fn fraction(&self, phase: Phase) -> f64 {
+        let total = self.total();
+        if total == SimDuration::ZERO {
+            0.0
+        } else {
+            self.time(phase).as_secs_f64() / total.as_secs_f64()
+        }
+    }
+
+    /// Merges another breakdown into this one.
+    pub fn merge(&mut self, other: &PhaseBreakdown) {
+        for p in Phase::ALL {
+            self.add(p, other.time(p));
+        }
+    }
+}
+
+impl fmt::Display for PhaseBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for p in Phase::ALL {
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{}={}", p, self.time(p))?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+/// A thread-safe collector of phase spans.
+///
+/// The host runtime and the NMP threads all hold clones of one tracer and
+/// record into it as operations retire; the bench reads the aggregate at
+/// the end of the run.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    inner: Mutex<PhaseBreakdown>,
+}
+
+impl Tracer {
+    /// Creates an empty tracer.
+    pub fn new() -> Self {
+        Tracer::default()
+    }
+
+    /// Records `dur` against `phase`.
+    pub fn record(&self, phase: Phase, dur: SimDuration) {
+        self.inner.lock().add(phase, dur);
+    }
+
+    /// A snapshot of the accumulated breakdown.
+    pub fn breakdown(&self) -> PhaseBreakdown {
+        *self.inner.lock()
+    }
+
+    /// Clears the accumulated breakdown.
+    pub fn reset(&self) {
+        *self.inner.lock() = PhaseBreakdown::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn breakdown_accumulates_and_fractions() {
+        let mut b = PhaseBreakdown::default();
+        b.add(Phase::Compute, SimDuration::from_nanos(60));
+        b.add(Phase::Compute, SimDuration::from_nanos(15));
+        b.add(Phase::DataTransfer, SimDuration::from_nanos(25));
+        assert_eq!(b.time(Phase::Compute), SimDuration::from_nanos(75));
+        assert_eq!(b.total(), SimDuration::from_nanos(100));
+        assert!((b.fraction(Phase::DataTransfer) - 0.25).abs() < 1e-12);
+        assert_eq!(b.fraction(Phase::Init), 0.0);
+    }
+
+    #[test]
+    fn empty_breakdown_fraction_is_zero() {
+        assert_eq!(PhaseBreakdown::default().fraction(Phase::Compute), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_per_phase() {
+        let mut a = PhaseBreakdown::default();
+        a.add(Phase::Init, SimDuration::from_nanos(1));
+        let mut b = PhaseBreakdown::default();
+        b.add(Phase::Init, SimDuration::from_nanos(2));
+        b.add(Phase::Compute, SimDuration::from_nanos(3));
+        a.merge(&b);
+        assert_eq!(a.time(Phase::Init), SimDuration::from_nanos(3));
+        assert_eq!(a.time(Phase::Compute), SimDuration::from_nanos(3));
+    }
+
+    #[test]
+    fn tracer_is_shared_across_threads() {
+        let tracer = Arc::new(Tracer::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let t = Arc::clone(&tracer);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        t.record(Phase::Compute, SimDuration::from_nanos(1));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            tracer.breakdown().time(Phase::Compute),
+            SimDuration::from_nanos(400)
+        );
+        tracer.reset();
+        assert_eq!(tracer.breakdown().total(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_lists_all_phases() {
+        let b = PhaseBreakdown::default();
+        let s = b.to_string();
+        for p in Phase::ALL {
+            assert!(s.contains(&p.to_string()), "missing {p} in {s}");
+        }
+    }
+}

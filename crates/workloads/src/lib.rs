@@ -1,0 +1,75 @@
+//! The HaoCL evaluation workloads (paper §IV, Table I).
+//!
+//! | App        | Description                                         | Input size |
+//! |------------|-----------------------------------------------------|------------|
+//! | MatrixMul  | Matrix multiplication                               | 760 MB     |
+//! | CFD        | Unstructured-grid finite-volume solver              | 800 MB     |
+//! | kNN        | k-nearest neighbours in an unstructured data set    | 100 MB     |
+//! | BFS        | Traverses all connected components of a graph       | 240 MB     |
+//! | SpMV       | Sparse matrix–vector multiplication (CSR)           | 1.1 GB     |
+//!
+//! Every workload ships:
+//!
+//! * a deterministic **generator** (sizes from Table I at
+//!   `Config::paper_scale()`, small at `Config::test_scale()`),
+//! * its **kernel** both as OpenCL C source (compiled by `haocl-clc` on
+//!   CPU/GPU nodes) and as a **native implementation** registered in the
+//!   bitstream store (required by FPGA nodes, §III-D),
+//! * a **partitioner** splitting the data across devices,
+//! * a distributed **driver** (`run`) built purely on the public
+//!   [`haocl`] API — the same calls an unmodified OpenCL application
+//!   would make,
+//! * a host **reference implementation** for verification.
+//!
+//! Drivers run at [`haocl::Fidelity::Full`] (real execution, verified results)
+//! or [`haocl::Fidelity::Modeled`] (paper-scale virtual timing with modeled
+//! buffers).
+
+pub mod bfs;
+pub mod cfd;
+pub mod knn;
+pub mod matmul;
+pub mod partition;
+pub mod report;
+pub mod spmv;
+pub mod table;
+pub(crate) mod util;
+pub mod workload;
+
+pub use report::{KernelMode, RunOptions, RunReport};
+pub use workload::Workload;
+
+use haocl_kernel::KernelRegistry;
+
+/// A registry pre-loaded with every workload's native kernels (the
+/// cluster-wide bitstream store used by the evaluation).
+pub fn registry_with_all() -> KernelRegistry {
+    let registry = KernelRegistry::new();
+    matmul::register_natives(&registry);
+    knn::register_natives(&registry);
+    spmv::register_natives(&registry);
+    bfs::register_natives(&registry);
+    cfd::register_natives(&registry);
+    registry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_holds_all_workload_kernels() {
+        let r = registry_with_all();
+        for name in [
+            "matmul",
+            "nn_dist",
+            "nn_topk",
+            "spmv_csr",
+            "spmv_row_nnz",
+            "bfs_step",
+            "cfd_flux",
+        ] {
+            assert!(r.contains(name), "missing native kernel {name}");
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Data partitioners.
+//!
+//! The paper's heterogeneity evaluation (§IV-C) runs the *same* kernel on
+//! every device, "just processing different data portions". These helpers
+//! produce those portions: even splits, throughput-weighted splits for
+//! mixed clusters, and nonzero-balanced row splits for CSR matrices.
+
+use std::ops::Range;
+
+/// Splits `0..total` into `parts` contiguous ranges whose lengths differ
+/// by at most one.
+///
+/// # Panics
+///
+/// Panics if `parts` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use haocl_workloads::partition::balanced_ranges;
+///
+/// let r = balanced_ranges(10, 3);
+/// assert_eq!(r, vec![0..4, 4..7, 7..10]);
+/// ```
+pub fn balanced_ranges(total: usize, parts: usize) -> Vec<Range<usize>> {
+    assert!(parts > 0, "cannot partition into zero parts");
+    let base = total / parts;
+    let extra = total % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Splits `0..total` into ranges proportional to `weights` (e.g. device
+/// GFLOP/s), so faster devices get more rows.
+///
+/// Zero or negative weights receive nothing; if all weights are
+/// non-positive the split falls back to [`balanced_ranges`].
+///
+/// # Panics
+///
+/// Panics if `weights` is empty.
+pub fn weighted_ranges(total: usize, weights: &[f64]) -> Vec<Range<usize>> {
+    assert!(!weights.is_empty(), "cannot partition into zero parts");
+    let sum: f64 = weights.iter().filter(|w| **w > 0.0).sum();
+    if sum <= 0.0 {
+        return balanced_ranges(total, weights.len());
+    }
+    let mut out = Vec::with_capacity(weights.len());
+    let mut start = 0usize;
+    let mut acc = 0.0;
+    for (i, &w) in weights.iter().enumerate() {
+        acc += w.max(0.0);
+        let end = if i + 1 == weights.len() {
+            total
+        } else {
+            ((total as f64) * acc / sum).round() as usize
+        };
+        let end = end.clamp(start, total);
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+/// Splits CSR rows into `parts` ranges with approximately equal nonzero
+/// counts (the SpMV partition stage of §IV-C).
+///
+/// # Panics
+///
+/// Panics if `parts` is zero or `row_ptr` is empty.
+pub fn nnz_balanced_rows(row_ptr: &[u32], parts: usize) -> Vec<Range<usize>> {
+    assert!(parts > 0, "cannot partition into zero parts");
+    assert!(!row_ptr.is_empty(), "row_ptr must have at least one entry");
+    let rows = row_ptr.len() - 1;
+    let total_nnz = *row_ptr.last().expect("non-empty") as usize;
+    let mut out = Vec::with_capacity(parts);
+    let mut start_row = 0usize;
+    for i in 0..parts {
+        if i + 1 == parts {
+            out.push(start_row..rows);
+            break;
+        }
+        let target = (total_nnz * (i + 1)) / parts;
+        // First row whose prefix nnz reaches the target.
+        let mut end_row = start_row;
+        while end_row < rows && (row_ptr[end_row] as usize) < target {
+            end_row += 1;
+        }
+        let end_row = end_row.clamp(start_row, rows);
+        out.push(start_row..end_row);
+        start_row = end_row;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_covers_everything_once() {
+        for total in [0usize, 1, 7, 100] {
+            for parts in [1usize, 2, 3, 7] {
+                let rs = balanced_ranges(total, parts);
+                assert_eq!(rs.len(), parts);
+                assert_eq!(rs[0].start, 0);
+                assert_eq!(rs.last().unwrap().end, total);
+                for w in rs.windows(2) {
+                    assert_eq!(w[0].end, w[1].start);
+                }
+                let max = rs.iter().map(|r| r.len()).max().unwrap();
+                let min = rs.iter().map(|r| r.len()).min().unwrap();
+                assert!(max - min <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_follows_proportions() {
+        let rs = weighted_ranges(100, &[3.0, 1.0]);
+        assert_eq!(rs, vec![0..75, 75..100]);
+        // Degenerate weights fall back to balanced.
+        let rs = weighted_ranges(10, &[0.0, 0.0]);
+        assert_eq!(rs, vec![0..5, 5..10]);
+    }
+
+    #[test]
+    fn weighted_is_a_partition() {
+        let rs = weighted_ranges(97, &[5.5, 0.0, 2.2, 9.9]);
+        assert_eq!(rs[0].start, 0);
+        assert_eq!(rs.last().unwrap().end, 97);
+        for w in rs.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn nnz_balancing_equalizes_work() {
+        // Rows with wildly skewed nnz: 100, 1, 1, ..., 1 (9 ones).
+        let mut row_ptr = vec![0u32, 100];
+        for i in 0..9 {
+            row_ptr.push(101 + i);
+        }
+        let rs = nnz_balanced_rows(&row_ptr, 2);
+        assert_eq!(rs.len(), 2);
+        // The heavy row alone lands in part 0.
+        assert_eq!(rs[0], 0..1);
+        assert_eq!(rs[1], 1..10);
+    }
+
+    #[test]
+    fn nnz_balancing_covers_all_rows() {
+        let row_ptr: Vec<u32> = (0..=64).map(|i| i * 3).collect();
+        let rs = nnz_balanced_rows(&row_ptr, 5);
+        assert_eq!(rs[0].start, 0);
+        assert_eq!(rs.last().unwrap().end, 64);
+        for w in rs.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero parts")]
+    fn zero_parts_panics() {
+        let _ = balanced_ranges(10, 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn balanced_always_partitions(total in 0usize..10_000, parts in 1usize..32) {
+            let rs = balanced_ranges(total, parts);
+            let covered: usize = rs.iter().map(|r| r.len()).sum();
+            prop_assert_eq!(covered, total);
+        }
+
+        #[test]
+        fn nnz_parts_are_contiguous(
+            degrees in proptest::collection::vec(0u32..50, 1..200),
+            parts in 1usize..8,
+        ) {
+            let mut row_ptr = vec![0u32];
+            for d in &degrees {
+                row_ptr.push(row_ptr.last().unwrap() + d);
+            }
+            let rs = nnz_balanced_rows(&row_ptr, parts);
+            prop_assert_eq!(rs.len(), parts);
+            prop_assert_eq!(rs[0].start, 0);
+            prop_assert_eq!(rs.last().unwrap().end, degrees.len());
+            for w in rs.windows(2) {
+                prop_assert_eq!(w[0].end, w[1].start);
+            }
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Table I: the benchmark applications and their input sets.
+
+use crate::{bfs, cfd, knn, matmul, spmv};
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRow {
+    /// Application name as printed in the paper.
+    pub app: &'static str,
+    /// The paper's one-line description.
+    pub description: &'static str,
+    /// The paper's reported input size.
+    pub paper_input_size: &'static str,
+    /// Bytes our paper-scale generator actually produces.
+    pub generated_bytes: u64,
+}
+
+/// Regenerates Table I with our generators' actual sizes alongside the
+/// paper's reported ones.
+pub fn table1() -> Vec<TableRow> {
+    vec![
+        TableRow {
+            app: "MatrixMul",
+            description: "Matrix multiplication",
+            paper_input_size: "760MB",
+            generated_bytes: matmul::MatmulConfig::paper_scale().input_bytes(),
+        },
+        TableRow {
+            app: "CFD",
+            description: "Unstructured grid finite volume solver",
+            paper_input_size: "800MB",
+            generated_bytes: cfd::CfdConfig::paper_scale().input_bytes(),
+        },
+        TableRow {
+            app: "kNN",
+            description: "Finds k-nearest neighbors in unstructured data set",
+            paper_input_size: "100MB",
+            generated_bytes: knn::KnnConfig::paper_scale().input_bytes(),
+        },
+        TableRow {
+            app: "BFS",
+            description: "Traverses all the connected components in a graph",
+            paper_input_size: "240MB",
+            generated_bytes: bfs::BfsConfig::paper_scale().input_bytes(),
+        },
+        TableRow {
+            app: "SpMV",
+            description: "Sparse matrix-vector multiplication in CSR format",
+            paper_input_size: "1.1GB",
+            generated_bytes: spmv::SpmvConfig::paper_scale().input_bytes(),
+        },
+    ]
+}
+
+#[cfg(test)]
+fn parse_paper_size(s: &str) -> f64 {
+    if let Some(mb) = s.strip_suffix("MB") {
+        mb.parse::<f64>().expect("numeric MB") * 1e6
+    } else if let Some(gb) = s.strip_suffix("GB") {
+        gb.parse::<f64>().expect("numeric GB") * 1e9
+    } else {
+        panic!("unknown size unit in {s}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_all_five_benchmarks() {
+        let rows = table1();
+        let apps: Vec<&str> = rows.iter().map(|r| r.app).collect();
+        assert_eq!(apps, vec!["MatrixMul", "CFD", "kNN", "BFS", "SpMV"]);
+    }
+
+    #[test]
+    fn generated_sizes_track_the_paper_within_15_percent() {
+        for row in table1() {
+            let paper = parse_paper_size(row.paper_input_size);
+            let ratio = row.generated_bytes as f64 / paper;
+            assert!(
+                (0.85..1.15).contains(&ratio),
+                "{}: generated {} vs paper {} (ratio {ratio:.2})",
+                row.app,
+                row.generated_bytes,
+                row.paper_input_size
+            );
+        }
+    }
+}

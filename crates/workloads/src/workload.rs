@@ -1,0 +1,111 @@
+//! A unified handle over the five benchmarks (for harnesses that sweep
+//! them uniformly).
+
+use haocl::{Error, Platform};
+
+use crate::bfs::{self, BfsConfig};
+use crate::cfd::{self, CfdConfig};
+use crate::knn::{self, KnnConfig};
+use crate::matmul::{self, MatmulConfig};
+use crate::report::{RunOptions, RunReport};
+use crate::spmv::{self, SpmvConfig};
+
+/// One of the five Table I benchmarks with its configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Workload {
+    /// Dense matrix multiplication.
+    MatrixMul(MatmulConfig),
+    /// Unstructured-grid finite-volume solver.
+    Cfd(CfdConfig),
+    /// k-nearest neighbours.
+    Knn(KnnConfig),
+    /// Breadth-first traversal.
+    Bfs(BfsConfig),
+    /// Sparse matrix–vector multiplication.
+    Spmv(SpmvConfig),
+}
+
+impl Workload {
+    /// All five benchmarks at Table I scale.
+    pub fn paper_suite() -> Vec<Workload> {
+        vec![
+            Workload::MatrixMul(MatmulConfig::paper_scale()),
+            Workload::Cfd(CfdConfig::paper_scale()),
+            Workload::Knn(KnnConfig::paper_scale()),
+            Workload::Bfs(BfsConfig::paper_scale()),
+            Workload::Spmv(SpmvConfig::paper_scale()),
+        ]
+    }
+
+    /// All five benchmarks at test scale.
+    pub fn test_suite() -> Vec<Workload> {
+        vec![
+            Workload::MatrixMul(MatmulConfig::test_scale()),
+            Workload::Cfd(CfdConfig::test_scale()),
+            Workload::Knn(KnnConfig::test_scale()),
+            Workload::Bfs(BfsConfig::test_scale()),
+            Workload::Spmv(SpmvConfig::test_scale()),
+        ]
+    }
+
+    /// The benchmark's Table I name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::MatrixMul(_) => "MatrixMul",
+            Workload::Cfd(_) => "CFD",
+            Workload::Knn(_) => "kNN",
+            Workload::Bfs(_) => "BFS",
+            Workload::Spmv(_) => "SpMV",
+        }
+    }
+
+    /// Total input bytes at this configuration.
+    pub fn input_bytes(&self) -> u64 {
+        match self {
+            Workload::MatrixMul(c) => c.input_bytes(),
+            Workload::Cfd(c) => c.input_bytes(),
+            Workload::Knn(c) => c.input_bytes(),
+            Workload::Bfs(c) => c.input_bytes(),
+            Workload::Spmv(c) => c.input_bytes(),
+        }
+    }
+
+    /// Runs the benchmark's distributed driver on `platform`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the driver's failures.
+    pub fn run(&self, platform: &Platform, opts: &RunOptions) -> Result<RunReport, Error> {
+        match self {
+            Workload::MatrixMul(c) => matmul::run(platform, c, opts),
+            Workload::Cfd(c) => cfd::run(platform, c, opts),
+            Workload::Knn(c) => knn::run(platform, c, opts),
+            Workload::Bfs(c) => bfs::run(platform, c, opts),
+            Workload::Spmv(c) => spmv::run(platform, c, opts),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haocl::DeviceKind;
+
+    #[test]
+    fn suites_cover_all_five() {
+        let names: Vec<&str> = Workload::paper_suite().iter().map(|w| w.name()).collect();
+        assert_eq!(names, vec!["MatrixMul", "CFD", "kNN", "BFS", "SpMV"]);
+        assert_eq!(Workload::test_suite().len(), 5);
+    }
+
+    #[test]
+    fn whole_test_suite_verifies_on_one_gpu() {
+        let platform =
+            Platform::local_with_registry(&[DeviceKind::Gpu], crate::registry_with_all())
+                .unwrap();
+        for w in Workload::test_suite() {
+            let report = w.run(&platform, &RunOptions::full()).unwrap();
+            assert_eq!(report.verified, Some(true), "{report}");
+        }
+    }
+}

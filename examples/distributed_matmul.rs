@@ -1,0 +1,48 @@
+//! Distributed MatrixMul: the paper's headline workload end-to-end.
+//!
+//! Runs the Table-I MatrixMul benchmark on growing GPU clusters (full
+//! fidelity at a small size so it executes for real and verifies, then
+//! modeled fidelity at paper scale for the timing shape), and prints the
+//! Fig. 3-style phase breakdown for each run.
+//!
+//! ```text
+//! cargo run --release --example distributed_matmul
+//! ```
+
+use haocl::Platform;
+use haocl_cluster::ClusterConfig;
+use haocl_sim::Phase;
+use haocl_workloads::matmul::{self, MatmulConfig};
+use haocl_workloads::{registry_with_all, RunOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== full fidelity (small, executed and verified) ==");
+    for nodes in [1usize, 2, 4] {
+        let platform =
+            Platform::cluster(&ClusterConfig::gpu_cluster(nodes), registry_with_all())?;
+        let report = matmul::run(&platform, &MatmulConfig::test_scale(), &RunOptions::full())?;
+        println!("  {report}");
+        assert_eq!(report.verified, Some(true));
+    }
+
+    println!();
+    println!("== paper scale (modeled timing, 8192x8192) ==");
+    let cfg = MatmulConfig::paper_scale();
+    let mut single = None;
+    for nodes in [1usize, 2, 4, 8, 16] {
+        let platform =
+            Platform::cluster(&ClusterConfig::gpu_cluster(nodes), registry_with_all())?;
+        let report = matmul::run(&platform, &cfg, &RunOptions::modeled())?;
+        let base = *single.get_or_insert(report.makespan);
+        println!(
+            "  {:>2} node(s): {:>10}  speedup {:>5.2}x  [create {} | compute {} | transfer {}]",
+            nodes,
+            format!("{}", report.makespan),
+            base.as_secs_f64() / report.makespan.as_secs_f64(),
+            report.phases.time(Phase::DataCreate),
+            report.phases.time(Phase::Compute),
+            report.phases.time(Phase::DataTransfer),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,278 @@
+//! Conformance battery for the OpenCL C compiler + VM: tricky kernels
+//! whose expected outputs are computed by independent host Rust code.
+
+use haocl_clc::vm::{run_ndrange, ArgValue, GlobalBuffer, NdRange};
+use haocl_clc::compile;
+
+fn run_i32(src: &str, kernel: &str, args: &[ArgValue], bufs: &mut [GlobalBuffer], range: NdRange) {
+    let program = compile(src).expect("compile");
+    let k = program.kernel(kernel).expect("kernel present");
+    run_ndrange(k, args, bufs, &range).expect("execute");
+}
+
+#[test]
+fn integer_type_coercions_follow_c_rules() {
+    let src = r#"__kernel void t(__global int* out) {
+        int  a = -7;
+        uint b = 3u;
+        long c = 1000000007;
+        // int op uint -> uint (wraps); stored back into int.
+        out[0] = (int)(a + b);           // -4 as uint pattern
+        out[1] = (int)(c % 10);          // long arithmetic
+        out[2] = (int)((a < 0) ? 1 : 2); // bool/ternary
+        out[3] = (int)(b << 4);
+        out[4] = a / 2;                  // signed division truncates
+        out[5] = a % 2;                  // signed remainder
+        out[6] = (int)(3.9f);            // float -> int truncation
+        out[7] = -(a);                   // unary minus
+    }"#;
+    let mut bufs = vec![GlobalBuffer::zeroed(8 * 4)];
+    run_i32(src, "t", &[ArgValue::global(0)], &mut bufs, NdRange::linear(1, 1));
+    assert_eq!(
+        bufs[0].as_i32(),
+        vec![-4, 7, 1, 48, -3, -1, 3, 7]
+    );
+}
+
+#[test]
+fn nested_loops_with_break_continue_match_oracle() {
+    let src = r#"__kernel void t(__global int* out, int n) {
+        int acc = 0;
+        for (int i = 0; i < n; i++) {
+            if (i % 3 == 0) continue;
+            int j = 0;
+            while (j < i) {
+                j++;
+                if (j * i > 40) break;
+                acc += j;
+            }
+        }
+        out[0] = acc;
+    }"#;
+    // Oracle.
+    let n = 12;
+    let mut acc = 0i32;
+    for i in 0..n {
+        if i % 3 == 0 {
+            continue;
+        }
+        let mut j = 0;
+        while j < i {
+            j += 1;
+            if j * i > 40 {
+                break;
+            }
+            acc += j;
+        }
+    }
+    let mut bufs = vec![GlobalBuffer::zeroed(4)];
+    run_i32(
+        src,
+        "t",
+        &[ArgValue::global(0), ArgValue::from_i32(n)],
+        &mut bufs,
+        NdRange::linear(1, 1),
+    );
+    assert_eq!(bufs[0].as_i32(), vec![acc]);
+}
+
+#[test]
+fn two_dim_workgroups_with_shared_memory_reduce() {
+    // Per-group sum via local memory and a barrier, written by item 0.
+    let src = r#"__kernel void groupsum(__global const int* in, __global int* out) {
+        __local int scratch[64];
+        int l = get_local_id(0);
+        int g = get_group_id(0);
+        int n = get_local_size(0);
+        scratch[l] = in[get_global_id(0)];
+        barrier(CLK_LOCAL_MEM_FENCE);
+        if (l == 0) {
+            int s = 0;
+            for (int i = 0; i < n; i++) s += scratch[i];
+            out[g] = s;
+        }
+    }"#;
+    let input: Vec<i32> = (0..64).map(|i| i * i).collect();
+    let mut bufs = vec![GlobalBuffer::from_i32(&input), GlobalBuffer::zeroed(8 * 4)];
+    run_i32(
+        src,
+        "groupsum",
+        &[ArgValue::global(0), ArgValue::global(1)],
+        &mut bufs,
+        NdRange::linear(64, 8),
+    );
+    let expect: Vec<i32> = input.chunks(8).map(|c| c.iter().sum()).collect();
+    assert_eq!(bufs[1].as_i32(), expect);
+}
+
+#[test]
+fn multi_barrier_pipeline_is_correct() {
+    // Three barrier phases: write, rotate, rotate again.
+    let src = r#"__kernel void rot2(__global int* data) {
+        __local int t[16];
+        int l = get_local_id(0);
+        int n = get_local_size(0);
+        t[l] = data[get_global_id(0)];
+        barrier(CLK_LOCAL_MEM_FENCE);
+        int a = t[(l + 1) % n];
+        barrier(CLK_LOCAL_MEM_FENCE);
+        t[l] = a;
+        barrier(CLK_LOCAL_MEM_FENCE);
+        data[get_global_id(0)] = t[(l + 1) % n];
+    }"#;
+    let input: Vec<i32> = (0..16).collect();
+    let mut bufs = vec![GlobalBuffer::from_i32(&input)];
+    run_i32(src, "rot2", &[ArgValue::global(0)], &mut bufs, NdRange::linear(16, 16));
+    // Two rotations by one => shift by two.
+    let expect: Vec<i32> = (0..16).map(|i| (i + 2) % 16).collect();
+    assert_eq!(bufs[0].as_i32(), expect);
+}
+
+#[test]
+fn float_math_builtins_match_rust() {
+    let src = r#"__kernel void m(__global float* x) {
+        int i = get_global_id(0);
+        float v = x[i];
+        x[i] = sqrt(fabs(v)) + sin(v) * cos(v) + exp(v / 10.0f) + log(fabs(v) + 1.0f)
+             + pow(fabs(v), 1.5f) + floor(v) + ceil(v) + fmin(v, 0.5f) + fmax(v, -0.5f);
+    }"#;
+    let input: Vec<f32> = vec![-2.5, -0.1, 0.0, 0.7, 3.14159];
+    let mut bufs = vec![GlobalBuffer::from_f32(&input)];
+    run_i32(src, "m", &[ArgValue::global(0)], &mut bufs, NdRange::linear(5, 1));
+    let out = bufs[0].as_f32();
+    for (i, &v) in input.iter().enumerate() {
+        let expect = v.abs().sqrt()
+            + v.sin() * v.cos()
+            + (v / 10.0).exp()
+            + (v.abs() + 1.0).ln()
+            + v.abs().powf(1.5)
+            + v.floor()
+            + v.ceil()
+            + v.min(0.5)
+            + v.max(-0.5);
+        assert!(
+            (out[i] - expect).abs() <= 1e-4 * expect.abs().max(1.0),
+            "lane {i}: {} vs {expect}",
+            out[i]
+        );
+    }
+}
+
+#[test]
+fn three_dimensional_ranges_enumerate_every_item() {
+    let src = r#"__kernel void mark(__global int* out, int nx, int ny) {
+        int x = get_global_id(0);
+        int y = get_global_id(1);
+        int z = get_global_id(2);
+        out[(z * ny + y) * nx + x] = x + 10 * y + 100 * z;
+    }"#;
+    let (nx, ny, nz) = (4u64, 3u64, 2u64);
+    let mut bufs = vec![GlobalBuffer::zeroed((nx * ny * nz * 4) as usize)];
+    run_i32(
+        src,
+        "mark",
+        &[ArgValue::global(0), ArgValue::from_i32(nx as i32), ArgValue::from_i32(ny as i32)],
+        &mut bufs,
+        NdRange::d3([nx, ny, nz], [2, 1, 1]),
+    );
+    let out = bufs[0].as_i32();
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let idx = ((z * ny + y) * nx + x) as usize;
+                assert_eq!(out[idx], (x + 10 * y + 100 * z) as i32);
+            }
+        }
+    }
+}
+
+#[test]
+fn do_while_and_compound_assignments() {
+    let src = r#"__kernel void t(__global int* out) {
+        int x = 1;
+        do {
+            x <<= 1;
+            x |= 1;
+        } while (x < 100);
+        out[0] = x;
+        int y = 0xF0;
+        y &= 0x3C;
+        y ^= 0x0F;
+        y >>= 1;
+        out[1] = y;
+        int z = 10;
+        z *= 7;
+        z -= 4;
+        z /= 3;
+        z %= 5;
+        out[2] = z;
+    }"#;
+    let mut bufs = vec![GlobalBuffer::zeroed(12)];
+    run_i32(src, "t", &[ArgValue::global(0)], &mut bufs, NdRange::linear(1, 1));
+    // Oracles.
+    let mut x = 1i32;
+    loop {
+        x <<= 1;
+        x |= 1;
+        if x >= 100 {
+            break;
+        }
+    }
+    let mut y = 0xF0i32;
+    y &= 0x3C;
+    y ^= 0x0F;
+    y >>= 1;
+    let mut z = 10i32;
+    z *= 7;
+    z -= 4;
+    z /= 3;
+    z %= 5;
+    assert_eq!(bufs[0].as_i32(), vec![x, y, z]);
+}
+
+#[test]
+fn pre_and_post_increment_as_values() {
+    let src = r#"__kernel void t(__global int* out) {
+        int i = 5;
+        out[0] = i++;
+        out[1] = i;
+        out[2] = ++i;
+        out[3] = i--;
+        out[4] = --i;
+        out[5] = i;
+    }"#;
+    let mut bufs = vec![GlobalBuffer::zeroed(24)];
+    run_i32(src, "t", &[ArgValue::global(0)], &mut bufs, NdRange::linear(1, 1));
+    assert_eq!(bufs[0].as_i32(), vec![5, 6, 7, 7, 5, 5]);
+}
+
+#[test]
+fn constant_pointer_parameters_are_readable() {
+    let src = r#"__kernel void t(__constant float* table, __global float* out, int n) {
+        int i = get_global_id(0);
+        if (i < n) out[i] = table[n - 1 - i] * 2.0f;
+    }"#;
+    let mut bufs = vec![
+        GlobalBuffer::from_f32(&[1.0, 2.0, 3.0]),
+        GlobalBuffer::zeroed(12),
+    ];
+    run_i32(
+        src,
+        "t",
+        &[ArgValue::global(0), ArgValue::global(1), ArgValue::from_i32(3)],
+        &mut bufs,
+        NdRange::linear(3, 1),
+    );
+    assert_eq!(bufs[1].as_f32(), vec![6.0, 4.0, 2.0]);
+}
+
+#[test]
+fn double_precision_kernels_work() {
+    let src = r#"__kernel void t(__global double* x) {
+        int i = get_global_id(0);
+        x[i] = sqrt(x[i]) + 0.5;
+    }"#;
+    let mut bufs = vec![GlobalBuffer::from_f64(&[4.0, 9.0, 16.0])];
+    run_i32(src, "t", &[ArgValue::global(0)], &mut bufs, NdRange::linear(3, 1));
+    assert_eq!(bufs[0].as_f64(), vec![2.5, 3.5, 4.5]);
+}

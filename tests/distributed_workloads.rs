@@ -1,0 +1,122 @@
+//! Integration: every Table I workload verifies on several cluster
+//! shapes, through the full distributed stack.
+
+use haocl::Platform;
+use haocl_cluster::ClusterConfig;
+use haocl_workloads::{registry_with_all, RunOptions, Workload};
+
+fn verify_suite_on(config: &ClusterConfig) {
+    let platform = Platform::cluster(config, registry_with_all()).unwrap();
+    for workload in Workload::test_suite() {
+        let report = workload.run(&platform, &RunOptions::full()).unwrap();
+        assert_eq!(
+            report.verified,
+            Some(true),
+            "{} on {:?}: {report}",
+            workload.name(),
+            config.nodes.len()
+        );
+    }
+}
+
+#[test]
+fn suite_verifies_on_two_gpu_nodes() {
+    verify_suite_on(&ClusterConfig::gpu_cluster(2));
+}
+
+#[test]
+fn suite_verifies_on_four_gpu_nodes() {
+    verify_suite_on(&ClusterConfig::gpu_cluster(4));
+}
+
+#[test]
+fn suite_verifies_on_a_mixed_cluster() {
+    verify_suite_on(&ClusterConfig::hetero_cluster(2, 2));
+}
+
+#[test]
+fn suite_verifies_on_fpga_only_nodes() {
+    // FPGA nodes can only run pre-built bitstream kernels; the drivers'
+    // native mode goes through LoadBitstream.
+    verify_suite_on(&ClusterConfig::fpga_cluster(2));
+}
+
+#[test]
+fn suite_verifies_on_a_fat_multi_device_node() {
+    let config = ClusterConfig::parse(
+        "host 10.0.0.1:7000\nnode fat0 10.0.9.1:7100 cpu,gpu,fpga\n",
+    )
+    .unwrap();
+    verify_suite_on(&config);
+}
+
+#[test]
+fn modeled_and_full_fidelity_agree_on_virtual_time() {
+    // The same configuration must produce identical virtual makespans
+    // whether kernels actually execute or only the models run — that is
+    // the contract that makes paper-scale modeled benchmarking valid.
+    use haocl_workloads::matmul::{self, MatmulConfig};
+    let cfg = MatmulConfig { n: 64, seed: 5 };
+    let time_with = |opts: &RunOptions| {
+        let platform =
+            Platform::cluster(&ClusterConfig::gpu_cluster(2), registry_with_all()).unwrap();
+        matmul::run(&platform, &cfg, opts).unwrap().makespan
+    };
+    let full = time_with(&RunOptions {
+        verify: false,
+        ..RunOptions::full()
+    });
+    let modeled = time_with(&RunOptions::modeled());
+    // Modeled transfers approximate real frames to within the per-message
+    // envelope bytes (a few tens of bytes per call).
+    let diff = (full.as_secs_f64() - modeled.as_secs_f64()).abs();
+    assert!(
+        diff / full.as_secs_f64() < 0.01,
+        "full {full} vs modeled {modeled}"
+    );
+}
+
+#[test]
+fn snucl_baseline_is_never_faster_than_haocl() {
+    use haocl_baselines::SnuClD;
+    use haocl_workloads::matmul::MatmulConfig;
+    let workload = Workload::MatrixMul(MatmulConfig::with_n(2048));
+    for nodes in [1usize, 2, 4] {
+        let config = ClusterConfig::gpu_cluster(nodes);
+        let platform = Platform::cluster(&config, registry_with_all()).unwrap();
+        let haocl_run = workload.run(&platform, &RunOptions::modeled()).unwrap();
+        let snucl_run = SnuClD::new()
+            .run(&config, &workload, &RunOptions::modeled())
+            .unwrap();
+        assert!(
+            snucl_run.makespan >= haocl_run.makespan,
+            "{nodes} nodes: SnuCL-D {} < HaoCL {}",
+            snucl_run.makespan,
+            haocl_run.makespan
+        );
+    }
+}
+
+#[test]
+fn speedup_grows_with_gpu_nodes_for_matmul_at_scale() {
+    use haocl_workloads::matmul::{self, MatmulConfig};
+    let cfg = MatmulConfig::paper_scale();
+    let opts = RunOptions {
+        data_resident: true,
+        ..RunOptions::modeled()
+    };
+    let mut prev = None;
+    for nodes in [1usize, 2, 4, 8] {
+        let platform =
+            Platform::cluster(&ClusterConfig::gpu_cluster(nodes), registry_with_all()).unwrap();
+        let makespan = matmul::run(&platform, &cfg, &opts).unwrap().makespan;
+        if let Some(p) = prev {
+            assert!(
+                makespan < p,
+                "{nodes} nodes ({makespan}) should beat {} ({p})",
+                nodes / 2
+            );
+        }
+        prev = Some(makespan);
+    }
+}

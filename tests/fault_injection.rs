@@ -1,0 +1,74 @@
+//! Failure injection: a dying Node Management Process must surface as a
+//! transport error on the host without poisoning the rest of the
+//! cluster, and runtime profiles must be collectable cluster-wide.
+
+use haocl_cluster::{ClusterConfig, LocalCluster};
+use haocl_kernel::KernelRegistry;
+use haocl_proto::ids::NodeId;
+use haocl_proto::messages::{ApiCall, ApiReply};
+
+#[test]
+fn killed_node_fails_fast_and_others_survive() {
+    let mut cluster =
+        LocalCluster::launch(&ClusterConfig::gpu_cluster(3), KernelRegistry::new()).unwrap();
+    assert_eq!(cluster.live_nodes(), 3);
+    // Kill node 1's daemon.
+    assert!(cluster.kill_node(1));
+    assert_eq!(cluster.live_nodes(), 2);
+    assert!(!cluster.kill_node(5), "out-of-range kill must be refused");
+    // Calls to the dead node error out…
+    let err = cluster
+        .host()
+        .call(NodeId::new(1), ApiCall::Ping)
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("disconnected") || err.to_string().contains("backbone"),
+        "unexpected error: {err}"
+    );
+    // …while the remaining nodes keep serving.
+    for id in [0u32, 2] {
+        let outcome = cluster.host().call(NodeId::new(id), ApiCall::Ping).unwrap();
+        assert!(matches!(outcome.reply, ApiReply::Pong { .. }));
+    }
+}
+
+#[test]
+fn cluster_profiles_reflect_completed_launches() {
+    use haocl::kernel::Kernel;
+    use haocl::{Buffer, CommandQueue, Context, DeviceType, MemFlags, Platform, Program};
+    use haocl_kernel::NdRange;
+
+    let platform =
+        Platform::cluster(&ClusterConfig::gpu_cluster(2), KernelRegistry::new()).unwrap();
+    let devices = platform.devices(DeviceType::All);
+    let ctx = Context::new(&platform, &devices).unwrap();
+    let program = Program::from_source(
+        &ctx,
+        "__kernel void tick(__global int* a) { a[0] = a[0] + 1; }",
+    );
+    program.build().unwrap();
+    let kernel = Kernel::new(&program, "tick").unwrap();
+    let buf = Buffer::new(&ctx, MemFlags::READ_WRITE, 4).unwrap();
+    kernel.set_arg_buffer(0, &buf).unwrap();
+    // Three launches on node 0, one on node 1.
+    let q0 = CommandQueue::new(&ctx, &devices[0]).unwrap();
+    let q1 = CommandQueue::new(&ctx, &devices[1]).unwrap();
+    for _ in 0..3 {
+        q0.enqueue_nd_range_kernel(&kernel, NdRange::linear(1, 1)).unwrap();
+    }
+    q1.enqueue_nd_range_kernel(&kernel, NdRange::linear(1, 1)).unwrap();
+
+    let profiles = platform.query_profiles().unwrap();
+    assert_eq!(profiles.len(), 2);
+    let runs_of = |node: usize| -> u64 {
+        profiles[node]
+            .1
+            .iter()
+            .filter(|e| e.kernel == "tick")
+            .map(|e| e.runs)
+            .sum()
+    };
+    assert_eq!(runs_of(0), 3);
+    assert_eq!(runs_of(1), 1);
+    assert!(profiles[0].1[0].mean_nanos > 0);
+}

@@ -1,0 +1,192 @@
+//! Failure-path integration: errors raised deep in the stack (device
+//! memory, kernel runtime, FPGA restrictions, protocol legality) must
+//! surface through the public API with the right OpenCL status codes.
+
+use haocl::kernel::Kernel;
+use haocl::{
+    Buffer, CommandQueue, Context, DeviceKind, DeviceType, MemFlags, Platform, Program, Status,
+};
+use haocl_cluster::ClusterConfig;
+use haocl_kernel::{KernelRegistry, NdRange};
+
+fn gpu_cluster() -> Platform {
+    Platform::cluster(&ClusterConfig::gpu_cluster(1), KernelRegistry::new()).unwrap()
+}
+
+#[test]
+fn device_out_of_memory_surfaces_as_allocation_failure() {
+    let platform = gpu_cluster();
+    let ctx = Context::new(&platform, &platform.devices(DeviceType::All)).unwrap();
+    let queue = CommandQueue::new(&ctx, &ctx.devices()[0]).unwrap();
+    // The P4 model has 8 GiB; a 9 GiB modeled buffer must be refused by
+    // the node when it is first allocated there.
+    let too_big = Buffer::new_modeled(&ctx, MemFlags::READ_WRITE, 9 << 30).unwrap();
+    let err = queue
+        .enqueue_write_buffer_modeled(&too_big, 0, 9 << 30)
+        .unwrap_err();
+    assert_eq!(err.status(), Some(Status::MemObjectAllocationFailure));
+}
+
+#[test]
+fn kernel_runtime_oob_surfaces_with_kernel_args_status() {
+    let platform = gpu_cluster();
+    let ctx = Context::new(&platform, &platform.devices(DeviceType::All)).unwrap();
+    let queue = CommandQueue::new(&ctx, &ctx.devices()[0]).unwrap();
+    let program = Program::from_source(
+        &ctx,
+        "__kernel void oob(__global int* a) { a[1000000] = 1; }",
+    );
+    program.build().unwrap();
+    let kernel = Kernel::new(&program, "oob").unwrap();
+    let buf = Buffer::new(&ctx, MemFlags::READ_WRITE, 16).unwrap();
+    kernel.set_arg_buffer(0, &buf).unwrap();
+    let err = queue
+        .enqueue_nd_range_kernel(&kernel, NdRange::linear(1, 1))
+        .unwrap_err();
+    assert_eq!(err.status(), Some(Status::InvalidKernelArgs));
+    assert!(err.to_string().contains("out-of-bounds"));
+    // The buffer survives the failed launch.
+    let mut out = vec![0u8; 16];
+    queue.enqueue_read_buffer(&buf, 0, &mut out).unwrap();
+}
+
+#[test]
+fn division_by_zero_in_kernel_is_reported() {
+    let platform = gpu_cluster();
+    let ctx = Context::new(&platform, &platform.devices(DeviceType::All)).unwrap();
+    let queue = CommandQueue::new(&ctx, &ctx.devices()[0]).unwrap();
+    let program = Program::from_source(
+        &ctx,
+        "__kernel void dz(__global int* a) { a[0] = 7 / a[1]; }",
+    );
+    program.build().unwrap();
+    let kernel = Kernel::new(&program, "dz").unwrap();
+    let buf = Buffer::new(&ctx, MemFlags::READ_WRITE, 8).unwrap();
+    kernel.set_arg_buffer(0, &buf).unwrap();
+    let err = queue
+        .enqueue_nd_range_kernel(&kernel, NdRange::linear(1, 1))
+        .unwrap_err();
+    assert!(err.to_string().contains("division by zero"));
+}
+
+#[test]
+fn fpga_node_requires_bitstreams_end_to_end() {
+    let platform =
+        Platform::cluster(&ClusterConfig::fpga_cluster(1), KernelRegistry::new()).unwrap();
+    let ctx = Context::new(&platform, &platform.devices(DeviceType::All)).unwrap();
+    // Source build refused.
+    let src_prog = Program::from_source(&ctx, "__kernel void f() {}");
+    assert_eq!(
+        src_prog.build().unwrap_err().status(),
+        Some(Status::InvalidOperation)
+    );
+    // Bitstream load of a kernel missing from the store fails with a log.
+    let bit_prog = Program::with_bitstream_kernels(&ctx, ["not_in_store"]);
+    assert_eq!(
+        bit_prog.build().unwrap_err().status(),
+        Some(Status::BuildProgramFailure)
+    );
+    assert!(bit_prog.build_log().contains("missing"));
+}
+
+#[test]
+fn wrong_workgroup_geometry_is_rejected_remotely() {
+    let platform = gpu_cluster();
+    let ctx = Context::new(&platform, &platform.devices(DeviceType::All)).unwrap();
+    let queue = CommandQueue::new(&ctx, &ctx.devices()[0]).unwrap();
+    let program = Program::from_source(
+        &ctx,
+        "__kernel void f(__global int* a) { a[0] = 1; }",
+    );
+    program.build().unwrap();
+    let kernel = Kernel::new(&program, "f").unwrap();
+    let buf = Buffer::new(&ctx, MemFlags::READ_WRITE, 4).unwrap();
+    kernel.set_arg_buffer(0, &buf).unwrap();
+    // Local size 3 does not divide global size 4.
+    let err = queue
+        .enqueue_nd_range_kernel(&kernel, NdRange::linear(4, 3))
+        .unwrap_err();
+    assert_eq!(err.status(), Some(Status::InvalidKernelArgs));
+}
+
+#[test]
+fn barrier_divergence_detected_through_the_stack() {
+    let platform = gpu_cluster();
+    let ctx = Context::new(&platform, &platform.devices(DeviceType::All)).unwrap();
+    let queue = CommandQueue::new(&ctx, &ctx.devices()[0]).unwrap();
+    let program = Program::from_source(
+        &ctx,
+        "__kernel void div(__global int* a) {
+            if (get_local_id(0) == 0) { barrier(CLK_LOCAL_MEM_FENCE); }
+            a[get_global_id(0)] = 1;
+        }",
+    );
+    program.build().unwrap();
+    let kernel = Kernel::new(&program, "div").unwrap();
+    let buf = Buffer::new(&ctx, MemFlags::READ_WRITE, 8).unwrap();
+    kernel.set_arg_buffer(0, &buf).unwrap();
+    let err = queue
+        .enqueue_nd_range_kernel(&kernel, NdRange::linear(2, 2))
+        .unwrap_err();
+    assert!(err.to_string().contains("divergence"));
+}
+
+#[test]
+fn snucl_d_restrictions_hold() {
+    use haocl_baselines::SnuClD;
+    use haocl_workloads::cfd::CfdConfig;
+    use haocl_workloads::matmul::MatmulConfig;
+    use haocl_workloads::{RunOptions, Workload};
+    let snucl = SnuClD::new();
+    assert_eq!(
+        snucl
+            .run(
+                &ClusterConfig::hetero_cluster(1, 1),
+                &Workload::MatrixMul(MatmulConfig::test_scale()),
+                &RunOptions::full(),
+            )
+            .unwrap_err()
+            .status(),
+        Some(Status::DeviceNotFound)
+    );
+    assert_eq!(
+        snucl
+            .run(
+                &ClusterConfig::gpu_cluster(2),
+                &Workload::Cfd(CfdConfig::test_scale()),
+                &RunOptions::full(),
+            )
+            .unwrap_err()
+            .status(),
+        Some(Status::InvalidOperation)
+    );
+}
+
+#[test]
+fn cpu_devices_run_the_full_suite_too() {
+    // The paper's nodes all carry Xeons; CPU-only execution must work.
+    use haocl_workloads::{registry_with_all, RunOptions, Workload};
+    let platform =
+        Platform::local_with_registry(&[DeviceKind::Cpu], registry_with_all()).unwrap();
+    for w in Workload::test_suite() {
+        let report = w.run(&platform, &RunOptions::full()).unwrap();
+        assert_eq!(report.verified, Some(true), "{report}");
+    }
+}
+
+#[test]
+fn config_file_roundtrip_drives_a_real_cluster() {
+    let text = "host 10.0.0.1:7000\n\
+                node a 10.0.5.1:7100 gpu\n\
+                node b 10.0.5.2:7100 cpu,fpga\n\
+                bandwidth_gbps 10\n\
+                latency_us 20\n";
+    let config = ClusterConfig::parse(text).unwrap();
+    let platform = Platform::cluster(&config, KernelRegistry::new()).unwrap();
+    let devices = platform.devices(DeviceType::All);
+    assert_eq!(devices.len(), 3);
+    assert_eq!(devices[0].kind(), DeviceKind::Gpu);
+    assert_eq!(devices[1].kind(), DeviceKind::Cpu);
+    assert_eq!(devices[2].kind(), DeviceKind::Fpga);
+    assert_eq!(devices[2].node_name(), "b");
+}

@@ -1,0 +1,142 @@
+//! Differential property testing: randomly generated kernels are
+//! compiled and executed by the `haocl-clc` VM and, independently,
+//! interpreted by a tiny host-side oracle. Any divergence is a compiler
+//! or VM bug.
+
+use haocl_clc::compile;
+use haocl_clc::vm::{run_ndrange, ArgValue, GlobalBuffer, NdRange};
+use proptest::prelude::*;
+
+/// One step of the random program: `x = x <op> c;` (with shift amounts
+/// masked and divisors kept nonzero).
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Add(i32),
+    Sub(i32),
+    Mul(i32),
+    Div(i32),
+    Rem(i32),
+    And(i32),
+    Or(i32),
+    Xor(i32),
+    Shl(u8),
+    Shr(u8),
+    /// `if (x % 2 == 0) x += a; else x -= b;`
+    Branch(i32, i32),
+    /// `for (int i = 0; i < n; i++) x ^= i * c;`
+    Loop(u8, i32),
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        any::<i32>().prop_map(Step::Add),
+        any::<i32>().prop_map(Step::Sub),
+        (-1000i32..1000).prop_map(Step::Mul),
+        (1i32..1000).prop_map(Step::Div),
+        (1i32..1000).prop_map(Step::Rem),
+        any::<i32>().prop_map(Step::And),
+        any::<i32>().prop_map(Step::Or),
+        any::<i32>().prop_map(Step::Xor),
+        (0u8..31).prop_map(Step::Shl),
+        (0u8..31).prop_map(Step::Shr),
+        (any::<i32>(), any::<i32>()).prop_map(|(a, b)| Step::Branch(a, b)),
+        ((0u8..8), (-100i32..100)).prop_map(|(n, c)| Step::Loop(n, c)),
+    ]
+}
+
+/// Renders the program as OpenCL C.
+fn render(steps: &[Step]) -> String {
+    let mut body = String::from("int x = in[get_global_id(0)];\n");
+    for s in steps {
+        let line = match s {
+            Step::Add(c) => format!("x = x + ({c});"),
+            Step::Sub(c) => format!("x = x - ({c});"),
+            Step::Mul(c) => format!("x = x * ({c});"),
+            Step::Div(c) => format!("x = x / ({c});"),
+            Step::Rem(c) => format!("x = x % ({c});"),
+            Step::And(c) => format!("x = x & ({c});"),
+            Step::Or(c) => format!("x = x | ({c});"),
+            Step::Xor(c) => format!("x = x ^ ({c});"),
+            Step::Shl(k) => format!("x = x << {k};"),
+            Step::Shr(k) => format!("x = x >> {k};"),
+            Step::Branch(a, b) =>
+
+                format!("if (x % 2 == 0) {{ x = x + ({a}); }} else {{ x = x - ({b}); }}"),
+            Step::Loop(n, c) => format!(
+                "for (int i = 0; i < {n}; i++) {{ x = x ^ (i * ({c})); }}"
+            ),
+        };
+        body.push_str(&line);
+        body.push('\n');
+    }
+    format!(
+        "__kernel void prog(__global const int* in, __global int* out) {{\n{body}\nout[get_global_id(0)] = x;\n}}"
+    )
+}
+
+/// The independent host-side oracle (C semantics: wrapping arithmetic,
+/// truncating division).
+fn oracle(steps: &[Step], mut x: i32) -> i32 {
+    for s in steps {
+        x = match *s {
+            Step::Add(c) => x.wrapping_add(c),
+            Step::Sub(c) => x.wrapping_sub(c),
+            Step::Mul(c) => x.wrapping_mul(c),
+            Step::Div(c) => x.wrapping_div(c),
+            Step::Rem(c) => x.wrapping_rem(c),
+            Step::And(c) => x & c,
+            Step::Or(c) => x | c,
+            Step::Xor(c) => x ^ c,
+            Step::Shl(k) => x.wrapping_shl(u32::from(k)),
+            Step::Shr(k) => x.wrapping_shr(u32::from(k)),
+            Step::Branch(a, b) => {
+                // C: -3 % 2 == -1, so odd negatives take the else arm too.
+                if x % 2 == 0 {
+                    x.wrapping_add(a)
+                } else {
+                    x.wrapping_sub(b)
+                }
+            }
+            Step::Loop(n, c) => {
+                for i in 0..i32::from(n) {
+                    x ^= i.wrapping_mul(c);
+                }
+                x
+            }
+        };
+    }
+    x
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn vm_matches_host_oracle(
+        steps in proptest::collection::vec(arb_step(), 1..24),
+        inputs in proptest::collection::vec(any::<i32>(), 1..8),
+    ) {
+        let src = render(&steps);
+        let program = compile(&src).expect("generated program must compile");
+        let kernel = program.kernel("prog").expect("kernel present");
+        let mut bufs = vec![
+            GlobalBuffer::from_i32(&inputs),
+            GlobalBuffer::zeroed(inputs.len() * 4),
+        ];
+        run_ndrange(
+            kernel,
+            &[ArgValue::global(0), ArgValue::global(1)],
+            &mut bufs,
+            &NdRange::linear(inputs.len() as u64, 1),
+        )
+        .expect("generated program must execute");
+        let got = bufs[1].as_i32();
+        for (lane, &x0) in inputs.iter().enumerate() {
+            let want = oracle(&steps, x0);
+            prop_assert_eq!(
+                got[lane], want,
+                "lane {} diverged for program:\n{}", lane, src
+            );
+        }
+    }
+}
