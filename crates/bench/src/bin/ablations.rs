@@ -1,5 +1,6 @@
 //! Design-choice ablations beyond the paper's figures: scheduler-policy
-//! quality on a mixed cluster and the interconnect-bandwidth sweep.
+//! quality on a mixed cluster, the interconnect-bandwidth sweep, and the
+//! asynchronous backbone's pipelining win.
 //!
 //! ```text
 //! cargo run --release -p haocl-bench --bin ablations
@@ -27,4 +28,18 @@ fn main() {
         .map(|(gbps, makespan)| vec![format!("{gbps} Gb/s"), format!("{makespan}")])
         .collect();
     print!("{}", render_table(&["link", "makespan"], &table));
+    println!();
+
+    println!("Ablation 3 — backbone pipelining (4-node fan-out of small launches)");
+    println!();
+    let result = ablations::pipelining(4, 2).expect("pipelining ablation");
+    let table = vec![
+        vec!["synchronous".to_string(), format!("{}", result.synchronous)],
+        vec!["pipelined".to_string(), format!("{}", result.pipelined)],
+        vec!["speedup".to_string(), format!("{:.2}x", result.speedup())],
+    ];
+    print!(
+        "{}",
+        render_table(&["host semantics", "fan-out makespan"], &table)
+    );
 }

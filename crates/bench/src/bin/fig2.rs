@@ -4,13 +4,21 @@
 //! ```text
 //! cargo run --release -p haocl-bench --bin fig2           # paper scale (modeled)
 //! cargo run --release -p haocl-bench --bin fig2 -- --small  # quick test scale
+//! cargo run --release -p haocl-bench --bin fig2 -- --small --json out.json
 //! ```
 
 use haocl_bench::{fig2, text::render_table};
 use haocl_workloads::{RunOptions, Workload};
 
 fn main() {
-    let small = std::env::args().any(|a| a == "--small");
+    let args: Vec<String> = std::env::args().collect();
+    let small = args.iter().any(|a| a == "--small");
+    let json_path = args.iter().position(|a| a == "--json").map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--json requires an output path");
+            std::process::exit(2);
+        })
+    });
     let workloads = if small {
         Workload::test_suite()
     } else {
@@ -19,13 +27,14 @@ fn main() {
     let node_counts = [1usize, 2, 4, 8, 16];
     // Steady-state (data-resident) measurement: the paper's regime where
     // the data lives distributed; pass --staged for cold-start runs.
-    let opts = if std::env::args().any(|a| a == "--staged") {
+    let opts = if args.iter().any(|a| a == "--staged") {
         RunOptions::modeled()
     } else {
         RunOptions::modeled_resident()
     };
     println!("Fig. 2 — End-to-end speedup over a single GPU (virtual time)");
     println!();
+    let mut records = Vec::new();
     for workload in &workloads {
         let rows = fig2::rows(workload, &node_counts, &opts).expect("fig2 rows");
         let table: Vec<Vec<String>> = rows
@@ -52,5 +61,49 @@ fn main() {
             println!("(SnuCL-D: CFD cannot be implemented without significant change)");
         }
         println!();
+        for r in &rows {
+            records.push(format!(
+                concat!(
+                    "    {{\"workload\": {}, \"series\": {}, \"nodes\": {}, ",
+                    "\"makespan_nanos\": {}, \"speedup\": {:.4}, \"scaling\": {:.4}}}"
+                ),
+                json_string(workload.name()),
+                json_string(&r.series),
+                r.nodes,
+                r.makespan.as_nanos(),
+                r.speedup,
+                r.scaling,
+            ));
+        }
     }
+    if let Some(path) = json_path {
+        let body = format!(
+            "{{\n  \"figure\": \"fig2\",\n  \"scale\": \"{}\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+            if small { "small" } else { "paper" },
+            records.join(",\n"),
+        );
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("create output directory");
+            }
+        }
+        std::fs::write(&path, body).expect("write JSON results");
+        println!("wrote {path}");
+    }
+}
+
+/// Minimal JSON string encoding (the emitted names are ASCII).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }

@@ -37,7 +37,13 @@ fn main() {
         "{}",
         render_table(
             &[
-                "matrix", "nodes", "DataCreate", "Compute", "DataTransfer", "Init", "total",
+                "matrix",
+                "nodes",
+                "DataCreate",
+                "Compute",
+                "DataTransfer",
+                "Init",
+                "total",
                 "comm%"
             ],
             &table

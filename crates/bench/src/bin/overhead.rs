@@ -10,8 +10,8 @@ use haocl_bench::{overhead, text::render_table};
 use haocl_workloads::{RunOptions, Workload};
 
 fn main() {
-    let rows = overhead::rows(&Workload::paper_suite(), &RunOptions::modeled())
-        .expect("overhead rows");
+    let rows =
+        overhead::rows(&Workload::paper_suite(), &RunOptions::modeled()).expect("overhead rows");
     println!("Single-node overhead: HaoCL vs native OpenCL (virtual time)");
     println!();
     let table: Vec<Vec<String>> = rows

@@ -95,9 +95,7 @@ pub mod fig2 {
         let mut series_base: std::collections::HashMap<&'static str, SimDuration> =
             std::collections::HashMap::new();
         for &n in node_counts {
-            let mut push = |series: &'static str,
-                            rows: &mut Vec<Row>,
-                            makespan: SimDuration| {
+            let mut push = |series: &'static str, rows: &mut Vec<Row>, makespan: SimDuration| {
                 let first = *series_base.entry(series).or_insert(makespan);
                 rows.push(Row {
                     app: workload.name(),
@@ -229,10 +227,7 @@ pub mod hetero {
     /// # Errors
     ///
     /// Propagates driver failures.
-    pub fn rows(
-        cluster_sizes: &[(usize, usize)],
-        opts: &RunOptions,
-    ) -> Result<Vec<Row>, Error> {
+    pub fn rows(cluster_sizes: &[(usize, usize)], opts: &RunOptions) -> Result<Vec<Row>, Error> {
         let mut out = Vec::new();
         let mm = Workload::MatrixMul(MatmulConfig::paper_scale());
         let mut mm_base: Option<SimDuration> = None;
@@ -306,15 +301,10 @@ pub mod overhead {
         let mut out = Vec::new();
         for w in workloads {
             let local = run_local(&[DeviceKind::Gpu], w, opts)?;
-            let colocated = run_haocl(
-                &ClusterConfig::colocated_single(DeviceKind::Gpu),
-                w,
-                opts,
-            )?;
+            let colocated = run_haocl(&ClusterConfig::colocated_single(DeviceKind::Gpu), w, opts)?;
             let remote = run_haocl(&ClusterConfig::gpu_cluster(1), w, opts)?;
-            let pct = |t: SimDuration| {
-                (t.as_secs_f64() / local.makespan.as_secs_f64() - 1.0) * 100.0
-            };
+            let pct =
+                |t: SimDuration| (t.as_secs_f64() / local.makespan.as_secs_f64() - 1.0) * 100.0;
             out.push(Row {
                 app: w.name(),
                 local: local.makespan,
@@ -331,8 +321,8 @@ pub mod overhead {
 /// Design-choice ablations beyond the paper's figures.
 pub mod ablations {
     use super::*;
-    use haocl::{Context, DeviceType, Kernel, Program};
     use haocl::auto::AutoScheduler;
+    use haocl::{CommandQueue, Context, DeviceType, Kernel, Program};
     use haocl_kernel::{CostModel, NdRange};
     use haocl_net::LinkModel;
     use haocl_sched::policies;
@@ -359,10 +349,8 @@ pub mod ablations {
         };
         let mut out = Vec::new();
         for name in ["round-robin", "least-loaded", "hetero-aware", "power-aware"] {
-            let platform = Platform::cluster(
-                &ClusterConfig::hetero_cluster(2, 2),
-                registry_with_all(),
-            )?;
+            let platform =
+                Platform::cluster(&ClusterConfig::hetero_cluster(2, 2), registry_with_all())?;
             let ctx = Context::new(&platform, &platform.devices(DeviceType::All))?;
             let auto = AutoScheduler::new(&ctx, mk_policy(name))?;
             let program = Program::with_bitstream_kernels(
@@ -389,7 +377,10 @@ pub mod ablations {
                 let (event, _) = auto.launch(k, NdRange::linear(1024, 64))?;
                 last = last.max(event.finished_at());
             }
-            out.push((name.to_string(), last.saturating_duration_since(SimTime::ZERO)));
+            out.push((
+                name.to_string(),
+                last.saturating_duration_since(SimTime::ZERO),
+            ));
         }
         Ok(out)
     }
@@ -407,15 +398,96 @@ pub mod ablations {
         Ok(())
     }
 
+    /// Result of the [`pipelining`] ablation.
+    #[derive(Debug, Clone, Copy)]
+    pub struct PipeliningAblation {
+        /// Fan-out makespan claiming each response before the next
+        /// submit (the paper's synchronous host semantics).
+        pub synchronous: SimDuration,
+        /// Fan-out makespan submitting every launch before claiming any
+        /// response (the pipelined backbone).
+        pub pipelined: SimDuration,
+    }
+
+    impl PipeliningAblation {
+        /// How much faster the pipelined backbone finishes the fan-out.
+        pub fn speedup(&self) -> f64 {
+            self.synchronous.as_secs_f64() / self.pipelined.as_secs_f64()
+        }
+    }
+
+    /// Pipelining ablation (the asynchronous backbone's win): a fan-out
+    /// of independent modeled launches — one kernel and one buffer per
+    /// GPU node, `rounds` launches each — timed under both host
+    /// semantics on fresh clusters.
+    ///
+    /// The NMP acks a launch as soon as it schedules it (device time is
+    /// projected), so what a synchronous host serializes on is the
+    /// control-plane round trip, not the compute. The ablation therefore
+    /// models a rack-scale link with visible latency and keeps the
+    /// kernels tiny: synchronously every launch in the fan-out pays a
+    /// full round trip back-to-back (`nodes * rounds` trips); pipelined,
+    /// the requests of a round stream out together and the makespan
+    /// collapses to one round trip per round.
+    ///
+    /// # Errors
+    ///
+    /// Propagates launch failures.
+    pub fn pipelining(nodes: usize, rounds: usize) -> Result<PipeliningAblation, Error> {
+        let run = |pipelined: bool| -> Result<SimDuration, Error> {
+            let mut config = ClusterConfig::gpu_cluster(nodes);
+            config.link = LinkModel::custom(1.25e9, SimDuration::from_micros(200));
+            let platform = Platform::cluster(&config, registry_with_all())?;
+            let ctx = Context::new(&platform, &platform.devices(DeviceType::All))?;
+            let program =
+                Program::with_bitstream_kernels(&ctx, [haocl_workloads::matmul::KERNEL_NAME]);
+            program.build()?;
+            // One kernel + queue + buffer per device: the launches are
+            // mutually independent, so only the host semantics decide
+            // whether the round trips overlap.
+            let mut lanes = Vec::new();
+            for device in ctx.devices() {
+                let kernel = Kernel::new(&program, haocl_workloads::matmul::KERNEL_NAME)?;
+                kernel.set_fidelity(haocl::Fidelity::Modeled);
+                kernel.set_cost(CostModel::new().flops(1e6));
+                bind_dummy_args(&ctx, &kernel)?;
+                lanes.push((CommandQueue::new(&ctx, device)?, kernel));
+            }
+            // Warm-up round outside the timed region: loads the
+            // bitstream on every node and stages the dummy buffers, so
+            // both runs time the steady-state fan-out alone.
+            for (queue, kernel) in &lanes {
+                queue
+                    .enqueue_nd_range_kernel(kernel, NdRange::linear(1024, 64))?
+                    .wait()?;
+            }
+            let t0 = platform.now();
+            for _ in 0..rounds {
+                for (queue, kernel) in &lanes {
+                    let event = queue.enqueue_nd_range_kernel(kernel, NdRange::linear(1024, 64))?;
+                    if !pipelined {
+                        event.wait()?;
+                    }
+                }
+            }
+            for (queue, _) in &lanes {
+                queue.finish();
+            }
+            Ok(platform.now().saturating_duration_since(t0))
+        };
+        Ok(PipeliningAblation {
+            synchronous: run(false)?,
+            pipelined: run(true)?,
+        })
+    }
+
     /// Network-bandwidth ablation: MatrixMul makespan on 8 GPU nodes as
     /// the interconnect scales from 1 to 100 Gb/s.
     ///
     /// # Errors
     ///
     /// Propagates driver failures.
-    pub fn network_bandwidth(
-        gbps_points: &[f64],
-    ) -> Result<Vec<(f64, SimDuration)>, Error> {
+    pub fn network_bandwidth(gbps_points: &[f64]) -> Result<Vec<(f64, SimDuration)>, Error> {
         let mut out = Vec::new();
         for &gbps in gbps_points {
             let mut config = ClusterConfig::gpu_cluster(8);
@@ -446,7 +518,13 @@ mod tests {
         .unwrap();
         let series: std::collections::HashSet<&str> =
             rows.iter().map(|r| r.series.as_str()).collect();
-        for s in ["Local-GPU", "Local-FPGA", "HaoCL-GPU", "HaoCL-FPGA", "SnuCL-D"] {
+        for s in [
+            "Local-GPU",
+            "Local-FPGA",
+            "HaoCL-GPU",
+            "HaoCL-FPGA",
+            "SnuCL-D",
+        ] {
             assert!(series.contains(s), "missing series {s}");
         }
         // Hetero appears only for n >= 2.
@@ -489,15 +567,29 @@ mod tests {
     }
 
     #[test]
+    fn pipelining_ablation_shows_at_least_2x_on_4_node_fanout() {
+        let result = ablations::pipelining(4, 2).unwrap();
+        assert!(
+            result.pipelined < result.synchronous,
+            "pipelined {} should beat synchronous {}",
+            result.pipelined,
+            result.synchronous
+        );
+        assert!(
+            result.speedup() >= 2.0,
+            "4-node fan-out speedup {:.2}x (sync {} vs pipelined {})",
+            result.speedup(),
+            result.synchronous,
+            result.pipelined
+        );
+    }
+
+    #[test]
     fn scheduler_ablation_covers_four_policies() {
         let results = ablations::scheduler_policies(8).unwrap();
         assert_eq!(results.len(), 4);
         // The hetero-aware policy is never the worst.
-        let hetero = results
-            .iter()
-            .find(|(n, _)| n == "hetero-aware")
-            .unwrap()
-            .1;
+        let hetero = results.iter().find(|(n, _)| n == "hetero-aware").unwrap().1;
         let worst = results.iter().map(|(_, d)| *d).max().unwrap();
         assert!(hetero <= worst);
     }

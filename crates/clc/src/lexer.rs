@@ -121,10 +121,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>, ClcError> {
             continue;
         }
         // Punctuators, maximal munch.
-        if let Some(p) = PUNCTUATORS
-            .iter()
-            .find(|p| source[i..].starts_with(*p))
-        {
+        if let Some(p) = PUNCTUATORS.iter().find(|p| source[i..].starts_with(*p)) {
             tokens.push(Token {
                 kind: TokenKind::Punct(p),
                 span: Span::new(i, i + p.len()),
@@ -322,11 +319,31 @@ mod tests {
         assert_eq!(
             kinds("42 0x2A 7u 9ul 3L"),
             vec![
-                TokenKind::IntLit { value: 42, unsigned: false, long: false },
-                TokenKind::IntLit { value: 42, unsigned: false, long: false },
-                TokenKind::IntLit { value: 7, unsigned: true, long: false },
-                TokenKind::IntLit { value: 9, unsigned: true, long: true },
-                TokenKind::IntLit { value: 3, unsigned: false, long: true },
+                TokenKind::IntLit {
+                    value: 42,
+                    unsigned: false,
+                    long: false
+                },
+                TokenKind::IntLit {
+                    value: 42,
+                    unsigned: false,
+                    long: false
+                },
+                TokenKind::IntLit {
+                    value: 7,
+                    unsigned: true,
+                    long: false
+                },
+                TokenKind::IntLit {
+                    value: 9,
+                    unsigned: true,
+                    long: true
+                },
+                TokenKind::IntLit {
+                    value: 3,
+                    unsigned: false,
+                    long: true
+                },
             ]
         );
     }
@@ -336,12 +353,30 @@ mod tests {
         assert_eq!(
             kinds("1.5 2.0f .25 1e3 2.5e-2 1f"),
             vec![
-                TokenKind::FloatLit { value: 1.5, single: false },
-                TokenKind::FloatLit { value: 2.0, single: true },
-                TokenKind::FloatLit { value: 0.25, single: false },
-                TokenKind::FloatLit { value: 1e3, single: false },
-                TokenKind::FloatLit { value: 2.5e-2, single: false },
-                TokenKind::FloatLit { value: 1.0, single: true },
+                TokenKind::FloatLit {
+                    value: 1.5,
+                    single: false
+                },
+                TokenKind::FloatLit {
+                    value: 2.0,
+                    single: true
+                },
+                TokenKind::FloatLit {
+                    value: 0.25,
+                    single: false
+                },
+                TokenKind::FloatLit {
+                    value: 1e3,
+                    single: false
+                },
+                TokenKind::FloatLit {
+                    value: 2.5e-2,
+                    single: false
+                },
+                TokenKind::FloatLit {
+                    value: 1.0,
+                    single: true
+                },
             ]
         );
     }
@@ -397,7 +432,11 @@ mod tests {
         assert_eq!(
             kinds("1e"),
             vec![
-                TokenKind::IntLit { value: 1, unsigned: false, long: false },
+                TokenKind::IntLit {
+                    value: 1,
+                    unsigned: false,
+                    long: false
+                },
                 TokenKind::Ident("e".into()),
             ]
         );

@@ -218,7 +218,8 @@ impl<'a> Parser<'a> {
             } else if self.eat_ident("__private") || self.eat_ident("private") {
                 space = AddressSpace::Private;
                 saw_space = true;
-            } else if self.eat_ident("const") || self.eat_ident("restrict")
+            } else if self.eat_ident("const")
+                || self.eat_ident("restrict")
                 || self.eat_ident("__restrict")
             {
                 // Qualifiers that do not change our semantics.
@@ -229,10 +230,12 @@ impl<'a> Parser<'a> {
         let scalar = self.scalar_type()?;
         // Skip `const` between type and `*` as well.
         while self.eat_ident("const") || self.eat_ident("restrict") || self.eat_ident("__restrict")
-        {}
+        {
+        }
         let is_pointer = self.eat_punct("*");
         while self.eat_ident("const") || self.eat_ident("restrict") || self.eat_ident("__restrict")
-        {}
+        {
+        }
         let (name, span) = self.expect_any_ident()?;
         let ty = if is_pointer {
             ParamType::Pointer(space, scalar)
@@ -356,7 +359,13 @@ impl<'a> Parser<'a> {
             return Ok(Stmt::Return(span));
         }
         if self.is_ident("barrier")
-            && matches!(self.peek2(), Some(Token { kind: TokenKind::Punct("("), .. }))
+            && matches!(
+                self.peek2(),
+                Some(Token {
+                    kind: TokenKind::Punct("("),
+                    ..
+                })
+            )
         {
             self.pos += 1;
             self.expect_punct("(")?;
@@ -517,36 +526,41 @@ impl<'a> Parser<'a> {
         Ok(cond)
     }
 
+    /// The binary operator (and its precedence) at the cursor, if any.
+    fn peek_binop(&self) -> Option<(BinOp, u8)> {
+        let Some(Token {
+            kind: TokenKind::Punct(p),
+            ..
+        }) = self.peek()
+        else {
+            return None;
+        };
+        match *p {
+            "||" => Some((BinOp::LogOr, 1)),
+            "&&" => Some((BinOp::LogAnd, 2)),
+            "|" => Some((BinOp::BitOr, 3)),
+            "^" => Some((BinOp::BitXor, 4)),
+            "&" => Some((BinOp::BitAnd, 5)),
+            "==" => Some((BinOp::Eq, 6)),
+            "!=" => Some((BinOp::Ne, 6)),
+            "<" => Some((BinOp::Lt, 7)),
+            "<=" => Some((BinOp::Le, 7)),
+            ">" => Some((BinOp::Gt, 7)),
+            ">=" => Some((BinOp::Ge, 7)),
+            "<<" => Some((BinOp::Shl, 8)),
+            ">>" => Some((BinOp::Shr, 8)),
+            "+" => Some((BinOp::Add, 9)),
+            "-" => Some((BinOp::Sub, 9)),
+            "*" => Some((BinOp::Mul, 10)),
+            "/" => Some((BinOp::Div, 10)),
+            "%" => Some((BinOp::Rem, 10)),
+            _ => None,
+        }
+    }
+
     fn binary(&mut self, min_prec: u8) -> Result<Expr, ClcError> {
         let mut lhs = self.unary()?;
-        loop {
-            let (op, prec) = match self.peek() {
-                Some(Token {
-                    kind: TokenKind::Punct(p),
-                    ..
-                }) => match *p {
-                    "||" => (BinOp::LogOr, 1),
-                    "&&" => (BinOp::LogAnd, 2),
-                    "|" => (BinOp::BitOr, 3),
-                    "^" => (BinOp::BitXor, 4),
-                    "&" => (BinOp::BitAnd, 5),
-                    "==" => (BinOp::Eq, 6),
-                    "!=" => (BinOp::Ne, 6),
-                    "<" => (BinOp::Lt, 7),
-                    "<=" => (BinOp::Le, 7),
-                    ">" => (BinOp::Gt, 7),
-                    ">=" => (BinOp::Ge, 7),
-                    "<<" => (BinOp::Shl, 8),
-                    ">>" => (BinOp::Shr, 8),
-                    "+" => (BinOp::Add, 9),
-                    "-" => (BinOp::Sub, 9),
-                    "*" => (BinOp::Mul, 10),
-                    "/" => (BinOp::Div, 10),
-                    "%" => (BinOp::Rem, 10),
-                    _ => break,
-                },
-                _ => break,
-            };
+        while let Some((op, prec)) = self.peek_binop() {
             if prec < min_prec {
                 break;
             }
@@ -680,11 +694,12 @@ impl<'a> Parser<'a> {
         let span = self.here();
         match self.peek() {
             Some(Token {
-                kind: TokenKind::IntLit {
-                    value,
-                    unsigned,
-                    long,
-                },
+                kind:
+                    TokenKind::IntLit {
+                        value,
+                        unsigned,
+                        long,
+                    },
                 ..
             }) => {
                 let ty = match (unsigned, long) {
@@ -830,17 +845,15 @@ mod tests {
 
     #[test]
     fn parses_barrier_as_statement() {
-        let unit = parse_src(
-            "__kernel void f() { barrier(CLK_LOCAL_MEM_FENCE | CLK_GLOBAL_MEM_FENCE); }",
-        )
-        .unwrap();
+        let unit =
+            parse_src("__kernel void f() { barrier(CLK_LOCAL_MEM_FENCE | CLK_GLOBAL_MEM_FENCE); }")
+                .unwrap();
         assert!(matches!(unit.kernels[0].body.stmts[0], Stmt::Barrier(_)));
     }
 
     #[test]
     fn parses_local_array_decl() {
-        let unit =
-            parse_src("__kernel void f() { __local float tile[16][16]; }").unwrap();
+        let unit = parse_src("__kernel void f() { __local float tile[16][16]; }").unwrap();
         match &unit.kernels[0].body.stmts[0] {
             Stmt::Decl(d) => {
                 assert_eq!(d.space, AddressSpace::Local);
@@ -861,7 +874,12 @@ mod tests {
         let Stmt::Expr(Expr::Assign { value, .. }) = &unit.kernels[0].body.stmts[0] else {
             panic!("expected assignment");
         };
-        let Expr::Binary { op: BinOp::Add, rhs, .. } = value.as_ref() else {
+        let Expr::Binary {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = value.as_ref()
+        else {
             panic!("expected + at top");
         };
         assert!(matches!(rhs.as_ref(), Expr::Binary { op: BinOp::Mul, .. }));

@@ -431,9 +431,7 @@ fn compile_assign(
                     }
                     let vt = compile_rvalue(cx, value)?;
                     if vt != ty {
-                        return Err(
-                            cx.err(span, format!("cannot assign `{vt}` to pointer `{ty}`"))
-                        );
+                        return Err(cx.err(span, format!("cannot assign `{vt}` to pointer `{ty}`")));
                     }
                     cx.emit(Instr::StoreLocal(slot));
                     return Ok(());
@@ -541,7 +539,10 @@ fn arith_parts(
         BinKind::Shl | BinKind::Shr | BinKind::And | BinKind::Or | BinKind::Xor
     );
     if int_only && !unified.is_integer() {
-        return Err(cx.err(span, format!("operator requires integer operands, got `{unified}`")));
+        return Err(cx.err(
+            span,
+            format!("operator requires integer operands, got `{unified}`"),
+        ));
     }
     if matches!(kind, BinKind::Rem) && unified.is_float() {
         return Err(cx.err(span, "`%` requires integer operands (use fmod)"));
@@ -586,9 +587,7 @@ fn infer(cx: &Cx, e: &Expr) -> Result<Type, ClcError> {
         })),
         Expr::Var { name, span } => match cx.lookup(name) {
             Some(Binding::Slot { ty, .. }) => Ok(*ty),
-            Some(Binding::LocalArray { elem, .. }) => {
-                Ok(Type::Pointer(AddressSpace::Local, *elem))
-            }
+            Some(Binding::LocalArray { elem, .. }) => Ok(Type::Pointer(AddressSpace::Local, *elem)),
             None => Err(cx.err(*span, format!("unknown variable `{name}`"))),
         },
         Expr::Index { base, span, .. } => {
@@ -619,11 +618,7 @@ fn infer(cx: &Cx, e: &Expr) -> Result<Type, ClcError> {
                     Ok(Type::Scalar(ScalarType::Bool))
                 }
                 BinOp::LogAnd | BinOp::LogOr => Ok(Type::Scalar(ScalarType::Bool)),
-                BinOp::Add | BinOp::Sub
-                    if matches!(lt, Type::Pointer(..)) =>
-                {
-                    Ok(lt)
-                }
+                BinOp::Add | BinOp::Sub if matches!(lt, Type::Pointer(..)) => Ok(lt),
                 _ => {
                     let ls = lt
                         .as_scalar()
@@ -651,7 +646,10 @@ fn infer(cx: &Cx, e: &Expr) -> Result<Type, ClcError> {
             }
         },
         Expr::Ternary {
-            then, otherwise, span, ..
+            then,
+            otherwise,
+            span,
+            ..
         } => {
             let tt = infer(cx, then)?;
             let ot = infer(cx, otherwise)?;
@@ -667,10 +665,9 @@ fn infer(cx: &Cx, e: &Expr) -> Result<Type, ClcError> {
             Ok(Type::Scalar(ts.unify(os)))
         }
         Expr::Cast { ty, .. } => Ok(Type::Scalar(*ty)),
-        Expr::Assign { span, .. } => Err(cx.err(
-            *span,
-            "assignment cannot be used as a value in this subset",
-        )),
+        Expr::Assign { span, .. } => {
+            Err(cx.err(*span, "assignment cannot be used as a value in this subset"))
+        }
         Expr::IncDec { target, span, .. } => match target.as_ref() {
             Expr::Var { name, .. } => match cx.lookup(name) {
                 Some(Binding::Slot {
@@ -679,10 +676,7 @@ fn infer(cx: &Cx, e: &Expr) -> Result<Type, ClcError> {
                 }) => Ok(Type::Scalar(*s)),
                 _ => Err(cx.err(*span, "`++`/`--` needs a scalar variable")),
             },
-            _ => Err(cx.err(
-                *span,
-                "`++`/`--` used as a value requires a plain variable",
-            )),
+            _ => Err(cx.err(*span, "`++`/`--` used as a value requires a plain variable")),
         },
         Expr::Call { name, args, span } => infer_call(cx, name, args, *span),
     }
@@ -691,9 +685,7 @@ fn infer(cx: &Cx, e: &Expr) -> Result<Type, ClcError> {
 fn infer_call(cx: &Cx, name: &str, args: &[Expr], span: Span) -> Result<Type, ClcError> {
     match name {
         "get_global_id" | "get_local_id" | "get_group_id" | "get_global_size"
-        | "get_local_size" | "get_num_groups" | "get_work_dim" => {
-            Ok(Type::Scalar(ScalarType::U64))
-        }
+        | "get_local_size" | "get_num_groups" | "get_work_dim" => Ok(Type::Scalar(ScalarType::U64)),
         "sqrt" | "rsqrt" | "fabs" | "exp" | "log" | "log2" | "sin" | "cos" | "tan" | "floor"
         | "ceil" => {
             let t = float_arg_type(cx, args, span)?;
@@ -731,7 +723,11 @@ fn float_arg_type(cx: &Cx, args: &[Expr], span: Span) -> Result<ScalarType, ClcE
             return Err(cx.err(span, "math builtin requires scalar arguments"));
         }
     }
-    Ok(if any_f64 { ScalarType::F64 } else { ScalarType::F32 })
+    Ok(if any_f64 {
+        ScalarType::F64
+    } else {
+        ScalarType::F32
+    })
 }
 
 fn first_scalar(cx: &Cx, args: &[Expr], span: Span) -> Result<ScalarType, ClcError> {
@@ -755,7 +751,11 @@ fn compile_rvalue(cx: &mut Cx, e: &Expr) -> Result<Type, ClcError> {
             Ok(Type::Scalar(*ty))
         }
         Expr::FloatLit { value, single, .. } => {
-            let ty = if *single { ScalarType::F32 } else { ScalarType::F64 };
+            let ty = if *single {
+                ScalarType::F32
+            } else {
+                ScalarType::F64
+            };
             cx.emit(Instr::PushFloat(*value, ty));
             Ok(Type::Scalar(ty))
         }
@@ -768,10 +768,7 @@ fn compile_rvalue(cx: &mut Cx, e: &Expr) -> Result<Type, ClcError> {
                 byte_offset, elem, ..
             }) => {
                 // Array decays to a pointer to its first element.
-                cx.emit(Instr::PushLocalPtr {
-                    byte_offset,
-                    elem,
-                });
+                cx.emit(Instr::PushLocalPtr { byte_offset, elem });
                 Ok(Type::Pointer(AddressSpace::Local, elem))
             }
             None => Err(cx.err(*span, format!("unknown variable `{name}`"))),
@@ -854,10 +851,9 @@ fn compile_rvalue(cx: &mut Cx, e: &Expr) -> Result<Type, ClcError> {
             coerce(cx, from, *ty);
             Ok(Type::Scalar(*ty))
         }
-        Expr::Assign { span, .. } => Err(cx.err(
-            *span,
-            "assignment cannot be used as a value in this subset",
-        )),
+        Expr::Assign { span, .. } => {
+            Err(cx.err(*span, "assignment cannot be used as a value in this subset"))
+        }
         Expr::IncDec {
             op,
             prefix,
@@ -865,10 +861,7 @@ fn compile_rvalue(cx: &mut Cx, e: &Expr) -> Result<Type, ClcError> {
             span,
         } => {
             let Expr::Var { name, span: vspan } = target.as_ref() else {
-                return Err(cx.err(
-                    *span,
-                    "`++`/`--` used as a value requires a plain variable",
-                ));
+                return Err(cx.err(*span, "`++`/`--` used as a value requires a plain variable"));
             };
             let (slot, s) = match cx.lookup(name) {
                 Some(Binding::Slot {
@@ -995,9 +988,7 @@ fn compile_binary(
             cx.emit(Instr::Cmp(kind, unified));
             Ok(Type::Scalar(ScalarType::Bool))
         }
-        BinOp::Add | BinOp::Sub
-            if matches!(infer(cx, lhs)?, Type::Pointer(..)) =>
-        {
+        BinOp::Add | BinOp::Sub if matches!(infer(cx, lhs)?, Type::Pointer(..)) => {
             // Pointer arithmetic: ptr ± int.
             let pt = compile_rvalue(cx, lhs)?;
             let it = scalar_rvalue(cx, rhs)?;
@@ -1029,12 +1020,7 @@ fn compile_binary(
     }
 }
 
-fn compile_call(
-    cx: &mut Cx,
-    name: &str,
-    args: &[Expr],
-    span: Span,
-) -> Result<Type, ClcError> {
+fn compile_call(cx: &mut Cx, name: &str, args: &[Expr], span: Span) -> Result<Type, ClcError> {
     let expect = |n: usize| -> Result<(), ClcError> {
         if args.len() == n {
             Ok(())
@@ -1096,12 +1082,10 @@ fn compile_call(
         "abs" => {
             expect(1)?;
             let at = scalar_rvalue(cx, &args[0])?;
-            if at.is_float() {
-                cx.emit(Instr::CallMath1(Math1::Abs, at));
-            } else if at.is_signed() {
+            // Unsigned abs is the identity — no instruction needed.
+            if at.is_float() || at.is_signed() {
                 cx.emit(Instr::CallMath1(Math1::Abs, at));
             }
-            // Unsigned abs is the identity — no instruction needed.
             Ok(Type::Scalar(at))
         }
         "pow" | "fmin" | "fmax" | "fmod" => {
@@ -1134,7 +1118,11 @@ fn compile_call(
             coerce(cx, a2, out);
             let b2 = scalar_rvalue(cx, &args[1])?;
             coerce(cx, b2, out);
-            let m = if name == "min" { Math2::Min } else { Math2::Max };
+            let m = if name == "min" {
+                Math2::Min
+            } else {
+                Math2::Max
+            };
             cx.emit(Instr::CallMath2(m, out));
             Ok(Type::Scalar(out))
         }
@@ -1201,8 +1189,8 @@ mod tests {
 
     #[test]
     fn detects_unknown_function() {
-        let err = compile_src("__kernel void f(__global int* a) { a[0] = frobnicate(1); }")
-            .unwrap_err();
+        let err =
+            compile_src("__kernel void f(__global int* a) { a[0] = frobnicate(1); }").unwrap_err();
         assert!(err.message().contains("unknown function"));
     }
 
@@ -1220,7 +1208,10 @@ mod tests {
 
     #[test]
     fn shadowing_in_inner_scope_is_allowed() {
-        assert!(compile_src("__kernel void f() { int i = 0; { int i = 1; i = i + 1; } i = 2; }").is_ok());
+        assert!(
+            compile_src("__kernel void f() { int i = 0; { int i = 1; i = i + 1; } i = 2; }")
+                .is_ok()
+        );
     }
 
     #[test]
@@ -1242,15 +1233,15 @@ mod tests {
 
     #[test]
     fn float_modulo_rejected() {
-        let err = compile_src("__kernel void f(__global float* a) { a[0] = a[1] % a[2]; }")
-            .unwrap_err();
+        let err =
+            compile_src("__kernel void f(__global float* a) { a[0] = a[1] % a[2]; }").unwrap_err();
         assert!(err.message().contains("fmod"));
     }
 
     #[test]
     fn shift_on_float_rejected() {
-        let err = compile_src("__kernel void f(__global float* a) { a[0] = a[1] << 2; }")
-            .unwrap_err();
+        let err =
+            compile_src("__kernel void f(__global float* a) { a[0] = a[1] << 2; }").unwrap_err();
         assert!(err.message().contains("integer"));
     }
 

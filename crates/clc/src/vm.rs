@@ -161,9 +161,9 @@ fn checked_offset(idx: i64, sz: usize, len: usize) -> Result<usize, ExecError> {
     if idx < 0 {
         return Err(ExecError::new(format!("negative buffer index {idx}")));
     }
-    let off = (idx as usize).checked_mul(sz).ok_or_else(|| {
-        ExecError::new(format!("buffer index {idx} overflows addressing"))
-    })?;
+    let off = (idx as usize)
+        .checked_mul(sz)
+        .ok_or_else(|| ExecError::new(format!("buffer index {idx} overflows addressing")))?;
     if off + sz > len {
         return Err(ExecError::new(format!(
             "out-of-bounds access: element {idx} ({} bytes/elem) in a {len}-byte buffer",
@@ -245,8 +245,9 @@ impl Value {
             Value::I32(x) => i64::from(*x),
             Value::U32(x) => i64::from(*x),
             Value::I64(x) => *x,
-            Value::U64(x) => i64::try_from(*x)
-                .map_err(|_| ExecError::new(format!("index {x} exceeds i64")))?,
+            Value::U64(x) => {
+                i64::try_from(*x).map_err(|_| ExecError::new(format!("index {x} exceeds i64")))?
+            }
             other => return Err(ExecError::new(format!("expected integer, got {other:?}"))),
         })
     }
@@ -412,7 +413,9 @@ impl NdRange {
 
     /// Number of work-groups.
     pub fn total_groups(&self) -> u64 {
-        (0..3).map(|d| self.global[d] / self.local[d].max(1)).product()
+        (0..3)
+            .map(|d| self.global[d] / self.local[d].max(1))
+            .product()
     }
 
     /// Work-items per group.
@@ -430,7 +433,7 @@ impl NdRange {
                     "zero-sized dimension {d} in NDRange"
                 )));
             }
-            if self.global[d] % self.local[d] != 0 {
+            if !self.global[d].is_multiple_of(self.local[d]) {
                 return Err(ExecError::new(format!(
                     "local size {} does not divide global size {} in dimension {d}",
                     self.local[d], self.global[d]
@@ -501,9 +504,10 @@ pub fn run_ndrange(
     for (i, (arg, param)) in args.iter().zip(&kernel.params).enumerate() {
         let v = match (arg, param) {
             (ArgValue::Scalar(v), ParamType::Scalar(want)) => v.cast(*want),
-            (ArgValue::GlobalBuffer(b), ParamType::Pointer(space, elem))
-                if matches!(space, AddressSpace::Global | AddressSpace::Constant) =>
-            {
+            (
+                ArgValue::GlobalBuffer(b),
+                ParamType::Pointer(AddressSpace::Global | AddressSpace::Constant, elem),
+            ) => {
                 if *b >= buffers.len() {
                     return Err(ExecError::new(format!(
                         "argument {i}: buffer index {b} out of range ({} bound)",
@@ -600,13 +604,18 @@ fn run_group(
         let mut any_running = false;
         for item in &mut items {
             if item.status == ItemStatus::Running {
-                run_item(kernel, item, buffers, range, group_id, num_groups, arena, stats)?;
+                run_item(
+                    kernel, item, buffers, range, group_id, num_groups, arena, stats,
+                )?;
                 any_running = true;
             }
         }
         if !any_running {
             // A full pass with nothing running: all are AtBarrier or Done.
-            let at_barrier = items.iter().filter(|i| i.status == ItemStatus::AtBarrier).count();
+            let at_barrier = items
+                .iter()
+                .filter(|i| i.status == ItemStatus::AtBarrier)
+                .count();
             if at_barrier == 0 {
                 break;
             }
@@ -1123,7 +1132,14 @@ mod tests {
             out[get_global_id(0)] = tmp[n - 1 - l];
         }"#;
         let mut bufs = vec![GlobalBuffer::zeroed(8 * 4)];
-        run(src, "rev", &[ArgValue::global(0)], &mut bufs, &NdRange::linear(8, 8)).unwrap();
+        run(
+            src,
+            "rev",
+            &[ArgValue::global(0)],
+            &mut bufs,
+            &NdRange::linear(8, 8),
+        )
+        .unwrap();
         assert_eq!(bufs[0].as_i32(), vec![70, 60, 50, 40, 30, 20, 10, 0]);
     }
 
@@ -1196,8 +1212,14 @@ mod tests {
     fn out_of_bounds_read_is_an_error() {
         let src = r#"__kernel void oob(__global int* a) { a[0] = a[99]; }"#;
         let mut bufs = vec![GlobalBuffer::from_i32(&[0, 1])];
-        let err = run(src, "oob", &[ArgValue::global(0)], &mut bufs, &NdRange::linear(1, 1))
-            .unwrap_err();
+        let err = run(
+            src,
+            "oob",
+            &[ArgValue::global(0)],
+            &mut bufs,
+            &NdRange::linear(1, 1),
+        )
+        .unwrap_err();
         assert!(err.message().contains("out-of-bounds"));
     }
 
@@ -1205,8 +1227,14 @@ mod tests {
     fn division_by_zero_is_an_error() {
         let src = r#"__kernel void dz(__global int* a) { a[0] = a[1] / a[0]; }"#;
         let mut bufs = vec![GlobalBuffer::from_i32(&[0, 1])];
-        let err = run(src, "dz", &[ArgValue::global(0)], &mut bufs, &NdRange::linear(1, 1))
-            .unwrap_err();
+        let err = run(
+            src,
+            "dz",
+            &[ArgValue::global(0)],
+            &mut bufs,
+            &NdRange::linear(1, 1),
+        )
+        .unwrap_err();
         assert!(err.message().contains("division by zero"));
     }
 
@@ -1217,8 +1245,14 @@ mod tests {
             a[get_global_id(0)] = 1;
         }"#;
         let mut bufs = vec![GlobalBuffer::zeroed(8)];
-        let err = run(src, "div", &[ArgValue::global(0)], &mut bufs, &NdRange::linear(2, 2))
-            .unwrap_err();
+        let err = run(
+            src,
+            "div",
+            &[ArgValue::global(0)],
+            &mut bufs,
+            &NdRange::linear(2, 2),
+        )
+        .unwrap_err();
         assert!(err.message().contains("divergence"));
     }
 
@@ -1226,8 +1260,14 @@ mod tests {
     fn arg_count_mismatch_is_an_error() {
         let src = r#"__kernel void two(__global int* a, int n) { a[0] = n; }"#;
         let mut bufs = vec![GlobalBuffer::zeroed(4)];
-        let err = run(src, "two", &[ArgValue::global(0)], &mut bufs, &NdRange::linear(1, 1))
-            .unwrap_err();
+        let err = run(
+            src,
+            "two",
+            &[ArgValue::global(0)],
+            &mut bufs,
+            &NdRange::linear(1, 1),
+        )
+        .unwrap_err();
         assert!(err.message().contains("expects 2 arguments"));
     }
 
@@ -1260,8 +1300,14 @@ mod tests {
     fn nonuniform_local_size_rejected() {
         let src = r#"__kernel void f(__global int* a) { a[0] = 1; }"#;
         let mut bufs = vec![GlobalBuffer::zeroed(4)];
-        let err = run(src, "f", &[ArgValue::global(0)], &mut bufs, &NdRange::linear(5, 2))
-            .unwrap_err();
+        let err = run(
+            src,
+            "f",
+            &[ArgValue::global(0)],
+            &mut bufs,
+            &NdRange::linear(5, 2),
+        )
+        .unwrap_err();
         assert!(err.message().contains("does not divide"));
     }
 
@@ -1275,7 +1321,14 @@ mod tests {
             a[4] = clamp(a[4], 0.0f, 1.0f);
         }"#;
         let mut bufs = vec![GlobalBuffer::from_f32(&[16.0, 1.0, 3.0, -2.0, 7.0])];
-        run(src, "m", &[ArgValue::global(0)], &mut bufs, &NdRange::linear(1, 1)).unwrap();
+        run(
+            src,
+            "m",
+            &[ArgValue::global(0)],
+            &mut bufs,
+            &NdRange::linear(1, 1),
+        )
+        .unwrap();
         assert_eq!(bufs[0].as_f32(), vec![4.0, 2.5, 9.0, 2.0, 1.0]);
     }
 
@@ -1287,7 +1340,14 @@ mod tests {
             a[2] = abs(a[2]);
         }"#;
         let mut bufs = vec![GlobalBuffer::from_i32(&[7, 3, -9])];
-        run(src, "m", &[ArgValue::global(0)], &mut bufs, &NdRange::linear(1, 1)).unwrap();
+        run(
+            src,
+            "m",
+            &[ArgValue::global(0)],
+            &mut bufs,
+            &NdRange::linear(1, 1),
+        )
+        .unwrap();
         assert_eq!(bufs[0].as_i32(), vec![3, 100, 9]);
     }
 
@@ -1302,7 +1362,14 @@ mod tests {
             a[1] = y;
         }"#;
         let mut bufs = vec![GlobalBuffer::zeroed(8)];
-        run(src, "w", &[ArgValue::global(0)], &mut bufs, &NdRange::linear(1, 1)).unwrap();
+        run(
+            src,
+            "w",
+            &[ArgValue::global(0)],
+            &mut bufs,
+            &NdRange::linear(1, 1),
+        )
+        .unwrap();
         assert_eq!(bufs[0].as_i32(), vec![5, 2]);
     }
 
@@ -1318,7 +1385,14 @@ mod tests {
             a[0] = sum; // 1+3+5+7 = 16
         }"#;
         let mut bufs = vec![GlobalBuffer::zeroed(4)];
-        run(src, "bc", &[ArgValue::global(0)], &mut bufs, &NdRange::linear(1, 1)).unwrap();
+        run(
+            src,
+            "bc",
+            &[ArgValue::global(0)],
+            &mut bufs,
+            &NdRange::linear(1, 1),
+        )
+        .unwrap();
         assert_eq!(bufs[0].as_i32(), vec![16]);
     }
 
@@ -1331,7 +1405,14 @@ mod tests {
             a[3] = !(x == 5) ? 100 : 200;
         }"#;
         let mut bufs = vec![GlobalBuffer::from_i32(&[5, 0, 0, 0])];
-        run(src, "t", &[ArgValue::global(0)], &mut bufs, &NdRange::linear(1, 1)).unwrap();
+        run(
+            src,
+            "t",
+            &[ArgValue::global(0)],
+            &mut bufs,
+            &NdRange::linear(1, 1),
+        )
+        .unwrap();
         assert_eq!(bufs[0].as_i32(), vec![5, 1, 7, 200]);
     }
 
@@ -1342,7 +1423,14 @@ mod tests {
             a[0] = (big > 1u) ? 1u : 0u;
         }"#;
         let mut bufs = vec![GlobalBuffer::from_u32(&[0])];
-        run(src, "u", &[ArgValue::global(0)], &mut bufs, &NdRange::linear(1, 1)).unwrap();
+        run(
+            src,
+            "u",
+            &[ArgValue::global(0)],
+            &mut bufs,
+            &NdRange::linear(1, 1),
+        )
+        .unwrap();
         assert_eq!(bufs[0].as_u32(), vec![1]);
     }
 
@@ -1370,10 +1458,22 @@ mod tests {
     fn stats_count_instructions() {
         let src = r#"__kernel void s(__global int* a) { a[get_global_id(0)] = 1; }"#;
         let mut bufs = vec![GlobalBuffer::zeroed(4 * 8)];
-        let one = run(src, "s", &[ArgValue::global(0)], &mut bufs, &NdRange::linear(1, 1))
-            .unwrap();
-        let eight = run(src, "s", &[ArgValue::global(0)], &mut bufs, &NdRange::linear(8, 1))
-            .unwrap();
+        let one = run(
+            src,
+            "s",
+            &[ArgValue::global(0)],
+            &mut bufs,
+            &NdRange::linear(1, 1),
+        )
+        .unwrap();
+        let eight = run(
+            src,
+            "s",
+            &[ArgValue::global(0)],
+            &mut bufs,
+            &NdRange::linear(8, 1),
+        )
+        .unwrap();
         assert_eq!(eight.instructions, one.instructions * 8);
     }
 }

@@ -113,9 +113,7 @@ impl ClusterConfig {
                             "cpu" => DeviceKind::Cpu,
                             "gpu" => DeviceKind::Gpu,
                             "fpga" => DeviceKind::Fpga,
-                            other => {
-                                return Err(err(format!("unknown device kind `{other}`")))
-                            }
+                            other => return Err(err(format!("unknown device kind `{other}`"))),
                         });
                     }
                     if nodes.iter().any(|n| n.name == name) {
@@ -268,7 +266,12 @@ impl ClusterConfig {
                     DeviceKind::Fpga => "fpga",
                 })
                 .collect();
-            out.push_str(&format!("node {} {} {}\n", n.name, n.addr, devices.join(",")));
+            out.push_str(&format!(
+                "node {} {} {}\n",
+                n.name,
+                n.addr,
+                devices.join(",")
+            ));
         }
         out.push_str(&format!(
             "bandwidth_gbps {}\n",
@@ -334,8 +337,7 @@ mod tests {
 
     #[test]
     fn bad_device_kind_rejected() {
-        let err =
-            ClusterConfig::parse("host h:1\nnode a 10.0.0.2:1 tpu\n").unwrap_err();
+        let err = ClusterConfig::parse("host h:1\nnode a 10.0.0.2:1 tpu\n").unwrap_err();
         assert!(matches!(err, ClusterError::Config(m) if m.contains("tpu")));
     }
 

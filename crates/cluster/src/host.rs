@@ -6,22 +6,39 @@
 //! mapping handshake ("when the user program calls clGetDeviceIDs, the
 //! wrapper lib creates a device ID request message for each compute
 //! node… the backbone obtains the device's id of each compute node and
-//! records this mapping", §III-C), and forwards calls *synchronously* —
-//! after sending a message the host waits for the response before taking
-//! the next action, exactly as described in the paper.
+//! records this mapping", §III-C), and forwards calls over a *pipelined*
+//! backbone:
+//!
+//! * [`HostRuntime::submit`] writes the request and returns a
+//!   [`PendingCall`] immediately, so many calls can be in flight per node
+//!   at once;
+//! * a per-connection demultiplexer thread drains responses and
+//!   completes pending calls by [`RequestId`] — responses may arrive in
+//!   any order;
+//! * [`HostRuntime::call`] keeps the paper's synchronous semantics as
+//!   `submit(...).wait()`, so lock-step callers are unchanged;
+//! * control-plane requests that queue up while another thread is
+//!   occupying the transmit path are coalesced into one
+//!   [`Envelope::Batch`] frame instead of paying per-frame overhead
+//!   each.
 
-use std::sync::atomic::Ordering;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
 
-use parking_lot::Mutex;
-
-use haocl_net::{Conn, Fabric};
+use haocl_net::{ConnSender, Fabric, NetError};
 use haocl_proto::ids::{IdAllocator, NodeId, RequestId, UserId};
-use haocl_proto::messages::{ApiCall, ApiReply, DeviceDescriptor, Request, Response};
+use haocl_proto::messages::{ApiCall, ApiReply, DeviceDescriptor, Envelope, Request, Response};
 use haocl_proto::wire::{decode_from_slice, encode_to_vec};
 use haocl_sim::{Clock, SimTime};
 
 use crate::config::ClusterConfig;
 use crate::error::ClusterError;
+
+/// How often demultiplexer threads check the stop flag.
+const DEMUX_POLL: Duration = Duration::from_millis(10);
 
 /// One device in the cluster, as mapped during the handshake.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,21 +64,313 @@ pub struct CallOutcome {
     pub host_received: SimTime,
 }
 
-struct NodeLink {
-    name: String,
-    /// Message connection (control plane).
-    msg: Mutex<Conn>,
-    /// Data connection (buffer contents, §III-C's data listener).
-    data: Mutex<Conn>,
+/// Which of a node's two connections a request travels on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Plane {
+    /// The message connection (control plane).
+    Control,
+    /// The data connection (buffer contents).
+    Data,
 }
 
-/// The host runtime: device mapping plus synchronous call forwarding.
+enum PendingEntry {
+    /// Submitted on the given plane; no response yet.
+    Waiting(Plane),
+    /// Completed by the demultiplexer; result not yet claimed. The
+    /// second field is the response's virtual arrival time (`None` for
+    /// transport failures, which carry no timestamp): the *claimer*
+    /// advances the shared clock to it, so virtual time progresses in
+    /// program order rather than at the whim of demultiplexer-thread
+    /// scheduling — out-of-order completion must not make virtual
+    /// timestamps nondeterministic.
+    Done(Box<Result<CallOutcome, ClusterError>>, Option<SimTime>),
+}
+
+struct LinkState {
+    pending: HashMap<RequestId, PendingEntry>,
+    /// Set once the node's backbone connection is gone; every later
+    /// submit or wait fails immediately with this error.
+    dead: Option<ClusterError>,
+}
+
+/// Completion state shared between submitters, waiters and the link's
+/// demultiplexer threads.
+struct LinkShared {
+    state: Mutex<LinkState>,
+    completed: Condvar,
+}
+
+impl LinkShared {
+    fn new() -> Self {
+        LinkShared {
+            state: Mutex::new(LinkState {
+                pending: HashMap::new(),
+                dead: None,
+            }),
+            completed: Condvar::new(),
+        }
+    }
+
+    /// Completes the pending call correlated to `response` (responses
+    /// for cancelled/unknown ids are discarded).
+    fn complete(&self, response: Response, received_at: SimTime) {
+        let result = match response.body {
+            ApiReply::Error { code, message } => Err(ClusterError::Remote { code, message }),
+            reply => Ok(CallOutcome {
+                reply,
+                node_completed: SimTime::from_nanos(response.completed_at_nanos),
+                host_received: received_at,
+            }),
+        };
+        let mut state = self.state.lock().expect("link state poisoned");
+        if let Some(entry) = state.pending.get_mut(&response.id) {
+            *entry = PendingEntry::Done(Box::new(result), Some(received_at));
+            self.completed.notify_all();
+        }
+    }
+
+    /// Marks the link dead and fails `plane`'s in-flight calls with
+    /// `err`.
+    ///
+    /// Only the dying plane's entries are failed: a demultiplexer fully
+    /// drains its own connection before it can observe the disconnect,
+    /// but the *other* plane's demultiplexer may still be working
+    /// through already-received responses — failing those calls here
+    /// would discard answers the node actually delivered.
+    fn fail_plane(&self, plane: Plane, err: ClusterError) {
+        let mut state = self.state.lock().expect("link state poisoned");
+        if state.dead.is_none() {
+            state.dead = Some(err.clone());
+        }
+        for entry in state.pending.values_mut() {
+            if matches!(entry, PendingEntry::Waiting(p) if *p == plane) {
+                *entry = PendingEntry::Done(Box::new(Err(err.clone())), None);
+            }
+        }
+        self.completed.notify_all();
+    }
+
+    /// Marks the link dead and fails every in-flight call with `err`
+    /// (terminal teardown, once no demultiplexer is left to deliver).
+    fn fail_all(&self, err: ClusterError) {
+        self.fail_plane(Plane::Control, err.clone());
+        self.fail_plane(Plane::Data, err);
+    }
+}
+
+/// A submitted request whose response has not yet been claimed.
+///
+/// Obtained from [`HostRuntime::submit`]. Dropping it abandons the call:
+/// the response, when it arrives, is discarded.
+#[must_use = "a PendingCall that is never waited on silently discards its response"]
+pub struct PendingCall {
+    id: RequestId,
+    node: NodeId,
+    shared: Arc<LinkShared>,
+    clock: Clock,
+    taken: bool,
+}
+
+impl PendingCall {
+    /// The request's correlation id.
+    pub fn id(&self) -> RequestId {
+        self.id
+    }
+
+    /// The node the request was sent to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Blocks until the response arrives (or the node's backbone dies).
+    ///
+    /// Claiming the response advances the shared virtual clock to its
+    /// arrival time; until a response is claimed it does not move the
+    /// clock, keeping virtual timestamps deterministic however the
+    /// demultiplexer threads are scheduled.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Remote`] when the node answered with an error
+    /// reply; a transport error when the connection failed while the
+    /// call was in flight.
+    pub fn wait(mut self) -> Result<CallOutcome, ClusterError> {
+        let mut state = self.shared.state.lock().expect("link state poisoned");
+        loop {
+            match state.pending.get(&self.id) {
+                Some(PendingEntry::Done(..)) => {
+                    let Some(PendingEntry::Done(result, received_at)) =
+                        state.pending.remove(&self.id)
+                    else {
+                        unreachable!("entry observed Done under the same lock");
+                    };
+                    self.taken = true;
+                    if let Some(at) = received_at {
+                        self.clock.advance_to(at);
+                    }
+                    return *result;
+                }
+                // Even on a dead link a Waiting entry just waits: the
+                // owning plane's demultiplexer (or terminal teardown)
+                // is guaranteed to resolve it, and the *other* plane
+                // dying first must not discard a response that is
+                // already queued for delivery.
+                Some(PendingEntry::Waiting(_)) => {
+                    state = self
+                        .shared
+                        .completed
+                        .wait(state)
+                        .expect("link state poisoned");
+                }
+                None => {
+                    // The backbone was torn down underneath us.
+                    self.taken = true;
+                    return Err(state
+                        .dead
+                        .clone()
+                        .unwrap_or(ClusterError::Net(NetError::Disconnected)));
+                }
+            }
+        }
+    }
+
+    /// Claims the response if it has already arrived, without blocking.
+    ///
+    /// Returns `None` while the call is still in flight. After a
+    /// `Some(..)` the call is consumed: later polls return `None` and
+    /// [`PendingCall::wait`] must not be expected to yield it again.
+    pub fn try_poll(&mut self) -> Option<Result<CallOutcome, ClusterError>> {
+        if self.taken {
+            return None;
+        }
+        let mut state = self.shared.state.lock().expect("link state poisoned");
+        match state.pending.get(&self.id) {
+            Some(PendingEntry::Done(..)) => {
+                let Some(PendingEntry::Done(result, received_at)) = state.pending.remove(&self.id)
+                else {
+                    unreachable!("entry observed Done under the same lock");
+                };
+                self.taken = true;
+                if let Some(at) = received_at {
+                    self.clock.advance_to(at);
+                }
+                Some(*result)
+            }
+            Some(PendingEntry::Waiting(_)) => None,
+            None => {
+                self.taken = true;
+                Some(Err(state
+                    .dead
+                    .clone()
+                    .unwrap_or(ClusterError::Net(NetError::Disconnected))))
+            }
+        }
+    }
+}
+
+impl Drop for PendingCall {
+    fn drop(&mut self) {
+        if !self.taken {
+            if let Ok(mut state) = self.shared.state.lock() {
+                state.pending.remove(&self.id);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for PendingCall {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PendingCall({} @ {})", self.id, self.node)
+    }
+}
+
+struct NodeLink {
+    name: String,
+    shared: Arc<LinkShared>,
+    /// Control-plane requests waiting to be coalesced into the next
+    /// frame (see [`NodeLink::send_control`]).
+    control_queue: Mutex<Vec<Request>>,
+    /// Message-connection transmit half (control plane).
+    msg_tx: Mutex<ConnSender>,
+    /// Data-connection transmit half (buffer contents, §III-C's data
+    /// listener).
+    data_tx: Mutex<ConnSender>,
+}
+
+impl NodeLink {
+    /// Enqueues a control-plane request and flushes the queue unless
+    /// another thread is already transmitting — in which case that
+    /// thread picks this request up, coalescing it into its next
+    /// [`Envelope::Batch`].
+    fn send_control(&self, request: Request, at: SimTime) -> Result<(), ClusterError> {
+        self.control_queue
+            .lock()
+            .expect("control queue poisoned")
+            .push(request);
+        loop {
+            // Non-blocking: if the transmit path is busy, the holder
+            // re-checks the queue after finishing its send (below), so
+            // leaving our request queued cannot strand it.
+            let Ok(mut sender) = self.msg_tx.try_lock() else {
+                return Ok(());
+            };
+            let batch =
+                std::mem::take(&mut *self.control_queue.lock().expect("control queue poisoned"));
+            if batch.is_empty() {
+                return Ok(());
+            }
+            let virtual_len: u64 = batch.iter().map(|r| virtual_len_of(&r.body)).sum();
+            let payload = encode_to_vec(&Envelope::from(batch));
+            if let Err(e) = sender.send_frame_virtual(&payload, at, virtual_len) {
+                // The batch may carry other submitters' requests; their
+                // PendingCalls must observe the failure too.
+                let err = ClusterError::Net(e);
+                self.shared.fail_plane(Plane::Control, err.clone());
+                return Err(err);
+            }
+            drop(sender);
+            // Someone may have queued behind us while we held the
+            // sender; make sure their request is not stranded.
+            if self
+                .control_queue
+                .lock()
+                .expect("control queue poisoned")
+                .is_empty()
+            {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Sends a data-plane request immediately (bulk payloads are never
+    /// coalesced; their transmit cost dominates framing overhead).
+    fn send_data(&self, request: Request, at: SimTime) -> Result<(), ClusterError> {
+        let virtual_len = virtual_len_of(&request.body);
+        let payload = encode_to_vec(&Envelope::Single(request));
+        let mut sender = self.data_tx.lock().expect("data sender poisoned");
+        sender.send_frame_virtual(&payload, at, virtual_len)?;
+        Ok(())
+    }
+}
+
+/// Virtual wire size of modeled bulk writes (the data package the
+/// descriptor stands in for).
+fn virtual_len_of(call: &ApiCall) -> u64 {
+    match call {
+        ApiCall::WriteBufferModeled { len, .. } => *len,
+        _ => 0,
+    }
+}
+
+/// The host runtime: device mapping plus pipelined call forwarding.
 pub struct HostRuntime {
     user: UserId,
     links: Vec<NodeLink>,
     devices: Vec<RemoteDevice>,
     request_ids: IdAllocator,
     clock: Clock,
+    stop: Arc<AtomicBool>,
+    demux_threads: Vec<JoinHandle<()>>,
 }
 
 impl HostRuntime {
@@ -85,14 +394,29 @@ impl HostRuntime {
             devices: Vec::new(),
             request_ids: IdAllocator::new(),
             clock: fabric.clock().clone(),
+            stop: Arc::new(AtomicBool::new(false)),
+            demux_threads: Vec::new(),
         };
         for (i, spec) in config.nodes.iter().enumerate() {
-            let msg = fabric.connect(&host_name, &spec.addr)?;
-            let data = fabric.connect(&host_name, &spec.data_addr())?;
+            let (msg_tx, msg_rx) = fabric.connect(&host_name, &spec.addr)?.split();
+            let (data_tx, data_rx) = fabric.connect(&host_name, &spec.data_addr())?.split();
+            let shared = Arc::new(LinkShared::new());
+            for (plane, rx) in [(Plane::Control, msg_rx), (Plane::Data, data_rx)] {
+                let shared = Arc::clone(&shared);
+                let stop = Arc::clone(&runtime.stop);
+                runtime.demux_threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("haocl-demux-{}-{plane:?}", spec.name))
+                        .spawn(move || demux_loop(rx, plane, shared, stop))
+                        .expect("spawn demux thread"),
+                );
+            }
             runtime.links.push(NodeLink {
                 name: spec.name.clone(),
-                msg: Mutex::new(msg),
-                data: Mutex::new(data),
+                shared,
+                control_queue: Mutex::new(Vec::new()),
+                msg_tx: Mutex::new(msg_tx),
+                data_tx: Mutex::new(data_tx),
             });
             let node = NodeId::new(i as u32);
             let outcome = runtime.call(
@@ -147,16 +471,20 @@ impl HostRuntime {
         self.user = user;
     }
 
-    /// Forwards `call` to `node` and waits synchronously for its reply.
+    /// Forwards `call` to `node` without waiting for its response.
     ///
-    /// Buffer-content calls (`WriteBuffer`/`ReadBuffer`) travel on the
-    /// node's data connection; everything else on the message connection.
+    /// The returned [`PendingCall`] resolves when the node's response
+    /// arrives; any number of calls may be in flight per node, and they
+    /// complete in whatever order the node answers. Buffer-content calls
+    /// (`WriteBuffer`/`ReadBuffer`) travel on the node's data
+    /// connection; everything else on the message connection, where
+    /// concurrent submissions coalesce into batched frames.
     ///
     /// # Errors
     ///
-    /// [`ClusterError::Remote`] when the node answers with an error
-    /// reply; transport errors otherwise.
-    pub fn call(&self, node: NodeId, call: ApiCall) -> Result<CallOutcome, ClusterError> {
+    /// [`ClusterError::Config`] for an unknown node; a transport error
+    /// if the request cannot be written.
+    pub fn submit(&self, node: NodeId, call: ApiCall) -> Result<PendingCall, ClusterError> {
         let link = self
             .links
             .get(node.raw() as usize)
@@ -176,38 +504,46 @@ impl HostRuntime {
             sent_at_nanos: now.as_nanos(),
             body: call,
         };
-        // Modeled writes stand in for bulk data packages: charge the link
-        // as if the payload were on the wire.
-        let virtual_len = match &request.body {
-            ApiCall::WriteBufferModeled { len, .. } => *len,
-            _ => 0,
-        };
-        let payload = encode_to_vec(&request);
-        let mut conn = if is_data {
-            link.data.lock()
+        let plane = if is_data { Plane::Data } else { Plane::Control };
+        {
+            let mut state = link.shared.state.lock().expect("link state poisoned");
+            if let Some(err) = &state.dead {
+                return Err(err.clone());
+            }
+            state.pending.insert(id, PendingEntry::Waiting(plane));
+        }
+        let sent = if is_data {
+            link.send_data(request, now)
         } else {
-            link.msg.lock()
+            link.send_control(request, now)
         };
-        conn.send_frame_virtual(&payload, now, virtual_len)?;
-        // Synchronous host semantics: wait for this call's response.
-        let (frame, received_at) = conn.recv_frame()?;
-        drop(conn);
-        let response: Response = decode_from_slice(&frame)?;
-        if response.id != id {
-            return Err(ClusterError::UnexpectedReply(format!(
-                "response {} does not match request {id}",
-                response.id
-            )));
+        if let Err(err) = sent {
+            link.shared
+                .state
+                .lock()
+                .expect("link state poisoned")
+                .pending
+                .remove(&id);
+            return Err(err);
         }
-        self.clock.advance_to(received_at);
-        match response.body {
-            ApiReply::Error { code, message } => Err(ClusterError::Remote { code, message }),
-            reply => Ok(CallOutcome {
-                reply,
-                node_completed: SimTime::from_nanos(response.completed_at_nanos),
-                host_received: received_at,
-            }),
-        }
+        Ok(PendingCall {
+            id,
+            node,
+            shared: Arc::clone(&link.shared),
+            clock: self.clock.clone(),
+            taken: false,
+        })
+    }
+
+    /// Forwards `call` to `node` and waits synchronously for its reply —
+    /// [`HostRuntime::submit`] followed by [`PendingCall::wait`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Remote`] when the node answers with an error
+    /// reply; transport errors otherwise.
+    pub fn call(&self, node: NodeId, call: ApiCall) -> Result<CallOutcome, ClusterError> {
+        self.submit(node, call)?.wait()
     }
 
     /// Sends `Shutdown` to every node (best effort) for orderly teardown.
@@ -225,7 +561,51 @@ impl HostRuntime {
     fn _assert_send_sync() {
         fn assert<T: Send + Sync>() {}
         assert::<HostRuntime>();
-        let _ = Ordering::SeqCst;
+        assert::<PendingCall>();
+    }
+}
+
+impl Drop for HostRuntime {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for t in self.demux_threads.drain(..) {
+            let _ = t.join();
+        }
+        // PendingCalls hold their own Arc<LinkShared> and may outlive the
+        // runtime; leave them a terminal error instead of a hang.
+        for link in &self.links {
+            link.shared
+                .fail_all(ClusterError::Net(NetError::Disconnected));
+        }
+    }
+}
+
+/// Drains one connection's responses, completing pending calls by
+/// correlation id. Exits when the runtime stops or the connection dies;
+/// on death every in-flight call on this plane fails with the transport
+/// error (responses already delivered on the connection are drained
+/// first, so nothing the node answered is discarded).
+fn demux_loop(
+    mut rx: haocl_net::ConnReceiver,
+    plane: Plane,
+    shared: Arc<LinkShared>,
+    stop: Arc<AtomicBool>,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match rx.recv_frame_timeout(DEMUX_POLL) {
+            Ok((frame, received_at)) => match decode_from_slice::<Response>(&frame) {
+                Ok(response) => shared.complete(response, received_at),
+                Err(e) => {
+                    shared.fail_plane(plane, ClusterError::Wire(e));
+                    return;
+                }
+            },
+            Err(NetError::Timeout) => continue,
+            Err(e) => {
+                shared.fail_plane(plane, ClusterError::Net(e));
+                return;
+            }
+        }
     }
 }
 
@@ -236,5 +616,213 @@ impl std::fmt::Debug for HostRuntime {
             .field("nodes", &self.links.len())
             .field("devices", &self.devices.len())
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NodeSpec;
+    use crate::local::LocalCluster;
+    use haocl_kernel::KernelRegistry;
+    use haocl_net::{Conn, LinkModel};
+
+    fn one_node_config() -> ClusterConfig {
+        ClusterConfig {
+            host_addr: "10.0.0.1:7000".into(),
+            nodes: vec![NodeSpec {
+                name: "n0".into(),
+                addr: "10.0.9.1:7100".into(),
+                devices: vec![],
+            }],
+            link: LinkModel::gigabit_ethernet(),
+        }
+    }
+
+    fn reply(conn: &mut Conn, id: RequestId, body: ApiReply, at: SimTime) {
+        let response = Response {
+            id,
+            completed_at_nanos: at.as_nanos(),
+            body,
+        };
+        conn.send_frame(&encode_to_vec(&response), at).unwrap();
+    }
+
+    fn answer_handshake(msg: &mut Conn) {
+        let (frame, at) = msg.recv_frame().unwrap();
+        let hello = decode_from_slice::<Envelope>(&frame)
+            .unwrap()
+            .into_requests()
+            .remove(0);
+        assert!(matches!(hello.body, ApiCall::Hello { .. }));
+        reply(msg, hello.id, ApiReply::NodeInfo { devices: vec![] }, at);
+    }
+
+    fn collect_requests(msg: &mut Conn, n: usize) -> Vec<(Request, SimTime)> {
+        let mut collected = Vec::new();
+        while collected.len() < n {
+            let (frame, at) = msg.recv_frame().unwrap();
+            for request in decode_from_slice::<Envelope>(&frame)
+                .unwrap()
+                .into_requests()
+            {
+                collected.push((request, at));
+            }
+        }
+        collected
+    }
+
+    #[test]
+    fn responses_complete_out_of_order() {
+        let fabric = Fabric::new(Clock::new(), LinkModel::gigabit_ethernet());
+        let msg_listener = fabric.bind("10.0.9.1:7100").unwrap();
+        let data_listener = fabric.bind("10.0.9.1:7101").unwrap();
+        // A scripted node that answers a burst of requests newest-first,
+        // echoing each request id as the Pong payload — something the
+        // sequential NMP never does, which is exactly the point: the
+        // demultiplexer must correlate by id, not arrival order.
+        let server = std::thread::spawn(move || {
+            let mut msg = msg_listener.accept().unwrap();
+            let _data = data_listener.accept().unwrap();
+            answer_handshake(&mut msg);
+            for (request, at) in collect_requests(&mut msg, 8).into_iter().rev() {
+                reply(
+                    &mut msg,
+                    request.id,
+                    ApiReply::Pong {
+                        now_nanos: request.id.raw(),
+                    },
+                    at,
+                );
+            }
+        });
+        let host = HostRuntime::connect(&fabric, &one_node_config()).unwrap();
+        let pending: Vec<PendingCall> = (0..8)
+            .map(|_| host.submit(NodeId::new(0), ApiCall::Ping).unwrap())
+            .collect();
+        for p in pending {
+            let id = p.id();
+            let outcome = p.wait().unwrap();
+            match outcome.reply {
+                ApiReply::Pong { now_nanos } => {
+                    assert_eq!(now_nanos, id.raw(), "response correlated to its request");
+                }
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn dying_node_fails_inflight_calls_cleanly() {
+        let fabric = Fabric::new(Clock::new(), LinkModel::gigabit_ethernet());
+        let msg_listener = fabric.bind("10.0.9.1:7100").unwrap();
+        let data_listener = fabric.bind("10.0.9.1:7101").unwrap();
+        // A node that swallows three requests and dies without answering.
+        let server = std::thread::spawn(move || {
+            let mut msg = msg_listener.accept().unwrap();
+            let _data = data_listener.accept().unwrap();
+            answer_handshake(&mut msg);
+            collect_requests(&mut msg, 3);
+        });
+        let host = HostRuntime::connect(&fabric, &one_node_config()).unwrap();
+        let pending: Vec<PendingCall> = (0..3)
+            .map(|_| host.submit(NodeId::new(0), ApiCall::Ping).unwrap())
+            .collect();
+        server.join().unwrap();
+        for p in pending {
+            let err = p.wait().unwrap_err();
+            assert!(
+                matches!(err, ClusterError::Net(_)),
+                "unexpected error {err}"
+            );
+        }
+        // The link is marked dead: later submissions fail fast too.
+        let err = match host.submit(NodeId::new(0), ApiCall::Ping) {
+            Err(e) => e,
+            Ok(p) => p.wait().unwrap_err(),
+        };
+        assert!(
+            matches!(err, ClusterError::Net(_)),
+            "unexpected error {err}"
+        );
+    }
+
+    #[test]
+    fn eight_deep_pipeline_on_one_node() {
+        let cluster =
+            LocalCluster::launch(&ClusterConfig::gpu_cluster(1), KernelRegistry::new()).unwrap();
+        let pending: Vec<PendingCall> = (0..12)
+            .map(|_| {
+                cluster
+                    .host()
+                    .submit(NodeId::new(0), ApiCall::Ping)
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(pending.len(), 12, "12 calls in flight before any wait");
+        for p in pending {
+            assert!(matches!(p.wait().unwrap().reply, ApiReply::Pong { .. }));
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn interleaved_submits_across_nodes() {
+        let cluster =
+            LocalCluster::launch(&ClusterConfig::gpu_cluster(3), KernelRegistry::new()).unwrap();
+        let pending: Vec<PendingCall> = (0..9)
+            .map(|i| {
+                cluster
+                    .host()
+                    .submit(NodeId::new(i % 3), ApiCall::Ping)
+                    .unwrap()
+            })
+            .collect();
+        // Claim in reverse submission order: completion must not depend
+        // on waiting in FIFO order.
+        for p in pending.into_iter().rev() {
+            assert!(matches!(p.wait().unwrap().reply, ApiReply::Pong { .. }));
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn try_poll_claims_without_blocking() {
+        let cluster =
+            LocalCluster::launch(&ClusterConfig::gpu_cluster(1), KernelRegistry::new()).unwrap();
+        let mut p = cluster
+            .host()
+            .submit(NodeId::new(0), ApiCall::Ping)
+            .unwrap();
+        let result = loop {
+            match p.try_poll() {
+                Some(r) => break r,
+                None => std::thread::sleep(Duration::from_millis(1)),
+            }
+        };
+        assert!(matches!(result.unwrap().reply, ApiReply::Pong { .. }));
+        assert!(p.try_poll().is_none(), "a claimed call stays claimed");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn concurrent_submitters_share_the_control_plane() {
+        // Many threads hammering one node exercises the coalescing path:
+        // whoever holds the transmit lock batches the others' requests.
+        let cluster =
+            LocalCluster::launch(&ClusterConfig::gpu_cluster(2), KernelRegistry::new()).unwrap();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let host = cluster.host();
+                s.spawn(move || {
+                    for i in 0..16 {
+                        let outcome = host.call(NodeId::new((t + i) % 2), ApiCall::Ping).unwrap();
+                        assert!(matches!(outcome.reply, ApiReply::Pong { .. }));
+                    }
+                });
+            }
+        });
+        cluster.shutdown();
     }
 }

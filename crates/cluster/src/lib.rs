@@ -12,8 +12,10 @@
 //!   their bitstream registry.
 //! * [`host`] — the host-side runtime: connects to every node from the
 //!   config, performs the `clGetDeviceIDs` device-mapping handshake, and
-//!   forwards calls synchronously (the paper's host listener is
-//!   synchronous; node listeners are asynchronous).
+//!   forwards calls over a pipelined backbone — non-blocking
+//!   [`HostRuntime::submit`] returning a [`host::PendingCall`], with a
+//!   per-connection demultiplexer completing responses out of order and
+//!   [`HostRuntime::call`] retaining the paper's synchronous semantics.
 //! * [`local`] — [`LocalCluster`]: spawns a whole cluster in-process
 //!   (NMPs as OS threads on a shared [`haocl_net::Fabric`]) for tests,
 //!   examples and benchmarks.
@@ -42,7 +44,7 @@ pub mod session;
 
 pub use config::{ClusterConfig, NodeSpec};
 pub use error::ClusterError;
-pub use host::{HostRuntime, RemoteDevice};
+pub use host::{CallOutcome, HostRuntime, PendingCall, RemoteDevice};
 pub use local::LocalCluster;
 pub use nmp::NmpHandle;
 pub use session::SessionManager;

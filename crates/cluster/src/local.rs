@@ -43,10 +43,7 @@ impl LocalCluster {
     /// # Errors
     ///
     /// [`ClusterError`] on address clashes or handshake failures.
-    pub fn launch(
-        config: &ClusterConfig,
-        registry: KernelRegistry,
-    ) -> Result<Self, ClusterError> {
+    pub fn launch(config: &ClusterConfig, registry: KernelRegistry) -> Result<Self, ClusterError> {
         let fabric = Fabric::new(Clock::new(), config.link);
         let mut handles = Vec::with_capacity(config.nodes.len());
         for spec in &config.nodes {
@@ -136,10 +133,7 @@ mod tests {
         let cluster =
             LocalCluster::launch(&ClusterConfig::gpu_cluster(3), KernelRegistry::new()).unwrap();
         for i in 0..3 {
-            let outcome = cluster
-                .host()
-                .call(NodeId::new(i), ApiCall::Ping)
-                .unwrap();
+            let outcome = cluster.host().call(NodeId::new(i), ApiCall::Ping).unwrap();
             assert!(matches!(outcome.reply, ApiReply::Pong { .. }));
         }
         cluster.shutdown();
@@ -155,10 +149,10 @@ mod tests {
     #[test]
     fn two_clusters_can_coexist() {
         // Separate fabrics: identical addresses do not clash.
-        let a = LocalCluster::launch(&ClusterConfig::gpu_cluster(1), KernelRegistry::new())
-            .unwrap();
-        let b = LocalCluster::launch(&ClusterConfig::gpu_cluster(1), KernelRegistry::new())
-            .unwrap();
+        let a =
+            LocalCluster::launch(&ClusterConfig::gpu_cluster(1), KernelRegistry::new()).unwrap();
+        let b =
+            LocalCluster::launch(&ClusterConfig::gpu_cluster(1), KernelRegistry::new()).unwrap();
         assert_eq!(a.host().devices().len(), 1);
         assert_eq!(b.host().devices().len(), 1);
         a.shutdown();

@@ -25,7 +25,7 @@ use haocl_device::{presets, SimDevice};
 use haocl_kernel::{CostModel, Kernel, KernelRegistry, NdRange};
 use haocl_net::{Conn, Fabric, Listener, NetError};
 use haocl_proto::ids::{KernelId, ProgramId, UserId};
-use haocl_proto::messages::{status, ApiCall, ApiReply, Request, Response};
+use haocl_proto::messages::{status, ApiCall, ApiReply, Envelope, Request, Response};
 use haocl_proto::wire::{decode_from_slice, encode_to_vec};
 use haocl_sim::SimTime;
 
@@ -164,39 +164,44 @@ fn spawn_accept_loop(
 }
 
 fn serve(mut conn: Conn, state: Arc<Mutex<NodeState>>, stop: Arc<AtomicBool>) {
-    while !stop.load(Ordering::SeqCst) {
+    'serve: while !stop.load(Ordering::SeqCst) {
         let (frame, arrival) = match conn.recv_frame_timeout(POLL) {
             Ok(x) => x,
             Err(NetError::Timeout) => continue,
             Err(_) => break,
         };
-        let request: Request = match decode_from_slice(&frame) {
-            Ok(r) => r,
+        // The host may coalesce several control messages into one
+        // envelope; each request still gets its own response frame so
+        // the host can complete them individually (and out of order).
+        let envelope: Envelope = match decode_from_slice(&frame) {
+            Ok(e) => e,
             // A malformed package: drop the connection, as a real daemon
             // would after a framing-level protocol violation.
             Err(_) => break,
         };
-        let is_shutdown = matches!(request.body, ApiCall::Shutdown);
-        let response = handle(&state, request, arrival);
-        let send_at = response.completed_at_nanos;
-        // Modeled data replies stand in for bulk payloads: charge the
-        // return link as if the bytes were on it.
-        let virtual_len = match &response.body {
-            ApiReply::DataModeled { len } => *len,
-            _ => 0,
-        };
-        if conn
-            .send_frame_virtual(
-                &encode_to_vec(&response),
-                SimTime::from_nanos(send_at),
-                virtual_len,
-            )
-            .is_err()
-        {
-            break;
-        }
-        if is_shutdown {
-            break;
+        for request in envelope.into_requests() {
+            let is_shutdown = matches!(request.body, ApiCall::Shutdown);
+            let response = handle(&state, request, arrival);
+            let send_at = response.completed_at_nanos;
+            // Modeled data replies stand in for bulk payloads: charge the
+            // return link as if the bytes were on it.
+            let virtual_len = match &response.body {
+                ApiReply::DataModeled { len } => *len,
+                _ => 0,
+            };
+            if conn
+                .send_frame_virtual(
+                    &encode_to_vec(&response),
+                    SimTime::from_nanos(send_at),
+                    virtual_len,
+                )
+                .is_err()
+            {
+                break 'serve;
+            }
+            if is_shutdown {
+                break 'serve;
+            }
         }
     }
 }
@@ -595,7 +600,8 @@ mod tests {
             sent_at_nanos: 0,
             body,
         };
-        conn.send_frame(&encode_to_vec(&req), SimTime::ZERO).unwrap();
+        conn.send_frame(&encode_to_vec(&Envelope::Single(req)), SimTime::ZERO)
+            .unwrap();
         let (frame, _) = conn.recv_frame().unwrap();
         let resp: Response = decode_from_slice(&frame).unwrap();
         assert_eq!(resp.id, id);
@@ -772,9 +778,7 @@ mod tests {
                 source: "__kernel void f() {}".into(),
             },
         );
-        assert!(
-            matches!(r, ApiReply::Error { code, .. } if code == status::INVALID_OPERATION)
-        );
+        assert!(matches!(r, ApiReply::Error { code, .. } if code == status::INVALID_OPERATION));
         let (r, _) = call(
             &mut conn,
             1,
@@ -852,6 +856,30 @@ mod tests {
             },
         );
         assert!(matches!(r, ApiReply::Error { code, .. } if code == status::INVALID_DEVICE));
+        handle.stop();
+    }
+
+    #[test]
+    fn batched_envelope_yields_per_request_responses() {
+        let (_f, handle, mut conn) = launch_one_node();
+        let requests: Vec<Request> = (0..3)
+            .map(|i| Request {
+                id: RequestId::new(100 + i),
+                user: UserId::new(1),
+                sent_at_nanos: 0,
+                body: ApiCall::Ping,
+            })
+            .collect();
+        conn.send_frame(&encode_to_vec(&Envelope::Batch(requests)), SimTime::ZERO)
+            .unwrap();
+        let mut ids = Vec::new();
+        for _ in 0..3 {
+            let (frame, _) = conn.recv_frame().unwrap();
+            let resp: Response = decode_from_slice(&frame).unwrap();
+            assert!(matches!(resp.body, ApiReply::Pong { .. }));
+            ids.push(resp.id.raw());
+        }
+        assert_eq!(ids, vec![100, 101, 102], "one response per batched request");
         handle.stop();
     }
 

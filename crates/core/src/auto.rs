@@ -96,6 +96,10 @@ impl AutoScheduler {
             .place(&task, &views)
             .map_err(|e| Error::api(Status::InvalidOperation, e.to_string()))?;
         let event = self.queues[choice].enqueue_nd_range_kernel(kernel, range)?;
+        // The policy's load tracking needs the completion time, so
+        // auto-scheduled launches resolve here; failures propagate
+        // instead of panicking in the profiling accessors below.
+        event.wait()?;
         {
             let mut busy = self.busy_until.lock();
             busy[choice] = busy[choice].max(event.finished_at());
@@ -186,8 +190,7 @@ mod tests {
         let registry = haocl_kernel::KernelRegistry::new();
         registry.register(std::sync::Arc::new(FillOnes));
         let p =
-            Platform::local_with_registry(&[DeviceKind::Fpga, DeviceKind::Gpu], registry)
-                .unwrap();
+            Platform::local_with_registry(&[DeviceKind::Fpga, DeviceKind::Gpu], registry).unwrap();
         let ctx = Context::new(&p, &p.devices(DeviceType::All)).unwrap();
         let auto = AutoScheduler::new(&ctx, Box::new(policies::HeteroAware::new())).unwrap();
         let prog = Program::with_bitstream_kernels(&ctx, ["fill_ones"]);

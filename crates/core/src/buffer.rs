@@ -20,6 +20,7 @@ use haocl_sim::Phase;
 
 use crate::context::Context;
 use crate::error::{Error, Status};
+use crate::event::Event;
 use crate::platform::{Device, PlatformInner};
 
 /// Buffer access flags (`CL_MEM_*`).
@@ -62,6 +63,10 @@ pub(crate) struct BufferInner {
     /// charge virtual time only (paper-scale benchmarking).
     modeled: bool,
     state: Mutex<BufState>,
+    /// In-flight kernel launches (on the pipelined backbone) that may
+    /// write this buffer. Settled before any dependent operation looks
+    /// at the coherence state.
+    pending_writers: Mutex<Vec<Event>>,
 }
 
 /// An OpenCL buffer object.
@@ -119,11 +124,16 @@ impl Buffer {
                 flags,
                 modeled,
                 state: Mutex::new(BufState {
-                    shadow: if modeled { Vec::new() } else { vec![0; size as usize] },
+                    shadow: if modeled {
+                        Vec::new()
+                    } else {
+                        vec![0; size as usize]
+                    },
                     allocated: HashSet::new(),
                     current: HashSet::new(),
                     shadow_current: true,
                 }),
+                pending_writers: Mutex::new(Vec::new()),
             }),
         })
     }
@@ -176,9 +186,26 @@ impl Drop for BufferInner {
 }
 
 impl BufferInner {
+    /// Registers an in-flight launch that may write this buffer.
+    pub(crate) fn add_pending_writer(&self, event: Event) {
+        self.pending_writers.lock().push(event);
+    }
+
+    /// Resolves every in-flight launch targeting this buffer so its
+    /// coherence state reflects them before a dependent operation reads
+    /// it. A *failed* launch wrote nothing — its error stays on the
+    /// launch's own [`Event`] and does not poison the buffer.
+    fn settle_pending(&self) {
+        let drained: Vec<Event> = std::mem::take(&mut *self.pending_writers.lock());
+        for event in drained {
+            let _ = event.wait();
+        }
+    }
+
     /// Makes `device` hold the newest contents (allocating and
     /// transferring as needed). Used before reads by kernels.
     pub(crate) fn make_current_on(&self, device: &Device) -> Result<(), Error> {
+        self.settle_pending();
         let mut st = self.state.lock();
         if st.current.contains(&device.index) {
             return Ok(());
@@ -244,6 +271,7 @@ impl BufferInner {
                     ),
                 )
             })?;
+        self.settle_pending();
         let mut st = self.state.lock();
         self.refresh_shadow_locked(&mut st)?;
         st.shadow[offset as usize..end as usize].copy_from_slice(data);
@@ -294,6 +322,7 @@ impl BufferInner {
                     ),
                 )
             })?;
+        self.settle_pending();
         let mut st = self.state.lock();
         if st.shadow_current {
             out.copy_from_slice(&st.shadow[offset as usize..end as usize]);
@@ -325,10 +354,7 @@ impl BufferInner {
         }
     }
 
-    fn owner_device(
-        &self,
-        st: &BufState,
-    ) -> Result<haocl_cluster::RemoteDevice, Error> {
+    fn owner_device(&self, st: &BufState) -> Result<haocl_cluster::RemoteDevice, Error> {
         let owner = *st
             .current
             .iter()
@@ -366,6 +392,7 @@ impl BufferInner {
                 ),
             ));
         }
+        self.settle_pending();
         let mut st = self.state.lock();
         self.allocate_locked(&mut st, device)?;
         let was_current = st.current.contains(&device.index);
@@ -409,6 +436,7 @@ impl BufferInner {
                 ),
             ));
         }
+        self.settle_pending();
         let st = self.state.lock();
         if st.shadow_current {
             return Ok(());

@@ -174,8 +174,9 @@ mod tests {
 
     #[test]
     fn status_codes_roundtrip() {
-        for code in [0, -1, -2, -4, -5, -6, -11, -30, -33, -38, -44, -46, -48, -52, -54, -59, -61]
-        {
+        for code in [
+            0, -1, -2, -4, -5, -6, -11, -30, -33, -38, -44, -46, -48, -52, -54, -59, -61,
+        ] {
             assert_eq!(Status::from_code(code).code(), code);
         }
         assert_eq!(Status::from_code(-999), Status::Other(-999));

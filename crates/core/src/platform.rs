@@ -46,8 +46,10 @@ impl PlatformInner {
     ) -> Result<haocl_cluster::host::CallOutcome, Error> {
         let started = self.clock().now();
         let outcome = self.host().call(node, call)?;
-        self.tracer
-            .record(phase, outcome.host_received.saturating_duration_since(started));
+        self.tracer.record(
+            phase,
+            outcome.host_received.saturating_duration_since(started),
+        );
         Ok(outcome)
     }
 }
@@ -287,10 +289,7 @@ impl Platform {
         let mut out = Vec::new();
         for i in 0..self.inner.host().node_count() {
             let node = NodeId::new(i as u32);
-            let outcome = self
-                .inner
-                .host()
-                .call(node, ApiCall::QueryProfile)?;
+            let outcome = self.inner.host().call(node, ApiCall::QueryProfile)?;
             match outcome.reply {
                 haocl_proto::messages::ApiReply::Profile { entries } => {
                     out.push((node, entries));
@@ -341,11 +340,8 @@ mod tests {
 
     #[test]
     fn cluster_platform_maps_all_nodes() {
-        let p = Platform::cluster(
-            &ClusterConfig::hetero_cluster(2, 2),
-            KernelRegistry::new(),
-        )
-        .unwrap();
+        let p =
+            Platform::cluster(&ClusterConfig::hetero_cluster(2, 2), KernelRegistry::new()).unwrap();
         assert_eq!(p.devices(DeviceType::All).len(), 4);
         assert_eq!(p.devices(DeviceType::Accelerator).len(), 2);
         let gpus = p.devices(DeviceType::Gpu);

@@ -128,9 +128,7 @@ impl Program {
                     return Err(Error::api(Status::BuildProgramFailure, log));
                 }
                 other => {
-                    return Err(Error::Transport(format!(
-                        "build answered with {other:?}"
-                    )));
+                    return Err(Error::Transport(format!("build answered with {other:?}")));
                 }
             }
         }

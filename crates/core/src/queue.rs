@@ -1,10 +1,18 @@
 //! `cl_command_queue` objects.
 //!
-//! HaoCL host semantics are synchronous (§III-C: the host "will wait for
-//! the response message and then take the next action"), so every
-//! enqueue completes before it returns; ordering within and across
-//! queues on the same device is enforced by the device's serialized
-//! timeline. Events carry virtual-time profiling.
+//! Buffer transfers keep the paper's synchronous host semantics (§III-C:
+//! the host "will wait for the response message and then take the next
+//! action"). Kernel launches ride the pipelined backbone instead:
+//! `enqueue_nd_range_kernel` submits the launch without blocking and
+//! returns a pending [`Event`] that resolves when the NMP's response
+//! arrives — on [`Event::wait`], a profiling accessor, [`finish`], or a
+//! dependent operation on a buffer the launch wrote. Dependent work is
+//! kept correct by the buffers themselves: every coherence entry point
+//! settles the in-flight launches registered against the buffer first.
+//!
+//! [`finish`]: CommandQueue::finish
+
+use std::sync::Arc;
 
 use haocl_kernel::NdRange;
 use haocl_proto::messages::{ApiCall, ApiReply, WireArg, WireCost, WireNdRange};
@@ -13,7 +21,7 @@ use haocl_sim::{Phase, SimTime};
 use crate::buffer::Buffer;
 use crate::context::Context;
 use crate::error::{Error, Status};
-use crate::event::{CommandType, Event};
+use crate::event::{CommandType, Event, Profile};
 use crate::kernel::{Kernel, StoredArg};
 use crate::platform::Device;
 
@@ -24,7 +32,10 @@ pub struct CommandQueue {
     device: Device,
     /// Completion time of the latest asynchronous launch (clFinish
     /// target). Shared across clones of the queue.
-    last_end: std::sync::Arc<parking_lot::Mutex<SimTime>>,
+    last_end: Arc<parking_lot::Mutex<SimTime>>,
+    /// Launches submitted on this queue that have not been resolved yet;
+    /// drained by [`CommandQueue::finish`]. Shared across clones.
+    pending: Arc<parking_lot::Mutex<Vec<Event>>>,
 }
 
 impl CommandQueue {
@@ -43,7 +54,8 @@ impl CommandQueue {
         Ok(CommandQueue {
             context: context.clone(),
             device: device.clone(),
-            last_end: std::sync::Arc::new(parking_lot::Mutex::new(SimTime::ZERO)),
+            last_end: Arc::new(parking_lot::Mutex::new(SimTime::ZERO)),
+            pending: Arc::new(parking_lot::Mutex::new(Vec::new())),
         })
     }
 
@@ -180,21 +192,23 @@ impl CommandQueue {
     /// Launches a kernel across `range` (`clEnqueueNDRangeKernel`).
     ///
     /// Buffer arguments are made current on this queue's device first
-    /// (transfers are charged to the `DataTransfer` phase); the launch
-    /// itself is charged to `Compute`.
+    /// (transfers are charged to the `DataTransfer` phase). The launch
+    /// itself is *submitted* on the pipelined backbone without waiting
+    /// for the node's response: the returned [`Event`] is pending and
+    /// resolves — performing the coherence and profiling bookkeeping —
+    /// when the response is first observed. Remote launch failures
+    /// therefore surface on [`Event::wait`], not here.
     ///
     /// # Errors
     ///
-    /// [`Status::InvalidKernelArgs`] if any argument is unset; remote
-    /// launch failures with their OpenCL codes.
-    pub fn enqueue_nd_range_kernel(
-        &self,
-        kernel: &Kernel,
-        range: NdRange,
-    ) -> Result<Event, Error> {
+    /// [`Status::InvalidKernelArgs`] if any argument is unset; staging
+    /// or submission transport failures.
+    pub fn enqueue_nd_range_kernel(&self, kernel: &Kernel, range: NdRange) -> Result<Event, Error> {
         let queued = self.now();
         let args = kernel.bound_args()?;
-        // Stage buffer arguments onto this device.
+        // Stage buffer arguments onto this device. This settles earlier
+        // launches against these buffers, so same-buffer launches
+        // serialize while independent launches pipeline.
         for arg in &args {
             if let StoredArg::Buffer(b) = arg {
                 b.inner.make_current_on(&self.device)?;
@@ -210,80 +224,118 @@ impl CommandQueue {
             })
             .collect();
         let cost = kernel.cost();
-        let outcome = self.device.platform.call_traced(
-            self.device.node(),
-            ApiCall::LaunchKernel {
-                device: self.device.device_index(),
-                kernel: remote_kernel,
-                args: wire_args,
-                range: WireNdRange {
-                    work_dim: range.work_dim,
-                    global: range.global,
-                    local: range.local,
+        let started = self.now();
+        let call = self
+            .device
+            .platform
+            .host()
+            .submit(
+                self.device.node(),
+                ApiCall::LaunchKernel {
+                    device: self.device.device_index(),
+                    kernel: remote_kernel,
+                    args: wire_args,
+                    range: WireNdRange {
+                        work_dim: range.work_dim,
+                        global: range.global,
+                        local: range.local,
+                    },
+                    cost: WireCost {
+                        flops: cost.total_flops(),
+                        bytes_read: cost.total_bytes_read(),
+                        bytes_written: cost.total_bytes_written(),
+                        uniform: cost.is_uniform(),
+                        streaming: cost.is_streaming(),
+                    },
+                    fidelity: kernel.fidelity(),
+                    shared: false,
                 },
-                cost: WireCost {
-                    flops: cost.total_flops(),
-                    bytes_read: cost.total_bytes_read(),
-                    bytes_written: cost.total_bytes_written(),
-                    uniform: cost.is_uniform(),
-                    streaming: cost.is_streaming(),
-                },
-                fidelity: kernel.fidelity(),
-                shared: false,
-            },
-            Phase::Compute,
-        )?;
-        let ApiReply::LaunchDone {
-            start_nanos,
-            end_nanos,
-            instructions,
-        } = outcome.reply
-        else {
-            return Err(Error::Transport(format!(
-                "LaunchKernel answered with {:?}",
-                outcome.reply
-            )));
-        };
-        // The launch may have written through any writable buffer arg.
+            )
+            .map_err(Error::from)?;
+        // The resolver holds the buffers weakly: a buffer nobody can
+        // reach anymore has no coherence state worth updating, and a
+        // strong reference would cycle through the buffer's own
+        // pending-writer list.
+        let written: Vec<std::sync::Weak<crate::buffer::BufferInner>> = args
+            .iter()
+            .filter_map(|a| match a {
+                StoredArg::Buffer(b) => Some(Arc::downgrade(&b.inner)),
+                _ => None,
+            })
+            .collect();
+        let device = self.device.clone();
+        let last_end = Arc::clone(&self.last_end);
+        let event = Event::pending(CommandType::NdRangeKernel, move || {
+            let outcome = call.wait()?;
+            let platform = &device.platform;
+            // The enqueue RPC round-trip, now that its cost is known.
+            platform.tracer.record(
+                Phase::Compute,
+                outcome.host_received.saturating_duration_since(started),
+            );
+            let ApiReply::LaunchDone {
+                start_nanos,
+                end_nanos,
+                instructions,
+            } = outcome.reply
+            else {
+                return Err(Error::Transport(format!(
+                    "LaunchKernel answered with {:?}",
+                    outcome.reply
+                )));
+            };
+            // The launch may have written through any writable buffer
+            // arg.
+            for buffer in &written {
+                if let Some(buffer) = buffer.upgrade() {
+                    buffer.note_kernel_write(&device);
+                }
+            }
+            let start = SimTime::from_nanos(start_nanos);
+            let end = SimTime::from_nanos(end_nanos);
+            // The kernel runs asynchronously until `end_nanos` — charge
+            // its device time to the Compute phase and remember it for
+            // `finish`.
+            platform.tracer.record(Phase::Compute, end - start);
+            {
+                let mut last = last_end.lock();
+                *last = (*last).max(end);
+            }
+            Ok(Profile {
+                queued,
+                start,
+                end,
+                instructions,
+            })
+        });
         for arg in &args {
             if let StoredArg::Buffer(b) = arg {
-                b.inner.note_kernel_write(&self.device);
+                b.inner.add_pending_writer(event.clone());
             }
         }
-        let event = Event::new(
-            CommandType::NdRangeKernel,
-            queued,
-            SimTime::from_nanos(start_nanos),
-            SimTime::from_nanos(end_nanos),
-            instructions,
-        );
-        // The enqueue RPC round-trip was traced above; the kernel runs
-        // asynchronously until `end_nanos` — charge its device time to
-        // the Compute phase and remember it for `finish`.
-        self.device
-            .platform
-            .tracer
-            .record(Phase::Compute, event.duration());
-        {
-            let mut last = self.last_end.lock();
-            *last = (*last).max(event.finished_at());
-        }
+        self.pending.lock().push(event.clone());
         Ok(event)
     }
 
     /// Blocks until all enqueued commands complete (`clFinish`).
     ///
-    /// Transfers are synchronous already; kernel launches are
-    /// asynchronous, so this advances the virtual clock to the completion
-    /// of the latest launch on this queue and returns the new time.
+    /// Transfers are synchronous already; kernel launches are pending
+    /// events, so this resolves every launch submitted on this queue,
+    /// advances the virtual clock to the completion of the latest one
+    /// and returns the new time. A launch that failed keeps its error on
+    /// its own [`Event`] (observe it with [`Event::wait`]).
     pub fn finish(&self) -> SimTime {
+        let pending: Vec<Event> = std::mem::take(&mut *self.pending.lock());
+        for event in pending {
+            let _ = event.wait();
+        }
         let last = *self.last_end.lock();
         self.device.platform.clock().advance_to(last);
         self.now()
     }
 
-    /// Issues queued commands (`clFlush`) — a no-op under synchronous
-    /// host semantics.
+    /// Issues queued commands (`clFlush`) — a no-op: launches are
+    /// submitted to the backbone at enqueue time.
     pub fn flush(&self) {}
 
     fn now(&self) -> SimTime {
@@ -332,7 +384,10 @@ mod tests {
         prog.build().unwrap();
         let k = Kernel::new(&prog, "neg").unwrap();
         let buf = Buffer::new(&ctx, MemFlags::READ_WRITE, 16).unwrap();
-        let data: Vec<u8> = [1i32, 2, 3, 4].iter().flat_map(|v| v.to_le_bytes()).collect();
+        let data: Vec<u8> = [1i32, 2, 3, 4]
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect();
         q.enqueue_write_buffer(&buf, 0, &data).unwrap();
         k.set_arg_buffer(0, &buf).unwrap();
         let ev = q
@@ -355,7 +410,8 @@ mod tests {
         let (_p, ctx, q) = gpu_setup();
         let a = Buffer::new(&ctx, MemFlags::READ_WRITE, 8).unwrap();
         let b = Buffer::new(&ctx, MemFlags::READ_WRITE, 8).unwrap();
-        q.enqueue_write_buffer(&a, 0, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        q.enqueue_write_buffer(&a, 0, &[1, 2, 3, 4, 5, 6, 7, 8])
+            .unwrap();
         q.enqueue_copy_buffer(&a, &b, 4, 0, 4).unwrap();
         let mut out = vec![0u8; 8];
         q.enqueue_read_buffer(&b, 0, &mut out).unwrap();
@@ -407,8 +463,10 @@ mod tests {
         k.set_arg_buffer(0, &buf).unwrap();
         // Launch on device 0, then on device 1: the second launch must see
         // the first launch's result.
-        q0.enqueue_nd_range_kernel(&k, NdRange::linear(2, 1)).unwrap();
-        q1.enqueue_nd_range_kernel(&k, NdRange::linear(2, 1)).unwrap();
+        q0.enqueue_nd_range_kernel(&k, NdRange::linear(2, 1))
+            .unwrap();
+        q1.enqueue_nd_range_kernel(&k, NdRange::linear(2, 1))
+            .unwrap();
         let mut out = vec![0u8; 8];
         q1.enqueue_read_buffer(&buf, 0, &mut out).unwrap();
         let vals: Vec<i32> = out
@@ -441,7 +499,10 @@ mod tests {
         q.enqueue_read_buffer_modeled(&buf, 0, 1 << 30).unwrap();
         // PCIe at 12 GB/s: 1 GiB each way ≈ 90 ms each; kernel ≈ 260 ms.
         let elapsed = p.now() - t0;
-        assert!(elapsed > haocl_sim::SimDuration::from_millis(100), "{elapsed}");
+        assert!(
+            elapsed > haocl_sim::SimDuration::from_millis(100),
+            "{elapsed}"
+        );
         assert_eq!(ev.instructions(), 0);
     }
 
@@ -451,16 +512,22 @@ mod tests {
         let real = Buffer::new(&ctx, MemFlags::READ_WRITE, 8).unwrap();
         let modeled = Buffer::new_modeled(&ctx, MemFlags::READ_WRITE, 8).unwrap();
         assert_eq!(
-            q.enqueue_write_buffer_modeled(&real, 0, 8).unwrap_err().status(),
+            q.enqueue_write_buffer_modeled(&real, 0, 8)
+                .unwrap_err()
+                .status(),
             Some(Status::InvalidOperation)
         );
         assert_eq!(
-            q.enqueue_write_buffer(&modeled, 0, &[1u8; 8]).unwrap_err().status(),
+            q.enqueue_write_buffer(&modeled, 0, &[1u8; 8])
+                .unwrap_err()
+                .status(),
             Some(Status::InvalidOperation)
         );
         let mut out = [0u8; 8];
         assert_eq!(
-            q.enqueue_read_buffer(&modeled, 0, &mut out).unwrap_err().status(),
+            q.enqueue_read_buffer(&modeled, 0, &mut out)
+                .unwrap_err()
+                .status(),
             Some(Status::InvalidOperation)
         );
     }
@@ -468,20 +535,47 @@ mod tests {
     #[test]
     fn full_fidelity_launch_on_modeled_buffer_fails_remotely() {
         let (_p, ctx, q) = gpu_setup();
-        let prog = Program::from_source(
-            &ctx,
-            "__kernel void w(__global int* a) { a[0] = 1; }",
-        );
+        let prog = Program::from_source(&ctx, "__kernel void w(__global int* a) { a[0] = 1; }");
         prog.build().unwrap();
         let k = Kernel::new(&prog, "w").unwrap();
         let buf = Buffer::new_modeled(&ctx, MemFlags::READ_WRITE, 8).unwrap();
         k.set_arg_buffer(0, &buf).unwrap();
         // Fidelity stays Full: the node must reject executing against a
-        // virtual buffer.
-        let err = q
+        // virtual buffer. The launch submits without blocking, so the
+        // remote rejection surfaces on the event.
+        let ev = q
             .enqueue_nd_range_kernel(&k, NdRange::linear(1, 1))
-            .unwrap_err();
+            .unwrap();
+        let err = ev.wait().unwrap_err();
         assert_eq!(err.status(), Some(Status::InvalidOperation));
+    }
+
+    #[test]
+    fn independent_launches_pipeline_until_finish() {
+        // Launches on disjoint buffers have no dependencies: all four
+        // submit before any response is consumed, and `finish` resolves
+        // the lot.
+        let (_p, ctx, q) = gpu_setup();
+        let prog = Program::from_source(&ctx, "__kernel void one(__global int* a) { a[0] = 1; }");
+        prog.build().unwrap();
+        let mut events = Vec::new();
+        for _ in 0..4 {
+            let k = Kernel::new(&prog, "one").unwrap();
+            let buf = Buffer::new(&ctx, MemFlags::READ_WRITE, 4).unwrap();
+            k.set_arg_buffer(0, &buf).unwrap();
+            let ev = q
+                .enqueue_nd_range_kernel(&k, NdRange::linear(1, 1))
+                .unwrap();
+            events.push((ev, buf));
+        }
+        q.finish();
+        for (ev, buf) in events {
+            assert!(ev.is_resolved());
+            ev.wait().unwrap();
+            let mut out = [0u8; 4];
+            q.enqueue_read_buffer(&buf, 0, &mut out).unwrap();
+            assert_eq!(i32::from_le_bytes(out), 1);
+        }
     }
 
     #[test]

@@ -209,7 +209,7 @@ impl SimDevice {
         at: SimTime,
     ) -> Result<Grant, DeviceError> {
         let size = self.memory.size_of(id)?;
-        if offset.checked_add(len).map_or(true, |end| end > size) {
+        if offset.checked_add(len).is_none_or(|end| end > size) {
             return Err(DeviceError::Memory(MemoryError::OutOfBounds {
                 buffer: id,
                 offset,
@@ -334,11 +334,7 @@ impl SimDevice {
                 device: device_index,
                 kernel: kernel.clone(),
                 runs: p.runs,
-                mean_nanos: if p.runs == 0 {
-                    0
-                } else {
-                    p.total.as_nanos() / p.runs
-                },
+                mean_nanos: p.total.as_nanos().checked_div(p.runs).unwrap_or(0),
                 busy_nanos: self.timeline.busy_time().as_nanos(),
             })
             .collect();
@@ -381,7 +377,10 @@ mod tests {
             "__kernel void dbl(__global float* a) { int i = get_global_id(0); a[i] = a[i] * 2.0f; }",
             "dbl",
         );
-        let cost = CostModel::new().flops(4.0).bytes_read(16.0).bytes_written(16.0);
+        let cost = CostModel::new()
+            .flops(4.0)
+            .bytes_read(16.0)
+            .bytes_written(16.0);
         let out = dev
             .launch(
                 &k,
@@ -523,14 +522,19 @@ mod tests {
         );
         dev.launch(
             &k,
-            &[WireArg::Buffer(BufferId::new(1)), WireArg::Buffer(BufferId::new(1))],
+            &[
+                WireArg::Buffer(BufferId::new(1)),
+                WireArg::Buffer(BufferId::new(1)),
+            ],
             &NdRange::linear(1, 1),
             &CostModel::new(),
             Fidelity::Full,
             SimTime::ZERO,
         )
         .unwrap();
-        let (bytes, _) = dev.read_buffer(BufferId::new(1), 0, 8, SimTime::ZERO).unwrap();
+        let (bytes, _) = dev
+            .read_buffer(BufferId::new(1), 0, 8, SimTime::ZERO)
+            .unwrap();
         let vals: Vec<i32> = bytes
             .chunks_exact(4)
             .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
@@ -597,7 +601,9 @@ mod tests {
         let mut dev = gpu();
         dev.alloc_buffer(BufferId::new(1), 1 << 20).unwrap();
         let data = vec![0u8; 1 << 20];
-        let g = dev.write_buffer(BufferId::new(1), 0, &data, SimTime::ZERO).unwrap();
+        let g = dev
+            .write_buffer(BufferId::new(1), 0, &data, SimTime::ZERO)
+            .unwrap();
         let expect = presets::tesla_p4().transfer_time(1 << 20);
         assert_eq!(g.service(), expect);
     }

@@ -107,6 +107,11 @@ pub struct MemoryManager {
     buffers: HashMap<BufferId, Backing>,
 }
 
+/// Buffers checked out by [`MemoryManager::take_for_launch`]: the
+/// deduplicated backing stores plus, per input position, the slot index
+/// its buffer landed in.
+pub type LaunchBuffers = (Vec<(BufferId, GlobalBuffer)>, Vec<usize>);
+
 impl MemoryManager {
     /// Creates a store with `capacity` bytes.
     pub fn new(capacity: u64) -> Self {
@@ -205,7 +210,7 @@ impl MemoryManager {
         };
         let size = buf.len() as u64;
         let len = data.len() as u64;
-        if offset.checked_add(len).map_or(true, |end| end > size) {
+        if offset.checked_add(len).is_none_or(|end| end > size) {
             return Err(MemoryError::OutOfBounds {
                 buffer: id,
                 offset,
@@ -223,13 +228,16 @@ impl MemoryManager {
     ///
     /// [`MemoryError::UnknownBuffer`] or [`MemoryError::OutOfBounds`].
     pub fn read(&self, id: BufferId, offset: u64, len: u64) -> Result<Vec<u8>, MemoryError> {
-        let backing = self.buffers.get(&id).ok_or(MemoryError::UnknownBuffer(id))?;
+        let backing = self
+            .buffers
+            .get(&id)
+            .ok_or(MemoryError::UnknownBuffer(id))?;
         let buf = match backing {
             Backing::Real(b) => b,
             Backing::Virtual(_) => return Err(MemoryError::VirtualBuffer(id)),
         };
         let size = buf.len() as u64;
-        if offset.checked_add(len).map_or(true, |end| end > size) {
+        if offset.checked_add(len).is_none_or(|end| end > size) {
             return Err(MemoryError::OutOfBounds {
                 buffer: id,
                 offset,
@@ -296,10 +304,7 @@ impl MemoryManager {
     ///
     /// [`MemoryError::UnknownBuffer`] if any id is missing (no buffers are
     /// removed in that case).
-    pub fn take_for_launch(
-        &mut self,
-        ids: &[BufferId],
-    ) -> Result<(Vec<(BufferId, GlobalBuffer)>, Vec<usize>), MemoryError> {
+    pub fn take_for_launch(&mut self, ids: &[BufferId]) -> Result<LaunchBuffers, MemoryError> {
         for id in ids {
             match self.buffers.get(id) {
                 None => return Err(MemoryError::UnknownBuffer(*id)),
@@ -432,7 +437,10 @@ mod tests {
         assert!(m.is_virtual(id(1)).unwrap());
         assert_eq!(m.size_of(id(1)).unwrap(), 80);
         // Real data operations are rejected.
-        assert_eq!(m.write(id(1), 0, &[1]), Err(MemoryError::VirtualBuffer(id(1))));
+        assert_eq!(
+            m.write(id(1), 0, &[1]),
+            Err(MemoryError::VirtualBuffer(id(1)))
+        );
         assert_eq!(m.read(id(1), 0, 1), Err(MemoryError::VirtualBuffer(id(1))));
         assert_eq!(
             m.take_for_launch(&[id(1)]).unwrap_err(),

@@ -139,10 +139,10 @@ mod tests {
         let cpu = presets::xeon_e5_2686();
         let uniform = CostModel::new().flops(1e10);
         let divergent = CostModel::new().flops(1e10).divergent();
-        let gpu_slowdown = gpu.kernel_time(&divergent).as_secs_f64()
-            / gpu.kernel_time(&uniform).as_secs_f64();
-        let cpu_slowdown = cpu.kernel_time(&divergent).as_secs_f64()
-            / cpu.kernel_time(&uniform).as_secs_f64();
+        let gpu_slowdown =
+            gpu.kernel_time(&divergent).as_secs_f64() / gpu.kernel_time(&uniform).as_secs_f64();
+        let cpu_slowdown =
+            cpu.kernel_time(&divergent).as_secs_f64() / cpu.kernel_time(&uniform).as_secs_f64();
         assert!(gpu_slowdown > cpu_slowdown);
     }
 

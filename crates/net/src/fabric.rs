@@ -116,6 +116,12 @@ impl Fabric {
     }
 
     /// The fabric's virtual clock.
+    ///
+    /// The fabric itself never advances it: frames carry their virtual
+    /// arrival times, and the endpoint that observes a frame (e.g. the
+    /// cluster host claiming a response) advances the clock then. This
+    /// keeps virtual timestamps a pure function of the submission order,
+    /// independent of how the OS schedules the transport threads.
     pub fn clock(&self) -> &Clock {
         &self.inner.clock
     }
@@ -161,24 +167,20 @@ impl Fabric {
         drop(listeners);
         let (a_tx, b_rx) = unbounded::<Chunk>();
         let (b_tx, a_rx) = unbounded::<Chunk>();
-        let client = Conn {
-            local_host: host_of(from),
-            peer: to.to_string(),
-            tx: a_tx,
-            rx: a_rx,
-            assembler: FrameAssembler::new(),
-            ready: Vec::new(),
-            fabric: Arc::clone(&self.inner),
-        };
-        let server = Conn {
-            local_host: host_of(to),
-            peer: from.to_string(),
-            tx: b_tx,
-            rx: b_rx,
-            assembler: FrameAssembler::new(),
-            ready: Vec::new(),
-            fabric: Arc::clone(&self.inner),
-        };
+        let client = Conn::assemble(
+            host_of(from),
+            to.to_string(),
+            a_tx,
+            a_rx,
+            Arc::clone(&self.inner),
+        );
+        let server = Conn::assemble(
+            host_of(to),
+            from.to_string(),
+            b_tx,
+            b_rx,
+            Arc::clone(&self.inner),
+        );
         tx.send(server).map_err(|_| NetError::Disconnected)?;
         Ok(client)
     }
@@ -257,19 +259,19 @@ impl std::fmt::Debug for Listener {
     }
 }
 
-/// One side of an established connection.
-pub struct Conn {
+/// The transmit half of a connection.
+///
+/// Obtained from [`Conn::split`]; owning it independently of the receive
+/// half lets one thread pump requests while another drains responses —
+/// the shape the cluster backbone's pipelined demultiplexer needs.
+pub struct ConnSender {
     local_host: String,
     peer: String,
     tx: Sender<Chunk>,
-    rx: Receiver<Chunk>,
-    assembler: FrameAssembler,
-    /// Frames completed by earlier chunks but not yet returned.
-    ready: Vec<(Vec<u8>, SimTime)>,
     fabric: Arc<FabricInner>,
 }
 
-impl Conn {
+impl ConnSender {
     /// The remote address or host this side talks to.
     pub fn peer(&self) -> &str {
         &self.peer
@@ -280,7 +282,12 @@ impl Conn {
     ///
     /// The frame serializes on this host's transmit NIC — concurrent
     /// frames from the same host queue behind each other — then takes one
-    /// propagation latency.
+    /// propagation latency. Sending is asynchronous and never advances
+    /// the fabric's shared clock: the virtual cost is encoded entirely in
+    /// the returned (and delivered) arrival time, and whoever *observes*
+    /// the frame land advances the clock then. Back-to-back sends
+    /// therefore pipeline instead of each charging the sender a one-way
+    /// trip.
     ///
     /// # Errors
     ///
@@ -289,8 +296,8 @@ impl Conn {
         self.send_frame_virtual(payload, at, 0)
     }
 
-    /// Like [`Conn::send_frame`], but charges the link as if the payload
-    /// were at least `virtual_len` bytes long.
+    /// Like [`ConnSender::send_frame`], but charges the link as if the
+    /// payload were at least `virtual_len` bytes long.
     ///
     /// This is the *modeled transfer* path: a tiny descriptor frame
     /// stands in for a bulk data package whose bytes are not actually
@@ -324,7 +331,6 @@ impl Conn {
             };
             grant.end + self.fabric.link.latency
         };
-        self.fabric.clock.advance_to(arrival);
         for chunk in segment(&frame) {
             self.tx
                 .send(Chunk {
@@ -334,6 +340,29 @@ impl Conn {
                 .map_err(|_| NetError::Disconnected)?;
         }
         Ok(arrival)
+    }
+}
+
+impl std::fmt::Debug for ConnSender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ConnSender({} -> {})", self.local_host, self.peer)
+    }
+}
+
+/// The receive half of a connection. See [`ConnSender`].
+pub struct ConnReceiver {
+    local_host: String,
+    peer: String,
+    rx: Receiver<Chunk>,
+    assembler: FrameAssembler,
+    /// Frames completed by earlier chunks but not yet returned.
+    ready: Vec<(Vec<u8>, SimTime)>,
+}
+
+impl ConnReceiver {
+    /// The remote address or host this side talks to.
+    pub fn peer(&self) -> &str {
+        &self.peer
     }
 
     /// Blocks until a whole frame is available; returns it with its
@@ -353,7 +382,7 @@ impl Conn {
         }
     }
 
-    /// Like [`Conn::recv_frame`] with a wall-clock timeout.
+    /// Like [`ConnReceiver::recv_frame`] with a wall-clock timeout.
     ///
     /// # Errors
     ///
@@ -393,7 +422,6 @@ impl Conn {
 
     fn ingest(&mut self, chunk: Chunk) -> Result<(), NetError> {
         let arrival = chunk.arrival;
-        self.fabric.clock.advance_to(arrival);
         for frame in self.assembler.push(&chunk.bytes)? {
             self.ready.push((frame, arrival));
         }
@@ -401,9 +429,119 @@ impl Conn {
     }
 }
 
+impl std::fmt::Debug for ConnReceiver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ConnReceiver({} -> {})", self.local_host, self.peer)
+    }
+}
+
+/// One side of an established connection: a [`ConnSender`] and a
+/// [`ConnReceiver`] joined at the hip. Use the delegating methods for
+/// simple lock-step request/reply traffic, or [`Conn::split`] to drive
+/// the two directions from different threads.
+pub struct Conn {
+    sender: ConnSender,
+    receiver: ConnReceiver,
+}
+
+impl Conn {
+    fn assemble(
+        local_host: String,
+        peer: String,
+        tx: Sender<Chunk>,
+        rx: Receiver<Chunk>,
+        fabric: Arc<FabricInner>,
+    ) -> Self {
+        Conn {
+            sender: ConnSender {
+                local_host: local_host.clone(),
+                peer: peer.clone(),
+                tx,
+                fabric: Arc::clone(&fabric),
+            },
+            receiver: ConnReceiver {
+                local_host,
+                peer,
+                rx,
+                assembler: FrameAssembler::new(),
+                ready: Vec::new(),
+            },
+        }
+    }
+
+    /// Splits the connection into independently owned transmit and
+    /// receive halves.
+    pub fn split(self) -> (ConnSender, ConnReceiver) {
+        (self.sender, self.receiver)
+    }
+
+    /// The remote address or host this side talks to.
+    pub fn peer(&self) -> &str {
+        &self.sender.peer
+    }
+
+    /// Sends one frame at virtual time `at`; returns its arrival time at
+    /// the peer. See [`ConnSender::send_frame`].
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Disconnected`] if the peer is gone.
+    pub fn send_frame(&mut self, payload: &[u8], at: SimTime) -> Result<SimTime, NetError> {
+        self.sender.send_frame(payload, at)
+    }
+
+    /// Sends one frame charged as at least `virtual_len` bytes. See
+    /// [`ConnSender::send_frame_virtual`].
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Disconnected`] if the peer is gone.
+    pub fn send_frame_virtual(
+        &mut self,
+        payload: &[u8],
+        at: SimTime,
+        virtual_len: u64,
+    ) -> Result<SimTime, NetError> {
+        self.sender.send_frame_virtual(payload, at, virtual_len)
+    }
+
+    /// Blocks until a whole frame is available. See
+    /// [`ConnReceiver::recv_frame`].
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Disconnected`] if the peer is gone before a frame
+    /// completes; [`NetError::BadFrame`] on corruption.
+    pub fn recv_frame(&mut self) -> Result<(Vec<u8>, SimTime), NetError> {
+        self.receiver.recv_frame()
+    }
+
+    /// Like [`Conn::recv_frame`] with a wall-clock timeout.
+    ///
+    /// # Errors
+    ///
+    /// Additionally returns [`NetError::Timeout`] on expiry.
+    pub fn recv_frame_timeout(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<(Vec<u8>, SimTime), NetError> {
+        self.receiver.recv_frame_timeout(timeout)
+    }
+
+    /// Receives a frame if one is already complete or completable from
+    /// queued chunks, without blocking.
+    pub fn try_recv_frame(&mut self) -> Result<Option<(Vec<u8>, SimTime)>, NetError> {
+        self.receiver.try_recv_frame()
+    }
+}
+
 impl std::fmt::Debug for Conn {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Conn({} -> {})", self.local_host, self.peer)
+        write!(
+            f,
+            "Conn({} -> {})",
+            self.sender.local_host, self.sender.peer
+        )
     }
 }
 
@@ -601,14 +739,54 @@ mod tests {
     }
 
     #[test]
-    fn clock_advances_with_traffic() {
+    fn split_halves_work_from_different_threads() {
+        let f = fabric();
+        let listener = f.bind("n:1").unwrap();
+        let client = f.connect("host", "n:1").unwrap();
+        let server = listener.accept().unwrap();
+        let (mut ctx, mut crx) = client.split();
+        assert_eq!(ctx.peer(), "n:1");
+        assert_eq!(crx.peer(), "n:1");
+        // Echo server on its own thread using the un-split API.
+        let echo = std::thread::spawn(move || {
+            let mut server = server;
+            for _ in 0..3 {
+                let (req, at) = server.recv_frame().unwrap();
+                server.send_frame(&req, at).unwrap();
+            }
+        });
+        // Transmit from this thread while a second drains replies.
+        let drain = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            for _ in 0..3 {
+                let (reply, _) = crx.recv_frame().unwrap();
+                got.push(reply);
+            }
+            got
+        });
+        for i in 0..3u8 {
+            ctx.send_frame(&[i], SimTime::ZERO).unwrap();
+        }
+        echo.join().unwrap();
+        let got = drain.join().unwrap();
+        assert_eq!(got, vec![vec![0u8], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn traffic_is_charged_to_arrival_times_not_the_clock() {
         let clock = Clock::new();
         let f = Fabric::new(clock.clone(), LinkModel::gigabit_ethernet());
         let listener = f.bind("n:1").unwrap();
         let mut client = f.connect("host", "n:1").unwrap();
         let mut server = listener.accept().unwrap();
-        client.send_frame(&vec![0u8; 125_000], SimTime::ZERO).unwrap();
-        server.recv_frame().unwrap();
-        assert!(clock.now() > SimTime::ZERO);
+        let sent = client
+            .send_frame(&vec![0u8; 125_000], SimTime::ZERO)
+            .unwrap();
+        let (_, arrival) = server.recv_frame().unwrap();
+        // The link's cost shows up in the frame's virtual arrival...
+        assert!(arrival > SimTime::ZERO);
+        assert_eq!(arrival, sent);
+        // ...while the shared clock is left to the observing endpoint.
+        assert_eq!(clock.now(), SimTime::ZERO);
     }
 }

@@ -41,5 +41,5 @@ pub mod messages;
 pub mod wire;
 
 pub use ids::{BufferId, EventId, KernelId, NodeId, ProgramId, QueueId, RequestId, UserId};
-pub use messages::{ApiCall, ApiReply, DeviceDescriptor, DeviceKind, Request, Response};
+pub use messages::{ApiCall, ApiReply, DeviceDescriptor, DeviceKind, Envelope, Request, Response};
 pub use wire::{Decode, Encode, WireError};

@@ -403,6 +403,58 @@ pub struct Response {
     pub body: ApiReply,
 }
 
+/// What one host→node control-plane frame carries.
+///
+/// The pipelined backbone coalesces small control messages that queue up
+/// while the host NIC is busy: instead of paying per-frame overhead for
+/// each, it packs every queued [`Request`] into one `Batch` frame. The
+/// node unpacks the envelope and answers each request with its own
+/// [`Response`] frame, preserving per-request correlation (and therefore
+/// out-of-order completion) end to end.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Envelope {
+    /// Exactly one request (the common uncongested case).
+    Single(Request),
+    /// Several requests coalesced into one transmission.
+    Batch(Vec<Request>),
+}
+
+impl Envelope {
+    /// The requests carried, in submission order.
+    pub fn into_requests(self) -> Vec<Request> {
+        match self {
+            Envelope::Single(request) => vec![request],
+            Envelope::Batch(requests) => requests,
+        }
+    }
+
+    /// How many requests the envelope carries.
+    pub fn len(&self) -> usize {
+        match self {
+            Envelope::Single(_) => 1,
+            Envelope::Batch(requests) => requests.len(),
+        }
+    }
+
+    /// Whether the envelope carries no requests (possible only for an
+    /// empty `Batch`, which well-formed senders never emit).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl From<Vec<Request>> for Envelope {
+    /// Wraps queued requests, collapsing a singleton into
+    /// [`Envelope::Single`].
+    fn from(mut requests: Vec<Request>) -> Self {
+        if requests.len() == 1 {
+            Envelope::Single(requests.pop().expect("len checked"))
+        } else {
+            Envelope::Batch(requests)
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // Codec implementations
 // ---------------------------------------------------------------------
@@ -996,6 +1048,39 @@ impl Decode for Response {
     }
 }
 
+impl Encode for Envelope {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Envelope::Single(request) => {
+                buf.put_u8(0);
+                request.encode(buf);
+            }
+            Envelope::Batch(requests) => {
+                buf.put_u8(1);
+                requests.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for Envelope {
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        if buf.remaining() < 1 {
+            return Err(WireError::UnexpectedEof { what: "Envelope" });
+        }
+        Ok(match buf.get_u8() {
+            0 => Envelope::Single(Decode::decode(buf)?),
+            1 => Envelope::Batch(Decode::decode(buf)?),
+            tag => {
+                return Err(WireError::InvalidTag {
+                    what: "Envelope",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1204,6 +1289,32 @@ mod tests {
     }
 
     #[test]
+    fn envelopes_roundtrip_and_unpack() {
+        let request = |n: u64| Request {
+            id: RequestId::new(n),
+            user: UserId::new(1),
+            sent_at_nanos: n * 10,
+            body: ApiCall::Ping,
+        };
+        roundtrip(Envelope::Single(request(1)));
+        roundtrip(Envelope::Batch(vec![request(1), request(2), request(3)]));
+
+        // From<Vec<_>> collapses singletons into the cheaper variant.
+        let single = Envelope::from(vec![request(7)]);
+        assert_eq!(single, Envelope::Single(request(7)));
+        assert_eq!(single.len(), 1);
+        assert!(!single.is_empty());
+
+        let batch = Envelope::from(vec![request(1), request(2)]);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(
+            batch.into_requests(),
+            vec![request(1), request(2)],
+            "submission order preserved"
+        );
+    }
+
+    #[test]
     fn status_codes_match_opencl_values() {
         assert_eq!(status::SUCCESS, 0);
         assert_eq!(status::INVALID_VALUE, -30);
@@ -1270,6 +1381,7 @@ mod proptests {
             let _ = decode_from_slice::<ApiReply>(&data);
             let _ = decode_from_slice::<Request>(&data);
             let _ = decode_from_slice::<Response>(&data);
+            let _ = decode_from_slice::<Envelope>(&data);
         }
     }
 }

@@ -363,7 +363,13 @@ mod tests {
     #[test]
     fn bad_bool_tag_rejected() {
         let err = decode_from_slice::<bool>(&[2]).unwrap_err();
-        assert!(matches!(err, WireError::InvalidTag { what: "bool", tag: 2 }));
+        assert!(matches!(
+            err,
+            WireError::InvalidTag {
+                what: "bool",
+                tag: 2
+            }
+        ));
     }
 
     #[test]

@@ -196,7 +196,12 @@ impl SchedulingPolicy for LocalityAware {
     ) -> Option<usize> {
         eligible
             .iter()
-            .max_by_key(|(_, d)| (d.local_bytes, std::cmp::Reverse((d.busy_until, d.queue_depth))))
+            .max_by_key(|(_, d)| {
+                (
+                    d.local_bytes,
+                    std::cmp::Reverse((d.busy_until, d.queue_depth)),
+                )
+            })
             .map(|(i, _)| *i)
     }
 }
@@ -250,7 +255,8 @@ mod tests {
         ];
         let batch = TaskSpec::new("mm").cost(CostModel::new().flops(1e10));
         assert_eq!(
-            p.place(&batch, &eligible(&views), &ProfileDb::new()).unwrap(),
+            p.place(&batch, &eligible(&views), &ProfileDb::new())
+                .unwrap(),
             1,
             "dense batch work goes to the GPU"
         );
@@ -258,7 +264,8 @@ mod tests {
             .cost(CostModel::new().flops(1e10).streaming())
             .fpga_eligible(true);
         assert_eq!(
-            p.place(&stream, &eligible(&views), &ProfileDb::new()).unwrap(),
+            p.place(&stream, &eligible(&views), &ProfileDb::new())
+                .unwrap(),
             2,
             "streaming work goes to the FPGA"
         );
@@ -292,7 +299,10 @@ mod tests {
             DeviceView::sample(1, 0, DeviceKind::Cpu),
         ];
         let t = TaskSpec::new("k").cost(CostModel::new().flops(1e9));
-        assert_eq!(p.place(&t, &eligible(&views), &ProfileDb::new()).unwrap(), 1);
+        assert_eq!(
+            p.place(&t, &eligible(&views), &ProfileDb::new()).unwrap(),
+            1
+        );
     }
 
     #[test]
@@ -306,7 +316,10 @@ mod tests {
         let t = TaskSpec::new("stream")
             .cost(CostModel::new().flops(1e10).streaming())
             .fpga_eligible(true);
-        assert_eq!(p.place(&t, &eligible(&views), &ProfileDb::new()).unwrap(), 1);
+        assert_eq!(
+            p.place(&t, &eligible(&views), &ProfileDb::new()).unwrap(),
+            1
+        );
     }
 
     #[test]
@@ -317,7 +330,10 @@ mod tests {
             DeviceView::sample(1, 0, DeviceKind::Gpu).with_local_bytes(1 << 20),
         ];
         let t = TaskSpec::new("k");
-        assert_eq!(p.place(&t, &eligible(&views), &ProfileDb::new()).unwrap(), 1);
+        assert_eq!(
+            p.place(&t, &eligible(&views), &ProfileDb::new()).unwrap(),
+            1
+        );
     }
 
     #[test]
@@ -328,7 +344,10 @@ mod tests {
             DeviceView::sample(1, 0, DeviceKind::Gpu),
         ];
         let t = TaskSpec::new("k");
-        assert_eq!(p.place(&t, &eligible(&views), &ProfileDb::new()).unwrap(), 1);
+        assert_eq!(
+            p.place(&t, &eligible(&views), &ProfileDb::new()).unwrap(),
+            1
+        );
     }
 
     #[test]

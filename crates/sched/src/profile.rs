@@ -55,9 +55,7 @@ impl ProfileDb {
     /// Records one observed execution time.
     pub fn record(&self, kernel: &str, kind: DeviceKind, duration: SimDuration) {
         let mut entries = self.entries.write();
-        let e = entries
-            .entry((kernel.to_string(), kind))
-            .or_default();
+        let e = entries.entry((kernel.to_string(), kind)).or_default();
         let nanos = duration.as_nanos() as f64;
         if e.runs == 0 {
             e.ema_nanos = nanos;

@@ -134,7 +134,10 @@ mod tests {
         r.acquire(SimTime::ZERO, SimDuration::from_nanos(100));
         let g = r.acquire(SimTime::from_nanos(30), SimDuration::from_nanos(10));
         assert_eq!(g.start, SimTime::from_nanos(100));
-        assert_eq!(g.queueing(SimTime::from_nanos(30)), SimDuration::from_nanos(70));
+        assert_eq!(
+            g.queueing(SimTime::from_nanos(30)),
+            SimDuration::from_nanos(70)
+        );
         assert_eq!(g.service(), SimDuration::from_nanos(10));
     }
 

@@ -22,7 +22,9 @@
 //! race-free here; a production GPU/bitstream build would use
 //! `atomic_inc`.
 
-use haocl::{Buffer, CommandQueue, Context, DeviceType, Error, Kernel, MemFlags, NdRange, Platform, Program};
+use haocl::{
+    Buffer, CommandQueue, Context, DeviceType, Error, Kernel, MemFlags, NdRange, Platform, Program,
+};
 use haocl_kernel::{
     ArgValue, CostModel, ExecError, ExecStats, GlobalBuffer, KernelRegistry, NativeKernel,
 };
@@ -236,8 +238,7 @@ impl NativeKernel for NativeBfsStep {
         for t in 0..nodes {
             let u = node_offset + t;
             if depth[u] == level {
-                for e in row_off[t] as usize..row_off[t + 1] as usize {
-                    let v = cols[e];
+                for &v in &cols[row_off[t] as usize..row_off[t + 1] as usize] {
                     visited += 1;
                     if depth[v as usize] == -1 {
                         let idx = count[0] as usize;
@@ -378,15 +379,29 @@ pub fn run(platform: &Platform, cfg: &BfsConfig, opts: &RunOptions) -> Result<Ru
             (cfg.avg_degree * r, Vec::new(), Vec::new())
         };
         let ro_d = create_buffer(&ctx, MemFlags::READ_ONLY, (4 * (r + 1)).max(8) as u64, full)?;
-        let cols_d =
-            create_buffer(&ctx, MemFlags::READ_ONLY, (4 * slice_edges).max(4) as u64, full)?;
+        let cols_d = create_buffer(
+            &ctx,
+            MemFlags::READ_ONLY,
+            (4 * slice_edges).max(4) as u64,
+            full,
+        )?;
         let depth_d = create_buffer(&ctx, MemFlags::READ_WRITE, depth_bytes, full)?;
-        let found_d =
-            create_buffer(&ctx, MemFlags::READ_WRITE, (4 * slice_edges).max(4) as u64, full)?;
+        let found_d = create_buffer(
+            &ctx,
+            MemFlags::READ_WRITE,
+            (4 * slice_edges).max(4) as u64,
+            full,
+        )?;
         let count_d = create_buffer(&ctx, MemFlags::READ_WRITE, 4, full)?;
         let updates_d = create_buffer(&ctx, MemFlags::READ_ONLY, (8 * n) as u64, full)?;
         if r > 0 {
-            write_buffer(queue, &ro_d, &i32s_to_bytes(&ro_local), 4 * (r as u64 + 1), full)?;
+            write_buffer(
+                queue,
+                &ro_d,
+                &i32s_to_bytes(&ro_local),
+                4 * (r as u64 + 1),
+                full,
+            )?;
             if slice_edges > 0 {
                 write_buffer(
                     queue,
@@ -415,7 +430,11 @@ pub fn run(platform: &Platform, cfg: &BfsConfig, opts: &RunOptions) -> Result<Ru
         });
     }
     // Steady-state measurement starts once the graph is resident.
-    let t0 = if opts.data_resident { platform.now() } else { t0 };
+    let t0 = if opts.data_resident {
+        platform.now()
+    } else {
+        t0
+    };
 
     // Level-synchronous iterations with delta exchange.
     let mut depth = initial_depth;

@@ -14,7 +14,9 @@
 //! says CFD would need on SnuCL-D (§IV-B); the SnuCL-D baseline rejects
 //! the workload accordingly.
 
-use haocl::{Buffer, CommandQueue, Context, DeviceType, Error, Kernel, MemFlags, NdRange, Platform, Program};
+use haocl::{
+    Buffer, CommandQueue, Context, DeviceType, Error, Kernel, MemFlags, NdRange, Platform, Program,
+};
 use haocl_kernel::{
     ArgValue, CostModel, ExecError, ExecStats, GlobalBuffer, KernelRegistry, NativeKernel,
 };
@@ -23,7 +25,9 @@ use rand::Rng;
 
 use crate::matmul::{buf_index, scalar_i32};
 use crate::report::{KernelMode, RunOptions, RunReport};
-use crate::util::{bytes_to_f32s, create_buffer, f32s_to_bytes, read_buffer, round_up, write_buffer};
+use crate::util::{
+    bytes_to_f32s, create_buffer, f32s_to_bytes, read_buffer, round_up, write_buffer,
+};
 
 /// The flux kernel name.
 pub const KERNEL_NAME: &str = "cfd_flux";
@@ -166,8 +170,8 @@ pub fn generate_state(cfg: &CfdConfig) -> (Vec<f32>, Vec<i32>) {
         vars.push(rng.gen_range(-1.0..1.0f32));
     }
     // Energy must dominate kinetic energy; shift it up.
-    for i in n..2 * n {
-        vars[i] = vars[i] * 0.1 + 2.0;
+    for v in &mut vars[n..2 * n] {
+        *v = *v * 0.1 + 2.0;
     }
     let w = cfg.window.max(1) as i64;
     let neigh: Vec<i32> = (0..n as i64)
@@ -295,8 +299,7 @@ impl NativeKernel for NativeCfdFlux {
                 let myn = vars[3 * s + nb];
                 let mzn = vars[4 * s + nb];
                 let p = 0.4f32 * (e - 0.5f32 * (mx * mx + my * my + mz * mz) / d);
-                let pn =
-                    0.4f32 * (en - 0.5f32 * (mxn * mxn + myn * myn + mzn * mzn) / dn);
+                let pn = 0.4f32 * (en - 0.5f32 * (mxn * mxn + myn * myn + mzn * mzn) / dn);
                 fd += dn - d;
                 fe += en - e + (pn - p);
                 fx += mxn - mx;
@@ -543,7 +546,11 @@ pub fn run(platform: &Platform, cfg: &CfdConfig, opts: &RunOptions) -> Result<Ru
     }
 
     // Steady-state measurement starts once the inputs are resident.
-    let t0 = if opts.data_resident { platform.now() } else { t0 };
+    let t0 = if opts.data_resident {
+        platform.now()
+    } else {
+        t0
+    };
 
     // Host-side boundary exports from the previous iteration:
     // (lo_export, hi_export) per device, 5·w floats each.

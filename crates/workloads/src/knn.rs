@@ -10,7 +10,9 @@
 //! Rodinia does, would drown the Gigabit link; that variant is kept as
 //! [`DIST_KERNEL_NAME`]).
 
-use haocl::{CommandQueue, Context, DeviceType, Error, Kernel, MemFlags, NdRange, Platform, Program};
+use haocl::{
+    CommandQueue, Context, DeviceType, Error, Kernel, MemFlags, NdRange, Platform, Program,
+};
 use haocl_kernel::{
     ArgValue, CostModel, ExecError, ExecStats, GlobalBuffer, KernelRegistry, NativeKernel,
 };
@@ -19,7 +21,9 @@ use rand::Rng;
 
 use crate::matmul::{buf_index, scalar_i32};
 use crate::report::{KernelMode, RunOptions, RunReport};
-use crate::util::{bytes_to_f32s, bytes_to_i32s, create_buffer, f32s_to_bytes, read_buffer, round_up, write_buffer};
+use crate::util::{
+    bytes_to_f32s, bytes_to_i32s, create_buffer, f32s_to_bytes, read_buffer, round_up, write_buffer,
+};
 
 /// The fused distance + top-k kernel.
 pub const KERNEL_NAME: &str = "nn_topk";
@@ -113,7 +117,9 @@ impl KnnConfig {
 /// Generates record coordinates.
 pub fn generate_records(cfg: &KnnConfig) -> (Vec<f32>, Vec<f32>) {
     let mut rng = labeled_rng(cfg.seed, "knn/records");
-    let lat: Vec<f32> = (0..cfg.records).map(|_| rng.gen_range(-90.0..90.0)).collect();
+    let lat: Vec<f32> = (0..cfg.records)
+        .map(|_| rng.gen_range(-90.0..90.0))
+        .collect();
     let lng: Vec<f32> = (0..cfg.records)
         .map(|_| rng.gen_range(-180.0..180.0))
         .collect();
@@ -123,7 +129,9 @@ pub fn generate_records(cfg: &KnnConfig) -> (Vec<f32>, Vec<f32>) {
 /// Generates the query batch.
 pub fn generate_queries(cfg: &KnnConfig) -> (Vec<f32>, Vec<f32>) {
     let mut rng = labeled_rng(cfg.seed, "knn/queries");
-    let lat: Vec<f32> = (0..cfg.queries).map(|_| rng.gen_range(-90.0..90.0)).collect();
+    let lat: Vec<f32> = (0..cfg.queries)
+        .map(|_| rng.gen_range(-90.0..90.0))
+        .collect();
     let lng: Vec<f32> = (0..cfg.queries)
         .map(|_| rng.gen_range(-180.0..180.0))
         .collect();
@@ -293,7 +301,9 @@ pub fn run(platform: &Platform, cfg: &KnnConfig, opts: &RunOptions) -> Result<Ru
         .map(|d| CommandQueue::new(&ctx, d))
         .collect::<Result<_, _>>()?;
     let program = match opts.mode {
-        KernelMode::Native => Program::with_bitstream_kernels(&ctx, [KERNEL_NAME, DIST_KERNEL_NAME]),
+        KernelMode::Native => {
+            Program::with_bitstream_kernels(&ctx, [KERNEL_NAME, DIST_KERNEL_NAME])
+        }
         KernelMode::Source => Program::from_source(&ctx, KERNEL_SOURCE),
     };
     program.build()?;
@@ -343,10 +353,22 @@ pub fn run(platform: &Platform, cfg: &KnnConfig, opts: &RunOptions) -> Result<Ru
             write_buffer(queue, &lat_d, &lat_block, (n * 4) as u64, full)?;
             write_buffer(queue, &lng_d, &lng_block, (n * 4) as u64, full)?;
         }
-        parts.push((lat_d, lng_d, qlat_d, qlng_d, out_dist_d, out_idx_d, range.clone()));
+        parts.push((
+            lat_d,
+            lng_d,
+            qlat_d,
+            qlng_d,
+            out_dist_d,
+            out_idx_d,
+            range.clone(),
+        ));
     }
     // Steady-state measurement starts once the records are resident.
-    let t0 = if opts.data_resident { platform.now() } else { t0 };
+    let t0 = if opts.data_resident {
+        platform.now()
+    } else {
+        t0
+    };
 
     // Ship the query batch and launch the fused top-k on every partition.
     let (qlat, qlng) = if full {
@@ -361,8 +383,16 @@ pub fn run(platform: &Platform, cfg: &KnnConfig, opts: &RunOptions) -> Result<Ru
         if n == 0 {
             continue;
         }
-        let qlat_data = if full { f32s_to_bytes(&qlat) } else { Vec::new() };
-        let qlng_data = if full { f32s_to_bytes(&qlng) } else { Vec::new() };
+        let qlat_data = if full {
+            f32s_to_bytes(&qlat)
+        } else {
+            Vec::new()
+        };
+        let qlng_data = if full {
+            f32s_to_bytes(&qlng)
+        } else {
+            Vec::new()
+        };
         write_buffer(queue, qlat_d, &qlat_data, (nq * 4) as u64, full)?;
         write_buffer(queue, qlng_d, &qlng_data, (nq * 4) as u64, full)?;
         kernel.set_arg_buffer(0, lat_d)?;
@@ -375,10 +405,7 @@ pub fn run(platform: &Platform, cfg: &KnnConfig, opts: &RunOptions) -> Result<Ru
         kernel.set_arg_i32(7, nq as i32)?;
         kernel.set_arg_i32(8, k as i32)?;
         kernel.set_cost(launch_cost(n, nq, k));
-        queue.enqueue_nd_range_kernel(
-            &kernel,
-            NdRange::linear(round_up(nq as u64, 8), 8),
-        )?;
+        queue.enqueue_nd_range_kernel(&kernel, NdRange::linear(round_up(nq as u64, 8), 8))?;
     }
     for queue in &queues {
         queue.finish();
@@ -414,8 +441,7 @@ pub fn run(platform: &Platform, cfg: &KnnConfig, opts: &RunOptions) -> Result<Ru
         if opts.verify {
             let expect = reference(&lat, &lng, cfg);
             verified = Some(merged.iter().zip(&expect).all(|(m, e)| {
-                m.len() == e.len()
-                    && m.iter().zip(e).all(|(a, b)| (a.1 - b.1).abs() < 1e-5)
+                m.len() == e.len() && m.iter().zip(e).all(|(a, b)| (a.1 - b.1).abs() < 1e-5)
             }));
         }
     } else {
@@ -503,13 +529,13 @@ mod tests {
         let cfg = KnnConfig::test_scale();
         let p = platform(&[DeviceKind::Gpu]);
         let cold = run(&p, &cfg, &RunOptions::modeled()).unwrap();
-        let warm = run(
-            &p,
-            &cfg,
-            &crate::report::RunOptions::modeled_resident(),
-        )
-        .unwrap();
-        assert!(warm.makespan < cold.makespan, "{} vs {}", warm.makespan, cold.makespan);
+        let warm = run(&p, &cfg, &crate::report::RunOptions::modeled_resident()).unwrap();
+        assert!(
+            warm.makespan < cold.makespan,
+            "{} vs {}",
+            warm.makespan,
+            cold.makespan
+        );
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! portions" — each device receives a horizontal block of `A`, the whole
 //! of `B`, and computes the matching block of `C = A·B`.
 
-use haocl::{CommandQueue, Context, DeviceType, Error, Kernel, MemFlags, NdRange, Platform, Program};
+use haocl::{
+    CommandQueue, Context, DeviceType, Error, Kernel, MemFlags, NdRange, Platform, Program,
+};
 use haocl_kernel::{
     ArgValue, CostModel, ExecError, ExecStats, GlobalBuffer, KernelRegistry, NativeKernel,
 };
@@ -14,7 +16,9 @@ use haocl_sim::rng::labeled_rng;
 use rand::Rng;
 
 use crate::report::{KernelMode, RunOptions, RunReport};
-use crate::util::{bytes_to_f32s, create_buffer, f32s_to_bytes, read_buffer, round_up, write_buffer};
+use crate::util::{
+    bytes_to_f32s, create_buffer, f32s_to_bytes, read_buffer, round_up, write_buffer,
+};
 
 /// The kernel name in both source and bitstream form.
 pub const KERNEL_NAME: &str = "matmul";
@@ -69,7 +73,9 @@ impl MatmulConfig {
 /// Generates a random `n × n` matrix (row-major).
 pub fn generate_matrix(cfg: &MatmulConfig, label: &str) -> Vec<f32> {
     let mut rng = labeled_rng(cfg.seed, &format!("matmul/{label}"));
-    (0..cfg.n * cfg.n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    (0..cfg.n * cfg.n)
+        .map(|_| rng.gen_range(-1.0..1.0))
+        .collect()
 }
 
 /// Host reference `C = A·B` (row-major), matching kernel FLOP order.
@@ -122,10 +128,9 @@ impl NativeKernel for NativeMatmul {
         _range: &NdRange,
     ) -> Result<ExecStats, ExecError> {
         let (n, rows) = match (args[3], args[4]) {
-            (ArgValue::Scalar(nv), ArgValue::Scalar(rv)) => (
-                scalar_i32(nv)? as usize,
-                scalar_i32(rv)? as usize,
-            ),
+            (ArgValue::Scalar(nv), ArgValue::Scalar(rv)) => {
+                (scalar_i32(nv)? as usize, scalar_i32(rv)? as usize)
+            }
             _ => return Err(ExecError::from_message("matmul: n/rows must be scalars")),
         };
         let a = bytes_to_f32s(buffers[buf_index(args, 0)?].as_bytes());
@@ -181,11 +186,7 @@ pub fn register_natives(registry: &KernelRegistry) {
 /// # Errors
 ///
 /// Propagates any API or transport failure from the wrapper library.
-pub fn run(
-    platform: &Platform,
-    cfg: &MatmulConfig,
-    opts: &RunOptions,
-) -> Result<RunReport, Error> {
+pub fn run(platform: &Platform, cfg: &MatmulConfig, opts: &RunOptions) -> Result<RunReport, Error> {
     let devices = platform.devices(DeviceType::All);
     let ctx = Context::new(platform, &devices)?;
     let queues: Vec<CommandQueue> = devices
@@ -242,7 +243,11 @@ pub fn run(
         parts.push((a_d, b_d, c_d, range.clone()));
     }
     // Steady-state measurement starts once the inputs are resident.
-    let t0 = if opts.data_resident { platform.now() } else { t0 };
+    let t0 = if opts.data_resident {
+        platform.now()
+    } else {
+        t0
+    };
 
     for (queue, (a_d, b_d, c_d, range)) in queues.iter().zip(&parts) {
         let rows = range.len();

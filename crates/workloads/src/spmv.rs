@@ -10,7 +10,10 @@
 //! * [`KERNEL_NAME`] — the compute stage: the CSR multiply, a streaming
 //!   pass FPGAs digest well.
 
-use haocl::{CommandQueue, Context, Device, DeviceType, Error, Kernel, MemFlags, NdRange, Platform, Program, Status};
+use haocl::{
+    CommandQueue, Context, Device, DeviceType, Error, Kernel, MemFlags, NdRange, Platform, Program,
+    Status,
+};
 use haocl_kernel::{
     ArgValue, CostModel, ExecError, ExecStats, GlobalBuffer, KernelRegistry, NativeKernel,
 };
@@ -21,8 +24,7 @@ use crate::matmul::{buf_index, scalar_i32};
 use crate::partition::nnz_balanced_rows;
 use crate::report::{KernelMode, RunOptions, RunReport};
 use crate::util::{
-    bytes_to_f32s, create_buffer, f32s_to_bytes, i32s_to_bytes, read_buffer, round_up,
-    write_buffer,
+    bytes_to_f32s, create_buffer, f32s_to_bytes, i32s_to_bytes, read_buffer, round_up, write_buffer,
 };
 
 /// The compute-stage kernel name.
@@ -157,12 +159,12 @@ pub fn generate_vector(cfg: &SpmvConfig) -> Vec<f32> {
 /// Host reference `y = A·x`, matching kernel FLOP order.
 pub fn reference(m: &CsrMatrix, x: &[f32]) -> Vec<f32> {
     let mut y = vec![0.0f32; m.rows()];
-    for i in 0..m.rows() {
+    for (i, out) in y.iter_mut().enumerate() {
         let mut acc = 0.0f32;
         for j in m.row_ptr[i] as usize..m.row_ptr[i + 1] as usize {
             acc += m.vals[j] * x[m.cols[j] as usize];
         }
-        y[i] = acc;
+        *out = acc;
     }
     y
 }
@@ -315,9 +317,7 @@ fn run_on(
     let all = platform.devices(DeviceType::All);
     let ctx = Context::new(platform, &all)?;
     let program = match opts.mode {
-        KernelMode::Native => {
-            Program::with_bitstream_kernels(&ctx, [KERNEL_NAME, NNZ_KERNEL_NAME])
-        }
+        KernelMode::Native => Program::with_bitstream_kernels(&ctx, [KERNEL_NAME, NNZ_KERNEL_NAME]),
         KernelMode::Source => Program::from_source(&ctx, KERNEL_SOURCE),
     };
     program.build()?;
@@ -405,7 +405,12 @@ fn run_on(
             let vl = matrix.vals[lo..hi].to_vec();
             (hi - lo, rp, cl, vl)
         } else {
-            (approx_nnz / compute_devices.len().max(1), Vec::new(), Vec::new(), Vec::new())
+            (
+                approx_nnz / compute_devices.len().max(1),
+                Vec::new(),
+                Vec::new(),
+                Vec::new(),
+            )
         };
         let rp_bytes = (4 * (r + 1)).max(8) as u64;
         let cols_bytes = (4 * part_nnz).max(4) as u64;
@@ -417,10 +422,28 @@ fn run_on(
         let x_d = create_buffer(&ctx, MemFlags::READ_ONLY, x_bytes, full)?;
         let y_d = create_buffer(&ctx, MemFlags::WRITE_ONLY, y_bytes, full)?;
         if r > 0 {
-            write_buffer(queue, &rp_d, &i32s_to_bytes(&rp_local), rp_bytes.min(4 * (r as u64 + 1)), full)?;
+            write_buffer(
+                queue,
+                &rp_d,
+                &i32s_to_bytes(&rp_local),
+                rp_bytes.min(4 * (r as u64 + 1)),
+                full,
+            )?;
             if part_nnz > 0 {
-                write_buffer(queue, &cols_d, &i32s_to_bytes(&cols_local), (4 * part_nnz) as u64, full)?;
-                write_buffer(queue, &vals_d, &f32s_to_bytes(&vals_local), (4 * part_nnz) as u64, full)?;
+                write_buffer(
+                    queue,
+                    &cols_d,
+                    &i32s_to_bytes(&cols_local),
+                    (4 * part_nnz) as u64,
+                    full,
+                )?;
+                write_buffer(
+                    queue,
+                    &vals_d,
+                    &f32s_to_bytes(&vals_local),
+                    (4 * part_nnz) as u64,
+                    full,
+                )?;
             }
             let x_data = if full { f32s_to_bytes(&x) } else { Vec::new() };
             write_buffer(queue, &x_d, &x_data, x_bytes, full)?;
@@ -430,7 +453,11 @@ fn run_on(
 
     // Steady-state measurement starts once the matrix and vector are
     // resident on the compute devices.
-    let t0 = if opts.data_resident { platform.now() } else { t0 };
+    let t0 = if opts.data_resident {
+        platform.now()
+    } else {
+        t0
+    };
 
     for (queue, (rp_d, cols_d, vals_d, x_d, y_d, range, part_nnz)) in queues.iter().zip(&parts) {
         let r = range.len();
@@ -444,10 +471,7 @@ fn run_on(
         csr_kernel.set_arg_buffer(4, y_d)?;
         csr_kernel.set_arg_i32(5, r as i32)?;
         csr_kernel.set_cost(compute_cost(r, *part_nnz));
-        queue.enqueue_nd_range_kernel(
-            &csr_kernel,
-            NdRange::linear(round_up(r as u64, 64), 64),
-        )?;
+        queue.enqueue_nd_range_kernel(&csr_kernel, NdRange::linear(round_up(r as u64, 64), 64))?;
     }
     for queue in &queues {
         queue.finish();
@@ -461,8 +485,8 @@ fn run_on(
             if r == 0 {
                 continue;
             }
-            let bytes = read_buffer(queue, y_d, (4 * r) as u64, true)?
-                .expect("full fidelity returns data");
+            let bytes =
+                read_buffer(queue, y_d, (4 * r) as u64, true)?.expect("full fidelity returns data");
             y[range.clone()].copy_from_slice(&bytes_to_f32s(&bytes));
         }
         if opts.verify {

@@ -1,7 +1,7 @@
 //! Driver plumbing shared by the workload modules.
 
-use haocl::{Buffer, CommandQueue, Context, Error, MemFlags};
 use haocl::platform::Device;
+use haocl::{Buffer, CommandQueue, Context, Error, MemFlags};
 use haocl_kernel::CostModel;
 use haocl_sched::policy::estimate_time;
 use haocl_sched::{DeviceView, TaskSpec};

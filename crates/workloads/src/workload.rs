@@ -101,8 +101,7 @@ mod tests {
     #[test]
     fn whole_test_suite_verifies_on_one_gpu() {
         let platform =
-            Platform::local_with_registry(&[DeviceKind::Gpu], crate::registry_with_all())
-                .unwrap();
+            Platform::local_with_registry(&[DeviceKind::Gpu], crate::registry_with_all()).unwrap();
         for w in Workload::test_suite() {
             let report = w.run(&platform, &RunOptions::full()).unwrap();
             assert_eq!(report.verified, Some(true), "{report}");

@@ -36,8 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("host reference: {reached} reachable, max depth {max_depth}");
 
     for nodes in [1usize, 2, 4] {
-        let platform =
-            Platform::cluster(&ClusterConfig::gpu_cluster(nodes), registry_with_all())?;
+        let platform = Platform::cluster(&ClusterConfig::gpu_cluster(nodes), registry_with_all())?;
         let report = bfs::run(&platform, &cfg, &RunOptions::full())?;
         assert_eq!(report.verified, Some(true));
         let transfer_share = 100.0 * report.phases.fraction(Phase::DataTransfer);

@@ -12,8 +12,8 @@
 //! ```
 
 use haocl::auto::AutoScheduler;
-use haocl::{Buffer, Context, DeviceKind, DeviceType, Fidelity, MemFlags, Platform, Program};
 use haocl::kernel::Kernel;
+use haocl::{Buffer, Context, DeviceKind, DeviceType, Fidelity, MemFlags, Platform, Program};
 use haocl_kernel::{CostModel, NdRange};
 use haocl_sched::policies::{HeteroAware, RoundRobin};
 use haocl_sched::{DeviceView, ProfileDb, SchedulingPolicy, TaskSpec};
@@ -68,7 +68,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // A fresh 2 GPU + 2 FPGA node so each policy starts from idle
         // timelines.
         let platform = Platform::local_with_registry(
-            &[DeviceKind::Gpu, DeviceKind::Gpu, DeviceKind::Fpga, DeviceKind::Fpga],
+            &[
+                DeviceKind::Gpu,
+                DeviceKind::Gpu,
+                DeviceKind::Fpga,
+                DeviceKind::Fpga,
+            ],
             registry_with_all(),
         )?;
         let ctx = Context::new(&platform, &platform.devices(DeviceType::All))?;
@@ -77,7 +82,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // streaming pass.
         let program = Program::with_bitstream_kernels(
             &ctx,
-            [haocl_workloads::matmul::KERNEL_NAME, haocl_workloads::spmv::KERNEL_NAME],
+            [
+                haocl_workloads::matmul::KERNEL_NAME,
+                haocl_workloads::spmv::KERNEL_NAME,
+            ],
         );
         program.build()?;
         let mk = |name: &str, cost: CostModel| -> Result<Kernel, haocl::Error> {

@@ -18,8 +18,7 @@ use haocl_workloads::{registry_with_all, RunOptions};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== full fidelity (small, executed and verified) ==");
     for nodes in [1usize, 2, 4] {
-        let platform =
-            Platform::cluster(&ClusterConfig::gpu_cluster(nodes), registry_with_all())?;
+        let platform = Platform::cluster(&ClusterConfig::gpu_cluster(nodes), registry_with_all())?;
         let report = matmul::run(&platform, &MatmulConfig::test_scale(), &RunOptions::full())?;
         println!("  {report}");
         assert_eq!(report.verified, Some(true));
@@ -30,8 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = MatmulConfig::paper_scale();
     let mut single = None;
     for nodes in [1usize, 2, 4, 8, 16] {
-        let platform =
-            Platform::cluster(&ClusterConfig::gpu_cluster(nodes), registry_with_all())?;
+        let platform = Platform::cluster(&ClusterConfig::gpu_cluster(nodes), registry_with_all())?;
         let report = matmul::run(&platform, &cfg, &RunOptions::modeled())?;
         let base = *single.get_or_insert(report.makespan);
         println!(

@@ -9,8 +9,8 @@
 //! cargo run --example quickstart
 //! ```
 
-use haocl::{Buffer, CommandQueue, Context, DeviceType, MemFlags, NdRange, Platform, Program};
 use haocl::kernel::Kernel;
+use haocl::{Buffer, CommandQueue, Context, DeviceType, MemFlags, NdRange, Platform, Program};
 use haocl_cluster::ClusterConfig;
 use haocl_kernel::{CostModel, KernelRegistry};
 
@@ -28,7 +28,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // management processes run as real threads exchanging real messages.
     let platform = Platform::cluster(&ClusterConfig::gpu_cluster(4), KernelRegistry::new())?;
     let devices = platform.devices(DeviceType::Gpu);
-    println!("platform `{}` with {} device(s):", platform.name(), devices.len());
+    println!(
+        "platform `{}` with {} device(s):",
+        platform.name(),
+        devices.len()
+    );
     for d in &devices {
         println!("  [{}] {} on node {}", d.index(), d.name(), d.node_name());
     }
@@ -50,8 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let x = Buffer::new(&context, MemFlags::READ_ONLY, (per * 4) as u64)?;
         let y = Buffer::new(&context, MemFlags::READ_WRITE, (per * 4) as u64)?;
         let lo = di * per;
-        let to_bytes =
-            |v: &[f32]| -> Vec<u8> { v.iter().flat_map(|f| f.to_le_bytes()).collect() };
+        let to_bytes = |v: &[f32]| -> Vec<u8> { v.iter().flat_map(|f| f.to_le_bytes()).collect() };
         queue.enqueue_write_buffer(&x, 0, &to_bytes(&x_host[lo..lo + per]))?;
         queue.enqueue_write_buffer(&y, 0, &to_bytes(&y_host[lo..lo + per]))?;
         kernel.set_arg_f32(0, 2.0)?;

@@ -1,8 +1,8 @@
 //! Conformance battery for the OpenCL C compiler + VM: tricky kernels
 //! whose expected outputs are computed by independent host Rust code.
 
-use haocl_clc::vm::{run_ndrange, ArgValue, GlobalBuffer, NdRange};
 use haocl_clc::compile;
+use haocl_clc::vm::{run_ndrange, ArgValue, GlobalBuffer, NdRange};
 
 fn run_i32(src: &str, kernel: &str, args: &[ArgValue], bufs: &mut [GlobalBuffer], range: NdRange) {
     let program = compile(src).expect("compile");
@@ -27,11 +27,14 @@ fn integer_type_coercions_follow_c_rules() {
         out[7] = -(a);                   // unary minus
     }"#;
     let mut bufs = vec![GlobalBuffer::zeroed(8 * 4)];
-    run_i32(src, "t", &[ArgValue::global(0)], &mut bufs, NdRange::linear(1, 1));
-    assert_eq!(
-        bufs[0].as_i32(),
-        vec![-4, 7, 1, 48, -3, -1, 3, 7]
+    run_i32(
+        src,
+        "t",
+        &[ArgValue::global(0)],
+        &mut bufs,
+        NdRange::linear(1, 1),
     );
+    assert_eq!(bufs[0].as_i32(), vec![-4, 7, 1, 48, -3, -1, 3, 7]);
 }
 
 #[test]
@@ -122,7 +125,13 @@ fn multi_barrier_pipeline_is_correct() {
     }"#;
     let input: Vec<i32> = (0..16).collect();
     let mut bufs = vec![GlobalBuffer::from_i32(&input)];
-    run_i32(src, "rot2", &[ArgValue::global(0)], &mut bufs, NdRange::linear(16, 16));
+    run_i32(
+        src,
+        "rot2",
+        &[ArgValue::global(0)],
+        &mut bufs,
+        NdRange::linear(16, 16),
+    );
     // Two rotations by one => shift by two.
     let expect: Vec<i32> = (0..16).map(|i| (i + 2) % 16).collect();
     assert_eq!(bufs[0].as_i32(), expect);
@@ -136,9 +145,15 @@ fn float_math_builtins_match_rust() {
         x[i] = sqrt(fabs(v)) + sin(v) * cos(v) + exp(v / 10.0f) + log(fabs(v) + 1.0f)
              + pow(fabs(v), 1.5f) + floor(v) + ceil(v) + fmin(v, 0.5f) + fmax(v, -0.5f);
     }"#;
-    let input: Vec<f32> = vec![-2.5, -0.1, 0.0, 0.7, 3.14159];
+    let input: Vec<f32> = vec![-2.5, -0.1, 0.0, 0.7, 3.25];
     let mut bufs = vec![GlobalBuffer::from_f32(&input)];
-    run_i32(src, "m", &[ArgValue::global(0)], &mut bufs, NdRange::linear(5, 1));
+    run_i32(
+        src,
+        "m",
+        &[ArgValue::global(0)],
+        &mut bufs,
+        NdRange::linear(5, 1),
+    );
     let out = bufs[0].as_f32();
     for (i, &v) in input.iter().enumerate() {
         let expect = v.abs().sqrt()
@@ -171,7 +186,11 @@ fn three_dimensional_ranges_enumerate_every_item() {
     run_i32(
         src,
         "mark",
-        &[ArgValue::global(0), ArgValue::from_i32(nx as i32), ArgValue::from_i32(ny as i32)],
+        &[
+            ArgValue::global(0),
+            ArgValue::from_i32(nx as i32),
+            ArgValue::from_i32(ny as i32),
+        ],
         &mut bufs,
         NdRange::d3([nx, ny, nz], [2, 1, 1]),
     );
@@ -208,7 +227,13 @@ fn do_while_and_compound_assignments() {
         out[2] = z;
     }"#;
     let mut bufs = vec![GlobalBuffer::zeroed(12)];
-    run_i32(src, "t", &[ArgValue::global(0)], &mut bufs, NdRange::linear(1, 1));
+    run_i32(
+        src,
+        "t",
+        &[ArgValue::global(0)],
+        &mut bufs,
+        NdRange::linear(1, 1),
+    );
     // Oracles.
     let mut x = 1i32;
     loop {
@@ -242,7 +267,13 @@ fn pre_and_post_increment_as_values() {
         out[5] = i;
     }"#;
     let mut bufs = vec![GlobalBuffer::zeroed(24)];
-    run_i32(src, "t", &[ArgValue::global(0)], &mut bufs, NdRange::linear(1, 1));
+    run_i32(
+        src,
+        "t",
+        &[ArgValue::global(0)],
+        &mut bufs,
+        NdRange::linear(1, 1),
+    );
     assert_eq!(bufs[0].as_i32(), vec![5, 6, 7, 7, 5, 5]);
 }
 
@@ -259,7 +290,11 @@ fn constant_pointer_parameters_are_readable() {
     run_i32(
         src,
         "t",
-        &[ArgValue::global(0), ArgValue::global(1), ArgValue::from_i32(3)],
+        &[
+            ArgValue::global(0),
+            ArgValue::global(1),
+            ArgValue::from_i32(3),
+        ],
         &mut bufs,
         NdRange::linear(3, 1),
     );
@@ -273,6 +308,12 @@ fn double_precision_kernels_work() {
         x[i] = sqrt(x[i]) + 0.5;
     }"#;
     let mut bufs = vec![GlobalBuffer::from_f64(&[4.0, 9.0, 16.0])];
-    run_i32(src, "t", &[ArgValue::global(0)], &mut bufs, NdRange::linear(3, 1));
+    run_i32(
+        src,
+        "t",
+        &[ArgValue::global(0)],
+        &mut bufs,
+        NdRange::linear(3, 1),
+    );
     assert_eq!(bufs[0].as_f64(), vec![2.5, 3.5, 4.5]);
 }

@@ -43,10 +43,8 @@ fn suite_verifies_on_fpga_only_nodes() {
 
 #[test]
 fn suite_verifies_on_a_fat_multi_device_node() {
-    let config = ClusterConfig::parse(
-        "host 10.0.0.1:7000\nnode fat0 10.0.9.1:7100 cpu,gpu,fpga\n",
-    )
-    .unwrap();
+    let config =
+        ClusterConfig::parse("host 10.0.0.1:7000\nnode fat0 10.0.9.1:7100 cpu,gpu,fpga\n").unwrap();
     verify_suite_on(&config);
 }
 

@@ -39,7 +39,9 @@ fn source_program_runs_identically_on_every_node_of_a_cluster() {
     for device in &devices {
         let queue = CommandQueue::new(&ctx, device).unwrap();
         let buf = Buffer::new(&ctx, MemFlags::READ_WRITE, 256).unwrap();
-        queue.enqueue_write_buffer(&buf, 0, &to_bytes(&input)).unwrap();
+        queue
+            .enqueue_write_buffer(&buf, 0, &to_bytes(&input))
+            .unwrap();
         kernel.set_arg_buffer(0, &buf).unwrap();
         kernel.set_arg_i32(1, 64).unwrap();
         queue
@@ -97,7 +99,10 @@ fn coherence_moves_data_across_nodes_through_the_host() {
         .map(|d| CommandQueue::new(&ctx, d).unwrap())
         .collect();
     let buf = Buffer::new(&ctx, MemFlags::READ_WRITE, 16).unwrap();
-    let init: Vec<u8> = [10i32, 20, 30, 40].iter().flat_map(|v| v.to_le_bytes()).collect();
+    let init: Vec<u8> = [10i32, 20, 30, 40]
+        .iter()
+        .flat_map(|v| v.to_le_bytes())
+        .collect();
     queues[0].enqueue_write_buffer(&buf, 0, &init).unwrap();
     kernel.set_arg_buffer(0, &buf).unwrap();
     queues[1]
@@ -151,10 +156,7 @@ fn kernel_launch_is_asynchronous_in_virtual_time() {
         Platform::cluster(&ClusterConfig::gpu_cluster(1), KernelRegistry::new()).unwrap();
     let devices = platform.devices(DeviceType::All);
     let ctx = Context::new(&platform, &devices).unwrap();
-    let program = Program::from_source(
-        &ctx,
-        "__kernel void f(__global float* a) { a[0] = 1.0f; }",
-    );
+    let program = Program::from_source(&ctx, "__kernel void f(__global float* a) { a[0] = 1.0f; }");
     program.build().unwrap();
     let kernel = Kernel::new(&program, "f").unwrap();
     kernel.set_fidelity(Fidelity::Modeled);

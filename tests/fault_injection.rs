@@ -33,6 +33,52 @@ fn killed_node_fails_fast_and_others_survive() {
 }
 
 #[test]
+fn killed_node_fails_in_flight_pending_calls_cleanly() {
+    let mut cluster =
+        LocalCluster::launch(&ClusterConfig::gpu_cluster(2), KernelRegistry::new()).unwrap();
+    // Fill node 1's pipeline, then kill it with the calls in flight.
+    // Depending on how far the daemon got, each call either completed
+    // (its response was already delivered) or must fail with a clean
+    // transport error — never hang, never panic.
+    let pending: Vec<_> = (0..8)
+        .map(|_| {
+            cluster
+                .host()
+                .submit(NodeId::new(1), ApiCall::Ping)
+                .unwrap()
+        })
+        .collect();
+    assert!(cluster.kill_node(1));
+    for call in pending {
+        match call.wait() {
+            Ok(outcome) => assert!(matches!(outcome.reply, ApiReply::Pong { .. })),
+            Err(err) => assert!(
+                err.to_string().contains("disconnected") || err.to_string().contains("backbone"),
+                "unexpected error: {err}"
+            ),
+        }
+    }
+    // New submissions to the dead node fail outright (at submit or on
+    // the returned call), while node 0 keeps serving.
+    let result = cluster
+        .host()
+        .submit(NodeId::new(1), ApiCall::Ping)
+        .and_then(|call| call.wait());
+    let err = result.unwrap_err();
+    assert!(
+        err.to_string().contains("disconnected") || err.to_string().contains("backbone"),
+        "unexpected error: {err}"
+    );
+    let outcome = cluster
+        .host()
+        .submit(NodeId::new(0), ApiCall::Ping)
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert!(matches!(outcome.reply, ApiReply::Pong { .. }));
+}
+
+#[test]
 fn cluster_profiles_reflect_completed_launches() {
     use haocl::kernel::Kernel;
     use haocl::{Buffer, CommandQueue, Context, DeviceType, MemFlags, Platform, Program};
@@ -54,9 +100,11 @@ fn cluster_profiles_reflect_completed_launches() {
     let q0 = CommandQueue::new(&ctx, &devices[0]).unwrap();
     let q1 = CommandQueue::new(&ctx, &devices[1]).unwrap();
     for _ in 0..3 {
-        q0.enqueue_nd_range_kernel(&kernel, NdRange::linear(1, 1)).unwrap();
+        q0.enqueue_nd_range_kernel(&kernel, NdRange::linear(1, 1))
+            .unwrap();
     }
-    q1.enqueue_nd_range_kernel(&kernel, NdRange::linear(1, 1)).unwrap();
+    q1.enqueue_nd_range_kernel(&kernel, NdRange::linear(1, 1))
+        .unwrap();
 
     let profiles = platform.query_profiles().unwrap();
     assert_eq!(profiles.len(), 2);

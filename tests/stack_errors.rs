@@ -40,9 +40,12 @@ fn kernel_runtime_oob_surfaces_with_kernel_args_status() {
     let kernel = Kernel::new(&program, "oob").unwrap();
     let buf = Buffer::new(&ctx, MemFlags::READ_WRITE, 16).unwrap();
     kernel.set_arg_buffer(0, &buf).unwrap();
-    let err = queue
+    // The launch submits without blocking; the runtime failure arrives
+    // with the node's response and surfaces on the event.
+    let ev = queue
         .enqueue_nd_range_kernel(&kernel, NdRange::linear(1, 1))
-        .unwrap_err();
+        .unwrap();
+    let err = ev.wait().unwrap_err();
     assert_eq!(err.status(), Some(Status::InvalidKernelArgs));
     assert!(err.to_string().contains("out-of-bounds"));
     // The buffer survives the failed launch.
@@ -63,9 +66,10 @@ fn division_by_zero_in_kernel_is_reported() {
     let kernel = Kernel::new(&program, "dz").unwrap();
     let buf = Buffer::new(&ctx, MemFlags::READ_WRITE, 8).unwrap();
     kernel.set_arg_buffer(0, &buf).unwrap();
-    let err = queue
+    let ev = queue
         .enqueue_nd_range_kernel(&kernel, NdRange::linear(1, 1))
-        .unwrap_err();
+        .unwrap();
+    let err = ev.wait().unwrap_err();
     assert!(err.to_string().contains("division by zero"));
 }
 
@@ -94,18 +98,17 @@ fn wrong_workgroup_geometry_is_rejected_remotely() {
     let platform = gpu_cluster();
     let ctx = Context::new(&platform, &platform.devices(DeviceType::All)).unwrap();
     let queue = CommandQueue::new(&ctx, &ctx.devices()[0]).unwrap();
-    let program = Program::from_source(
-        &ctx,
-        "__kernel void f(__global int* a) { a[0] = 1; }",
-    );
+    let program = Program::from_source(&ctx, "__kernel void f(__global int* a) { a[0] = 1; }");
     program.build().unwrap();
     let kernel = Kernel::new(&program, "f").unwrap();
     let buf = Buffer::new(&ctx, MemFlags::READ_WRITE, 4).unwrap();
     kernel.set_arg_buffer(0, &buf).unwrap();
-    // Local size 3 does not divide global size 4.
-    let err = queue
+    // Local size 3 does not divide global size 4; the node's rejection
+    // rides back on the launch's event.
+    let ev = queue
         .enqueue_nd_range_kernel(&kernel, NdRange::linear(4, 3))
-        .unwrap_err();
+        .unwrap();
+    let err = ev.wait().unwrap_err();
     assert_eq!(err.status(), Some(Status::InvalidKernelArgs));
 }
 
@@ -125,9 +128,10 @@ fn barrier_divergence_detected_through_the_stack() {
     let kernel = Kernel::new(&program, "div").unwrap();
     let buf = Buffer::new(&ctx, MemFlags::READ_WRITE, 8).unwrap();
     kernel.set_arg_buffer(0, &buf).unwrap();
-    let err = queue
+    let ev = queue
         .enqueue_nd_range_kernel(&kernel, NdRange::linear(2, 2))
-        .unwrap_err();
+        .unwrap();
+    let err = ev.wait().unwrap_err();
     assert!(err.to_string().contains("divergence"));
 }
 
@@ -166,8 +170,7 @@ fn snucl_d_restrictions_hold() {
 fn cpu_devices_run_the_full_suite_too() {
     // The paper's nodes all carry Xeons; CPU-only execution must work.
     use haocl_workloads::{registry_with_all, RunOptions, Workload};
-    let platform =
-        Platform::local_with_registry(&[DeviceKind::Cpu], registry_with_all()).unwrap();
+    let platform = Platform::local_with_registry(&[DeviceKind::Cpu], registry_with_all()).unwrap();
     for w in Workload::test_suite() {
         let report = w.run(&platform, &RunOptions::full()).unwrap();
         assert_eq!(report.verified, Some(true), "{report}");

@@ -45,11 +45,9 @@ fn diamond_task_graph_executes_in_waves() {
     let waves = graph.waves().unwrap();
     assert_eq!(waves, vec![vec![a], vec![b, c], vec![d]]);
 
-    let platform = Platform::local_with_registry(
-        &[DeviceKind::Cpu, DeviceKind::Gpu],
-        registry_with_all(),
-    )
-    .unwrap();
+    let platform =
+        Platform::local_with_registry(&[DeviceKind::Cpu, DeviceKind::Gpu], registry_with_all())
+            .unwrap();
     let ctx = Context::new(&platform, &platform.devices(DeviceType::All)).unwrap();
     let auto = AutoScheduler::new(&ctx, Box::new(HeteroAware::new())).unwrap();
     let program = Program::from_source(&ctx, SRC);
@@ -93,11 +91,15 @@ fn diamond_task_graph_executes_in_waves() {
 
     // Read results through whichever queue last owned the buffer.
     let mut bytes = vec![0u8; (4 * n) as usize];
-    auto.queues()[0].enqueue_read_buffer(&out, 0, &mut bytes).unwrap();
+    auto.queues()[0]
+        .enqueue_read_buffer(&out, 0, &mut bytes)
+        .unwrap();
     let got: Vec<i32> = bytes
         .chunks_exact(4)
         .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
         .collect();
-    let expect: Vec<i32> = (0..n as i32).map(|i| (i + 1) * 2 + (i + 1) * (i + 1)).collect();
+    let expect: Vec<i32> = (0..n as i32)
+        .map(|i| (i + 1) * 2 + (i + 1) * (i + 1))
+        .collect();
     assert_eq!(got, expect);
 }

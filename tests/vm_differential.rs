@@ -59,12 +59,10 @@ fn render(steps: &[Step]) -> String {
             Step::Xor(c) => format!("x = x ^ ({c});"),
             Step::Shl(k) => format!("x = x << {k};"),
             Step::Shr(k) => format!("x = x >> {k};"),
-            Step::Branch(a, b) =>
-
-                format!("if (x % 2 == 0) {{ x = x + ({a}); }} else {{ x = x - ({b}); }}"),
-            Step::Loop(n, c) => format!(
-                "for (int i = 0; i < {n}; i++) {{ x = x ^ (i * ({c})); }}"
-            ),
+            Step::Branch(a, b) => {
+                format!("if (x % 2 == 0) {{ x = x + ({a}); }} else {{ x = x - ({b}); }}")
+            }
+            Step::Loop(n, c) => format!("for (int i = 0; i < {n}; i++) {{ x = x ^ (i * ({c})); }}"),
         };
         body.push_str(&line);
         body.push('\n');
