@@ -1,0 +1,365 @@
+//! Control-flow graph construction over kernel bytecode.
+//!
+//! Basic blocks are delimited by jump targets and by `Jump`,
+//! `JumpIfFalse`, `JumpIfTrue`, `Return` and `Barrier` instructions
+//! (`Barrier` terminates a block so that "barrier region" reasoning can
+//! work at block granularity: no block ever contains an interior barrier).
+
+use crate::bytecode::Instr;
+
+/// A maximal straight-line instruction sequence.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Index of the first instruction.
+    pub start: usize,
+    /// One past the last instruction (the terminator).
+    pub end: usize,
+    /// Successor block ids.
+    pub succs: Vec<usize>,
+}
+
+/// The control-flow graph of one kernel.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Blocks in instruction order; block 0 is the entry.
+    pub blocks: Vec<Block>,
+    /// Instruction index → owning block id.
+    pub block_of: Vec<usize>,
+}
+
+/// A fixed-size bitset over block ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockSet {
+    words: Vec<u64>,
+}
+
+impl BlockSet {
+    /// The empty set over `n` blocks.
+    pub fn empty(n: usize) -> Self {
+        BlockSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// The full set over `n` blocks.
+    pub fn full(n: usize) -> Self {
+        let mut s = BlockSet::empty(n);
+        for i in 0..n {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Adds `i`; returns whether it was newly inserted.
+    pub fn insert(&mut self, i: usize) -> bool {
+        let (w, b) = (i / 64, i % 64);
+        let newly = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        newly
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: usize) -> bool {
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// In-place intersection.
+    pub fn intersect(&mut self, other: &BlockSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
+    /// In-place union; returns whether anything changed.
+    pub fn union(&mut self, other: &BlockSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a | *b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+}
+
+impl Cfg {
+    /// Builds the CFG for `code`.
+    pub fn build(code: &[Instr]) -> Cfg {
+        let n = code.len();
+        if n == 0 {
+            return Cfg {
+                blocks: Vec::new(),
+                block_of: Vec::new(),
+            };
+        }
+        let mut leader = vec![false; n];
+        leader[0] = true;
+        for (pc, ins) in code.iter().enumerate() {
+            match ins {
+                Instr::Jump(t) | Instr::JumpIfFalse(t) | Instr::JumpIfTrue(t) => {
+                    if (*t as usize) < n {
+                        leader[*t as usize] = true;
+                    }
+                    if pc + 1 < n {
+                        leader[pc + 1] = true;
+                    }
+                }
+                Instr::Return | Instr::Barrier if pc + 1 < n => {
+                    leader[pc + 1] = true;
+                }
+                _ => {}
+            }
+        }
+        let mut blocks = Vec::new();
+        let mut start = 0;
+        for (pc, _) in leader.iter().enumerate().skip(1).filter(|(_, l)| **l) {
+            blocks.push(Block {
+                start,
+                end: pc,
+                succs: Vec::new(),
+            });
+            start = pc;
+        }
+        blocks.push(Block {
+            start,
+            end: n,
+            succs: Vec::new(),
+        });
+        let mut block_of = vec![0usize; n];
+        for (i, b) in blocks.iter().enumerate() {
+            block_of[b.start..b.end].fill(i);
+        }
+        let m = blocks.len();
+        for i in 0..m {
+            let last = blocks[i].end - 1;
+            let mut succs = Vec::new();
+            let mut push = |b: usize| {
+                if !succs.contains(&b) {
+                    succs.push(b);
+                }
+            };
+            match code[last] {
+                Instr::Jump(t) => {
+                    if (t as usize) < n {
+                        push(block_of[t as usize]);
+                    }
+                }
+                Instr::JumpIfFalse(t) | Instr::JumpIfTrue(t) => {
+                    if blocks[i].end < n {
+                        push(block_of[blocks[i].end]);
+                    }
+                    if (t as usize) < n {
+                        push(block_of[t as usize]);
+                    }
+                }
+                Instr::Return => {}
+                _ => {
+                    if blocks[i].end < n {
+                        push(block_of[blocks[i].end]);
+                    }
+                }
+            }
+            blocks[i].succs = succs;
+        }
+        Cfg { blocks, block_of }
+    }
+
+    /// Post-dominator sets, one per block, each including the block itself.
+    ///
+    /// A virtual exit joins every exit block (and, defensively, blocks with
+    /// no successors at all), so kernels with multiple `return`s work.
+    pub fn post_dominators(&self) -> Vec<BlockSet> {
+        let m = self.blocks.len();
+        // Index m is the virtual exit.
+        let mut pdom: Vec<BlockSet> = (0..m).map(|_| BlockSet::full(m + 1)).collect();
+        let mut exit = BlockSet::empty(m + 1);
+        exit.insert(m);
+        pdom.push(exit);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            // Iterate high→low: blocks are roughly topological in
+            // instruction order, so reverse order converges fast.
+            for b in (0..m).rev() {
+                let mut acc: Option<BlockSet> = None;
+                let succs = &self.blocks[b].succs;
+                if succs.is_empty() {
+                    acc = Some(pdom[m].clone());
+                } else {
+                    for &s in succs {
+                        match &mut acc {
+                            None => acc = Some(pdom[s].clone()),
+                            Some(a) => a.intersect(&pdom[s]),
+                        }
+                    }
+                }
+                let mut next = acc.expect("at least one successor or virtual exit");
+                next.insert(b);
+                if next != pdom[b] {
+                    pdom[b] = next;
+                    changed = true;
+                }
+            }
+        }
+        pdom.truncate(m);
+        pdom
+    }
+
+    /// Blocks control-dependent on the branch terminating `branch_block`:
+    /// every block that post-dominates some successor of the branch but not
+    /// the branch block itself.
+    pub fn control_dependents(&self, branch_block: usize, pdom: &[BlockSet]) -> BlockSet {
+        let m = self.blocks.len();
+        let mut out = BlockSet::empty(m);
+        if self.blocks[branch_block].succs.len() < 2 {
+            return out;
+        }
+        for b in 0..m {
+            if pdom[branch_block].contains(b) {
+                continue;
+            }
+            if self.blocks[branch_block]
+                .succs
+                .iter()
+                .any(|&s| pdom[s].contains(b))
+            {
+                out.insert(b);
+            }
+        }
+        out
+    }
+
+    /// Blocks reachable from the entry block.
+    pub fn reachable(&self) -> BlockSet {
+        let m = self.blocks.len();
+        let mut seen = BlockSet::empty(m);
+        if m == 0 {
+            return seen;
+        }
+        let mut stack = vec![0usize];
+        seen.insert(0);
+        while let Some(b) = stack.pop() {
+            for &s in &self.blocks[b].succs {
+                if seen.insert(s) {
+                    stack.push(s);
+                }
+            }
+        }
+        seen
+    }
+
+    /// For each block, the set of blocks reachable from it (itself
+    /// included) along paths that never leave a barrier-terminated block —
+    /// i.e. without crossing a `barrier()`. Two `__local` accesses can be
+    /// concurrent iff one's block barrier-free-reaches the other's.
+    pub fn barrier_free_reach(&self, code: &[Instr]) -> Vec<BlockSet> {
+        let m = self.blocks.len();
+        let ends_in_barrier: Vec<bool> = self
+            .blocks
+            .iter()
+            .map(|b| matches!(code[b.end - 1], Instr::Barrier))
+            .collect();
+        (0..m)
+            .map(|from| {
+                let mut seen = BlockSet::empty(m);
+                seen.insert(from);
+                let mut stack = vec![from];
+                while let Some(b) = stack.pop() {
+                    if ends_in_barrier[b] {
+                        continue;
+                    }
+                    for &s in &self.blocks[b].succs {
+                        if seen.insert(s) {
+                            stack.push(s);
+                        }
+                    }
+                }
+                seen
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::Instr as I;
+    use crate::types::ScalarType;
+
+    fn push0() -> I {
+        I::PushInt(0, ScalarType::I32)
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let code = [push0(), push0(), I::Return];
+        let cfg = Cfg::build(&code);
+        assert_eq!(cfg.blocks.len(), 1);
+        assert!(cfg.blocks[0].succs.is_empty());
+    }
+
+    #[test]
+    fn diamond_has_four_blocks() {
+        // 0: push, 1: jif 4, 2: push, 3: jump 5, 4: push, 5: return
+        let code = [
+            I::PushBool(true),
+            I::JumpIfFalse(4),
+            push0(),
+            I::Jump(5),
+            push0(),
+            I::Return,
+        ];
+        let cfg = Cfg::build(&code);
+        assert_eq!(cfg.blocks.len(), 4);
+        assert_eq!(cfg.blocks[0].succs, vec![1, 2]);
+        assert_eq!(cfg.blocks[1].succs, vec![3]);
+        assert_eq!(cfg.blocks[2].succs, vec![3]);
+        let pdom = cfg.post_dominators();
+        // The merge block post-dominates everything.
+        assert!(pdom[0].contains(3));
+        assert!(pdom[1].contains(3));
+        // Branch arms are control-dependent on the branch.
+        let cd = cfg.control_dependents(0, &pdom);
+        assert!(cd.contains(1));
+        assert!(cd.contains(2));
+        assert!(!cd.contains(3));
+    }
+
+    #[test]
+    fn barrier_splits_blocks_and_reach() {
+        let code = [push0(), I::Barrier, push0(), I::Return];
+        let cfg = Cfg::build(&code);
+        assert_eq!(cfg.blocks.len(), 2);
+        let reach = cfg.barrier_free_reach(&code);
+        assert!(reach[0].contains(0));
+        assert!(!reach[0].contains(1), "cannot cross the barrier");
+        assert!(reach[1].contains(1));
+    }
+
+    #[test]
+    fn loop_backedge_reaches_itself() {
+        // 0: push cond, 1: jif 4 (exit), 2: push, 3: jump 0, 4: return
+        let code = [
+            I::PushBool(true),
+            I::JumpIfFalse(4),
+            push0(),
+            I::Jump(0),
+            I::Return,
+        ];
+        let cfg = Cfg::build(&code);
+        let reach = cfg.barrier_free_reach(&code);
+        let body = cfg.block_of[2];
+        assert!(reach[body].contains(cfg.block_of[0]));
+        assert!(reach[body].contains(body));
+    }
+}

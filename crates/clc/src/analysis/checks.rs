@@ -1,0 +1,1164 @@
+//! The analyzer proper: abstract interpretation of kernel bytecode over
+//! the CFG, driving the barrier-divergence, local-memory race and bounds
+//! checks, plus the AST-level use-before-init check and feature
+//! extraction.
+//!
+//! # Soundness stance
+//!
+//! Divergence and race detection are *conservative*: a kernel the
+//! analyzer accepts should not trip the VM's corresponding dynamic
+//! checks, at the price of occasional false positives (e.g. guarded
+//! reduction trees, whose disjointness needs relational reasoning
+//! between the guard and the index). Bounds and use-before-init are
+//! *best-effort* warnings unless an access is provably out of bounds.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::analysis::cfg::{BlockSet, Cfg};
+use crate::analysis::dataflow::{self, Form, ForwardAnalysis, Iv, Pt, PtrBase, Sc, AV};
+use crate::analysis::{KernelFeatures, KernelReport};
+use crate::ast::{Block as AstBlock, Expr, KernelDecl, ParamType, Stmt};
+use crate::bytecode::{BinKind, CompiledKernel, Geom, Instr};
+use crate::diag::{Diagnostic, Diagnostics, Severity, Stage};
+use crate::types::{AddressSpace, ScalarType};
+
+/// Sym-id base for geometry queries (params use their slot index).
+const GEOM_SYM: u32 = 1_000_000;
+/// Sym-id base for uniform-address loads (keyed by pc).
+const LOAD_SYM: u32 = 2_000_000;
+/// Interval bounds beyond this magnitude are treated as "unknown" rather
+/// than "meaningfully bounded" when deciding whether to warn.
+const HUGE: i64 = 1 << 40;
+
+/// The per-point abstract state: operand stack plus local slots.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct AbsState {
+    stack: Vec<AV>,
+    slots: Vec<AV>,
+}
+
+/// A `__local`/memory access observed during the final replay pass.
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    pc: usize,
+    block: usize,
+    write: bool,
+    base: PtrBase,
+    form: Form,
+    range: Iv,
+    value_item_dep: bool,
+    ctrl_tainted: bool,
+}
+
+/// Observations collected by replaying the solved states.
+#[derive(Default)]
+struct Obs {
+    /// `(block, condition form)` at each conditional terminator.
+    branches: Vec<(usize, Form)>,
+    /// Memory accesses.
+    events: Vec<Event>,
+    /// Dimensions the kernel queries `get_global_id`/`get_local_id` for.
+    active: [bool; 3],
+    /// A geometry query had a non-constant dimension operand.
+    all_active: bool,
+}
+
+struct Analyzer<'a> {
+    kernel: &'a CompiledKernel,
+    block_of: &'a [usize],
+    tainted: BlockSet,
+}
+
+impl ForwardAnalysis for Analyzer<'_> {
+    type State = AbsState;
+
+    fn boundary(&self) -> AbsState {
+        let mut slots = Vec::with_capacity(self.kernel.n_slots as usize);
+        for (i, p) in self.kernel.params.iter().enumerate() {
+            let slot = i as u16;
+            slots.push(match p {
+                ParamType::Scalar(_) => AV::Scalar(Sc {
+                    form: Form::uniform_sym(u32::from(slot)),
+                    range: Iv::TOP,
+                }),
+                ParamType::Pointer(AddressSpace::Local, _) => AV::Ptr(Pt {
+                    base: PtrBase::LocalDyn(slot),
+                    form: Form::constant(0),
+                    range: Iv::constant(0),
+                }),
+                ParamType::Pointer(..) => AV::Ptr(Pt {
+                    base: PtrBase::Global(slot),
+                    form: Form::constant(0),
+                    range: Iv::constant(0),
+                }),
+            });
+        }
+        while slots.len() < self.kernel.n_slots as usize {
+            slots.push(AV::Scalar(Sc::constant(0)));
+        }
+        AbsState {
+            stack: Vec::new(),
+            slots,
+        }
+    }
+
+    fn transfer(&mut self, state: &mut AbsState, pc: usize, instr: &Instr) {
+        self.step(state, pc, instr, None);
+    }
+
+    fn join(&self, into: &mut AbsState, from: &AbsState) -> bool {
+        let mut changed = false;
+        // Structured codegen keeps stack heights equal at joins; truncate
+        // defensively if they ever differ.
+        let n = into.stack.len().min(from.stack.len());
+        if into.stack.len() != n {
+            into.stack.truncate(n);
+            changed = true;
+        }
+        for i in 0..n {
+            let j = into.stack[i].join(from.stack[i]);
+            if j != into.stack[i] {
+                into.stack[i] = j;
+                changed = true;
+            }
+        }
+        for i in 0..into.slots.len().min(from.slots.len()) {
+            let j = into.slots[i].join(from.slots[i]);
+            if j != into.slots[i] {
+                into.slots[i] = j;
+                changed = true;
+            }
+        }
+        changed
+    }
+}
+
+impl Analyzer<'_> {
+    fn pop(st: &mut AbsState) -> AV {
+        st.stack.pop().unwrap_or_else(AV::top)
+    }
+
+    /// One instruction's abstract effect; `obs` is only set in the final
+    /// replay pass.
+    fn step(&self, st: &mut AbsState, pc: usize, instr: &Instr, mut obs: Option<&mut Obs>) {
+        let in_tainted = self.tainted.contains(self.block_of[pc]);
+        match *instr {
+            Instr::PushInt(v, _) => st.stack.push(AV::Scalar(Sc::constant(v))),
+            Instr::PushFloat(..) => st.stack.push(AV::Scalar(Sc {
+                form: Form::uniform_opaque(),
+                range: Iv::TOP,
+            })),
+            Instr::PushBool(b) => st.stack.push(AV::Scalar(Sc::constant(i64::from(b)))),
+            Instr::PushLocalPtr { byte_offset, .. } => st.stack.push(AV::Ptr(Pt {
+                base: PtrBase::LocalArray(byte_offset),
+                form: Form::constant(0),
+                range: Iv::constant(0),
+            })),
+            Instr::LoadLocal(s) => {
+                let v = st.slots.get(s as usize).copied().unwrap_or_else(AV::top);
+                st.stack.push(v);
+            }
+            Instr::StoreLocal(s) => {
+                let mut v = Self::pop(st);
+                if in_tainted {
+                    // Implicit flow: a value stored under work-item-dependent
+                    // control is itself work-item-dependent.
+                    v = v.taint();
+                }
+                if let Some(slot) = st.slots.get_mut(s as usize) {
+                    *slot = v;
+                }
+            }
+            Instr::LoadMem(_) => {
+                let ptr = Self::pop(st);
+                let val = match ptr {
+                    AV::Ptr(p) => {
+                        if let Some(o) = obs.as_deref_mut() {
+                            o.events.push(Event {
+                                pc,
+                                block: self.block_of[pc],
+                                write: false,
+                                base: p.base,
+                                form: p.form,
+                                range: p.range,
+                                value_item_dep: false,
+                                ctrl_tainted: in_tainted,
+                            });
+                        }
+                        if p.form.is_uniform() {
+                            // Same address for every work-item → same value.
+                            Sc {
+                                form: Form::uniform_sym(LOAD_SYM + pc as u32),
+                                range: Iv::TOP,
+                            }
+                        } else {
+                            Sc::top()
+                        }
+                    }
+                    AV::Scalar(_) => Sc::top(),
+                };
+                st.stack.push(AV::Scalar(val));
+            }
+            Instr::StoreMem(_) => {
+                let value = Self::pop(st);
+                let ptr = Self::pop(st);
+                if let (AV::Ptr(p), Some(o)) = (ptr, obs.as_deref_mut()) {
+                    o.events.push(Event {
+                        pc,
+                        block: self.block_of[pc],
+                        write: true,
+                        base: p.base,
+                        form: p.form,
+                        range: p.range,
+                        value_item_dep: value.as_scalar().form.is_item_dependent(),
+                        ctrl_tainted: in_tainted,
+                    });
+                }
+            }
+            Instr::PtrAdd => {
+                let idx = Self::pop(st).as_scalar();
+                let ptr = Self::pop(st);
+                let out = match ptr {
+                    AV::Ptr(p) => AV::Ptr(Pt {
+                        base: p.base,
+                        form: p.form + idx.form,
+                        range: p.range + idx.range,
+                    }),
+                    AV::Scalar(_) => AV::Ptr(Pt {
+                        base: PtrBase::Unknown,
+                        form: Form::top(),
+                        range: Iv::TOP,
+                    }),
+                };
+                st.stack.push(out);
+            }
+            Instr::Bin(kind, _) => {
+                let rhs = Self::pop(st).as_scalar();
+                let lhs = Self::pop(st).as_scalar();
+                let out = match kind {
+                    BinKind::Add => Sc {
+                        form: lhs.form + rhs.form,
+                        range: lhs.range + rhs.range,
+                    },
+                    BinKind::Sub => Sc {
+                        form: lhs.form - rhs.form,
+                        range: lhs.range - rhs.range,
+                    },
+                    BinKind::Mul => Sc {
+                        form: lhs.form * rhs.form,
+                        range: lhs.range * rhs.range,
+                    },
+                    BinKind::Rem => {
+                        let range = match rhs.range.as_const() {
+                            Some(c) if c > 0 => {
+                                Iv::range(if lhs.range.lo >= 0 { 0 } else { 1 - c }, c - 1)
+                            }
+                            _ => Iv::TOP,
+                        };
+                        Sc {
+                            form: lhs.form.opaque_combine(rhs.form),
+                            range,
+                        }
+                    }
+                    BinKind::And => {
+                        let mask = match (lhs.range.as_const(), rhs.range.as_const()) {
+                            (_, Some(m)) | (Some(m), _) if m >= 0 => Some(m),
+                            _ => None,
+                        };
+                        Sc {
+                            form: lhs.form.opaque_combine(rhs.form),
+                            range: mask.map_or(Iv::TOP, |m| Iv::range(0, m)),
+                        }
+                    }
+                    _ => Sc {
+                        form: lhs.form.opaque_combine(rhs.form),
+                        range: Iv::TOP,
+                    },
+                };
+                st.stack.push(AV::Scalar(out));
+            }
+            Instr::Cmp(..) => {
+                let rhs = Self::pop(st).as_scalar();
+                let lhs = Self::pop(st).as_scalar();
+                st.stack.push(AV::Scalar(Sc {
+                    form: lhs.form.opaque_combine(rhs.form),
+                    range: Iv::range(0, 1),
+                }));
+            }
+            Instr::Neg(_) => {
+                let v = Self::pop(st).as_scalar();
+                st.stack.push(AV::Scalar(Sc {
+                    form: -v.form,
+                    range: -v.range,
+                }));
+            }
+            Instr::BitNot(_) | Instr::NotBool => {
+                let v = Self::pop(st).as_scalar();
+                let form = if v.form.is_uniform() {
+                    Form::uniform_opaque()
+                } else {
+                    Form::top()
+                };
+                let range = if matches!(instr, Instr::NotBool) {
+                    Iv::range(0, 1)
+                } else {
+                    Iv::TOP
+                };
+                st.stack.push(AV::Scalar(Sc { form, range }));
+            }
+            Instr::Cast { from, to } => {
+                if let Some(AV::Scalar(s)) = st.stack.last_mut() {
+                    let from_int = from.is_integer() || from == ScalarType::Bool;
+                    if to == ScalarType::Bool {
+                        s.range = Iv::range(0, 1);
+                    } else if !from_int || !to.is_integer() || to.size_bytes() < from.size_bytes() {
+                        s.range = Iv::TOP;
+                    }
+                }
+            }
+            Instr::Jump(_) => {}
+            Instr::JumpIfFalse(_) | Instr::JumpIfTrue(_) => {
+                let c = Self::pop(st).as_scalar();
+                if let Some(o) = obs.as_deref_mut() {
+                    o.branches.push((self.block_of[pc], c.form));
+                }
+            }
+            Instr::CallMath1(..) => {
+                let v = Self::pop(st).as_scalar();
+                let form = if v.form.is_uniform() {
+                    Form::uniform_opaque()
+                } else {
+                    Form::top()
+                };
+                st.stack.push(AV::Scalar(Sc {
+                    form,
+                    range: Iv::TOP,
+                }));
+            }
+            Instr::CallMath2(..) => {
+                let b = Self::pop(st).as_scalar();
+                let a = Self::pop(st).as_scalar();
+                st.stack.push(AV::Scalar(Sc {
+                    form: a.form.opaque_combine(b.form),
+                    range: Iv::TOP,
+                }));
+            }
+            Instr::Query(g) => {
+                let dim_v = Self::pop(st).as_scalar();
+                let dim = dim_v
+                    .range
+                    .as_const()
+                    .filter(|k| (0..3).contains(k))
+                    .map(|k| k as usize);
+                let nonneg = Iv::range(0, i64::MAX);
+                let positive = Iv::range(1, i64::MAX);
+                let out = match (g, dim) {
+                    (Geom::GlobalId, Some(d)) => {
+                        if let Some(o) = obs.as_deref_mut() {
+                            o.active[d] = true;
+                        }
+                        Sc {
+                            form: Form::gid(d, GEOM_SYM + d as u32),
+                            range: nonneg,
+                        }
+                    }
+                    (Geom::LocalId, Some(d)) => {
+                        if let Some(o) = obs.as_deref_mut() {
+                            o.active[d] = true;
+                        }
+                        Sc {
+                            form: Form::lid(d),
+                            range: nonneg,
+                        }
+                    }
+                    (Geom::GlobalId | Geom::LocalId, None) => {
+                        if let Some(o) = obs {
+                            o.all_active = true;
+                        }
+                        Sc {
+                            form: Form::top(),
+                            range: nonneg,
+                        }
+                    }
+                    (Geom::GroupId, Some(d)) => Sc {
+                        form: Form::uniform_sym(GEOM_SYM + 100 + d as u32),
+                        range: nonneg,
+                    },
+                    (Geom::GlobalSize, Some(d)) => Sc {
+                        form: Form::uniform_sym(GEOM_SYM + 200 + d as u32),
+                        range: positive,
+                    },
+                    (Geom::LocalSize, Some(d)) => Sc {
+                        form: Form::uniform_sym(GEOM_SYM + 300 + d as u32),
+                        range: positive,
+                    },
+                    (Geom::NumGroups, Some(d)) => Sc {
+                        form: Form::uniform_sym(GEOM_SYM + 400 + d as u32),
+                        range: positive,
+                    },
+                    (Geom::WorkDim, _) => Sc {
+                        form: Form::uniform_sym(GEOM_SYM + 500),
+                        range: Iv::range(1, 3),
+                    },
+                    (_, None) => Sc {
+                        form: Form::uniform_opaque(),
+                        range: nonneg,
+                    },
+                };
+                st.stack.push(AV::Scalar(out));
+            }
+            Instr::Barrier | Instr::Return => {}
+            Instr::Dup => {
+                let v = st.stack.last().copied().unwrap_or_else(AV::top);
+                st.stack.push(v);
+            }
+            Instr::Pop => {
+                Self::pop(st);
+            }
+        }
+    }
+}
+
+/// Whether a structured item-dependent index form provably maps distinct
+/// work-items to distinct elements.
+fn is_private(form: &Form, active: &[bool; 3], dims: Option<&[u64]>) -> bool {
+    if form.tainted {
+        return false;
+    }
+    let nz: Vec<usize> = (0..3).filter(|&d| form.coeffs[d] != 0).collect();
+    match nz.len() {
+        1 => {
+            let d = nz[0];
+            active.iter().enumerate().all(|(e, &a)| !a || e == d)
+        }
+        2 => {
+            // The 2-D tile pattern `row*stride + col` over a declared
+            // `[rows][stride]` array, assuming the launch's local size does
+            // not exceed the declared extents.
+            let Some(dims) = dims else { return false };
+            if dims.len() != 2 {
+                return false;
+            }
+            let stride = dims[1];
+            if stride <= 1 {
+                return false;
+            }
+            let (a, b) = (nz[0], nz[1]);
+            let (ca, cb) = (form.coeffs[a].unsigned_abs(), form.coeffs[b].unsigned_abs());
+            let pattern = (ca == stride && cb == 1) || (ca == 1 && cb == stride);
+            pattern
+                && active
+                    .iter()
+                    .enumerate()
+                    .all(|(e, &x)| !x || e == a || e == b)
+        }
+        _ => false,
+    }
+}
+
+/// Analyzes one compiled kernel against its declaration.
+pub(crate) fn analyze(decl: &KernelDecl, kernel: &CompiledKernel, source: &str) -> KernelReport {
+    let mut diags = Diagnostics::new();
+    let cfg = Cfg::build(&kernel.code);
+    let m = cfg.blocks.len();
+    let pdom = cfg.post_dominators();
+
+    // Control-taint fixpoint: solve, observe branch conditions, widen the
+    // tainted-block set, repeat until stable. Monotone and bounded by the
+    // block count, so this terminates.
+    let mut tainted = BlockSet::empty(m);
+    let (obs, entries) = loop {
+        let mut analyzer = Analyzer {
+            kernel,
+            block_of: &cfg.block_of,
+            tainted: tainted.clone(),
+        };
+        let entries = dataflow::solve(&cfg, &kernel.code, &mut analyzer);
+        let mut obs = Obs::default();
+        for (b, entry) in entries.iter().enumerate() {
+            let Some(entry) = entry else { continue };
+            let mut st = entry.clone();
+            for pc in cfg.blocks[b].start..cfg.blocks[b].end {
+                analyzer.step(&mut st, pc, &kernel.code[pc], Some(&mut obs));
+            }
+        }
+        let mut changed = false;
+        for &(b, form) in &obs.branches {
+            if form.is_item_dependent() {
+                changed |= tainted.union(&cfg.control_dependents(b, &pdom));
+            }
+        }
+        if !changed {
+            break (obs, entries);
+        }
+    };
+    let active = if obs.all_active {
+        [true; 3]
+    } else {
+        obs.active
+    };
+
+    let pos = |pc: usize| -> (usize, usize) {
+        kernel
+            .spans
+            .get(pc)
+            .map(|s| s.line_col(source))
+            .unwrap_or((1, 1))
+    };
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut emit = |diags: &mut Diagnostics, sev: Severity, pc: usize, msg: String| {
+        let (line, col) = pos(pc);
+        let d = Diagnostic::at_position(Stage::Analysis, sev, line, col, msg);
+        if seen.insert(d.render()) {
+            diags.push(d);
+        }
+    };
+
+    // --- Check 1: barrier divergence. -----------------------------------
+    for site in &kernel.barrier_sites {
+        let b = cfg.block_of[site.pc as usize];
+        if entries[b].is_none() {
+            continue;
+        }
+        if tainted.contains(b) {
+            diags.push(Diagnostic::at_position(
+                Stage::Analysis,
+                Severity::Error,
+                site.line as usize,
+                site.col as usize,
+                "barrier divergence: this barrier is inside work-item-dependent control \
+                 flow, so the work-items of a group may not all reach it"
+                    .to_string(),
+            ));
+        }
+    }
+
+    // --- Check 2: local-memory races. ------------------------------------
+    let reach = cfg.barrier_free_reach(&kernel.code);
+    let reachable = cfg.reachable();
+    // anc[b] = blocks that reach b without crossing a barrier. Two accesses
+    // can be concurrent iff some common block reaches both barrier-free
+    // (they lie in one barrier interval).
+    let mut anc: Vec<BlockSet> = (0..m).map(|_| BlockSet::empty(m)).collect();
+    for (p, rp) in reach.iter().enumerate() {
+        if !reachable.contains(p) {
+            continue;
+        }
+        for (b, a) in anc.iter_mut().enumerate() {
+            if rp.contains(b) {
+                a.insert(p);
+            }
+        }
+    }
+    let connected = |x: usize, y: usize| {
+        let mut i = anc[x].clone();
+        i.intersect(&anc[y]);
+        !i.is_empty()
+    };
+    let base_name = |base: PtrBase| -> Option<String> {
+        match base {
+            PtrBase::LocalArray(off) => kernel
+                .local_arrays
+                .iter()
+                .find(|a| a.byte_offset == off)
+                .map(|a| a.name.clone()),
+            PtrBase::LocalDyn(slot) => decl.params.get(slot as usize).map(|p| p.name.clone()),
+            _ => None,
+        }
+    };
+    let base_dims = |base: PtrBase| -> Option<&[u64]> {
+        match base {
+            PtrBase::LocalArray(off) => kernel
+                .local_arrays
+                .iter()
+                .find(|a| a.byte_offset == off)
+                .map(|a| a.dims.as_slice()),
+            _ => None,
+        }
+    };
+    let local_events: Vec<Event> = obs
+        .events
+        .iter()
+        .filter(|e| matches!(e.base, PtrBase::LocalArray(_) | PtrBase::LocalDyn(_)))
+        .copied()
+        .collect();
+    for w in local_events.iter().filter(|e| e.write) {
+        let name = base_name(w.base).unwrap_or_else(|| "<local>".to_string());
+        if w.form.tainted {
+            emit(
+                &mut diags,
+                Severity::Error,
+                w.pc,
+                format!(
+                    "data race on `{name}`: store uses an unpredictable \
+                     work-item-dependent index"
+                ),
+            );
+            continue;
+        }
+        if w.form.is_uniform() {
+            if w.value_item_dep {
+                emit(
+                    &mut diags,
+                    Severity::Error,
+                    w.pc,
+                    format!(
+                        "data race on `{name}`: work-items store different values \
+                         to the same element"
+                    ),
+                );
+            } else if w.ctrl_tainted
+                && local_events
+                    .iter()
+                    .any(|x| x.pc != w.pc && x.base == w.base && connected(x.block, w.block))
+            {
+                emit(
+                    &mut diags,
+                    Severity::Error,
+                    w.pc,
+                    format!(
+                        "data race on `{name}`: divergent store may conflict with \
+                         other work-items' accesses without an intervening barrier"
+                    ),
+                );
+            }
+            continue;
+        }
+        // Structured work-item-dependent index.
+        if !is_private(&w.form, &active, base_dims(w.base)) {
+            emit(
+                &mut diags,
+                Severity::Error,
+                w.pc,
+                format!("data race on `{name}`: distinct work-items may store to the same element"),
+            );
+            continue;
+        }
+        if local_events.iter().any(|x| {
+            x.pc != w.pc && x.base == w.base && x.form != w.form && connected(x.block, w.block)
+        }) {
+            emit(
+                &mut diags,
+                Severity::Error,
+                w.pc,
+                format!(
+                    "data race on `{name}`: accessed with different work-item index \
+                     patterns without an intervening barrier"
+                ),
+            );
+        }
+    }
+
+    // --- Check 3: bounds on statically-sized local arrays. ----------------
+    for e in &local_events {
+        let PtrBase::LocalArray(off) = e.base else {
+            continue;
+        };
+        let Some(info) = kernel.local_arrays.iter().find(|a| a.byte_offset == off) else {
+            continue;
+        };
+        let extent = info.extent_elems() as i64;
+        let (lo, hi) = (e.range.lo, e.range.hi);
+        if lo >= extent || hi < 0 {
+            emit(
+                &mut diags,
+                Severity::Error,
+                e.pc,
+                format!(
+                    "index of `{}` is always out of bounds ({} element{})",
+                    info.name,
+                    extent,
+                    if extent == 1 { "" } else { "s" }
+                ),
+            );
+        } else if (hi >= extent && hi < HUGE) || (lo < 0 && lo > -HUGE) {
+            emit(
+                &mut diags,
+                Severity::Warning,
+                e.pc,
+                format!(
+                    "index of `{}` may be out of bounds ({} element{})",
+                    info.name,
+                    extent,
+                    if extent == 1 { "" } else { "s" }
+                ),
+            );
+        }
+    }
+
+    // --- Check 4: use-before-init of private scalars (AST level, since
+    // sema's deterministic zero-init hides this in the bytecode). ----------
+    check_uninit(decl, source, &mut diags);
+
+    // --- Features. --------------------------------------------------------
+    let mut flops = 0u64;
+    let mut bytes = 0u64;
+    for ins in &kernel.code {
+        match *ins {
+            Instr::Bin(_, t) | Instr::Neg(t) | Instr::CallMath1(_, t) | Instr::CallMath2(_, t)
+                if t.is_float() =>
+            {
+                flops += 1;
+            }
+            Instr::LoadMem(t) | Instr::StoreMem(t) => bytes += t.size_bytes() as u64,
+            _ => {}
+        }
+    }
+    let reach_count = (0..m).filter(|&b| reachable.contains(b)).count().max(1);
+    let div_count = (0..m)
+        .filter(|&b| tainted.contains(b) && reachable.contains(b))
+        .count();
+    let features = KernelFeatures {
+        local_bytes: kernel.static_local_bytes,
+        barrier_count: kernel.barrier_sites.len() as u32,
+        arithmetic_intensity: flops as f64 / bytes.max(1) as f64,
+        divergence_score: div_count as f64 / reach_count as f64,
+    };
+
+    KernelReport {
+        diagnostics: diags,
+        features,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Use-before-init (AST walk).
+// ---------------------------------------------------------------------------
+
+/// Scope stack mapping tracked private scalars to "definitely assigned".
+type Env = Vec<HashMap<String, bool>>;
+
+struct UninitCx<'a> {
+    source: &'a str,
+    warned: HashSet<String>,
+    diags: Vec<Diagnostic>,
+}
+
+fn check_uninit(decl: &KernelDecl, source: &str, out: &mut Diagnostics) {
+    let mut cx = UninitCx {
+        source,
+        warned: HashSet::new(),
+        diags: Vec::new(),
+    };
+    let mut env: Env = vec![HashMap::new()];
+    walk_block(&decl.body, &mut env, &mut cx);
+    out.extend(cx.diags);
+}
+
+fn read_var(name: &str, span: crate::diag::Span, env: &Env, cx: &mut UninitCx) {
+    for scope in env.iter().rev() {
+        if let Some(&assigned) = scope.get(name) {
+            if !assigned && cx.warned.insert(name.to_string()) {
+                cx.diags.push(Diagnostic::at(
+                    Stage::Analysis,
+                    Severity::Warning,
+                    span,
+                    cx.source,
+                    format!("`{name}` may be read before it is assigned"),
+                ));
+            }
+            return;
+        }
+    }
+}
+
+fn assign_var(name: &str, env: &mut Env) {
+    for scope in env.iter_mut().rev() {
+        if let Some(assigned) = scope.get_mut(name) {
+            *assigned = true;
+            return;
+        }
+    }
+}
+
+fn walk_block(b: &AstBlock, env: &mut Env, cx: &mut UninitCx) {
+    env.push(HashMap::new());
+    for s in &b.stmts {
+        walk_stmt(s, env, cx);
+    }
+    env.pop();
+}
+
+fn walk_stmt(s: &Stmt, env: &mut Env, cx: &mut UninitCx) {
+    match s {
+        Stmt::Decl(d) => {
+            if let Some(init) = &d.init {
+                walk_expr(init, env, cx);
+            }
+            if d.array_dims.is_empty() && d.space == AddressSpace::Private {
+                env.last_mut()
+                    .expect("scope stack never empty")
+                    .insert(d.name.clone(), d.init.is_some());
+            }
+        }
+        Stmt::Expr(e) => walk_expr(e, env, cx),
+        Stmt::Block(b) => walk_block(b, env, cx),
+        Stmt::If {
+            cond,
+            then,
+            otherwise,
+        } => {
+            walk_expr(cond, env, cx);
+            let mut then_env = env.clone();
+            walk_block(then, &mut then_env, cx);
+            match otherwise {
+                Some(other) => {
+                    let mut else_env = env.clone();
+                    walk_block(other, &mut else_env, cx);
+                    // Assigned after the if ⇔ assigned in both arms.
+                    for (scope, (t, e)) in env.iter_mut().zip(then_env.iter().zip(else_env.iter()))
+                    {
+                        for (name, assigned) in scope.iter_mut() {
+                            if let (Some(&ta), Some(&ea)) = (t.get(name), e.get(name)) {
+                                *assigned = *assigned || (ta && ea);
+                            }
+                        }
+                    }
+                }
+                None => {
+                    // No else: the state after is the state before.
+                }
+            }
+        }
+        Stmt::While { cond, body } => {
+            walk_expr(cond, env, cx);
+            // The body may run zero times: check its reads, discard its
+            // assignments.
+            let mut body_env = env.clone();
+            walk_block(body, &mut body_env, cx);
+        }
+        Stmt::DoWhile { body, cond } => {
+            // The body always runs at least once.
+            walk_block(body, env, cx);
+            walk_expr(cond, env, cx);
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            env.push(HashMap::new());
+            if let Some(init) = init {
+                walk_stmt(init, env, cx);
+            }
+            if let Some(cond) = cond {
+                walk_expr(cond, env, cx);
+            }
+            let mut body_env = env.clone();
+            walk_block(body, &mut body_env, cx);
+            if let Some(step) = step {
+                walk_expr(step, &mut body_env, cx);
+            }
+            env.pop();
+        }
+        Stmt::Break(_) | Stmt::Continue(_) | Stmt::Return(_) | Stmt::Barrier(_) => {}
+    }
+}
+
+fn walk_expr(e: &Expr, env: &mut Env, cx: &mut UninitCx) {
+    match e {
+        Expr::IntLit { .. } | Expr::FloatLit { .. } => {}
+        Expr::Var { name, span } => read_var(name, *span, env, cx),
+        Expr::Index { base, index, .. } => {
+            walk_expr(base, env, cx);
+            walk_expr(index, env, cx);
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            walk_expr(lhs, env, cx);
+            walk_expr(rhs, env, cx);
+        }
+        Expr::Unary { operand, .. } => walk_expr(operand, env, cx),
+        Expr::Ternary {
+            cond,
+            then,
+            otherwise,
+            ..
+        } => {
+            walk_expr(cond, env, cx);
+            walk_expr(then, env, cx);
+            walk_expr(otherwise, env, cx);
+        }
+        Expr::Cast { operand, .. } => walk_expr(operand, env, cx),
+        Expr::Assign {
+            op, target, value, ..
+        } => {
+            walk_expr(value, env, cx);
+            match target.as_ref() {
+                Expr::Var { name, span } => {
+                    if op.is_some() {
+                        // Compound assignment reads the target first.
+                        read_var(name, *span, env, cx);
+                    }
+                    assign_var(name, env);
+                }
+                other => walk_expr(other, env, cx),
+            }
+        }
+        Expr::IncDec { target, .. } => match target.as_ref() {
+            Expr::Var { name, span } => {
+                read_var(name, *span, env, cx);
+                assign_var(name, env);
+            }
+            other => walk_expr(other, env, cx),
+        },
+        Expr::Call { args, .. } => {
+            for a in args {
+                walk_expr(a, env, cx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyze_src(src: &str) -> KernelReport {
+        let toks = crate::lexer::lex(src).unwrap();
+        let unit = crate::parser::parse(&toks, src).unwrap();
+        let program = crate::sema::lower(&unit, src).unwrap();
+        let k = program.kernels().next().unwrap();
+        analyze(&unit.kernels[0], k, src)
+    }
+
+    fn errors(r: &KernelReport) -> Vec<String> {
+        r.diagnostics
+            .iter()
+            .filter(|d| d.severity() == Severity::Error)
+            .map(|d| d.message().to_string())
+            .collect()
+    }
+
+    #[test]
+    fn divergent_barrier_is_flagged() {
+        let r = analyze_src(
+            "__kernel void f(__global int* a) {
+                int g = get_global_id(0);
+                if (g > 2) { barrier(CLK_LOCAL_MEM_FENCE); }
+                a[g] = g;
+            }",
+        );
+        let errs = errors(&r);
+        assert_eq!(errs.len(), 1, "{errs:?}");
+        assert!(errs[0].contains("barrier divergence"));
+        assert!(r.features.divergence_score > 0.0);
+    }
+
+    #[test]
+    fn uniform_barrier_is_clean() {
+        let r = analyze_src(
+            "__kernel void f(__global int* a, int n) {
+                __local int s[64];
+                int l = get_local_id(0);
+                for (int i = 0; i < n; i++) {
+                    s[l] = a[l];
+                    barrier(CLK_LOCAL_MEM_FENCE);
+                    a[l] = s[63 - l];
+                    barrier(CLK_LOCAL_MEM_FENCE);
+                }
+            }",
+        );
+        assert!(errors(&r).is_empty(), "{:?}", r.diagnostics.render());
+        assert_eq!(r.features.barrier_count, 2);
+        assert_eq!(r.features.local_bytes, 64 * 4);
+    }
+
+    #[test]
+    fn uniform_write_of_item_dependent_value_is_a_race() {
+        let r = analyze_src(
+            "__kernel void f(__global int* a) {
+                __local int s[4];
+                int l = get_local_id(0);
+                s[0] = l;
+                a[l] = s[0];
+            }",
+        );
+        let errs = errors(&r);
+        assert!(
+            errs.iter().any(|e| e.contains("different values")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn missing_barrier_between_mismatched_accesses_is_a_race() {
+        let r = analyze_src(
+            "__kernel void f(__global int* a, int n) {
+                __local int s[64];
+                int l = get_local_id(0);
+                s[l] = a[l];
+                a[l] = s[63 - l];
+            }",
+        );
+        let errs = errors(&r);
+        assert!(
+            errs.iter()
+                .any(|e| e.contains("different work-item index patterns")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn barrier_separated_accesses_are_clean() {
+        let r = analyze_src(
+            "__kernel void f(__global int* a) {
+                __local int s[64];
+                int l = get_local_id(0);
+                s[l] = a[l];
+                barrier(CLK_LOCAL_MEM_FENCE);
+                a[l] = s[63 - l];
+            }",
+        );
+        assert!(errors(&r).is_empty(), "{:?}", r.diagnostics.render());
+    }
+
+    #[test]
+    fn divergent_sibling_writes_to_same_element_race() {
+        let r = analyze_src(
+            "__kernel void f(__global int* a, int x, int y) {
+                __local int s[4];
+                int l = get_local_id(0);
+                if (l == 0) { s[0] = x; } else { s[0] = y; }
+                a[l] = s[0];
+            }",
+        );
+        assert!(!errors(&r).is_empty(), "{:?}", r.diagnostics.render());
+    }
+
+    #[test]
+    fn constant_index_out_of_bounds_is_an_error() {
+        let r = analyze_src(
+            "__kernel void f(__global int* a) {
+                __local int s[8];
+                s[8] = 1;
+                a[0] = s[0];
+            }",
+        );
+        let errs = errors(&r);
+        assert!(
+            errs.iter().any(|e| e.contains("always out of bounds")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn masked_index_that_may_exceed_extent_warns() {
+        let r = analyze_src(
+            "__kernel void f(__global int* a) {
+                __local int s[8];
+                int g = get_global_id(0);
+                s[g & 15] = 1;
+                barrier(CLK_LOCAL_MEM_FENCE);
+                a[g] = s[g & 7];
+            }",
+        );
+        // `g & 15` may collide across items too, but the bounds warning must
+        // be present regardless.
+        assert!(
+            r.diagnostics
+                .iter()
+                .any(|d| d.severity() == Severity::Warning
+                    && d.message().contains("may be out of bounds")),
+            "{:?}",
+            r.diagnostics.render()
+        );
+    }
+
+    #[test]
+    fn use_before_init_warns_once() {
+        let r = analyze_src(
+            "__kernel void f(__global int* a) {
+                int x;
+                a[0] = x + x;
+                x = 1;
+                a[1] = x;
+            }",
+        );
+        let warns: Vec<_> = r
+            .diagnostics
+            .iter()
+            .filter(|d| d.message().contains("before it is assigned"))
+            .collect();
+        assert_eq!(warns.len(), 1, "{:?}", r.diagnostics.render());
+    }
+
+    #[test]
+    fn branch_assignment_on_both_arms_counts() {
+        let r = analyze_src(
+            "__kernel void f(__global int* a, int c) {
+                int x;
+                if (c) { x = 1; } else { x = 2; }
+                a[0] = x;
+            }",
+        );
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics.render());
+    }
+
+    #[test]
+    fn one_armed_branch_assignment_still_warns() {
+        let r = analyze_src(
+            "__kernel void f(__global int* a, int c) {
+                int x;
+                if (c) { x = 1; }
+                a[0] = x;
+            }",
+        );
+        assert!(
+            r.diagnostics
+                .iter()
+                .any(|d| d.message().contains("before it is assigned")),
+            "{:?}",
+            r.diagnostics.render()
+        );
+    }
+
+    #[test]
+    fn streaming_kernel_has_arithmetic_intensity() {
+        let r = analyze_src(
+            "__kernel void f(__global float* a, __global float* b, float s) {
+                int g = get_global_id(0);
+                b[g] = a[g] * s + 1.0f;
+            }",
+        );
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics.render());
+        assert!(r.features.arithmetic_intensity > 0.0);
+        assert_eq!(r.features.barrier_count, 0);
+        assert_eq!(r.features.divergence_score, 0.0);
+    }
+
+    #[test]
+    fn tiled_2d_transpose_pattern_is_clean() {
+        let r = analyze_src(
+            "__kernel void f(__global float* in, __global float* out, int n) {
+                __local float tile[4][4];
+                int lx = get_local_id(0);
+                int ly = get_local_id(1);
+                int gx = get_global_id(0);
+                int gy = get_global_id(1);
+                tile[ly][lx] = in[gy * n + gx];
+                barrier(CLK_LOCAL_MEM_FENCE);
+                out[gx * n + gy] = tile[lx][ly];
+            }",
+        );
+        assert!(errors(&r).is_empty(), "{:?}", r.diagnostics.render());
+    }
+
+    #[test]
+    fn tainted_trip_count_loop_barrier_diverges() {
+        let r = analyze_src(
+            "__kernel void f(__global int* a) {
+                int g = get_global_id(0);
+                for (int i = 0; i < g; i++) {
+                    barrier(CLK_LOCAL_MEM_FENCE);
+                }
+                a[g] = g;
+            }",
+        );
+        assert!(
+            errors(&r).iter().any(|e| e.contains("barrier divergence")),
+            "{:?}",
+            r.diagnostics.render()
+        );
+    }
+}

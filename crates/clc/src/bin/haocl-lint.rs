@@ -1,0 +1,68 @@
+//! `haocl-lint` — run the static kernel analyzer over OpenCL C sources.
+//!
+//! For every `.cl` file given, the tool compiles with analysis in
+//! `WarnOnly` mode and prints each kernel's report: its placement feature
+//! vector and every diagnostic, in the compiler's `line:col: severity
+//! (stage): message` format prefixed with the file path (so editors can
+//! jump to findings).
+//!
+//! Exit status: `0` when every file compiles and no kernel has an
+//! error-severity finding, `1` otherwise (warnings alone do not fail),
+//! `2` on usage or I/O errors.
+
+use std::process::ExitCode;
+
+use haocl_clc::{compile_with_options, AnalysisMode, CompileOptions};
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() || paths.iter().any(|p| p == "-h" || p == "--help") {
+        eprintln!("usage: haocl-lint <kernel.cl>...");
+        eprintln!("Statically checks OpenCL C kernels for barrier divergence,");
+        eprintln!("__local data races, out-of-bounds indexing and use-before-init.");
+        return ExitCode::from(2);
+    }
+    let opts = CompileOptions {
+        analysis: AnalysisMode::WarnOnly,
+    };
+    let mut failed = false;
+    for path in &paths {
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match compile_with_options(&source, &opts) {
+            Ok(program) => {
+                let mut names: Vec<&str> = program.kernel_names().collect();
+                names.sort_unstable();
+                for name in names {
+                    let k = program.kernel(name).expect("listed kernel exists");
+                    let f = &k.report.features;
+                    println!(
+                        "{path}: kernel `{name}`: local_bytes={} barriers={} \
+                         intensity={:.2} divergence={:.2}",
+                        f.local_bytes, f.barrier_count, f.arithmetic_intensity, f.divergence_score
+                    );
+                    for d in k.report.diagnostics.iter() {
+                        println!("{path}:{}", d.render());
+                    }
+                    failed |= k.report.has_errors();
+                }
+            }
+            Err(e) => {
+                for line in e.build_log().lines() {
+                    println!("{path}:{line}");
+                }
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -4,7 +4,9 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use crate::analysis::KernelReport;
 use crate::ast::ParamType;
+use crate::diag::Span;
 use crate::types::ScalarType;
 
 /// Arithmetic binary operations (operands already unified to one type).
@@ -195,12 +197,59 @@ pub struct CompiledKernel {
     /// Whether the kernel contains a `barrier(...)` (used by devices to
     /// cost synchronization).
     pub uses_barrier: bool,
+    /// Source span of the statement or expression each instruction was
+    /// lowered from, parallel to `code`. Empty only for hand-built kernels.
+    pub spans: Vec<Span>,
+    /// Pre-resolved source positions of every `Barrier` instruction, so the
+    /// VM (which has no source text) can name the barrier in errors.
+    pub barrier_sites: Vec<BarrierSite>,
+    /// Every statically-declared `__local` array, keyed by its byte offset
+    /// in the local arena (offsets are unique per kernel).
+    pub local_arrays: Vec<LocalArrayInfo>,
+    /// Static-analysis results, attached by [`crate::compile`].
+    pub report: KernelReport,
+}
+
+/// Metadata for one statically-declared `__local` array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalArrayInfo {
+    /// Variable name in source (for diagnostics).
+    pub name: String,
+    /// Byte offset of the array within the local arena.
+    pub byte_offset: u32,
+    /// Element type.
+    pub elem: ScalarType,
+    /// Declared extents (1 or 2 dimensions).
+    pub dims: Vec<u64>,
+}
+
+impl LocalArrayInfo {
+    /// Total number of elements.
+    pub fn extent_elems(&self) -> u64 {
+        self.dims.iter().product()
+    }
+}
+
+/// The 1-based source position of one `Barrier` instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierSite {
+    /// Instruction index of the `Barrier` in `code`.
+    pub pc: u32,
+    /// 1-based source line of the `barrier(...)` call.
+    pub line: u32,
+    /// 1-based source column of the `barrier(...)` call.
+    pub col: u32,
 }
 
 impl CompiledKernel {
     /// Number of declared parameters.
     pub fn arity(&self) -> usize {
         self.params.len()
+    }
+
+    /// Source position of the `Barrier` instruction at `pc`, if recorded.
+    pub fn barrier_site(&self, pc: u32) -> Option<BarrierSite> {
+        self.barrier_sites.iter().find(|s| s.pc == pc).copied()
     }
 }
 
@@ -242,6 +291,16 @@ impl CompiledProgram {
         self.kernels.get(name)
     }
 
+    /// Mutable iteration over kernels (used to attach analysis reports).
+    pub(crate) fn kernels_mut(&mut self) -> impl Iterator<Item = &mut CompiledKernel> {
+        self.kernels.values_mut()
+    }
+
+    /// Iterates over all kernels in name order.
+    pub fn kernels(&self) -> impl Iterator<Item = &CompiledKernel> {
+        self.kernels.values()
+    }
+
     /// The kernel names in this program, sorted.
     pub fn kernel_names(&self) -> impl Iterator<Item = &str> {
         self.kernels.keys().map(String::as_str)
@@ -270,6 +329,10 @@ mod tests {
             n_slots: 0,
             static_local_bytes: 0,
             uses_barrier: false,
+            spans: vec![Span::default()],
+            barrier_sites: vec![],
+            local_arrays: vec![],
+            report: KernelReport::default(),
         }
     }
 

@@ -54,6 +54,10 @@ pub enum Stage {
     Parse,
     /// Type checking / lowering.
     Sema,
+    /// Static analysis (CFG/dataflow checks).
+    Analysis,
+    /// NDRange execution (the VM's dynamic checks).
+    Exec,
 }
 
 impl fmt::Display for Stage {
@@ -62,7 +66,212 @@ impl fmt::Display for Stage {
             Stage::Lex => "lex",
             Stage::Parse => "parse",
             Stage::Sema => "sema",
+            Stage::Analysis => "analysis",
+            Stage::Exec => "exec",
         })
+    }
+}
+
+/// How serious a [`Diagnostic`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but not fatal; surfaced in the build log.
+    Warning,
+    /// Fails the build under `clBuildProgram` semantics.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// A single finding with a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    stage: Stage,
+    severity: Severity,
+    message: String,
+    line: usize,
+    col: usize,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic for `stage` at `span` within `source`.
+    pub fn at(
+        stage: Stage,
+        severity: Severity,
+        span: Span,
+        source: &str,
+        message: impl Into<String>,
+    ) -> Self {
+        let (line, col) = span.line_col(source);
+        Diagnostic {
+            stage,
+            severity,
+            message: message.into(),
+            line,
+            col,
+        }
+    }
+
+    /// Creates a diagnostic at an already-resolved 1-based position.
+    pub fn at_position(
+        stage: Stage,
+        severity: Severity,
+        line: usize,
+        col: usize,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            stage,
+            severity,
+            message: message.into(),
+            line,
+            col,
+        }
+    }
+
+    /// The stage that produced this diagnostic.
+    pub fn stage(&self) -> Stage {
+        self.stage
+    }
+
+    /// Warning or error.
+    pub fn severity(&self) -> Severity {
+        self.severity
+    }
+
+    /// The message without position information.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// 1-based source line.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// 1-based source column.
+    pub fn col(&self) -> usize {
+        self.col
+    }
+
+    /// One build-log line: `line:col: severity (stage): message`.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: {} ({}): {}",
+            self.line, self.col, self.severity, self.stage, self.message
+        )
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// An ordered collection of diagnostics from one compilation.
+///
+/// One `compile()` can report several findings; the collection renders them
+/// as a multi-line build log (one [`Diagnostic::render`] line each).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Diagnostics {
+    items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// Creates an empty collection.
+    pub fn new() -> Self {
+        Diagnostics::default()
+    }
+
+    /// Appends one diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.items.push(d);
+    }
+
+    /// All diagnostics in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.items.iter()
+    }
+
+    /// Number of diagnostics.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether there are no diagnostics at all.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of error-severity diagnostics.
+    pub fn error_count(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity diagnostics.
+    pub fn warning_count(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// Whether any diagnostic is an error.
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// Multi-line build log, one line per diagnostic.
+    pub fn render(&self) -> String {
+        self.items
+            .iter()
+            .map(Diagnostic::render)
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Folds this collection into a [`ClcError`] if it contains any error.
+    ///
+    /// The first error becomes the primary position; every other diagnostic
+    /// (warnings included) rides along in the build log.
+    pub fn into_error(mut self) -> Option<ClcError> {
+        let idx = self
+            .items
+            .iter()
+            .position(|d| d.severity == Severity::Error)?;
+        let first = self.items.remove(idx);
+        Some(ClcError {
+            stage: first.stage,
+            message: first.message,
+            line: first.line,
+            col: first.col,
+            notes: self.items,
+        })
+    }
+}
+
+impl IntoIterator for Diagnostics {
+    type Item = Diagnostic;
+    type IntoIter = std::vec::IntoIter<Diagnostic>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+impl Extend<Diagnostic> for Diagnostics {
+    fn extend<T: IntoIterator<Item = Diagnostic>>(&mut self, iter: T) {
+        self.items.extend(iter);
     }
 }
 
@@ -74,6 +283,7 @@ pub struct ClcError {
     message: String,
     line: usize,
     col: usize,
+    notes: Vec<Diagnostic>,
 }
 
 impl ClcError {
@@ -85,6 +295,18 @@ impl ClcError {
             message: message.into(),
             line,
             col,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Creates an error at an already-resolved 1-based position.
+    pub fn at_position(stage: Stage, line: usize, col: usize, message: impl Into<String>) -> Self {
+        ClcError {
+            stage,
+            message: message.into(),
+            line,
+            col,
+            notes: Vec::new(),
         }
     }
 
@@ -103,12 +325,30 @@ impl ClcError {
         self.line
     }
 
+    /// 1-based source column of the error.
+    pub fn col(&self) -> usize {
+        self.col
+    }
+
+    /// Secondary diagnostics attached to this failure (may be empty).
+    pub fn notes(&self) -> &[Diagnostic] {
+        &self.notes
+    }
+
     /// The `clGetProgramBuildInfo(CL_PROGRAM_BUILD_LOG)` equivalent.
+    ///
+    /// The first line keeps the historical single-error format; secondary
+    /// diagnostics follow, one per line.
     pub fn build_log(&self) -> String {
-        format!(
+        let mut log = format!(
             "{}:{}: error ({}): {}",
             self.line, self.col, self.stage, self.message
-        )
+        );
+        for note in &self.notes {
+            log.push('\n');
+            log.push_str(&note.render());
+        }
+        log
     }
 }
 
@@ -149,5 +389,81 @@ mod tests {
         assert_eq!(err.line(), 2);
         assert_eq!(err.message(), "expected `;`");
         assert_eq!(err.stage(), Stage::Parse);
+    }
+
+    #[test]
+    fn diagnostic_render_includes_severity_and_stage() {
+        let d = Diagnostic::at_position(Stage::Analysis, Severity::Warning, 3, 7, "unused slot");
+        assert_eq!(d.render(), "3:7: warning (analysis): unused slot");
+        assert_eq!(d.severity(), Severity::Warning);
+        assert_eq!(d.line(), 3);
+        assert_eq!(d.col(), 7);
+    }
+
+    #[test]
+    fn diagnostics_collection_counts_and_renders() {
+        let mut diags = Diagnostics::new();
+        assert!(diags.is_empty());
+        diags.push(Diagnostic::at_position(
+            Stage::Analysis,
+            Severity::Warning,
+            1,
+            1,
+            "w1",
+        ));
+        diags.push(Diagnostic::at_position(
+            Stage::Analysis,
+            Severity::Error,
+            2,
+            5,
+            "e1",
+        ));
+        assert_eq!(diags.len(), 2);
+        assert_eq!(diags.warning_count(), 1);
+        assert_eq!(diags.error_count(), 1);
+        assert!(diags.has_errors());
+        assert_eq!(
+            diags.render(),
+            "1:1: warning (analysis): w1\n2:5: error (analysis): e1"
+        );
+    }
+
+    #[test]
+    fn into_error_promotes_first_error_and_keeps_rest_as_notes() {
+        let mut diags = Diagnostics::new();
+        diags.push(Diagnostic::at_position(
+            Stage::Analysis,
+            Severity::Warning,
+            1,
+            1,
+            "w1",
+        ));
+        diags.push(Diagnostic::at_position(
+            Stage::Analysis,
+            Severity::Error,
+            4,
+            2,
+            "bad barrier",
+        ));
+        let err = diags.into_error().expect("has an error");
+        assert_eq!(err.line(), 4);
+        assert_eq!(err.stage(), Stage::Analysis);
+        assert_eq!(
+            err.build_log(),
+            "4:2: error (analysis): bad barrier\n1:1: warning (analysis): w1"
+        );
+    }
+
+    #[test]
+    fn into_error_is_none_for_warnings_only() {
+        let mut diags = Diagnostics::new();
+        diags.push(Diagnostic::at_position(
+            Stage::Analysis,
+            Severity::Warning,
+            1,
+            1,
+            "w",
+        ));
+        assert!(diags.into_error().is_none());
     }
 }

@@ -49,6 +49,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod analysis;
 pub mod ast;
 pub mod bytecode;
 pub mod diag;
@@ -58,6 +59,7 @@ pub mod sema;
 pub mod types;
 pub mod vm;
 
+pub use analysis::{AnalysisMode, CompileOptions, KernelFeatures, KernelReport};
 pub use bytecode::{CompiledKernel, CompiledProgram};
 pub use diag::ClcError;
 pub use types::{AddressSpace, ScalarType, Type};
@@ -65,12 +67,17 @@ pub use types::{AddressSpace, ScalarType, Type};
 /// Compiles OpenCL C source into an executable [`CompiledProgram`].
 ///
 /// This is the `clBuildProgram` equivalent: it lexes, parses, type-checks
-/// and lowers every `__kernel` function in `source`.
+/// and lowers every `__kernel` function in `source`, then runs the static
+/// analyzer ([`analysis`]) in [`AnalysisMode::Enforce`]: error-severity
+/// findings (barrier divergence, `__local` data races, provable
+/// out-of-bounds local indexing) fail the build just like a type error
+/// would. Use [`compile_with_options`] to relax or skip analysis.
 ///
 /// # Errors
 ///
 /// Returns a [`ClcError`] carrying a build log (with line/column
-/// positions) if the source fails to lex, parse or type-check.
+/// positions) if the source fails to lex, parse, type-check or pass the
+/// analyzer.
 ///
 /// # Examples
 ///
@@ -79,7 +86,34 @@ pub use types::{AddressSpace, ScalarType, Type};
 /// assert!(err.build_log().contains("expected"));
 /// ```
 pub fn compile(source: &str) -> Result<CompiledProgram, ClcError> {
+    compile_with_options(source, &CompileOptions::default())
+}
+
+/// [`compile`] with explicit [`CompileOptions`].
+///
+/// In [`AnalysisMode::WarnOnly`] and [`AnalysisMode::Enforce`], each
+/// compiled kernel carries its [`KernelReport`]; in
+/// [`AnalysisMode::Off`] reports stay empty.
+///
+/// # Errors
+///
+/// Returns a [`ClcError`] on lex/parse/sema failure in every mode, and
+/// additionally on error-severity analysis findings in
+/// [`AnalysisMode::Enforce`].
+pub fn compile_with_options(
+    source: &str,
+    options: &CompileOptions,
+) -> Result<CompiledProgram, ClcError> {
     let tokens = lexer::lex(source)?;
     let unit = parser::parse(&tokens, source)?;
-    sema::lower(&unit, source)
+    let mut program = sema::lower(&unit, source)?;
+    if options.analysis != AnalysisMode::Off {
+        let diags = analysis::analyze_program(&unit, &mut program, source);
+        if options.analysis == AnalysisMode::Enforce {
+            if let Some(err) = diags.into_error() {
+                return Err(err);
+            }
+        }
+    }
+    Ok(program)
 }

@@ -58,6 +58,14 @@ struct LoopFrame {
 struct Cx<'a> {
     source: &'a str,
     code: Vec<Instr>,
+    /// Source span each emitted instruction was lowered from (parallel to
+    /// `code`); `cur_span` is the span attributed to the next emission.
+    spans: Vec<Span>,
+    cur_span: Span,
+    /// `(pc, span)` of every emitted `Barrier`.
+    barriers: Vec<(u32, Span)>,
+    /// Every statically-declared `__local` array.
+    local_arrays: Vec<crate::bytecode::LocalArrayInfo>,
     scopes: Vec<HashMap<String, Binding>>,
     n_slots: u16,
     local_bytes: u32,
@@ -98,6 +106,7 @@ impl<'a> Cx<'a> {
     }
 
     fn emit(&mut self, i: Instr) -> usize {
+        self.spans.push(self.cur_span);
         self.code.push(i);
         self.code.len() - 1
     }
@@ -122,6 +131,10 @@ fn lower_kernel(k: &KernelDecl, source: &str) -> Result<CompiledKernel, ClcError
     let mut cx = Cx {
         source,
         code: Vec::new(),
+        spans: Vec::new(),
+        cur_span: k.span,
+        barriers: Vec::new(),
+        local_arrays: Vec::new(),
         scopes: vec![HashMap::new()],
         n_slots: 0,
         local_bytes: 0,
@@ -140,6 +153,18 @@ fn lower_kernel(k: &KernelDecl, source: &str) -> Result<CompiledKernel, ClcError
     }
     compile_block(&mut cx, &k.body)?;
     cx.emit(Instr::Return);
+    let barrier_sites = cx
+        .barriers
+        .iter()
+        .map(|&(pc, span)| {
+            let (line, col) = span.line_col(source);
+            crate::bytecode::BarrierSite {
+                pc,
+                line: line as u32,
+                col: col as u32,
+            }
+        })
+        .collect();
     Ok(CompiledKernel {
         name: k.name.clone(),
         params,
@@ -147,6 +172,10 @@ fn lower_kernel(k: &KernelDecl, source: &str) -> Result<CompiledKernel, ClcError
         n_slots: cx.n_slots,
         static_local_bytes: cx.local_bytes,
         uses_barrier: cx.uses_barrier,
+        spans: cx.spans,
+        barrier_sites,
+        local_arrays: cx.local_arrays,
+        report: crate::analysis::KernelReport::default(),
     })
 }
 
@@ -161,14 +190,21 @@ fn compile_block(cx: &mut Cx, b: &Block) -> Result<(), ClcError> {
 
 fn compile_stmt(cx: &mut Cx, s: &Stmt) -> Result<(), ClcError> {
     match s {
-        Stmt::Decl(d) => compile_decl(cx, d),
-        Stmt::Expr(e) => compile_effect(cx, e),
+        Stmt::Decl(d) => {
+            cx.cur_span = d.span;
+            compile_decl(cx, d)
+        }
+        Stmt::Expr(e) => {
+            cx.cur_span = e.span();
+            compile_effect(cx, e)
+        }
         Stmt::Block(b) => compile_block(cx, b),
         Stmt::If {
             cond,
             then,
             otherwise,
         } => {
+            cx.cur_span = cond.span();
             compile_condition(cx, cond)?;
             let jf = cx.emit(Instr::JumpIfFalse(0));
             compile_block(cx, then)?;
@@ -184,6 +220,7 @@ fn compile_stmt(cx: &mut Cx, s: &Stmt) -> Result<(), ClcError> {
         }
         Stmt::While { cond, body } => {
             let top = cx.code.len();
+            cx.cur_span = cond.span();
             compile_condition(cx, cond)?;
             let jf = cx.emit(Instr::JumpIfFalse(0));
             cx.loops.push(LoopFrame {
@@ -210,6 +247,7 @@ fn compile_stmt(cx: &mut Cx, s: &Stmt) -> Result<(), ClcError> {
             });
             compile_block(cx, body)?;
             let cond_at = cx.code.len();
+            cx.cur_span = cond.span();
             compile_condition(cx, cond)?;
             cx.emit(Instr::JumpIfTrue(top as u32));
             let frame = cx.loops.pop().expect("loop frame");
@@ -234,6 +272,7 @@ fn compile_stmt(cx: &mut Cx, s: &Stmt) -> Result<(), ClcError> {
             let top = cx.code.len();
             let jf = match cond {
                 Some(c) => {
+                    cx.cur_span = c.span();
                     compile_condition(cx, c)?;
                     Some(cx.emit(Instr::JumpIfFalse(0)))
                 }
@@ -263,6 +302,7 @@ fn compile_stmt(cx: &mut Cx, s: &Stmt) -> Result<(), ClcError> {
             Ok(())
         }
         Stmt::Break(span) => {
+            cx.cur_span = *span;
             let j = cx.emit(Instr::Jump(0));
             match cx.loops.last_mut() {
                 Some(f) => {
@@ -273,6 +313,7 @@ fn compile_stmt(cx: &mut Cx, s: &Stmt) -> Result<(), ClcError> {
             }
         }
         Stmt::Continue(span) => {
+            cx.cur_span = *span;
             let j = cx.emit(Instr::Jump(0));
             match cx.loops.last_mut() {
                 Some(f) => {
@@ -282,13 +323,16 @@ fn compile_stmt(cx: &mut Cx, s: &Stmt) -> Result<(), ClcError> {
                 None => Err(cx.err(*span, "`continue` outside of a loop")),
             }
         }
-        Stmt::Return(_) => {
+        Stmt::Return(span) => {
+            cx.cur_span = *span;
             cx.emit(Instr::Return);
             Ok(())
         }
-        Stmt::Barrier(_) => {
+        Stmt::Barrier(span) => {
             cx.uses_barrier = true;
-            cx.emit(Instr::Barrier);
+            cx.cur_span = *span;
+            let pc = cx.emit(Instr::Barrier);
+            cx.barriers.push((pc as u32, *span));
             Ok(())
         }
     }
@@ -311,6 +355,12 @@ fn compile_decl(cx: &mut Cx, d: &DeclStmt) -> Result<(), ClcError> {
         // 8-byte align each array.
         let offset = (cx.local_bytes + 7) & !7;
         cx.local_bytes = offset + bytes as u32;
+        cx.local_arrays.push(crate::bytecode::LocalArrayInfo {
+            name: d.name.clone(),
+            byte_offset: offset,
+            elem: d.ty,
+            dims: d.array_dims.clone(),
+        });
         cx.declare(
             &d.name,
             Binding::LocalArray {
@@ -470,6 +520,7 @@ fn compile_assign(
                     coerce(cx, rt, elem);
                 }
             }
+            cx.cur_span = target.span();
             cx.emit(Instr::StoreMem(elem));
             Ok(())
         }
@@ -745,6 +796,7 @@ fn nth_scalar(cx: &Cx, args: &[Expr], n: usize, span: Span) -> Result<ScalarType
 
 /// Compiles an rvalue, leaving the value on the stack.
 fn compile_rvalue(cx: &mut Cx, e: &Expr) -> Result<Type, ClcError> {
+    cx.cur_span = e.span();
     match e {
         Expr::IntLit { value, ty, .. } => {
             cx.emit(Instr::PushInt(*value as i64, *ty));
@@ -795,6 +847,7 @@ fn compile_rvalue(cx: &mut Cx, e: &Expr) -> Result<Type, ClcError> {
                 }
             }
             let elem = compile_place_inner(cx, base, index, *span)?;
+            cx.cur_span = *span;
             cx.emit(Instr::LoadMem(elem));
             Ok(Type::Scalar(elem))
         }

@@ -13,17 +13,48 @@ use crate::ast::ParamType;
 use crate::bytecode::{BinKind, CmpKind, CompiledKernel, Geom, Instr, Math1, Math2};
 use crate::types::{AddressSpace, ScalarType};
 
+/// What class of failure an [`ExecError`] reports.
+///
+/// The VM's dynamic checks mirror the static analyzer
+/// ([`crate::analysis`]): a kernel the analyzer passes clean must never
+/// produce [`BarrierDivergence`](ExecErrorKind::BarrierDivergence) or
+/// [`LocalRace`](ExecErrorKind::LocalRace) at runtime, which is exactly
+/// what the cross-check tests assert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExecErrorKind {
+    /// Argument mismatch, memory fault, arithmetic fault, …
+    General,
+    /// The work-items of a group did not all reach the same `barrier()`.
+    BarrierDivergence,
+    /// Checked mode only: conflicting `__local` accesses without an
+    /// intervening barrier.
+    LocalRace,
+    /// Checked mode only: the instruction budget ran out (the kernel
+    /// likely does not terminate).
+    BudgetExhausted,
+}
+
 /// A runtime execution failure (out-of-bounds access, divide by zero,
 /// barrier divergence, argument mismatch).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExecError {
     message: String,
+    kind: ExecErrorKind,
 }
 
 impl ExecError {
     fn new(message: impl Into<String>) -> Self {
         ExecError {
             message: message.into(),
+            kind: ExecErrorKind::General,
+        }
+    }
+
+    fn with_kind(kind: ExecErrorKind, message: impl Into<String>) -> Self {
+        ExecError {
+            message: message.into(),
+            kind,
         }
     }
 
@@ -39,6 +70,11 @@ impl ExecError {
     /// The failure description.
     pub fn message(&self) -> &str {
         &self.message
+    }
+
+    /// The failure class.
+    pub fn kind(&self) -> ExecErrorKind {
+        self.kind
     }
 }
 
@@ -471,6 +507,112 @@ struct Item {
     local_id: [u64; 3],
 }
 
+/// Configuration for [`run_ndrange_checked`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckConfig {
+    /// Fail (instead of hanging) once this many instructions have retired
+    /// across the whole launch. `u64::MAX` disables the budget.
+    pub max_instructions: u64,
+    /// Detect dynamic `__local` data races.
+    pub detect_races: bool,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            max_instructions: 50_000_000,
+            detect_races: true,
+        }
+    }
+}
+
+/// Dynamic `__local` race oracle.
+///
+/// For every arena byte it tracks the set of work-items (linear local
+/// index) that wrote the byte's *current value* since the last barrier:
+///
+/// * a read is racy when the byte has writers and the reader is not one
+///   of them (it observes another item's unsynchronized write);
+/// * a value-changing write is racy when a *different* item wrote the
+///   current value (that item's data is silently clobbered);
+/// * a same-value write is benign and joins the writer set, matching the
+///   analyzer's rule that only *different* values stored to one element
+///   constitute a race.
+///
+/// Writer sets are cleared whenever a barrier releases, so
+/// barrier-separated accesses never conflict.
+struct RaceOracle {
+    writers: Vec<Vec<u32>>,
+}
+
+impl RaceOracle {
+    fn new(arena_len: usize) -> Self {
+        RaceOracle {
+            writers: vec![Vec::new(); arena_len],
+        }
+    }
+
+    fn reset(&mut self) {
+        for w in &mut self.writers {
+            w.clear();
+        }
+    }
+
+    /// Returns a conflicting writer if `item` reading `len` bytes at
+    /// `off` races with an unsynchronized write.
+    fn note_read(&self, off: usize, len: usize, item: u32) -> Option<u32> {
+        for w in &self.writers[off..off + len] {
+            if !w.is_empty() && !w.contains(&item) {
+                return Some(w[0]);
+            }
+        }
+        None
+    }
+
+    /// Records `item` overwriting `old` with `new` at `off`; returns a
+    /// conflicting prior writer if the write races.
+    fn note_write(&mut self, off: usize, old: &[u8], new: &[u8], item: u32) -> Option<u32> {
+        for (i, (&o, &n)) in old.iter().zip(new).enumerate() {
+            let w = &mut self.writers[off + i];
+            if o != n {
+                if let Some(&other) = w.iter().find(|&&j| j != item) {
+                    return Some(other);
+                }
+                w.clear();
+                w.push(item);
+            } else if !w.contains(&item) {
+                w.push(item);
+            }
+        }
+        None
+    }
+}
+
+struct Checked {
+    cfg: CheckConfig,
+    oracle: RaceOracle,
+}
+
+/// Formats a barrier's source position for error messages.
+fn barrier_pos(kernel: &CompiledKernel, pc: usize) -> String {
+    match kernel.barrier_site(pc as u32) {
+        Some(s) => format!("the barrier at line {}, column {}", s.line, s.col),
+        None => format!("the barrier at pc {pc}"),
+    }
+}
+
+/// Builds the checked-mode `__local` race error.
+fn local_race_error(kernel: &CompiledKernel, item: u32, other: u32, verb: &str) -> ExecError {
+    ExecError::with_kind(
+        ExecErrorKind::LocalRace,
+        format!(
+            "data race on __local memory in kernel `{}`: work-item {item} {verb} \
+             a value stored by work-item {other} with no intervening barrier",
+            kernel.name
+        ),
+    )
+}
+
 /// Executes `kernel` across the whole `range`.
 ///
 /// `args` supplies one [`ArgValue`] per kernel parameter, and
@@ -487,6 +629,41 @@ pub fn run_ndrange(
     args: &[ArgValue],
     buffers: &mut [GlobalBuffer],
     range: &NdRange,
+) -> Result<ExecStats, ExecError> {
+    run_ndrange_impl(kernel, args, buffers, range, None)
+}
+
+/// [`run_ndrange`] with dynamic checking: an instruction budget (so
+/// non-terminating kernels fail instead of hanging) and a `__local` race
+/// oracle (see [`RaceOracle`]'s rules in the module source).
+///
+/// This is the dynamic counterpart of the static analyzer
+/// ([`crate::analysis`]): the analyzer is conservative, so a kernel it
+/// passes clean must also pass checked execution — the lint-corpus
+/// cross-check tests assert exactly that (one-directional: checked
+/// execution observes only the launched NDRange, so it can miss races the
+/// analyzer flags).
+///
+/// # Errors
+///
+/// Everything [`run_ndrange`] returns, plus
+/// [`ExecErrorKind::LocalRace`] and [`ExecErrorKind::BudgetExhausted`].
+pub fn run_ndrange_checked(
+    kernel: &CompiledKernel,
+    args: &[ArgValue],
+    buffers: &mut [GlobalBuffer],
+    range: &NdRange,
+    cfg: &CheckConfig,
+) -> Result<ExecStats, ExecError> {
+    run_ndrange_impl(kernel, args, buffers, range, Some(cfg))
+}
+
+fn run_ndrange_impl(
+    kernel: &CompiledKernel,
+    args: &[ArgValue],
+    buffers: &mut [GlobalBuffer],
+    range: &NdRange,
+    cfg: Option<&CheckConfig>,
 ) -> Result<ExecStats, ExecError> {
     range.validate()?;
     if args.len() != kernel.params.len() {
@@ -545,6 +722,10 @@ pub fn run_ndrange(
     ];
     let mut stats = ExecStats::default();
     let mut arena = vec![0u8; arena_bytes];
+    let mut checked = cfg.map(|c| Checked {
+        cfg: *c,
+        oracle: RaceOracle::new(arena_bytes),
+    });
     for gz in 0..num_groups[2] {
         for gy in 0..num_groups[1] {
             for gx in 0..num_groups[0] {
@@ -557,6 +738,7 @@ pub fn run_ndrange(
                     num_groups,
                     &mut arena,
                     &mut stats,
+                    checked.as_mut(),
                 )?;
                 stats.work_groups += 1;
             }
@@ -575,8 +757,12 @@ fn run_group(
     num_groups: [u64; 3],
     arena: &mut [u8],
     stats: &mut ExecStats,
+    mut checked: Option<&mut Checked>,
 ) -> Result<(), ExecError> {
     arena.fill(0);
+    if let Some(c) = checked.as_deref_mut() {
+        c.oracle.reset();
+    }
     let mut items = Vec::with_capacity(range.group_items() as usize);
     for lz in 0..range.local[2] {
         for ly in 0..range.local[1] {
@@ -602,30 +788,66 @@ fn run_group(
     }
     loop {
         let mut any_running = false;
-        for item in &mut items {
+        for (idx, item) in items.iter_mut().enumerate() {
             if item.status == ItemStatus::Running {
                 run_item(
-                    kernel, item, buffers, range, group_id, num_groups, arena, stats,
+                    kernel,
+                    item,
+                    buffers,
+                    range,
+                    group_id,
+                    num_groups,
+                    arena,
+                    stats,
+                    idx as u32,
+                    checked.as_deref_mut(),
                 )?;
                 any_running = true;
             }
         }
         if !any_running {
             // A full pass with nothing running: all are AtBarrier or Done.
-            let at_barrier = items
+            // A waiting item's barrier is at `pc - 1` (the pc was advanced
+            // before the Barrier executed).
+            let waiting_pcs: Vec<usize> = items
                 .iter()
                 .filter(|i| i.status == ItemStatus::AtBarrier)
-                .count();
-            if at_barrier == 0 {
+                .map(|i| i.pc - 1)
+                .collect();
+            if waiting_pcs.is_empty() {
                 break;
             }
-            let done = items.len() - at_barrier;
+            let done = items.len() - waiting_pcs.len();
             if done > 0 {
-                return Err(ExecError::new(format!(
-                    "barrier divergence in kernel `{}`: {at_barrier} item(s) at a barrier \
-                     while {done} finished",
-                    kernel.name
-                )));
+                return Err(ExecError::with_kind(
+                    ExecErrorKind::BarrierDivergence,
+                    format!(
+                        "barrier divergence in kernel `{}`: {} item(s) wait at {} \
+                         while {done} finished without reaching it",
+                        kernel.name,
+                        waiting_pcs.len(),
+                        barrier_pos(kernel, waiting_pcs[0]),
+                    ),
+                ));
+            }
+            // Every item waits — but a release is only legal when they all
+            // wait at the *same* barrier. Divergent control flow can park
+            // items at distinct barrier sites, which real devices deadlock
+            // or corrupt on; report it as divergence instead.
+            if let Some(&other) = waiting_pcs.iter().find(|&&pc| pc != waiting_pcs[0]) {
+                return Err(ExecError::with_kind(
+                    ExecErrorKind::BarrierDivergence,
+                    format!(
+                        "barrier divergence in kernel `{}`: work-items of one group wait \
+                         at different barriers ({} vs {})",
+                        kernel.name,
+                        barrier_pos(kernel, waiting_pcs[0]),
+                        barrier_pos(kernel, other),
+                    ),
+                ));
+            }
+            if let Some(c) = checked.as_deref_mut() {
+                c.oracle.reset();
             }
             for item in &mut items {
                 item.status = ItemStatus::Running;
@@ -646,6 +868,8 @@ fn run_item(
     num_groups: [u64; 3],
     arena: &mut [u8],
     stats: &mut ExecStats,
+    idx: u32,
+    mut checked: Option<&mut Checked>,
 ) -> Result<(), ExecError> {
     let code = &kernel.code;
     loop {
@@ -657,6 +881,18 @@ fn run_item(
         };
         item.pc += 1;
         stats.instructions += 1;
+        if let Some(c) = checked.as_deref() {
+            if stats.instructions > c.cfg.max_instructions {
+                return Err(ExecError::with_kind(
+                    ExecErrorKind::BudgetExhausted,
+                    format!(
+                        "instruction budget exhausted in kernel `{}` after {} \
+                         instructions: the kernel may not terminate",
+                        kernel.name, c.cfg.max_instructions
+                    ),
+                ));
+            }
+        }
         match *instr {
             Instr::PushInt(v, ty) => item.stack.push(int_value(v, ty)),
             Instr::PushFloat(v, ty) => item.stack.push(if ty == ScalarType::F32 {
@@ -682,13 +918,41 @@ fn run_item(
             }
             Instr::LoadMem(elem) => {
                 let p = pop(&mut item.stack)?.as_ptr()?;
+                if p.space == PtrSpace::Local {
+                    if let Some(c) = checked.as_deref() {
+                        if c.cfg.detect_races {
+                            let sz = elem.size_bytes();
+                            let off = checked_offset(p.offset, sz, arena.len())?;
+                            if let Some(other) = c.oracle.note_read(off, sz, idx) {
+                                return Err(local_race_error(kernel, idx, other, "reads"));
+                            }
+                        }
+                    }
+                }
                 let v = load_mem(p, elem, buffers, arena)?;
                 item.stack.push(v);
             }
             Instr::StoreMem(elem) => {
                 let v = pop(&mut item.stack)?;
                 let p = pop(&mut item.stack)?.as_ptr()?;
-                store_mem(p, elem, &v, buffers, arena)?;
+                let race_check = p.space == PtrSpace::Local
+                    && checked.as_deref().is_some_and(|c| c.cfg.detect_races);
+                if race_check {
+                    let sz = elem.size_bytes();
+                    let off = checked_offset(p.offset, sz, arena.len())?;
+                    let mut old = [0u8; 8];
+                    old[..sz].copy_from_slice(&arena[off..off + sz]);
+                    store_mem(p, elem, &v, buffers, arena)?;
+                    let c = checked.as_deref_mut().expect("race_check implies checked");
+                    if let Some(other) =
+                        c.oracle
+                            .note_write(off, &old[..sz], &arena[off..off + sz], idx)
+                    {
+                        return Err(local_race_error(kernel, idx, other, "overwrites"));
+                    }
+                } else {
+                    store_mem(p, elem, &v, buffers, arena)?;
+                }
             }
             Instr::PtrAdd => {
                 let idx = pop(&mut item.stack)?.as_index()?;
@@ -1060,6 +1324,27 @@ mod tests {
         run_ndrange(k, args, buffers, range)
     }
 
+    /// Compiles with `WarnOnly` analysis: tests of the VM's *dynamic*
+    /// oracles need kernels the static analyzer would reject at build time.
+    fn run_warn(
+        src: &str,
+        kernel: &str,
+        args: &[ArgValue],
+        buffers: &mut [GlobalBuffer],
+        range: &NdRange,
+        cfg: Option<&CheckConfig>,
+    ) -> Result<ExecStats, ExecError> {
+        let opts = crate::CompileOptions {
+            analysis: crate::AnalysisMode::WarnOnly,
+        };
+        let p = crate::compile_with_options(src, &opts).expect("compile");
+        let k = p.kernel(kernel).expect("kernel");
+        match cfg {
+            Some(c) => run_ndrange_checked(k, args, buffers, range, c),
+            None => run_ndrange(k, args, buffers, range),
+        }
+    }
+
     #[test]
     fn vector_add() {
         let src = r#"__kernel void vadd(__global const float* a, __global const float* b,
@@ -1245,15 +1530,169 @@ mod tests {
             a[get_global_id(0)] = 1;
         }"#;
         let mut bufs = vec![GlobalBuffer::zeroed(8)];
-        let err = run(
+        let err = run_warn(
             src,
             "div",
             &[ArgValue::global(0)],
             &mut bufs,
             &NdRange::linear(2, 2),
+            None,
         )
         .unwrap_err();
         assert!(err.message().contains("divergence"));
+        assert_eq!(err.kind(), ExecErrorKind::BarrierDivergence);
+        // The error names where the waiting items are parked.
+        assert!(err.message().contains("line 2"), "{}", err.message());
+    }
+
+    #[test]
+    fn waiting_at_different_barriers_is_divergence() {
+        // Both items reach *a* barrier, but not the *same* one; releasing
+        // them together would be wrong (real devices deadlock here).
+        let src = r#"__kernel void twob(__global int* a) {
+            if (get_local_id(0) == 0) {
+                barrier(CLK_LOCAL_MEM_FENCE);
+            } else {
+                barrier(CLK_LOCAL_MEM_FENCE);
+            }
+            a[get_global_id(0)] = 1;
+        }"#;
+        let mut bufs = vec![GlobalBuffer::zeroed(8)];
+        let err = run_warn(
+            src,
+            "twob",
+            &[ArgValue::global(0)],
+            &mut bufs,
+            &NdRange::linear(2, 2),
+            None,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), ExecErrorKind::BarrierDivergence);
+        assert!(
+            err.message().contains("different barriers"),
+            "{}",
+            err.message()
+        );
+        assert!(err.message().contains("line 3"), "{}", err.message());
+        assert!(err.message().contains("line 5"), "{}", err.message());
+    }
+
+    #[test]
+    fn checked_mode_detects_local_race() {
+        // Every item stores its own id to tmp[0]: a classic same-element
+        // different-values race the static analyzer also flags.
+        let src = r#"__kernel void race(__global int* out) {
+            __local int tmp[1];
+            tmp[0] = get_local_id(0);
+            out[get_global_id(0)] = tmp[0];
+        }"#;
+        let mut bufs = vec![GlobalBuffer::zeroed(16)];
+        let err = run_warn(
+            src,
+            "race",
+            &[ArgValue::global(0)],
+            &mut bufs,
+            &NdRange::linear(4, 4),
+            Some(&CheckConfig::default()),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), ExecErrorKind::LocalRace);
+        assert!(err.message().contains("data race"), "{}", err.message());
+    }
+
+    #[test]
+    fn checked_mode_detects_unsynchronized_read() {
+        // Item reads its neighbour's slot with no barrier in between.
+        let src = r#"__kernel void xread(__global int* out) {
+            __local int tmp[8];
+            int l = get_local_id(0);
+            tmp[l] = l + 1;
+            out[get_global_id(0)] = tmp[7 - l];
+        }"#;
+        let mut bufs = vec![GlobalBuffer::zeroed(32)];
+        let err = run_warn(
+            src,
+            "xread",
+            &[ArgValue::global(0)],
+            &mut bufs,
+            &NdRange::linear(8, 8),
+            Some(&CheckConfig::default()),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), ExecErrorKind::LocalRace);
+        assert!(err.message().contains("reads"), "{}", err.message());
+    }
+
+    #[test]
+    fn checked_mode_accepts_barrier_separated_accesses() {
+        // The `rev` kernel from `barrier_synchronizes_local_memory` is
+        // clean: the barrier resets the oracle's writer sets.
+        let src = r#"__kernel void rev(__global int* out) {
+            __local int tmp[8];
+            int l = get_local_id(0);
+            int n = get_local_size(0);
+            tmp[l] = l * 10;
+            barrier(CLK_LOCAL_MEM_FENCE);
+            out[get_global_id(0)] = tmp[n - 1 - l];
+        }"#;
+        let mut bufs = vec![GlobalBuffer::zeroed(8 * 4)];
+        run_warn(
+            src,
+            "rev",
+            &[ArgValue::global(0)],
+            &mut bufs,
+            &NdRange::linear(8, 8),
+            Some(&CheckConfig::default()),
+        )
+        .unwrap();
+        assert_eq!(bufs[0].as_i32(), vec![70, 60, 50, 40, 30, 20, 10, 0]);
+    }
+
+    #[test]
+    fn checked_mode_accepts_same_value_stores() {
+        // All items store the same constant to tmp[0]: benign by the
+        // same rule the static analyzer uses.
+        let src = r#"__kernel void bcast(__global int* out) {
+            __local int tmp[1];
+            tmp[0] = 42;
+            out[get_global_id(0)] = tmp[0];
+        }"#;
+        let mut bufs = vec![GlobalBuffer::zeroed(16)];
+        run_warn(
+            src,
+            "bcast",
+            &[ArgValue::global(0)],
+            &mut bufs,
+            &NdRange::linear(4, 4),
+            Some(&CheckConfig::default()),
+        )
+        .unwrap();
+        assert_eq!(bufs[0].as_i32(), vec![42, 42, 42, 42]);
+    }
+
+    #[test]
+    fn checked_mode_budget_stops_runaway_loop() {
+        let src = r#"__kernel void spin(__global int* out) {
+            int x = 0;
+            while (x < 10) { x = x - 1; }
+            out[0] = x;
+        }"#;
+        let mut bufs = vec![GlobalBuffer::zeroed(4)];
+        let cfg = CheckConfig {
+            max_instructions: 10_000,
+            detect_races: true,
+        };
+        let err = run_warn(
+            src,
+            "spin",
+            &[ArgValue::global(0)],
+            &mut bufs,
+            &NdRange::linear(1, 1),
+            Some(&cfg),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), ExecErrorKind::BudgetExhausted);
+        assert!(err.message().contains("budget"), "{}", err.message());
     }
 
     #[test]

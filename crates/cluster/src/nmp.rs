@@ -25,7 +25,9 @@ use haocl_device::{presets, SimDevice};
 use haocl_kernel::{CostModel, Kernel, KernelRegistry, NdRange};
 use haocl_net::{Conn, Fabric, Listener, NetError};
 use haocl_proto::ids::{KernelId, ProgramId, UserId};
-use haocl_proto::messages::{status, ApiCall, ApiReply, Envelope, Request, Response};
+use haocl_proto::messages::{
+    status, ApiCall, ApiReply, Envelope, Request, Response, WireKernelReport,
+};
 use haocl_proto::wire::{decode_from_slice, encode_to_vec};
 use haocl_sim::SimTime;
 
@@ -224,6 +226,22 @@ fn err_reply(code: i32, message: impl Into<String>) -> ApiReply {
     }
 }
 
+/// Flattens each kernel's static-analysis report into its wire form.
+fn wire_reports(compiled: &haocl_clc::CompiledProgram) -> Vec<WireKernelReport> {
+    compiled
+        .kernels()
+        .map(|k| WireKernelReport {
+            kernel: k.name.clone(),
+            errors: k.report.diagnostics.error_count() as u32,
+            warnings: k.report.diagnostics.warning_count() as u32,
+            local_bytes: k.report.features.local_bytes,
+            barrier_count: k.report.features.barrier_count,
+            arithmetic_intensity: k.report.features.arithmetic_intensity,
+            divergence_score: k.report.features.divergence_score,
+        })
+        .collect()
+}
+
 fn device_error_reply(e: DeviceError) -> ApiReply {
     let code = match &e {
         DeviceError::Memory(MemoryError::OutOfMemory { .. }) => {
@@ -383,15 +401,29 @@ fn dispatch(
                     at,
                 );
             }
-            match haocl_clc::compile(&source) {
+            // Compile in `WarnOnly`: the node is mechanism, the host is
+            // policy. Analysis findings travel back as wire reports and
+            // `Program::build` decides whether errors fail the build.
+            let opts = haocl_clc::CompileOptions {
+                analysis: haocl_clc::AnalysisMode::WarnOnly,
+            };
+            match haocl_clc::compile_with_options(&source, &opts) {
                 Ok(compiled) => {
+                    let reports = wire_reports(&compiled);
+                    let log = compiled
+                        .kernels()
+                        .map(|k| k.report.diagnostics.render())
+                        .filter(|r| !r.is_empty())
+                        .collect::<Vec<_>>()
+                        .join("\n");
                     state
                         .programs
                         .insert((program, device), ProgramEntry::Built(compiled));
                     (
                         ApiReply::BuildLog {
                             ok: true,
-                            log: String::new(),
+                            log,
+                            reports,
                         },
                         at,
                     )
@@ -400,6 +432,7 @@ fn dispatch(
                     ApiReply::BuildLog {
                         ok: false,
                         log: e.build_log(),
+                        reports: Vec::new(),
                     },
                     at,
                 ),
@@ -429,6 +462,7 @@ fn dispatch(
                                 .collect::<Vec<_>>()
                                 .join(", ")
                         ),
+                        reports: Vec::new(),
                     },
                     at,
                 );
@@ -442,6 +476,7 @@ fn dispatch(
                 ApiReply::BuildLog {
                     ok: true,
                     log: format!("loaded {n} pre-built kernel(s)"),
+                    reports: Vec::new(),
                 },
                 grant.end,
             )
@@ -752,9 +787,45 @@ mod tests {
             },
         );
         match r {
-            ApiReply::BuildLog { ok, log } => {
+            ApiReply::BuildLog { ok, log, reports } => {
                 assert!(!ok);
                 assert!(log.contains("error"));
+                assert!(reports.is_empty());
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        handle.stop();
+    }
+
+    #[test]
+    fn build_reply_carries_kernel_reports() {
+        let (_f, handle, mut conn) = launch_one_node();
+        // A divergent barrier: the node compiles WarnOnly, so the build
+        // succeeds but the report carries the error for host-side policy.
+        let src = r#"__kernel void div(__global int* a) {
+            __local int tmp[4];
+            if (get_local_id(0) == 0) { barrier(CLK_LOCAL_MEM_FENCE); }
+            tmp[0] = 1;
+            a[get_global_id(0)] = tmp[0];
+        }"#;
+        let (r, _) = call(
+            &mut conn,
+            1,
+            ApiCall::BuildProgram {
+                device: 0,
+                program: ProgramId::new(1),
+                source: src.into(),
+            },
+        );
+        match r {
+            ApiReply::BuildLog { ok, log, reports } => {
+                assert!(ok, "WarnOnly build must succeed on the node");
+                assert!(log.contains("barrier divergence"), "{log}");
+                assert_eq!(reports.len(), 1);
+                assert_eq!(reports[0].kernel, "div");
+                assert!(reports[0].errors >= 1);
+                assert_eq!(reports[0].barrier_count, 1);
+                assert_eq!(reports[0].local_bytes, 16);
             }
             other => panic!("unexpected reply {other:?}"),
         }

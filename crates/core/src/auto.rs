@@ -65,6 +65,18 @@ impl AutoScheduler {
         &self.queues
     }
 
+    /// Seeds the profiling database from a built program's static
+    /// kernel-analysis reports, so the first-ever launch of each kernel
+    /// is already placed with the compiler's feature vector (barrier
+    /// count, `__local` footprint, arithmetic intensity, divergence)
+    /// instead of the bare cost model. Observed run times displace the
+    /// seeds as the profile warms up.
+    pub fn adopt_static_hints(&self, program: &crate::program::Program) {
+        for report in program.kernel_reports() {
+            haocl_sched::seed_from_report(self.scheduler.profile(), &report);
+        }
+    }
+
     /// Launches `kernel`, letting the policy choose the device.
     ///
     /// FPGA devices are considered only for bitstream programs (§III-D).
@@ -201,6 +213,43 @@ mod tests {
         k.set_cost(CostModel::new().flops(1e10).bytes_read(1e6).streaming());
         let (_, dev) = auto.launch(&k, NdRange::linear(4, 1)).unwrap();
         assert_eq!(ctx.devices()[dev].kind(), DeviceKind::Fpga);
+    }
+
+    #[test]
+    fn static_hints_steer_the_first_launch() {
+        let (_p, ctx) = setup(&[DeviceKind::Cpu, DeviceKind::Gpu]);
+        let auto = AutoScheduler::new(&ctx, Box::new(policies::HeteroAware::new())).unwrap();
+        // A heavily divergent kernel: every work-item walks a different
+        // data-dependent loop. The analyzer's divergence score discounts
+        // the GPU, so with hints adopted the first launch lands on the CPU
+        // even though the raw cost model would pick the GPU.
+        let prog = Program::from_source(
+            &ctx,
+            r#"__kernel void walk(__global int* a, int n) {
+                int i = get_global_id(0);
+                int steps = 0;
+                for (int j = 0; j < i % 7; j++) {
+                    if (a[j] > 0) { steps = steps + a[j]; } else { steps = steps - 1; }
+                    if (steps > 100) { steps = steps / 2; }
+                }
+                a[i] = steps;
+            }"#,
+        );
+        prog.build().unwrap();
+        let auto_db_before = auto.scheduler.profile().predict("walk", DeviceKind::Gpu);
+        assert!(auto_db_before.is_none(), "profile starts cold");
+        auto.adopt_static_hints(&prog);
+        let k = Kernel::new(&prog, "walk").unwrap();
+        let buf = Buffer::new(&ctx, MemFlags::READ_WRITE, 16).unwrap();
+        k.set_arg_buffer(0, &buf).unwrap();
+        k.set_arg_i32(1, 4).unwrap();
+        k.set_cost(CostModel::new().flops(1e10));
+        let (_, dev) = auto.launch(&k, NdRange::linear(4, 1)).unwrap();
+        assert_eq!(
+            ctx.devices()[dev].kind(),
+            DeviceKind::Cpu,
+            "divergence hint overrides the dense-compute GPU default"
+        );
     }
 
     #[test]

@@ -1,12 +1,13 @@
 //! `cl_program` objects.
 
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use haocl_proto::ids::ProgramId;
-use haocl_proto::messages::{ApiCall, ApiReply, DeviceKind};
+use haocl_proto::messages::{ApiCall, ApiReply, DeviceKind, WireKernelReport};
 use haocl_sim::Phase;
 
 use crate::context::Context;
@@ -29,6 +30,11 @@ pub(crate) struct ProgramInner {
     /// Devices (global indices) the program has been built for.
     pub(crate) built: Mutex<HashSet<usize>>,
     build_log: Mutex<String>,
+    /// Per-kernel static-analysis summaries from the last source build.
+    reports: Mutex<Vec<WireKernelReport>>,
+    /// Whether error-severity analysis findings fail [`Program::build`]
+    /// (`clBuildProgram` semantics). On by default.
+    enforce_analysis: AtomicBool,
 }
 
 /// An OpenCL program: source text or a set of pre-built kernels, built
@@ -70,6 +76,8 @@ impl Program {
                 form,
                 built: Mutex::new(HashSet::new()),
                 build_log: Mutex::new(String::new()),
+                reports: Mutex::new(Vec::new()),
+                enforce_analysis: AtomicBool::new(true),
             }),
         }
     }
@@ -119,12 +127,30 @@ impl Program {
                 .platform
                 .call_traced(device.node(), call, Phase::Init)?;
             match outcome.reply {
-                ApiReply::BuildLog { ok: true, log } => {
-                    *self.inner.build_log.lock() = log;
+                ApiReply::BuildLog {
+                    ok: true,
+                    log,
+                    reports,
+                } => {
+                    // Nodes compile WarnOnly (mechanism); whether analysis
+                    // errors fail the build is host policy, decided here.
+                    let errors = reports.iter().map(|r| r.errors).sum::<u32>();
+                    *self.inner.build_log.lock() = log.clone();
+                    if !reports.is_empty() {
+                        *self.inner.reports.lock() = reports;
+                    }
+                    if errors > 0 && self.inner.enforce_analysis.load(Ordering::Relaxed) {
+                        return Err(Error::api(Status::BuildProgramFailure, log));
+                    }
                     self.inner.built.lock().insert(device.index);
                 }
-                ApiReply::BuildLog { ok: false, log } => {
+                ApiReply::BuildLog {
+                    ok: false,
+                    log,
+                    reports,
+                } => {
                     *self.inner.build_log.lock() = log.clone();
+                    *self.inner.reports.lock() = reports;
                     return Err(Error::api(Status::BuildProgramFailure, log));
                 }
                 other => {
@@ -133,6 +159,23 @@ impl Program {
             }
         }
         Ok(())
+    }
+
+    /// Disables (or re-enables) failing the build on error-severity
+    /// static-analysis findings — the escape hatch for kernels the
+    /// conservative analyzer rejects but the author knows to be safe.
+    /// Warnings always stay in the [build log](Self::build_log).
+    pub fn set_analysis_enforced(&self, enforced: bool) {
+        self.inner
+            .enforce_analysis
+            .store(enforced, Ordering::Relaxed);
+    }
+
+    /// Per-kernel static-analysis summaries from the last source build
+    /// (empty before [`build`](Self::build) and for bitstream programs).
+    /// The scheduler uses these to seed placement hints.
+    pub fn kernel_reports(&self) -> Vec<WireKernelReport> {
+        self.inner.reports.lock().clone()
     }
 
     /// The last build log (`clGetProgramBuildInfo(CL_PROGRAM_BUILD_LOG)`).
@@ -212,6 +255,55 @@ mod tests {
         let prog = Program::with_bitstream_kernels(&ctx, ["ghost_kernel"]);
         let err = prog.build().unwrap_err();
         assert_eq!(err.status(), Some(Status::BuildProgramFailure));
+    }
+
+    const DIVERGENT_SRC: &str = r#"__kernel void div(__global int* a) {
+        if (get_local_id(0) == 0) { barrier(CLK_LOCAL_MEM_FENCE); }
+        a[get_global_id(0)] = 1;
+    }"#;
+
+    #[test]
+    fn analysis_errors_fail_the_build_by_default() {
+        let p = Platform::local(&[DeviceKind::Gpu]).unwrap();
+        let ctx = Context::new(&p, &p.devices(DeviceType::All)).unwrap();
+        let prog = Program::from_source(&ctx, DIVERGENT_SRC);
+        let err = prog.build().unwrap_err();
+        assert_eq!(err.status(), Some(Status::BuildProgramFailure));
+        assert!(prog.build_log().contains("barrier divergence"));
+        assert!(!prog.is_built_for(0));
+    }
+
+    #[test]
+    fn analysis_enforcement_can_be_waived() {
+        let p = Platform::local(&[DeviceKind::Gpu]).unwrap();
+        let ctx = Context::new(&p, &p.devices(DeviceType::All)).unwrap();
+        let prog = Program::from_source(&ctx, DIVERGENT_SRC);
+        prog.set_analysis_enforced(false);
+        prog.build().unwrap();
+        assert!(prog.is_built_for(0));
+        // The finding still lands in the log and the reports.
+        assert!(prog.build_log().contains("barrier divergence"));
+        let reports = prog.kernel_reports();
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].errors >= 1);
+    }
+
+    #[test]
+    fn clean_build_exposes_kernel_features() {
+        let p = Platform::local(&[DeviceKind::Gpu]).unwrap();
+        let ctx = Context::new(&p, &p.devices(DeviceType::All)).unwrap();
+        let src = r#"__kernel void saxpy(__global float* y, __global const float* x, float a) {
+            int i = get_global_id(0);
+            y[i] = y[i] + a * x[i];
+        }"#;
+        let prog = Program::from_source(&ctx, src);
+        prog.build().unwrap();
+        let reports = prog.kernel_reports();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].kernel, "saxpy");
+        assert_eq!(reports[0].errors, 0);
+        assert!(reports[0].arithmetic_intensity > 0.0);
+        assert_eq!(reports[0].barrier_count, 0);
     }
 
     #[test]

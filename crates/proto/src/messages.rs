@@ -330,6 +330,9 @@ pub enum ApiReply {
         ok: bool,
         /// Compiler/loader log text.
         log: String,
+        /// Static-analysis summary per kernel (empty when the node's
+        /// toolchain does not run the analyzer, e.g. bitstream loads).
+        reports: Vec<WireKernelReport>,
     },
     /// Launch outcome with device-side virtual timing.
     LaunchDone {
@@ -362,6 +365,29 @@ pub enum ApiReply {
         /// Bytes the modeled payload stands in for.
         len: u64,
     },
+}
+
+/// Static-analysis summary of one built kernel, produced by the device
+/// node's compiler and forwarded in [`ApiReply::BuildLog`] so the host
+/// scheduler can seed placement hints before any launch has run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WireKernelReport {
+    /// Kernel name.
+    pub kernel: String,
+    /// Error-severity findings (barrier divergence, `__local` races,
+    /// provable out-of-bounds).
+    pub errors: u32,
+    /// Warning-severity findings.
+    pub warnings: u32,
+    /// Statically-declared `__local` bytes.
+    pub local_bytes: u32,
+    /// Number of `barrier(...)` sites.
+    pub barrier_count: u32,
+    /// Static flops-per-byte estimate.
+    pub arithmetic_intensity: f64,
+    /// Fraction of reachable blocks under work-item-dependent control
+    /// flow.
+    pub divergence_score: f64,
 }
 
 /// One row of a node's runtime profile.
@@ -888,6 +914,32 @@ impl Decode for ApiCall {
     }
 }
 
+impl Encode for WireKernelReport {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.kernel.encode(buf);
+        self.errors.encode(buf);
+        self.warnings.encode(buf);
+        self.local_bytes.encode(buf);
+        self.barrier_count.encode(buf);
+        self.arithmetic_intensity.encode(buf);
+        self.divergence_score.encode(buf);
+    }
+}
+
+impl Decode for WireKernelReport {
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(WireKernelReport {
+            kernel: Decode::decode(buf)?,
+            errors: Decode::decode(buf)?,
+            warnings: Decode::decode(buf)?,
+            local_bytes: Decode::decode(buf)?,
+            barrier_count: Decode::decode(buf)?,
+            arithmetic_intensity: Decode::decode(buf)?,
+            divergence_score: Decode::decode(buf)?,
+        })
+    }
+}
+
 impl Encode for ProfileEntry {
     fn encode(&self, buf: &mut BytesMut) {
         self.device.encode(buf);
@@ -927,10 +979,11 @@ impl Encode for ApiReply {
                 buf.put_u8(3);
                 bytes.encode(buf);
             }
-            ApiReply::BuildLog { ok, log } => {
+            ApiReply::BuildLog { ok, log, reports } => {
                 buf.put_u8(4);
                 ok.encode(buf);
                 log.encode(buf);
+                reports.encode(buf);
             }
             ApiReply::LaunchDone {
                 start_nanos,
@@ -982,6 +1035,7 @@ impl Decode for ApiReply {
             4 => ApiReply::BuildLog {
                 ok: Decode::decode(buf)?,
                 log: Decode::decode(buf)?,
+                reports: Decode::decode(buf)?,
             },
             5 => ApiReply::LaunchDone {
                 start_nanos: Decode::decode(buf)?,
@@ -1237,6 +1291,15 @@ mod tests {
             ApiReply::BuildLog {
                 ok: false,
                 log: "3:1: error (parse): expected `;`".into(),
+                reports: vec![WireKernelReport {
+                    kernel: "matmul".into(),
+                    errors: 1,
+                    warnings: 2,
+                    local_bytes: 4096,
+                    barrier_count: 2,
+                    arithmetic_intensity: 1.5,
+                    divergence_score: 0.25,
+                }],
             },
             ApiReply::LaunchDone {
                 start_nanos: 10,

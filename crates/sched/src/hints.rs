@@ -1,0 +1,104 @@
+//! Static placement hints derived from compile-time kernel analysis.
+//!
+//! The compiler's analyzer attaches a feature vector to every kernel it
+//! builds (`__local` bytes, barrier count, arithmetic intensity,
+//! divergence score), and device nodes forward it in their build replies
+//! as [`WireKernelReport`]s. [`seed_from_report`] converts that vector
+//! into per-device-class durations planted in the [`ProfileDb`], so the
+//! heterogeneity-aware policy makes informed placements *before the first
+//! launch of a kernel* — once real observations warm up, they displace
+//! the seeds (see [`ProfileDb::seed`]).
+
+use haocl_proto::messages::{DeviceKind, WireKernelReport};
+use haocl_sim::SimDuration;
+
+use crate::profile::ProfileDb;
+
+/// Common scale for seeded durations. Only the *ordering* between device
+/// classes matters for placement; observed profiles replace these
+/// magnitudes as soon as they warm up.
+const BASE_NANOS: f64 = 1_000_000.0;
+
+/// Plants per-class predictions for `report.kernel` in `db`.
+///
+/// The mapping encodes coarse architectural folklore, deliberately
+/// simple and fully static:
+///
+/// * GPUs win on compute-bound kernels (high arithmetic intensity), but
+///   work-item-dependent control flow serialises their lockstep lanes,
+///   so the divergence score discounts them.
+/// * FPGAs (streaming pipelines in the paper's cluster) win on
+///   memory-bound streaming kernels, but work-group barriers and
+///   `__local` tiling have no mapping onto a deep pipeline — kernels
+///   using either are penalised to near-ineligibility.
+/// * The CPU is the steady baseline that neither penalty touches.
+pub fn seed_from_report(db: &ProfileDb, report: &WireKernelReport) {
+    // 0 → fully memory-bound, → 1 as flops/byte grows.
+    let compute_bound = report.arithmetic_intensity / (report.arithmetic_intensity + 1.0);
+    let cpu_speed = 1.0;
+    let mut gpu_speed = 3.0 + 5.0 * compute_bound;
+    let mut fpga_speed = 2.0 + 4.0 * (1.0 - compute_bound);
+    gpu_speed /= 1.0 + 4.0 * report.divergence_score;
+    if report.barrier_count > 0 || report.local_bytes > 0 {
+        fpga_speed *= 0.05;
+    }
+    for (kind, speed) in [
+        (DeviceKind::Cpu, cpu_speed),
+        (DeviceKind::Gpu, gpu_speed),
+        (DeviceKind::Fpga, fpga_speed),
+    ] {
+        let nanos = (BASE_NANOS / speed).max(1.0) as u64;
+        db.seed(&report.kernel, kind, SimDuration::from_nanos(nanos));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(kernel: &str) -> WireKernelReport {
+        WireKernelReport {
+            kernel: kernel.into(),
+            ..WireKernelReport::default()
+        }
+    }
+
+    #[test]
+    fn memory_bound_streaming_kernel_seeds_fpga_fastest() {
+        let db = ProfileDb::new();
+        seed_from_report(&db, &report("spmv"));
+        let fpga = db.predict("spmv", DeviceKind::Fpga).unwrap();
+        let gpu = db.predict("spmv", DeviceKind::Gpu).unwrap();
+        let cpu = db.predict("spmv", DeviceKind::Cpu).unwrap();
+        assert!(fpga < gpu, "{fpga} vs {gpu}");
+        assert!(gpu < cpu, "{gpu} vs {cpu}");
+    }
+
+    #[test]
+    fn barriers_push_the_kernel_off_the_fpga() {
+        let db = ProfileDb::new();
+        let mut r = report("tiled");
+        r.barrier_count = 2;
+        r.local_bytes = 4096;
+        seed_from_report(&db, &r);
+        let fpga = db.predict("tiled", DeviceKind::Fpga).unwrap();
+        let cpu = db.predict("tiled", DeviceKind::Cpu).unwrap();
+        assert!(fpga > cpu, "barrier kernels must not look FPGA-friendly");
+    }
+
+    #[test]
+    fn divergence_discounts_the_gpu() {
+        let db = ProfileDb::new();
+        let mut r = report("branchy");
+        r.arithmetic_intensity = 8.0;
+        r.divergence_score = 0.9;
+        seed_from_report(&db, &r);
+        let db2 = ProfileDb::new();
+        let mut r2 = report("branchy");
+        r2.arithmetic_intensity = 8.0;
+        seed_from_report(&db2, &r2);
+        let divergent = db.predict("branchy", DeviceKind::Gpu).unwrap();
+        let uniform = db2.predict("branchy", DeviceKind::Gpu).unwrap();
+        assert!(divergent > uniform);
+    }
+}

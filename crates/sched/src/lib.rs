@@ -13,6 +13,9 @@
 //! * [`profile`] — [`ProfileDb`]: per-(kernel, device-class) exponential
 //!   moving averages of observed execution times, fed by NMP profile
 //!   reports.
+//! * [`hints`] — [`seed_from_report`]: converts the compiler's static
+//!   kernel feature vectors into cold-start [`ProfileDb`] seeds, so
+//!   placement is informed before the first launch.
 //! * [`policy`] — the object-safe [`SchedulingPolicy`] trait users extend
 //!   with their own algorithms.
 //! * [`policies`] — six built-ins: user-directed, round-robin,
@@ -40,12 +43,14 @@
 //! # Ok::<(), haocl_sched::SchedError>(())
 //! ```
 
+pub mod hints;
 pub mod monitor;
 pub mod policies;
 pub mod policy;
 pub mod profile;
 pub mod task;
 
+pub use hints::seed_from_report;
 pub use monitor::DeviceView;
 pub use policy::{SchedError, Scheduler, SchedulingPolicy};
 pub use profile::ProfileDb;

@@ -290,6 +290,39 @@ mod tests {
     }
 
     #[test]
+    fn static_report_flips_placement_before_first_launch() {
+        use haocl_proto::messages::WireKernelReport;
+
+        let p = HeteroAware::new();
+        let views = vec![
+            DeviceView::sample(0, 0, DeviceKind::Cpu),
+            DeviceView::sample(1, 0, DeviceKind::Gpu),
+            DeviceView::sample(2, 0, DeviceKind::Fpga),
+        ];
+        let t = TaskSpec::new("tiled_mm")
+            .cost(CostModel::new().flops(1e10).streaming())
+            .fpga_eligible(true);
+        // Cold profile, no hints: the cost model sends streaming work to
+        // the FPGA.
+        let db = ProfileDb::new();
+        assert_eq!(p.place(&t, &eligible(&views), &db).unwrap(), 2);
+        // The compiler's report says the kernel is barrier-synchronised
+        // __local tiling — a poor match for a streaming pipeline. Seeding
+        // the same database flips the placement to the GPU.
+        crate::hints::seed_from_report(
+            &db,
+            &WireKernelReport {
+                kernel: "tiled_mm".into(),
+                local_bytes: 8192,
+                barrier_count: 2,
+                arithmetic_intensity: 4.0,
+                ..WireKernelReport::default()
+            },
+        );
+        assert_eq!(p.place(&t, &eligible(&views), &db).unwrap(), 1);
+    }
+
+    #[test]
     fn hetero_accounts_for_queue_backlog() {
         let p = HeteroAware::new();
         // GPU is busy for a long time; CPU idle. Small task: CPU wins.

@@ -44,6 +44,9 @@ struct Entry {
 #[derive(Debug, Default)]
 pub struct ProfileDb {
     entries: RwLock<HashMap<(String, DeviceKind), Entry>>,
+    /// Static placement hints (see [`ProfileDb::seed`]), consulted only
+    /// while the observed profile for a key is still cold.
+    seeds: RwLock<HashMap<(String, DeviceKind), f64>>,
 }
 
 impl ProfileDb {
@@ -65,14 +68,33 @@ impl ProfileDb {
         e.runs += 1;
     }
 
-    /// Predicted execution time, if enough observations exist.
+    /// Plants a *static* prediction for a key, used by
+    /// [`predict`](Self::predict) until enough real observations exist to
+    /// displace it. This is how the compiler's feature-vector placement
+    /// hints enter the scheduler before any launch has run (see
+    /// [`crate::seed_from_report`]).
+    pub fn seed(&self, kernel: &str, kind: DeviceKind, duration: SimDuration) {
+        self.seeds
+            .write()
+            .insert((kernel.to_string(), kind), duration.as_nanos() as f64);
+    }
+
+    /// Predicted execution time: the observed EMA once warm
+    /// (≥ `MIN_RUNS` observations), else a planted seed, else `None`.
     pub fn predict(&self, kernel: &str, kind: DeviceKind) -> Option<SimDuration> {
-        let entries = self.entries.read();
-        let e = entries.get(&(kernel.to_string(), kind))?;
-        if e.runs < MIN_RUNS {
-            return None;
+        let key = (kernel.to_string(), kind);
+        {
+            let entries = self.entries.read();
+            if let Some(e) = entries.get(&key) {
+                if e.runs >= MIN_RUNS {
+                    return Some(SimDuration::from_nanos(e.ema_nanos as u64));
+                }
+            }
         }
-        Some(SimDuration::from_nanos(e.ema_nanos as u64))
+        self.seeds
+            .read()
+            .get(&key)
+            .map(|&n| SimDuration::from_nanos(n as u64))
     }
 
     /// Number of recorded observations for a key.
@@ -93,9 +115,10 @@ impl ProfileDb {
         self.entries.read().is_empty()
     }
 
-    /// Clears all observations.
+    /// Clears all observations and seeds.
     pub fn clear(&self) {
         self.entries.write().clear();
+        self.seeds.write().clear();
     }
 }
 
@@ -144,7 +167,32 @@ mod tests {
     fn clear_resets() {
         let db = ProfileDb::new();
         db.record("k", DeviceKind::Cpu, SimDuration::from_nanos(5));
+        db.seed("k", DeviceKind::Gpu, SimDuration::from_nanos(5));
         db.clear();
         assert!(db.is_empty());
+        assert_eq!(db.predict("k", DeviceKind::Gpu), None);
+    }
+
+    #[test]
+    fn seed_predicts_until_observations_warm() {
+        let db = ProfileDb::new();
+        db.seed("k", DeviceKind::Gpu, SimDuration::from_nanos(500));
+        assert_eq!(
+            db.predict("k", DeviceKind::Gpu),
+            Some(SimDuration::from_nanos(500)),
+            "cold profile falls back to the static seed"
+        );
+        // One observation is still too thin — the seed keeps answering.
+        db.record("k", DeviceKind::Gpu, SimDuration::from_nanos(100));
+        assert_eq!(
+            db.predict("k", DeviceKind::Gpu),
+            Some(SimDuration::from_nanos(500))
+        );
+        // Warm profile displaces the seed.
+        db.record("k", DeviceKind::Gpu, SimDuration::from_nanos(100));
+        assert_eq!(
+            db.predict("k", DeviceKind::Gpu),
+            Some(SimDuration::from_nanos(100))
+        );
     }
 }

@@ -1,0 +1,20 @@
+/* Work-group partial sums staged through __local memory. Each work-item
+ * accumulates a strided slice, then item 0 combines the group's partials
+ * after the barrier (the read is uniform, so no divergence/race). */
+__kernel void block_sum(__global const int* in, __global int* out, int n) {
+    __local int partial[8];
+    int l = get_local_id(0);
+    int sum = 0;
+    for (int i = l; i < n; i += 8) {
+        sum += in[i];
+    }
+    partial[l] = sum;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    if (l == 0) {
+        int total = 0;
+        for (int j = 0; j < 8; j++) {
+            total += partial[j];
+        }
+        out[0] = total;
+    }
+}

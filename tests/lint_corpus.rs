@@ -1,0 +1,244 @@
+//! Lint-corpus golden tests and the analyzer ↔ checked-VM cross-check.
+//!
+//! `tests/lint_corpus/{good,bad}/*.cl` each carry a `.expected` golden
+//! holding the `haocl-lint` report (feature line + diagnostics, minus the
+//! path prefix the binary adds). On top of the goldens, this suite pins
+//! the analyzer's contract both ways:
+//!
+//! * every good-corpus kernel and all five paper benchmark kernels build
+//!   clean under the default (enforcing) `compile()`;
+//! * the analyzer is conservative, so every kernel it passes must also
+//!   survive checked execution ([`vm::run_ndrange_checked`]) without
+//!   tripping the dynamic barrier-divergence or `__local`-race oracles;
+//! * each bad-corpus kernel with an error-severity finding fails the
+//!   default build, and the dynamic oracle agrees with the analyzer's
+//!   verdict kind when the kernel is run anyway.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use haocl_clc::ast::ParamType;
+use haocl_clc::vm::{
+    run_ndrange_checked, ArgValue, CheckConfig, ExecError, ExecErrorKind, GlobalBuffer, NdRange,
+};
+use haocl_clc::{
+    compile, compile_with_options, AddressSpace, AnalysisMode, CompileOptions, CompiledKernel,
+    ScalarType,
+};
+
+fn corpus_files(sub: &str) -> Vec<PathBuf> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/lint_corpus")
+        .join(sub);
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .map(|entry| entry.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "cl"))
+        .collect();
+    files.sort();
+    assert!(
+        !files.is_empty(),
+        "empty corpus directory {}",
+        dir.display()
+    );
+    files
+}
+
+fn read(path: &Path) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+const WARN_ONLY: CompileOptions = CompileOptions {
+    analysis: AnalysisMode::WarnOnly,
+};
+
+/// The five paper benchmark kernel sources (Table I workloads).
+fn paper_kernels() -> [(&'static str, &'static str); 5] {
+    [
+        ("matmul", haocl_workloads::matmul::KERNEL_SOURCE),
+        ("spmv", haocl_workloads::spmv::KERNEL_SOURCE),
+        ("bfs", haocl_workloads::bfs::KERNEL_SOURCE),
+        ("knn", haocl_workloads::knn::KERNEL_SOURCE),
+        ("cfd", haocl_workloads::cfd::KERNEL_SOURCE),
+    ]
+}
+
+/// Reproduces `haocl-lint`'s per-file output without the path prefix.
+fn lint_render(source: &str) -> String {
+    let mut out = String::new();
+    match compile_with_options(source, &WARN_ONLY) {
+        Ok(program) => {
+            let mut names: Vec<&str> = program.kernel_names().collect();
+            names.sort_unstable();
+            for name in names {
+                let k = program.kernel(name).expect("listed kernel exists");
+                let f = &k.report.features;
+                writeln!(
+                    out,
+                    "kernel `{name}`: local_bytes={} barriers={} intensity={:.2} divergence={:.2}",
+                    f.local_bytes, f.barrier_count, f.arithmetic_intensity, f.divergence_score
+                )
+                .unwrap();
+                for d in k.report.diagnostics.iter() {
+                    writeln!(out, "{}", d.render()).unwrap();
+                }
+            }
+        }
+        Err(e) => {
+            for line in e.build_log().lines() {
+                writeln!(out, "{line}").unwrap();
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn corpus_diagnostics_match_goldens() {
+    for sub in ["good", "bad"] {
+        for path in corpus_files(sub) {
+            let actual = lint_render(&read(&path));
+            let expected = read(&path.with_extension("expected"));
+            assert_eq!(
+                actual,
+                expected,
+                "golden mismatch for {} — regenerate with haocl-lint if intentional",
+                path.display()
+            );
+        }
+    }
+}
+
+#[test]
+fn good_corpus_and_paper_kernels_build_clean_under_enforcement() {
+    for path in corpus_files("good") {
+        let program = compile(&read(&path))
+            .unwrap_or_else(|e| panic!("{} rejected: {}", path.display(), e.build_log()));
+        for k in program.kernels() {
+            assert!(
+                !k.report.has_errors(),
+                "{}: kernel `{}` carries analysis errors",
+                path.display(),
+                k.name
+            );
+        }
+    }
+    for (name, source) in paper_kernels() {
+        compile(source)
+            .unwrap_or_else(|e| panic!("paper kernel {name} rejected: {}", e.build_log()));
+    }
+}
+
+#[test]
+fn bad_corpus_verdicts_drive_the_default_build() {
+    let mut error_files = 0;
+    for path in corpus_files("bad") {
+        let source = read(&path);
+        let report = compile_with_options(&source, &WARN_ONLY)
+            .unwrap_or_else(|e| panic!("{} must parse: {}", path.display(), e.build_log()));
+        let has_errors = report.kernels().any(|k| k.report.has_errors());
+        error_files += usize::from(has_errors);
+        assert_eq!(
+            compile(&source).is_err(),
+            has_errors,
+            "{}: enforcement must fail exactly when the analyzer finds errors",
+            path.display()
+        );
+    }
+    assert!(error_files >= 4, "bad corpus lost its error kernels");
+}
+
+/// Synthesizes a launchable argument list for `kernel`: zeroed 64 KiB
+/// buffers for pointers, small scalars (4 / 1.0) so guards and loop
+/// bounds stay in range of the buffers.
+fn synth_args(kernel: &CompiledKernel) -> (Vec<ArgValue>, Vec<GlobalBuffer>) {
+    let mut args = Vec::new();
+    let mut buffers = Vec::new();
+    for param in &kernel.params {
+        match param {
+            ParamType::Pointer(AddressSpace::Local, _) => {
+                args.push(ArgValue::local_bytes(256));
+            }
+            ParamType::Pointer(_, _) => {
+                args.push(ArgValue::global(buffers.len()));
+                buffers.push(GlobalBuffer::zeroed(1 << 16));
+            }
+            ParamType::Scalar(scalar) => args.push(match scalar {
+                ScalarType::F32 => ArgValue::from_f32(1.0),
+                ScalarType::F64 => ArgValue::from_f64(1.0),
+                ScalarType::I64 => ArgValue::from_i64(4),
+                ScalarType::U64 => ArgValue::from_u64(4),
+                ScalarType::U32 => ArgValue::from_u32(4),
+                _ => ArgValue::from_i32(4),
+            }),
+        }
+    }
+    (args, buffers)
+}
+
+fn checked_run(kernel: &CompiledKernel) -> Result<(), ExecError> {
+    let (args, mut buffers) = synth_args(kernel);
+    // The two-dimensional kernels size their __local tiles / guards for a
+    // square group; everything else launches one linear group of 8.
+    let range = match kernel.name.as_str() {
+        "tiled_transpose" | "matmul" => NdRange::d2([4, 4], [4, 4]),
+        _ => NdRange::linear(8, 8),
+    };
+    run_ndrange_checked(kernel, &args, &mut buffers, &range, &CheckConfig::default()).map(|_| ())
+}
+
+#[test]
+fn analyzer_clean_kernels_pass_checked_execution() {
+    let mut sources: Vec<(String, String)> = corpus_files("good")
+        .iter()
+        .map(|p| (p.display().to_string(), read(p)))
+        .collect();
+    for (name, source) in paper_kernels() {
+        sources.push((name.to_string(), source.to_string()));
+    }
+    for (origin, source) in sources {
+        let program = compile(&source).expect("clean corpus builds");
+        for k in program.kernels() {
+            checked_run(k).unwrap_or_else(|e| {
+                panic!(
+                    "{origin}: analyzer-clean kernel `{}` tripped checked execution \
+                     ({:?}): {e}",
+                    k.name,
+                    e.kind()
+                )
+            });
+        }
+    }
+}
+
+#[test]
+fn bad_corpus_dynamic_oracle_agrees_with_the_analyzer() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/lint_corpus/bad");
+    let expect = [
+        (
+            "divergent_barrier.cl",
+            Some(ExecErrorKind::BarrierDivergence),
+        ),
+        ("local_race_same_elem.cl", Some(ExecErrorKind::LocalRace)),
+        ("missing_barrier.cl", Some(ExecErrorKind::LocalRace)),
+        // Constant OOB is caught by the plain bounds check, not a
+        // dedicated oracle.
+        ("oob_constant_index.cl", Some(ExecErrorKind::General)),
+        // Warning-only finding: zero-initialised slots run fine.
+        ("use_before_init.cl", None),
+    ];
+    for (file, want) in expect {
+        let program = compile_with_options(&read(&dir.join(file)), &WARN_ONLY).unwrap();
+        for k in program.kernels() {
+            match want {
+                Some(kind) => {
+                    let err = checked_run(k)
+                        .expect_err(&format!("{file}: kernel `{}` must fail checked", k.name));
+                    assert_eq!(err.kind(), kind, "{file}: {err}");
+                }
+                None => checked_run(k)
+                    .unwrap_or_else(|e| panic!("{file}: warning-only kernel failed: {e}")),
+            }
+        }
+    }
+}

@@ -1,0 +1,9 @@
+/* The CUDA-guide classic: a barrier inside a work-item-dependent branch.
+ * Work-item 0 waits forever while the rest of the group finishes. */
+__kernel void divergent_barrier(__global int* a) {
+    int l = get_local_id(0);
+    if (l == 0) {
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    a[l] = l;
+}

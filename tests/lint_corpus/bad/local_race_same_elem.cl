@@ -1,0 +1,8 @@
+/* Every work-item stores its own id to the same __local element: the
+ * surviving value depends on scheduling order. */
+__kernel void local_race_same_elem(__global int* out) {
+    __local int s[4];
+    int l = get_local_id(0);
+    s[0] = l;
+    out[l] = s[0];
+}

@@ -1,0 +1,8 @@
+/* local_reverse without its barrier: work-item l reads s[7 - l], which
+ * another work-item wrote with no intervening synchronization. */
+__kernel void missing_barrier(__global const int* in, __global int* out) {
+    __local int s[8];
+    int l = get_local_id(0);
+    s[l] = in[l] + l + 1;
+    out[l] = s[7 - l];
+}

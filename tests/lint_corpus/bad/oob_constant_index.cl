@@ -1,0 +1,6 @@
+/* Constant index one past the declared __local extent. */
+__kernel void oob_constant_index(__global int* out) {
+    __local int s[8];
+    s[8] = 1;
+    out[0] = s[0];
+}

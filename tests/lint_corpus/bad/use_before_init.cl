@@ -1,0 +1,10 @@
+/* Warning-only finding: a private variable read before any assignment.
+ * The checked VM runs this fine (slots are zeroed), so the batch relies
+ * on the error-severity files above to fail the lint run. */
+__kernel void use_before_init(__global int* out, int c) {
+    int x;
+    if (c) {
+        x = 1;
+    }
+    out[0] = x;
+}

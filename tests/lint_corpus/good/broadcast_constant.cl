@@ -1,0 +1,8 @@
+/* Every work-item stores the same work-item-independent value to the
+ * same __local element: benign by the "different values" race rule. */
+__kernel void broadcast_constant(__global int* out) {
+    __local int flag[1];
+    int l = get_local_id(0);
+    flag[0] = 42;
+    out[l] = flag[0];
+}

@@ -1,0 +1,9 @@
+/* Stage through __local with a barrier between the mismatched access
+ * patterns (write s[l], read s[7 - l]) — race-free. */
+__kernel void local_reverse(__global const int* in, __global int* out) {
+    __local int s[8];
+    int l = get_local_id(0);
+    s[l] = in[l];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[l] = s[7 - l];
+}

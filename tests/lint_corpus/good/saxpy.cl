@@ -1,0 +1,7 @@
+/* Streaming saxpy: no barriers, no __local, uniform control flow. */
+__kernel void saxpy(__global const float* x, __global float* y, float a, int n) {
+    int i = get_global_id(0);
+    if (i < n) {
+        y[i] = a * x[i] + y[i];
+    }
+}

@@ -1,0 +1,12 @@
+/* 2-D tiled transpose: the canonical __local tiling pattern, with the
+ * barrier separating the store and the transposed load. */
+__kernel void tiled_transpose(__global const float* in, __global float* out, int n) {
+    __local float tile[4][4];
+    int lx = get_local_id(0);
+    int ly = get_local_id(1);
+    int gx = get_global_id(0);
+    int gy = get_global_id(1);
+    tile[ly][lx] = in[gy * n + gx];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[gx * n + gy] = tile[lx][ly];
+}

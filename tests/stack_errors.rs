@@ -124,6 +124,10 @@ fn barrier_divergence_detected_through_the_stack() {
             a[get_global_id(0)] = 1;
         }",
     );
+    // The static analyzer rejects this kernel at build time; waive
+    // enforcement so the launch still exercises the VM's runtime
+    // divergence detection through the whole stack.
+    program.set_analysis_enforced(false);
     program.build().unwrap();
     let kernel = Kernel::new(&program, "div").unwrap();
     let buf = Buffer::new(&ctx, MemFlags::READ_WRITE, 8).unwrap();
