@@ -5,20 +5,33 @@
 //! cargo run --release -p haocl-bench --bin fig2           # paper scale (modeled)
 //! cargo run --release -p haocl-bench --bin fig2 -- --small  # quick test scale
 //! cargo run --release -p haocl-bench --bin fig2 -- --small --json out.json
+//! cargo run --release -p haocl-bench --bin fig2 -- --small \
+//!     --trace trace.json --metrics metrics.prom   # observability artifacts
 //! ```
+//!
+//! `--trace`/`--metrics` run one traced probe configuration (MatrixMul on
+//! a 2+2 hetero cluster plus an auto-scheduled burst) and write its
+//! Chrome trace / Prometheus dump; `--json` output always carries the
+//! per-phase breakdown per row and the probe's audit-log summary.
 
-use haocl_bench::{fig2, text::render_table};
+use haocl_bench::{fig2, probe, text::render_table};
+use haocl_sim::PhaseBreakdown;
 use haocl_workloads::{RunOptions, Workload};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let small = args.iter().any(|a| a == "--small");
-    let json_path = args.iter().position(|a| a == "--json").map(|i| {
-        args.get(i + 1).cloned().unwrap_or_else(|| {
-            eprintln!("--json requires an output path");
-            std::process::exit(2);
+    let path_arg = |flag: &str| {
+        args.iter().position(|a| a == flag).map(|i| {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("{flag} requires an output path");
+                std::process::exit(2);
+            })
         })
-    });
+    };
+    let json_path = path_arg("--json");
+    let trace_path = path_arg("--trace");
+    let metrics_path = path_arg("--metrics");
     let workloads = if small {
         Workload::test_suite()
     } else {
@@ -65,7 +78,8 @@ fn main() {
             records.push(format!(
                 concat!(
                     "    {{\"workload\": {}, \"series\": {}, \"nodes\": {}, ",
-                    "\"makespan_nanos\": {}, \"speedup\": {:.4}, \"scaling\": {:.4}}}"
+                    "\"makespan_nanos\": {}, \"speedup\": {:.4}, \"scaling\": {:.4}, ",
+                    "\"phases\": {}}}"
                 ),
                 json_string(workload.name()),
                 json_string(&r.series),
@@ -73,23 +87,77 @@ fn main() {
                 r.makespan.as_nanos(),
                 r.speedup,
                 r.scaling,
+                phases_json(&r.phases),
             ));
         }
     }
+    // The traced probe backs both the artifact flags and the JSON audit
+    // summary; skip it entirely when nobody asked for observability data.
+    let artifacts = if json_path.is_some() || trace_path.is_some() || metrics_path.is_some() {
+        Some(probe::run().expect("traced probe run"))
+    } else {
+        None
+    };
+    if let (Some(path), Some(a)) = (&trace_path, &artifacts) {
+        write_artifact(path, &a.trace_json);
+    }
+    if let (Some(path), Some(a)) = (&metrics_path, &artifacts) {
+        write_artifact(path, &a.metrics);
+    }
     if let Some(path) = json_path {
+        let audit = artifacts
+            .as_ref()
+            .map(|a| audit_json(&a.audit_summary))
+            .unwrap_or_else(|| "[]".to_string());
         let body = format!(
-            "{{\n  \"figure\": \"fig2\",\n  \"scale\": \"{}\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+            concat!(
+                "{{\n  \"figure\": \"fig2\",\n  \"scale\": \"{}\",\n",
+                "  \"audit\": {},\n  \"rows\": [\n{}\n  ]\n}}\n"
+            ),
             if small { "small" } else { "paper" },
+            audit,
             records.join(",\n"),
         );
-        if let Some(dir) = std::path::Path::new(&path).parent() {
-            if !dir.as_os_str().is_empty() {
-                std::fs::create_dir_all(dir).expect("create output directory");
-            }
-        }
-        std::fs::write(&path, body).expect("write JSON results");
-        println!("wrote {path}");
+        write_artifact(&path, &body);
     }
+}
+
+/// Per-phase breakdown as a JSON object, category name → nanos.
+fn phases_json(b: &PhaseBreakdown) -> String {
+    let parts: Vec<String> = b
+        .phases()
+        .iter()
+        .map(|p| format!("{}: {}", json_string(p.as_str()), b.time(*p).as_nanos()))
+        .collect();
+    format!("{{{}}}", parts.join(", "))
+}
+
+/// Audit-log summary as a JSON array of placement counts.
+fn audit_json(summary: &std::collections::BTreeMap<(String, String), u64>) -> String {
+    if summary.is_empty() {
+        return "[]".to_string();
+    }
+    let parts: Vec<String> = summary
+        .iter()
+        .map(|((kernel, kind), n)| {
+            format!(
+                "{{\"kernel\": {}, \"kind\": {}, \"placements\": {n}}}",
+                json_string(kernel),
+                json_string(kind),
+            )
+        })
+        .collect();
+    format!("[{}]", parts.join(", "))
+}
+
+fn write_artifact(path: &str, body: &str) {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(path, body).expect("write output file");
+    println!("wrote {path}");
 }
 
 /// Minimal JSON string encoding (the emitted names are ASCII).

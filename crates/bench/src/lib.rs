@@ -58,6 +58,8 @@ pub mod fig2 {
         /// Self-relative scaling: speedup of this series' point over the
         /// same series at 1 node (how the curve bends as nodes grow).
         pub scaling: f64,
+        /// Per-phase breakdown of the run (virtual time per category).
+        pub phases: haocl_sim::PhaseBreakdown,
     }
 
     /// Produces Fig. 2's series for `workload` at the given node counts:
@@ -82,6 +84,7 @@ pub mod fig2 {
             makespan: base,
             speedup: 1.0,
             scaling: 1.0,
+            phases: local.phases.clone(),
         });
         let local_fpga = run_local(&[DeviceKind::Fpga], workload, opts)?;
         rows.push(Row {
@@ -91,32 +94,34 @@ pub mod fig2 {
             makespan: local_fpga.makespan,
             speedup: ratio(base, local_fpga.makespan),
             scaling: 1.0,
+            phases: local_fpga.phases.clone(),
         });
         let mut series_base: std::collections::HashMap<&'static str, SimDuration> =
             std::collections::HashMap::new();
         for &n in node_counts {
-            let mut push = |series: &'static str, rows: &mut Vec<Row>, makespan: SimDuration| {
-                let first = *series_base.entry(series).or_insert(makespan);
+            let mut push = |series: &'static str, rows: &mut Vec<Row>, report: &RunReport| {
+                let first = *series_base.entry(series).or_insert(report.makespan);
                 rows.push(Row {
                     app: workload.name(),
                     series: series.to_string(),
                     nodes: n,
-                    makespan,
-                    speedup: ratio(base, makespan),
-                    scaling: ratio(first, makespan),
+                    makespan: report.makespan,
+                    speedup: ratio(base, report.makespan),
+                    scaling: ratio(first, report.makespan),
+                    phases: report.phases.clone(),
                 });
             };
             let gpu = run_haocl(&ClusterConfig::gpu_cluster(n), workload, opts)?;
-            push("HaoCL-GPU", &mut rows, gpu.makespan);
+            push("HaoCL-GPU", &mut rows, &gpu);
             let fpga = run_haocl(&ClusterConfig::fpga_cluster(n), workload, opts)?;
-            push("HaoCL-FPGA", &mut rows, fpga.makespan);
+            push("HaoCL-FPGA", &mut rows, &fpga);
             if n >= 2 {
                 let hetero = run_haocl(
                     &ClusterConfig::hetero_cluster(n - n / 2, n / 2),
                     workload,
                     opts,
                 )?;
-                push("HaoCL-Hetero", &mut rows, hetero.makespan);
+                push("HaoCL-Hetero", &mut rows, &hetero);
             }
             if !matches!(workload, Workload::Cfd(_)) {
                 // SnuCL-D re-executes the host program on every node, so
@@ -128,7 +133,7 @@ pub mod fig2 {
                 };
                 let snucl =
                     SnuClD::new().run(&ClusterConfig::gpu_cluster(n), workload, &snucl_opts)?;
-                push("SnuCL-D", &mut rows, snucl.makespan);
+                push("SnuCL-D", &mut rows, &snucl);
             }
         }
         Ok(rows)
@@ -315,6 +320,77 @@ pub mod overhead {
             });
         }
         Ok(out)
+    }
+}
+
+/// A traced fig2-style configuration run: produces the observability
+/// artifacts (`trace.json`, `metrics.prom`, scheduler audit log) that the
+/// nightly bench workflow uploads and `fig2 --json` summarizes.
+pub mod probe {
+    use super::*;
+    use haocl::auto::AutoScheduler;
+    use haocl::{Context, DeviceType, Kernel, Program};
+    use haocl_kernel::{CostModel, NdRange};
+    use haocl_sched::policies;
+    use haocl_workloads::matmul::MatmulConfig;
+
+    /// Observability artifacts of one traced probe run.
+    #[derive(Debug, Clone)]
+    pub struct Artifacts {
+        /// Chrome trace-event JSON (load in `chrome://tracing`/Perfetto,
+        /// or replay with `haocl-trace`).
+        pub trace_json: String,
+        /// Prometheus text-format metrics dump.
+        pub metrics: String,
+        /// Scheduler decision audit log, one line per placement.
+        pub audit: String,
+        /// Placement counts by (kernel, winning device kind).
+        pub audit_summary: std::collections::BTreeMap<(String, String), u64>,
+    }
+
+    /// Runs one fig2 configuration (MatrixMul on a 2+2 hetero cluster)
+    /// with tracing enabled, then an auto-scheduled kernel burst on the
+    /// same platform so the decision audit log has placements to report
+    /// (the workload drivers pick devices explicitly and never consult
+    /// the scheduler).
+    ///
+    /// # Errors
+    ///
+    /// Propagates driver failures.
+    pub fn run() -> Result<Artifacts, Error> {
+        let platform =
+            Platform::cluster(&ClusterConfig::hetero_cluster(2, 2), registry_with_all())?;
+        platform.set_tracing(true);
+        let workload = Workload::MatrixMul(MatmulConfig::with_n(1024));
+        workload.run(&platform, &RunOptions::modeled())?;
+        let ctx = Context::new(&platform, &platform.devices(DeviceType::All))?;
+        let auto = AutoScheduler::new(&ctx, Box::new(policies::HeteroAware::new()))?;
+        let program = Program::with_bitstream_kernels(&ctx, [haocl_workloads::matmul::KERNEL_NAME]);
+        program.build()?;
+        let kernel = Kernel::new(&program, haocl_workloads::matmul::KERNEL_NAME)?;
+        kernel.set_fidelity(haocl::Fidelity::Modeled);
+        kernel.set_cost(CostModel::new().flops(2e11).bytes_read(1e9));
+        bind_dummy_args(&ctx, &kernel)?;
+        for _ in 0..4 {
+            auto.launch(&kernel, NdRange::linear(1024, 64))?;
+        }
+        Ok(Artifacts {
+            trace_json: platform.export_chrome_trace(),
+            metrics: platform.render_metrics(),
+            audit: platform.render_audit_log(),
+            audit_summary: platform.obs().audit.summary(),
+        })
+    }
+
+    fn bind_dummy_args(ctx: &Context, kernel: &Kernel) -> Result<(), Error> {
+        use haocl::{Buffer, MemFlags};
+        let dummy = Buffer::new_modeled(ctx, MemFlags::READ_WRITE, 1024)?;
+        for i in 0..kernel.arity() {
+            if kernel.set_arg_buffer(i, &dummy).is_err() {
+                kernel.set_arg_i32(i, 0)?;
+            }
+        }
+        Ok(())
     }
 }
 

@@ -489,6 +489,10 @@ pub struct ExecStats {
     pub work_items: u64,
     /// Work-groups executed.
     pub work_groups: u64,
+    /// Group-wide barrier releases (each counts once per group, however
+    /// many work-items waited) — a synchronization-pressure signal for
+    /// the execution profile.
+    pub barriers: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -849,6 +853,7 @@ fn run_group(
             if let Some(c) = checked.as_deref_mut() {
                 c.oracle.reset();
             }
+            stats.barriers += 1;
             for item in &mut items {
                 item.status = ItemStatus::Running;
             }
@@ -1426,6 +1431,39 @@ mod tests {
         )
         .unwrap();
         assert_eq!(bufs[0].as_i32(), vec![70, 60, 50, 40, 30, 20, 10, 0]);
+    }
+
+    #[test]
+    fn barrier_releases_are_counted_per_group() {
+        let src = r#"__kernel void sync(__global int* out) {
+            __local int tmp[4];
+            int l = get_local_id(0);
+            tmp[l] = l;
+            barrier(CLK_LOCAL_MEM_FENCE);
+            out[get_global_id(0)] = tmp[l];
+        }"#;
+        let mut bufs = vec![GlobalBuffer::zeroed(8 * 4)];
+        let stats = run(
+            src,
+            "sync",
+            &[ArgValue::global(0)],
+            &mut bufs,
+            &NdRange::linear(8, 4),
+        )
+        .unwrap();
+        assert_eq!(stats.barriers, 2, "one release per work-group");
+        // A barrier-free launch reports none.
+        let src = "__kernel void id(__global int* out) { out[get_global_id(0)] = 1; }";
+        let mut bufs = vec![GlobalBuffer::zeroed(8 * 4)];
+        let stats = run(
+            src,
+            "id",
+            &[ArgValue::global(0)],
+            &mut bufs,
+            &NdRange::linear(8, 4),
+        )
+        .unwrap();
+        assert_eq!(stats.barriers, 0);
     }
 
     #[test]

@@ -29,8 +29,11 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use haocl_net::{ConnSender, Fabric, NetError};
+use haocl_obs::{names, Hub, TraceCtx};
 use haocl_proto::ids::{IdAllocator, NodeId, RequestId, UserId};
-use haocl_proto::messages::{ApiCall, ApiReply, DeviceDescriptor, Envelope, Request, Response};
+use haocl_proto::messages::{
+    ApiCall, ApiReply, DeviceDescriptor, Envelope, Request, Response, WireSpan,
+};
 use haocl_proto::wire::{decode_from_slice, encode_to_vec};
 use haocl_sim::{Clock, SimTime};
 
@@ -62,6 +65,9 @@ pub struct CallOutcome {
     pub node_completed: SimTime,
     /// Virtual time the response reached the host.
     pub host_received: SimTime,
+    /// Node-side spans, when the request was traced (see
+    /// [`HostRuntime::submit_traced`]); empty otherwise.
+    pub spans: Vec<WireSpan>,
 }
 
 /// Which of a node's two connections a request travels on.
@@ -120,6 +126,7 @@ impl LinkShared {
                 reply,
                 node_completed: SimTime::from_nanos(response.completed_at_nanos),
                 host_received: received_at,
+                spans: response.spans,
             }),
         };
         let mut state = self.state.lock().expect("link state poisoned");
@@ -295,6 +302,9 @@ struct NodeLink {
     /// Data-connection transmit half (buffer contents, §III-C's data
     /// listener).
     data_tx: Mutex<ConnSender>,
+    /// Shared observability hub (plane metrics; gated on its enable
+    /// flag so the hot path pays one atomic load when tracing is off).
+    obs: Arc<Hub>,
 }
 
 impl NodeLink {
@@ -320,7 +330,9 @@ impl NodeLink {
                 return Ok(());
             }
             let virtual_len: u64 = batch.iter().map(|r| virtual_len_of(&r.body)).sum();
+            let coalesced = batch.len() as u64;
             let payload = encode_to_vec(&Envelope::from(batch));
+            self.note_frame("control", &payload, virtual_len, coalesced);
             if let Err(e) = sender.send_frame_virtual(&payload, at, virtual_len) {
                 // The batch may carry other submitters' requests; their
                 // PendingCalls must observe the failure too.
@@ -347,9 +359,36 @@ impl NodeLink {
     fn send_data(&self, request: Request, at: SimTime) -> Result<(), ClusterError> {
         let virtual_len = virtual_len_of(&request.body);
         let payload = encode_to_vec(&Envelope::Single(request));
+        self.note_frame("data", &payload, virtual_len, 1);
         let mut sender = self.data_tx.lock().expect("data sender poisoned");
         sender.send_frame_virtual(&payload, at, virtual_len)?;
         Ok(())
+    }
+
+    /// Records one outgoing frame's plane metrics (no-op while tracing
+    /// is off). Bytes are *virtual wire bytes*: modeled bulk payloads
+    /// count their declared length, not the descriptor that stands in
+    /// for them.
+    fn note_frame(&self, plane: &str, payload: &[u8], virtual_len: u64, coalesced: u64) {
+        if !self.obs.enabled() {
+            return;
+        }
+        let labels = [("node", self.name.as_str()), ("plane", plane)];
+        let bytes = (payload.len() as u64).max(virtual_len);
+        self.obs
+            .metrics
+            .inc_counter(names::PLANE_FRAMES, &labels, 1);
+        self.obs
+            .metrics
+            .inc_counter(names::PLANE_BYTES, &labels, bytes);
+        if plane == "control" {
+            self.obs.metrics.observe_with_buckets(
+                names::BATCH_SIZE,
+                &[("node", self.name.as_str())],
+                coalesced,
+                &haocl_obs::SIZE_BUCKETS,
+            );
+        }
     }
 }
 
@@ -371,6 +410,11 @@ pub struct HostRuntime {
     clock: Clock,
     stop: Arc<AtomicBool>,
     demux_threads: Vec<JoinHandle<()>>,
+    /// The observability hub the whole stack above shares: the platform
+    /// layer reads it back via [`HostRuntime::obs`] rather than creating
+    /// its own, so host spans, plane metrics and node spans land in one
+    /// place.
+    obs: Arc<Hub>,
 }
 
 impl HostRuntime {
@@ -396,6 +440,7 @@ impl HostRuntime {
             clock: fabric.clock().clone(),
             stop: Arc::new(AtomicBool::new(false)),
             demux_threads: Vec::new(),
+            obs: Arc::new(Hub::new()),
         };
         for (i, spec) in config.nodes.iter().enumerate() {
             let (msg_tx, msg_rx) = fabric.connect(&host_name, &spec.addr)?.split();
@@ -404,10 +449,12 @@ impl HostRuntime {
             for (plane, rx) in [(Plane::Control, msg_rx), (Plane::Data, data_rx)] {
                 let shared = Arc::clone(&shared);
                 let stop = Arc::clone(&runtime.stop);
+                let obs = Arc::clone(&runtime.obs);
+                let node_name = spec.name.clone();
                 runtime.demux_threads.push(
                     std::thread::Builder::new()
                         .name(format!("haocl-demux-{}-{plane:?}", spec.name))
-                        .spawn(move || demux_loop(rx, plane, shared, stop))
+                        .spawn(move || demux_loop(rx, plane, shared, stop, obs, node_name))
                         .expect("spawn demux thread"),
                 );
             }
@@ -417,6 +464,7 @@ impl HostRuntime {
                 control_queue: Mutex::new(Vec::new()),
                 msg_tx: Mutex::new(msg_tx),
                 data_tx: Mutex::new(data_tx),
+                obs: Arc::clone(&runtime.obs),
             });
             let node = NodeId::new(i as u32);
             let outcome = runtime.call(
@@ -485,6 +533,23 @@ impl HostRuntime {
     /// [`ClusterError::Config`] for an unknown node; a transport error
     /// if the request cannot be written.
     pub fn submit(&self, node: NodeId, call: ApiCall) -> Result<PendingCall, ClusterError> {
+        self.submit_traced(node, call, None)
+    }
+
+    /// Like [`HostRuntime::submit`], but threads a trace context to the
+    /// node: the NMP records its dispatch (and, for kernel launches, the
+    /// VM run) as spans parented under `ctx.parent` and ships them back
+    /// in the response, where they surface as [`CallOutcome::spans`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`HostRuntime::submit`].
+    pub fn submit_traced(
+        &self,
+        node: NodeId,
+        call: ApiCall,
+        ctx: Option<TraceCtx>,
+    ) -> Result<PendingCall, ClusterError> {
         let link = self
             .links
             .get(node.raw() as usize)
@@ -502,6 +567,8 @@ impl HostRuntime {
             id,
             user: self.user,
             sent_at_nanos: now.as_nanos(),
+            trace_id: ctx.map_or(0, |c| c.trace.0),
+            parent_span: ctx.map_or(0, |c| c.parent.0),
             body: call,
         };
         let plane = if is_data { Plane::Data } else { Plane::Control };
@@ -558,6 +625,13 @@ impl HostRuntime {
         self.links.get(node.raw() as usize).map(|l| l.name.as_str())
     }
 
+    /// The observability hub shared by this runtime's links and demux
+    /// threads. The platform layer adopts this hub (instead of creating
+    /// its own) so every layer records into one recorder/registry.
+    pub fn obs(&self) -> &Arc<Hub> {
+        &self.obs
+    }
+
     fn _assert_send_sync() {
         fn assert<T: Send + Sync>() {}
         assert::<HostRuntime>();
@@ -590,18 +664,39 @@ fn demux_loop(
     plane: Plane,
     shared: Arc<LinkShared>,
     stop: Arc<AtomicBool>,
+    obs: Arc<Hub>,
+    node_name: String,
 ) {
+    let note_failure = || {
+        obs.metrics.inc_counter(
+            names::LINK_FAILURES,
+            &[
+                ("node", node_name.as_str()),
+                (
+                    "plane",
+                    if plane == Plane::Control {
+                        "control"
+                    } else {
+                        "data"
+                    },
+                ),
+            ],
+            1,
+        );
+    };
     while !stop.load(Ordering::SeqCst) {
         match rx.recv_frame_timeout(DEMUX_POLL) {
             Ok((frame, received_at)) => match decode_from_slice::<Response>(&frame) {
                 Ok(response) => shared.complete(response, received_at),
                 Err(e) => {
+                    note_failure();
                     shared.fail_plane(plane, ClusterError::Wire(e));
                     return;
                 }
             },
             Err(NetError::Timeout) => continue,
             Err(e) => {
+                note_failure();
                 shared.fail_plane(plane, ClusterError::Net(e));
                 return;
             }
@@ -644,6 +739,7 @@ mod tests {
             id,
             completed_at_nanos: at.as_nanos(),
             body,
+            spans: Vec::new(),
         };
         conn.send_frame(&encode_to_vec(&response), at).unwrap();
     }

@@ -24,9 +24,10 @@ use haocl_device::memory::MemoryError;
 use haocl_device::{presets, SimDevice};
 use haocl_kernel::{CostModel, Kernel, KernelRegistry, NdRange};
 use haocl_net::{Conn, Fabric, Listener, NetError};
+use haocl_obs::SpanId;
 use haocl_proto::ids::{KernelId, ProgramId, UserId};
 use haocl_proto::messages::{
-    status, ApiCall, ApiReply, Envelope, Request, Response, WireKernelReport,
+    status, ApiCall, ApiReply, Envelope, Request, Response, WireKernelReport, WireSpan,
 };
 use haocl_proto::wire::{decode_from_slice, encode_to_vec};
 use haocl_sim::SimTime;
@@ -211,11 +212,56 @@ fn serve(mut conn: Conn, state: Arc<Mutex<NodeState>>, stop: Arc<AtomicBool>) {
 fn handle(state: &Mutex<NodeState>, request: Request, arrival: SimTime) -> Response {
     let mut state = state.lock();
     let user = request.user;
+    let traced = request.traced();
     let (body, completed) = dispatch(&mut state, user, request.body, arrival);
+    // For traced requests the node ships its side of the span tree back in
+    // the response: a dispatch span covering the NMP's handling, plus —
+    // for kernel launches — the VM run interval the reply already carries.
+    // Span ids are derived from the correlation token (host-side ids never
+    // set the high bit), so no cross-network id coordination is needed.
+    let spans = if traced {
+        let dispatch_id = SpanId::derive(request.id.raw(), 0);
+        // Enqueue is non-blocking: the reply leaves at receipt time while
+        // the kernel occupies the device until `end_nanos`. The dispatch
+        // span stretches to cover the run so the tree nests in time.
+        let mut dispatch_end = completed.as_nanos();
+        let mut spans = Vec::with_capacity(2);
+        if let ApiReply::LaunchDone {
+            start_nanos,
+            end_nanos,
+            ..
+        } = &body
+        {
+            dispatch_end = dispatch_end.max(*end_nanos);
+            spans.push(WireSpan {
+                id: SpanId::derive(request.id.raw(), 1).0,
+                parent: dispatch_id.0,
+                name: "vm.run".to_string(),
+                category: "Compute".to_string(),
+                start_nanos: *start_nanos,
+                end_nanos: *end_nanos,
+            });
+        }
+        spans.insert(
+            0,
+            WireSpan {
+                id: dispatch_id.0,
+                parent: request.parent_span,
+                name: "nmp.dispatch".to_string(),
+                category: "Dispatch".to_string(),
+                start_nanos: arrival.as_nanos(),
+                end_nanos: dispatch_end,
+            },
+        );
+        spans
+    } else {
+        Vec::new()
+    };
     Response {
         id: request.id,
         completed_at_nanos: completed.as_nanos(),
         body,
+        spans,
     }
 }
 
@@ -633,6 +679,8 @@ mod tests {
             id,
             user: UserId::new(user),
             sent_at_nanos: 0,
+            trace_id: 0,
+            parent_span: 0,
             body,
         };
         conn.send_frame(&encode_to_vec(&Envelope::Single(req)), SimTime::ZERO)
@@ -938,6 +986,8 @@ mod tests {
                 id: RequestId::new(100 + i),
                 user: UserId::new(1),
                 sent_at_nanos: 0,
+                trace_id: 0,
+                parent_span: 0,
                 body: ApiCall::Ping,
             })
             .collect();

@@ -9,8 +9,9 @@
 use parking_lot::Mutex;
 
 use haocl_kernel::NdRange;
+use haocl_obs::{names, Span, TraceCtx};
 use haocl_sched::{DeviceView, Scheduler, SchedulingPolicy, TaskSpec};
-use haocl_sim::SimTime;
+use haocl_sim::{Phase, SimTime};
 
 use crate::context::Context;
 use crate::error::{Error, Status};
@@ -103,11 +104,55 @@ impl AutoScheduler {
                 })
                 .collect()
         };
-        let choice = self
+        let (choice, audit) = self
             .scheduler
-            .place(&task, &views)
+            .place_audited(&task, &views)
             .map_err(|e| Error::api(Status::InvalidOperation, e.to_string()))?;
-        let event = self.queues[choice].enqueue_nd_range_kernel(kernel, range)?;
+        let obs = &self.context.platform.obs;
+        // The placement decision is always auditable; spans and metrics
+        // follow the tracing gate.
+        let decided = self.queues[choice].device().platform.clock().now();
+        let ctx = if obs.enabled() {
+            let trace = obs.recorder.new_trace();
+            let root_id = obs.recorder.next_span_id();
+            // The decision is instantaneous in virtual time; the span
+            // still anchors the audit trail inside the trace tree.
+            obs.recorder.record(
+                Span::new(
+                    obs.recorder.next_span_id(),
+                    trace,
+                    Some(root_id),
+                    "sched.place",
+                    Phase::new("Sched"),
+                    "host",
+                    decided,
+                    decided,
+                )
+                .attr("policy", audit.policy.clone())
+                .attr("reason", audit.reason.clone())
+                .attr("candidates", audit.candidates.len().to_string()),
+            );
+            obs.metrics.inc_counter(
+                names::PLACEMENTS,
+                &[
+                    ("kernel", kernel.name()),
+                    (
+                        "kind",
+                        audit.winner().map(|w| w.kind.as_str()).unwrap_or("unknown"),
+                    ),
+                ],
+                1,
+            );
+            Some((trace, root_id))
+        } else {
+            None
+        };
+        obs.audit.record(audit);
+        let event = self.queues[choice].enqueue_nd_range_kernel_traced(
+            kernel,
+            range,
+            ctx.map(|(trace, root_id)| TraceCtx::new(trace, root_id)),
+        )?;
         // The policy's load tracking needs the completion time, so
         // auto-scheduled launches resolve here; failures propagate
         // instead of panicking in the profiling accessors below.
@@ -121,6 +166,26 @@ impl AutoScheduler {
             self.context.devices()[choice].kind(),
             event.duration(),
         );
+        if let Some((trace, root_id)) = ctx {
+            // Close the trace root now that the launch has resolved; the
+            // sched.place and enqueue spans recorded earlier parent here.
+            obs.recorder.record(Span::new(
+                root_id,
+                trace,
+                None,
+                format!("auto.launch {}", kernel.name()),
+                Phase::Compute,
+                "host",
+                decided,
+                self.context.platform.clock().now(),
+            ));
+            // Seeded predictions displaced by warm observations surface
+            // as a monotonic counter; sync-by-delta keeps it idempotent.
+            let displaced = self.scheduler.profile().seed_displacements();
+            let behind =
+                displaced.saturating_sub(obs.metrics.counter_value(names::SEED_DISPLACED, &[]));
+            obs.metrics.inc_counter(names::SEED_DISPLACED, &[], behind);
+        }
         Ok((event, choice))
     }
 }

@@ -10,6 +10,7 @@ use std::sync::Arc;
 use haocl_cluster::{ClusterConfig, HostRuntime, LocalCluster, NodeSpec, RemoteDevice};
 use haocl_kernel::KernelRegistry;
 use haocl_net::LinkModel;
+use haocl_obs::{names, Hub};
 use haocl_proto::ids::{IdAllocator, NodeId, UserId};
 use haocl_proto::messages::{ApiCall, DeviceKind};
 use haocl_sim::{Clock, Phase, PhaseBreakdown, SimDuration, SimTime, Tracer};
@@ -24,6 +25,10 @@ pub(crate) struct PlatformInner {
     cluster: LocalCluster,
     pub(crate) ids: IdAllocator,
     pub(crate) tracer: Tracer,
+    /// The observability hub, adopted from the host runtime so the
+    /// cluster's plane metrics and the API layer's spans land in one
+    /// place.
+    pub(crate) obs: Arc<Hub>,
     name: String,
 }
 
@@ -163,14 +168,23 @@ impl Platform {
     /// [`Error::Transport`].
     pub fn cluster(config: &ClusterConfig, registry: KernelRegistry) -> Result<Self, Error> {
         let cluster = LocalCluster::launch(config, registry)?;
-        Ok(Platform {
+        Ok(Self::wrap(cluster, "HaoCL"))
+    }
+
+    fn wrap(cluster: LocalCluster, name: &str) -> Platform {
+        let obs = Arc::clone(cluster.host().obs());
+        if std::env::var("HAOCL_TRACE").is_ok_and(|v| v == "1") {
+            obs.set_enabled(true);
+        }
+        Platform {
             inner: Arc::new(PlatformInner {
                 cluster,
                 ids: IdAllocator::new(),
                 tracer: Tracer::new(),
-                name: "HaoCL".to_string(),
+                obs,
+                name: name.to_string(),
             }),
-        })
+        }
     }
 
     /// A single-node platform with a zero-cost interconnect: the "native
@@ -212,14 +226,7 @@ impl Platform {
             link: LinkModel::custom(1.0e15, SimDuration::ZERO),
         };
         let cluster = LocalCluster::launch(&config, registry)?;
-        Ok(Platform {
-            inner: Arc::new(PlatformInner {
-                cluster,
-                ids: IdAllocator::new(),
-                tracer: Tracer::new(),
-                name: "HaoCL (local)".to_string(),
-            }),
-        })
+        Ok(Self::wrap(cluster, "HaoCL (local)"))
     }
 
     /// The platform name (`CL_PLATFORM_NAME`).
@@ -273,6 +280,52 @@ impl Platform {
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.inner.clock().now()
+    }
+
+    /// Turns end-to-end tracing and metrics on or off at runtime (the
+    /// builder-API equivalent of launching with `HAOCL_TRACE=1`).
+    pub fn set_tracing(&self, on: bool) {
+        self.inner.obs.set_enabled(on);
+    }
+
+    /// Whether tracing/metrics recording is currently enabled.
+    pub fn tracing_enabled(&self) -> bool {
+        self.inner.obs.enabled()
+    }
+
+    /// The observability hub: span recorder, metric registry and
+    /// scheduler audit log shared by every layer under this platform.
+    pub fn obs(&self) -> &Arc<Hub> {
+        &self.inner.obs
+    }
+
+    /// Exports every recorded span as a Chrome trace-event JSON document
+    /// (load it in `chrome://tracing` or Perfetto).
+    pub fn export_chrome_trace(&self) -> String {
+        haocl_obs::chrome_trace(&self.inner.obs.recorder.spans())
+    }
+
+    /// Renders the metric registry in Prometheus text format, after
+    /// folding in the fabric's cumulative transmit counters.
+    pub fn render_metrics(&self) -> String {
+        let stats = self.inner.cluster.fabric().stats();
+        let m = &self.inner.obs.metrics;
+        // Counters only move forward, so syncing an external snapshot is
+        // an increment by the delta observed since the last render.
+        let frames_behind = stats
+            .frames
+            .saturating_sub(m.counter_value(names::FABRIC_FRAMES, &[]));
+        m.inc_counter(names::FABRIC_FRAMES, &[], frames_behind);
+        let bytes_behind = stats
+            .charged_bytes
+            .saturating_sub(m.counter_value(names::FABRIC_BYTES, &[]));
+        m.inc_counter(names::FABRIC_BYTES, &[], bytes_behind);
+        m.render()
+    }
+
+    /// Renders the scheduler decision audit log, one line per placement.
+    pub fn render_audit_log(&self) -> String {
+        self.inner.obs.audit.render()
     }
 
     /// Pulls the runtime profile from every node: per-device, per-kernel

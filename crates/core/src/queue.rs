@@ -15,6 +15,7 @@
 use std::sync::Arc;
 
 use haocl_kernel::NdRange;
+use haocl_obs::{names, phase_from_name, Span, TraceCtx};
 use haocl_proto::messages::{ApiCall, ApiReply, WireArg, WireCost, WireNdRange};
 use haocl_sim::{Phase, SimTime};
 
@@ -204,6 +205,29 @@ impl CommandQueue {
     /// [`Status::InvalidKernelArgs`] if any argument is unset; staging
     /// or submission transport failures.
     pub fn enqueue_nd_range_kernel(&self, kernel: &Kernel, range: NdRange) -> Result<Event, Error> {
+        self.enqueue_nd_range_kernel_traced(kernel, range, None)
+    }
+
+    /// [`enqueue_nd_range_kernel`](Self::enqueue_nd_range_kernel) with an
+    /// explicit parent trace context.
+    ///
+    /// With tracing enabled this launch records a root span (or a child
+    /// of `parent`, when given — the [`crate::auto::AutoScheduler`] nests
+    /// launches under its placement span this way) covering the
+    /// submit-to-response interval, plus the fabric hops it synthesizes
+    /// and the NMP/VM spans the node ships back in its response — one
+    /// causally connected tree per enqueue. With tracing off, `parent`
+    /// is ignored and this is exactly `enqueue_nd_range_kernel`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`enqueue_nd_range_kernel`](Self::enqueue_nd_range_kernel).
+    pub fn enqueue_nd_range_kernel_traced(
+        &self,
+        kernel: &Kernel,
+        range: NdRange,
+        parent: Option<TraceCtx>,
+    ) -> Result<Event, Error> {
         let queued = self.now();
         let args = kernel.bound_args()?;
         // Stage buffer arguments onto this device. This settles earlier
@@ -225,11 +249,21 @@ impl CommandQueue {
             .collect();
         let cost = kernel.cost();
         let started = self.now();
+        let obs = &self.device.platform.obs;
+        // The root span's id is allocated up front — the NMP parents its
+        // dispatch span under it over the wire — but the span itself is
+        // recorded at resolve time, once its end is known.
+        let root = obs.enabled().then(|| {
+            let trace = parent.map_or_else(|| obs.recorder.new_trace(), |c| c.trace);
+            (trace, obs.recorder.next_span_id(), parent.map(|c| c.parent))
+        });
+        let ctx = root.map(|(trace, id, _)| TraceCtx::new(trace, id));
+        let kernel_name = kernel.name().to_string();
         let call = self
             .device
             .platform
             .host()
-            .submit(
+            .submit_traced(
                 self.device.node(),
                 ApiCall::LaunchKernel {
                     device: self.device.device_index(),
@@ -250,6 +284,7 @@ impl CommandQueue {
                     fidelity: kernel.fidelity(),
                     shared: false,
                 },
+                ctx,
             )
             .map_err(Error::from)?;
         // The resolver holds the buffers weakly: a buffer nobody can
@@ -293,6 +328,73 @@ impl CommandQueue {
             }
             let start = SimTime::from_nanos(start_nanos);
             let end = SimTime::from_nanos(end_nanos);
+            if let Some((trace, root_id, outer_parent)) = root {
+                let rec = &platform.obs.recorder;
+                let node_name = device.node_name();
+                let kind = format!("{:?}", device.kind());
+                rec.record(
+                    Span::new(
+                        root_id,
+                        trace,
+                        outer_parent,
+                        format!("enqueue_nd_range {kernel_name}"),
+                        Phase::Compute,
+                        "host",
+                        started,
+                        outcome.host_received,
+                    )
+                    .attr("kernel", kernel_name.clone())
+                    .attr("device_kind", kind.clone())
+                    .attr("instructions", instructions.to_string()),
+                );
+                // The node's side of the tree arrived inside the
+                // response; its spans keep their wire-derived ids.
+                let mut arrival = None;
+                for w in &outcome.spans {
+                    if w.name == "nmp.dispatch" {
+                        arrival = Some(SimTime::from_nanos(w.start_nanos));
+                    }
+                    rec.record(Span::new(
+                        haocl_obs::SpanId(w.id),
+                        trace,
+                        (w.parent != 0).then_some(haocl_obs::SpanId(w.parent)),
+                        w.name.clone(),
+                        phase_from_name(&w.category),
+                        node_name,
+                        SimTime::from_nanos(w.start_nanos),
+                        SimTime::from_nanos(w.end_nanos),
+                    ));
+                }
+                // Fabric hops are synthesized host-side — the fabric
+                // never decodes payloads, so it cannot record them.
+                if let Some(arrival) = arrival {
+                    rec.record(Span::new(
+                        rec.next_span_id(),
+                        trace,
+                        Some(root_id),
+                        "fabric.request",
+                        Phase::DataTransfer,
+                        format!("fabric:{node_name}"),
+                        started,
+                        arrival,
+                    ));
+                    rec.record(Span::new(
+                        rec.next_span_id(),
+                        trace,
+                        Some(root_id),
+                        "fabric.reply",
+                        Phase::DataTransfer,
+                        format!("fabric:{node_name}"),
+                        outcome.node_completed,
+                        outcome.host_received,
+                    ));
+                }
+                platform.obs.metrics.observe_nanos(
+                    names::KERNEL_LATENCY,
+                    &[("kernel", &kernel_name), ("kind", &kind)],
+                    end_nanos.saturating_sub(start_nanos),
+                );
+            }
             // The kernel runs asynchronously until `end_nanos` — charge
             // its device time to the Compute phase and remember it for
             // `finish`.
@@ -314,6 +416,14 @@ impl CommandQueue {
             }
         }
         self.pending.lock().push(event.clone());
+        let obs = &self.device.platform.obs;
+        if obs.enabled() {
+            obs.metrics.set_gauge(
+                names::QUEUE_DEPTH,
+                &[("device", &self.device.index().to_string())],
+                self.pending.lock().len() as i64,
+            );
+        }
         Ok(event)
     }
 
@@ -328,6 +438,14 @@ impl CommandQueue {
         let pending: Vec<Event> = std::mem::take(&mut *self.pending.lock());
         for event in pending {
             let _ = event.wait();
+        }
+        let obs = &self.device.platform.obs;
+        if obs.enabled() {
+            obs.metrics.set_gauge(
+                names::QUEUE_DEPTH,
+                &[("device", &self.device.index().to_string())],
+                0,
+            );
         }
         let last = *self.last_end.lock();
         self.device.platform.clock().advance_to(last);

@@ -167,6 +167,7 @@ mod tests {
                 instructions: range.total_items(),
                 work_items: range.total_items(),
                 work_groups: range.total_groups(),
+                barriers: 0,
             })
         }
     }

@@ -15,6 +15,7 @@
 //! is what limits scaling for communication-heavy benchmarks in Fig. 2.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -81,12 +82,37 @@ struct Chunk {
     arrival: SimTime,
 }
 
+/// Cumulative transmit counters for one [`Fabric`].
+///
+/// The fabric itself stays dependency-free: it only counts, and an
+/// observability layer above it periodically snapshots these into its
+/// own metric registry. `charged_bytes` uses the *virtual* frame length
+/// (modeled bulk transfers count at full size), so it matches the bytes
+/// the link model actually billed for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FabricStats {
+    /// Frames that crossed a real (non-loopback) link.
+    pub frames: u64,
+    /// Bytes charged to the link model, including virtual lengths.
+    pub charged_bytes: u64,
+    /// Frames short-circuited between co-located peers.
+    pub loopback_frames: u64,
+}
+
+#[derive(Default)]
+struct StatCells {
+    frames: AtomicU64,
+    charged_bytes: AtomicU64,
+    loopback_frames: AtomicU64,
+}
+
 struct FabricInner {
     link: LinkModel,
     clock: Clock,
     listeners: Mutex<HashMap<String, Sender<Conn>>>,
     /// Transmit NIC per host name.
     nics: Mutex<HashMap<String, Resource>>,
+    stats: StatCells,
 }
 
 /// The shared in-process network.
@@ -106,6 +132,7 @@ impl Fabric {
                 clock,
                 listeners: Mutex::new(HashMap::new()),
                 nics: Mutex::new(HashMap::new()),
+                stats: StatCells::default(),
             }),
         }
     }
@@ -113,6 +140,16 @@ impl Fabric {
     /// The fabric's link model.
     pub fn link(&self) -> LinkModel {
         self.inner.link
+    }
+
+    /// A consistent-enough snapshot of the fabric's transmit counters.
+    pub fn stats(&self) -> FabricStats {
+        let s = &self.inner.stats;
+        FabricStats {
+            frames: s.frames.load(Ordering::Relaxed),
+            charged_bytes: s.charged_bytes.load(Ordering::Relaxed),
+            loopback_frames: s.loopback_frames.load(Ordering::Relaxed),
+        }
     }
 
     /// The fabric's virtual clock.
@@ -318,10 +355,19 @@ impl ConnSender {
         // NIC — the paper's single-node deployment runs the host process
         // on the device node itself.
         let arrival = if host_of(&self.peer) == self.local_host {
+            self.fabric
+                .stats
+                .loopback_frames
+                .fetch_add(1, Ordering::Relaxed);
             at
         } else {
             let charged = (frame.len() as u64).max(virtual_len.saturating_add(4));
             let service = self.fabric.link.transmit_time(charged as usize);
+            self.fabric.stats.frames.fetch_add(1, Ordering::Relaxed);
+            self.fabric
+                .stats
+                .charged_bytes
+                .fetch_add(charged, Ordering::Relaxed);
             let grant = {
                 let mut nics = self.fabric.nics.lock();
                 let nic = nics

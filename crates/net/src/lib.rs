@@ -39,4 +39,4 @@ pub mod fabric;
 pub mod frame;
 
 pub use error::NetError;
-pub use fabric::{Conn, ConnReceiver, ConnSender, Fabric, LinkModel, Listener};
+pub use fabric::{Conn, ConnReceiver, ConnSender, Fabric, FabricStats, LinkModel, Listener};

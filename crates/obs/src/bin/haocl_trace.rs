@@ -1,0 +1,71 @@
+//! `haocl-trace` — replay a recorded `trace.json` as text breakdowns.
+//!
+//! Usage:
+//!
+//! ```text
+//! haocl-trace trace.json            # per-phase / per-node breakdown
+//! haocl-trace --check trace.json    # validate only; exit 1 on orphans
+//! ```
+//!
+//! Exit codes: 0 = ok, 1 = orphan spans found, 2 = unreadable/invalid
+//! input.
+
+use std::process::ExitCode;
+
+use haocl_obs::{orphan_ids, parse_chrome_trace, render_breakdown};
+
+fn main() -> ExitCode {
+    let mut check_only = false;
+    let mut path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--check" => check_only = true,
+            "--help" | "-h" => {
+                eprintln!("usage: haocl-trace [--check] trace.json");
+                return ExitCode::SUCCESS;
+            }
+            _ if path.is_none() => path = Some(arg),
+            other => {
+                eprintln!("haocl-trace: unexpected argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: haocl-trace [--check] trace.json");
+        return ExitCode::from(2);
+    };
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("haocl-trace: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let spans = match parse_chrome_trace(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("haocl-trace: {path} is not a HaoCL Chrome trace: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let orphans = orphan_ids(&spans);
+    if !check_only {
+        print!("{}", render_breakdown(&spans));
+    }
+    if orphans.is_empty() {
+        if check_only {
+            println!("ok: {} span(s), no orphans", spans.len());
+        }
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "haocl-trace: {} orphan span(s): {}",
+            orphans.len(),
+            orphans.join(", ")
+        );
+        ExitCode::FAILURE
+    }
+}

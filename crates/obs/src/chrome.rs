@@ -1,0 +1,153 @@
+//! Chrome trace-event export.
+//!
+//! Serializes a span stream into the Trace Event Format consumed by
+//! `chrome://tracing` and Perfetto: one complete (`"ph":"X"`) event per
+//! span, one process per node (named via `"M"` metadata events), with
+//! `ts`/`dur` in microseconds of **virtual** time. Span/trace ids are
+//! serialized as JSON *strings* — node-derived ids use the high bit, which
+//! does not survive a round-trip through a double.
+//!
+//! The output is deterministic: events are sorted by (trace, start, id)
+//! and processes are numbered in node-name order.
+
+use std::collections::BTreeMap;
+
+use crate::span::Span;
+
+/// Escapes `s` for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats nanoseconds as fractional microseconds (3 decimals, exact).
+fn micros(nanos: u64) -> String {
+    format!("{}.{:03}", nanos / 1_000, nanos % 1_000)
+}
+
+/// Renders `spans` as a Chrome trace-event JSON document.
+///
+/// # Examples
+///
+/// ```
+/// use haocl_obs::{chrome_trace, Span, SpanId, TraceId};
+/// use haocl_sim::{Phase, SimTime};
+///
+/// let spans = [Span::new(
+///     SpanId(1), TraceId(1), None, "enqueue", Phase::Compute, "host",
+///     SimTime::ZERO, SimTime::from_nanos(2_500),
+/// )];
+/// let json = chrome_trace(&spans);
+/// assert!(json.contains("\"ph\":\"X\""));
+/// assert!(json.contains("\"dur\":2.500"));
+/// ```
+pub fn chrome_trace(spans: &[Span]) -> String {
+    // One Chrome "process" per node, numbered in name order.
+    let pids: BTreeMap<&str, usize> = spans
+        .iter()
+        .map(|s| s.node.as_str())
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .zip(1..)
+        .collect();
+
+    let mut ordered: Vec<&Span> = spans.iter().collect();
+    ordered.sort_by_key(|s| (s.trace, s.start, s.id));
+
+    let mut events = Vec::with_capacity(pids.len() + ordered.len());
+    for (node, pid) in &pids {
+        events.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(node)
+        ));
+    }
+    for s in ordered {
+        let pid = pids[s.node.as_str()];
+        let mut args = vec![
+            format!("\"id\":\"{}\"", s.id.0),
+            format!("\"trace\":\"{}\"", s.trace.0),
+        ];
+        if let Some(p) = s.parent {
+            args.push(format!("\"parent\":\"{}\"", p.0));
+        }
+        for (k, v) in &s.attrs {
+            args.push(format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)));
+        }
+        events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":{pid},\"tid\":0,\"args\":{{{}}}}}",
+            json_escape(&s.name),
+            json_escape(s.category.as_str()),
+            micros(s.start.as_nanos()),
+            micros(s.end.as_nanos().saturating_sub(s.start.as_nanos())),
+            args.join(",")
+        ));
+    }
+
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    out.push_str(&events.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{SpanId, TraceId};
+    use haocl_sim::{Phase, SimTime};
+
+    #[test]
+    fn escaping_handles_quotes_and_control_chars() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn micros_is_exact() {
+        assert_eq!(micros(0), "0.000");
+        assert_eq!(micros(1), "0.001");
+        assert_eq!(micros(2_500), "2.500");
+        assert_eq!(micros(1_000_000), "1000.000");
+    }
+
+    #[test]
+    fn output_is_deterministic_regardless_of_span_order() {
+        let a = Span::new(
+            SpanId(1),
+            TraceId(1),
+            None,
+            "root",
+            Phase::Compute,
+            "host",
+            SimTime::ZERO,
+            SimTime::from_nanos(100),
+        );
+        let b = Span::new(
+            SpanId(2),
+            TraceId(1),
+            Some(SpanId(1)),
+            "child",
+            Phase::DataTransfer,
+            "node0",
+            SimTime::from_nanos(10),
+            SimTime::from_nanos(60),
+        );
+        let fwd = chrome_trace(&[a.clone(), b.clone()]);
+        let rev = chrome_trace(&[b, a]);
+        assert_eq!(fwd, rev);
+        assert!(fwd.contains("\"parent\":\"1\""));
+        assert!(fwd.contains("\"args\":{\"name\":\"node0\"}"));
+    }
+}

@@ -1,0 +1,97 @@
+//! Observability for the HaoCL runtime.
+//!
+//! The paper's evaluation lives on breakdowns — Fig. 3 decomposes runtime
+//! into data-create / data-transfer / compute, Fig. 2 plots scaling — but
+//! a production-scale runtime needs to answer the per-operation question:
+//! *where did this kernel run, why, and where did the time go?* This
+//! crate is that layer:
+//!
+//! * [`span`] — the span model: a [`TraceCtx`] (trace id + parent span
+//!   id) is threaded host → scheduler → wire → fabric → NMP → VM, so one
+//!   enqueue yields one causally-linked span tree across nodes, recorded
+//!   into a [`Recorder`] in **virtual time**.
+//! * [`chrome`] — exports the span stream as a Chrome trace-event
+//!   `trace.json` loadable in `chrome://tracing` / Perfetto.
+//! * [`metrics`] — a Prometheus-text [`Registry`] of counters, gauges and
+//!   virtual-time histograms (per-kernel latency, bytes per plane, batch
+//!   coalescing sizes, …).
+//! * [`audit`] — the scheduler decision [`AuditLog`]: candidates,
+//!   predictions, winner, reason, for every placement.
+//! * [`replay`] + the `haocl-trace` bin — re-reads a recorded trace and
+//!   prints the per-phase / per-node breakdown, superseding the Fig. 3
+//!   `Tracer` printout.
+//!
+//! Everything is deterministic (sorted rendering, virtual clocks, no
+//! wall-time reads) and free when disabled: a single relaxed atomic load
+//! gates every record call.
+
+pub mod audit;
+pub mod chrome;
+pub mod json;
+pub mod metrics;
+pub mod replay;
+pub mod span;
+
+pub use audit::{AuditLog, CandidateInfo, PlacementAudit, PredictionSource};
+pub use chrome::chrome_trace;
+pub use metrics::{Registry, LATENCY_BUCKETS_NANOS, SIZE_BUCKETS};
+pub use replay::{orphan_ids, parse_chrome_trace, render_breakdown, ReplaySpan};
+pub use span::{
+    is_connected_tree, orphans, phase_from_name, roots, Recorder, Span, SpanId, TraceCtx, TraceId,
+};
+
+/// Canonical metric names, shared by every instrumented crate.
+pub mod names {
+    /// Histogram: virtual ns from enqueue to completion, per kernel and
+    /// device kind.
+    pub const KERNEL_LATENCY: &str = "haocl_kernel_latency_nanos";
+    /// Counter: payload bytes moved per node and plane.
+    pub const PLANE_BYTES: &str = "haocl_plane_bytes_total";
+    /// Counter: frames sent per node and plane.
+    pub const PLANE_FRAMES: &str = "haocl_plane_frames_total";
+    /// Histogram: requests coalesced per control-plane frame.
+    pub const BATCH_SIZE: &str = "haocl_batch_coalesced_requests";
+    /// Gauge: host-side queue depth per device at last sample.
+    pub const QUEUE_DEPTH: &str = "haocl_queue_depth";
+    /// Counter: link/plane failures observed by the host runtime.
+    pub const LINK_FAILURES: &str = "haocl_link_failures_total";
+    /// Counter: scheduler placements, per kernel and winning device kind.
+    pub const PLACEMENTS: &str = "haocl_placements_total";
+    /// Counter: profile-db seeds first displaced by observed runs.
+    pub const SEED_DISPLACED: &str = "haocl_profile_seed_displaced_total";
+    /// Counter: frames carried by the fabric, per link endpoint.
+    pub const FABRIC_FRAMES: &str = "haocl_fabric_frames_total";
+    /// Counter: bytes charged on the fabric (virtual wire bytes).
+    pub const FABRIC_BYTES: &str = "haocl_fabric_bytes_total";
+}
+
+/// The bundle every instrumented layer shares: one span [`Recorder`], one
+/// metrics [`Registry`], one scheduler [`AuditLog`]. The platform owns an
+/// `Arc<Hub>` and hands clones down to the host runtime and scheduler.
+#[derive(Debug, Default)]
+pub struct Hub {
+    /// Span sink.
+    pub recorder: Recorder,
+    /// Metrics registry.
+    pub metrics: Registry,
+    /// Scheduler decision log.
+    pub audit: AuditLog,
+}
+
+impl Hub {
+    /// Creates a disabled hub (metrics and audit still collect; only span
+    /// recording is gated).
+    pub fn new() -> Hub {
+        Hub::default()
+    }
+
+    /// Whether span recording is on.
+    pub fn enabled(&self) -> bool {
+        self.recorder.enabled()
+    }
+
+    /// Enables or disables span recording.
+    pub fn set_enabled(&self, on: bool) {
+        self.recorder.set_enabled(on);
+    }
+}

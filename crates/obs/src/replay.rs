@@ -1,0 +1,281 @@
+//! Replay a recorded Chrome trace into text breakdowns.
+//!
+//! This is the library half of the `haocl-trace` bin: it parses a
+//! `trace.json` produced by [`chrome_trace`](crate::chrome::chrome_trace)
+//! back into spans, validates the causal structure (orphan detection),
+//! and renders the per-phase / per-node decomposition that supersedes the
+//! old Fig. 3 `Tracer` printout.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+use crate::json::{parse, Json};
+
+/// A span re-read from a trace file. Ids are kept as strings: node-derived
+/// span ids use the high bit of a `u64`, which does not survive JSON's
+/// doubles (which is why the writer emits them as strings).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplaySpan {
+    /// Span id.
+    pub id: String,
+    /// Parent span id, if any.
+    pub parent: Option<String>,
+    /// Trace the span belongs to.
+    pub trace: String,
+    /// Operation name.
+    pub name: String,
+    /// Breakdown category.
+    pub category: String,
+    /// Node (Chrome process) the span ran on.
+    pub node: String,
+    /// Start, in virtual nanoseconds.
+    pub start_nanos: u64,
+    /// Duration, in virtual nanoseconds.
+    pub dur_nanos: u64,
+}
+
+/// Parses a Chrome trace-event document back into spans.
+///
+/// # Errors
+///
+/// Returns a message when the text is not valid JSON or lacks the
+/// `traceEvents` array / per-event fields our exporter always writes.
+pub fn parse_chrome_trace(text: &str) -> Result<Vec<ReplaySpan>, String> {
+    let doc = parse(text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing traceEvents array")?;
+
+    // Process-name metadata maps pid -> node name.
+    let mut names: BTreeMap<u64, String> = BTreeMap::new();
+    for ev in events {
+        if ev.get("ph").and_then(Json::as_str) == Some("M")
+            && ev.get("name").and_then(Json::as_str) == Some("process_name")
+        {
+            let pid = ev
+                .get("pid")
+                .and_then(Json::as_f64)
+                .ok_or("M event without pid")? as u64;
+            let name = ev
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Json::as_str)
+                .ok_or("process_name without args.name")?;
+            names.insert(pid, name.to_string());
+        }
+    }
+
+    let micros_to_nanos = |v: f64| (v * 1_000.0).round() as u64;
+    let mut spans = Vec::new();
+    for ev in events {
+        if ev.get("ph").and_then(Json::as_str) != Some("X") {
+            continue;
+        }
+        let field = |key: &str| {
+            ev.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("X event missing {key}"))
+        };
+        let args = ev.get("args").ok_or("X event missing args")?;
+        let pid = ev
+            .get("pid")
+            .and_then(Json::as_f64)
+            .ok_or("X event missing pid")? as u64;
+        spans.push(ReplaySpan {
+            id: args
+                .get("id")
+                .and_then(Json::as_str)
+                .ok_or("X event missing args.id")?
+                .to_string(),
+            parent: args
+                .get("parent")
+                .and_then(Json::as_str)
+                .map(str::to_string),
+            trace: args
+                .get("trace")
+                .and_then(Json::as_str)
+                .ok_or("X event missing args.trace")?
+                .to_string(),
+            name: field("name")?,
+            category: field("cat")?,
+            node: names
+                .get(&pid)
+                .cloned()
+                .unwrap_or_else(|| format!("pid{pid}")),
+            start_nanos: ev
+                .get("ts")
+                .and_then(Json::as_f64)
+                .map(micros_to_nanos)
+                .ok_or("X event missing ts")?,
+            dur_nanos: ev
+                .get("dur")
+                .and_then(Json::as_f64)
+                .map(micros_to_nanos)
+                .ok_or("X event missing dur")?,
+        });
+    }
+    Ok(spans)
+}
+
+/// Ids of spans whose parent id does not appear in the trace.
+pub fn orphan_ids(spans: &[ReplaySpan]) -> Vec<String> {
+    let ids: HashSet<&str> = spans.iter().map(|s| s.id.as_str()).collect();
+    spans
+        .iter()
+        .filter(|s| s.parent.as_deref().is_some_and(|p| !ids.contains(p)))
+        .map(|s| s.id.clone())
+        .collect()
+}
+
+/// Category names in reporting order: the canonical Fig. 3 phases first,
+/// then everything else alphabetically.
+fn category_order(categories: impl IntoIterator<Item = String>) -> Vec<String> {
+    const CANONICAL: [&str; 4] = ["Init", "DataCreate", "DataTransfer", "Compute"];
+    let set: BTreeSet<String> = categories.into_iter().collect();
+    let mut out: Vec<String> = CANONICAL
+        .iter()
+        .filter(|c| set.contains(**c))
+        .map(|c| c.to_string())
+        .collect();
+    out.extend(set.into_iter().filter(|c| !CANONICAL.contains(&c.as_str())));
+    out
+}
+
+fn fmt_nanos(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Renders the per-phase / per-node breakdown of a replayed trace — the
+/// `haocl-trace` output that supersedes the Fig. 3 `Tracer` printout.
+pub fn render_breakdown(spans: &[ReplaySpan]) -> String {
+    let traces: BTreeSet<&str> = spans.iter().map(|s| s.trace.as_str()).collect();
+    let mut out = format!(
+        "{} span(s), {} trace(s), {} node(s)\n",
+        spans.len(),
+        traces.len(),
+        spans
+            .iter()
+            .map(|s| s.node.as_str())
+            .collect::<BTreeSet<_>>()
+            .len()
+    );
+
+    // Per node, per category: total time and span count.
+    let mut per_node: BTreeMap<&str, BTreeMap<String, (u64, u64)>> = BTreeMap::new();
+    let mut per_cat: BTreeMap<String, u64> = BTreeMap::new();
+    for s in spans {
+        let slot = per_node
+            .entry(s.node.as_str())
+            .or_default()
+            .entry(s.category.clone())
+            .or_insert((0, 0));
+        slot.0 += s.dur_nanos;
+        slot.1 += 1;
+        *per_cat.entry(s.category.clone()).or_insert(0) += s.dur_nanos;
+    }
+
+    for (node, cats) in &per_node {
+        out.push_str(&format!("node {node}\n"));
+        for cat in category_order(cats.keys().cloned()) {
+            let (total, count) = cats[&cat];
+            out.push_str(&format!(
+                "  {cat:<14} {:>12}  ({count} span{})\n",
+                fmt_nanos(total),
+                if count == 1 { "" } else { "s" }
+            ));
+        }
+    }
+
+    let line: Vec<String> = category_order(per_cat.keys().cloned())
+        .into_iter()
+        .map(|cat| format!("{cat}={}", fmt_nanos(per_cat[&cat])))
+        .collect();
+    out.push_str(&format!("total {}\n", line.join(" ")));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chrome::chrome_trace;
+    use crate::span::{Span, SpanId, TraceId};
+    use haocl_sim::{Phase, SimTime};
+
+    fn sample() -> Vec<ReplaySpan> {
+        let spans = vec![
+            Span::new(
+                SpanId(1),
+                TraceId(1),
+                None,
+                "enqueue mm",
+                Phase::Compute,
+                "host",
+                SimTime::ZERO,
+                SimTime::from_nanos(10_000),
+            ),
+            Span::new(
+                SpanId(2),
+                TraceId(1),
+                Some(SpanId(1)),
+                "fabric.request",
+                Phase::DataTransfer,
+                "fabric:node0",
+                SimTime::from_nanos(100),
+                SimTime::from_nanos(1_100),
+            ),
+            Span::new(
+                SpanId::derive(9, 0),
+                TraceId(1),
+                Some(SpanId(1)),
+                "nmp.dispatch",
+                Phase::new("Dispatch"),
+                "node0",
+                SimTime::from_nanos(1_100),
+                SimTime::from_nanos(9_000),
+            ),
+        ];
+        parse_chrome_trace(&chrome_trace(&spans)).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_ids_times_and_nodes() {
+        let replayed = sample();
+        assert_eq!(replayed.len(), 3);
+        let big = replayed.iter().find(|s| s.name == "nmp.dispatch").unwrap();
+        // The node-derived id survives exactly (would be mangled as f64).
+        assert_eq!(big.id, SpanId::derive(9, 0).0.to_string());
+        assert_eq!(big.parent.as_deref(), Some("1"));
+        assert_eq!(big.node, "node0");
+        assert_eq!(big.start_nanos, 1_100);
+        assert_eq!(big.dur_nanos, 7_900);
+        assert!(orphan_ids(&replayed).is_empty());
+    }
+
+    #[test]
+    fn orphans_are_reported() {
+        let mut replayed = sample();
+        replayed.retain(|s| s.name != "enqueue mm");
+        let orphans = orphan_ids(&replayed);
+        assert_eq!(orphans.len(), 2);
+    }
+
+    #[test]
+    fn breakdown_lists_canonical_phases_first_then_extras() {
+        let text = render_breakdown(&sample());
+        assert!(text.contains("node host"));
+        assert!(text.contains("node node0"));
+        let compute = text.find("Compute=").unwrap();
+        let dispatch = text.find("Dispatch=").unwrap();
+        assert!(compute < dispatch, "canonical before extras: {text}");
+        assert!(text.contains("total DataTransfer=1.000us Compute=10.000us Dispatch=7.900us"));
+    }
+}

@@ -1,0 +1,365 @@
+//! The span model: causally-linked intervals of virtual time.
+//!
+//! One `enqueue_nd_range` on a remote device yields a small *span tree*
+//! crossing three execution domains — the host API call, the fabric hops,
+//! and the NMP dispatch / VM run on the device node. Every span carries
+//! the [`TraceId`] of the operation it belongs to and (except the root)
+//! the [`SpanId`] of its parent, so the tree can be reassembled from a
+//! flat stream regardless of which thread recorded which span.
+//!
+//! All timestamps are **virtual time** ([`SimTime`]): spans are recorded
+//! complete (start and end known) because the simulation's observation
+//! ordering means an operation's cost is only learned when its response is
+//! claimed. There is no "span guard" RAII type on purpose.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use haocl_sim::{Phase, SimTime};
+
+/// Identifies one logical operation (e.g. one kernel enqueue) end to end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(pub u64);
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace{}", self.0)
+    }
+}
+
+/// Identifies one span within a trace.
+///
+/// Host-side spans get sequential ids from the [`Recorder`]; node-side
+/// spans are minted with [`SpanId::derive`] from the request's correlation
+/// token, so the two id spaces never collide even though the NMP cannot
+/// see the host's counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// Bit marking node-derived span ids (the host counter stays below it).
+    const NODE_BIT: u64 = 1 << 63;
+
+    /// Mints the `seq`-th span id for the request with correlation token
+    /// `request_id`. Up to 16 spans per request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq >= 16`.
+    pub fn derive(request_id: u64, seq: u64) -> SpanId {
+        assert!(seq < 16, "at most 16 derived spans per request");
+        SpanId(Self::NODE_BIT | (request_id << 4) | seq)
+    }
+}
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "span{}", self.0)
+    }
+}
+
+/// The propagation context threaded through the call path: which trace the
+/// current operation belongs to and which span is its direct parent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// The operation's trace.
+    pub trace: TraceId,
+    /// The span the next child should hang off.
+    pub parent: SpanId,
+}
+
+impl TraceCtx {
+    /// A context rooted at `parent` within `trace`.
+    pub fn new(trace: TraceId, parent: SpanId) -> TraceCtx {
+        TraceCtx { trace, parent }
+    }
+
+    /// The same trace, re-rooted at a different parent span.
+    pub fn child_of(self, parent: SpanId) -> TraceCtx {
+        TraceCtx { parent, ..self }
+    }
+}
+
+/// One completed interval of virtual time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Unique id within the recording.
+    pub id: SpanId,
+    /// The trace this span belongs to.
+    pub trace: TraceId,
+    /// Parent span, `None` for a trace root.
+    pub parent: Option<SpanId>,
+    /// Human-readable operation name (e.g. `enqueue_nd_range mm_tile`).
+    pub name: String,
+    /// Breakdown category; feeds the Fig. 3 phase decomposition.
+    pub category: Phase,
+    /// Where the span executed (`host`, a node name, `fabric:<node>`).
+    pub node: String,
+    /// Interval start, virtual time.
+    pub start: SimTime,
+    /// Interval end, virtual time.
+    pub end: SimTime,
+    /// Free-form key/value annotations (instruction counts, byte counts…).
+    pub attrs: Vec<(String, String)>,
+}
+
+impl Span {
+    /// Creates a span with no attributes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: SpanId,
+        trace: TraceId,
+        parent: Option<SpanId>,
+        name: impl Into<String>,
+        category: Phase,
+        node: impl Into<String>,
+        start: SimTime,
+        end: SimTime,
+    ) -> Span {
+        Span {
+            id,
+            trace,
+            parent,
+            name: name.into(),
+            category,
+            node: node.into(),
+            start,
+            end,
+            attrs: Vec::new(),
+        }
+    }
+
+    /// Adds an annotation (builder style).
+    pub fn attr(mut self, key: impl Into<String>, value: impl Into<String>) -> Span {
+        self.attrs.push((key.into(), value.into()));
+        self
+    }
+}
+
+/// Thread-safe sink for completed spans.
+///
+/// Recording is gated on a relaxed atomic flag so a disabled recorder
+/// costs one load per call site — the overhead stance is "free when off,
+/// cheap when on" (spans are plain pushes under a mutex; there is no I/O
+/// until export).
+#[derive(Debug)]
+pub struct Recorder {
+    enabled: AtomicBool,
+    next_trace: AtomicU64,
+    next_span: AtomicU64,
+    spans: Mutex<Vec<Span>>,
+}
+
+impl Default for Recorder {
+    fn default() -> Recorder {
+        Recorder::new()
+    }
+}
+
+impl Recorder {
+    /// Creates a disabled recorder (counters start at 1; 0 is "null" —
+    /// a zero trace id on the wire means "untraced").
+    pub fn new() -> Recorder {
+        Recorder {
+            enabled: AtomicBool::new(false),
+            next_trace: AtomicU64::new(1),
+            next_span: AtomicU64::new(1),
+            spans: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Whether spans are being collected.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns collection on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Allocates a fresh trace id.
+    pub fn new_trace(&self) -> TraceId {
+        TraceId(self.next_trace.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Allocates a span id without recording anything yet — call sites
+    /// need the id up front to propagate as a parent before the span's
+    /// end time is known.
+    pub fn next_span_id(&self) -> SpanId {
+        SpanId(self.next_span.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Records a completed span (no-op while disabled).
+    pub fn record(&self, span: Span) {
+        if self.enabled() {
+            self.spans.lock().push(span);
+        }
+    }
+
+    /// Snapshot of everything recorded so far.
+    pub fn spans(&self) -> Vec<Span> {
+        self.spans.lock().clone()
+    }
+
+    /// Number of spans recorded so far.
+    pub fn len(&self) -> usize {
+        self.spans.lock().len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.lock().is_empty()
+    }
+
+    /// Drops all recorded spans (keeps id counters monotonic).
+    pub fn clear(&self) {
+        self.spans.lock().clear();
+    }
+}
+
+/// Maps a wire category string back onto a [`Phase`].
+///
+/// Phase names are `&'static str`, so arbitrary strings cannot be
+/// interned — the categories that cross the network are a closed set,
+/// and anything unexpected collapses to `"Other"` rather than being
+/// dropped.
+pub fn phase_from_name(name: &str) -> Phase {
+    match name {
+        "Init" => Phase::Init,
+        "DataCreate" => Phase::DataCreate,
+        "DataTransfer" => Phase::DataTransfer,
+        "Compute" => Phase::Compute,
+        "Dispatch" => Phase::new("Dispatch"),
+        "Sched" => Phase::new("Sched"),
+        _ => Phase::new("Other"),
+    }
+}
+
+/// Ids of spans whose parent is set but absent from `spans`.
+pub fn orphans(spans: &[Span]) -> Vec<SpanId> {
+    let ids: HashSet<SpanId> = spans.iter().map(|s| s.id).collect();
+    spans
+        .iter()
+        .filter(|s| s.parent.is_some_and(|p| !ids.contains(&p)))
+        .map(|s| s.id)
+        .collect()
+}
+
+/// Ids of spans with no parent (trace roots).
+pub fn roots(spans: &[Span]) -> Vec<SpanId> {
+    spans
+        .iter()
+        .filter(|s| s.parent.is_none())
+        .map(|s| s.id)
+        .collect()
+}
+
+/// Whether `spans` form one connected tree: a single trace, a single
+/// root, unique ids, no orphans, and every span reachable from the root.
+pub fn is_connected_tree(spans: &[Span]) -> bool {
+    if spans.is_empty() {
+        return false;
+    }
+    let trace = spans[0].trace;
+    if spans.iter().any(|s| s.trace != trace) {
+        return false;
+    }
+    let mut ids = HashSet::new();
+    if !spans.iter().all(|s| ids.insert(s.id)) {
+        return false;
+    }
+    let root_ids = roots(spans);
+    if root_ids.len() != 1 || !orphans(spans).is_empty() {
+        return false;
+    }
+    // Walk down from the root; with unique ids and no orphans the only
+    // remaining failure mode is a cycle among non-root spans.
+    let mut children: HashMap<SpanId, Vec<SpanId>> = HashMap::new();
+    for s in spans {
+        if let Some(p) = s.parent {
+            children.entry(p).or_default().push(s.id);
+        }
+    }
+    let mut seen = HashSet::new();
+    let mut stack = vec![root_ids[0]];
+    while let Some(id) = stack.pop() {
+        if seen.insert(id) {
+            if let Some(kids) = children.get(&id) {
+                stack.extend(kids.iter().copied());
+            }
+        }
+    }
+    seen.len() == spans.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, parent: Option<u64>) -> Span {
+        Span::new(
+            SpanId(id),
+            TraceId(1),
+            parent.map(SpanId),
+            format!("s{id}"),
+            Phase::Compute,
+            "host",
+            SimTime::ZERO,
+            SimTime::from_nanos(10),
+        )
+    }
+
+    #[test]
+    fn recorder_gates_on_enabled() {
+        let r = Recorder::new();
+        r.record(span(1, None));
+        assert!(r.is_empty(), "disabled recorder drops spans");
+        r.set_enabled(true);
+        r.record(span(1, None));
+        assert_eq!(r.len(), 1);
+        r.clear();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn ids_are_unique_and_node_derived_ids_do_not_collide() {
+        let r = Recorder::new();
+        let a = r.next_span_id();
+        let b = r.next_span_id();
+        assert_ne!(a, b);
+        let d0 = SpanId::derive(a.0, 0);
+        let d1 = SpanId::derive(a.0, 1);
+        assert_ne!(d0, d1);
+        assert_ne!(d0, a);
+        assert_ne!(d0, b);
+    }
+
+    #[test]
+    fn connected_tree_detects_orphans_and_forests() {
+        let tree = vec![span(1, None), span(2, Some(1)), span(3, Some(2))];
+        assert!(is_connected_tree(&tree));
+        assert!(orphans(&tree).is_empty());
+        assert_eq!(roots(&tree), vec![SpanId(1)]);
+
+        let orphaned = vec![span(1, None), span(3, Some(99))];
+        assert_eq!(orphans(&orphaned), vec![SpanId(3)]);
+        assert!(!is_connected_tree(&orphaned));
+
+        let forest = vec![span(1, None), span(2, None)];
+        assert!(!is_connected_tree(&forest));
+
+        assert!(!is_connected_tree(&[]));
+    }
+
+    #[test]
+    fn ctx_rebasing_keeps_trace() {
+        let ctx = TraceCtx::new(TraceId(7), SpanId(1));
+        let child = ctx.child_of(SpanId(2));
+        assert_eq!(child.trace, TraceId(7));
+        assert_eq!(child.parent, SpanId(2));
+    }
+}

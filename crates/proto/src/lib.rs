@@ -24,6 +24,8 @@
 //!     id: RequestId::new(7),
 //!     user: UserId::new(1),
 //!     sent_at_nanos: 123,
+//!     trace_id: 0,
+//!     parent_span: 0,
 //!     body: ApiCall::CreateBuffer {
 //!         device: 0,
 //!         buffer: BufferId::new(42),
@@ -41,5 +43,7 @@ pub mod messages;
 pub mod wire;
 
 pub use ids::{BufferId, EventId, KernelId, NodeId, ProgramId, QueueId, RequestId, UserId};
-pub use messages::{ApiCall, ApiReply, DeviceDescriptor, DeviceKind, Envelope, Request, Response};
+pub use messages::{
+    ApiCall, ApiReply, DeviceDescriptor, DeviceKind, Envelope, Request, Response, WireSpan,
+};
 pub use wire::{Decode, Encode, WireError};

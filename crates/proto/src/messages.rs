@@ -405,6 +405,30 @@ pub struct ProfileEntry {
     pub busy_nanos: u64,
 }
 
+/// A span recorded on a device node, shipped back inside the response
+/// that completes it.
+///
+/// The NMP cannot reach the host's span recorder across the (simulated)
+/// network, so node-side spans ride the wire: ids are minted
+/// deterministically from the request's correlation token (high bit set,
+/// so they never collide with host-allocated ids) and the host ingests
+/// them into the recorder when the response is claimed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireSpan {
+    /// Span id (node-derived).
+    pub id: u64,
+    /// Parent span id; `0` means "root" (never emitted by the NMP).
+    pub parent: u64,
+    /// Operation name (e.g. `nmp.dispatch`, `vm.run`).
+    pub name: String,
+    /// Breakdown category name.
+    pub category: String,
+    /// Interval start, virtual nanoseconds.
+    pub start_nanos: u64,
+    /// Interval end, virtual nanoseconds.
+    pub end_nanos: u64,
+}
+
 /// A framed request on the backbone.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Request {
@@ -414,8 +438,20 @@ pub struct Request {
     pub user: UserId,
     /// Virtual send time at the host.
     pub sent_at_nanos: u64,
+    /// Trace the call belongs to; `0` when tracing is off.
+    pub trace_id: u64,
+    /// Host-side span the node's spans should hang off; `0` when tracing
+    /// is off.
+    pub parent_span: u64,
     /// The forwarded call.
     pub body: ApiCall,
+}
+
+impl Request {
+    /// Whether the caller asked for node-side spans.
+    pub fn traced(&self) -> bool {
+        self.trace_id != 0
+    }
 }
 
 /// A framed response on the backbone.
@@ -427,6 +463,8 @@ pub struct Response {
     pub completed_at_nanos: u64,
     /// The reply.
     pub body: ApiReply,
+    /// Node-side spans for traced requests (empty when tracing is off).
+    pub spans: Vec<WireSpan>,
 }
 
 /// What one host→node control-plane frame carries.
@@ -1064,11 +1102,37 @@ impl Decode for ApiReply {
     }
 }
 
+impl Encode for WireSpan {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.id.encode(buf);
+        self.parent.encode(buf);
+        self.name.encode(buf);
+        self.category.encode(buf);
+        self.start_nanos.encode(buf);
+        self.end_nanos.encode(buf);
+    }
+}
+
+impl Decode for WireSpan {
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(WireSpan {
+            id: Decode::decode(buf)?,
+            parent: Decode::decode(buf)?,
+            name: Decode::decode(buf)?,
+            category: Decode::decode(buf)?,
+            start_nanos: Decode::decode(buf)?,
+            end_nanos: Decode::decode(buf)?,
+        })
+    }
+}
+
 impl Encode for Request {
     fn encode(&self, buf: &mut BytesMut) {
         self.id.encode(buf);
         self.user.encode(buf);
         self.sent_at_nanos.encode(buf);
+        self.trace_id.encode(buf);
+        self.parent_span.encode(buf);
         self.body.encode(buf);
     }
 }
@@ -1079,6 +1143,8 @@ impl Decode for Request {
             id: Decode::decode(buf)?,
             user: Decode::decode(buf)?,
             sent_at_nanos: Decode::decode(buf)?,
+            trace_id: Decode::decode(buf)?,
+            parent_span: Decode::decode(buf)?,
             body: Decode::decode(buf)?,
         })
     }
@@ -1089,6 +1155,7 @@ impl Encode for Response {
         self.id.encode(buf);
         self.completed_at_nanos.encode(buf);
         self.body.encode(buf);
+        self.spans.encode(buf);
     }
 }
 
@@ -1098,6 +1165,7 @@ impl Decode for Response {
             id: Decode::decode(buf)?,
             completed_at_nanos: Decode::decode(buf)?,
             body: Decode::decode(buf)?,
+            spans: Decode::decode(buf)?,
         })
     }
 }
@@ -1330,13 +1398,61 @@ mod tests {
             id: RequestId::new(1),
             user: UserId::new(2),
             sent_at_nanos: 3,
+            trace_id: 0,
+            parent_span: 0,
             body: ApiCall::Ping,
         });
         roundtrip(Response {
             id: RequestId::new(1),
             completed_at_nanos: 99,
             body: ApiReply::Pong { now_nanos: 99 },
+            spans: Vec::new(),
         });
+    }
+
+    #[test]
+    fn traced_request_and_spanned_response_roundtrip() {
+        roundtrip(Request {
+            id: RequestId::new(4),
+            user: UserId::new(1),
+            sent_at_nanos: 10,
+            trace_id: 7,
+            parent_span: 12,
+            body: ApiCall::Ping,
+        });
+        // Node-derived span ids use the high bit — must survive intact.
+        roundtrip(Response {
+            id: RequestId::new(4),
+            completed_at_nanos: 50,
+            body: ApiReply::Pong { now_nanos: 50 },
+            spans: vec![
+                WireSpan {
+                    id: (1 << 63) | 64,
+                    parent: 12,
+                    name: "nmp.dispatch".into(),
+                    category: "Dispatch".into(),
+                    start_nanos: 20,
+                    end_nanos: 45,
+                },
+                WireSpan {
+                    id: (1 << 63) | 65,
+                    parent: (1 << 63) | 64,
+                    name: "vm.run".into(),
+                    category: "Compute".into(),
+                    start_nanos: 25,
+                    end_nanos: 44,
+                },
+            ],
+        });
+        assert!(Request {
+            id: RequestId::new(4),
+            user: UserId::new(1),
+            sent_at_nanos: 10,
+            trace_id: 7,
+            parent_span: 12,
+            body: ApiCall::Ping,
+        }
+        .traced());
     }
 
     #[test]
@@ -1357,6 +1473,8 @@ mod tests {
             id: RequestId::new(n),
             user: UserId::new(1),
             sent_at_nanos: n * 10,
+            trace_id: 0,
+            parent_span: 0,
             body: ApiCall::Ping,
         };
         roundtrip(Envelope::Single(request(1)));

@@ -53,5 +53,5 @@ pub mod task;
 pub use hints::seed_from_report;
 pub use monitor::DeviceView;
 pub use policy::{SchedError, Scheduler, SchedulingPolicy};
-pub use profile::ProfileDb;
+pub use profile::{ProfileDb, ProfileSnapshotEntry};
 pub use task::TaskSpec;

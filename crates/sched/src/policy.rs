@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use haocl_obs::{CandidateInfo, PlacementAudit, PredictionSource};
 use haocl_proto::messages::DeviceKind;
 use haocl_sim::SimDuration;
 
@@ -104,13 +105,37 @@ impl Scheduler {
     /// [`SchedError::PinnedDeviceMissing`] or
     /// [`SchedError::NoEligibleDevice`].
     pub fn place(&self, task: &TaskSpec, devices: &[DeviceView]) -> Result<usize, SchedError> {
+        self.place_audited(task, devices).map(|(idx, _)| idx)
+    }
+
+    /// Like [`place`](Self::place), but also returns the full audit
+    /// record of the decision: every candidate that survived eligibility
+    /// filtering, what each prediction source said about it, and why the
+    /// winner won. Callers that don't need the trail use `place`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`place`](Self::place).
+    pub fn place_audited(
+        &self,
+        task: &TaskSpec,
+        devices: &[DeviceView],
+    ) -> Result<(usize, PlacementAudit), SchedError> {
         if let Some((node, dev)) = task.pinned {
-            return devices
+            let idx = devices
                 .iter()
                 .position(|d| d.node == node && d.device == dev)
                 .ok_or_else(|| SchedError::PinnedDeviceMissing {
                     kernel: task.kernel.clone(),
-                });
+                })?;
+            let audit = PlacementAudit {
+                kernel: task.kernel.clone(),
+                policy: self.policy.name().to_string(),
+                candidates: vec![self.candidate(task, idx, &devices[idx])],
+                chosen: idx,
+                reason: "pinned by task spec".to_string(),
+            };
+            return Ok((idx, audit));
         }
         let eligible: Vec<(usize, &DeviceView)> = devices
             .iter()
@@ -122,11 +147,64 @@ impl Scheduler {
                 kernel: task.kernel.clone(),
             });
         }
-        self.policy
+        let chosen = self
+            .policy
             .place(task, &eligible, &self.profile)
             .ok_or_else(|| SchedError::NoEligibleDevice {
                 kernel: task.kernel.clone(),
+            })?;
+        let candidates: Vec<CandidateInfo> = eligible
+            .iter()
+            .map(|&(i, d)| self.candidate(task, i, d))
+            .collect();
+        let reason = candidates
+            .iter()
+            .find(|c| c.device == chosen)
+            .map(|w| match (w.source, w.predicted_nanos) {
+                (PredictionSource::Observed, Some(n)) => {
+                    format!("observed profile predicts {}", SimDuration::from_nanos(n))
+                }
+                (PredictionSource::Seed, Some(n)) => {
+                    format!("static seed predicts {}", SimDuration::from_nanos(n))
+                }
+                (PredictionSource::CostModel, Some(n)) => {
+                    format!("cost model estimates {}", SimDuration::from_nanos(n))
+                }
+                (src, None) => format!("no prediction (src={src})"),
             })
+            .unwrap_or_else(|| "policy choice".to_string());
+        let audit = PlacementAudit {
+            kernel: task.kernel.clone(),
+            policy: self.policy.name().to_string(),
+            candidates,
+            chosen,
+            reason,
+        };
+        Ok((chosen, audit))
+    }
+
+    /// Builds the audit record for one candidate device, attributing the
+    /// prediction to the strongest available source (warm profile, then
+    /// static seed, then the roofline cost model).
+    fn candidate(&self, task: &TaskSpec, idx: usize, view: &DeviceView) -> CandidateInfo {
+        let (predicted_nanos, source) =
+            if let Some(d) = self.profile.observed(&task.kernel, view.kind) {
+                (Some(d.as_nanos()), PredictionSource::Observed)
+            } else if let Some(d) = self.profile.seed_hint(&task.kernel, view.kind) {
+                (Some(d.as_nanos()), PredictionSource::Seed)
+            } else {
+                (
+                    Some(estimate_time(task, view).as_nanos()),
+                    PredictionSource::CostModel,
+                )
+            };
+        CandidateInfo {
+            device: idx,
+            node: format!("node{}", view.node.raw()),
+            kind: format!("{:?}", view.kind),
+            predicted_nanos,
+            source,
+        }
     }
 }
 
@@ -257,6 +335,42 @@ mod tests {
         assert!(estimate_time(&batch, &gpu) < estimate_time(&batch, &fpga));
         let stream = TaskSpec::new("k").cost(CostModel::new().flops(1e10).streaming());
         assert!(estimate_time(&stream, &fpga) < estimate_time(&stream, &gpu));
+    }
+
+    #[test]
+    fn place_audited_names_winner_and_prediction_source() {
+        let s = Scheduler::new(Box::new(FirstFit));
+        let devices = snapshot();
+        let (idx, audit) = s.place_audited(&TaskSpec::new("k"), &devices).unwrap();
+        assert_eq!(idx, 1);
+        assert_eq!(audit.chosen, 1);
+        assert_eq!(audit.policy, "first-fit");
+        assert_eq!(audit.candidates.len(), 2, "FPGA filtered out");
+        let w = audit.winner().unwrap();
+        assert_eq!(w.kind, "Gpu");
+        assert_eq!(w.source, PredictionSource::CostModel);
+        assert!(audit.reason.starts_with("cost model estimates"));
+        // Warm the profile: the source flips to Observed.
+        s.profile()
+            .record("k", DeviceKind::Gpu, SimDuration::from_nanos(700));
+        s.profile()
+            .record("k", DeviceKind::Gpu, SimDuration::from_nanos(700));
+        let (_, audit) = s.place_audited(&TaskSpec::new("k"), &devices).unwrap();
+        let w = audit.winner().unwrap();
+        assert_eq!(w.source, PredictionSource::Observed);
+        assert_eq!(w.predicted_nanos, Some(700));
+        assert!(audit.line().contains("chosen=node1/Gpu"));
+    }
+
+    #[test]
+    fn pinned_placement_audits_as_pinned() {
+        let s = Scheduler::new(Box::new(FirstFit));
+        let devices = snapshot();
+        let t = TaskSpec::new("k").pin(NodeId::new(2), 0);
+        let (idx, audit) = s.place_audited(&t, &devices).unwrap();
+        assert_eq!(idx, 2);
+        assert_eq!(audit.reason, "pinned by task spec");
+        assert_eq!(audit.candidates.len(), 1);
     }
 
     #[test]

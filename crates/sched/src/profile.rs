@@ -8,6 +8,7 @@
 //! names as the upgrade path (§III-B).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use haocl_proto::messages::DeviceKind;
 use haocl_sim::SimDuration;
@@ -47,6 +48,26 @@ pub struct ProfileDb {
     /// Static placement hints (see [`ProfileDb::seed`]), consulted only
     /// while the observed profile for a key is still cold.
     seeds: RwLock<HashMap<(String, DeviceKind), f64>>,
+    /// How many seeded keys have warmed past `MIN_RUNS` (the moment the
+    /// dynamic profile first displaces a static hint).
+    seed_displacements: AtomicU64,
+}
+
+/// One `(kernel, device class)` row of a [`ProfileDb::snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileSnapshotEntry {
+    /// The kernel name.
+    pub kernel: String,
+    /// The device class.
+    pub kind: DeviceKind,
+    /// Observed run count (0 for seed-only rows).
+    pub runs: u64,
+    /// The warm observed EMA, if `runs` passed the trust threshold.
+    pub observed: Option<SimDuration>,
+    /// The planted static hint, if any.
+    pub seed: Option<SimDuration>,
+    /// What [`ProfileDb::predict`] currently answers for this key.
+    pub prediction: Option<SimDuration>,
 }
 
 impl ProfileDb {
@@ -57,8 +78,9 @@ impl ProfileDb {
 
     /// Records one observed execution time.
     pub fn record(&self, kernel: &str, kind: DeviceKind, duration: SimDuration) {
+        let key = (kernel.to_string(), kind);
         let mut entries = self.entries.write();
-        let e = entries.entry((kernel.to_string(), kind)).or_default();
+        let e = entries.entry(key.clone()).or_default();
         let nanos = duration.as_nanos() as f64;
         if e.runs == 0 {
             e.ema_nanos = nanos;
@@ -66,6 +88,9 @@ impl ProfileDb {
             e.ema_nanos = ALPHA * nanos + (1.0 - ALPHA) * e.ema_nanos;
         }
         e.runs += 1;
+        if e.runs == MIN_RUNS && self.seeds.read().contains_key(&key) {
+            self.seed_displacements.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Plants a *static* prediction for a key, used by
@@ -97,6 +122,61 @@ impl ProfileDb {
             .map(|&n| SimDuration::from_nanos(n as u64))
     }
 
+    /// The warm observed EMA only — `None` while the key is cold, even
+    /// if a seed exists. Use [`predict`](Self::predict) for the combined
+    /// answer; this split lets callers attribute a prediction's *source*.
+    pub fn observed(&self, kernel: &str, kind: DeviceKind) -> Option<SimDuration> {
+        self.entries
+            .read()
+            .get(&(kernel.to_string(), kind))
+            .filter(|e| e.runs >= MIN_RUNS)
+            .map(|e| SimDuration::from_nanos(e.ema_nanos as u64))
+    }
+
+    /// The planted static hint for a key, regardless of warm-up state.
+    pub fn seed_hint(&self, kernel: &str, kind: DeviceKind) -> Option<SimDuration> {
+        self.seeds
+            .read()
+            .get(&(kernel.to_string(), kind))
+            .map(|&n| SimDuration::from_nanos(n as u64))
+    }
+
+    /// How many seeded keys have been displaced by warm observations so
+    /// far — each counts exactly once, at the record that crossed the
+    /// trust threshold. Feeds the `haocl_profile_seed_displaced_total`
+    /// metric.
+    pub fn seed_displacements(&self) -> u64 {
+        self.seed_displacements.load(Ordering::Relaxed)
+    }
+
+    /// Every `(kernel, device class)` key the database knows about —
+    /// observed or merely seeded — with run counts and all three
+    /// prediction views, sorted by kernel then device class.
+    pub fn snapshot(&self) -> Vec<ProfileSnapshotEntry> {
+        let entries = self.entries.read();
+        let seeds = self.seeds.read();
+        let mut keys: Vec<(String, DeviceKind)> =
+            entries.keys().chain(seeds.keys()).cloned().collect();
+        keys.sort_by(|a, b| (&a.0, format!("{:?}", a.1)).cmp(&(&b.0, format!("{:?}", b.1))));
+        keys.dedup();
+        keys.into_iter()
+            .map(|key| {
+                let e = entries.get(&key).copied().unwrap_or_default();
+                let observed =
+                    (e.runs >= MIN_RUNS).then(|| SimDuration::from_nanos(e.ema_nanos as u64));
+                let seed = seeds.get(&key).map(|&n| SimDuration::from_nanos(n as u64));
+                ProfileSnapshotEntry {
+                    prediction: observed.or(seed),
+                    kernel: key.0,
+                    kind: key.1,
+                    runs: e.runs,
+                    observed,
+                    seed,
+                }
+            })
+            .collect()
+    }
+
     /// Number of recorded observations for a key.
     pub fn runs(&self, kernel: &str, kind: DeviceKind) -> u64 {
         self.entries
@@ -115,10 +195,11 @@ impl ProfileDb {
         self.entries.read().is_empty()
     }
 
-    /// Clears all observations and seeds.
+    /// Clears all observations, seeds and the displacement counter.
     pub fn clear(&self) {
         self.entries.write().clear();
         self.seeds.write().clear();
+        self.seed_displacements.store(0, Ordering::Relaxed);
     }
 }
 
@@ -171,6 +252,50 @@ mod tests {
         db.clear();
         assert!(db.is_empty());
         assert_eq!(db.predict("k", DeviceKind::Gpu), None);
+    }
+
+    #[test]
+    fn snapshot_covers_observed_and_seed_only_keys() {
+        let db = ProfileDb::new();
+        db.record("a", DeviceKind::Gpu, SimDuration::from_nanos(100));
+        db.record("a", DeviceKind::Gpu, SimDuration::from_nanos(100));
+        db.seed("b", DeviceKind::Fpga, SimDuration::from_nanos(900));
+        let snap = db.snapshot();
+        assert_eq!(snap.len(), 2);
+        let a = &snap[0];
+        assert_eq!(
+            (a.kernel.as_str(), a.kind, a.runs),
+            ("a", DeviceKind::Gpu, 2)
+        );
+        assert!(a.observed.is_some() && a.seed.is_none());
+        assert_eq!(a.prediction, a.observed);
+        let b = &snap[1];
+        assert_eq!(
+            (b.kernel.as_str(), b.kind, b.runs),
+            ("b", DeviceKind::Fpga, 0)
+        );
+        assert_eq!(b.prediction, Some(SimDuration::from_nanos(900)));
+    }
+
+    #[test]
+    fn seed_displacement_counts_once_per_key() {
+        let db = ProfileDb::new();
+        db.seed("k", DeviceKind::Gpu, SimDuration::from_nanos(500));
+        assert_eq!(db.seed_displacements(), 0);
+        db.record("k", DeviceKind::Gpu, SimDuration::from_nanos(100));
+        assert_eq!(db.seed_displacements(), 0, "one run is still cold");
+        db.record("k", DeviceKind::Gpu, SimDuration::from_nanos(100));
+        assert_eq!(
+            db.seed_displacements(),
+            1,
+            "warming past the threshold displaces"
+        );
+        db.record("k", DeviceKind::Gpu, SimDuration::from_nanos(100));
+        assert_eq!(db.seed_displacements(), 1, "further runs don't re-count");
+        // Unseeded keys never count.
+        db.record("u", DeviceKind::Cpu, SimDuration::from_nanos(1));
+        db.record("u", DeviceKind::Cpu, SimDuration::from_nanos(1));
+        assert_eq!(db.seed_displacements(), 1);
     }
 
     #[test]

@@ -5,6 +5,16 @@
 //! reported as negligible). [`Tracer`] accumulates virtual-time spans per
 //! [`Phase`]; [`PhaseBreakdown`] is the aggregated result the Fig. 3 bench
 //! prints.
+//!
+//! A [`Phase`] is an open-ended category name rather than a closed enum:
+//! the canonical four phases from the paper are associated constants
+//! ([`Phase::Init`], [`Phase::DataCreate`], [`Phase::DataTransfer`],
+//! [`Phase::Compute`]), and new subsystems (the `haocl-obs` span layer,
+//! scheduler instrumentation, …) can mint their own categories with
+//! [`Phase::new`] without touching any [`Phase::ALL`] call site. The
+//! Fig. 3 breakdown output stays byte-identical: [`PhaseBreakdown`]'s
+//! `Display` always lists the canonical phases first, in reporting order,
+//! and appends any extra categories after them.
 
 use std::fmt;
 
@@ -12,38 +22,71 @@ use parking_lot::Mutex;
 
 use crate::time::SimDuration;
 
-/// The runtime phases the paper's breakdown analysis distinguishes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum Phase {
+/// A runtime phase (span category) tracked by the breakdown analysis.
+///
+/// Phases are interned names: two phases are equal iff their names are.
+/// The paper's four canonical phases are associated constants; arbitrary
+/// further categories come from [`Phase::new`].
+///
+/// # Examples
+///
+/// ```
+/// use haocl_sim::Phase;
+///
+/// let sched = Phase::new("Sched");
+/// assert_ne!(sched, Phase::Compute);
+/// assert_eq!(sched.as_str(), "Sched");
+/// assert_eq!(Phase::new("Compute"), Phase::Compute);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Phase(&'static str);
+
+#[allow(non_upper_case_globals)]
+impl Phase {
     /// System/context initialization (reported as negligible in the paper).
-    Init,
+    pub const Init: Phase = Phase("Init");
     /// Creating input data and device buffers.
-    DataCreate,
+    pub const DataCreate: Phase = Phase("DataCreate");
     /// Moving data between host and device nodes.
-    DataTransfer,
+    pub const DataTransfer: Phase = Phase("DataTransfer");
     /// Kernel execution on the accelerator.
-    Compute,
+    pub const Compute: Phase = Phase("Compute");
 }
 
 impl Phase {
-    /// All phases, in reporting order.
+    /// The canonical phases, in Fig. 3 reporting order.
     pub const ALL: [Phase; 4] = [
         Phase::Init,
         Phase::DataCreate,
         Phase::DataTransfer,
         Phase::Compute,
     ];
+
+    /// Mints a phase with an arbitrary category name.
+    pub const fn new(name: &'static str) -> Phase {
+        Phase(name)
+    }
+
+    /// The category name.
+    pub const fn as_str(self) -> &'static str {
+        self.0
+    }
+
+    /// Whether this is one of the canonical Fig. 3 phases.
+    pub fn is_canonical(self) -> bool {
+        Phase::ALL.contains(&self)
+    }
 }
 
 impl fmt::Display for Phase {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let name = match self {
-            Phase::Init => "Init",
-            Phase::DataCreate => "DataCreate",
-            Phase::DataTransfer => "DataTransfer",
-            Phase::Compute => "Compute",
-        };
-        f.write_str(name)
+        f.write_str(self.0)
+    }
+}
+
+impl fmt::Debug for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
     }
 }
 
@@ -59,25 +102,34 @@ impl fmt::Display for Phase {
 /// b.add(Phase::DataTransfer, SimDuration::from_millis(10));
 /// assert!((b.fraction(Phase::Compute) - 0.75).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct PhaseBreakdown {
-    spans: [SimDuration; 4],
+    /// Recorded categories in first-seen order.
+    spans: Vec<(Phase, SimDuration)>,
 }
 
 impl PhaseBreakdown {
     /// Adds `dur` to `phase`.
     pub fn add(&mut self, phase: Phase, dur: SimDuration) {
-        self.spans[phase as usize] += dur;
+        if let Some((_, d)) = self.spans.iter_mut().find(|(p, _)| *p == phase) {
+            *d += dur;
+        } else {
+            self.spans.push((phase, dur));
+        }
     }
 
-    /// Total time recorded for `phase`.
+    /// Total time recorded for `phase` (zero if the phase never occurred).
     pub fn time(&self, phase: Phase) -> SimDuration {
-        self.spans[phase as usize]
+        self.spans
+            .iter()
+            .find(|(p, _)| *p == phase)
+            .map(|(_, d)| *d)
+            .unwrap_or(SimDuration::ZERO)
     }
 
     /// Sum over all phases.
     pub fn total(&self) -> SimDuration {
-        self.spans.iter().copied().sum()
+        self.spans.iter().map(|(_, d)| *d).sum()
     }
 
     /// Fraction of the total spent in `phase` (`0.0` if nothing recorded).
@@ -90,18 +142,41 @@ impl PhaseBreakdown {
         }
     }
 
-    /// Merges another breakdown into this one.
+    /// Merges another breakdown into this one, category by category.
     pub fn merge(&mut self, other: &PhaseBreakdown) {
-        for p in Phase::ALL {
-            self.add(p, other.time(p));
+        for (p, d) in &other.spans {
+            self.add(*p, *d);
         }
     }
+
+    /// All phases in reporting order: the canonical Fig. 3 phases first
+    /// (always present), then any extra categories in first-seen order.
+    pub fn phases(&self) -> Vec<Phase> {
+        let mut out: Vec<Phase> = Phase::ALL.to_vec();
+        for (p, _) in &self.spans {
+            if !p.is_canonical() {
+                out.push(*p);
+            }
+        }
+        out
+    }
 }
+
+impl PartialEq for PhaseBreakdown {
+    fn eq(&self, other: &Self) -> bool {
+        // Order-independent: equal iff every category agrees (absent means
+        // zero), matching the old fixed-array semantics.
+        self.spans.iter().all(|(p, d)| other.time(*p) == *d)
+            && other.spans.iter().all(|(p, d)| self.time(*p) == *d)
+    }
+}
+
+impl Eq for PhaseBreakdown {}
 
 impl fmt::Display for PhaseBreakdown {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut first = true;
-        for p in Phase::ALL {
+        for p in self.phases() {
             if !first {
                 write!(f, " ")?;
             }
@@ -135,7 +210,7 @@ impl Tracer {
 
     /// A snapshot of the accumulated breakdown.
     pub fn breakdown(&self) -> PhaseBreakdown {
-        *self.inner.lock()
+        self.inner.lock().clone()
     }
 
     /// Clears the accumulated breakdown.
@@ -209,5 +284,47 @@ mod tests {
         for p in Phase::ALL {
             assert!(s.contains(&p.to_string()), "missing {p} in {s}");
         }
+    }
+
+    #[test]
+    fn display_is_byte_identical_to_fixed_enum_era() {
+        // The exact Fig. 3 header line the bench printed before phases
+        // became open-ended — this string must never change.
+        let mut b = PhaseBreakdown::default();
+        b.add(Phase::DataCreate, SimDuration::from_nanos(2_000));
+        b.add(Phase::Compute, SimDuration::from_nanos(30_000));
+        assert_eq!(
+            b.to_string(),
+            "Init=0ns DataCreate=2.000us DataTransfer=0ns Compute=30.000us"
+        );
+    }
+
+    #[test]
+    fn custom_phases_extend_the_breakdown() {
+        let mut b = PhaseBreakdown::default();
+        let sched = Phase::new("Sched");
+        b.add(sched, SimDuration::from_nanos(5));
+        b.add(Phase::Compute, SimDuration::from_nanos(15));
+        assert_eq!(b.time(sched), SimDuration::from_nanos(5));
+        assert_eq!(b.total(), SimDuration::from_nanos(20));
+        let s = b.to_string();
+        assert!(
+            s.starts_with("Init=0ns DataCreate=0ns DataTransfer=0ns Compute=15ns"),
+            "canonical phases lead: {s}"
+        );
+        assert!(s.ends_with("Sched=5ns"), "extras trail: {s}");
+    }
+
+    #[test]
+    fn equality_is_order_independent() {
+        let mut a = PhaseBreakdown::default();
+        a.add(Phase::new("A"), SimDuration::from_nanos(1));
+        a.add(Phase::new("B"), SimDuration::from_nanos(2));
+        let mut b = PhaseBreakdown::default();
+        b.add(Phase::new("B"), SimDuration::from_nanos(2));
+        b.add(Phase::new("A"), SimDuration::from_nanos(1));
+        assert_eq!(a, b);
+        b.add(Phase::new("C"), SimDuration::from_nanos(3));
+        assert_ne!(a, b);
     }
 }

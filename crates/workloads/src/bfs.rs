@@ -254,6 +254,7 @@ impl NativeKernel for NativeBfsStep {
             instructions: nodes as u64 + visited,
             work_items: nodes as u64,
             work_groups: 1,
+            barriers: 0,
         })
     }
 }
@@ -290,6 +291,7 @@ impl NativeKernel for NativeBfsApply {
             instructions: count as u64,
             work_items: count as u64,
             work_groups: 1,
+            barriers: 0,
         })
     }
 }

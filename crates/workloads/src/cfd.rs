@@ -317,6 +317,7 @@ impl NativeKernel for NativeCfdFlux {
             instructions: 130 * n_local as u64,
             work_items: n_local as u64,
             work_groups: 1,
+            barriers: 0,
         })
     }
 }
@@ -360,6 +361,7 @@ impl NativeKernel for NativeCfdStitch {
             instructions: (5 * (lo_w + hi_w)) as u64,
             work_items: lo_w.max(hi_w) as u64,
             work_groups: 1,
+            barriers: 0,
         })
     }
 }
@@ -405,6 +407,7 @@ impl NativeKernel for NativeCfdExtract {
             instructions: (5 * (lo_w + hi_w)) as u64,
             work_items: lo_w.max(hi_w) as u64,
             work_groups: 1,
+            barriers: 0,
         })
     }
 }

@@ -208,6 +208,7 @@ impl NativeKernel for NativeDist {
             instructions: 6 * n as u64,
             work_items: n as u64,
             work_groups: 1,
+            barriers: 0,
         })
     }
 }
@@ -269,6 +270,7 @@ impl NativeKernel for NativeTopK {
             instructions: (6 * n * nq) as u64,
             work_items: nq as u64,
             work_groups: 1,
+            barriers: 0,
         })
     }
 }

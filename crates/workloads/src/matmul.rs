@@ -151,6 +151,7 @@ impl NativeKernel for NativeMatmul {
             instructions: (2 * rows * n * n) as u64,
             work_items: (rows * n) as u64,
             work_groups: 1,
+            barriers: 0,
         })
     }
 }

@@ -231,6 +231,7 @@ impl NativeKernel for NativeSpmv {
             instructions: 2 * visited,
             work_items: rows as u64,
             work_groups: 1,
+            barriers: 0,
         })
     }
 }
@@ -264,6 +265,7 @@ impl NativeKernel for NativeRowNnz {
             instructions: n as u64,
             work_items: n as u64,
             work_groups: 1,
+            barriers: 0,
         })
     }
 }
