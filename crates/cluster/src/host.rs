@@ -21,12 +21,32 @@
 //!   occupying the transmit path are coalesced into one
 //!   [`Envelope::Batch`] frame instead of paying per-frame overhead
 //!   each.
+//!
+//! # Fault recovery
+//!
+//! With a [`RecoveryPolicy`] installed (see
+//! [`HostRuntime::set_recovery`] — recovery is *opt-in*; without it the
+//! seed semantics hold and a dead backbone fails calls fast), the
+//! runtime additionally:
+//!
+//! * retransmits a timed-out request on the same route with exponential
+//!   backoff, under the *same* [`RequestId`] — the node's at-most-once
+//!   journal answers duplicates from cache, so a kernel never executes
+//!   twice and a write never applies twice;
+//! * when a node is lost (its connection died, or retries exhausted
+//!   against a blackhole), re-provisions the node's state on a surviving
+//!   node by replaying the per-node mutation journal, re-routes the
+//!   logical node there, and bumps its routing *epoch*;
+//! * counts every retransmission, failover and journal-dedup hit in the
+//!   shared metrics registry ([`haocl_obs::names::RETRIES`] /
+//!   [`FAILOVERS`](haocl_obs::names::FAILOVERS) /
+//!   [`DEDUP_HITS`](haocl_obs::names::DEDUP_HITS)).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use haocl_net::{ConnSender, Fabric, NetError};
 use haocl_obs::{names, Hub, TraceCtx};
@@ -70,6 +90,35 @@ pub struct CallOutcome {
     pub spans: Vec<WireSpan>,
 }
 
+/// Opt-in fault recovery for the host runtime.
+///
+/// Absent (the default), the runtime keeps its fail-fast semantics: a
+/// dead backbone fails in-flight and later calls immediately. Installed
+/// via [`HostRuntime::set_recovery`], it makes [`PendingCall::wait`]
+/// retransmit and fail over instead (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Wall-clock patience for the first delivery attempt; doubles on
+    /// every retransmission (exponential backoff).
+    pub base_timeout: Duration,
+    /// Total delivery attempts on the current route before giving up on
+    /// it (the first transmission counts as attempt one).
+    pub max_attempts: u32,
+    /// Whether exhausting a route triggers failover to a surviving node
+    /// (journal replay + re-route) or a terminal error.
+    pub failover: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            base_timeout: Duration::from_millis(100),
+            max_attempts: 4,
+            failover: true,
+        }
+    }
+}
+
 /// Which of a node's two connections a request travels on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Plane {
@@ -77,6 +126,47 @@ enum Plane {
     Control,
     /// The data connection (buffer contents).
     Data,
+}
+
+/// The plane a call travels on: buffer contents go over the data
+/// connection, everything else over the message connection.
+fn plane_of(call: &ApiCall) -> Plane {
+    if matches!(
+        call,
+        ApiCall::WriteBuffer { .. }
+            | ApiCall::ReadBuffer { .. }
+            | ApiCall::WriteBufferModeled { .. }
+            | ApiCall::ReadBufferModeled { .. }
+    ) {
+        Plane::Data
+    } else {
+        Plane::Control
+    }
+}
+
+/// Calls that establish node state a failover target must reproduce.
+/// Pure queries (pings, reads, profile queries) are excluded: replaying
+/// them would change nothing.
+fn establishes_state(call: &ApiCall) -> bool {
+    matches!(
+        call,
+        ApiCall::CreateBuffer { .. }
+            | ApiCall::CreateBufferModeled { .. }
+            | ApiCall::WriteBuffer { .. }
+            | ApiCall::WriteBufferModeled { .. }
+            | ApiCall::ReleaseBuffer { .. }
+            | ApiCall::CopyBuffer { .. }
+            | ApiCall::BuildProgram { .. }
+            | ApiCall::LoadBitstream { .. }
+            | ApiCall::CreateKernel { .. }
+            | ApiCall::LaunchKernel { .. }
+    )
+}
+
+/// An error the transport produced (retryable), as opposed to an answer
+/// the node computed (final).
+fn is_transport(err: &ClusterError) -> bool {
+    matches!(err, ClusterError::Net(_) | ClusterError::Wire(_))
 }
 
 enum PendingEntry {
@@ -106,6 +196,19 @@ struct LinkShared {
     completed: Condvar,
 }
 
+/// What [`LinkShared::claim`] found.
+enum Claim {
+    /// The entry completed; the result was claimed out of the map and
+    /// the clock advanced to the response's arrival.
+    Outcome(Result<CallOutcome, ClusterError>),
+    /// The deadline passed with the entry still waiting (it stays
+    /// registered, so a later claim can still succeed).
+    TimedOut,
+    /// The entry vanished (link teardown); carries the link's terminal
+    /// error.
+    Gone(ClusterError),
+}
+
 impl LinkShared {
     fn new() -> Self {
         LinkShared {
@@ -118,7 +221,8 @@ impl LinkShared {
     }
 
     /// Completes the pending call correlated to `response` (responses
-    /// for cancelled/unknown ids are discarded).
+    /// for cancelled/unknown ids are discarded — including the slower
+    /// copy when a retransmitted request is answered twice).
     fn complete(&self, response: Response, received_at: SimTime) {
         let result = match response.body {
             ApiReply::Error { code, message } => Err(ClusterError::Remote { code, message }),
@@ -133,6 +237,55 @@ impl LinkShared {
         if let Some(entry) = state.pending.get_mut(&response.id) {
             *entry = PendingEntry::Done(Box::new(result), Some(received_at));
             self.completed.notify_all();
+        }
+    }
+
+    /// Blocks until the call completes (or `deadline` passes, when one
+    /// is given), claiming the result and advancing the clock.
+    fn claim(&self, id: RequestId, clock: &Clock, deadline: Option<Instant>) -> Claim {
+        let mut state = self.state.lock().expect("link state poisoned");
+        loop {
+            match state.pending.get(&id) {
+                Some(PendingEntry::Done(..)) => {
+                    let Some(PendingEntry::Done(result, received_at)) = state.pending.remove(&id)
+                    else {
+                        unreachable!("entry observed Done under the same lock");
+                    };
+                    if let Some(at) = received_at {
+                        clock.advance_to(at);
+                    }
+                    return Claim::Outcome(*result);
+                }
+                // Even on a dead link a Waiting entry just waits: the
+                // owning plane's demultiplexer (or terminal teardown)
+                // is guaranteed to resolve it, and the *other* plane
+                // dying first must not discard a response that is
+                // already queued for delivery.
+                Some(PendingEntry::Waiting(_)) => match deadline {
+                    None => {
+                        state = self.completed.wait(state).expect("link state poisoned");
+                    }
+                    Some(d) => {
+                        let now = Instant::now();
+                        if now >= d {
+                            return Claim::TimedOut;
+                        }
+                        let (guard, _) = self
+                            .completed
+                            .wait_timeout(state, d - now)
+                            .expect("link state poisoned");
+                        state = guard;
+                    }
+                },
+                None => {
+                    return Claim::Gone(
+                        state
+                            .dead
+                            .clone()
+                            .unwrap_or(ClusterError::Net(NetError::Disconnected)),
+                    );
+                }
+            }
         }
     }
 
@@ -162,132 +315,6 @@ impl LinkShared {
     fn fail_all(&self, err: ClusterError) {
         self.fail_plane(Plane::Control, err.clone());
         self.fail_plane(Plane::Data, err);
-    }
-}
-
-/// A submitted request whose response has not yet been claimed.
-///
-/// Obtained from [`HostRuntime::submit`]. Dropping it abandons the call:
-/// the response, when it arrives, is discarded.
-#[must_use = "a PendingCall that is never waited on silently discards its response"]
-pub struct PendingCall {
-    id: RequestId,
-    node: NodeId,
-    shared: Arc<LinkShared>,
-    clock: Clock,
-    taken: bool,
-}
-
-impl PendingCall {
-    /// The request's correlation id.
-    pub fn id(&self) -> RequestId {
-        self.id
-    }
-
-    /// The node the request was sent to.
-    pub fn node(&self) -> NodeId {
-        self.node
-    }
-
-    /// Blocks until the response arrives (or the node's backbone dies).
-    ///
-    /// Claiming the response advances the shared virtual clock to its
-    /// arrival time; until a response is claimed it does not move the
-    /// clock, keeping virtual timestamps deterministic however the
-    /// demultiplexer threads are scheduled.
-    ///
-    /// # Errors
-    ///
-    /// [`ClusterError::Remote`] when the node answered with an error
-    /// reply; a transport error when the connection failed while the
-    /// call was in flight.
-    pub fn wait(mut self) -> Result<CallOutcome, ClusterError> {
-        let mut state = self.shared.state.lock().expect("link state poisoned");
-        loop {
-            match state.pending.get(&self.id) {
-                Some(PendingEntry::Done(..)) => {
-                    let Some(PendingEntry::Done(result, received_at)) =
-                        state.pending.remove(&self.id)
-                    else {
-                        unreachable!("entry observed Done under the same lock");
-                    };
-                    self.taken = true;
-                    if let Some(at) = received_at {
-                        self.clock.advance_to(at);
-                    }
-                    return *result;
-                }
-                // Even on a dead link a Waiting entry just waits: the
-                // owning plane's demultiplexer (or terminal teardown)
-                // is guaranteed to resolve it, and the *other* plane
-                // dying first must not discard a response that is
-                // already queued for delivery.
-                Some(PendingEntry::Waiting(_)) => {
-                    state = self
-                        .shared
-                        .completed
-                        .wait(state)
-                        .expect("link state poisoned");
-                }
-                None => {
-                    // The backbone was torn down underneath us.
-                    self.taken = true;
-                    return Err(state
-                        .dead
-                        .clone()
-                        .unwrap_or(ClusterError::Net(NetError::Disconnected)));
-                }
-            }
-        }
-    }
-
-    /// Claims the response if it has already arrived, without blocking.
-    ///
-    /// Returns `None` while the call is still in flight. After a
-    /// `Some(..)` the call is consumed: later polls return `None` and
-    /// [`PendingCall::wait`] must not be expected to yield it again.
-    pub fn try_poll(&mut self) -> Option<Result<CallOutcome, ClusterError>> {
-        if self.taken {
-            return None;
-        }
-        let mut state = self.shared.state.lock().expect("link state poisoned");
-        match state.pending.get(&self.id) {
-            Some(PendingEntry::Done(..)) => {
-                let Some(PendingEntry::Done(result, received_at)) = state.pending.remove(&self.id)
-                else {
-                    unreachable!("entry observed Done under the same lock");
-                };
-                self.taken = true;
-                if let Some(at) = received_at {
-                    self.clock.advance_to(at);
-                }
-                Some(*result)
-            }
-            Some(PendingEntry::Waiting(_)) => None,
-            None => {
-                self.taken = true;
-                Some(Err(state
-                    .dead
-                    .clone()
-                    .unwrap_or(ClusterError::Net(NetError::Disconnected))))
-            }
-        }
-    }
-}
-
-impl Drop for PendingCall {
-    fn drop(&mut self) {
-        if !self.taken {
-            if let Ok(mut state) = self.shared.state.lock() {
-                state.pending.remove(&self.id);
-            }
-        }
-    }
-}
-
-impl std::fmt::Debug for PendingCall {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "PendingCall({} @ {})", self.id, self.node)
     }
 }
 
@@ -365,6 +392,14 @@ impl NodeLink {
         Ok(())
     }
 
+    /// Sends on the right plane for the request's body.
+    fn send(&self, request: Request, at: SimTime) -> Result<(), ClusterError> {
+        match plane_of(&request.body) {
+            Plane::Data => self.send_data(request, at),
+            Plane::Control => self.send_control(request, at),
+        }
+    }
+
     /// Records one outgoing frame's plane metrics (no-op while tracing
     /// is off). Bytes are *virtual wire bytes*: modeled bulk payloads
     /// count their declared length, not the descriptor that stands in
@@ -401,20 +436,437 @@ fn virtual_len_of(call: &ApiCall) -> u64 {
     }
 }
 
+/// Where a logical node's traffic currently goes.
+struct RouteState {
+    /// Index of the physical link carrying this logical node.
+    physical: usize,
+    /// Bumped on every failover; stamped into requests so duplicate
+    /// traffic from before a re-route is distinguishable on the wire.
+    epoch: u32,
+    /// Physical links already lost for this logical node (the node's
+    /// own link once it died, plus failed failover targets) — never
+    /// chosen again.
+    burned: Vec<usize>,
+}
+
+/// One journaled state-establishing call, replayed on failover.
+#[derive(Clone)]
+struct JournalEntry {
+    id: RequestId,
+    user: UserId,
+    call: ApiCall,
+}
+
+/// State shared between the runtime, its pending calls and recovery.
+struct HostInner {
+    links: Vec<NodeLink>,
+    /// Logical node → current physical route (identity until failover).
+    routes: Vec<Mutex<RouteState>>,
+    /// Per-logical-node ordered journal of state-establishing calls,
+    /// replayed onto a failover target to reconstruct the lost node's
+    /// buffers, programs and kernels. Recorded only while recovery is
+    /// enabled.
+    journals: Vec<Mutex<Vec<JournalEntry>>>,
+    /// Ids of calls currently in flight per logical node. Failover
+    /// replay skips these: their own waiters retransmit them (under the
+    /// original id, so the node journal can dedup), and replaying them
+    /// under a fresh id as well would execute them twice.
+    inflight: Vec<Mutex<HashSet<RequestId>>>,
+    recovery: Mutex<Option<RecoveryPolicy>>,
+    request_ids: IdAllocator,
+    clock: Clock,
+    obs: Arc<Hub>,
+}
+
+impl HostInner {
+    fn recovery(&self) -> Option<RecoveryPolicy> {
+        *self.recovery.lock().expect("recovery policy poisoned")
+    }
+
+    fn route_of(&self, node: NodeId) -> (usize, u32) {
+        let route = self.routes[node.raw() as usize]
+            .lock()
+            .expect("route poisoned");
+        (route.physical, route.epoch)
+    }
+
+    fn link_alive(&self, physical: usize) -> bool {
+        self.links[physical]
+            .shared
+            .state
+            .lock()
+            .expect("link state poisoned")
+            .dead
+            .is_none()
+    }
+
+    /// Moves `node`'s route to a surviving physical link, replaying its
+    /// journal there first. `observed_epoch` is the epoch the caller
+    /// last transmitted under: if another waiter already moved the
+    /// route, the current route is returned without replaying again.
+    fn failover(&self, node: NodeId, observed_epoch: u32) -> Result<(usize, u32), ClusterError> {
+        let index = node.raw() as usize;
+        let mut route = self.routes[index].lock().expect("route poisoned");
+        if route.epoch != observed_epoch {
+            return Ok((route.physical, route.epoch));
+        }
+        let failed = route.physical;
+        if !route.burned.contains(&failed) {
+            route.burned.push(failed);
+        }
+        let policy = self.recovery().unwrap_or_default();
+        let patience = policy.base_timeout * 2u32.saturating_pow(policy.max_attempts.min(6));
+        loop {
+            let Some(candidate) =
+                (0..self.links.len()).find(|p| !route.burned.contains(p) && self.link_alive(*p))
+            else {
+                return Err(ClusterError::Net(NetError::Disconnected));
+            };
+            match self.replay_journal(index, candidate, patience) {
+                Ok(()) => {
+                    self.obs.metrics.inc_counter(
+                        names::FAILOVERS,
+                        &[
+                            ("from", self.links[failed].name.as_str()),
+                            ("to", self.links[candidate].name.as_str()),
+                        ],
+                        1,
+                    );
+                    route.physical = candidate;
+                    route.epoch += 1;
+                    return Ok((candidate, route.epoch));
+                }
+                Err(_) => {
+                    // The candidate is no better; rule it out and keep
+                    // looking.
+                    route.burned.push(candidate);
+                }
+            }
+        }
+    }
+
+    /// Replays logical node `index`'s journal onto physical link
+    /// `candidate` with fresh request ids, reconstructing the lost
+    /// node's state there.
+    fn replay_journal(
+        &self,
+        index: usize,
+        candidate: usize,
+        patience: Duration,
+    ) -> Result<(), ClusterError> {
+        let entries: Vec<JournalEntry> = self.journals[index]
+            .lock()
+            .expect("journal poisoned")
+            .clone();
+        let inflight: HashSet<RequestId> = self.inflight[index]
+            .lock()
+            .expect("inflight poisoned")
+            .clone();
+        for entry in entries {
+            // In-flight calls re-execute through their own waiters'
+            // retransmissions (same id, deduped by the node journal);
+            // replaying them here as well would run them twice under an
+            // id the journal cannot correlate.
+            if inflight.contains(&entry.id) {
+                continue;
+            }
+            if let ApiCall::CreateBuffer { device, buffer, .. }
+            | ApiCall::CreateBufferModeled { device, buffer, .. } = &entry.call
+            {
+                // An earlier aborted failover may have left this buffer
+                // behind on the candidate; clear it so the create below
+                // is clean.
+                let _ = self.call_on_link(
+                    candidate,
+                    entry.user,
+                    ApiCall::ReleaseBuffer {
+                        device: *device,
+                        buffer: *buffer,
+                    },
+                    patience,
+                );
+            }
+            match self.call_on_link(candidate, entry.user, entry.call.clone(), patience) {
+                Ok(_) => {}
+                // The original call may have failed the same way (user
+                // errors replay faithfully); only transport trouble
+                // rules the candidate out.
+                Err(ClusterError::Remote { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// One synchronous call straight to a physical link, bypassing
+    /// routing and recovery (used by journal replay, which runs *inside*
+    /// failover and must not recurse into it).
+    fn call_on_link(
+        &self,
+        physical: usize,
+        user: UserId,
+        call: ApiCall,
+        patience: Duration,
+    ) -> Result<CallOutcome, ClusterError> {
+        let link = &self.links[physical];
+        let id = RequestId::new(self.request_ids.next());
+        let plane = plane_of(&call);
+        let now = self.clock.now();
+        let request = Request {
+            id,
+            user,
+            sent_at_nanos: now.as_nanos(),
+            trace_id: 0,
+            parent_span: 0,
+            epoch: 0,
+            attempt: 0,
+            body: call,
+        };
+        {
+            let mut state = link.shared.state.lock().expect("link state poisoned");
+            if let Some(err) = &state.dead {
+                return Err(err.clone());
+            }
+            state.pending.insert(id, PendingEntry::Waiting(plane));
+        }
+        if let Err(err) = link.send(request, now) {
+            link.shared
+                .state
+                .lock()
+                .expect("link state poisoned")
+                .pending
+                .remove(&id);
+            return Err(err);
+        }
+        match link
+            .shared
+            .claim(id, &self.clock, Some(Instant::now() + patience))
+        {
+            Claim::Outcome(result) => result,
+            Claim::TimedOut => {
+                link.shared
+                    .state
+                    .lock()
+                    .expect("link state poisoned")
+                    .pending
+                    .remove(&id);
+                Err(ClusterError::Net(NetError::Timeout))
+            }
+            Claim::Gone(e) => Err(e),
+        }
+    }
+}
+
+/// A submitted request whose response has not yet been claimed.
+///
+/// Obtained from [`HostRuntime::submit`]. Dropping it abandons the call:
+/// the response, when it arrives, is discarded.
+#[must_use = "a PendingCall that is never waited on silently discards its response"]
+pub struct PendingCall {
+    /// The original request, kept for retransmission under recovery.
+    request: Request,
+    /// The logical node addressed.
+    node: NodeId,
+    /// The physical link the request was last transmitted on.
+    physical: usize,
+    /// The routing epoch the request was last transmitted under.
+    epoch: u32,
+    inner: Arc<HostInner>,
+    taken: bool,
+}
+
+impl PendingCall {
+    /// The request's correlation id.
+    pub fn id(&self) -> RequestId {
+        self.request.id
+    }
+
+    /// The node the request was sent to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Blocks until the response arrives (or the node's backbone dies).
+    ///
+    /// Claiming the response advances the shared virtual clock to its
+    /// arrival time; until a response is claimed it does not move the
+    /// clock, keeping virtual timestamps deterministic however the
+    /// demultiplexer threads are scheduled.
+    ///
+    /// With a [`RecoveryPolicy`] installed, transport failures and
+    /// timeouts are absorbed: the call is retransmitted with backoff
+    /// and, if its node is lost, failed over to a survivor (see the
+    /// module docs). Only a terminal inability to deliver surfaces as
+    /// an error then.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Remote`] when the node answered with an error
+    /// reply; a transport error when the connection failed while the
+    /// call was in flight (and recovery was off or exhausted).
+    pub fn wait(mut self) -> Result<CallOutcome, ClusterError> {
+        match self.inner.recovery() {
+            Some(policy) => self.wait_recovering(policy),
+            None => self.wait_plain(),
+        }
+    }
+
+    fn wait_plain(&mut self) -> Result<CallOutcome, ClusterError> {
+        let shared = Arc::clone(&self.inner.links[self.physical].shared);
+        match shared.claim(self.request.id, &self.inner.clock, None) {
+            Claim::Outcome(result) => {
+                self.taken = true;
+                result
+            }
+            Claim::Gone(err) => {
+                self.taken = true;
+                Err(err)
+            }
+            Claim::TimedOut => unreachable!("claim without a deadline cannot time out"),
+        }
+    }
+
+    fn wait_recovering(&mut self, policy: RecoveryPolicy) -> Result<CallOutcome, ClusterError> {
+        let mut attempt: u32 = 0;
+        let mut last_err;
+        loop {
+            let patience = policy.base_timeout * 2u32.saturating_pow(attempt.min(6));
+            let deadline = Instant::now() + patience;
+            let shared = Arc::clone(&self.inner.links[self.physical].shared);
+            match shared.claim(self.request.id, &self.inner.clock, Some(deadline)) {
+                Claim::Outcome(result) => match result {
+                    Err(e) if is_transport(&e) => last_err = e,
+                    final_answer => {
+                        self.taken = true;
+                        return final_answer;
+                    }
+                },
+                Claim::TimedOut => last_err = ClusterError::Net(NetError::Timeout),
+                Claim::Gone(e) => last_err = e,
+            }
+            // Transport trouble. Retransmit on the current route while
+            // it is alive and attempts remain — the node's at-most-once
+            // journal absorbs the duplicate if the original executed.
+            attempt += 1;
+            if attempt < policy.max_attempts
+                && self.inner.link_alive(self.physical)
+                && self.resend(attempt).is_ok()
+            {
+                self.inner.obs.metrics.inc_counter(
+                    names::RETRIES,
+                    &[("node", self.inner.links[self.physical].name.as_str())],
+                    1,
+                );
+                continue;
+            }
+            if !policy.failover {
+                return Err(last_err);
+            }
+            match self.inner.failover(self.node, self.epoch) {
+                Ok((physical, epoch)) => {
+                    if physical != self.physical {
+                        // Abandon the entry on the lost route.
+                        if let Ok(mut state) = self.inner.links[self.physical].shared.state.lock() {
+                            state.pending.remove(&self.request.id);
+                        }
+                    }
+                    self.physical = physical;
+                    self.epoch = epoch;
+                    attempt = 0;
+                    // Best effort: if the fresh route died under us the
+                    // next claim times out fast and we route again.
+                    let _ = self.resend(0);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Retransmits the original request (same id) on the current route,
+    /// (re-)registering its pending entry first.
+    fn resend(&mut self, attempt: u32) -> Result<(), ClusterError> {
+        let link = &self.inner.links[self.physical];
+        let plane = plane_of(&self.request.body);
+        {
+            let mut state = link.shared.state.lock().expect("link state poisoned");
+            if let Some(err) = &state.dead {
+                return Err(err.clone());
+            }
+            state
+                .pending
+                .insert(self.request.id, PendingEntry::Waiting(plane));
+        }
+        let now = self.inner.clock.now();
+        let mut request = self.request.clone();
+        request.sent_at_nanos = now.as_nanos();
+        request.epoch = self.epoch;
+        request.attempt = attempt;
+        link.send(request, now)
+    }
+
+    /// Claims the response if it has already arrived, without blocking.
+    ///
+    /// Returns `None` while the call is still in flight. After a
+    /// `Some(..)` the call is consumed: later polls return `None` and
+    /// [`PendingCall::wait`] must not be expected to yield it again.
+    /// `try_poll` never retransmits, even under a recovery policy.
+    pub fn try_poll(&mut self) -> Option<Result<CallOutcome, ClusterError>> {
+        if self.taken {
+            return None;
+        }
+        let shared = &self.inner.links[self.physical].shared;
+        let mut state = shared.state.lock().expect("link state poisoned");
+        match state.pending.get(&self.request.id) {
+            Some(PendingEntry::Done(..)) => {
+                let Some(PendingEntry::Done(result, received_at)) =
+                    state.pending.remove(&self.request.id)
+                else {
+                    unreachable!("entry observed Done under the same lock");
+                };
+                self.taken = true;
+                if let Some(at) = received_at {
+                    self.inner.clock.advance_to(at);
+                }
+                Some(*result)
+            }
+            Some(PendingEntry::Waiting(_)) => None,
+            None => {
+                self.taken = true;
+                Some(Err(state
+                    .dead
+                    .clone()
+                    .unwrap_or(ClusterError::Net(NetError::Disconnected))))
+            }
+        }
+    }
+}
+
+impl Drop for PendingCall {
+    fn drop(&mut self) {
+        if !self.taken {
+            if let Ok(mut state) = self.inner.links[self.physical].shared.state.lock() {
+                state.pending.remove(&self.request.id);
+            }
+        }
+        if let Ok(mut inflight) = self.inner.inflight[self.node.raw() as usize].lock() {
+            inflight.remove(&self.request.id);
+        }
+    }
+}
+
+impl std::fmt::Debug for PendingCall {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PendingCall({} @ {})", self.request.id, self.node)
+    }
+}
+
 /// The host runtime: device mapping plus pipelined call forwarding.
 pub struct HostRuntime {
     user: UserId,
-    links: Vec<NodeLink>,
     devices: Vec<RemoteDevice>,
-    request_ids: IdAllocator,
-    clock: Clock,
+    inner: Arc<HostInner>,
     stop: Arc<AtomicBool>,
     demux_threads: Vec<JoinHandle<()>>,
-    /// The observability hub the whole stack above shares: the platform
-    /// layer reads it back via [`HostRuntime::obs`] rather than creating
-    /// its own, so host spans, plane metrics and node spans land in one
-    /// place.
-    obs: Arc<Hub>,
 }
 
 impl HostRuntime {
@@ -432,40 +884,62 @@ impl HostRuntime {
             .next()
             .unwrap_or(&config.host_addr)
             .to_string();
-        let mut runtime = HostRuntime {
-            user: UserId::new(1),
-            links: Vec::new(),
-            devices: Vec::new(),
-            request_ids: IdAllocator::new(),
-            clock: fabric.clock().clone(),
-            stop: Arc::new(AtomicBool::new(false)),
-            demux_threads: Vec::new(),
-            obs: Arc::new(Hub::new()),
-        };
+        let stop = Arc::new(AtomicBool::new(false));
+        let obs = Arc::new(Hub::new());
+        let mut demux_threads = Vec::new();
+        let mut links = Vec::with_capacity(config.nodes.len());
+        let mut routes = Vec::with_capacity(config.nodes.len());
+        let mut journals = Vec::with_capacity(config.nodes.len());
+        let mut inflight = Vec::with_capacity(config.nodes.len());
         for (i, spec) in config.nodes.iter().enumerate() {
             let (msg_tx, msg_rx) = fabric.connect(&host_name, &spec.addr)?.split();
             let (data_tx, data_rx) = fabric.connect(&host_name, &spec.data_addr())?.split();
             let shared = Arc::new(LinkShared::new());
             for (plane, rx) in [(Plane::Control, msg_rx), (Plane::Data, data_rx)] {
                 let shared = Arc::clone(&shared);
-                let stop = Arc::clone(&runtime.stop);
-                let obs = Arc::clone(&runtime.obs);
+                let stop = Arc::clone(&stop);
+                let obs = Arc::clone(&obs);
                 let node_name = spec.name.clone();
-                runtime.demux_threads.push(
+                demux_threads.push(
                     std::thread::Builder::new()
                         .name(format!("haocl-demux-{}-{plane:?}", spec.name))
                         .spawn(move || demux_loop(rx, plane, shared, stop, obs, node_name))
                         .expect("spawn demux thread"),
                 );
             }
-            runtime.links.push(NodeLink {
+            links.push(NodeLink {
                 name: spec.name.clone(),
                 shared,
                 control_queue: Mutex::new(Vec::new()),
                 msg_tx: Mutex::new(msg_tx),
                 data_tx: Mutex::new(data_tx),
-                obs: Arc::clone(&runtime.obs),
+                obs: Arc::clone(&obs),
             });
+            routes.push(Mutex::new(RouteState {
+                physical: i,
+                epoch: 0,
+                burned: Vec::new(),
+            }));
+            journals.push(Mutex::new(Vec::new()));
+            inflight.push(Mutex::new(HashSet::new()));
+        }
+        let mut runtime = HostRuntime {
+            user: UserId::new(1),
+            devices: Vec::new(),
+            inner: Arc::new(HostInner {
+                links,
+                routes,
+                journals,
+                inflight,
+                recovery: Mutex::new(None),
+                request_ids: IdAllocator::new(),
+                clock: fabric.clock().clone(),
+                obs,
+            }),
+            stop,
+            demux_threads,
+        };
+        for (i, spec) in config.nodes.iter().enumerate() {
             let node = NodeId::new(i as u32);
             let outcome = runtime.call(
                 node,
@@ -501,12 +975,12 @@ impl HostRuntime {
 
     /// Number of nodes connected.
     pub fn node_count(&self) -> usize {
-        self.links.len()
+        self.inner.links.len()
     }
 
     /// The shared virtual clock.
     pub fn clock(&self) -> &Clock {
-        &self.clock
+        &self.inner.clock
     }
 
     /// The session's user id.
@@ -517,6 +991,47 @@ impl HostRuntime {
     /// Sets the session's user id (multi-user support).
     pub fn set_user(&mut self, user: UserId) {
         self.user = user;
+    }
+
+    /// Installs (or clears) the fault-recovery policy. `None` — the
+    /// default — keeps fail-fast semantics; see the module docs for
+    /// what a policy enables. Takes effect for subsequent submissions
+    /// and waits; enable recovery *before* issuing work, so the
+    /// failover journal is complete.
+    pub fn set_recovery(&self, policy: Option<RecoveryPolicy>) {
+        *self
+            .inner
+            .recovery
+            .lock()
+            .expect("recovery policy poisoned") = policy;
+    }
+
+    /// The currently installed recovery policy, if any.
+    pub fn recovery(&self) -> Option<RecoveryPolicy> {
+        self.inner.recovery()
+    }
+
+    /// Whether the logical node's current route has a live backbone
+    /// connection. A crashed-but-blackholed node still reads as live
+    /// until its route is failed over — liveness here is connection
+    /// state, not reachability.
+    pub fn node_is_live(&self, node: NodeId) -> bool {
+        let index = node.raw() as usize;
+        if index >= self.inner.links.len() {
+            return false;
+        }
+        let (physical, _) = self.inner.route_of(node);
+        self.inner.link_alive(physical)
+    }
+
+    /// The logical node's routing epoch: 0 until its first failover,
+    /// bumped on each. Schedulers use this as a flap signal.
+    pub fn node_epoch(&self, node: NodeId) -> u32 {
+        let index = node.raw() as usize;
+        if index >= self.inner.links.len() {
+            return 0;
+        }
+        self.inner.route_of(node).1
     }
 
     /// Forwards `call` to `node` without waiting for its response.
@@ -550,56 +1065,106 @@ impl HostRuntime {
         call: ApiCall,
         ctx: Option<TraceCtx>,
     ) -> Result<PendingCall, ClusterError> {
-        let link = self
-            .links
-            .get(node.raw() as usize)
-            .ok_or_else(|| ClusterError::Config(format!("unknown node {node}")))?;
-        let is_data = matches!(
-            call,
-            ApiCall::WriteBuffer { .. }
-                | ApiCall::ReadBuffer { .. }
-                | ApiCall::WriteBufferModeled { .. }
-                | ApiCall::ReadBufferModeled { .. }
-        );
-        let id = RequestId::new(self.request_ids.next());
-        let now = self.clock.now();
-        let request = Request {
+        let inner = &self.inner;
+        let index = node.raw() as usize;
+        if index >= inner.links.len() {
+            return Err(ClusterError::Config(format!("unknown node {node}")));
+        }
+        let recovery = inner.recovery();
+        let failover = recovery.is_some_and(|p| p.failover);
+        let id = RequestId::new(inner.request_ids.next());
+        // Journal and in-flight registration happen before the send so
+        // a concurrent failover can neither miss this call's state nor
+        // replay it while its own waiter still owns it.
+        if recovery.is_some() && establishes_state(&call) {
+            inner.journals[index]
+                .lock()
+                .expect("journal poisoned")
+                .push(JournalEntry {
+                    id,
+                    user: self.user,
+                    call: call.clone(),
+                });
+        }
+        inner.inflight[index]
+            .lock()
+            .expect("inflight poisoned")
+            .insert(id);
+        let now = inner.clock.now();
+        let mut request = Request {
             id,
             user: self.user,
             sent_at_nanos: now.as_nanos(),
             trace_id: ctx.map_or(0, |c| c.trace.0),
             parent_span: ctx.map_or(0, |c| c.parent.0),
+            epoch: 0,
+            attempt: 0,
             body: call,
         };
-        let plane = if is_data { Plane::Data } else { Plane::Control };
-        {
-            let mut state = link.shared.state.lock().expect("link state poisoned");
-            if let Some(err) = &state.dead {
-                return Err(err.clone());
-            }
-            state.pending.insert(id, PendingEntry::Waiting(plane));
-        }
-        let sent = if is_data {
-            link.send_data(request, now)
-        } else {
-            link.send_control(request, now)
-        };
-        if let Err(err) = sent {
-            link.shared
-                .state
+        let abort = |err: ClusterError| {
+            inner.inflight[index]
                 .lock()
-                .expect("link state poisoned")
-                .pending
+                .expect("inflight poisoned")
                 .remove(&id);
-            return Err(err);
+            let mut journal = inner.journals[index].lock().expect("journal poisoned");
+            if let Some(pos) = journal.iter().rposition(|e| e.id == id) {
+                journal.remove(pos);
+            }
+            Err(err)
+        };
+        let mut routes_tried = 0usize;
+        loop {
+            let (physical, epoch) = {
+                let (physical, epoch) = inner.route_of(node);
+                if failover && !inner.link_alive(physical) {
+                    match inner.failover(node, epoch) {
+                        Ok(moved) => moved,
+                        Err(e) => return abort(e),
+                    }
+                } else {
+                    (physical, epoch)
+                }
+            };
+            request.epoch = epoch;
+            let link = &inner.links[physical];
+            let plane = plane_of(&request.body);
+            {
+                let mut state = link.shared.state.lock().expect("link state poisoned");
+                if let Some(err) = &state.dead {
+                    if failover && routes_tried < inner.links.len() {
+                        routes_tried += 1;
+                        continue;
+                    }
+                    return abort(err.clone());
+                }
+                state.pending.insert(id, PendingEntry::Waiting(plane));
+            }
+            match link.send(request.clone(), now) {
+                Ok(()) => {
+                    return Ok(PendingCall {
+                        request,
+                        node,
+                        physical,
+                        epoch,
+                        inner: Arc::clone(inner),
+                        taken: false,
+                    });
+                }
+                Err(err) => {
+                    link.shared
+                        .state
+                        .lock()
+                        .expect("link state poisoned")
+                        .pending
+                        .remove(&id);
+                    if failover && routes_tried < inner.links.len() {
+                        routes_tried += 1;
+                        continue;
+                    }
+                    return abort(err);
+                }
+            }
         }
-        Ok(PendingCall {
-            id,
-            node,
-            shared: Arc::clone(&link.shared),
-            clock: self.clock.clone(),
-            taken: false,
-        })
     }
 
     /// Forwards `call` to `node` and waits synchronously for its reply —
@@ -614,22 +1179,36 @@ impl HostRuntime {
     }
 
     /// Sends `Shutdown` to every node (best effort) for orderly teardown.
+    ///
+    /// Teardown runs in bounded-patience, no-failover mode: it must
+    /// neither trigger failover replays onto the survivors nor hang
+    /// forever on a node a chaos policy has blackholed. Recovery is
+    /// left disabled afterwards.
     pub fn shutdown_cluster(&self) {
-        for i in 0..self.links.len() {
+        self.set_recovery(Some(RecoveryPolicy {
+            base_timeout: Duration::from_millis(250),
+            max_attempts: 1,
+            failover: false,
+        }));
+        for i in 0..self.inner.links.len() {
             let _ = self.call(NodeId::new(i as u32), ApiCall::Shutdown);
         }
+        self.set_recovery(None);
     }
 
     /// The configured name of `node`.
     pub fn node_name(&self, node: NodeId) -> Option<&str> {
-        self.links.get(node.raw() as usize).map(|l| l.name.as_str())
+        self.inner
+            .links
+            .get(node.raw() as usize)
+            .map(|l| l.name.as_str())
     }
 
     /// The observability hub shared by this runtime's links and demux
     /// threads. The platform layer adopts this hub (instead of creating
     /// its own) so every layer records into one recorder/registry.
     pub fn obs(&self) -> &Arc<Hub> {
-        &self.obs
+        &self.inner.obs
     }
 
     fn _assert_send_sync() {
@@ -645,9 +1224,10 @@ impl Drop for HostRuntime {
         for t in self.demux_threads.drain(..) {
             let _ = t.join();
         }
-        // PendingCalls hold their own Arc<LinkShared> and may outlive the
-        // runtime; leave them a terminal error instead of a hang.
-        for link in &self.links {
+        // PendingCalls hold their own Arc into the shared state and may
+        // outlive the runtime; leave them a terminal error instead of a
+        // hang.
+        for link in &self.inner.links {
             link.shared
                 .fail_all(ClusterError::Net(NetError::Disconnected));
         }
@@ -687,7 +1267,16 @@ fn demux_loop(
     while !stop.load(Ordering::SeqCst) {
         match rx.recv_frame_timeout(DEMUX_POLL) {
             Ok((frame, received_at)) => match decode_from_slice::<Response>(&frame) {
-                Ok(response) => shared.complete(response, received_at),
+                Ok(response) => {
+                    if response.duplicate {
+                        obs.metrics.inc_counter(
+                            names::DEDUP_HITS,
+                            &[("node", node_name.as_str())],
+                            1,
+                        );
+                    }
+                    shared.complete(response, received_at);
+                }
                 Err(e) => {
                     note_failure();
                     shared.fail_plane(plane, ClusterError::Wire(e));
@@ -695,6 +1284,10 @@ fn demux_loop(
                 }
             },
             Err(NetError::Timeout) => continue,
+            // Poll deadline hit mid-frame: the partial bytes stay
+            // buffered in the receiver, so the next recv resynchronizes
+            // on the remaining chunks.
+            Err(NetError::TimeoutMidFrame { .. }) => continue,
             Err(e) => {
                 note_failure();
                 shared.fail_plane(plane, ClusterError::Net(e));
@@ -708,7 +1301,7 @@ impl std::fmt::Debug for HostRuntime {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("HostRuntime")
             .field("user", &self.user)
-            .field("nodes", &self.links.len())
+            .field("nodes", &self.inner.links.len())
             .field("devices", &self.devices.len())
             .finish()
     }
@@ -719,8 +1312,10 @@ mod tests {
     use super::*;
     use crate::config::NodeSpec;
     use crate::local::LocalCluster;
+    use bytes::Bytes;
     use haocl_kernel::KernelRegistry;
     use haocl_net::{Conn, LinkModel};
+    use haocl_proto::ids::BufferId;
 
     fn one_node_config() -> ClusterConfig {
         ClusterConfig {
@@ -739,6 +1334,7 @@ mod tests {
             id,
             completed_at_nanos: at.as_nanos(),
             body,
+            duplicate: false,
             spans: Vec::new(),
         };
         conn.send_frame(&encode_to_vec(&response), at).unwrap();
@@ -919,6 +1515,107 @@ mod tests {
                 });
             }
         });
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn swallowed_request_is_retransmitted_until_answered() {
+        let fabric = Fabric::new(Clock::new(), LinkModel::gigabit_ethernet());
+        let msg_listener = fabric.bind("10.0.9.1:7100").unwrap();
+        let data_listener = fabric.bind("10.0.9.1:7101").unwrap();
+        // A node that swallows the first delivery and only answers the
+        // retransmission — the wait must absorb the loss.
+        let server = std::thread::spawn(move || {
+            let mut msg = msg_listener.accept().unwrap();
+            let _data = data_listener.accept().unwrap();
+            answer_handshake(&mut msg);
+            let (first, _) = collect_requests(&mut msg, 1).remove(0);
+            assert_eq!(first.attempt, 0);
+            let (retry, at) = collect_requests(&mut msg, 1).remove(0);
+            assert_eq!(retry.id, first.id, "retransmission reuses the id");
+            assert_eq!(retry.attempt, 1, "retransmission bumps the attempt");
+            reply(&mut msg, retry.id, ApiReply::Pong { now_nanos: 7 }, at);
+        });
+        let host = HostRuntime::connect(&fabric, &one_node_config()).unwrap();
+        host.set_recovery(Some(RecoveryPolicy {
+            base_timeout: Duration::from_millis(30),
+            max_attempts: 4,
+            failover: false,
+        }));
+        let outcome = host.call(NodeId::new(0), ApiCall::Ping).unwrap();
+        assert!(matches!(outcome.reply, ApiReply::Pong { now_nanos: 7 }));
+        let retries = host
+            .obs()
+            .metrics
+            .counter_value(names::RETRIES, &[("node", "n0")]);
+        assert!(retries >= 1, "retry was counted, got {retries}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn failover_replays_state_onto_a_survivor() {
+        let mut cluster =
+            LocalCluster::launch(&ClusterConfig::gpu_cluster(2), KernelRegistry::new()).unwrap();
+        cluster.host().set_recovery(Some(RecoveryPolicy {
+            base_timeout: Duration::from_millis(50),
+            max_attempts: 2,
+            failover: true,
+        }));
+        let node = NodeId::new(1);
+        let buf = BufferId::new(1);
+        let payload: Vec<u8> = (0..16).collect();
+        cluster
+            .host()
+            .call(
+                node,
+                ApiCall::CreateBuffer {
+                    device: 0,
+                    buffer: buf,
+                    size: 16,
+                },
+            )
+            .unwrap();
+        cluster
+            .host()
+            .call(
+                node,
+                ApiCall::WriteBuffer {
+                    device: 0,
+                    buffer: buf,
+                    offset: 0,
+                    data: Bytes::from(payload.clone()),
+                },
+            )
+            .unwrap();
+        // Lose the node. The next call to it must fail over: the journal
+        // re-provisions the buffer (with its contents) on the survivor.
+        assert!(cluster.kill_node(1));
+        let outcome = cluster
+            .host()
+            .call(
+                node,
+                ApiCall::ReadBuffer {
+                    device: 0,
+                    buffer: buf,
+                    offset: 0,
+                    len: 16,
+                },
+            )
+            .unwrap();
+        match outcome.reply {
+            ApiReply::Data { bytes } => assert_eq!(bytes.as_ref(), &payload[..]),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        assert_eq!(cluster.host().node_epoch(node), 1, "route epoch bumped");
+        // The logical node keeps answering (served by the survivor).
+        let outcome = cluster.host().call(node, ApiCall::Ping).unwrap();
+        assert!(matches!(outcome.reply, ApiReply::Pong { .. }));
+        let failovers = cluster
+            .host()
+            .obs()
+            .metrics
+            .counter_value(names::FAILOVERS, &[("from", "gpu1"), ("to", "gpu0")]);
+        assert!(failovers >= 1, "failover was counted, got {failovers}");
         cluster.shutdown();
     }
 }

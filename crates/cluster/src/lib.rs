@@ -44,7 +44,7 @@ pub mod session;
 
 pub use config::{ClusterConfig, NodeSpec};
 pub use error::ClusterError;
-pub use host::{CallOutcome, HostRuntime, PendingCall, RemoteDevice};
+pub use host::{CallOutcome, HostRuntime, PendingCall, RecoveryPolicy, RemoteDevice};
 pub use local::LocalCluster;
 pub use nmp::NmpHandle;
 pub use session::SessionManager;

@@ -1,12 +1,12 @@
 //! In-process cluster launcher.
 
 use haocl_kernel::KernelRegistry;
-use haocl_net::Fabric;
+use haocl_net::{ChaosPolicy, Fabric};
 use haocl_sim::Clock;
 
 use crate::config::ClusterConfig;
 use crate::error::ClusterError;
-use crate::host::HostRuntime;
+use crate::host::{HostRuntime, RecoveryPolicy};
 use crate::nmp::NmpHandle;
 
 /// A whole HaoCL cluster running in-process: one NMP thread pair per node
@@ -50,6 +50,33 @@ impl LocalCluster {
             handles.push(NmpHandle::spawn(&fabric, spec, registry.clone())?);
         }
         let host = HostRuntime::connect(&fabric, config)?;
+        // Chaos opt-in from the environment (HAOCL_CHAOS_SPEC /
+        // HAOCL_CHAOS_SEED): installed only after the handshake, so
+        // bring-up is exempt, and paired with a default recovery policy —
+        // an injected fault schedule without recovery would just fail.
+        // Wildcards resolve against the *node* hosts only; the host
+        // process itself is never a crash candidate.
+        let node_hosts: Vec<String> = config
+            .nodes
+            .iter()
+            .map(|spec| {
+                spec.addr
+                    .split(':')
+                    .next()
+                    .unwrap_or(&spec.addr)
+                    .to_string()
+            })
+            .collect();
+        match ChaosPolicy::from_env(&node_hosts) {
+            None => {}
+            Some(Ok(policy)) => {
+                fabric.install_chaos(policy);
+                host.set_recovery(Some(RecoveryPolicy::default()));
+            }
+            Some(Err(e)) => {
+                return Err(ClusterError::Config(format!("bad chaos spec: {e}")));
+            }
+        }
         Ok(LocalCluster {
             fabric,
             handles,
@@ -70,6 +97,24 @@ impl LocalCluster {
     /// The shared fabric (to attach extra clients or inspect the link).
     pub fn fabric(&self) -> &Fabric {
         &self.fabric
+    }
+
+    /// Installs a chaos policy on the fabric and enables the default
+    /// recovery policy, exactly as the `HAOCL_CHAOS_*` environment
+    /// variables would — but scoped to this cluster, so parallel tests
+    /// don't race on process-global state.
+    pub fn install_chaos(&self, policy: ChaosPolicy) {
+        self.fabric.install_chaos(policy);
+        self.host.set_recovery(Some(RecoveryPolicy::default()));
+    }
+
+    /// The chaos schedule observed so far, one line per injected fault —
+    /// the repro artifact to attach to a failing run. Empty when no
+    /// chaos policy is installed.
+    pub fn chaos_schedule(&self) -> Vec<String> {
+        self.fabric
+            .with_chaos(|c| c.schedule_lines())
+            .unwrap_or_default()
     }
 
     /// Kills the NMP of node `index` abruptly (failure injection): its

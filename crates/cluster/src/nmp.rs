@@ -10,7 +10,7 @@
 //! node's bitstream [`KernelRegistry`] via
 //! [`haocl_proto::messages::ApiCall::LoadBitstream`].
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -25,7 +25,7 @@ use haocl_device::{presets, SimDevice};
 use haocl_kernel::{CostModel, Kernel, KernelRegistry, NdRange};
 use haocl_net::{Conn, Fabric, Listener, NetError};
 use haocl_obs::SpanId;
-use haocl_proto::ids::{KernelId, ProgramId, UserId};
+use haocl_proto::ids::{KernelId, ProgramId, RequestId, UserId};
 use haocl_proto::messages::{
     status, ApiCall, ApiReply, Envelope, Request, Response, WireKernelReport, WireSpan,
 };
@@ -37,6 +37,12 @@ use crate::error::ClusterError;
 
 /// How often blocking loops check the stop flag.
 const POLL: Duration = Duration::from_millis(20);
+
+/// How many completed state-mutating requests the at-most-once journal
+/// remembers. The host retries a request only while it is pending, so
+/// the journal needs to outlive the host's in-flight window — 1024 is
+/// orders of magnitude deeper than the backbone ever pipelines.
+const JOURNAL_CAP: usize = 1024;
 
 enum ProgramEntry {
     /// Source-compiled program (CPU/GPU path).
@@ -51,6 +57,27 @@ struct NodeState {
     kernels: HashMap<KernelId, (u8, Kernel)>,
     registry: KernelRegistry,
     launches_by_user: HashMap<UserId, u64>,
+    /// At-most-once journal: completed responses to state-mutating
+    /// requests, keyed by correlation token. A retried or duplicated
+    /// request whose id is here is answered from the journal instead of
+    /// re-executing — a kernel never runs twice, a write never applies
+    /// twice.
+    journal: HashMap<RequestId, Response>,
+    /// Journal insertion order, for FIFO eviction at [`JOURNAL_CAP`].
+    journal_order: VecDeque<RequestId>,
+}
+
+impl NodeState {
+    fn journal_record(&mut self, response: &Response) {
+        if self.journal.insert(response.id, response.clone()).is_none() {
+            self.journal_order.push_back(response.id);
+            while self.journal_order.len() > JOURNAL_CAP {
+                if let Some(evicted) = self.journal_order.pop_front() {
+                    self.journal.remove(&evicted);
+                }
+            }
+        }
+    }
 }
 
 /// A running NMP: its listener threads and stop control.
@@ -89,6 +116,8 @@ impl NmpHandle {
             kernels: HashMap::new(),
             registry,
             launches_by_user: HashMap::new(),
+            journal: HashMap::new(),
+            journal_order: VecDeque::new(),
         }));
         let stop = Arc::new(AtomicBool::new(false));
         let msg_listener = fabric.bind(&spec.addr)?;
@@ -171,6 +200,10 @@ fn serve(mut conn: Conn, state: Arc<Mutex<NodeState>>, stop: Arc<AtomicBool>) {
         let (frame, arrival) = match conn.recv_frame_timeout(POLL) {
             Ok(x) => x,
             Err(NetError::Timeout) => continue,
+            // The deadline expired with a frame partially assembled: the
+            // bytes stay buffered in the receiver, so keep polling — the
+            // remaining chunks resynchronize the stream.
+            Err(NetError::TimeoutMidFrame { .. }) => continue,
             Err(_) => break,
         };
         // The host may coalesce several control messages into one
@@ -209,8 +242,39 @@ fn serve(mut conn: Conn, state: Arc<Mutex<NodeState>>, stop: Arc<AtomicBool>) {
     }
 }
 
+/// True for calls whose re-execution would mutate node state twice — the
+/// ones the at-most-once journal must guard. Pure queries (pings, reads,
+/// profile queries) are safe to re-run and skip the journal.
+fn mutates_state(call: &ApiCall) -> bool {
+    matches!(
+        call,
+        ApiCall::CreateBuffer { .. }
+            | ApiCall::CreateBufferModeled { .. }
+            | ApiCall::WriteBuffer { .. }
+            | ApiCall::WriteBufferModeled { .. }
+            | ApiCall::ReleaseBuffer { .. }
+            | ApiCall::CopyBuffer { .. }
+            | ApiCall::BuildProgram { .. }
+            | ApiCall::LoadBitstream { .. }
+            | ApiCall::CreateKernel { .. }
+            | ApiCall::LaunchKernel { .. }
+    )
+}
+
 fn handle(state: &Mutex<NodeState>, request: Request, arrival: SimTime) -> Response {
     let mut state = state.lock();
+    // At-most-once: a retransmitted (or chaos-duplicated) mutating request
+    // is answered from the journal — the kernel does not run again, the
+    // write does not apply again. The cached response is re-sent verbatim,
+    // flagged so the host can count the dedup.
+    let journaled = mutates_state(&request.body);
+    if journaled {
+        if let Some(cached) = state.journal.get(&request.id) {
+            let mut response = cached.clone();
+            response.duplicate = true;
+            return response;
+        }
+    }
     let user = request.user;
     let traced = request.traced();
     let (body, completed) = dispatch(&mut state, user, request.body, arrival);
@@ -257,12 +321,17 @@ fn handle(state: &Mutex<NodeState>, request: Request, arrival: SimTime) -> Respo
     } else {
         Vec::new()
     };
-    Response {
+    let response = Response {
         id: request.id,
         completed_at_nanos: completed.as_nanos(),
         body,
+        duplicate: false,
         spans,
+    };
+    if journaled {
+        state.journal_record(&response);
     }
+    response
 }
 
 fn err_reply(code: i32, message: impl Into<String>) -> ApiReply {
@@ -681,6 +750,8 @@ mod tests {
             sent_at_nanos: 0,
             trace_id: 0,
             parent_span: 0,
+            epoch: 0,
+            attempt: 0,
             body,
         };
         conn.send_frame(&encode_to_vec(&Envelope::Single(req)), SimTime::ZERO)
@@ -988,6 +1059,8 @@ mod tests {
                 sent_at_nanos: 0,
                 trace_id: 0,
                 parent_span: 0,
+                epoch: 0,
+                attempt: 0,
                 body: ApiCall::Ping,
             })
             .collect();
@@ -1038,5 +1111,153 @@ mod tests {
         );
         assert!(matches!(r, ApiReply::Error { code, .. } if code == status::INVALID_VALUE));
         handle.stop();
+    }
+
+    /// Sends a request with an explicit correlation id and attempt number,
+    /// returning the whole response (the dedup tests inspect `duplicate`).
+    fn call_raw(conn: &mut Conn, id: u64, attempt: u32, body: ApiCall) -> Response {
+        let req = Request {
+            id: RequestId::new(id),
+            user: UserId::new(1),
+            sent_at_nanos: 0,
+            trace_id: 0,
+            parent_span: 0,
+            epoch: 0,
+            attempt,
+            body,
+        };
+        conn.send_frame(&encode_to_vec(&Envelope::Single(req)), SimTime::ZERO)
+            .unwrap();
+        let (frame, _) = conn.recv_frame().unwrap();
+        decode_from_slice(&frame).unwrap()
+    }
+
+    #[test]
+    fn retried_mutations_are_answered_from_the_journal() {
+        let (_f, handle, mut conn) = launch_one_node();
+        let create = ApiCall::CreateBuffer {
+            device: 0,
+            buffer: BufferId::new(1),
+            size: 16,
+        };
+        let first = call_raw(&mut conn, 9000, 0, create.clone());
+        assert_eq!(first.body, ApiReply::Ack);
+        assert!(!first.duplicate);
+        // A retransmission of the same request id must NOT re-execute:
+        // re-running CreateBuffer would fail with INVALID_VALUE, but the
+        // journal replays the original Ack and flags the dedup.
+        let retry = call_raw(&mut conn, 9000, 1, create);
+        assert_eq!(retry.body, ApiReply::Ack);
+        assert!(retry.duplicate, "second delivery served from journal");
+        assert_eq!(retry.completed_at_nanos, first.completed_at_nanos);
+        handle.stop();
+    }
+
+    #[test]
+    fn duplicated_launch_runs_the_kernel_exactly_once() {
+        let (_f, handle, mut conn) = launch_one_node();
+        let r = call_raw(
+            &mut conn,
+            9100,
+            0,
+            ApiCall::BuildProgram {
+                device: 0,
+                program: ProgramId::new(1),
+                source: "__kernel void tick(__global float* a) { a[get_global_id(0)] += 1.0f; }"
+                    .into(),
+            },
+        );
+        assert!(matches!(r.body, ApiReply::BuildLog { ok: true, .. }));
+        let r = call_raw(
+            &mut conn,
+            9101,
+            0,
+            ApiCall::CreateBuffer {
+                device: 0,
+                buffer: BufferId::new(1),
+                size: 16,
+            },
+        );
+        assert_eq!(r.body, ApiReply::Ack);
+        let r = call_raw(
+            &mut conn,
+            9102,
+            0,
+            ApiCall::CreateKernel {
+                device: 0,
+                kernel: KernelId::new(1),
+                program: ProgramId::new(1),
+                name: "tick".into(),
+            },
+        );
+        assert_eq!(r.body, ApiReply::KernelInfo { arity: 1 });
+        let launch = ApiCall::LaunchKernel {
+            device: 0,
+            kernel: KernelId::new(1),
+            args: vec![WireArg::Buffer(BufferId::new(1))],
+            range: WireNdRange {
+                work_dim: 1,
+                global: [4, 1, 1],
+                local: [1, 1, 1],
+            },
+            cost: WireCost {
+                flops: 4.0,
+                bytes_read: 16.0,
+                bytes_written: 16.0,
+                uniform: true,
+                streaming: false,
+            },
+            fidelity: Fidelity::Full,
+            shared: false,
+        };
+        let first = call_raw(&mut conn, 9103, 0, launch.clone());
+        assert!(matches!(first.body, ApiReply::LaunchDone { .. }));
+        assert!(!first.duplicate);
+        let retry = call_raw(&mut conn, 9103, 1, launch);
+        assert!(retry.duplicate, "retried launch served from journal");
+        assert_eq!(retry.body, first.body, "cached reply is replayed verbatim");
+        // The profile is the ground truth: exactly one execution happened.
+        let r = call_raw(&mut conn, 9104, 0, ApiCall::QueryProfile);
+        match r.body {
+            ApiReply::Profile { entries } => {
+                assert_eq!(entries.len(), 1);
+                assert_eq!(entries[0].kernel, "tick");
+                assert_eq!(entries[0].runs, 1, "journal prevented a double run");
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        handle.stop();
+    }
+
+    #[test]
+    fn journal_evicts_oldest_entries_beyond_cap() {
+        let devices = Vec::new();
+        let mut state = NodeState {
+            devices,
+            programs: HashMap::new(),
+            kernels: HashMap::new(),
+            registry: KernelRegistry::new(),
+            launches_by_user: HashMap::new(),
+            journal: HashMap::new(),
+            journal_order: VecDeque::new(),
+        };
+        for i in 0..(JOURNAL_CAP as u64 + 10) {
+            state.journal_record(&Response {
+                id: RequestId::new(i + 1),
+                completed_at_nanos: 0,
+                body: ApiReply::Ack,
+                duplicate: false,
+                spans: Vec::new(),
+            });
+        }
+        assert_eq!(state.journal.len(), JOURNAL_CAP);
+        assert_eq!(state.journal_order.len(), JOURNAL_CAP);
+        assert!(
+            !state.journal.contains_key(&RequestId::new(1)),
+            "oldest evicted"
+        );
+        assert!(state
+            .journal
+            .contains_key(&RequestId::new(JOURNAL_CAP as u64 + 10)));
     }
 }

@@ -1,0 +1,53 @@
+//! Environment-driven chaos configuration.
+//!
+//! `HAOCL_CHAOS_SPEC` / `HAOCL_CHAOS_SEED` arm the fabric at
+//! [`LocalCluster::launch`] time — the knob CI's soak job turns. Env
+//! vars are process-global, so this lives in its own integration-test
+//! binary (own process): it cannot race the other chaos tests' cluster
+//! launches, and the single `#[test]` keeps the binary serial.
+
+use haocl_cluster::{ClusterConfig, LocalCluster};
+use haocl_kernel::KernelRegistry;
+use haocl_proto::ids::NodeId;
+use haocl_proto::messages::{ApiCall, ApiReply};
+
+#[test]
+fn env_vars_arm_chaos_and_recovery_at_launch() {
+    // Safety: this test binary runs this single test; nothing else in
+    // the process reads or writes these variables concurrently.
+    unsafe {
+        std::env::set_var("HAOCL_CHAOS_SPEC", "drop=0.02,dup=0.02");
+        std::env::set_var("HAOCL_CHAOS_SEED", "42");
+    }
+    let config = ClusterConfig::gpu_cluster(1);
+    let cluster = LocalCluster::launch(&config, KernelRegistry::new()).unwrap();
+    assert_eq!(
+        cluster.fabric().with_chaos(|c| c.seed()),
+        Some(42),
+        "the fabric picked up the env-configured chaos policy"
+    );
+    assert!(
+        cluster.host().recovery().is_some(),
+        "launching under chaos auto-enables the recovery policy"
+    );
+    // The armed cluster still answers traffic (recovery absorbs the
+    // low-rate loss).
+    let outcome = cluster.host().call(NodeId::new(0), ApiCall::Ping).unwrap();
+    assert!(matches!(outcome.reply, ApiReply::Pong { .. }));
+    cluster.shutdown();
+
+    // A malformed spec is a launch-time configuration error, not a
+    // silently fault-free cluster.
+    unsafe {
+        std::env::set_var("HAOCL_CHAOS_SPEC", "flood=banana");
+    }
+    let err = LocalCluster::launch(&config, KernelRegistry::new()).unwrap_err();
+    assert!(
+        format!("{err}").contains("chaos"),
+        "bad spec surfaces as a config error, got: {err}"
+    );
+    unsafe {
+        std::env::remove_var("HAOCL_CHAOS_SPEC");
+        std::env::remove_var("HAOCL_CHAOS_SEED");
+    }
+}

@@ -9,8 +9,8 @@
 use parking_lot::Mutex;
 
 use haocl_kernel::NdRange;
-use haocl_obs::{names, Span, TraceCtx};
-use haocl_sched::{DeviceView, Scheduler, SchedulingPolicy, TaskSpec};
+use haocl_obs::{names, PlacementAudit, Span, TraceCtx};
+use haocl_sched::{DeviceView, QuarantineTracker, Scheduler, SchedulingPolicy, TaskSpec};
 use haocl_sim::{Phase, SimTime};
 
 use crate::context::Context;
@@ -26,6 +26,10 @@ pub struct AutoScheduler {
     scheduler: Scheduler,
     /// Host-side view of when each device's queue drains.
     busy_until: Mutex<Vec<SimTime>>,
+    /// Node health: the runtime's failover epochs become strikes, and
+    /// flapping nodes drop out of the candidate set (see
+    /// [`AutoScheduler::quarantine`]).
+    quarantine: QuarantineTracker,
 }
 
 impl AutoScheduler {
@@ -47,7 +51,21 @@ impl AutoScheduler {
             queues,
             scheduler: Scheduler::new(policy),
             busy_until: Mutex::new(vec![SimTime::ZERO; n]),
+            quarantine: QuarantineTracker::default(),
         })
+    }
+
+    /// The node-health tracker feeding this scheduler's candidate
+    /// filtering (inspect strikes, or [`QuarantineTracker::reinstate`] a
+    /// recovered node).
+    pub fn quarantine(&self) -> &QuarantineTracker {
+        &self.quarantine
+    }
+
+    /// Replaces the health tracker with one demoting nodes after
+    /// `threshold` route failovers (accumulated strikes reset).
+    pub fn set_quarantine_threshold(&mut self, threshold: u32) {
+        self.quarantine = QuarantineTracker::new(threshold);
     }
 
     /// The active policy's name.
@@ -104,11 +122,56 @@ impl AutoScheduler {
                 })
                 .collect()
         };
-        let (choice, audit) = self
-            .scheduler
-            .place_audited(&task, &views)
-            .map_err(|e| Error::api(Status::InvalidOperation, e.to_string()))?;
         let obs = &self.context.platform.obs;
+        // Fold the runtime's failover signals into node health: every
+        // epoch bump is a failover the host had to perform for that
+        // node, i.e. one quarantine strike.
+        for d in self.context.devices() {
+            let node = d.node();
+            if self
+                .quarantine
+                .observe_epoch(node, self.context.platform.host().node_epoch(node))
+            {
+                obs.audit.record(PlacementAudit {
+                    kernel: "<node-health>".into(),
+                    policy: "quarantine".into(),
+                    candidates: Vec::new(),
+                    chosen: d.index(),
+                    reason: format!(
+                        "node {} quarantined after {} route failovers",
+                        d.node_name(),
+                        self.quarantine.strikes(node)
+                    ),
+                });
+                obs.metrics
+                    .inc_counter(names::QUARANTINES, &[("node", d.node_name())], 1);
+            }
+        }
+        // Demote quarantined nodes out of the candidate set — but only
+        // while an alternative exists; an all-quarantined cluster still
+        // schedules.
+        let eligible: Vec<usize> = (0..views.len())
+            .filter(|&i| !self.quarantine.is_quarantined(views[i].node))
+            .collect();
+        let placed = if eligible.is_empty() || eligible.len() == views.len() {
+            self.scheduler.place_audited(&task, &views)
+        } else {
+            let surviving: Vec<DeviceView> = eligible.iter().map(|&i| views[i].clone()).collect();
+            self.scheduler
+                .place_audited(&task, &surviving)
+                .map(|(choice, mut audit)| {
+                    // Remap filtered indices back onto the context's
+                    // device list, which is what callers (and the audit
+                    // log) index by.
+                    for candidate in &mut audit.candidates {
+                        candidate.device = eligible[candidate.device];
+                    }
+                    audit.chosen = eligible[audit.chosen];
+                    (eligible[choice], audit)
+                })
+        };
+        let (choice, audit) =
+            placed.map_err(|e| Error::api(Status::InvalidOperation, e.to_string()))?;
         // The placement decision is always auditable; spans and metrics
         // follow the tracing gate.
         let decided = self.queues[choice].device().platform.clock().now();

@@ -88,5 +88,7 @@ pub use platform::{Device, DeviceType, Platform};
 pub use program::Program;
 pub use queue::CommandQueue;
 
+pub use haocl_cluster::RecoveryPolicy;
 pub use haocl_kernel::NdRange;
+pub use haocl_net::{ChaosPolicy, ChaosSpec};
 pub use haocl_proto::messages::{DeviceKind, Fidelity};

@@ -299,6 +299,39 @@ impl Platform {
         &self.inner.obs
     }
 
+    /// The routing epoch of `node`: 0 until the host runtime's first
+    /// failover away from it, bumped on each. Schedulers read this as a
+    /// node-flap signal (see [`haocl_sched::QuarantineTracker`]).
+    pub fn node_epoch(&self, node: NodeId) -> u32 {
+        self.inner.host().node_epoch(node)
+    }
+
+    /// Installs a chaos policy on the platform's fabric and enables the
+    /// default recovery policy — the in-process equivalent of launching
+    /// with `HAOCL_CHAOS_SPEC`/`HAOCL_CHAOS_SEED` set (and safe to use
+    /// from parallel tests, unlike process-global environment).
+    pub fn install_chaos(&self, policy: haocl_net::ChaosPolicy) {
+        self.inner.cluster.install_chaos(policy);
+    }
+
+    /// Overrides the host runtime's fault-recovery policy (`None`
+    /// restores fail-fast semantics).
+    pub fn set_recovery(&self, policy: Option<haocl_cluster::RecoveryPolicy>) {
+        self.inner.host().set_recovery(policy);
+    }
+
+    /// The chaos fault schedule observed so far, one line per injected
+    /// fault — the repro artifact to attach to a failing run. Empty
+    /// without an installed chaos policy.
+    pub fn chaos_schedule(&self) -> Vec<String> {
+        self.inner.cluster.chaos_schedule()
+    }
+
+    /// Whether `node`'s current route has a live backbone connection.
+    pub fn node_is_live(&self, node: NodeId) -> bool {
+        self.inner.host().node_is_live(node)
+    }
+
     /// Exports every recorded span as a Chrome trace-event JSON document
     /// (load it in `chrome://tracing` or Perfetto).
     pub fn export_chrome_trace(&self) -> String {

@@ -1,0 +1,646 @@
+//! Seeded, deterministic fault injection for the fabric.
+//!
+//! A [`ChaosPolicy`] decides, for every frame the fabric is asked to
+//! transmit, whether to deliver it intact, drop it, delay it, duplicate
+//! it, hold it for reordering, or reset the connection — plus whether
+//! either endpoint host is currently *blackholed* by a simulated NMP
+//! crash or a network partition. Decisions are a pure function of
+//! `(seed, spec, directed link, per-link frame index)`: two policies
+//! built from the same seed and spec return identical verdict sequences
+//! for identical frame sequences, which is what makes chaos runs
+//! reproducible and failures replayable from a one-line spec.
+//!
+//! The policy never touches wall-clock time or the shared virtual
+//! [`Clock`](haocl_sim::Clock): delays are expressed as extra *virtual*
+//! arrival time, and crash/partition windows count frames, not seconds.
+//!
+//! Configuration comes from [`ChaosSpec::parse`] — either a named preset
+//! (`crash`, `partition`, `lossy`) or a comma-separated clause list:
+//!
+//! ```text
+//! drop=0.02,delay=0.05:200us,dup=0.02,reorder=0.02,reset=0.001,
+//! crash=gpu0@120,partition=gpu1@50..90
+//! ```
+//!
+//! The environment knobs `HAOCL_CHAOS_SPEC` / `HAOCL_CHAOS_SEED` feed
+//! [`ChaosPolicy::from_env`]; a `*` host in a clause is resolved against
+//! the candidate host list by the seed.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use haocl_sim::SimDuration;
+
+/// What a [`ChaosPolicy`] decided for one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChaosVerdict {
+    /// Silently lose the frame (includes crash/partition blackholes).
+    pub drop: bool,
+    /// Transmit the frame twice back to back.
+    pub duplicate: bool,
+    /// Hold the frame and release it after the link's next frame.
+    pub reorder: bool,
+    /// Fail the send with a connection reset.
+    pub reset: bool,
+    /// Extra virtual time added to the frame's arrival.
+    pub extra_delay: SimDuration,
+}
+
+impl ChaosVerdict {
+    /// A verdict that delivers the frame untouched.
+    pub fn deliver() -> Self {
+        ChaosVerdict::default()
+    }
+
+    /// Whether the frame passes through unmodified.
+    pub fn is_clean(&self) -> bool {
+        *self == ChaosVerdict::default()
+    }
+
+    /// Short tag naming the injected fault (`"ok"` when clean). Drop
+    /// wins over the others because a dropped frame is never sent.
+    pub fn kind(&self) -> &'static str {
+        if self.reset {
+            "reset"
+        } else if self.drop {
+            "drop"
+        } else if self.reorder {
+            "reorder"
+        } else if self.duplicate {
+            "dup"
+        } else if self.extra_delay > SimDuration::ZERO {
+            "delay"
+        } else {
+            "ok"
+        }
+    }
+}
+
+/// The declarative fault schedule: probabilities for per-frame faults
+/// plus frame-counted crash/partition windows per host.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ChaosSpec {
+    /// Probability of dropping a frame.
+    pub drop_p: f64,
+    /// Probability of delaying a frame.
+    pub delay_p: f64,
+    /// Extra virtual arrival time for delayed frames.
+    pub delay: SimDuration,
+    /// Probability of duplicating a frame.
+    pub dup_p: f64,
+    /// Probability of holding a frame for reordering.
+    pub reorder_p: f64,
+    /// Probability of failing a send with a connection reset.
+    pub reset_p: f64,
+    /// NMP crashes: `(host, frame_threshold)`. Once the policy has seen
+    /// `frame_threshold` frames touching `host`, the host blackholes
+    /// permanently (frames dropped both directions, connects refused).
+    pub crashes: Vec<(String, u64)>,
+    /// Partitions: `(host, from, to)` — frames touching `host` while its
+    /// observed-frame count is in `from..to` are dropped; the host heals
+    /// afterwards.
+    pub partitions: Vec<(String, u64, u64)>,
+}
+
+impl ChaosSpec {
+    /// Parses a spec string: a preset name (`crash`, `partition`,
+    /// `lossy`) or a comma-separated clause list (see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed clause.
+    pub fn parse(s: &str) -> Result<ChaosSpec, String> {
+        match s.trim() {
+            "crash" => return Ok(ChaosSpec::preset_crash()),
+            "partition" => return Ok(ChaosSpec::preset_partition()),
+            "lossy" => return Ok(ChaosSpec::preset_lossy()),
+            _ => {}
+        }
+        let mut spec = ChaosSpec::default();
+        for clause in s.split(',').map(str::trim).filter(|c| !c.is_empty()) {
+            let (key, value) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("clause `{clause}` is not key=value"))?;
+            match key.trim() {
+                "drop" => spec.drop_p = parse_probability(value)?,
+                "dup" => spec.dup_p = parse_probability(value)?,
+                "reorder" => spec.reorder_p = parse_probability(value)?,
+                "reset" => spec.reset_p = parse_probability(value)?,
+                "delay" => {
+                    let (p, dur) = value
+                        .split_once(':')
+                        .ok_or_else(|| format!("delay clause `{value}` needs p:duration"))?;
+                    spec.delay_p = parse_probability(p)?;
+                    spec.delay = parse_duration(dur)?;
+                }
+                "crash" => {
+                    let (host, at) = value
+                        .split_once('@')
+                        .ok_or_else(|| format!("crash clause `{value}` needs host@frames"))?;
+                    let at = at
+                        .trim()
+                        .parse::<u64>()
+                        .map_err(|_| format!("crash threshold `{at}` is not an integer"))?;
+                    spec.crashes.push((host.trim().to_string(), at));
+                }
+                "partition" => {
+                    let (host, window) = value
+                        .split_once('@')
+                        .ok_or_else(|| format!("partition clause `{value}` needs host@a..b"))?;
+                    let (a, b) = window
+                        .split_once("..")
+                        .ok_or_else(|| format!("partition window `{window}` needs a..b"))?;
+                    let a = a
+                        .trim()
+                        .parse::<u64>()
+                        .map_err(|_| format!("partition start `{a}` is not an integer"))?;
+                    let b = b
+                        .trim()
+                        .parse::<u64>()
+                        .map_err(|_| format!("partition end `{b}` is not an integer"))?;
+                    if b <= a {
+                        return Err(format!("partition window {a}..{b} is empty"));
+                    }
+                    spec.partitions.push((host.trim().to_string(), a, b));
+                }
+                other => return Err(format!("unknown chaos clause `{other}`")),
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Preset: one NMP crashes mid-run (host chosen by the seed when the
+    /// clause target is `*`).
+    pub fn preset_crash() -> ChaosSpec {
+        ChaosSpec {
+            crashes: vec![("*".to_string(), 40)],
+            ..ChaosSpec::default()
+        }
+    }
+
+    /// Preset: one host partitions away for a frame window, then heals.
+    pub fn preset_partition() -> ChaosSpec {
+        ChaosSpec {
+            partitions: vec![("*".to_string(), 30, 120)],
+            ..ChaosSpec::default()
+        }
+    }
+
+    /// Preset: a lossy, jittery network with no permanent failures.
+    pub fn preset_lossy() -> ChaosSpec {
+        ChaosSpec {
+            drop_p: 0.02,
+            delay_p: 0.05,
+            delay: SimDuration::from_micros(200),
+            dup_p: 0.02,
+            reorder_p: 0.02,
+            ..ChaosSpec::default()
+        }
+    }
+
+    /// Replaces `*` hosts in crash/partition clauses with a concrete
+    /// host picked deterministically from `hosts` by `seed`.
+    ///
+    /// Callers pass only *node* hosts so the client host is never a
+    /// crash target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a wildcard needs resolving and `hosts` is empty.
+    pub fn resolve_wildcards(mut self, hosts: &[String], seed: u64) -> ChaosSpec {
+        let mut pick = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut resolve = |host: &mut String| {
+            if host == "*" {
+                assert!(!hosts.is_empty(), "wildcard chaos target with no hosts");
+                *host = hosts[pick.gen_range(0..hosts.len())].clone();
+            }
+        };
+        for (host, _) in &mut self.crashes {
+            resolve(host);
+        }
+        for (host, _, _) in &mut self.partitions {
+            resolve(host);
+        }
+        self
+    }
+
+    /// Renders the spec back into the clause grammar [`ChaosSpec::parse`]
+    /// accepts — the repro line chaos tests print on failure.
+    pub fn to_spec_string(&self) -> String {
+        let mut clauses = Vec::new();
+        if self.drop_p > 0.0 {
+            clauses.push(format!("drop={}", self.drop_p));
+        }
+        if self.delay_p > 0.0 {
+            clauses.push(format!(
+                "delay={}:{}ns",
+                self.delay_p,
+                self.delay.as_nanos()
+            ));
+        }
+        if self.dup_p > 0.0 {
+            clauses.push(format!("dup={}", self.dup_p));
+        }
+        if self.reorder_p > 0.0 {
+            clauses.push(format!("reorder={}", self.reorder_p));
+        }
+        if self.reset_p > 0.0 {
+            clauses.push(format!("reset={}", self.reset_p));
+        }
+        for (host, at) in &self.crashes {
+            clauses.push(format!("crash={host}@{at}"));
+        }
+        for (host, a, b) in &self.partitions {
+            clauses.push(format!("partition={host}@{a}..{b}"));
+        }
+        clauses.join(",")
+    }
+}
+
+fn parse_probability(s: &str) -> Result<f64, String> {
+    let p = s
+        .trim()
+        .parse::<f64>()
+        .map_err(|_| format!("probability `{s}` is not a number"))?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(format!("probability {p} outside [0, 1]"));
+    }
+    Ok(p)
+}
+
+fn parse_duration(s: &str) -> Result<SimDuration, String> {
+    let s = s.trim();
+    let (digits, scale) = if let Some(d) = s.strip_suffix("ms") {
+        (d, 1_000_000u64)
+    } else if let Some(d) = s.strip_suffix("us") {
+        (d, 1_000)
+    } else if let Some(d) = s.strip_suffix("ns") {
+        (d, 1)
+    } else if let Some(d) = s.strip_suffix('s') {
+        (d, 1_000_000_000)
+    } else {
+        (s, 1)
+    };
+    let n = digits
+        .trim()
+        .parse::<u64>()
+        .map_err(|_| format!("duration `{s}` is not <integer>[ns|us|ms|s]"))?;
+    Ok(SimDuration::from_nanos(n * scale))
+}
+
+/// FNV-1a over a directed link name; mixes a stable per-link stream
+/// selector into the seed.
+fn link_hash(src: &str, dst: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in src.bytes().chain([0u8]).chain(dst.bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Aggregate injection counters, for metrics and repro logs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChaosSummary {
+    /// Frames the policy examined.
+    pub frames: u64,
+    /// Frames dropped by probability.
+    pub drops: u64,
+    /// Frames delayed.
+    pub delays: u64,
+    /// Frames duplicated.
+    pub dups: u64,
+    /// Frames held for reordering.
+    pub reorders: u64,
+    /// Sends failed with a reset.
+    pub resets: u64,
+    /// Frames swallowed by a crash or partition blackhole.
+    pub blackholed: u64,
+}
+
+/// The per-frame fault decider. See the module docs.
+pub struct ChaosPolicy {
+    seed: u64,
+    spec: ChaosSpec,
+    /// Per-directed-link decision streams.
+    links: HashMap<(String, String), StdRng>,
+    /// Frames observed touching each host (either direction).
+    host_frames: HashMap<String, u64>,
+    summary: ChaosSummary,
+    /// The first [`SCHEDULE_CAP`] non-clean decisions, as
+    /// `(global_frame_index, src, dst, kind)` — the reproducibility
+    /// fingerprint tests compare across same-seed runs.
+    schedule: Vec<(u64, String, String, &'static str)>,
+}
+
+/// How many injected-fault events the schedule fingerprint retains.
+const SCHEDULE_CAP: usize = 4096;
+
+impl ChaosPolicy {
+    /// Builds a policy from a seed and a parsed spec.
+    pub fn new(seed: u64, spec: ChaosSpec) -> ChaosPolicy {
+        ChaosPolicy {
+            seed,
+            spec,
+            links: HashMap::new(),
+            host_frames: HashMap::new(),
+            summary: ChaosSummary::default(),
+            schedule: Vec::new(),
+        }
+    }
+
+    /// Builds a policy from `HAOCL_CHAOS_SPEC` / `HAOCL_CHAOS_SEED`,
+    /// resolving wildcard hosts against `hosts`. Returns `None` when no
+    /// spec is set, `Some(Err)` when the spec fails to parse.
+    pub fn from_env(hosts: &[String]) -> Option<Result<ChaosPolicy, String>> {
+        let spec = std::env::var("HAOCL_CHAOS_SPEC").ok()?;
+        let seed = std::env::var("HAOCL_CHAOS_SEED")
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+            .unwrap_or(0);
+        Some(
+            ChaosSpec::parse(&spec)
+                .map(|parsed| ChaosPolicy::new(seed, parsed.resolve_wildcards(hosts, seed))),
+        )
+    }
+
+    /// The policy's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The (wildcard-resolved) spec in force.
+    pub fn spec(&self) -> &ChaosSpec {
+        &self.spec
+    }
+
+    /// Whether `host` has passed a crash threshold.
+    pub fn is_crashed(&self, host: &str) -> bool {
+        self.spec
+            .crashes
+            .iter()
+            .any(|(h, at)| h == host && self.host_frames.get(host).copied().unwrap_or(0) >= *at)
+    }
+
+    fn blackholed(&self, host: &str) -> bool {
+        let seen = self.host_frames.get(host).copied().unwrap_or(0);
+        self.spec
+            .crashes
+            .iter()
+            .any(|(h, at)| h == host && seen >= *at)
+            || self
+                .spec
+                .partitions
+                .iter()
+                .any(|(h, a, b)| h == host && (*a..*b).contains(&seen))
+    }
+
+    /// Decides the fate of one frame on the directed link `src → dst`.
+    ///
+    /// Must be called exactly once per transmitted frame, in the link's
+    /// send order — the per-link RNG stream *is* the fault schedule.
+    pub fn on_frame(&mut self, src: &str, dst: &str) -> ChaosVerdict {
+        // Crash/partition windows are evaluated against each endpoint's
+        // frame count *before* this frame, then the counters advance.
+        let blackholed = self.blackholed(src) || self.blackholed(dst);
+        for host in [src, dst] {
+            *self.host_frames.entry(host.to_string()).or_insert(0) += 1;
+        }
+        let frame_index = self.summary.frames;
+        self.summary.frames += 1;
+
+        let seed = self.seed;
+        let rng = self
+            .links
+            .entry((src.to_string(), dst.to_string()))
+            .or_insert_with(|| StdRng::seed_from_u64(seed ^ link_hash(src, dst)));
+        // Always burn the same number of draws per frame so a link's
+        // stream position depends only on its frame count.
+        let roll_drop = rng.gen_bool(self.spec.drop_p);
+        let roll_delay = rng.gen_bool(self.spec.delay_p);
+        let roll_dup = rng.gen_bool(self.spec.dup_p);
+        let roll_reorder = rng.gen_bool(self.spec.reorder_p);
+        let roll_reset = rng.gen_bool(self.spec.reset_p);
+
+        let mut verdict = ChaosVerdict::deliver();
+        if blackholed {
+            verdict.drop = true;
+            self.summary.blackholed += 1;
+        } else if roll_reset {
+            verdict.reset = true;
+            self.summary.resets += 1;
+        } else if roll_drop {
+            verdict.drop = true;
+            self.summary.drops += 1;
+        } else {
+            if roll_delay {
+                verdict.extra_delay = self.spec.delay;
+                self.summary.delays += 1;
+            }
+            if roll_dup {
+                verdict.duplicate = true;
+                self.summary.dups += 1;
+            }
+            if roll_reorder {
+                verdict.reorder = true;
+                self.summary.reorders += 1;
+            }
+        }
+        if !verdict.is_clean() && self.schedule.len() < SCHEDULE_CAP {
+            self.schedule.push((
+                frame_index,
+                src.to_string(),
+                dst.to_string(),
+                verdict.kind(),
+            ));
+        }
+        verdict
+    }
+
+    /// Aggregate injection counters so far.
+    pub fn summary(&self) -> ChaosSummary {
+        self.summary
+    }
+
+    /// The injected-fault schedule fingerprint: one line per non-clean
+    /// decision (capped), suitable for golden comparison and repro logs.
+    pub fn schedule_lines(&self) -> Vec<String> {
+        self.schedule
+            .iter()
+            .map(|(i, src, dst, kind)| format!("#{i} {src}->{dst} {kind}"))
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for ChaosPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChaosPolicy")
+            .field("seed", &self.seed)
+            .field("spec", &self.spec.to_spec_string())
+            .field("summary", &self.summary)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic frame sequence exercising several links and both
+    /// directions.
+    fn synthetic_sequence() -> Vec<(String, String)> {
+        let hosts = ["10.0.0.1", "10.0.1.1", "10.0.1.2", "10.0.2.1"];
+        let mut seq = Vec::new();
+        for i in 0..400usize {
+            let a = hosts[i % hosts.len()];
+            let b = hosts[(i / 3 + 1) % hosts.len()];
+            if a != b {
+                seq.push((a.to_string(), b.to_string()));
+            }
+        }
+        seq
+    }
+
+    #[test]
+    fn same_seed_and_spec_give_identical_schedules() {
+        let spec =
+            ChaosSpec::parse("drop=0.1,delay=0.2:100us,dup=0.05,reorder=0.05,reset=0.01").unwrap();
+        let mut a = ChaosPolicy::new(42, spec.clone());
+        let mut b = ChaosPolicy::new(42, spec);
+        for (src, dst) in synthetic_sequence() {
+            assert_eq!(a.on_frame(&src, &dst), b.on_frame(&src, &dst));
+        }
+        assert_eq!(a.schedule_lines(), b.schedule_lines());
+        assert_eq!(a.summary(), b.summary());
+        assert!(a.summary().drops > 0, "10% drop over ~300 frames must fire");
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let spec = ChaosSpec::parse("drop=0.1,dup=0.1").unwrap();
+        let mut a = ChaosPolicy::new(1, spec.clone());
+        let mut b = ChaosPolicy::new(2, spec);
+        let mut diverged = false;
+        for (src, dst) in synthetic_sequence() {
+            if a.on_frame(&src, &dst) != b.on_frame(&src, &dst) {
+                diverged = true;
+            }
+        }
+        assert!(diverged, "seeds 1 and 2 produced identical schedules");
+    }
+
+    #[test]
+    fn link_streams_are_independent_of_other_links() {
+        // Interleaving traffic on an unrelated link must not perturb the
+        // decisions a given link sees at each of its own frame indices.
+        let spec = ChaosSpec::parse("drop=0.3").unwrap();
+        let mut alone = ChaosPolicy::new(9, spec.clone());
+        let mut mixed = ChaosPolicy::new(9, spec);
+        let mut alone_verdicts = Vec::new();
+        let mut mixed_verdicts = Vec::new();
+        for i in 0..100 {
+            alone_verdicts.push(alone.on_frame("h", "n1"));
+            if i % 2 == 0 {
+                mixed.on_frame("h", "n2");
+            }
+            mixed_verdicts.push(mixed.on_frame("h", "n1"));
+        }
+        assert_eq!(alone_verdicts, mixed_verdicts);
+    }
+
+    #[test]
+    fn crash_blackholes_after_threshold_and_refuses_forever() {
+        let spec = ChaosSpec::parse("crash=n1@5").unwrap();
+        let mut p = ChaosPolicy::new(0, spec);
+        for _ in 0..5 {
+            assert!(!p.on_frame("h", "n1").drop);
+        }
+        assert!(p.is_crashed("n1"));
+        for _ in 0..10 {
+            assert!(p.on_frame("h", "n1").drop, "crashed host must blackhole");
+            assert!(p.on_frame("n1", "h").drop, "both directions");
+        }
+        assert!(!p.on_frame("h", "n2").drop, "other hosts unaffected");
+        assert!(!p.is_crashed("n2"));
+    }
+
+    #[test]
+    fn partition_window_opens_and_heals() {
+        let spec = ChaosSpec::parse("partition=n1@3..6").unwrap();
+        let mut p = ChaosPolicy::new(0, spec);
+        let mut fates = Vec::new();
+        for _ in 0..10 {
+            fates.push(p.on_frame("h", "n1").drop);
+        }
+        assert_eq!(
+            fates,
+            vec![false, false, false, true, true, true, false, false, false, false]
+        );
+        assert!(!p.is_crashed("n1"), "a partition is not a crash");
+    }
+
+    #[test]
+    fn spec_grammar_roundtrips() {
+        let text = "drop=0.02,delay=0.05:200000ns,dup=0.02,crash=gpu0@120,partition=gpu1@50..90";
+        let spec = ChaosSpec::parse(text).unwrap();
+        assert_eq!(spec.drop_p, 0.02);
+        assert_eq!(spec.delay, SimDuration::from_micros(200));
+        assert_eq!(spec.crashes, vec![("gpu0".to_string(), 120)]);
+        assert_eq!(spec.partitions, vec![("gpu1".to_string(), 50, 90)]);
+        let rendered = spec.to_spec_string();
+        assert_eq!(ChaosSpec::parse(&rendered).unwrap(), spec);
+    }
+
+    #[test]
+    fn presets_parse_and_resolve_wildcards() {
+        let hosts = vec!["10.0.1.1".to_string(), "10.0.1.2".to_string()];
+        for name in ["crash", "partition", "lossy"] {
+            let spec = ChaosSpec::parse(name).unwrap().resolve_wildcards(&hosts, 3);
+            for (h, _) in &spec.crashes {
+                assert!(hosts.contains(h), "unresolved wildcard in {name}");
+            }
+            for (h, _, _) in &spec.partitions {
+                assert!(hosts.contains(h), "unresolved wildcard in {name}");
+            }
+        }
+        // Wildcard choice is a pure function of the seed.
+        let a = ChaosSpec::preset_crash().resolve_wildcards(&hosts, 7);
+        let b = ChaosSpec::preset_crash().resolve_wildcards(&hosts, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        for bad in [
+            "drop",
+            "drop=2.0",
+            "drop=x",
+            "delay=0.5",
+            "delay=0.5:abc",
+            "crash=n1",
+            "crash=n1@x",
+            "partition=n1@9..3",
+            "partition=n1@5",
+            "warp=0.5",
+        ] {
+            assert!(ChaosSpec::parse(bad).is_err(), "`{bad}` must be rejected");
+        }
+    }
+
+    #[test]
+    fn durations_parse_with_units() {
+        assert_eq!(
+            parse_duration("200us").unwrap(),
+            SimDuration::from_micros(200)
+        );
+        assert_eq!(parse_duration("3ms").unwrap(), SimDuration::from_millis(3));
+        assert_eq!(parse_duration("1s").unwrap(), SimDuration::from_secs(1));
+        assert_eq!(parse_duration("500").unwrap(), SimDuration::from_nanos(500));
+        assert_eq!(
+            parse_duration("500ns").unwrap(),
+            SimDuration::from_nanos(500)
+        );
+    }
+}

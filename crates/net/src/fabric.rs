@@ -24,6 +24,7 @@ use parking_lot::Mutex;
 
 use haocl_sim::{Clock, Resource, SimDuration, SimTime};
 
+use crate::chaos::{ChaosPolicy, ChaosVerdict};
 use crate::error::NetError;
 use crate::frame::{encode_frame, segment, FrameAssembler};
 
@@ -113,6 +114,8 @@ struct FabricInner {
     /// Transmit NIC per host name.
     nics: Mutex<HashMap<String, Resource>>,
     stats: StatCells,
+    /// Fault injector; `None` (the default) delivers every frame intact.
+    chaos: Mutex<Option<ChaosPolicy>>,
 }
 
 /// The shared in-process network.
@@ -133,6 +136,7 @@ impl Fabric {
                 listeners: Mutex::new(HashMap::new()),
                 nics: Mutex::new(HashMap::new()),
                 stats: StatCells::default(),
+                chaos: Mutex::new(None),
             }),
         }
     }
@@ -194,6 +198,13 @@ impl Fabric {
     /// [`NetError::ConnectionRefused`] if nothing is bound at `to`, or
     /// [`NetError::Disconnected`] if the listener was dropped.
     pub fn connect(&self, from: &str, to: &str) -> Result<Conn, NetError> {
+        if let Some(chaos) = self.inner.chaos.lock().as_ref() {
+            if chaos.is_crashed(&host_of(from)) || chaos.is_crashed(&host_of(to)) {
+                return Err(NetError::ConnectionRefused {
+                    addr: to.to_string(),
+                });
+            }
+        }
         let listeners = self.inner.listeners.lock();
         let tx = listeners
             .get(to)
@@ -225,6 +236,25 @@ impl Fabric {
     /// Removes the listener at `addr`, refusing future connections.
     pub fn unbind(&self, addr: &str) {
         self.inner.listeners.lock().remove(addr);
+    }
+
+    /// Installs a fault injector. Every subsequent frame transmission
+    /// consults it; connects to or from a crashed host are refused.
+    ///
+    /// Installed *after* cluster bring-up so handshakes never count
+    /// toward (or fall victim to) the fault schedule.
+    pub fn install_chaos(&self, policy: ChaosPolicy) {
+        *self.inner.chaos.lock() = Some(policy);
+    }
+
+    /// Removes the fault injector, returning it (with its counters).
+    pub fn clear_chaos(&self) -> Option<ChaosPolicy> {
+        self.inner.chaos.lock().take()
+    }
+
+    /// Runs `f` against the installed fault injector, if any.
+    pub fn with_chaos<R>(&self, f: impl FnOnce(&mut ChaosPolicy) -> R) -> Option<R> {
+        self.inner.chaos.lock().as_mut().map(f)
     }
 }
 
@@ -306,6 +336,10 @@ pub struct ConnSender {
     peer: String,
     tx: Sender<Chunk>,
     fabric: Arc<FabricInner>,
+    /// A frame held back by a chaos reorder verdict, released after the
+    /// next frame on this connection (whole frames only — chunks of two
+    /// frames must never interleave on the channel).
+    stash: Option<(Vec<u8>, SimTime)>,
 }
 
 impl ConnSender {
@@ -377,7 +411,43 @@ impl ConnSender {
             };
             grant.end + self.fabric.link.latency
         };
-        for chunk in segment(&frame) {
+        let verdict = {
+            let mut chaos = self.fabric.chaos.lock();
+            match chaos.as_mut() {
+                Some(policy) => policy.on_frame(&self.local_host, &host_of(&self.peer)),
+                None => ChaosVerdict::deliver(),
+            }
+        };
+        if verdict.reset {
+            return Err(NetError::Disconnected);
+        }
+        if verdict.drop {
+            // Lost in the network after NIC serialization: the sender
+            // still paid the transmit time and learns nothing.
+            return Ok(arrival);
+        }
+        let arrival = arrival + verdict.extra_delay;
+        if verdict.reorder && self.stash.is_none() {
+            // Held back; the link's next frame overtakes it. If no next
+            // frame ever comes, the hold degenerates to a drop — which
+            // the host's retry path recovers like any other loss.
+            self.stash = Some((frame, arrival));
+            return Ok(arrival);
+        }
+        self.transmit(&frame, arrival)?;
+        if verdict.duplicate {
+            self.transmit(&frame, arrival)?;
+        }
+        if let Some((held, held_arrival)) = self.stash.take() {
+            self.transmit(&held, held_arrival)?;
+        }
+        Ok(arrival)
+    }
+
+    /// Pushes one already-encoded frame's chunks onto the channel,
+    /// contiguously.
+    fn transmit(&self, frame: &[u8], arrival: SimTime) -> Result<(), NetError> {
+        for chunk in segment(frame) {
             self.tx
                 .send(Chunk {
                     bytes: chunk,
@@ -385,7 +455,7 @@ impl ConnSender {
                 })
                 .map_err(|_| NetError::Disconnected)?;
         }
-        Ok(arrival)
+        Ok(())
     }
 }
 
@@ -432,7 +502,11 @@ impl ConnReceiver {
     ///
     /// # Errors
     ///
-    /// Additionally returns [`NetError::Timeout`] on expiry.
+    /// Additionally returns [`NetError::Timeout`] on expiry, or
+    /// [`NetError::TimeoutMidFrame`] when the deadline hit with a frame
+    /// partially assembled. In the latter case the partial bytes remain
+    /// buffered: a later receive picks up exactly where this one
+    /// stopped, so no chunk is ever silently discarded.
     pub fn recv_frame_timeout(
         &mut self,
         timeout: Duration,
@@ -445,7 +519,14 @@ impl ConnReceiver {
             }
             let remaining = deadline.saturating_duration_since(std::time::Instant::now());
             let chunk = self.rx.recv_timeout(remaining).map_err(|e| match e {
-                RecvTimeoutError::Timeout => NetError::Timeout,
+                RecvTimeoutError::Timeout => {
+                    let pending = self.assembler.pending_bytes();
+                    if pending > 0 {
+                        NetError::TimeoutMidFrame { pending }
+                    } else {
+                        NetError::Timeout
+                    }
+                }
                 RecvTimeoutError::Disconnected => NetError::Disconnected,
             })?;
             self.ingest(chunk)?;
@@ -504,6 +585,7 @@ impl Conn {
                 peer: peer.clone(),
                 tx,
                 fabric: Arc::clone(&fabric),
+                stash: None,
             },
             receiver: ConnReceiver {
                 local_host,
@@ -816,6 +898,139 @@ mod tests {
         echo.join().unwrap();
         let got = drain.join().unwrap();
         assert_eq!(got, vec![vec![0u8], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn timeout_mid_frame_is_distinguishable_and_resynchronizable() {
+        // A deadline expiring while a frame is partially assembled must
+        // not silently discard the buffered chunk: the receiver reports
+        // TimeoutMidFrame and a later receive completes the frame.
+        let (tx, rx) = unbounded();
+        let mut receiver = ConnReceiver {
+            local_host: "h".to_string(),
+            peer: "n:1".to_string(),
+            rx,
+            assembler: FrameAssembler::new(),
+            ready: Vec::new(),
+        };
+        let frame = encode_frame(b"split across chunks");
+        tx.send(Chunk {
+            bytes: frame[..5].to_vec(),
+            arrival: SimTime::ZERO,
+        })
+        .unwrap();
+        let err = receiver
+            .recv_frame_timeout(Duration::from_millis(10))
+            .unwrap_err();
+        assert_eq!(err, NetError::TimeoutMidFrame { pending: 5 });
+        // An idle timeout (nothing buffered) still reports plain Timeout.
+        tx.send(Chunk {
+            bytes: frame[5..].to_vec(),
+            arrival: SimTime::ZERO,
+        })
+        .unwrap();
+        let (payload, _) = receiver
+            .recv_frame_timeout(Duration::from_millis(10))
+            .unwrap();
+        assert_eq!(payload, b"split across chunks");
+        let err = receiver
+            .recv_frame_timeout(Duration::from_millis(5))
+            .unwrap_err();
+        assert_eq!(err, NetError::Timeout);
+    }
+
+    #[test]
+    fn chaos_drop_loses_frames_silently() {
+        use crate::chaos::{ChaosPolicy, ChaosSpec};
+        let f = fabric();
+        let listener = f.bind("n:1").unwrap();
+        let mut client = f.connect("host", "n:1").unwrap();
+        let mut server = listener.accept().unwrap();
+        f.install_chaos(ChaosPolicy::new(1, ChaosSpec::parse("drop=1.0").unwrap()));
+        // The sender learns nothing: the send succeeds with a normal
+        // arrival time, but the frame never lands.
+        client.send_frame(b"lost", SimTime::ZERO).unwrap();
+        let err = server
+            .recv_frame_timeout(Duration::from_millis(20))
+            .unwrap_err();
+        assert_eq!(err, NetError::Timeout);
+        assert_eq!(f.with_chaos(|c| c.summary().drops), Some(1));
+        // Clearing chaos restores clean delivery.
+        f.clear_chaos();
+        client.send_frame(b"through", SimTime::ZERO).unwrap();
+        let (payload, _) = server.recv_frame().unwrap();
+        assert_eq!(payload, b"through");
+    }
+
+    #[test]
+    fn chaos_duplicate_delivers_twice_and_reorder_swaps() {
+        use crate::chaos::{ChaosPolicy, ChaosSpec};
+        let f = fabric();
+        let listener = f.bind("n:1").unwrap();
+        let mut client = f.connect("host", "n:1").unwrap();
+        let mut server = listener.accept().unwrap();
+        f.install_chaos(ChaosPolicy::new(2, ChaosSpec::parse("dup=1.0").unwrap()));
+        client.send_frame(b"twice", SimTime::ZERO).unwrap();
+        assert_eq!(server.recv_frame().unwrap().0, b"twice");
+        assert_eq!(server.recv_frame().unwrap().0, b"twice");
+
+        // Reorder: the first frame is held and released after the second.
+        f.install_chaos(ChaosPolicy::new(
+            2,
+            ChaosSpec::parse("reorder=1.0").unwrap(),
+        ));
+        client.send_frame(b"first", SimTime::ZERO).unwrap();
+        client.send_frame(b"second", SimTime::ZERO).unwrap();
+        assert_eq!(server.recv_frame().unwrap().0, b"second");
+        assert_eq!(server.recv_frame().unwrap().0, b"first");
+    }
+
+    #[test]
+    fn chaos_reset_fails_the_send() {
+        use crate::chaos::{ChaosPolicy, ChaosSpec};
+        let f = fabric();
+        let _listener = f.bind("n:1").unwrap();
+        let mut client = f.connect("host", "n:1").unwrap();
+        f.install_chaos(ChaosPolicy::new(3, ChaosSpec::parse("reset=1.0").unwrap()));
+        let err = client.send_frame(b"never", SimTime::ZERO).unwrap_err();
+        assert_eq!(err, NetError::Disconnected);
+    }
+
+    #[test]
+    fn chaos_crash_blackholes_and_refuses_connects() {
+        use crate::chaos::{ChaosPolicy, ChaosSpec};
+        let f = fabric();
+        let listener = f.bind("n:1").unwrap();
+        let mut client = f.connect("host", "n:1").unwrap();
+        let mut server = listener.accept().unwrap();
+        f.install_chaos(ChaosPolicy::new(4, ChaosSpec::parse("crash=n@2").unwrap()));
+        // Two frames pass, then the host is gone.
+        client.send_frame(b"a", SimTime::ZERO).unwrap();
+        client.send_frame(b"b", SimTime::ZERO).unwrap();
+        client.send_frame(b"c", SimTime::ZERO).unwrap();
+        assert_eq!(server.recv_frame().unwrap().0, b"a");
+        assert_eq!(server.recv_frame().unwrap().0, b"b");
+        assert_eq!(
+            server
+                .recv_frame_timeout(Duration::from_millis(20))
+                .unwrap_err(),
+            NetError::Timeout
+        );
+        // The crashed node cannot answer either…
+        server.send_frame(b"reply", SimTime::ZERO).unwrap();
+        assert_eq!(
+            client
+                .recv_frame_timeout(Duration::from_millis(20))
+                .unwrap_err(),
+            NetError::Timeout
+        );
+        // …and new connections to it are refused.
+        let err = f.connect("host", "n:1").unwrap_err();
+        assert!(matches!(err, NetError::ConnectionRefused { .. }));
+        assert!(
+            f.connect("host2", "other:1").is_err(),
+            "unbound still refused"
+        );
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!   paper's Fig. 2 scaling curves.
 //! * [`frame`] — length-prefixed frames, segmented into Ethernet-MTU
 //!   chunks and reassembled at the receiver.
+//! * [`chaos`] — seeded, deterministic fault injection (drops, delays,
+//!   duplication, reordering, resets, crashes, partitions) installed on
+//!   a fabric via [`Fabric::install_chaos`].
 //! * [`error`] — connection failure taxonomy.
 //!
 //! # Examples
@@ -34,9 +37,11 @@
 //! # Ok::<(), haocl_net::NetError>(())
 //! ```
 
+pub mod chaos;
 pub mod error;
 pub mod fabric;
 pub mod frame;
 
+pub use chaos::{ChaosPolicy, ChaosSpec, ChaosSummary, ChaosVerdict};
 pub use error::NetError;
 pub use fabric::{Conn, ConnReceiver, ConnSender, Fabric, FabricStats, LinkModel, Listener};

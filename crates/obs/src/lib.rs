@@ -63,6 +63,16 @@ pub mod names {
     pub const FABRIC_FRAMES: &str = "haocl_fabric_frames_total";
     /// Counter: bytes charged on the fabric (virtual wire bytes).
     pub const FABRIC_BYTES: &str = "haocl_fabric_bytes_total";
+    /// Counter: request retransmissions by the host runtime, per node.
+    pub const RETRIES: &str = "haocl_retries_total";
+    /// Counter: node failovers performed by the host runtime, labelled
+    /// with the failed and surviving node names.
+    pub const FAILOVERS: &str = "haocl_failovers_total";
+    /// Counter: responses served from a node's at-most-once request
+    /// journal instead of re-executing, per node.
+    pub const DEDUP_HITS: &str = "haocl_dedup_hits_total";
+    /// Counter: scheduler quarantine decisions, per node.
+    pub const QUARANTINES: &str = "haocl_quarantines_total";
 }
 
 /// The bundle every instrumented layer shares: one span [`Recorder`], one

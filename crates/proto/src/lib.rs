@@ -26,6 +26,8 @@
 //!     sent_at_nanos: 123,
 //!     trace_id: 0,
 //!     parent_span: 0,
+//!     epoch: 0,
+//!     attempt: 0,
 //!     body: ApiCall::CreateBuffer {
 //!         device: 0,
 //!         buffer: BufferId::new(42),

@@ -443,6 +443,14 @@ pub struct Request {
     /// Host-side span the node's spans should hang off; `0` when tracing
     /// is off.
     pub parent_span: u64,
+    /// The host's routing epoch for the target logical node. Bumped on
+    /// every failover, so a node (or an operator reading a capture) can
+    /// tell a replayed world apart from the original one.
+    pub epoch: u32,
+    /// Delivery attempt, starting at `0`. Retransmissions of the same
+    /// `RequestId` bump this; the node's at-most-once journal treats any
+    /// attempt after the first as a duplicate.
+    pub attempt: u32,
     /// The forwarded call.
     pub body: ApiCall,
 }
@@ -451,6 +459,11 @@ impl Request {
     /// Whether the caller asked for node-side spans.
     pub fn traced(&self) -> bool {
         self.trace_id != 0
+    }
+
+    /// Whether this is a retransmission of an earlier send.
+    pub fn is_retry(&self) -> bool {
+        self.attempt != 0
     }
 }
 
@@ -463,6 +476,10 @@ pub struct Response {
     pub completed_at_nanos: u64,
     /// The reply.
     pub body: ApiReply,
+    /// `true` when the node served this answer from its at-most-once
+    /// request journal instead of executing the call again (a retried or
+    /// duplicated request hit a completed entry).
+    pub duplicate: bool,
     /// Node-side spans for traced requests (empty when tracing is off).
     pub spans: Vec<WireSpan>,
 }
@@ -1133,6 +1150,8 @@ impl Encode for Request {
         self.sent_at_nanos.encode(buf);
         self.trace_id.encode(buf);
         self.parent_span.encode(buf);
+        self.epoch.encode(buf);
+        self.attempt.encode(buf);
         self.body.encode(buf);
     }
 }
@@ -1145,6 +1164,8 @@ impl Decode for Request {
             sent_at_nanos: Decode::decode(buf)?,
             trace_id: Decode::decode(buf)?,
             parent_span: Decode::decode(buf)?,
+            epoch: Decode::decode(buf)?,
+            attempt: Decode::decode(buf)?,
             body: Decode::decode(buf)?,
         })
     }
@@ -1155,6 +1176,7 @@ impl Encode for Response {
         self.id.encode(buf);
         self.completed_at_nanos.encode(buf);
         self.body.encode(buf);
+        self.duplicate.encode(buf);
         self.spans.encode(buf);
     }
 }
@@ -1165,6 +1187,7 @@ impl Decode for Response {
             id: Decode::decode(buf)?,
             completed_at_nanos: Decode::decode(buf)?,
             body: Decode::decode(buf)?,
+            duplicate: Decode::decode(buf)?,
             spans: Decode::decode(buf)?,
         })
     }
@@ -1400,12 +1423,15 @@ mod tests {
             sent_at_nanos: 3,
             trace_id: 0,
             parent_span: 0,
+            epoch: 0,
+            attempt: 0,
             body: ApiCall::Ping,
         });
         roundtrip(Response {
             id: RequestId::new(1),
             completed_at_nanos: 99,
             body: ApiReply::Pong { now_nanos: 99 },
+            duplicate: false,
             spans: Vec::new(),
         });
     }
@@ -1418,6 +1444,8 @@ mod tests {
             sent_at_nanos: 10,
             trace_id: 7,
             parent_span: 12,
+            epoch: 2,
+            attempt: 1,
             body: ApiCall::Ping,
         });
         // Node-derived span ids use the high bit — must survive intact.
@@ -1425,6 +1453,7 @@ mod tests {
             id: RequestId::new(4),
             completed_at_nanos: 50,
             body: ApiReply::Pong { now_nanos: 50 },
+            duplicate: true,
             spans: vec![
                 WireSpan {
                     id: (1 << 63) | 64,
@@ -1444,15 +1473,23 @@ mod tests {
                 },
             ],
         });
-        assert!(Request {
+        let traced = Request {
             id: RequestId::new(4),
             user: UserId::new(1),
             sent_at_nanos: 10,
             trace_id: 7,
             parent_span: 12,
+            epoch: 0,
+            attempt: 1,
             body: ApiCall::Ping,
+        };
+        assert!(traced.traced());
+        assert!(traced.is_retry());
+        assert!(!Request {
+            attempt: 0,
+            ..traced
         }
-        .traced());
+        .is_retry());
     }
 
     #[test]
@@ -1475,6 +1512,8 @@ mod tests {
             sent_at_nanos: n * 10,
             trace_id: 0,
             parent_span: 0,
+            epoch: 0,
+            attempt: 0,
             body: ApiCall::Ping,
         };
         roundtrip(Envelope::Single(request(1)));
@@ -1563,6 +1602,85 @@ mod proptests {
             let _ = decode_from_slice::<Request>(&data);
             let _ = decode_from_slice::<Response>(&data);
             let _ = decode_from_slice::<Envelope>(&data);
+        }
+
+        #[test]
+        fn request_roundtrips_with_epoch_and_attempt(
+            id in any::<u64>(),
+            user in any::<u32>(),
+            sent in any::<u64>(),
+            trace in any::<u64>(),
+            parent in any::<u64>(),
+            epoch in any::<u32>(),
+            attempt in any::<u32>(),
+        ) {
+            let request = Request {
+                id: RequestId::new(id),
+                user: UserId::new(user),
+                sent_at_nanos: sent,
+                trace_id: trace,
+                parent_span: parent,
+                epoch,
+                attempt,
+                body: ApiCall::Ping,
+            };
+            let bytes = encode_to_vec(&request);
+            let back: Request = decode_from_slice(&bytes).unwrap();
+            prop_assert_eq!(back, request);
+        }
+
+        #[test]
+        fn response_roundtrips_with_duplicate_flag(
+            id in any::<u64>(),
+            completed in any::<u64>(),
+            duplicate in any::<bool>(),
+            code in any::<i32>(),
+        ) {
+            let response = Response {
+                id: RequestId::new(id),
+                completed_at_nanos: completed,
+                body: ApiReply::Error { code, message: "injected".into() },
+                duplicate,
+                spans: Vec::new(),
+            };
+            let bytes = encode_to_vec(&response);
+            let back: Response = decode_from_slice(&bytes).unwrap();
+            prop_assert_eq!(back, response);
+        }
+
+        #[test]
+        fn truncated_frames_are_rejected_not_misread(
+            cut in any::<usize>(),
+            trailing in proptest::collection::vec(any::<u8>(), 0..16),
+        ) {
+            let request = Request {
+                id: RequestId::new(7),
+                user: UserId::new(3),
+                sent_at_nanos: 11,
+                trace_id: 5,
+                parent_span: 9,
+                epoch: 1,
+                attempt: 2,
+                body: ApiCall::WriteBuffer {
+                    device: 0,
+                    buffer: BufferId::new(1),
+                    offset: 0,
+                    data: Bytes::from(vec![0xAB; 64]),
+                },
+            };
+            let full = encode_to_vec(&Envelope::Single(request));
+            // Every strict prefix must fail to decode (the codec is
+            // length-prefixed throughout — a cut frame can't silently
+            // parse as a shorter valid message)…
+            let cut = cut % full.len();
+            prop_assert!(decode_from_slice::<Envelope>(&full[..cut]).is_err());
+            // …and trailing garbage past a whole message is rejected by
+            // decode_from_slice's exact-consumption check.
+            if !trailing.is_empty() {
+                let mut long = full.clone();
+                long.extend_from_slice(&trailing);
+                prop_assert!(decode_from_slice::<Envelope>(&long).is_err());
+            }
         }
     }
 }

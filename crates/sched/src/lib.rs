@@ -21,6 +21,9 @@
 //! * [`policies`] — six built-ins: user-directed, round-robin,
 //!   least-loaded, heterogeneity-aware (profile + model driven),
 //!   power-aware and locality-aware.
+//! * [`quarantine`] — [`QuarantineTracker`]: per-node failure strikes
+//!   (fed by the host runtime's failover epochs) that demote flapping
+//!   nodes out of the candidate set while alternatives exist.
 //!
 //! # Examples
 //!
@@ -48,10 +51,12 @@ pub mod monitor;
 pub mod policies;
 pub mod policy;
 pub mod profile;
+pub mod quarantine;
 pub mod task;
 
 pub use hints::seed_from_report;
 pub use monitor::DeviceView;
 pub use policy::{SchedError, Scheduler, SchedulingPolicy};
 pub use profile::{ProfileDb, ProfileSnapshotEntry};
+pub use quarantine::{QuarantineTracker, DEFAULT_QUARANTINE_THRESHOLD};
 pub use task::TaskSpec;

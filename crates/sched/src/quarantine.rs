@@ -1,0 +1,199 @@
+//! Node health tracking for the scheduler.
+//!
+//! The host runtime absorbs transport faults (retransmission, failover),
+//! but a node that keeps losing its route is a bad place to put work
+//! even when every individual call eventually succeeds. The
+//! [`QuarantineTracker`] turns the runtime's failure signals — routing
+//! epoch bumps and explicit failure reports — into strikes per node;
+//! once a node accumulates [`QuarantineTracker::threshold`] strikes it
+//! is *quarantined*: the scheduler stops offering its devices while any
+//! alternative exists (quarantine is advisory — a cluster whose every
+//! node is quarantined still schedules, because refusing all work
+//! helps nobody).
+
+use std::collections::BTreeMap;
+
+use haocl_proto::ids::NodeId;
+use parking_lot::Mutex;
+
+/// Default number of strikes before a node is quarantined.
+pub const DEFAULT_QUARANTINE_THRESHOLD: u32 = 2;
+
+#[derive(Debug, Default, Clone, Copy)]
+struct NodeHealth {
+    strikes: u32,
+    /// The node's last observed routing epoch (see
+    /// [`QuarantineTracker::observe_epoch`]).
+    last_epoch: u32,
+    quarantined: bool,
+}
+
+/// Per-node strike counter with a quarantine threshold.
+#[derive(Debug)]
+pub struct QuarantineTracker {
+    threshold: u32,
+    // BTreeMap keyed by raw id keeps iteration (and rendering) ordered
+    // and deterministic.
+    nodes: Mutex<BTreeMap<u32, NodeHealth>>,
+}
+
+impl Default for QuarantineTracker {
+    fn default() -> Self {
+        QuarantineTracker::new(DEFAULT_QUARANTINE_THRESHOLD)
+    }
+}
+
+impl QuarantineTracker {
+    /// Creates a tracker that quarantines after `threshold` strikes.
+    /// A threshold of 0 is clamped to 1 (a tracker that quarantines
+    /// healthy nodes is a misconfiguration, not a policy).
+    pub fn new(threshold: u32) -> Self {
+        QuarantineTracker {
+            threshold: threshold.max(1),
+            nodes: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The configured strike threshold.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// Records one failure strike against `node`. Returns `true` when
+    /// this strike newly quarantined the node (exactly once per
+    /// quarantine, so callers can emit the audit entry / metric on the
+    /// transition).
+    pub fn record_failure(&self, node: NodeId) -> bool {
+        let mut nodes = self.nodes.lock();
+        let health = nodes.entry(node.raw()).or_default();
+        health.strikes += 1;
+        if !health.quarantined && health.strikes >= self.threshold {
+            health.quarantined = true;
+            return true;
+        }
+        false
+    }
+
+    /// Records a success: clears accumulated strikes (a quarantined
+    /// node stays quarantined — release is an explicit
+    /// [`QuarantineTracker::reinstate`] decision, not a side effect of
+    /// one good call).
+    pub fn record_success(&self, node: NodeId) {
+        if let Some(health) = self.nodes.lock().get_mut(&node.raw()) {
+            health.strikes = 0;
+        }
+    }
+
+    /// Folds a routing-epoch observation into the strike count: every
+    /// epoch increment since the last observation is one failover the
+    /// runtime performed for this node, i.e. one strike. Returns `true`
+    /// when the observation newly quarantined the node.
+    pub fn observe_epoch(&self, node: NodeId, epoch: u32) -> bool {
+        let mut nodes = self.nodes.lock();
+        let health = nodes.entry(node.raw()).or_default();
+        let new_strikes = epoch.saturating_sub(health.last_epoch);
+        health.last_epoch = health.last_epoch.max(epoch);
+        if new_strikes == 0 {
+            return false;
+        }
+        health.strikes += new_strikes;
+        if !health.quarantined && health.strikes >= self.threshold {
+            health.quarantined = true;
+            return true;
+        }
+        false
+    }
+
+    /// Whether `node` is currently quarantined.
+    pub fn is_quarantined(&self, node: NodeId) -> bool {
+        self.nodes
+            .lock()
+            .get(&node.raw())
+            .is_some_and(|h| h.quarantined)
+    }
+
+    /// Current strike count for `node`.
+    pub fn strikes(&self, node: NodeId) -> u32 {
+        self.nodes.lock().get(&node.raw()).map_or(0, |h| h.strikes)
+    }
+
+    /// The quarantined nodes, ascending by id.
+    pub fn quarantined(&self) -> Vec<NodeId> {
+        self.nodes
+            .lock()
+            .iter()
+            .filter(|(_, h)| h.quarantined)
+            .map(|(id, _)| NodeId::new(*id))
+            .collect()
+    }
+
+    /// Lifts a node's quarantine and clears its strikes (operator
+    /// decision after the node recovered).
+    pub fn reinstate(&self, node: NodeId) {
+        if let Some(health) = self.nodes.lock().get_mut(&node.raw()) {
+            health.strikes = 0;
+            health.quarantined = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strikes_accumulate_to_quarantine_exactly_once() {
+        let t = QuarantineTracker::new(3);
+        let n = NodeId::new(4);
+        assert!(!t.record_failure(n));
+        assert!(!t.record_failure(n));
+        assert!(!t.is_quarantined(n));
+        assert!(t.record_failure(n), "third strike quarantines");
+        assert!(t.is_quarantined(n));
+        assert!(!t.record_failure(n), "transition reported only once");
+        assert_eq!(t.quarantined(), vec![n]);
+    }
+
+    #[test]
+    fn success_clears_strikes_but_not_quarantine() {
+        let t = QuarantineTracker::new(2);
+        let n = NodeId::new(0);
+        t.record_failure(n);
+        assert_eq!(t.strikes(n), 1);
+        t.record_success(n);
+        assert_eq!(t.strikes(n), 0);
+        // A flapping node must still reach quarantine from zero.
+        t.record_failure(n);
+        assert!(t.record_failure(n));
+        t.record_success(n);
+        assert!(t.is_quarantined(n), "success does not lift quarantine");
+        t.reinstate(n);
+        assert!(!t.is_quarantined(n));
+        assert_eq!(t.strikes(n), 0);
+    }
+
+    #[test]
+    fn epoch_observations_convert_failovers_to_strikes() {
+        let t = QuarantineTracker::new(2);
+        let n = NodeId::new(1);
+        assert!(!t.observe_epoch(n, 0), "epoch 0 is the healthy baseline");
+        assert!(!t.observe_epoch(n, 1), "first failover: one strike");
+        assert_eq!(t.strikes(n), 1);
+        assert!(!t.observe_epoch(n, 1), "same epoch re-observed: no strike");
+        assert!(t.observe_epoch(n, 2), "second failover quarantines");
+        assert!(t.is_quarantined(n));
+        // A jump of several epochs lands all its strikes at once.
+        let m = NodeId::new(2);
+        assert!(t.observe_epoch(m, 5));
+        assert_eq!(t.strikes(m), 5);
+    }
+
+    #[test]
+    fn zero_threshold_is_clamped() {
+        let t = QuarantineTracker::new(0);
+        assert_eq!(t.threshold(), 1);
+        let n = NodeId::new(9);
+        assert!(!t.is_quarantined(n), "no strikes, no quarantine");
+        assert!(t.record_failure(n));
+    }
+}
