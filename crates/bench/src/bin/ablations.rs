@@ -1,14 +1,26 @@
 //! Design-choice ablations beyond the paper's figures: scheduler-policy
-//! quality on a mixed cluster, the interconnect-bandwidth sweep, and the
-//! asynchronous backbone's pipelining win.
+//! quality on a mixed cluster, the interconnect-bandwidth sweep, the
+//! asynchronous backbone's pipelining win, and the residency-aware data
+//! plane's locality win.
 //!
 //! ```text
 //! cargo run --release -p haocl-bench --bin ablations
+//! cargo run --release -p haocl-bench --bin ablations -- --json out.json
 //! ```
+//!
+//! `--json` writes the locality-ablation rows as a machine-readable
+//! artifact (consumed by the nightly bench CI job).
 
 use haocl_bench::{ablations, text::render_table};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json_path = args.iter().position(|a| a == "--json").map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--json requires an output path");
+            std::process::exit(2);
+        })
+    });
     println!("Ablation 1 — scheduling policy (32 mixed kernels on 2 GPU + 2 FPGA nodes)");
     println!();
     let rows = ablations::scheduler_policies(32).expect("scheduler ablation");
@@ -42,4 +54,69 @@ fn main() {
         "{}",
         render_table(&["host semantics", "fan-out makespan"], &table)
     );
+    println!();
+
+    println!("Ablation 4 — residency-aware data plane (2 GPU nodes, 16 real launches)");
+    println!();
+    let rows = ablations::locality(16).expect("locality ablation");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.app.to_string(),
+                r.config.to_string(),
+                format!("{}", r.data_transfer),
+                format!("{}", r.relay_bytes),
+                format!("{}", r.peer_bytes),
+                format!("{:016x}", r.digest),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &[
+                "workload",
+                "config",
+                "DataTransfer",
+                "host-relay bytes",
+                "peer bytes",
+                "output digest"
+            ],
+            &table
+        )
+    );
+
+    if let Some(path) = json_path {
+        let records: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                format!(
+                    concat!(
+                        "    {{\"app\": \"{}\", \"config\": \"{}\", ",
+                        "\"data_transfer_nanos\": {}, \"relay_bytes\": {}, ",
+                        "\"peer_bytes\": {}, \"digest\": \"{:016x}\"}}"
+                    ),
+                    r.app,
+                    r.config,
+                    r.data_transfer.as_nanos(),
+                    r.relay_bytes,
+                    r.peer_bytes,
+                    r.digest,
+                )
+            })
+            .collect();
+        let body = format!(
+            "{{\n  \"ablation\": \"locality\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+            records.join(",\n")
+        );
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("create output directory");
+            }
+        }
+        std::fs::write(&path, body).expect("write output file");
+        println!();
+        println!("wrote {path}");
+    }
 }

@@ -79,7 +79,7 @@ fn main() {
                 concat!(
                     "    {{\"workload\": {}, \"series\": {}, \"nodes\": {}, ",
                     "\"makespan_nanos\": {}, \"speedup\": {:.4}, \"scaling\": {:.4}, ",
-                    "\"phases\": {}}}"
+                    "\"phases\": {}, \"phase_bytes\": {}}}"
                 ),
                 json_string(workload.name()),
                 json_string(&r.series),
@@ -88,6 +88,7 @@ fn main() {
                 r.speedup,
                 r.scaling,
                 phases_json(&r.phases),
+                phase_bytes_json(&r.phases),
             ));
         }
     }
@@ -128,6 +129,18 @@ fn phases_json(b: &PhaseBreakdown) -> String {
         .phases()
         .iter()
         .map(|p| format!("{}: {}", json_string(p.as_str()), b.time(*p).as_nanos()))
+        .collect();
+    format!("{{{}}}", parts.join(", "))
+}
+
+/// Bytes moved per phase as a JSON object, category name → bytes.
+/// Phases that moved no data are omitted (most compute categories).
+fn phase_bytes_json(b: &PhaseBreakdown) -> String {
+    let parts: Vec<String> = b
+        .phases()
+        .iter()
+        .filter(|p| b.bytes(**p) > 0)
+        .map(|p| format!("{}: {}", json_string(p.as_str()), b.bytes(*p)))
         .collect();
     format!("{{{}}}", parts.join(", "))
 }

@@ -577,6 +577,186 @@ pub mod ablations {
         }
         Ok(out)
     }
+
+    /// One measured configuration of the [`locality`] ablation.
+    #[derive(Debug, Clone)]
+    pub struct LocalityRow {
+        /// Workload the kernels come from (`"BFS"` or `"CFD"`).
+        pub app: &'static str,
+        /// `"locality-aware"` or `"locality-blind"`.
+        pub config: &'static str,
+        /// Time spent in the `DataTransfer` phase over the launch loop.
+        pub data_transfer: SimDuration,
+        /// Bytes relayed through the host during the launch loop
+        /// (`haocl_dataplane_bytes_total{path="host_relay"}` delta).
+        pub relay_bytes: u64,
+        /// Bytes moved NMP-to-NMP during the launch loop
+        /// (`haocl_dataplane_bytes_total{path="peer"}` delta).
+        pub peer_bytes: u64,
+        /// FNV-1a digest of the output buffer read back after the loop.
+        /// Must match across configs: placement may move data, never
+        /// change results.
+        pub digest: u64,
+    }
+
+    /// Locality ablation (the residency-aware data plane's win): a loop
+    /// of real (full-fidelity) workload kernel launches on a 2-GPU
+    /// cluster, auto-scheduled under two configurations:
+    ///
+    /// * `locality-aware` — the default data plane: the
+    ///   [`policies::LocalityAware`] policy keeps each launch where its
+    ///   buffers already live, and peer NMP transfers are enabled.
+    /// * `peer-transfer` — [`policies::RoundRobin`] bounces launches
+    ///   across the nodes (forcing a migration per launch) but peer
+    ///   transfers stay on, so the migrations ride NMP-to-NMP and the
+    ///   host relays nothing.
+    /// * `locality-blind` — [`policies::RoundRobin`] with peer
+    ///   transfers disabled, so every migration of the written buffer
+    ///   relays through the host (pre-residency behaviour).
+    ///
+    /// Inputs are staged once before the measured region; counters and
+    /// the phase breakdown are snapshotted so each row covers only the
+    /// launch loop. The kernels (`bfs_apply`, `cfd_flux`) are
+    /// deterministic and idempotent, so both configs must produce
+    /// byte-identical outputs — the digest proves placement never
+    /// changed results.
+    ///
+    /// # Errors
+    ///
+    /// Propagates launch failures.
+    pub fn locality(iterations: usize) -> Result<Vec<LocalityRow>, Error> {
+        let mut out = Vec::new();
+        for app in ["BFS", "CFD"] {
+            for (config, local, peer) in [
+                ("locality-aware", true, true),
+                ("peer-transfer", false, true),
+                ("locality-blind", false, false),
+            ] {
+                out.push(locality_case(app, config, local, peer, iterations)?);
+            }
+        }
+        Ok(out)
+    }
+
+    fn locality_case(
+        app: &'static str,
+        config: &'static str,
+        local: bool,
+        peer: bool,
+        iterations: usize,
+    ) -> Result<LocalityRow, Error> {
+        use haocl::{Buffer, MemFlags};
+        use haocl_obs::names;
+        use haocl_sim::Phase;
+
+        let platform = Platform::cluster(&ClusterConfig::gpu_cluster(2), registry_with_all())?;
+        platform.set_peer_transfers(peer);
+        let ctx = Context::new(&platform, &platform.devices(DeviceType::All))?;
+        let policy: Box<dyn SchedulingPolicy> = if local {
+            Box::new(policies::LocalityAware::new())
+        } else {
+            Box::new(policies::RoundRobin::new())
+        };
+        let auto = AutoScheduler::new(&ctx, policy)?;
+        // Staging and read-back go through the first device's queue;
+        // the launches themselves are placed by the scheduler.
+        let queue = CommandQueue::new(&ctx, &ctx.devices()[0])?;
+
+        let (kernel, global, output) = match app {
+            "BFS" => {
+                let n = 4096usize;
+                let program = Program::with_bitstream_kernels(
+                    &ctx,
+                    [haocl_workloads::bfs::APPLY_KERNEL_NAME],
+                );
+                program.build()?;
+                let kernel = Kernel::new(&program, haocl_workloads::bfs::APPLY_KERNEL_NAME)?;
+                let depth = Buffer::new(&ctx, MemFlags::READ_WRITE, 4 * n as u64)?;
+                let updates = Buffer::new(&ctx, MemFlags::READ_ONLY, 8 * n as u64)?;
+                let mut update_list = Vec::with_capacity(2 * n);
+                for i in 0..n as i32 {
+                    update_list.push(i);
+                    update_list.push(i % 7);
+                }
+                queue.enqueue_write_buffer(&depth, 0, &i32_bytes(&vec![-1; n]))?;
+                queue.enqueue_write_buffer(&updates, 0, &i32_bytes(&update_list))?;
+                kernel.set_arg_buffer(0, &depth)?;
+                kernel.set_arg_buffer(1, &updates)?;
+                kernel.set_arg_i32(2, n as i32)?;
+                (kernel, n, depth)
+            }
+            _ => {
+                let cfg = haocl_workloads::cfd::CfdConfig::test_scale();
+                let (vars, neigh) = haocl_workloads::cfd::generate_state(&cfg);
+                let n = cfg.cells;
+                let program =
+                    Program::with_bitstream_kernels(&ctx, [haocl_workloads::cfd::KERNEL_NAME]);
+                program.build()?;
+                let kernel = Kernel::new(&program, haocl_workloads::cfd::KERNEL_NAME)?;
+                let vars_d = Buffer::new(&ctx, MemFlags::READ_ONLY, 4 * vars.len() as u64)?;
+                let neigh_d = Buffer::new(&ctx, MemFlags::READ_ONLY, 4 * neigh.len() as u64)?;
+                let out_d = Buffer::new(&ctx, MemFlags::READ_WRITE, 4 * vars.len() as u64)?;
+                queue.enqueue_write_buffer(&vars_d, 0, &f32_bytes(&vars))?;
+                queue.enqueue_write_buffer(&neigh_d, 0, &i32_bytes(&neigh))?;
+                queue.enqueue_write_buffer(&out_d, 0, &vec![0u8; 4 * vars.len()])?;
+                kernel.set_arg_buffer(0, &vars_d)?;
+                kernel.set_arg_buffer(1, &neigh_d)?;
+                kernel.set_arg_buffer(2, &out_d)?;
+                kernel.set_arg_i32(3, n as i32)?;
+                kernel.set_arg_i32(4, 0)?;
+                kernel.set_arg_i32(5, n as i32)?;
+                (kernel, n, out_d)
+            }
+        };
+
+        // Measured region: snapshot the data-plane counters and phase
+        // clock after staging, so both rows cover only the launch loop.
+        let metrics = &platform.obs().metrics;
+        let relay_label = [("path", names::PATH_HOST_RELAY)];
+        let peer_label = [("path", names::PATH_PEER)];
+        let relay0 = metrics.counter_value(names::DATAPLANE_BYTES, &relay_label);
+        let peer0 = metrics.counter_value(names::DATAPLANE_BYTES, &peer_label);
+        platform.reset_phases();
+
+        for _ in 0..iterations {
+            let (event, _) = auto.launch(&kernel, NdRange::linear(global as u64, 64))?;
+            event.wait()?;
+        }
+
+        let data_transfer = platform.phase_breakdown().time(Phase::DataTransfer);
+        let relay_bytes = metrics.counter_value(names::DATAPLANE_BYTES, &relay_label) - relay0;
+        let peer_bytes = metrics.counter_value(names::DATAPLANE_BYTES, &peer_label) - peer0;
+
+        // Read-back happens after the measurement window: it relays the
+        // same bytes in either config and would only blur the deltas.
+        let mut result = vec![0u8; output.size() as usize];
+        queue.enqueue_read_buffer(&output, 0, &mut result)?;
+        Ok(LocalityRow {
+            app,
+            config,
+            data_transfer,
+            relay_bytes,
+            peer_bytes,
+            digest: fnv1a(&result),
+        })
+    }
+
+    fn i32_bytes(values: &[i32]) -> Vec<u8> {
+        values.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    fn f32_bytes(values: &[f32]) -> Vec<u8> {
+        values.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -668,5 +848,50 @@ mod tests {
         let hetero = results.iter().find(|(n, _)| n == "hetero-aware").unwrap().1;
         let worst = results.iter().map(|(_, d)| *d).max().unwrap();
         assert!(hetero <= worst);
+    }
+
+    #[test]
+    fn locality_ablation_cuts_relay_traffic_without_changing_results() {
+        let rows = ablations::locality(6).unwrap();
+        assert_eq!(rows.len(), 6);
+        for app in ["BFS", "CFD"] {
+            let find = |config: &str| {
+                rows.iter()
+                    .find(|r| r.app == app && r.config == config)
+                    .unwrap()
+            };
+            let aware = find("locality-aware");
+            let hop = find("peer-transfer");
+            let blind = find("locality-blind");
+            // Placement may move data, never change results.
+            for r in [hop, blind] {
+                assert_eq!(
+                    aware.digest, r.digest,
+                    "{app}/{}: outputs must be byte-identical across configs",
+                    r.config
+                );
+            }
+            // The acceptance bar: residency-aware placement cuts
+            // host-relayed data-plane traffic at least in half.
+            assert!(
+                blind.relay_bytes >= 2 * aware.relay_bytes.max(1),
+                "{app}: expected >=2x relay reduction, aware={} blind={}",
+                aware.relay_bytes,
+                blind.relay_bytes
+            );
+            // When placement still bounces, migrations ride the peer
+            // path: the host relays at most the one-time staging that
+            // locality-blind also pays, and the bulk moves NMP-to-NMP.
+            assert!(
+                hop.peer_bytes > 0,
+                "{app}: peer-transfer config moved no peer bytes"
+            );
+            assert!(
+                blind.relay_bytes >= 2 * hop.relay_bytes.max(1),
+                "{app}: peer transfers should halve relayed bytes, peer-config relay={} blind={}",
+                hop.relay_bytes,
+                blind.relay_bytes
+            );
+        }
     }
 }

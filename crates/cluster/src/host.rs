@@ -137,6 +137,8 @@ fn plane_of(call: &ApiCall) -> Plane {
             | ApiCall::ReadBuffer { .. }
             | ApiCall::WriteBufferModeled { .. }
             | ApiCall::ReadBufferModeled { .. }
+            | ApiCall::PushBufferTo { .. }
+            | ApiCall::PullBufferFrom { .. }
     ) {
         Plane::Data
     } else {
@@ -320,6 +322,9 @@ impl LinkShared {
 
 struct NodeLink {
     name: String,
+    /// The node's data-listener address, handed to *other* nodes as the
+    /// destination of peer data-plane transfers.
+    data_addr: String,
     shared: Arc<LinkShared>,
     /// Control-plane requests waiting to be coalesced into the next
     /// frame (see [`NodeLink::send_control`]).
@@ -428,7 +433,9 @@ impl NodeLink {
 }
 
 /// Virtual wire size of modeled bulk writes (the data package the
-/// descriptor stands in for).
+/// descriptor stands in for). Peer-transfer commands stay at zero: the
+/// bulk bytes are charged on the NMP→NMP hop, not the host's NIC — that
+/// is the whole point of them.
 fn virtual_len_of(call: &ApiCall) -> u64 {
     match call {
         ApiCall::WriteBufferModeled { len, .. } => *len,
@@ -909,6 +916,7 @@ impl HostRuntime {
             }
             links.push(NodeLink {
                 name: spec.name.clone(),
+                data_addr: spec.data_addr(),
                 shared,
                 control_queue: Mutex::new(Vec::new()),
                 msg_tx: Mutex::new(msg_tx),
@@ -1032,6 +1040,43 @@ impl HostRuntime {
             return 0;
         }
         self.inner.route_of(node).1
+    }
+
+    /// The data-listener address currently serving the logical node —
+    /// failover-aware, so peer transfers aimed at a re-routed node land
+    /// on its surviving physical link. `None` for an unknown node.
+    pub fn node_data_addr(&self, node: NodeId) -> Option<String> {
+        let index = node.raw() as usize;
+        if index >= self.inner.links.len() {
+            return None;
+        }
+        let (physical, _) = self.inner.route_of(node);
+        Some(self.inner.links[physical].data_addr.clone())
+    }
+
+    /// Appends `call` to `node`'s failover journal under a fresh request
+    /// id, without sending it anywhere now.
+    ///
+    /// Peer transfers need this: the bytes a peer pushed onto a node
+    /// never crossed that node's host connection, so nothing journals
+    /// them automatically. The coherence layer records a compensating
+    /// `PullBufferFrom` here after each successful push — on failover the
+    /// replacement node re-pulls the replica from its source. No-op while
+    /// recovery is off, exactly like the automatic journaling in
+    /// [`HostRuntime::submit`].
+    pub fn journal_companion(&self, node: NodeId, call: ApiCall) {
+        let index = node.raw() as usize;
+        if index >= self.inner.links.len() || self.inner.recovery().is_none() {
+            return;
+        }
+        self.inner.journals[index]
+            .lock()
+            .expect("journal poisoned")
+            .push(JournalEntry {
+                id: RequestId::new(self.inner.request_ids.next()),
+                user: self.user,
+                call,
+            });
     }
 
     /// Forwards `call` to `node` without waiting for its response.

@@ -9,6 +9,17 @@
 //! FPGA devices refuse online source builds; their kernels come from the
 //! node's bitstream [`KernelRegistry`] via
 //! [`haocl_proto::messages::ApiCall::LoadBitstream`].
+//!
+//! # Peer data-plane transfers
+//!
+//! [`ApiCall::PushBufferTo`] / [`ApiCall::PullBufferFrom`] move buffer
+//! contents *directly* between two NMPs: the host still packages and
+//! delivers the command (preserving §III-A's single-host architecture),
+//! but the bulk bytes take one node→node hop instead of relaying through
+//! the host's shadow copy. The executing NMP dials the peer's data
+//! listener itself, releasing its state lock around the network hop so a
+//! co-located peer (or the node itself, over loopback) can serve the
+//! inner request.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -23,7 +34,7 @@ use haocl_device::device::DeviceError;
 use haocl_device::memory::MemoryError;
 use haocl_device::{presets, SimDevice};
 use haocl_kernel::{CostModel, Kernel, KernelRegistry, NdRange};
-use haocl_net::{Conn, Fabric, Listener, NetError};
+use haocl_net::{host_name_of, Conn, Fabric, Listener, NetError};
 use haocl_obs::SpanId;
 use haocl_proto::ids::{KernelId, ProgramId, RequestId, UserId};
 use haocl_proto::messages::{
@@ -43,6 +54,20 @@ const POLL: Duration = Duration::from_millis(20);
 /// the journal needs to outlive the host's in-flight window — 1024 is
 /// orders of magnitude deeper than the backbone ever pipelines.
 const JOURNAL_CAP: usize = 1024;
+
+/// Wall-clock patience for the peer's answer during an NMP→NMP transfer.
+/// On expiry the transfer fails with an error reply and the host falls
+/// back to relaying the bytes through its own shadow, so this bounds how
+/// long a serve thread can stall on an unresponsive peer. It must stay
+/// *shorter* than the host's recovery escalation window (base timeout
+/// through `max_attempts` retransmissions): a stalled peer hop blocks
+/// this node's serve thread, and if the block outlives the host's
+/// patience the host concludes the node itself died and fails it over —
+/// turning one dropped peer frame into a spurious cluster reroute. The
+/// fabric moves frames instantly in real time (only *virtual* time is
+/// charged), so a healthy hop answers in microseconds and this margin is
+/// pure fault headroom.
+const PEER_PATIENCE: Duration = Duration::from_millis(100);
 
 enum ProgramEntry {
     /// Source-compiled program (CPU/GPU path).
@@ -65,6 +90,15 @@ struct NodeState {
     journal: HashMap<RequestId, Response>,
     /// Journal insertion order, for FIFO eviction at [`JOURNAL_CAP`].
     journal_order: VecDeque<RequestId>,
+}
+
+/// What a serve thread needs to execute peer data-plane transfers: a
+/// fabric handle to dial the peer's data listener, and this node's host
+/// name so outbound frames serialize on its own NIC — and take the free
+/// loopback path when the peer is co-located.
+struct PeerCtx {
+    fabric: Fabric,
+    host_name: String,
 }
 
 impl NodeState {
@@ -120,11 +154,25 @@ impl NmpHandle {
             journal_order: VecDeque::new(),
         }));
         let stop = Arc::new(AtomicBool::new(false));
+        let peer = Arc::new(PeerCtx {
+            fabric: fabric.clone(),
+            host_name: host_name_of(&spec.addr),
+        });
         let msg_listener = fabric.bind(&spec.addr)?;
         let data_listener = fabric.bind(&spec.data_addr())?;
         let threads = vec![
-            spawn_accept_loop(msg_listener, Arc::clone(&state), Arc::clone(&stop)),
-            spawn_accept_loop(data_listener, Arc::clone(&state), Arc::clone(&stop)),
+            spawn_accept_loop(
+                msg_listener,
+                Arc::clone(&state),
+                Arc::clone(&stop),
+                Arc::clone(&peer),
+            ),
+            spawn_accept_loop(
+                data_listener,
+                Arc::clone(&state),
+                Arc::clone(&stop),
+                Arc::clone(&peer),
+            ),
         ];
         Ok(NmpHandle {
             name: spec.name.clone(),
@@ -173,6 +221,7 @@ fn spawn_accept_loop(
     listener: Listener,
     state: Arc<Mutex<NodeState>>,
     stop: Arc<AtomicBool>,
+    peer: Arc<PeerCtx>,
 ) -> JoinHandle<()> {
     std::thread::spawn(move || {
         // Serve threads are tracked so the accept loop can join them on
@@ -183,7 +232,8 @@ fn spawn_accept_loop(
                 Ok(conn) => {
                     let state = Arc::clone(&state);
                     let stop = Arc::clone(&stop);
-                    serving.push(std::thread::spawn(move || serve(conn, state, stop)));
+                    let peer = Arc::clone(&peer);
+                    serving.push(std::thread::spawn(move || serve(conn, state, stop, peer)));
                 }
                 Err(NetError::Timeout) => continue,
                 Err(_) => break,
@@ -195,7 +245,7 @@ fn spawn_accept_loop(
     })
 }
 
-fn serve(mut conn: Conn, state: Arc<Mutex<NodeState>>, stop: Arc<AtomicBool>) {
+fn serve(mut conn: Conn, state: Arc<Mutex<NodeState>>, stop: Arc<AtomicBool>, peer: Arc<PeerCtx>) {
     'serve: while !stop.load(Ordering::SeqCst) {
         let (frame, arrival) = match conn.recv_frame_timeout(POLL) {
             Ok(x) => x,
@@ -217,7 +267,7 @@ fn serve(mut conn: Conn, state: Arc<Mutex<NodeState>>, stop: Arc<AtomicBool>) {
         };
         for request in envelope.into_requests() {
             let is_shutdown = matches!(request.body, ApiCall::Shutdown);
-            let response = handle(&state, request, arrival);
+            let response = handle(&state, request, arrival, &peer);
             let send_at = response.completed_at_nanos;
             // Modeled data replies stand in for bulk payloads: charge the
             // return link as if the bytes were on it.
@@ -258,10 +308,23 @@ fn mutates_state(call: &ApiCall) -> bool {
             | ApiCall::LoadBitstream { .. }
             | ApiCall::CreateKernel { .. }
             | ApiCall::LaunchKernel { .. }
+            | ApiCall::PushBufferTo { .. }
+            | ApiCall::PullBufferFrom { .. }
     )
 }
 
-fn handle(state: &Mutex<NodeState>, request: Request, arrival: SimTime) -> Response {
+fn handle(
+    state: &Mutex<NodeState>,
+    request: Request,
+    arrival: SimTime,
+    peer: &PeerCtx,
+) -> Response {
+    if matches!(
+        request.body,
+        ApiCall::PushBufferTo { .. } | ApiCall::PullBufferFrom { .. }
+    ) {
+        return handle_peer_transfer(state, request, arrival, peer);
+    }
     let mut state = state.lock();
     // At-most-once: a retransmitted (or chaos-duplicated) mutating request
     // is answered from the journal — the kernel does not run again, the
@@ -338,6 +401,272 @@ fn err_reply(code: i32, message: impl Into<String>) -> ApiReply {
     ApiReply::Error {
         code,
         message: message.into(),
+    }
+}
+
+/// Executes a host-commanded NMP→NMP transfer ([`ApiCall::PushBufferTo`]
+/// / [`ApiCall::PullBufferFrom`]).
+///
+/// Unlike [`handle`], the node-state lock is *released* around the
+/// network hop: the peer may be co-located — or this very node, dialling
+/// its own data listener over loopback on single-node platforms — and
+/// its serve thread needs the lock to answer the inner request. The
+/// at-most-once journal still brackets the whole operation: the check
+/// runs before the local phase, the record after the hop. Duplicates of
+/// a given id arrive in order on one connection, so releasing the lock
+/// in between cannot let the transfer execute twice.
+fn handle_peer_transfer(
+    state: &Mutex<NodeState>,
+    request: Request,
+    arrival: SimTime,
+    peer: &PeerCtx,
+) -> Response {
+    {
+        let st = state.lock();
+        if let Some(cached) = st.journal.get(&request.id) {
+            let mut response = cached.clone();
+            response.duplicate = true;
+            return response;
+        }
+    }
+    let traced = request.traced();
+    let id = request.id;
+    let parent_span = request.parent_span;
+    let (body, completed) = peer_transfer(state, &request, arrival, peer);
+    let spans = if traced {
+        let dispatch_id = SpanId::derive(id.raw(), 0);
+        vec![
+            WireSpan {
+                id: dispatch_id.0,
+                parent: parent_span,
+                name: "nmp.dispatch".to_string(),
+                category: "Dispatch".to_string(),
+                start_nanos: arrival.as_nanos(),
+                end_nanos: completed.as_nanos(),
+            },
+            WireSpan {
+                id: SpanId::derive(id.raw(), 1).0,
+                parent: dispatch_id.0,
+                name: "fabric.peer_transfer".to_string(),
+                category: "DataTransfer".to_string(),
+                start_nanos: arrival.as_nanos(),
+                end_nanos: completed.as_nanos(),
+            },
+        ]
+    } else {
+        Vec::new()
+    };
+    let response = Response {
+        id,
+        completed_at_nanos: completed.as_nanos(),
+        body,
+        duplicate: false,
+        spans,
+    };
+    state.lock().journal_record(&response);
+    response
+}
+
+/// The bulk hop of a peer transfer: stage locally, ship, land. Returns
+/// the outer reply and the virtual time the last byte settled.
+fn peer_transfer(
+    state: &Mutex<NodeState>,
+    request: &Request,
+    arrival: SimTime,
+    peer: &PeerCtx,
+) -> (ApiReply, SimTime) {
+    // The inner request reuses the outer correlation token with the high
+    // bit set (host-side allocators never produce such ids): a
+    // chaos-duplicated inner frame hits the peer's own at-most-once
+    // journal instead of applying the write twice.
+    let inner_id = RequestId::new(request.id.raw() | (1 << 63));
+    match request.body.clone() {
+        ApiCall::PushBufferTo {
+            device,
+            buffer,
+            peer_addr,
+            peer_device,
+            peer_buffer,
+            offset,
+            len,
+            version: _,
+            epoch,
+            modeled,
+        } => {
+            // Stage the bytes off the local device, under the lock.
+            let (inner_call, virtual_len, local_done) = {
+                let mut st = state.lock();
+                let dev = match device_mut(&mut st, device) {
+                    Ok(d) => d,
+                    Err(reply) => return (reply, arrival),
+                };
+                if modeled {
+                    match dev.transfer_modeled(buffer, offset, len, arrival) {
+                        Ok(grant) => (
+                            ApiCall::WriteBufferModeled {
+                                device: peer_device,
+                                buffer: peer_buffer,
+                                offset,
+                                len,
+                            },
+                            len,
+                            grant.end,
+                        ),
+                        Err(e) => return (device_error_reply(e), arrival),
+                    }
+                } else {
+                    match dev.read_buffer(buffer, offset, len, arrival) {
+                        Ok((bytes, grant)) => (
+                            ApiCall::WriteBuffer {
+                                device: peer_device,
+                                buffer: peer_buffer,
+                                offset,
+                                data: Bytes::from(bytes),
+                            },
+                            0,
+                            grant.end,
+                        ),
+                        Err(e) => return (device_error_reply(e), arrival),
+                    }
+                }
+            };
+            // Ship them with the lock released; the peer's ack carries
+            // the arrival time of the last byte.
+            match peer_round_trip(
+                peer,
+                &peer_addr,
+                inner_id,
+                request.user,
+                epoch,
+                inner_call,
+                virtual_len,
+                local_done,
+            ) {
+                Ok((ApiReply::Ack, at)) => (ApiReply::Ack, at),
+                Ok((_, at)) => (unexpected_peer_reply(&peer_addr), at),
+                Err(reply) => (reply, local_done),
+            }
+        }
+        ApiCall::PullBufferFrom {
+            device,
+            buffer,
+            peer_addr,
+            peer_device,
+            peer_buffer,
+            offset,
+            len,
+            version: _,
+            epoch,
+            modeled,
+        } => {
+            let inner_call = if modeled {
+                ApiCall::ReadBufferModeled {
+                    device: peer_device,
+                    buffer: peer_buffer,
+                    offset,
+                    len,
+                }
+            } else {
+                ApiCall::ReadBuffer {
+                    device: peer_device,
+                    buffer: peer_buffer,
+                    offset,
+                    len,
+                }
+            };
+            match peer_round_trip(
+                peer,
+                &peer_addr,
+                inner_id,
+                request.user,
+                epoch,
+                inner_call,
+                0,
+                arrival,
+            ) {
+                // Land the fetched bytes on the local device.
+                Ok((ApiReply::Data { bytes }, at)) if !modeled => {
+                    let mut st = state.lock();
+                    let dev = match device_mut(&mut st, device) {
+                        Ok(d) => d,
+                        Err(reply) => return (reply, at),
+                    };
+                    match dev.write_buffer(buffer, offset, &bytes, at) {
+                        Ok(grant) => (ApiReply::Ack, grant.end),
+                        Err(e) => (device_error_reply(e), at),
+                    }
+                }
+                Ok((ApiReply::DataModeled { len: got }, at)) if modeled => {
+                    let mut st = state.lock();
+                    let dev = match device_mut(&mut st, device) {
+                        Ok(d) => d,
+                        Err(reply) => return (reply, at),
+                    };
+                    match dev.transfer_modeled(buffer, offset, got, at) {
+                        Ok(grant) => (ApiReply::Ack, grant.end),
+                        Err(e) => (device_error_reply(e), at),
+                    }
+                }
+                Ok((_, at)) => (unexpected_peer_reply(&peer_addr), at),
+                Err(reply) => (reply, arrival),
+            }
+        }
+        _ => unreachable!("peer_transfer only handles peer data-plane calls"),
+    }
+}
+
+fn unexpected_peer_reply(peer_addr: &str) -> ApiReply {
+    err_reply(
+        status::INVALID_OPERATION,
+        format!("peer {peer_addr} answered the transfer with an unexpected reply"),
+    )
+}
+
+/// Dials the peer's data listener, delivers one inner request and waits
+/// (bounded by [`PEER_PATIENCE`]) for its reply. Transport trouble comes
+/// back as `Err(error reply)`: the host treats it as final for this
+/// transfer and falls back to relaying the bytes through its shadow.
+#[allow(clippy::too_many_arguments)]
+fn peer_round_trip(
+    peer: &PeerCtx,
+    peer_addr: &str,
+    id: RequestId,
+    user: UserId,
+    epoch: u32,
+    call: ApiCall,
+    virtual_len: u64,
+    at: SimTime,
+) -> Result<(ApiReply, SimTime), ApiReply> {
+    let failed = |what: &str, detail: String| {
+        err_reply(
+            status::DEVICE_NOT_AVAILABLE,
+            format!("peer {peer_addr} {what}: {detail}"),
+        )
+    };
+    let mut conn = peer
+        .fabric
+        .connect(&peer.host_name, peer_addr)
+        .map_err(|e| failed("is unreachable", e.to_string()))?;
+    let inner = Request {
+        id,
+        user,
+        sent_at_nanos: at.as_nanos(),
+        trace_id: 0,
+        parent_span: 0,
+        epoch,
+        attempt: 0,
+        body: call,
+    };
+    conn.send_frame_virtual(&encode_to_vec(&Envelope::Single(inner)), at, virtual_len)
+        .map_err(|e| failed("rejected the transfer", e.to_string()))?;
+    let (frame, received_at) = conn
+        .recv_frame_timeout(PEER_PATIENCE)
+        .map_err(|e| failed("did not answer", e.to_string()))?;
+    let response: Response = decode_from_slice(&frame)
+        .map_err(|e| failed("sent an undecodable reply", e.to_string()))?;
+    match response.body {
+        ApiReply::Error { code, message } => Err(err_reply(code, message)),
+        reply => Ok((reply, received_at)),
     }
 }
 
@@ -708,6 +1037,15 @@ fn dispatch(
                 Err(e) => (device_error_reply(e), at),
             }
         }
+        // Routed to `handle_peer_transfer` before dispatch (they must
+        // not run under the state lock); reaching here is a logic error.
+        ApiCall::PushBufferTo { .. } | ApiCall::PullBufferFrom { .. } => (
+            err_reply(
+                status::INVALID_OPERATION,
+                "peer transfers are handled outside dispatch",
+            ),
+            at,
+        ),
     }
 }
 
@@ -1259,5 +1597,216 @@ mod tests {
         assert!(state
             .journal
             .contains_key(&RequestId::new(JOURNAL_CAP as u64 + 10)));
+    }
+
+    #[test]
+    fn push_buffer_ships_bytes_directly_to_the_peer() {
+        let fabric = Fabric::new(Clock::new(), LinkModel::gigabit_ethernet());
+        let config = ClusterConfig::gpu_cluster(2);
+        let h0 = NmpHandle::spawn(&fabric, &config.nodes[0], KernelRegistry::new()).unwrap();
+        let h1 = NmpHandle::spawn(&fabric, &config.nodes[1], KernelRegistry::new()).unwrap();
+        let mut c0 = fabric.connect("10.0.0.1", &config.nodes[0].addr).unwrap();
+        let mut c1 = fabric.connect("10.0.0.1", &config.nodes[1].addr).unwrap();
+        let buf = BufferId::new(1);
+        for conn in [&mut c0, &mut c1] {
+            let (r, _) = call(
+                conn,
+                1,
+                ApiCall::CreateBuffer {
+                    device: 0,
+                    buffer: buf,
+                    size: 4,
+                },
+            );
+            assert_eq!(r, ApiReply::Ack);
+        }
+        let (r, _) = call(
+            &mut c0,
+            1,
+            ApiCall::WriteBuffer {
+                device: 0,
+                buffer: buf,
+                offset: 0,
+                data: Bytes::from(vec![11u8, 22, 33, 44]),
+            },
+        );
+        assert_eq!(r, ApiReply::Ack);
+        let before = fabric.stats();
+        let (r, t) = call(
+            &mut c0,
+            1,
+            ApiCall::PushBufferTo {
+                device: 0,
+                buffer: buf,
+                peer_addr: config.nodes[1].data_addr(),
+                peer_device: 0,
+                peer_buffer: buf,
+                offset: 0,
+                len: 4,
+                version: 1,
+                epoch: 0,
+                modeled: false,
+            },
+        );
+        assert_eq!(r, ApiReply::Ack);
+        assert!(t > SimTime::ZERO, "the hop costs virtual time");
+        assert!(
+            fabric.stats().frames > before.frames,
+            "bytes crossed a real node-to-node link"
+        );
+        let (r, _) = call(
+            &mut c1,
+            1,
+            ApiCall::ReadBuffer {
+                device: 0,
+                buffer: buf,
+                offset: 0,
+                len: 4,
+            },
+        );
+        match r {
+            ApiReply::Data { bytes } => assert_eq!(bytes.as_ref(), &[11u8, 22, 33, 44]),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        h0.stop();
+        h1.stop();
+    }
+
+    #[test]
+    fn pull_buffer_fetches_modeled_bytes_from_the_peer() {
+        let fabric = Fabric::new(Clock::new(), LinkModel::gigabit_ethernet());
+        let config = ClusterConfig::gpu_cluster(2);
+        let h0 = NmpHandle::spawn(&fabric, &config.nodes[0], KernelRegistry::new()).unwrap();
+        let h1 = NmpHandle::spawn(&fabric, &config.nodes[1], KernelRegistry::new()).unwrap();
+        let mut c0 = fabric.connect("10.0.0.1", &config.nodes[0].addr).unwrap();
+        let mut c1 = fabric.connect("10.0.0.1", &config.nodes[1].addr).unwrap();
+        let buf = BufferId::new(1);
+        for conn in [&mut c0, &mut c1] {
+            let (r, _) = call(
+                conn,
+                1,
+                ApiCall::CreateBufferModeled {
+                    device: 0,
+                    buffer: buf,
+                    size: 1 << 20,
+                },
+            );
+            assert_eq!(r, ApiReply::Ack);
+        }
+        // Node 0 pulls a megabyte from node 1; the descriptor frame is
+        // tiny but the return hop is charged at full virtual size.
+        let (r, t) = call(
+            &mut c0,
+            1,
+            ApiCall::PullBufferFrom {
+                device: 0,
+                buffer: buf,
+                peer_addr: config.nodes[1].data_addr(),
+                peer_device: 0,
+                peer_buffer: buf,
+                offset: 0,
+                len: 1 << 20,
+                version: 3,
+                epoch: 0,
+                modeled: true,
+            },
+        );
+        assert_eq!(r, ApiReply::Ack);
+        let floor = LinkModel::gigabit_ethernet().transmit_time(1 << 20);
+        assert!(
+            t >= SimTime::ZERO + floor,
+            "modeled pull charged below the link floor: {t}"
+        );
+        h0.stop();
+        h1.stop();
+    }
+
+    #[test]
+    fn self_dial_peer_transfer_completes_over_loopback() {
+        // Single-node platforms push between co-located devices by
+        // dialling their own data listener: the serve thread must release
+        // the node-state lock around the hop or this deadlocks.
+        let (_f, handle, mut conn) = launch_one_node();
+        let buf = BufferId::new(1);
+        let (r, _) = call(
+            &mut conn,
+            1,
+            ApiCall::CreateBuffer {
+                device: 0,
+                buffer: buf,
+                size: 4,
+            },
+        );
+        assert_eq!(r, ApiReply::Ack);
+        let (r, _) = call(
+            &mut conn,
+            1,
+            ApiCall::WriteBuffer {
+                device: 0,
+                buffer: buf,
+                offset: 0,
+                data: Bytes::from(vec![9u8, 9, 9, 9]),
+            },
+        );
+        assert_eq!(r, ApiReply::Ack);
+        let data_addr = ClusterConfig::gpu_cluster(1).nodes[0].data_addr();
+        let (r, _) = call(
+            &mut conn,
+            1,
+            ApiCall::PushBufferTo {
+                device: 0,
+                buffer: buf,
+                peer_addr: data_addr,
+                peer_device: 0,
+                peer_buffer: buf,
+                offset: 0,
+                len: 4,
+                version: 1,
+                epoch: 0,
+                modeled: false,
+            },
+        );
+        assert_eq!(r, ApiReply::Ack);
+        handle.stop();
+    }
+
+    #[test]
+    fn unreachable_peer_fails_the_transfer_cleanly() {
+        let (_f, handle, mut conn) = launch_one_node();
+        let buf = BufferId::new(1);
+        let (r, _) = call(
+            &mut conn,
+            1,
+            ApiCall::CreateBuffer {
+                device: 0,
+                buffer: buf,
+                size: 4,
+            },
+        );
+        assert_eq!(r, ApiReply::Ack);
+        let (r, _) = call(
+            &mut conn,
+            1,
+            ApiCall::PushBufferTo {
+                device: 0,
+                buffer: buf,
+                peer_addr: "10.9.9.9:7101".to_string(),
+                peer_device: 0,
+                peer_buffer: buf,
+                offset: 0,
+                len: 4,
+                version: 1,
+                epoch: 0,
+                modeled: false,
+            },
+        );
+        assert!(
+            matches!(r, ApiReply::Error { code, .. } if code == status::DEVICE_NOT_AVAILABLE),
+            "unexpected reply {r:?}"
+        );
+        // The node survives the failed transfer and keeps serving.
+        let (r, _) = call(&mut conn, 1, ApiCall::Ping);
+        assert!(matches!(r, ApiReply::Pong { .. }));
+        handle.stop();
     }
 }

@@ -13,10 +13,11 @@ use haocl_obs::{names, PlacementAudit, Span, TraceCtx};
 use haocl_sched::{DeviceView, QuarantineTracker, Scheduler, SchedulingPolicy, TaskSpec};
 use haocl_sim::{Phase, SimTime};
 
+use crate::buffer::Buffer;
 use crate::context::Context;
 use crate::error::{Error, Status};
 use crate::event::Event;
-use crate::kernel::Kernel;
+use crate::kernel::{Kernel, StoredArg};
 use crate::queue::CommandQueue;
 
 /// Scheduler-routed kernel launching over a context's devices.
@@ -107,9 +108,26 @@ impl AutoScheduler {
     /// [`Status::InvalidOperation`] when no device is eligible; launch
     /// failures from the chosen queue otherwise.
     pub fn launch(&self, kernel: &Kernel, range: NdRange) -> Result<(Event, usize), Error> {
+        // The buffers this launch touches drive locality: each candidate
+        // view reports how many of those bytes are already resident on
+        // it, and the task declares the total, so policies and the cost
+        // model charge the real migration traffic of every placement.
+        // Unset arguments surface later, at enqueue, with a precise error.
+        let buffers: Vec<Buffer> = kernel
+            .bound_args()
+            .map(|args| {
+                args.into_iter()
+                    .filter_map(|a| match a {
+                        StoredArg::Buffer(b) => Some(b),
+                        _ => None,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
         let task = TaskSpec::new(kernel.name())
             .cost(kernel.cost())
-            .fpga_eligible(kernel.program().is_bitstream());
+            .fpga_eligible(kernel.program().is_bitstream())
+            .input_bytes(buffers.iter().map(Buffer::size).sum());
         let views: Vec<DeviceView> = {
             let busy = self.busy_until.lock();
             self.context
@@ -117,8 +135,13 @@ impl AutoScheduler {
                 .iter()
                 .zip(busy.iter())
                 .map(|(d, &until)| {
+                    let local = buffers
+                        .iter()
+                        .map(|b| b.inner.resident_bytes_on(d.index))
+                        .sum();
                     DeviceView::from_descriptor(d.node(), &d.info.descriptor)
                         .loaded(until, u32::from(until > SimTime::ZERO))
+                        .with_local_bytes(local)
                 })
                 .collect()
         };
@@ -378,6 +401,27 @@ mod tests {
             DeviceKind::Cpu,
             "divergence hint overrides the dense-compute GPU default"
         );
+    }
+
+    #[test]
+    fn locality_policy_follows_resident_buffers() {
+        let (_p, ctx) = setup(&[DeviceKind::Gpu, DeviceKind::Gpu]);
+        let auto = AutoScheduler::new(&ctx, Box::new(policies::LocalityAware::new())).unwrap();
+        let prog = Program::from_source(
+            &ctx,
+            "__kernel void f(__global int* a) { a[get_global_id(0)] = 1; }",
+        );
+        prog.build().unwrap();
+        let k = Kernel::new(&prog, "f").unwrap();
+        let buf = Buffer::new(&ctx, MemFlags::READ_WRITE, 64).unwrap();
+        k.set_arg_buffer(0, &buf).unwrap();
+        // Seed the input on device 1: the launch should follow the data
+        // there even though device 0 comes first in every tie-break.
+        buf.inner
+            .host_write(&ctx.devices()[1], 0, &[7u8; 64])
+            .unwrap();
+        let (_, dev) = auto.launch(&k, NdRange::linear(4, 1)).unwrap();
+        assert_eq!(dev, 1, "placement must follow the resident replica");
     }
 
     #[test]

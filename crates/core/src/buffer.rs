@@ -1,20 +1,30 @@
-//! `cl_mem` buffers with host-mediated coherence.
+//! `cl_mem` buffers with residency-aware coherence.
 //!
-//! A HaoCL buffer keeps a *host shadow copy* plus replicas on whichever
-//! device nodes have used it. Coherence is single-writer: a kernel launch
-//! makes the launching device the sole up-to-date copy; the shadow is
-//! refreshed by pulling the whole buffer back over the backbone before
-//! any other consumer sees it. All transfers are host-mediated, exactly
-//! as in the paper — the host node "is responsible for the message
-//! packaging and message delivering across the entire cluster" (§III-A).
+//! A HaoCL buffer keeps replicas on whichever device nodes have used it,
+//! plus a *host shadow copy* — which is just another replica in the
+//! [`crate::residency::ResidencyTracker`], refreshed lazily only when a
+//! host read or a push actually needs it. Coherence is single-writer and
+//! monotonically versioned: a kernel launch bumps the buffer version and
+//! makes the launching device the sole current replica.
+//!
+//! Migrating the newest contents to another device prefers a **direct
+//! peer transfer**: the host sends one `PushBufferTo` command to the
+//! owning node, which ships the bytes straight to the target node's data
+//! listener — one hop instead of the pull-to-shadow-then-push two-hop
+//! relay. The host still packages and delivers every *command* (§III-A of
+//! the paper: the host node "is responsible for the message packaging and
+//! message delivering across the entire cluster"); only bulk data moves
+//! peer-to-peer. If a peer transfer fails (chaos, dead node), the classic
+//! host relay is the fallback.
 
-use std::collections::HashSet;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::Mutex;
 
-use haocl_proto::ids::BufferId;
+use haocl_obs::{names, Span};
+use haocl_proto::ids::{BufferId, NodeId};
 use haocl_proto::messages::{ApiCall, ApiReply};
 use haocl_sim::Phase;
 
@@ -22,6 +32,7 @@ use crate::context::Context;
 use crate::error::{Error, Status};
 use crate::event::Event;
 use crate::platform::{Device, PlatformInner};
+use crate::residency::{Location, ResidencyTracker};
 
 /// Buffer access flags (`CL_MEM_*`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,16 +53,39 @@ impl MemFlags {
     }
 }
 
+/// What a host-side transfer carries: real bytes or a modeled length.
+enum HostData<'a> {
+    /// Real contents to write.
+    Real(&'a [u8]),
+    /// Timing-only transfer of this many bytes.
+    Modeled(u64),
+}
+
+impl HostData<'_> {
+    fn len(&self) -> u64 {
+        match self {
+            HostData::Real(d) => d.len() as u64,
+            HostData::Modeled(len) => *len,
+        }
+    }
+
+    fn is_modeled(&self) -> bool {
+        matches!(self, HostData::Modeled(_))
+    }
+}
+
 #[derive(Debug)]
 struct BufState {
     /// Host copy of the buffer contents (empty for modeled buffers).
     shadow: Vec<u8>,
-    /// Devices (global indices) holding an allocation.
-    allocated: HashSet<usize>,
-    /// Devices whose copy matches the newest contents.
-    current: HashSet<usize>,
-    /// Whether the shadow matches the newest contents.
-    shadow_current: bool,
+    /// Versioned replica map: who holds which version where.
+    residency: ResidencyTracker,
+    /// Per-logical-node *wire ids*: the id each node knows this buffer
+    /// by. Distinct per node so that two logical nodes failed over onto
+    /// one physical NMP keep disjoint buffer slots — replaying one
+    /// node's journal can neither collide with nor clobber the other
+    /// node's live replica.
+    wire: BTreeMap<NodeId, BufferId>,
 }
 
 pub(crate) struct BufferInner {
@@ -129,9 +163,8 @@ impl Buffer {
                     } else {
                         vec![0; size as usize]
                     },
-                    allocated: HashSet::new(),
-                    current: HashSet::new(),
-                    shadow_current: true,
+                    residency: ResidencyTracker::new(),
+                    wire: BTreeMap::new(),
                 }),
                 pending_writers: Mutex::new(Vec::new()),
             }),
@@ -167,21 +200,43 @@ impl std::fmt::Debug for Buffer {
 
 impl Drop for BufferInner {
     /// `clReleaseMemObject`: frees the device-side allocations when the
-    /// last handle drops. Best-effort — nodes that already went away are
-    /// ignored (destructors never fail).
+    /// last handle drops. Best-effort — destructors never fail — but a
+    /// release that cannot reach its node (dead link, vanished device)
+    /// counts into `haocl_buffer_release_failed_total` instead of
+    /// disappearing silently. Residency state is cleared either way.
     fn drop(&mut self) {
         let st = self.state.get_mut();
-        for &dev in &st.allocated {
-            if let Some(info) = self.platform.host().devices().get(dev) {
-                let _ = self.platform.host().call(
-                    info.node,
-                    ApiCall::ReleaseBuffer {
-                        device: info.device,
-                        buffer: self.id,
-                    },
+        let host = self.platform.host();
+        for dev in st.residency.allocated_devices() {
+            let info = host.devices().get(dev).cloned();
+            let released = match &info {
+                Some(info) if host.node_is_live(info.node) => {
+                    let wire = st.wire.get(&info.node).copied().unwrap_or(self.id);
+                    matches!(
+                        host.call(
+                            info.node,
+                            ApiCall::ReleaseBuffer {
+                                device: info.device,
+                                buffer: wire,
+                            },
+                        ),
+                        Ok(outcome) if matches!(outcome.reply, ApiReply::Ack)
+                    )
+                }
+                _ => false,
+            };
+            if !released {
+                let node = info
+                    .map(|i| i.node_name)
+                    .unwrap_or_else(|| format!("device{dev}"));
+                self.platform.obs.metrics.inc_counter(
+                    names::BUFFER_RELEASE_FAILED,
+                    &[("node", &node)],
+                    1,
                 );
             }
         }
+        st.residency.clear();
     }
 }
 
@@ -202,34 +257,225 @@ impl BufferInner {
         }
     }
 
+    /// The live routing epoch of the node hosting global device `dev`.
+    fn live_epoch(&self, dev: usize) -> u32 {
+        let host = self.platform.host();
+        match host.devices().get(dev) {
+            Some(info) => host.node_epoch(info.node),
+            None => u32::MAX,
+        }
+    }
+
+    /// The id `node` knows this buffer by, minting one on first use.
+    /// The first node reuses the buffer's own id (so single-node
+    /// platforms stay transparent); every further node gets a fresh
+    /// cluster-unique id from the same allocator.
+    fn wire_id_locked(&self, st: &mut BufState, node: NodeId) -> BufferId {
+        if let Some(&id) = st.wire.get(&node) {
+            return id;
+        }
+        let id = if st.wire.is_empty() {
+            self.id
+        } else {
+            BufferId::new(self.platform.ids.next())
+        };
+        st.wire.insert(node, id);
+        id
+    }
+
+    /// The wire id for `node` (for callers outside this module that
+    /// compose their own node-bound calls, e.g. copies and kernel args).
+    pub(crate) fn wire_id_on(&self, node: NodeId) -> BufferId {
+        self.wire_id_locked(&mut self.state.lock(), node)
+    }
+
+    /// Drops residency entries invalidated by node failovers.
+    fn revalidate(&self, st: &mut BufState) {
+        let host = self.platform.host();
+        let devices = host.devices();
+        st.residency.revalidate(|dev| {
+            devices
+                .get(dev)
+                .map(|info| host.node_epoch(info.node))
+                .unwrap_or(u32::MAX)
+        });
+    }
+
+    fn check_mode(&self, op_modeled: bool, which: &str) -> Result<(), Error> {
+        if self.modeled && !op_modeled {
+            Err(Error::api(
+                Status::InvalidOperation,
+                format!("buffer is modeled; use enqueue_{which}_buffer_modeled"),
+            ))
+        } else if !self.modeled && op_modeled {
+            Err(Error::api(
+                Status::InvalidOperation,
+                format!("buffer carries real data; use enqueue_{which}_buffer"),
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn check_bounds(&self, offset: u64, len: u64, which: &str) -> Result<u64, Error> {
+        offset
+            .checked_add(len)
+            .filter(|&e| e <= self.size)
+            .ok_or_else(|| {
+                Error::api(
+                    Status::InvalidValue,
+                    format!(
+                        "{which} [{offset}, {offset}+{len}) outside buffer of {} bytes",
+                        self.size
+                    ),
+                )
+            })
+    }
+
     /// Makes `device` hold the newest contents (allocating and
     /// transferring as needed). Used before reads by kernels.
     pub(crate) fn make_current_on(&self, device: &Device) -> Result<(), Error> {
         self.settle_pending();
         let mut st = self.state.lock();
-        if st.current.contains(&device.index) {
+        self.revalidate(&mut st);
+        let epoch = self.live_epoch(device.index);
+        if st.residency.is_current(device.index, epoch) {
             return Ok(());
         }
-        self.refresh_shadow_locked(&mut st)?;
         self.allocate_locked(&mut st, device)?;
+        // Another device owns the newest copy and the shadow is stale:
+        // ship the bytes node-to-node in one hop, leaving the shadow
+        // untouched (it refreshes lazily if a host read ever needs it).
+        if !st.residency.host_current() {
+            if let Some(owner) = st.residency.owner_device() {
+                if owner != device.index
+                    && self.platform.peer_transfers_enabled()
+                    && self.peer_push_locked(&mut st, owner, device, epoch).is_ok()
+                {
+                    return Ok(());
+                }
+            }
+        }
+        // Host relay: refresh the shadow from the owner (if stale), then
+        // push the whole contents — the fallback when no peer owns the
+        // data or a peer transfer failed mid-chaos.
+        self.refresh_shadow_locked(&mut st)?;
+        let wire = self.wire_id_locked(&mut st, device.node());
         let call = if self.modeled {
             ApiCall::WriteBufferModeled {
                 device: device.device_index(),
-                buffer: self.id,
+                buffer: wire,
                 offset: 0,
                 len: self.size,
             }
         } else {
             ApiCall::WriteBuffer {
                 device: device.device_index(),
-                buffer: self.id,
+                buffer: wire,
                 offset: 0,
                 data: Bytes::copy_from_slice(&st.shadow),
             }
         };
         self.platform
             .call_traced(device.node(), call, Phase::DataTransfer)?;
-        st.current.insert(device.index);
+        self.platform
+            .count_dataplane(names::PATH_HOST_RELAY, self.size);
+        st.residency
+            .record_sync(Location::Device(device.index), epoch);
+        Ok(())
+    }
+
+    /// Direct NMP→NMP migration of the whole buffer from global device
+    /// `owner` to `target`. The host only sends the command; the owning
+    /// node ships the bytes straight to the target's data listener.
+    fn peer_push_locked(
+        &self,
+        st: &mut BufState,
+        owner: usize,
+        target: &Device,
+        target_epoch: u32,
+    ) -> Result<(), Error> {
+        let host = self.platform.host();
+        let src = host
+            .devices()
+            .get(owner)
+            .cloned()
+            .ok_or_else(|| Error::Transport(format!("device {owner} vanished")))?;
+        let peer_addr = host
+            .node_data_addr(target.node())
+            .ok_or_else(|| Error::Transport(format!("no data address for {}", target.node())))?;
+        let started = self.platform.clock().now();
+        let version = st.residency.newest();
+        let src_wire = self.wire_id_locked(st, src.node);
+        let target_wire = self.wire_id_locked(st, target.node());
+        let outcome = self.platform.call_traced(
+            src.node,
+            ApiCall::PushBufferTo {
+                device: src.device,
+                buffer: src_wire,
+                peer_addr,
+                peer_device: target.device_index(),
+                peer_buffer: target_wire,
+                offset: 0,
+                len: self.size,
+                version,
+                epoch: target_epoch,
+                modeled: self.modeled,
+            },
+            Phase::DataTransfer,
+        )?;
+        if !matches!(outcome.reply, ApiReply::Ack) {
+            return Err(Error::Transport(format!(
+                "PushBufferTo answered with {:?}",
+                outcome.reply
+            )));
+        }
+        st.residency
+            .record_sync(Location::Device(target.index), target_epoch);
+        self.platform.count_dataplane(names::PATH_PEER, self.size);
+        self.platform
+            .obs
+            .metrics
+            .inc_counter(names::SHADOW_REFRESHES_AVOIDED, &[], 1);
+        // Companion entry in the *target's* journal: the pushed bytes are
+        // not host-journaled traffic, so a failed-over target replays
+        // this pull to reconstruct them from the source node.
+        if let Some(src_data_addr) = host.node_data_addr(src.node) {
+            host.journal_companion(
+                target.node(),
+                ApiCall::PullBufferFrom {
+                    device: target.device_index(),
+                    buffer: target_wire,
+                    peer_addr: src_data_addr,
+                    peer_device: src.device,
+                    peer_buffer: src_wire,
+                    offset: 0,
+                    len: self.size,
+                    version,
+                    epoch: target_epoch,
+                    modeled: self.modeled,
+                },
+            );
+        }
+        if self.platform.obs.enabled() {
+            let recorder = &self.platform.obs.recorder;
+            let trace = recorder.new_trace();
+            recorder.record(
+                Span::new(
+                    recorder.next_span_id(),
+                    trace,
+                    None,
+                    format!("fabric.peer_transfer {}", self.id),
+                    Phase::DataTransfer,
+                    src.node_name.clone(),
+                    started,
+                    self.platform.clock().now(),
+                )
+                .attr("bytes", self.size.to_string())
+                .attr("version", version.to_string())
+                .attr("to", target.node_name()),
+            );
+        }
         Ok(())
     }
 
@@ -238,10 +484,15 @@ impl BufferInner {
         if !self.flags.kernel_writable() {
             return;
         }
-        let mut st = self.state.lock();
-        st.current.clear();
-        st.current.insert(device.index);
-        st.shadow_current = false;
+        self.note_device_write_full(device);
+    }
+
+    pub(crate) fn note_device_write_full(&self, device: &Device) {
+        let epoch = self.live_epoch(device.index);
+        self.state
+            .lock()
+            .residency
+            .record_write(Location::Device(device.index), epoch);
     }
 
     /// Host write (`clEnqueueWriteBuffer`): updates the shadow and pushes
@@ -252,120 +503,7 @@ impl BufferInner {
         offset: u64,
         data: &[u8],
     ) -> Result<(), Error> {
-        if self.modeled {
-            return Err(Error::api(
-                Status::InvalidOperation,
-                "buffer is modeled; use enqueue_write_buffer_modeled",
-            ));
-        }
-        let end = offset
-            .checked_add(data.len() as u64)
-            .filter(|&e| e <= self.size)
-            .ok_or_else(|| {
-                Error::api(
-                    Status::InvalidValue,
-                    format!(
-                        "write [{offset}, {offset}+{}) outside buffer of {} bytes",
-                        data.len(),
-                        self.size
-                    ),
-                )
-            })?;
-        self.settle_pending();
-        let mut st = self.state.lock();
-        self.refresh_shadow_locked(&mut st)?;
-        st.shadow[offset as usize..end as usize].copy_from_slice(data);
-        st.shadow_current = true;
-        self.allocate_locked(&mut st, device)?;
-        // If the device already had the newest pre-write contents, a
-        // partial push keeps it equal; otherwise push the whole shadow.
-        let was_current = st.current.contains(&device.index);
-        let (push_offset, payload) = if was_current {
-            (offset, Bytes::copy_from_slice(data))
-        } else {
-            (0, Bytes::copy_from_slice(&st.shadow))
-        };
-        self.platform.call_traced(
-            device.node(),
-            ApiCall::WriteBuffer {
-                device: device.device_index(),
-                buffer: self.id,
-                offset: push_offset,
-                data: payload,
-            },
-            Phase::DataTransfer,
-        )?;
-        st.current.clear();
-        st.current.insert(device.index);
-        Ok(())
-    }
-
-    /// Host read (`clEnqueueReadBuffer`): pulls from the owning device if
-    /// the shadow is stale, then copies out.
-    pub(crate) fn host_read(&self, offset: u64, out: &mut [u8]) -> Result<(), Error> {
-        if self.modeled {
-            return Err(Error::api(
-                Status::InvalidOperation,
-                "buffer is modeled; use enqueue_read_buffer_modeled",
-            ));
-        }
-        let end = offset
-            .checked_add(out.len() as u64)
-            .filter(|&e| e <= self.size)
-            .ok_or_else(|| {
-                Error::api(
-                    Status::InvalidValue,
-                    format!(
-                        "read [{offset}, {offset}+{}) outside buffer of {} bytes",
-                        out.len(),
-                        self.size
-                    ),
-                )
-            })?;
-        self.settle_pending();
-        let mut st = self.state.lock();
-        if st.shadow_current {
-            out.copy_from_slice(&st.shadow[offset as usize..end as usize]);
-            return Ok(());
-        }
-        // Ranged pull from the owning device: only the requested bytes
-        // cross the backbone (real OpenCL reads are ranged). The shadow
-        // range is refreshed opportunistically but stays stale overall.
-        let owner = self.owner_device(&st)?;
-        let outcome = self.platform.call_traced(
-            owner.node,
-            ApiCall::ReadBuffer {
-                device: owner.device,
-                buffer: self.id,
-                offset,
-                len: out.len() as u64,
-            },
-            Phase::DataTransfer,
-        )?;
-        match outcome.reply {
-            ApiReply::Data { bytes } => {
-                out.copy_from_slice(&bytes);
-                st.shadow[offset as usize..end as usize].copy_from_slice(&bytes);
-                Ok(())
-            }
-            other => Err(Error::Transport(format!(
-                "ReadBuffer answered with {other:?}"
-            ))),
-        }
-    }
-
-    fn owner_device(&self, st: &BufState) -> Result<haocl_cluster::RemoteDevice, Error> {
-        let owner = *st
-            .current
-            .iter()
-            .next()
-            .expect("a stale shadow implies a current device");
-        self.platform
-            .host()
-            .devices()
-            .get(owner)
-            .cloned()
-            .ok_or_else(|| Error::Transport(format!("device {owner} vanished")))
+        self.host_write_impl(device, offset, HostData::Real(data))
     }
 
     /// Modeled host write: charges the network + PCIe transfer for `len`
@@ -376,152 +514,218 @@ impl BufferInner {
         offset: u64,
         len: u64,
     ) -> Result<(), Error> {
-        if !self.modeled {
-            return Err(Error::api(
-                Status::InvalidOperation,
-                "buffer carries real data; use enqueue_write_buffer",
-            ));
-        }
-        let ok = offset.checked_add(len).is_some_and(|e| e <= self.size);
-        if !ok {
-            return Err(Error::api(
-                Status::InvalidValue,
-                format!(
-                    "write [{offset}, {offset}+{len}) outside buffer of {} bytes",
-                    self.size
-                ),
-            ));
-        }
+        self.host_write_impl(device, offset, HostData::Modeled(len))
+    }
+
+    fn host_write_impl(
+        &self,
+        device: &Device,
+        offset: u64,
+        data: HostData<'_>,
+    ) -> Result<(), Error> {
+        self.check_mode(data.is_modeled(), "write")?;
+        let end = self.check_bounds(offset, data.len(), "write")?;
         self.settle_pending();
         let mut st = self.state.lock();
+        self.revalidate(&mut st);
+        let epoch = self.live_epoch(device.index);
+        if let HostData::Real(bytes) = data {
+            self.refresh_shadow_locked(&mut st)?;
+            st.shadow[offset as usize..end as usize].copy_from_slice(bytes);
+        }
         self.allocate_locked(&mut st, device)?;
-        let was_current = st.current.contains(&device.index);
-        let (push_offset, push_len) = if was_current || st.allocated.len() == 1 {
-            (offset, len)
-        } else {
-            (0, self.size)
+        // If the device already had the newest pre-write contents, a
+        // partial push keeps it equal; otherwise push the whole contents.
+        // A modeled buffer with a single allocation also stays partial —
+        // nothing else can hold a diverging copy.
+        let was_current = st.residency.is_current(device.index, epoch);
+        st.residency.record_write(Location::Host, 0);
+        let wire = self.wire_id_locked(&mut st, device.node());
+        let (call, pushed) = match data {
+            HostData::Real(bytes) => {
+                let (push_offset, payload) = if was_current {
+                    (offset, Bytes::copy_from_slice(bytes))
+                } else {
+                    (0, Bytes::copy_from_slice(&st.shadow))
+                };
+                let pushed = payload.len() as u64;
+                (
+                    ApiCall::WriteBuffer {
+                        device: device.device_index(),
+                        buffer: wire,
+                        offset: push_offset,
+                        data: payload,
+                    },
+                    pushed,
+                )
+            }
+            HostData::Modeled(len) => {
+                let partial = was_current || st.residency.allocated_count() == 1;
+                let (push_offset, push_len) = if partial {
+                    (offset, len)
+                } else {
+                    (0, self.size)
+                };
+                (
+                    ApiCall::WriteBufferModeled {
+                        device: device.device_index(),
+                        buffer: wire,
+                        offset: push_offset,
+                        len: push_len,
+                    },
+                    push_len,
+                )
+            }
         };
-        self.platform.call_traced(
-            device.node(),
-            ApiCall::WriteBufferModeled {
-                device: device.device_index(),
-                buffer: self.id,
-                offset: push_offset,
-                len: push_len,
-            },
-            Phase::DataTransfer,
-        )?;
-        st.shadow_current = true;
-        st.current.clear();
-        st.current.insert(device.index);
+        self.platform
+            .call_traced(device.node(), call, Phase::DataTransfer)?;
+        self.platform
+            .count_dataplane(names::PATH_HOST_RELAY, pushed);
+        st.residency
+            .record_sync(Location::Device(device.index), epoch);
         Ok(())
+    }
+
+    /// Host read (`clEnqueueReadBuffer`): pulls from the owning device if
+    /// the shadow is stale, then copies out.
+    pub(crate) fn host_read(&self, offset: u64, out: &mut [u8]) -> Result<(), Error> {
+        let len = out.len() as u64;
+        self.host_read_impl(offset, len, Some(out))
     }
 
     /// Modeled host read: charges the pull from the owning device (if the
     /// shadow is stale) without carrying data.
     pub(crate) fn host_read_modeled(&self, offset: u64, len: u64) -> Result<(), Error> {
-        if !self.modeled {
-            return Err(Error::api(
-                Status::InvalidOperation,
-                "buffer carries real data; use enqueue_read_buffer",
-            ));
-        }
-        let ok = offset.checked_add(len).is_some_and(|e| e <= self.size);
-        if !ok {
-            return Err(Error::api(
-                Status::InvalidValue,
-                format!(
-                    "read [{offset}, {offset}+{len}) outside buffer of {} bytes",
-                    self.size
-                ),
-            ));
-        }
+        self.host_read_impl(offset, len, None)
+    }
+
+    fn host_read_impl(&self, offset: u64, len: u64, out: Option<&mut [u8]>) -> Result<(), Error> {
+        self.check_mode(out.is_none(), "read")?;
+        let end = self.check_bounds(offset, len, "read")?;
         self.settle_pending();
-        let st = self.state.lock();
-        if st.shadow_current {
+        let mut st = self.state.lock();
+        self.revalidate(&mut st);
+        if st.residency.host_current() {
+            if let Some(out) = out {
+                out.copy_from_slice(&st.shadow[offset as usize..end as usize]);
+            }
             return Ok(());
         }
-        // Ranged modeled pull from the owning device.
+        // Ranged pull from the owning device: only the requested bytes
+        // cross the backbone (real OpenCL reads are ranged). The shadow
+        // range is refreshed opportunistically but stays stale overall.
         let owner = self.owner_device(&st)?;
-        self.platform.call_traced(
-            owner.node,
-            ApiCall::ReadBufferModeled {
+        let wire = self.wire_id_locked(&mut st, owner.node);
+        let call = if out.is_some() {
+            ApiCall::ReadBuffer {
                 device: owner.device,
-                buffer: self.id,
+                buffer: wire,
                 offset,
                 len,
-            },
-            Phase::DataTransfer,
-        )?;
+            }
+        } else {
+            ApiCall::ReadBufferModeled {
+                device: owner.device,
+                buffer: wire,
+                offset,
+                len,
+            }
+        };
+        let outcome = self
+            .platform
+            .call_traced(owner.node, call, Phase::DataTransfer)?;
+        match (outcome.reply, out) {
+            (ApiReply::Data { bytes }, Some(out)) => {
+                out.copy_from_slice(&bytes);
+                st.shadow[offset as usize..end as usize].copy_from_slice(&bytes);
+            }
+            (ApiReply::DataModeled { .. }, None) => {}
+            (other, _) => {
+                return Err(Error::Transport(format!(
+                    "ReadBuffer answered with {other:?}"
+                )));
+            }
+        }
+        self.platform.count_dataplane(names::PATH_HOST_RELAY, len);
         Ok(())
+    }
+
+    fn owner_device(&self, st: &BufState) -> Result<haocl_cluster::RemoteDevice, Error> {
+        let owner = st
+            .residency
+            .owner_device()
+            .expect("a stale shadow implies a current device");
+        self.platform
+            .host()
+            .devices()
+            .get(owner)
+            .cloned()
+            .ok_or_else(|| Error::Transport(format!("device {owner} vanished")))
     }
 
     /// Whether `device` holds the newest contents (after
     /// [`BufferInner::make_current_on`] it does). Used by coherence tests.
     #[cfg(test)]
     pub(crate) fn is_current_on(&self, device: &Device) -> bool {
-        self.state.lock().current.contains(&device.index)
+        self.state
+            .lock()
+            .residency
+            .is_current(device.index, self.live_epoch(device.index))
     }
 
-    pub(crate) fn note_device_write_full(&self, device: &Device) {
-        let mut st = self.state.lock();
-        st.current.clear();
-        st.current.insert(device.index);
-        st.shadow_current = false;
+    /// Bytes of this buffer that are current on global device `dev` —
+    /// the whole size or nothing. Feeds locality-aware placement.
+    pub(crate) fn resident_bytes_on(&self, dev: usize) -> u64 {
+        let st = self.state.lock();
+        if st.residency.is_current(dev, self.live_epoch(dev)) {
+            self.size
+        } else {
+            0
+        }
     }
 
     fn allocate_locked(&self, st: &mut BufState, device: &Device) -> Result<(), Error> {
-        if st.allocated.contains(&device.index) {
+        if st.residency.is_allocated(device.index) {
             return Ok(());
         }
+        let wire = self.wire_id_locked(st, device.node());
         let call = if self.modeled {
             ApiCall::CreateBufferModeled {
                 device: device.device_index(),
-                buffer: self.id,
+                buffer: wire,
                 size: self.size,
             }
         } else {
             ApiCall::CreateBuffer {
                 device: device.device_index(),
-                buffer: self.id,
+                buffer: wire,
                 size: self.size,
             }
         };
         self.platform
             .call_traced(device.node(), call, Phase::DataCreate)?;
-        st.allocated.insert(device.index);
+        st.residency.note_allocated(device.index);
         Ok(())
     }
 
     /// Pulls the newest contents into the shadow if stale.
     fn refresh_shadow_locked(&self, st: &mut BufState) -> Result<(), Error> {
-        if st.shadow_current {
+        if st.residency.host_current() {
             return Ok(());
         }
-        let owner = *st
-            .current
-            .iter()
-            .next()
-            .expect("a stale shadow implies a current device");
-        // Find the Device handle for the owner index.
-        let info = self
-            .platform
-            .host()
-            .devices()
-            .get(owner)
-            .cloned()
-            .ok_or_else(|| Error::Transport(format!("device {owner} vanished")))?;
+        let info = self.owner_device(st)?;
+        let wire = self.wire_id_locked(st, info.node);
         let call = if self.modeled {
             ApiCall::ReadBufferModeled {
                 device: info.device,
-                buffer: self.id,
+                buffer: wire,
                 offset: 0,
                 len: self.size,
             }
         } else {
             ApiCall::ReadBuffer {
                 device: info.device,
-                buffer: self.id,
+                buffer: wire,
                 offset: 0,
                 len: self.size,
             }
@@ -532,17 +736,18 @@ impl BufferInner {
         match outcome.reply {
             ApiReply::Data { bytes } => {
                 st.shadow.copy_from_slice(&bytes);
-                st.shadow_current = true;
-                Ok(())
             }
-            ApiReply::DataModeled { .. } => {
-                st.shadow_current = true;
-                Ok(())
+            ApiReply::DataModeled { .. } => {}
+            other => {
+                return Err(Error::Transport(format!(
+                    "ReadBuffer answered with {other:?}"
+                )));
             }
-            other => Err(Error::Transport(format!(
-                "ReadBuffer answered with {other:?}"
-            ))),
         }
+        self.platform
+            .count_dataplane(names::PATH_HOST_RELAY, self.size);
+        st.residency.record_sync(Location::Host, 0);
+        Ok(())
     }
 }
 
@@ -602,8 +807,59 @@ mod tests {
         buf.inner.note_kernel_write(d0);
         assert!(buf.inner.is_current_on(d0));
         assert!(!buf.inner.is_current_on(d1));
-        // Re-making d1 current pulls through the host.
+        // Re-making d1 current migrates the newest replica over.
         buf.inner.make_current_on(d1).unwrap();
+        assert!(buf.inner.is_current_on(d1));
+    }
+
+    #[test]
+    fn migrations_prefer_peer_transfers_over_the_shadow() {
+        let (p, ctx) = setup();
+        let buf = Buffer::new(&ctx, MemFlags::READ_WRITE, 4).unwrap();
+        let d0 = &ctx.devices()[0];
+        let d1 = &ctx.devices()[1];
+        buf.inner.host_write(d0, 0, &[1, 2, 3, 4]).unwrap();
+        buf.inner.note_kernel_write(d0); // shadow goes stale
+        buf.inner.make_current_on(d1).unwrap();
+        let m = &p.obs().metrics;
+        assert_eq!(
+            m.counter_value(names::DATAPLANE_BYTES, &[("path", names::PATH_PEER)]),
+            4,
+            "the migration must travel NMP→NMP"
+        );
+        assert_eq!(
+            m.counter_value(names::SHADOW_REFRESHES_AVOIDED, &[]),
+            1,
+            "the shadow must not have been refreshed"
+        );
+        // The host still observes the newest contents via a lazy pull.
+        let mut out = vec![0u8; 4];
+        buf.inner.host_read(0, &mut out).unwrap();
+        assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn disabling_peer_transfers_restores_the_host_relay() {
+        let (p, ctx) = setup();
+        p.set_peer_transfers(false);
+        let buf = Buffer::new(&ctx, MemFlags::READ_WRITE, 4).unwrap();
+        let d0 = &ctx.devices()[0];
+        let d1 = &ctx.devices()[1];
+        buf.inner.host_write(d0, 0, &[5, 6, 7, 8]).unwrap();
+        buf.inner.note_kernel_write(d0);
+        buf.inner.make_current_on(d1).unwrap();
+        let m = &p.obs().metrics;
+        assert_eq!(
+            m.counter_value(names::DATAPLANE_BYTES, &[("path", names::PATH_PEER)]),
+            0
+        );
+        assert_eq!(m.counter_value(names::SHADOW_REFRESHES_AVOIDED, &[]), 0);
+        // Relay = 4-byte pull back to the shadow + 4-byte push, plus the
+        // initial 4-byte host write.
+        assert_eq!(
+            m.counter_value(names::DATAPLANE_BYTES, &[("path", names::PATH_HOST_RELAY)]),
+            12
+        );
         assert!(buf.inner.is_current_on(d1));
     }
 
@@ -632,6 +888,20 @@ mod tests {
             .inner
             .make_current_on(&dev)
             .expect("memory must have been reclaimed");
+    }
+
+    #[test]
+    fn resident_bytes_follow_the_newest_replica() {
+        let (_p, ctx) = setup();
+        let buf = Buffer::new(&ctx, MemFlags::READ_WRITE, 16).unwrap();
+        let d0 = &ctx.devices()[0];
+        let d1 = &ctx.devices()[1];
+        assert_eq!(buf.inner.resident_bytes_on(d0.index), 0);
+        buf.inner.make_current_on(d0).unwrap();
+        assert_eq!(buf.inner.resident_bytes_on(d0.index), 16);
+        buf.inner.note_kernel_write(d1);
+        assert_eq!(buf.inner.resident_bytes_on(d0.index), 0);
+        assert_eq!(buf.inner.resident_bytes_on(d1.index), 16);
     }
 
     #[test]

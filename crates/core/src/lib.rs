@@ -78,6 +78,7 @@ pub mod kernel;
 pub mod platform;
 pub mod program;
 pub mod queue;
+pub(crate) mod residency;
 
 pub use buffer::{Buffer, MemFlags};
 pub use context::Context;

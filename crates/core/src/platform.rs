@@ -5,6 +5,7 @@
 //! platform is the same stack with a zero-cost interconnect, which is the
 //! "native OpenCL single node" the paper's evaluation normalizes against.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use haocl_cluster::{ClusterConfig, HostRuntime, LocalCluster, NodeSpec, RemoteDevice};
@@ -29,6 +30,9 @@ pub(crate) struct PlatformInner {
     /// cluster's plane metrics and the API layer's spans land in one
     /// place.
     pub(crate) obs: Arc<Hub>,
+    /// Whether buffer migrations may travel NMP→NMP directly instead of
+    /// relaying through the host shadow.
+    peer_transfers: AtomicBool,
     name: String,
 }
 
@@ -56,6 +60,21 @@ impl PlatformInner {
             outcome.host_received.saturating_duration_since(started),
         );
         Ok(outcome)
+    }
+
+    /// Whether direct peer transfers are enabled (they are by default).
+    pub(crate) fn peer_transfers_enabled(&self) -> bool {
+        self.peer_transfers.load(Ordering::Relaxed)
+    }
+
+    /// Counts `bytes` of buffer contents moved by the data plane over
+    /// `path` (`host_relay` or `peer`) into the metrics registry and the
+    /// per-phase byte breakdown.
+    pub(crate) fn count_dataplane(&self, path: &str, bytes: u64) {
+        self.obs
+            .metrics
+            .inc_counter(names::DATAPLANE_BYTES, &[("path", path)], bytes);
+        self.tracer.record_bytes(Phase::DataTransfer, bytes);
     }
 }
 
@@ -182,6 +201,7 @@ impl Platform {
                 ids: IdAllocator::new(),
                 tracer: Tracer::new(),
                 obs,
+                peer_transfers: AtomicBool::new(true),
                 name: name.to_string(),
             }),
         }
@@ -275,6 +295,20 @@ impl Platform {
         let dur = SimDuration::from_secs_f64(bytes as f64 / HOST_GEN_BANDWIDTH);
         self.inner.clock().advance_by(dur);
         self.inner.tracer.record(Phase::DataCreate, dur);
+        self.inner.tracer.record_bytes(Phase::DataCreate, bytes);
+    }
+
+    /// Enables or disables direct NMP→NMP buffer migrations (on by
+    /// default). With peer transfers off, every migration relays through
+    /// the host shadow — the pre-residency data plane, kept for
+    /// ablations and A/B verification.
+    pub fn set_peer_transfers(&self, on: bool) {
+        self.inner.peer_transfers.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether direct peer transfers are enabled.
+    pub fn peer_transfers_enabled(&self) -> bool {
+        self.inner.peer_transfers_enabled()
     }
 
     /// Current virtual time.

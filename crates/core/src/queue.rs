@@ -172,8 +172,8 @@ impl CommandQueue {
             self.device.node(),
             ApiCall::CopyBuffer {
                 device: self.device.device_index(),
-                src: src.inner.id,
-                dst: dst.inner.id,
+                src: src.inner.wire_id_on(self.device.node()),
+                dst: dst.inner.wire_id_on(self.device.node()),
                 src_offset,
                 dst_offset,
                 len,
@@ -242,7 +242,7 @@ impl CommandQueue {
         let wire_args: Vec<WireArg> = args
             .iter()
             .map(|a| match a {
-                StoredArg::Buffer(b) => WireArg::Buffer(b.inner.id),
+                StoredArg::Buffer(b) => WireArg::Buffer(b.inner.wire_id_on(self.device.node())),
                 StoredArg::Scalar(w) => *w,
                 StoredArg::Local(bytes) => WireArg::LocalBytes(*bytes),
             })

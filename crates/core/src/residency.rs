@@ -1,0 +1,224 @@
+//! Versioned buffer-replica residency tracking.
+//!
+//! [`ResidencyTracker`] is the coherence brain extracted from the buffer
+//! layer: every buffer carries a monotonically increasing *version*, and
+//! every replica — the host shadow included, it is just another
+//! [`Location`] — remembers which version it holds. A replica is
+//! *current* iff its version equals the buffer's newest version. Writes
+//! bump the version and leave the writer as the sole current replica;
+//! syncs (transfers) mark the receiving replica current without bumping.
+//!
+//! Device replicas additionally remember the **routing epoch** of their
+//! node at sync time. The host runtime bumps a node's epoch on failover,
+//! and journal replay only reconstructs host-journaled traffic — bytes
+//! that reached the node via a direct peer transfer are re-pulled on
+//! replay but may race the failure. A replica whose recorded epoch no
+//! longer matches the node's live epoch is therefore never trusted as
+//! current; [`ResidencyTracker::revalidate`] drops such replicas and, if
+//! nothing current remains, falls back to the host shadow as the best
+//! surviving copy (the survivor's state was rebuilt from host-journaled
+//! data, so the shadow is exactly what the cluster still knows).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Where a replica of a buffer lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum Location {
+    /// The host shadow copy.
+    Host,
+    /// A device, by platform-global device index.
+    Device(usize),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Replica {
+    /// Version this replica holds.
+    version: u64,
+    /// Node routing epoch observed when the replica last synced.
+    epoch: u32,
+}
+
+/// Monotonically versioned replica map for one buffer.
+#[derive(Debug, Default)]
+pub(crate) struct ResidencyTracker {
+    /// Newest version of the buffer contents.
+    version: u64,
+    /// Version the host shadow holds. Starts equal to `version`: a fresh
+    /// buffer's zero-filled shadow *is* the newest contents.
+    host_version: u64,
+    /// Device replicas, keyed by platform-global device index. BTreeMap
+    /// keeps owner selection deterministic.
+    replicas: BTreeMap<usize, Replica>,
+    /// Devices holding an allocation (regardless of currency).
+    allocated: BTreeSet<usize>,
+}
+
+impl ResidencyTracker {
+    pub(crate) fn new() -> Self {
+        ResidencyTracker::default()
+    }
+
+    /// The newest version of the buffer contents.
+    pub(crate) fn newest(&self) -> u64 {
+        self.version
+    }
+
+    /// Records a write at `loc`: bumps the version and leaves `loc` as
+    /// the sole current replica.
+    pub(crate) fn record_write(&mut self, loc: Location, epoch: u32) {
+        self.version += 1;
+        self.sync_at(loc, epoch);
+    }
+
+    /// Marks `loc` as holding the newest version (after a transfer).
+    pub(crate) fn record_sync(&mut self, loc: Location, epoch: u32) {
+        self.sync_at(loc, epoch);
+    }
+
+    fn sync_at(&mut self, loc: Location, epoch: u32) {
+        match loc {
+            Location::Host => self.host_version = self.version,
+            Location::Device(dev) => {
+                self.replicas.insert(
+                    dev,
+                    Replica {
+                        version: self.version,
+                        epoch,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Whether the host shadow holds the newest contents.
+    pub(crate) fn host_current(&self) -> bool {
+        self.host_version == self.version
+    }
+
+    /// Whether `dev` holds the newest contents under `live_epoch`.
+    pub(crate) fn is_current(&self, dev: usize, live_epoch: u32) -> bool {
+        self.replicas
+            .get(&dev)
+            .is_some_and(|r| r.version == self.version && r.epoch == live_epoch)
+    }
+
+    /// Drops device replicas whose node epoch moved on from under them.
+    /// If no current replica remains anywhere, promotes the host shadow:
+    /// it is the best copy the cluster still has.
+    pub(crate) fn revalidate(&mut self, live_epoch_of: impl Fn(usize) -> u32) {
+        self.replicas
+            .retain(|&dev, r| r.epoch == live_epoch_of(dev));
+        let any_current =
+            self.host_current() || self.replicas.values().any(|r| r.version == self.version);
+        if !any_current {
+            self.host_version = self.version;
+        }
+    }
+
+    /// The current device with the smallest index, if any. Call after
+    /// [`ResidencyTracker::revalidate`] so epochs are already settled.
+    pub(crate) fn owner_device(&self) -> Option<usize> {
+        self.replicas
+            .iter()
+            .find(|(_, r)| r.version == self.version)
+            .map(|(&dev, _)| dev)
+    }
+
+    /// Records an allocation on `dev`.
+    pub(crate) fn note_allocated(&mut self, dev: usize) {
+        self.allocated.insert(dev);
+    }
+
+    /// Whether `dev` holds an allocation.
+    pub(crate) fn is_allocated(&self, dev: usize) -> bool {
+        self.allocated.contains(&dev)
+    }
+
+    /// Number of devices holding an allocation.
+    pub(crate) fn allocated_count(&self) -> usize {
+        self.allocated.len()
+    }
+
+    /// Devices holding an allocation, in ascending index order.
+    pub(crate) fn allocated_devices(&self) -> Vec<usize> {
+        self.allocated.iter().copied().collect()
+    }
+
+    /// Forgets every replica and allocation (buffer teardown).
+    pub(crate) fn clear(&mut self) {
+        self.replicas.clear();
+        self.allocated.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_tracker_has_host_current() {
+        let t = ResidencyTracker::new();
+        assert_eq!(t.newest(), 0);
+        assert!(t.host_current());
+        assert_eq!(t.owner_device(), None);
+    }
+
+    #[test]
+    fn writes_bump_versions_and_invalidate_peers() {
+        let mut t = ResidencyTracker::new();
+        t.record_sync(Location::Device(0), 0);
+        t.record_sync(Location::Device(1), 0);
+        assert!(t.is_current(0, 0) && t.is_current(1, 0));
+        t.record_write(Location::Device(0), 0);
+        assert_eq!(t.newest(), 1);
+        assert!(t.is_current(0, 0));
+        assert!(!t.is_current(1, 0));
+        assert!(!t.host_current());
+        assert_eq!(t.owner_device(), Some(0));
+    }
+
+    #[test]
+    fn sync_marks_current_without_bumping() {
+        let mut t = ResidencyTracker::new();
+        t.record_write(Location::Host, 0);
+        t.record_sync(Location::Device(2), 0);
+        assert_eq!(t.newest(), 1);
+        assert!(t.host_current());
+        assert!(t.is_current(2, 0));
+    }
+
+    #[test]
+    fn epoch_mismatch_invalidates_a_replica() {
+        let mut t = ResidencyTracker::new();
+        t.record_write(Location::Device(0), 0);
+        assert!(t.is_current(0, 0));
+        assert!(!t.is_current(0, 1), "a bumped epoch must not be trusted");
+        t.revalidate(|_| 1);
+        assert_eq!(t.owner_device(), None);
+        // With the only current replica gone, the shadow is promoted.
+        assert!(t.host_current());
+    }
+
+    #[test]
+    fn revalidate_keeps_live_replicas() {
+        let mut t = ResidencyTracker::new();
+        t.record_write(Location::Device(0), 3);
+        t.record_sync(Location::Device(1), 5);
+        t.revalidate(|dev| if dev == 0 { 3 } else { 9 });
+        assert_eq!(t.owner_device(), Some(0));
+        assert!(!t.host_current());
+    }
+
+    #[test]
+    fn allocations_track_independently_of_currency() {
+        let mut t = ResidencyTracker::new();
+        t.note_allocated(4);
+        t.note_allocated(1);
+        assert!(t.is_allocated(4));
+        assert_eq!(t.allocated_count(), 2);
+        assert_eq!(t.allocated_devices(), vec![1, 4]);
+        t.clear();
+        assert_eq!(t.allocated_count(), 0);
+        assert!(!t.is_allocated(4));
+    }
+}

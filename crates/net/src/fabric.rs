@@ -268,8 +268,18 @@ impl std::fmt::Debug for Fabric {
     }
 }
 
-fn host_of(addr: &str) -> String {
+/// The host-name part of a `"host:port"` address.
+///
+/// Frames between two addresses sharing a host name take the loopback
+/// path; peers that dial out (the host runtime, an NMP executing a peer
+/// transfer) identify themselves by this name so their frames serialize
+/// on the right transmit NIC.
+pub fn host_name_of(addr: &str) -> String {
     addr.split(':').next().unwrap_or(addr).to_string()
+}
+
+fn host_of(addr: &str) -> String {
+    host_name_of(addr)
 }
 
 /// An acceptor bound to an address.

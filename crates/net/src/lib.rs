@@ -44,4 +44,6 @@ pub mod frame;
 
 pub use chaos::{ChaosPolicy, ChaosSpec, ChaosSummary, ChaosVerdict};
 pub use error::NetError;
-pub use fabric::{Conn, ConnReceiver, ConnSender, Fabric, FabricStats, LinkModel, Listener};
+pub use fabric::{
+    host_name_of, Conn, ConnReceiver, ConnSender, Fabric, FabricStats, LinkModel, Listener,
+};

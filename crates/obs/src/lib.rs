@@ -73,6 +73,17 @@ pub mod names {
     pub const DEDUP_HITS: &str = "haocl_dedup_hits_total";
     /// Counter: scheduler quarantine decisions, per node.
     pub const QUARANTINES: &str = "haocl_quarantines_total";
+    /// Counter: buffer-content bytes moved by the data plane, labelled
+    /// by `path` ([`PATH_HOST_RELAY`] or [`PATH_PEER`]).
+    pub const DATAPLANE_BYTES: &str = "haocl_dataplane_bytes_total";
+    /// Counter: host shadow refreshes avoided by direct peer transfers.
+    pub const SHADOW_REFRESHES_AVOIDED: &str = "haocl_shadow_refreshes_avoided_total";
+    /// Counter: buffer releases that could not reach the owning node.
+    pub const BUFFER_RELEASE_FAILED: &str = "haocl_buffer_release_failed_total";
+    /// `path` label value: bytes relayed through the host shadow.
+    pub const PATH_HOST_RELAY: &str = "host_relay";
+    /// `path` label value: bytes shipped directly between NMPs.
+    pub const PATH_PEER: &str = "peer";
 }
 
 /// The bundle every instrumented layer shares: one span [`Recorder`], one

@@ -294,6 +294,60 @@ pub enum ApiCall {
         /// Bytes the modeled transfer stands in for.
         len: u64,
     },
+    /// Ship a buffer's contents directly to a peer NMP's data listener
+    /// (one hop, no host relay). The host still *sends* this command —
+    /// it keeps packaging and delivering every message (§III-A) — but
+    /// the bulk bytes travel node-to-node.
+    PushBufferTo {
+        /// Source device index on the receiving (owning) node.
+        device: u8,
+        /// Buffer to ship, under the *source* node's wire id.
+        buffer: BufferId,
+        /// Data-plane address of the destination node.
+        peer_addr: String,
+        /// Destination device index on the peer node.
+        peer_device: u8,
+        /// The same buffer under the *destination* node's wire id. Wire
+        /// ids are per logical node, so failed-over nodes co-located on
+        /// one physical NMP keep disjoint buffer slots.
+        peer_buffer: BufferId,
+        /// Byte offset within the buffer.
+        offset: u64,
+        /// Bytes to ship.
+        len: u64,
+        /// Residency version being propagated (observability/consistency
+        /// annotation; the receiving replica becomes current at it).
+        version: u64,
+        /// Destination node's routing epoch as observed by the host.
+        epoch: u32,
+        /// Whether the buffer is modeled (timing-only transfer).
+        modeled: bool,
+    },
+    /// Fetch a buffer's contents directly from a peer NMP's data
+    /// listener into a local device (the inverse of `PushBufferTo`;
+    /// journal replay uses it to reconstruct peer-delivered bytes).
+    PullBufferFrom {
+        /// Destination device index on the receiving node.
+        device: u8,
+        /// Buffer to fetch, under the *destination* node's wire id.
+        buffer: BufferId,
+        /// Data-plane address of the source node.
+        peer_addr: String,
+        /// Source device index on the peer node.
+        peer_device: u8,
+        /// The same buffer under the *source* node's wire id.
+        peer_buffer: BufferId,
+        /// Byte offset within the buffer.
+        offset: u64,
+        /// Bytes to fetch.
+        len: u64,
+        /// Residency version being propagated.
+        version: u64,
+        /// Source node's routing epoch as observed by the host.
+        epoch: u32,
+        /// Whether the buffer is modeled (timing-only transfer).
+        modeled: bool,
+    },
     /// Pull the node's runtime profile (scheduler feedback, §III-B).
     QueryProfile,
     /// Liveness check.
@@ -871,6 +925,54 @@ impl Encode for ApiCall {
                 offset.encode(buf);
                 len.encode(buf);
             }
+            ApiCall::PushBufferTo {
+                device,
+                buffer,
+                peer_addr,
+                peer_device,
+                peer_buffer,
+                offset,
+                len,
+                version,
+                epoch,
+                modeled,
+            } => {
+                buf.put_u8(17);
+                device.encode(buf);
+                buffer.encode(buf);
+                peer_addr.encode(buf);
+                peer_device.encode(buf);
+                peer_buffer.encode(buf);
+                offset.encode(buf);
+                len.encode(buf);
+                version.encode(buf);
+                epoch.encode(buf);
+                modeled.encode(buf);
+            }
+            ApiCall::PullBufferFrom {
+                device,
+                buffer,
+                peer_addr,
+                peer_device,
+                peer_buffer,
+                offset,
+                len,
+                version,
+                epoch,
+                modeled,
+            } => {
+                buf.put_u8(18);
+                device.encode(buf);
+                buffer.encode(buf);
+                peer_addr.encode(buf);
+                peer_device.encode(buf);
+                peer_buffer.encode(buf);
+                offset.encode(buf);
+                len.encode(buf);
+                version.encode(buf);
+                epoch.encode(buf);
+                modeled.encode(buf);
+            }
         }
     }
 }
@@ -958,6 +1060,30 @@ impl Decode for ApiCall {
                 buffer: Decode::decode(buf)?,
                 offset: Decode::decode(buf)?,
                 len: Decode::decode(buf)?,
+            },
+            17 => ApiCall::PushBufferTo {
+                device: Decode::decode(buf)?,
+                buffer: Decode::decode(buf)?,
+                peer_addr: Decode::decode(buf)?,
+                peer_device: Decode::decode(buf)?,
+                peer_buffer: Decode::decode(buf)?,
+                offset: Decode::decode(buf)?,
+                len: Decode::decode(buf)?,
+                version: Decode::decode(buf)?,
+                epoch: Decode::decode(buf)?,
+                modeled: Decode::decode(buf)?,
+            },
+            18 => ApiCall::PullBufferFrom {
+                device: Decode::decode(buf)?,
+                buffer: Decode::decode(buf)?,
+                peer_addr: Decode::decode(buf)?,
+                peer_device: Decode::decode(buf)?,
+                peer_buffer: Decode::decode(buf)?,
+                offset: Decode::decode(buf)?,
+                len: Decode::decode(buf)?,
+                version: Decode::decode(buf)?,
+                epoch: Decode::decode(buf)?,
+                modeled: Decode::decode(buf)?,
             },
             tag => {
                 return Err(WireError::InvalidTag {
@@ -1358,6 +1484,30 @@ mod tests {
                 buffer: BufferId::new(8),
                 offset: 4,
                 len: 1 << 20,
+            },
+            ApiCall::PushBufferTo {
+                device: 1,
+                buffer: BufferId::new(5),
+                peer_addr: "10.0.1.2:7101".into(),
+                peer_device: 0,
+                peer_buffer: BufferId::new(23),
+                offset: 8,
+                len: 4096,
+                version: 7,
+                epoch: 2,
+                modeled: false,
+            },
+            ApiCall::PullBufferFrom {
+                device: 0,
+                buffer: BufferId::new(8),
+                peer_addr: "10.0.2.1:7101".into(),
+                peer_device: 3,
+                peer_buffer: BufferId::new(31),
+                offset: 0,
+                len: 1 << 30,
+                version: u64::MAX,
+                epoch: 0,
+                modeled: true,
             },
         ];
         for call in calls {

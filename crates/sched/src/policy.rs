@@ -217,11 +217,19 @@ impl fmt::Debug for Scheduler {
     }
 }
 
+/// Bytes/second the host assumes for migrating input data onto a
+/// candidate device (the fabric's Gigabit-Ethernet line rate, §III-C).
+const MIGRATION_BYTES_PER_SEC: f64 = 125e6;
+
 /// Host-side estimate of how long `task` runs on a device of this class.
 ///
 /// Mirrors the device model's roofline with class-level match factors;
 /// it is intentionally an *estimate* (the host does not know the exact
 /// device internals) — observed profiles override it when available.
+/// Input bytes not already resident on the candidate
+/// ([`TaskSpec::input_bytes`] minus [`DeviceView::local_bytes`]) are
+/// charged as an up-front migration over the backbone, so time-minimizing
+/// policies see the real cost of placing work away from its data.
 pub fn estimate_time(task: &TaskSpec, view: &DeviceView) -> SimDuration {
     let streaming = task.cost.is_streaming();
     let fraction = match (view.kind, streaming) {
@@ -251,7 +259,9 @@ pub fn estimate_time(task: &TaskSpec, view: &DeviceView) -> SimDuration {
     } else {
         0.0
     };
-    SimDuration::from_secs_f64(compute.max(memory))
+    let missing = task.input_bytes.saturating_sub(view.local_bytes);
+    let migration = missing as f64 / MIGRATION_BYTES_PER_SEC;
+    SimDuration::from_secs_f64(compute.max(memory) + migration)
 }
 
 #[cfg(test)]
@@ -335,6 +345,25 @@ mod tests {
         assert!(estimate_time(&batch, &gpu) < estimate_time(&batch, &fpga));
         let stream = TaskSpec::new("k").cost(CostModel::new().flops(1e10).streaming());
         assert!(estimate_time(&stream, &fpga) < estimate_time(&stream, &gpu));
+    }
+
+    #[test]
+    fn estimate_charges_migration_for_nonresident_input() {
+        let away = DeviceView::sample(0, 0, DeviceKind::Gpu);
+        let home = DeviceView::sample(1, 0, DeviceKind::Gpu).with_local_bytes(1 << 30);
+        let t = TaskSpec::new("k")
+            .cost(CostModel::new().flops(1e9))
+            .input_bytes(1 << 30);
+        let cold = estimate_time(&t, &away);
+        let warm = estimate_time(&t, &home);
+        assert!(cold > warm, "missing input must cost backbone time");
+        // The gap is the full migration: 1 GiB at the gigabit line rate.
+        let gap = cold - warm;
+        let expected = SimDuration::from_secs_f64((1u64 << 30) as f64 / 125e6);
+        assert_eq!(gap, expected);
+        // Without declared input the estimate is unchanged from before.
+        let plain = TaskSpec::new("k").cost(CostModel::new().flops(1e9));
+        assert_eq!(estimate_time(&plain, &away), estimate_time(&plain, &home));
     }
 
     #[test]

@@ -23,6 +23,10 @@ pub struct TaskSpec {
     /// Explicit placement from the user (`(node, device_index)`), the
     /// paper's shipped user-directed mode.
     pub pinned: Option<(NodeId, u8)>,
+    /// Total bytes of input buffers the launch reads. Compared against
+    /// each candidate's [`crate::DeviceView::local_bytes`] so policies
+    /// and the cost model charge real migration traffic per placement.
+    pub input_bytes: u64,
 }
 
 impl TaskSpec {
@@ -34,6 +38,7 @@ impl TaskSpec {
             user: UserId::new(0),
             fpga_eligible: false,
             pinned: None,
+            input_bytes: 0,
         }
     }
 
@@ -58,6 +63,13 @@ impl TaskSpec {
     /// Pins the task to an explicit device (user-directed scheduling).
     pub fn pin(mut self, node: NodeId, device: u8) -> Self {
         self.pinned = Some((node, device));
+        self
+    }
+
+    /// Declares how many bytes of input the launch reads (for
+    /// locality-aware migration charging).
+    pub fn input_bytes(mut self, bytes: u64) -> Self {
+        self.input_bytes = bytes;
         self
     }
 }
@@ -233,12 +245,14 @@ mod tests {
             .cost(CostModel::new().flops(10.0))
             .user(UserId::new(3))
             .fpga_eligible(true)
-            .pin(NodeId::new(1), 0);
+            .pin(NodeId::new(1), 0)
+            .input_bytes(4096);
         assert_eq!(t.kernel, "matmul");
         assert_eq!(t.cost.total_flops(), 10.0);
         assert_eq!(t.user, UserId::new(3));
         assert!(t.fpga_eligible);
         assert_eq!(t.pinned, Some((NodeId::new(1), 0)));
+        assert_eq!(t.input_bytes, 4096);
     }
 
     #[test]

@@ -106,6 +106,10 @@ impl fmt::Debug for Phase {
 pub struct PhaseBreakdown {
     /// Recorded categories in first-seen order.
     spans: Vec<(Phase, SimDuration)>,
+    /// Bytes moved per category, in first-seen order. Tracked separately
+    /// from `spans` so the `Display` output (frozen since the fixed-enum
+    /// era) is unaffected.
+    bytes: Vec<(Phase, u64)>,
 }
 
 impl PhaseBreakdown {
@@ -116,6 +120,29 @@ impl PhaseBreakdown {
         } else {
             self.spans.push((phase, dur));
         }
+    }
+
+    /// Adds `n` bytes moved during `phase`.
+    pub fn add_bytes(&mut self, phase: Phase, n: u64) {
+        if let Some((_, b)) = self.bytes.iter_mut().find(|(p, _)| *p == phase) {
+            *b += n;
+        } else {
+            self.bytes.push((phase, n));
+        }
+    }
+
+    /// Total bytes recorded for `phase` (zero if none).
+    pub fn bytes(&self, phase: Phase) -> u64 {
+        self.bytes
+            .iter()
+            .find(|(p, _)| *p == phase)
+            .map(|(_, b)| *b)
+            .unwrap_or(0)
+    }
+
+    /// Sum of bytes over all phases.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().map(|(_, b)| *b).sum()
     }
 
     /// Total time recorded for `phase` (zero if the phase never occurred).
@@ -147,6 +174,9 @@ impl PhaseBreakdown {
         for (p, d) in &other.spans {
             self.add(*p, *d);
         }
+        for (p, b) in &other.bytes {
+            self.add_bytes(*p, *b);
+        }
     }
 
     /// All phases in reporting order: the canonical Fig. 3 phases first
@@ -165,7 +195,8 @@ impl PhaseBreakdown {
 impl PartialEq for PhaseBreakdown {
     fn eq(&self, other: &Self) -> bool {
         // Order-independent: equal iff every category agrees (absent means
-        // zero), matching the old fixed-array semantics.
+        // zero), matching the old fixed-array semantics. Byte counts are
+        // auxiliary instrumentation and do not participate in equality.
         self.spans.iter().all(|(p, d)| other.time(*p) == *d)
             && other.spans.iter().all(|(p, d)| self.time(*p) == *d)
     }
@@ -206,6 +237,11 @@ impl Tracer {
     /// Records `dur` against `phase`.
     pub fn record(&self, phase: Phase, dur: SimDuration) {
         self.inner.lock().add(phase, dur);
+    }
+
+    /// Records `n` bytes moved during `phase`.
+    pub fn record_bytes(&self, phase: Phase, n: u64) {
+        self.inner.lock().add_bytes(phase, n);
     }
 
     /// A snapshot of the accumulated breakdown.
@@ -313,6 +349,25 @@ mod tests {
             "canonical phases lead: {s}"
         );
         assert!(s.ends_with("Sched=5ns"), "extras trail: {s}");
+    }
+
+    #[test]
+    fn bytes_accumulate_per_phase_without_touching_display() {
+        let mut b = PhaseBreakdown::default();
+        b.add_bytes(Phase::DataTransfer, 100);
+        b.add_bytes(Phase::DataTransfer, 28);
+        b.add_bytes(Phase::DataCreate, 64);
+        assert_eq!(b.bytes(Phase::DataTransfer), 128);
+        assert_eq!(b.bytes(Phase::Init), 0);
+        assert_eq!(b.total_bytes(), 192);
+        assert_eq!(
+            b.to_string(),
+            "Init=0ns DataCreate=0ns DataTransfer=0ns Compute=0ns"
+        );
+        let mut merged = PhaseBreakdown::default();
+        merged.add_bytes(Phase::DataCreate, 1);
+        merged.merge(&b);
+        assert_eq!(merged.bytes(Phase::DataCreate), 65);
     }
 
     #[test]

@@ -271,7 +271,13 @@ pub mod strategy {
         };
     }
 
-    tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+    tuple_strategy!(
+        (A, B),
+        (A, B, C),
+        (A, B, C, D),
+        (A, B, C, D, E),
+        (A, B, C, D, E, F)
+    );
 
     /// String strategy from a regex-like pattern (`&str` implements
     /// [`Strategy`] directly, as in upstream proptest).
