@@ -43,7 +43,7 @@
 //!   [`DEDUP_HITS`](haocl_obs::names::DEDUP_HITS)).
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -522,14 +522,13 @@ impl HostInner {
             route.burned.push(failed);
         }
         let policy = self.recovery().unwrap_or_default();
-        let patience = policy.base_timeout * 2u32.saturating_pow(policy.max_attempts.min(6));
         loop {
             let Some(candidate) =
                 (0..self.links.len()).find(|p| !route.burned.contains(p) && self.link_alive(*p))
             else {
                 return Err(ClusterError::Net(NetError::Disconnected));
             };
-            match self.replay_journal(index, candidate, patience) {
+            match self.replay_journal(index, candidate, &policy) {
                 Ok(()) => {
                     self.obs.metrics.inc_counter(
                         names::FAILOVERS,
@@ -559,7 +558,7 @@ impl HostInner {
         &self,
         index: usize,
         candidate: usize,
-        patience: Duration,
+        policy: &RecoveryPolicy,
     ) -> Result<(), ClusterError> {
         let entries: Vec<JournalEntry> = self.journals[index]
             .lock()
@@ -590,10 +589,10 @@ impl HostInner {
                         device: *device,
                         buffer: *buffer,
                     },
-                    patience,
+                    policy,
                 );
             }
-            match self.call_on_link(candidate, entry.user, entry.call.clone(), patience) {
+            match self.call_on_link(candidate, entry.user, entry.call.clone(), policy) {
                 Ok(_) => {}
                 // The original call may have failed the same way (user
                 // errors replay faithfully); only transport trouble
@@ -608,59 +607,70 @@ impl HostInner {
     /// One synchronous call straight to a physical link, bypassing
     /// routing and recovery (used by journal replay, which runs *inside*
     /// failover and must not recurse into it).
+    ///
+    /// Retransmits with exponential backoff under the *same* request id
+    /// so a lossy link cannot burn a perfectly good candidate: the node
+    /// journal dedups replays of an already-executed call and answers
+    /// from cache.
     fn call_on_link(
         &self,
         physical: usize,
         user: UserId,
         call: ApiCall,
-        patience: Duration,
+        policy: &RecoveryPolicy,
     ) -> Result<CallOutcome, ClusterError> {
         let link = &self.links[physical];
         let id = RequestId::new(self.request_ids.next());
         let plane = plane_of(&call);
-        let now = self.clock.now();
-        let request = Request {
-            id,
-            user,
-            sent_at_nanos: now.as_nanos(),
-            trace_id: 0,
-            parent_span: 0,
-            epoch: 0,
-            attempt: 0,
-            body: call,
-        };
-        {
-            let mut state = link.shared.state.lock().expect("link state poisoned");
-            if let Some(err) = &state.dead {
-                return Err(err.clone());
+        for attempt in 0..=policy.max_attempts.min(6) {
+            let patience = policy.base_timeout * 2u32.saturating_pow(attempt);
+            let now = self.clock.now();
+            let request = Request {
+                id,
+                user,
+                sent_at_nanos: now.as_nanos(),
+                trace_id: 0,
+                parent_span: 0,
+                epoch: 0,
+                attempt,
+                body: call.clone(),
+            };
+            {
+                let mut state = link.shared.state.lock().expect("link state poisoned");
+                if let Some(err) = &state.dead {
+                    return Err(err.clone());
+                }
+                state.pending.insert(id, PendingEntry::Waiting(plane));
             }
-            state.pending.insert(id, PendingEntry::Waiting(plane));
-        }
-        if let Err(err) = link.send(request, now) {
-            link.shared
-                .state
-                .lock()
-                .expect("link state poisoned")
-                .pending
-                .remove(&id);
-            return Err(err);
-        }
-        match link
-            .shared
-            .claim(id, &self.clock, Some(Instant::now() + patience))
-        {
-            Claim::Outcome(result) => result,
-            Claim::TimedOut => {
+            if let Err(err) = link.send(request, now) {
                 link.shared
                     .state
                     .lock()
                     .expect("link state poisoned")
                     .pending
                     .remove(&id);
-                Err(ClusterError::Net(NetError::Timeout))
+                return Err(err);
             }
-            Claim::Gone(e) => Err(e),
+            match link
+                .shared
+                .claim(id, &self.clock, Some(Instant::now() + patience))
+            {
+                Claim::Outcome(result) => return result,
+                Claim::TimedOut => {
+                    // Drop the stale entry before retrying; a late
+                    // response to this transmission is simply discarded
+                    // and the retry re-earns one (deduped node-side).
+                    link.shared
+                        .state
+                        .lock()
+                        .expect("link state poisoned")
+                        .pending
+                        .remove(&id);
+                }
+                Claim::Gone(e) => return Err(e),
+            }
         }
+        Err(ClusterError::Net(NetError::Timeout))
     }
 }
 
@@ -869,8 +879,14 @@ impl std::fmt::Debug for PendingCall {
 
 /// The host runtime: device mapping plus pipelined call forwarding.
 pub struct HostRuntime {
-    user: UserId,
+    /// The user/session every outgoing request is tagged with. Atomic
+    /// so the serving plane can switch it per dispatch through a shared
+    /// handle — the per-tenant submission path tags each wire request
+    /// with the tenant's session id (§III-D's "user ID" field).
+    user: AtomicU32,
     devices: Vec<RemoteDevice>,
+    /// Session registry: tenants/users submitting through this runtime.
+    sessions: crate::session::SessionManager,
     inner: Arc<HostInner>,
     stop: Arc<AtomicBool>,
     demux_threads: Vec<JoinHandle<()>>,
@@ -932,8 +948,9 @@ impl HostRuntime {
             inflight.push(Mutex::new(HashSet::new()));
         }
         let mut runtime = HostRuntime {
-            user: UserId::new(1),
+            user: AtomicU32::new(1),
             devices: Vec::new(),
+            sessions: crate::session::SessionManager::new(),
             inner: Arc::new(HostInner {
                 links,
                 routes,
@@ -991,14 +1008,21 @@ impl HostRuntime {
         &self.inner.clock
     }
 
-    /// The session's user id.
+    /// The user id outgoing requests are currently tagged with.
     pub fn user(&self) -> UserId {
-        self.user
+        UserId::new(self.user.load(Ordering::Relaxed))
     }
 
-    /// Sets the session's user id (multi-user support).
-    pub fn set_user(&mut self, user: UserId) {
-        self.user = user;
+    /// Sets the user id outgoing requests are tagged with (multi-user
+    /// support). Takes `&self` so a serving plane holding the runtime
+    /// behind an `Arc` can re-tag per dispatch.
+    pub fn set_user(&self, user: UserId) {
+        self.user.store(user.raw(), Ordering::Relaxed);
+    }
+
+    /// The session registry: per-user names and call/launch statistics.
+    pub fn sessions(&self) -> &crate::session::SessionManager {
+        &self.sessions
     }
 
     /// Installs (or clears) the fault-recovery policy. `None` — the
@@ -1074,7 +1098,7 @@ impl HostRuntime {
             .expect("journal poisoned")
             .push(JournalEntry {
                 id: RequestId::new(self.inner.request_ids.next()),
-                user: self.user,
+                user: self.user(),
                 call,
             });
     }
@@ -1127,7 +1151,7 @@ impl HostRuntime {
                 .expect("journal poisoned")
                 .push(JournalEntry {
                     id,
-                    user: self.user,
+                    user: self.user(),
                     call: call.clone(),
                 });
         }
@@ -1138,7 +1162,7 @@ impl HostRuntime {
         let now = inner.clock.now();
         let mut request = Request {
             id,
-            user: self.user,
+            user: self.user(),
             sent_at_nanos: now.as_nanos(),
             trace_id: ctx.map_or(0, |c| c.trace.0),
             parent_span: ctx.map_or(0, |c| c.parent.0),
@@ -1345,7 +1369,7 @@ fn demux_loop(
 impl std::fmt::Debug for HostRuntime {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("HostRuntime")
-            .field("user", &self.user)
+            .field("user", &self.user())
             .field("nodes", &self.inner.links.len())
             .field("devices", &self.devices.len())
             .finish()

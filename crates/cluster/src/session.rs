@@ -19,6 +19,10 @@ pub struct SessionStats {
     pub calls: u64,
     /// Kernel launches issued.
     pub launches: u64,
+    /// Submissions shed by admission control.
+    pub shed: u64,
+    /// Virtual compute nanoseconds consumed by completed launches.
+    pub compute_nanos: u64,
 }
 
 #[derive(Debug)]
@@ -86,6 +90,20 @@ impl SessionManager {
         }
     }
 
+    /// Records one submission shed by admission control for `user`.
+    pub fn note_shed(&self, user: UserId) {
+        if let Some(s) = self.sessions.lock().get_mut(&user) {
+            s.stats.shed += 1;
+        }
+    }
+
+    /// Records virtual compute time consumed by a completed launch.
+    pub fn note_compute(&self, user: UserId, nanos: u64) {
+        if let Some(s) = self.sessions.lock().get_mut(&user) {
+            s.stats.compute_nanos += nanos;
+        }
+    }
+
     /// The stats of an open session.
     pub fn stats(&self, user: UserId) -> Option<SessionStats> {
         self.sessions.lock().get(&user).map(|s| s.stats)
@@ -121,11 +139,15 @@ mod tests {
         assert_eq!(m.name(a).unwrap(), "a");
         m.note_call(a);
         m.note_launch(a);
+        m.note_shed(a);
+        m.note_compute(a, 1500);
         assert_eq!(
             m.stats(a).unwrap(),
             SessionStats {
                 calls: 2,
-                launches: 1
+                launches: 1,
+                shed: 1,
+                compute_nanos: 1500
             }
         );
         assert_eq!(m.stats(b).unwrap(), SessionStats::default());

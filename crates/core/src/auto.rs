@@ -9,7 +9,8 @@
 use parking_lot::Mutex;
 
 use haocl_kernel::NdRange;
-use haocl_obs::{names, PlacementAudit, Span, TraceCtx};
+use haocl_obs::{names, PlacementAudit, Span, TraceCtx, DEFAULT_TENANT};
+use haocl_proto::ids::UserId;
 use haocl_sched::{DeviceView, QuarantineTracker, Scheduler, SchedulingPolicy, TaskSpec};
 use haocl_sim::{Phase, SimTime};
 
@@ -108,6 +109,26 @@ impl AutoScheduler {
     /// [`Status::InvalidOperation`] when no device is eligible; launch
     /// failures from the chosen queue otherwise.
     pub fn launch(&self, kernel: &Kernel, range: NdRange) -> Result<(Event, usize), Error> {
+        self.launch_tagged(kernel, range, UserId::new(0), DEFAULT_TENANT)
+    }
+
+    /// [`AutoScheduler::launch`], billed to a session. The serving plane
+    /// (see [`crate::serve`]) routes every tenant submission through
+    /// here; `user` and `tenant` flow into the task spec, so the audit
+    /// log, span attributes and placement metrics attribute the launch.
+    /// Untagged launches delegate with `user 0` / `"default"`, making
+    /// the single-tenant path the same code path.
+    ///
+    /// # Errors
+    ///
+    /// As [`AutoScheduler::launch`].
+    pub fn launch_tagged(
+        &self,
+        kernel: &Kernel,
+        range: NdRange,
+        user: UserId,
+        tenant: &str,
+    ) -> Result<(Event, usize), Error> {
         // The buffers this launch touches drive locality: each candidate
         // view reports how many of those bytes are already resident on
         // it, and the task declares the total, so policies and the cost
@@ -126,6 +147,8 @@ impl AutoScheduler {
             .unwrap_or_default();
         let task = TaskSpec::new(kernel.name())
             .cost(kernel.cost())
+            .user(user)
+            .tenant(tenant)
             .fpga_eligible(kernel.program().is_bitstream())
             .input_bytes(buffers.iter().map(Buffer::size).sum());
         let views: Vec<DeviceView> = {
@@ -157,6 +180,7 @@ impl AutoScheduler {
             {
                 obs.audit.record(PlacementAudit {
                     kernel: "<node-health>".into(),
+                    tenant: DEFAULT_TENANT.into(),
                     policy: "quarantine".into(),
                     candidates: Vec::new(),
                     chosen: d.index(),
@@ -215,6 +239,7 @@ impl AutoScheduler {
                     decided,
                 )
                 .attr("policy", audit.policy.clone())
+                .attr("tenant", audit.tenant.clone())
                 .attr("reason", audit.reason.clone())
                 .attr("candidates", audit.candidates.len().to_string()),
             );

@@ -101,6 +101,19 @@ pub(crate) struct BufferInner {
     /// write this buffer. Settled before any dependent operation looks
     /// at the coherence state.
     pending_writers: Mutex<Vec<Event>>,
+    /// Tenant memory-quota charge, released when the last handle drops.
+    /// `None` for buffers created outside the serving plane.
+    charge: Mutex<Option<TenantCharge>>,
+}
+
+/// A device-memory charge against a tenant's quota ledger. Held by the
+/// buffer it paid for; dropping the buffer replenishes the quota and
+/// refreshes the per-tenant memory gauge.
+pub(crate) struct TenantCharge {
+    pub(crate) ledger: Arc<haocl_sched::QuotaLedger>,
+    pub(crate) tenant: haocl_proto::ids::TenantId,
+    pub(crate) tenant_name: String,
+    pub(crate) bytes: u64,
 }
 
 /// An OpenCL buffer object.
@@ -167,8 +180,15 @@ impl Buffer {
                     wire: BTreeMap::new(),
                 }),
                 pending_writers: Mutex::new(Vec::new()),
+                charge: Mutex::new(None),
             }),
         })
+    }
+
+    /// Attaches a tenant quota charge to be released when the last
+    /// handle drops (the serving plane charges before creating).
+    pub(crate) fn attach_charge(&self, charge: TenantCharge) {
+        *self.inner.charge.lock() = Some(charge);
     }
 
     /// Whether this is a modeled (timing-only) buffer.
@@ -237,6 +257,14 @@ impl Drop for BufferInner {
             }
         }
         st.residency.clear();
+        if let Some(charge) = self.charge.get_mut().take() {
+            charge.ledger.release(charge.tenant, charge.bytes);
+            self.platform.obs.metrics.set_gauge(
+                names::TENANT_MEM_BYTES,
+                &[("tenant", &charge.tenant_name)],
+                charge.ledger.used(charge.tenant) as i64,
+            );
+        }
     }
 }
 
@@ -380,8 +408,10 @@ impl BufferInner {
             .call_traced(device.node(), call, Phase::DataTransfer)?;
         self.platform
             .count_dataplane(names::PATH_HOST_RELAY, self.size);
+        // A full host push is journaled verbatim: the replica's lineage
+        // is replayable again whatever fed it before.
         st.residency
-            .record_sync(Location::Device(device.index), epoch);
+            .record_sync(Location::Device(device.index), epoch, true);
         Ok(())
     }
 
@@ -430,8 +460,11 @@ impl BufferInner {
                 outcome.reply
             )));
         }
+        // Peer bytes are only re-pulled on failover replay and the pull
+        // can race the failure: taint the replica so revalidate() never
+        // trusts it across an epoch bump.
         st.residency
-            .record_sync(Location::Device(target.index), target_epoch);
+            .record_sync(Location::Device(target.index), target_epoch, false);
         self.platform.count_dataplane(names::PATH_PEER, self.size);
         self.platform
             .obs
@@ -489,10 +522,12 @@ impl BufferInner {
 
     pub(crate) fn note_device_write_full(&self, device: &Device) {
         let epoch = self.live_epoch(device.index);
-        self.state
-            .lock()
-            .residency
-            .record_write(Location::Device(device.index), epoch);
+        let mut st = self.state.lock();
+        // The launch itself is journaled, but it transforms whatever the
+        // device held: the result is only replayable if the input was.
+        let replayable = st.residency.replayable_at(device.index);
+        st.residency
+            .record_write(Location::Device(device.index), epoch, replayable);
     }
 
     /// Host write (`clEnqueueWriteBuffer`): updates the shadow and pushes
@@ -539,7 +574,14 @@ impl BufferInner {
         // A modeled buffer with a single allocation also stays partial —
         // nothing else can hold a diverging copy.
         let was_current = st.residency.is_current(device.index, epoch);
-        st.residency.record_write(Location::Host, 0);
+        // A partial push layers journaled bytes over the device's prior
+        // content, so the taint carries; a full push resets the lineage.
+        let replayable = if was_current {
+            st.residency.replayable_at(device.index)
+        } else {
+            true
+        };
+        st.residency.record_write(Location::Host, 0, true);
         let wire = self.wire_id_locked(&mut st, device.node());
         let (call, pushed) = match data {
             HostData::Real(bytes) => {
@@ -582,7 +624,7 @@ impl BufferInner {
         self.platform
             .count_dataplane(names::PATH_HOST_RELAY, pushed);
         st.residency
-            .record_sync(Location::Device(device.index), epoch);
+            .record_sync(Location::Device(device.index), epoch, replayable);
         Ok(())
     }
 
@@ -746,7 +788,7 @@ impl BufferInner {
         }
         self.platform
             .count_dataplane(names::PATH_HOST_RELAY, self.size);
-        st.residency.record_sync(Location::Host, 0);
+        st.residency.record_sync(Location::Host, 0, true);
         Ok(())
     }
 }

@@ -5,6 +5,7 @@ use std::fmt;
 
 use haocl_cluster::ClusterError;
 use haocl_proto::messages::status;
+use haocl_sched::AdmitError;
 
 /// OpenCL status codes, mirroring the `CL_*` constants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -125,6 +126,10 @@ pub enum Error {
     },
     /// The backbone or protocol failed underneath the call.
     Transport(String),
+    /// Admission control shed the submission: the tenant's queue is
+    /// full, or a quota would be exceeded. Retryable after load drains
+    /// or quota is released — no cluster state changed.
+    Overloaded(AdmitError),
 }
 
 impl Error {
@@ -140,7 +145,15 @@ impl Error {
     pub fn status(&self) -> Option<Status> {
         match self {
             Error::Api { status, .. } => Some(*status),
-            Error::Transport(_) => None,
+            Error::Transport(_) | Error::Overloaded(_) => None,
+        }
+    }
+
+    /// The admission-control rejection, if this is an overload shed.
+    pub fn admit_error(&self) -> Option<&AdmitError> {
+        match self {
+            Error::Overloaded(e) => Some(e),
+            _ => None,
         }
     }
 }
@@ -150,11 +163,18 @@ impl fmt::Display for Error {
         match self {
             Error::Api { status, message } => write!(f, "{status}: {message}"),
             Error::Transport(msg) => write!(f, "transport failure: {msg}"),
+            Error::Overloaded(e) => write!(f, "overloaded: {e}"),
         }
     }
 }
 
 impl StdError for Error {}
+
+impl From<AdmitError> for Error {
+    fn from(e: AdmitError) -> Self {
+        Error::Overloaded(e)
+    }
+}
 
 impl From<ClusterError> for Error {
     fn from(e: ClusterError) -> Self {

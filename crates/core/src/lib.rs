@@ -24,6 +24,9 @@
 //! * [`auto`] — the extendable task scheduling component: launches routed
 //!   by a pluggable [`haocl_sched::SchedulingPolicy`] instead of an
 //!   explicit queue.
+//! * [`serve`] — the multi-tenant serving plane: [`Session`]s over one
+//!   shared scheduler, weighted fair queueing between tenants, and
+//!   admission control with typed overload errors.
 //! * [`api`] — free functions mirroring the OpenCL C API names.
 //!
 //! # Examples
@@ -79,6 +82,7 @@ pub mod platform;
 pub mod program;
 pub mod queue;
 pub(crate) mod residency;
+pub mod serve;
 
 pub use buffer::{Buffer, MemFlags};
 pub use context::Context;
@@ -88,8 +92,11 @@ pub use kernel::Kernel;
 pub use platform::{Device, DeviceType, Platform};
 pub use program::Program;
 pub use queue::CommandQueue;
+pub use serve::{ServingPlane, Session};
 
 pub use haocl_cluster::RecoveryPolicy;
 pub use haocl_kernel::NdRange;
 pub use haocl_net::{ChaosPolicy, ChaosSpec};
+pub use haocl_proto::ids::TenantId;
 pub use haocl_proto::messages::{DeviceKind, Fidelity};
+pub use haocl_sched::{AdmitError, TenantQuota, TenantSpec, TenantStats};

@@ -9,15 +9,20 @@
 //! syncs (transfers) mark the receiving replica current without bumping.
 //!
 //! Device replicas additionally remember the **routing epoch** of their
-//! node at sync time. The host runtime bumps a node's epoch on failover,
-//! and journal replay only reconstructs host-journaled traffic — bytes
-//! that reached the node via a direct peer transfer are re-pulled on
-//! replay but may race the failure. A replica whose recorded epoch no
-//! longer matches the node's live epoch is therefore never trusted as
-//! current; [`ResidencyTracker::revalidate`] drops such replicas and, if
-//! nothing current remains, falls back to the host shadow as the best
-//! surviving copy (the survivor's state was rebuilt from host-journaled
-//! data, so the shadow is exactly what the cluster still knows).
+//! node at sync time, plus whether their content lineage is
+//! **replayable**: established entirely by host-journaled traffic
+//! (creates, writes, kernel launches), which failover replay re-executes
+//! in order on the survivor *before* the bumped epoch becomes
+//! observable. Bytes that reached the node via a direct peer transfer
+//! are only re-pulled on replay and may race the failure, so a peer sync
+//! taints the replica (and kernel writes propagate the taint — they
+//! transform whatever was there).
+//!
+//! On [`ResidencyTracker::revalidate`], a replica whose recorded epoch
+//! fell behind the node's live epoch is *refreshed* if replayable — the
+//! journal rebuilt exactly its contents on the new route — and dropped
+//! if tainted. If nothing current remains anywhere, the host shadow is
+//! promoted as the best surviving copy.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -36,6 +41,10 @@ struct Replica {
     version: u64,
     /// Node routing epoch observed when the replica last synced.
     epoch: u32,
+    /// Whether failover replay reconstructs this content bit-for-bit:
+    /// true for host-journaled lineage, false once peer-transferred
+    /// bytes entered the picture.
+    replayable: bool,
 }
 
 /// Monotonically versioned replica map for one buffer.
@@ -64,18 +73,19 @@ impl ResidencyTracker {
     }
 
     /// Records a write at `loc`: bumps the version and leaves `loc` as
-    /// the sole current replica.
-    pub(crate) fn record_write(&mut self, loc: Location, epoch: u32) {
+    /// the sole current replica. `replayable` says whether failover
+    /// replay reconstructs the resulting content (ignored for the host).
+    pub(crate) fn record_write(&mut self, loc: Location, epoch: u32, replayable: bool) {
         self.version += 1;
-        self.sync_at(loc, epoch);
+        self.sync_at(loc, epoch, replayable);
     }
 
     /// Marks `loc` as holding the newest version (after a transfer).
-    pub(crate) fn record_sync(&mut self, loc: Location, epoch: u32) {
-        self.sync_at(loc, epoch);
+    pub(crate) fn record_sync(&mut self, loc: Location, epoch: u32, replayable: bool) {
+        self.sync_at(loc, epoch, replayable);
     }
 
-    fn sync_at(&mut self, loc: Location, epoch: u32) {
+    fn sync_at(&mut self, loc: Location, epoch: u32, replayable: bool) {
         match loc {
             Location::Host => self.host_version = self.version,
             Location::Device(dev) => {
@@ -84,10 +94,18 @@ impl ResidencyTracker {
                     Replica {
                         version: self.version,
                         epoch,
+                        replayable,
                     },
                 );
             }
         }
+    }
+
+    /// Whether `dev`'s replica (if any) has a host-journaled lineage.
+    /// A device with no replica is trivially replayable: whatever a
+    /// kernel writes there derives only from journaled calls.
+    pub(crate) fn replayable_at(&self, dev: usize) -> bool {
+        self.replicas.get(&dev).is_none_or(|r| r.replayable)
     }
 
     /// Whether the host shadow holds the newest contents.
@@ -102,12 +120,21 @@ impl ResidencyTracker {
             .is_some_and(|r| r.version == self.version && r.epoch == live_epoch)
     }
 
-    /// Drops device replicas whose node epoch moved on from under them.
-    /// If no current replica remains anywhere, promotes the host shadow:
-    /// it is the best copy the cluster still has.
+    /// Settles device replicas against live node epochs after failovers.
+    /// Replayable replicas are refreshed — the journal re-executed their
+    /// whole lineage on the new route before the epoch bump became
+    /// visible, so the survivor holds the same bytes. Tainted replicas
+    /// (peer-fed) are dropped. If no current replica remains anywhere,
+    /// promotes the host shadow: it is the best copy the cluster still
+    /// has.
     pub(crate) fn revalidate(&mut self, live_epoch_of: impl Fn(usize) -> u32) {
-        self.replicas
-            .retain(|&dev, r| r.epoch == live_epoch_of(dev));
+        self.replicas.retain(|&dev, r| {
+            let live = live_epoch_of(dev);
+            if r.epoch != live && r.replayable && live != u32::MAX {
+                r.epoch = live;
+            }
+            r.epoch == live
+        });
         let any_current =
             self.host_current() || self.replicas.values().any(|r| r.version == self.version);
         if !any_current {
@@ -166,10 +193,10 @@ mod tests {
     #[test]
     fn writes_bump_versions_and_invalidate_peers() {
         let mut t = ResidencyTracker::new();
-        t.record_sync(Location::Device(0), 0);
-        t.record_sync(Location::Device(1), 0);
+        t.record_sync(Location::Device(0), 0, true);
+        t.record_sync(Location::Device(1), 0, true);
         assert!(t.is_current(0, 0) && t.is_current(1, 0));
-        t.record_write(Location::Device(0), 0);
+        t.record_write(Location::Device(0), 0, true);
         assert_eq!(t.newest(), 1);
         assert!(t.is_current(0, 0));
         assert!(!t.is_current(1, 0));
@@ -180,17 +207,17 @@ mod tests {
     #[test]
     fn sync_marks_current_without_bumping() {
         let mut t = ResidencyTracker::new();
-        t.record_write(Location::Host, 0);
-        t.record_sync(Location::Device(2), 0);
+        t.record_write(Location::Host, 0, true);
+        t.record_sync(Location::Device(2), 0, true);
         assert_eq!(t.newest(), 1);
         assert!(t.host_current());
         assert!(t.is_current(2, 0));
     }
 
     #[test]
-    fn epoch_mismatch_invalidates_a_replica() {
+    fn epoch_mismatch_drops_a_tainted_replica() {
         let mut t = ResidencyTracker::new();
-        t.record_write(Location::Device(0), 0);
+        t.record_write(Location::Device(0), 0, false);
         assert!(t.is_current(0, 0));
         assert!(!t.is_current(0, 1), "a bumped epoch must not be trusted");
         t.revalidate(|_| 1);
@@ -200,10 +227,43 @@ mod tests {
     }
 
     #[test]
+    fn epoch_mismatch_refreshes_a_replayable_replica() {
+        let mut t = ResidencyTracker::new();
+        t.record_write(Location::Device(0), 0, true);
+        t.revalidate(|_| 1);
+        // Journal replay rebuilt the same bytes on the new route: the
+        // replica survives at the live epoch, the shadow stays stale.
+        assert!(t.is_current(0, 1));
+        assert_eq!(t.owner_device(), Some(0));
+        assert!(!t.host_current());
+    }
+
+    #[test]
+    fn vanished_devices_are_dropped_even_when_replayable() {
+        let mut t = ResidencyTracker::new();
+        t.record_write(Location::Device(0), 0, true);
+        t.revalidate(|_| u32::MAX);
+        assert_eq!(t.owner_device(), None);
+        assert!(t.host_current());
+    }
+
+    #[test]
+    fn taint_tracking_defaults_open_and_sticks() {
+        let mut t = ResidencyTracker::new();
+        assert!(t.replayable_at(0), "no replica: trivially replayable");
+        t.record_sync(Location::Device(0), 0, false);
+        assert!(!t.replayable_at(0));
+        t.record_write(Location::Device(0), 0, t.replayable_at(0));
+        assert!(!t.replayable_at(0), "kernel writes propagate the taint");
+        t.record_sync(Location::Device(0), 0, true);
+        assert!(t.replayable_at(0), "a full host push resets the lineage");
+    }
+
+    #[test]
     fn revalidate_keeps_live_replicas() {
         let mut t = ResidencyTracker::new();
-        t.record_write(Location::Device(0), 3);
-        t.record_sync(Location::Device(1), 5);
+        t.record_write(Location::Device(0), 3, false);
+        t.record_sync(Location::Device(1), 5, false);
         t.revalidate(|dev| if dev == 0 { 3 } else { 9 });
         assert_eq!(t.owner_device(), Some(0));
         assert!(!t.host_current());

@@ -30,12 +30,7 @@ fn stale_shadow_promoted_after_unrelated_failover() {
     let mut failed_frames = Vec::new();
     for frame in 1u64..120 {
         let config = ClusterConfig::gpu_cluster(2);
-        let node1_host = config.nodes[1]
-            .addr
-            .split(':')
-            .next()
-            .unwrap()
-            .to_string();
+        let node1_host = config.nodes[1].addr.split(':').next().unwrap().to_string();
         let platform = Platform::cluster(&config, KernelRegistry::new()).unwrap();
         let spec = ChaosSpec::parse(&format!("crash={node1_host}@{frame}")).unwrap();
         platform.install_chaos(ChaosPolicy::new(7, spec));

@@ -1,0 +1,141 @@
+//! Property tests for tenant memory-quota admission and release.
+//!
+//! The quota ledger must behave like a trivial per-tenant byte counter
+//! under any interleaving of buffer creations and drops across tenants:
+//! a creation is admitted iff it fits the creating tenant's quota, a
+//! shed changes nothing anywhere (isolation — the other tenants keep
+//! allocating), and dropping the last handle replenishes exactly the
+//! charged bytes.
+
+use proptest::prelude::*;
+
+use haocl::serve::ServingPlane;
+use haocl::{
+    AdmitError, Buffer, Context, DeviceKind, DeviceType, Error, MemFlags, Platform, Session,
+    TenantQuota, TenantSpec,
+};
+use haocl_sched::policies;
+
+const TENANTS: usize = 3;
+const QUOTA: u64 = 64;
+
+#[derive(Debug, Clone)]
+enum QuotaOp {
+    /// `Session::create_buffer` of `size` bytes by tenant `tenant`.
+    Create { tenant: usize, size: u64 },
+    /// Drop tenant `tenant`'s oldest still-held buffer (no-op if none).
+    DropOldest { tenant: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = QuotaOp> {
+    prop_oneof![
+        (0..TENANTS, 1..QUOTA + 1).prop_map(|(tenant, size)| QuotaOp::Create { tenant, size }),
+        (0..TENANTS).prop_map(|tenant| QuotaOp::DropOldest { tenant }),
+    ]
+}
+
+fn open_tenants(plane: &ServingPlane) -> Vec<Session> {
+    (0..TENANTS)
+        .map(|i| {
+            plane.open_session(
+                TenantSpec::new(format!("tenant-{i}"))
+                    .quota(TenantQuota::unlimited().mem_bytes(QUOTA)),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ledger_matches_a_per_tenant_byte_counter(
+        ops in proptest::collection::vec(op_strategy(), 1..40)
+    ) {
+        let p = Platform::local(&[DeviceKind::Gpu]).unwrap();
+        let ctx = Context::new(&p, &p.devices(DeviceType::All)).unwrap();
+        let plane = ServingPlane::new(&ctx, Box::new(policies::HeteroAware::new())).unwrap();
+        let sessions = open_tenants(&plane);
+        let mut held: Vec<Vec<(Buffer, u64)>> = vec![Vec::new(); TENANTS];
+        let mut model = [0u64; TENANTS];
+
+        for op in &ops {
+            match *op {
+                QuotaOp::Create { tenant, size } => {
+                    let fits = model[tenant] + size <= QUOTA;
+                    match sessions[tenant].create_buffer(MemFlags::READ_WRITE, size) {
+                        Ok(buffer) => {
+                            prop_assert!(fits, "admitted {size} over {} used", model[tenant]);
+                            model[tenant] += size;
+                            held[tenant].push((buffer, size));
+                        }
+                        Err(Error::Overloaded(AdmitError::MemoryQuota {
+                            used, requested, limit, ..
+                        })) => {
+                            prop_assert!(!fits, "shed {size} with only {} used", model[tenant]);
+                            prop_assert_eq!(
+                                (used, requested, limit),
+                                (model[tenant], size, QUOTA)
+                            );
+                        }
+                        Err(other) => return Err(TestCaseError::fail(format!(
+                            "unexpected error: {other}"
+                        ))),
+                    }
+                }
+                QuotaOp::DropOldest { tenant } => {
+                    if !held[tenant].is_empty() {
+                        let (buffer, size) = held[tenant].remove(0);
+                        drop(buffer);
+                        model[tenant] -= size;
+                    }
+                }
+            }
+            // Every tenant's live ledger tracks the model exactly: sheds
+            // and drops by one tenant never leak into another's account.
+            for (session, used) in sessions.iter().zip(&model) {
+                prop_assert_eq!(plane.stats(session.tenant()).unwrap().mem_bytes, *used);
+            }
+        }
+
+        // Dropping everything replenishes every quota in full.
+        held.clear();
+        for session in &sessions {
+            prop_assert_eq!(plane.stats(session.tenant()).unwrap().mem_bytes, 0);
+            let full = session.create_buffer(MemFlags::READ_WRITE, QUOTA);
+            prop_assert!(full.is_ok(), "a full-quota allocation fits an empty ledger");
+        }
+    }
+}
+
+/// The deterministic skeleton of the property: a tenant pinned at its
+/// quota sheds while a sibling proceeds, and dropping the buffer
+/// immediately un-sheds it.
+#[test]
+fn tenant_at_quota_sheds_while_others_proceed() {
+    let p = Platform::local(&[DeviceKind::Gpu]).unwrap();
+    let ctx = Context::new(&p, &p.devices(DeviceType::All)).unwrap();
+    let plane = ServingPlane::new(&ctx, Box::new(policies::HeteroAware::new())).unwrap();
+    let sessions = open_tenants(&plane);
+
+    let pin = sessions[0]
+        .create_buffer(MemFlags::READ_WRITE, QUOTA)
+        .unwrap();
+    let err = sessions[0]
+        .create_buffer(MemFlags::READ_WRITE, 1)
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        Error::Overloaded(AdmitError::MemoryQuota { .. })
+    ));
+    // Isolation: the sibling allocates its full quota while tenant 0 is
+    // pinned.
+    let sibling = sessions[1].create_buffer(MemFlags::READ_WRITE, QUOTA);
+    assert!(sibling.is_ok());
+
+    drop(pin);
+    assert_eq!(plane.stats(sessions[0].tenant()).unwrap().mem_bytes, 0);
+    sessions[0]
+        .create_buffer(MemFlags::READ_WRITE, QUOTA)
+        .expect("dropping the buffer replenished the quota");
+}

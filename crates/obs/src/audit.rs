@@ -62,6 +62,10 @@ impl fmt::Display for CandidateInfo {
 pub struct PlacementAudit {
     /// Kernel being placed.
     pub kernel: String,
+    /// Billing tenant the launch was submitted under. Untagged
+    /// (single-tenant) launches carry `"default"`, so existing
+    /// dashboards keep matching without a rewrite.
+    pub tenant: String,
     /// Active policy name.
     pub policy: String,
     /// Devices that survived eligibility filtering.
@@ -71,6 +75,9 @@ pub struct PlacementAudit {
     /// Why the winner won (policy-specific).
     pub reason: String,
 }
+
+/// The tenant label untagged placements carry.
+pub const DEFAULT_TENANT: &str = "default";
 
 impl PlacementAudit {
     /// The winning candidate's record, if present in `candidates`.
@@ -86,8 +93,9 @@ impl PlacementAudit {
         };
         let cands: Vec<String> = self.candidates.iter().map(|c| c.to_string()).collect();
         format!(
-            "place kernel={} policy={} chosen={} reason=\"{}\" candidates=[{}]",
+            "place kernel={} tenant={} policy={} chosen={} reason=\"{}\" candidates=[{}]",
             self.kernel,
+            self.tenant,
             self.policy,
             chosen,
             self.reason,
@@ -165,6 +173,7 @@ mod tests {
     fn audit(kernel: &str, chosen: usize) -> PlacementAudit {
         PlacementAudit {
             kernel: kernel.to_string(),
+            tenant: DEFAULT_TENANT.to_string(),
             policy: "hetero-aware".to_string(),
             candidates: vec![
                 CandidateInfo {
@@ -191,6 +200,7 @@ mod tests {
     fn line_names_winner_and_every_candidate() {
         let line = audit("mm", 0).line();
         assert!(line.contains("kernel=mm"));
+        assert!(line.contains("tenant=default"));
         assert!(line.contains("chosen=node0/Cpu"));
         assert!(line.contains("pred=500ns src=seed"));
         assert!(line.contains("pred=none src=cost-model"));

@@ -53,11 +53,25 @@ id_newtype!(
     "user"
 );
 id_newtype!(
+    /// A tenant: the quota/fairness entity a session bills against.
+    /// Sessions ([`UserId`]) are connections; tenants are the accounts
+    /// the serving plane arbitrates between. The default (single-tenant)
+    /// path uses [`TenantId::DEFAULT`].
+    TenantId,
+    u32,
+    "tenant"
+);
+id_newtype!(
     /// A `cl_mem` buffer object.
     BufferId,
     u64,
     "buf"
 );
+
+impl TenantId {
+    /// The implicit tenant every untagged launch bills against.
+    pub const DEFAULT: TenantId = TenantId::new(0);
+}
 id_newtype!(
     /// A `cl_program` object.
     ProgramId,

@@ -24,6 +24,11 @@
 //! * [`quarantine`] — [`QuarantineTracker`]: per-node failure strikes
 //!   (fed by the host runtime's failover epochs) that demote flapping
 //!   nodes out of the candidate set while alternatives exist.
+//! * [`tenancy`] — the multi-tenant arbitration tier *above* placement:
+//!   [`TenantScheduler`] (weighted fair queueing over bounded per-tenant
+//!   queues), [`QuotaLedger`] (device-memory quotas) and the typed
+//!   [`AdmitError`] shed reasons — placement decides *where*, tenancy
+//!   decides *whose* and *whether at all*.
 //!
 //! # Examples
 //!
@@ -53,6 +58,7 @@ pub mod policy;
 pub mod profile;
 pub mod quarantine;
 pub mod task;
+pub mod tenancy;
 
 pub use hints::seed_from_report;
 pub use monitor::DeviceView;
@@ -60,3 +66,7 @@ pub use policy::{SchedError, Scheduler, SchedulingPolicy};
 pub use profile::{ProfileDb, ProfileSnapshotEntry};
 pub use quarantine::{QuarantineTracker, DEFAULT_QUARANTINE_THRESHOLD};
 pub use task::TaskSpec;
+pub use tenancy::{
+    normalized_cost_nanos, AdmitError, QuotaLedger, TenantQuota, TenantScheduler, TenantSpec,
+    TenantStats,
+};

@@ -130,6 +130,7 @@ impl Scheduler {
                 })?;
             let audit = PlacementAudit {
                 kernel: task.kernel.clone(),
+                tenant: task.tenant.clone(),
                 policy: self.policy.name().to_string(),
                 candidates: vec![self.candidate(task, idx, &devices[idx])],
                 chosen: idx,
@@ -175,6 +176,7 @@ impl Scheduler {
             .unwrap_or_else(|| "policy choice".to_string());
         let audit = PlacementAudit {
             kernel: task.kernel.clone(),
+            tenant: task.tenant.clone(),
             policy: self.policy.name().to_string(),
             candidates,
             chosen,

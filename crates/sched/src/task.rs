@@ -17,6 +17,9 @@ pub struct TaskSpec {
     pub cost: CostModel,
     /// The submitting user/session.
     pub user: UserId,
+    /// The billing tenant's display name (audit/metric label); untagged
+    /// launches bill the `"default"` tenant.
+    pub tenant: String,
     /// Whether a pre-built bitstream exists, making FPGA placement legal
     /// (§III-D: FPGAs run pre-built kernels only).
     pub fpga_eligible: bool,
@@ -36,6 +39,7 @@ impl TaskSpec {
             kernel: kernel.into(),
             cost: CostModel::new(),
             user: UserId::new(0),
+            tenant: "default".to_string(),
             fpga_eligible: false,
             pinned: None,
             input_bytes: 0,
@@ -51,6 +55,12 @@ impl TaskSpec {
     /// Sets the submitting user.
     pub fn user(mut self, user: UserId) -> Self {
         self.user = user;
+        self
+    }
+
+    /// Tags the billing tenant (audit/metric label).
+    pub fn tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = tenant.into();
         self
     }
 
@@ -244,12 +254,15 @@ mod tests {
         let t = TaskSpec::new("matmul")
             .cost(CostModel::new().flops(10.0))
             .user(UserId::new(3))
+            .tenant("acme")
             .fpga_eligible(true)
             .pin(NodeId::new(1), 0)
             .input_bytes(4096);
         assert_eq!(t.kernel, "matmul");
         assert_eq!(t.cost.total_flops(), 10.0);
         assert_eq!(t.user, UserId::new(3));
+        assert_eq!(t.tenant, "acme");
+        assert_eq!(TaskSpec::new("k").tenant, "default");
         assert!(t.fpga_eligible);
         assert_eq!(t.pinned, Some((NodeId::new(1), 0)));
         assert_eq!(t.input_bytes, 4096);
