@@ -1,0 +1,19 @@
+use haocl::serve::ServingPlane;
+use haocl::{Context, DeviceType, Platform};
+use haocl_proto::ids::TenantId;
+use haocl_proto::messages::DeviceKind;
+use haocl_sched::{policies, TenantSpec};
+
+#[test]
+fn first_open_session_does_not_collide_with_default() {
+    let p = Platform::local(&[DeviceKind::Gpu]).unwrap();
+    let ctx = Context::new(&p, &p.devices(DeviceType::All)).unwrap();
+    let plane = ServingPlane::new(&ctx, Box::new(policies::HeteroAware::new())).unwrap();
+    let s = plane.open_session(TenantSpec::new("first").weight(7));
+    eprintln!("first tenant id = {:?}, user = {:?}", s.tenant(), s.user());
+    assert_ne!(
+        s.tenant(),
+        TenantId::DEFAULT,
+        "first opened tenant collides with the default tenant"
+    );
+}
