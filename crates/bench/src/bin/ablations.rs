@@ -1,26 +1,32 @@
 //! Design-choice ablations beyond the paper's figures: scheduler-policy
 //! quality on a mixed cluster, the interconnect-bandwidth sweep, the
-//! asynchronous backbone's pipelining win, and the residency-aware data
-//! plane's locality win.
+//! asynchronous backbone's pipelining win, the residency-aware data
+//! plane's locality win, and the effect prover's kernel-fusion win.
 //!
 //! ```text
 //! cargo run --release -p haocl-bench --bin ablations
 //! cargo run --release -p haocl-bench --bin ablations -- --json out.json
+//! cargo run --release -p haocl-bench --bin ablations -- --json-fusion fusion.json
 //! ```
 //!
-//! `--json` writes the locality-ablation rows as a machine-readable
-//! artifact (consumed by the nightly bench CI job).
+//! `--json` writes the locality-ablation rows and `--json-fusion` the
+//! fusion-ablation rows as machine-readable artifacts (consumed by the
+//! nightly bench CI job).
 
 use haocl_bench::{ablations, text::render_table};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let json_path = args.iter().position(|a| a == "--json").map(|i| {
-        args.get(i + 1).cloned().unwrap_or_else(|| {
-            eprintln!("--json requires an output path");
-            std::process::exit(2);
+    let path_after = |flag: &str| {
+        args.iter().position(|a| a == flag).map(|i| {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("{flag} requires an output path");
+                std::process::exit(2);
+            })
         })
-    });
+    };
+    let json_path = path_after("--json");
+    let fusion_json_path = path_after("--json-fusion");
     println!("Ablation 1 — scheduling policy (32 mixed kernels on 2 GPU + 2 FPGA nodes)");
     println!();
     let rows = ablations::scheduler_policies(32).expect("scheduler ablation");
@@ -86,6 +92,59 @@ fn main() {
             &table
         )
     );
+    println!();
+
+    println!("Ablation 5 — kernel fusion (effect-prover-approved chains, 2 GPU nodes)");
+    println!();
+    let fusion_rows = ablations::fusion().expect("fusion ablation");
+    let table: Vec<Vec<String>> = fusion_rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.app.to_string(),
+                r.config.to_string(),
+                format!("{}", r.nodes),
+                format!("{}", r.wire_launches),
+                format!("{}", r.commands_saved),
+                format!("{:016x}", r.digest),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &[
+                "workload",
+                "config",
+                "launches",
+                "wire commands",
+                "saved",
+                "output digest"
+            ],
+            &table
+        )
+    );
+
+    if let Some(path) = fusion_json_path {
+        let records: Vec<String> = fusion_rows
+            .iter()
+            .map(|r| {
+                format!(
+                    concat!(
+                        "    {{\"app\": \"{}\", \"config\": \"{}\", ",
+                        "\"nodes\": {}, \"wire_launches\": {}, ",
+                        "\"commands_saved\": {}, \"digest\": \"{:016x}\"}}"
+                    ),
+                    r.app, r.config, r.nodes, r.wire_launches, r.commands_saved, r.digest,
+                )
+            })
+            .collect();
+        let body = format!(
+            "{{\n  \"ablation\": \"fusion\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+            records.join(",\n")
+        );
+        write_artifact(&path, &body);
+    }
 
     if let Some(path) = json_path {
         let records: Vec<String> = rows
@@ -110,13 +169,17 @@ fn main() {
             "{{\n  \"ablation\": \"locality\",\n  \"rows\": [\n{}\n  ]\n}}\n",
             records.join(",\n")
         );
-        if let Some(dir) = std::path::Path::new(&path).parent() {
-            if !dir.as_os_str().is_empty() {
-                std::fs::create_dir_all(dir).expect("create output directory");
-            }
-        }
-        std::fs::write(&path, body).expect("write output file");
-        println!();
-        println!("wrote {path}");
+        write_artifact(&path, &body);
     }
+}
+
+fn write_artifact(path: &str, body: &str) {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(path, body).expect("write output file");
+    println!();
+    println!("wrote {path}");
 }

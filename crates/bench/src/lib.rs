@@ -757,6 +757,155 @@ pub mod ablations {
         }
         h
     }
+
+    /// One configuration of the [`fusion`] ablation.
+    #[derive(Debug, Clone, Copy)]
+    pub struct FusionRow {
+        /// Workload the chain comes from (`"KNN"` or `"SpMV"`).
+        pub app: &'static str,
+        /// `"fused"` or `"unfused"`.
+        pub config: &'static str,
+        /// Kernel launches captured in the graph.
+        pub nodes: usize,
+        /// Wire launch commands actually issued for those nodes.
+        pub wire_launches: usize,
+        /// Commands saved versus one command per node.
+        pub commands_saved: usize,
+        /// FNV-1a digest of the output buffers read back after the
+        /// graph completes. Must match across configs: fusion may
+        /// collapse commands, never change results.
+        pub digest: u64,
+    }
+
+    impl FusionRow {
+        /// Fractional reduction in wire launch commands versus
+        /// `baseline` (`0.75` = three commands in four eliminated).
+        #[must_use]
+        pub fn command_reduction_vs(&self, baseline: &FusionRow) -> f64 {
+            if baseline.wire_launches == 0 {
+                return 0.0;
+            }
+            1.0 - self.wire_launches as f64 / baseline.wire_launches as f64
+        }
+    }
+
+    /// Kernel-fusion ablation (the effect prover's win): chains of
+    /// small full-fidelity paper kernels dispatched through a
+    /// [`haocl::LaunchGraph`] on a 2-GPU cluster, with the fusion
+    /// prover on (`fused`) and off (`unfused`):
+    ///
+    /// * `KNN` — Rodinia NN's per-record distance pass (`nn_dist`),
+    ///   once per query in the batch. The launches share the read-only
+    ///   coordinate buffers and each writes its own distance buffer, so
+    ///   the prover collapses the whole batch into one fused dispatch.
+    /// * `SpMV` — the partition stage's per-row nonzero count
+    ///   (`spmv_row_nnz`), once per partitioning round. Rounds share
+    ///   the read-only `row_ptr` and write disjoint count buffers.
+    ///
+    /// Both kernels compile from the paper sources through `clc`, so
+    /// the effect summaries the prover needs ride in on the kernel
+    /// reports. The digest over the read-back outputs must match
+    /// across configs — fusion saves wire commands, never changes
+    /// bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates launch failures.
+    pub fn fusion() -> Result<Vec<FusionRow>, Error> {
+        let mut out = Vec::new();
+        for app in ["KNN", "SpMV"] {
+            for (config, fused) in [("fused", true), ("unfused", false)] {
+                out.push(fusion_case(app, config, fused)?);
+            }
+        }
+        Ok(out)
+    }
+
+    fn fusion_case(
+        app: &'static str,
+        config: &'static str,
+        fused: bool,
+    ) -> Result<FusionRow, Error> {
+        use haocl::{Buffer, LaunchGraph, MemFlags};
+
+        let platform = Platform::cluster(&ClusterConfig::gpu_cluster(2), registry_with_all())?;
+        let ctx = Context::new(&platform, &platform.devices(DeviceType::All))?;
+        let auto = AutoScheduler::new(&ctx, Box::new(policies::HeteroAware::new()))?;
+        let queue = CommandQueue::new(&ctx, &ctx.devices()[0])?;
+
+        let mut graph = LaunchGraph::new();
+        graph.set_fusion(fused);
+        let outputs: Vec<Buffer> = match app {
+            "KNN" => {
+                let cfg = haocl_workloads::knn::KnnConfig {
+                    records: 1024,
+                    queries: 4,
+                    k: 5,
+                    seed: 42,
+                };
+                let (lat, lng) = haocl_workloads::knn::generate_records(&cfg);
+                let (qlat, qlng) = haocl_workloads::knn::generate_queries(&cfg);
+                let program = Program::from_source(&ctx, haocl_workloads::knn::KERNEL_SOURCE);
+                program.build()?;
+                let lat_d = Buffer::new(&ctx, MemFlags::READ_ONLY, 4 * lat.len() as u64)?;
+                let lng_d = Buffer::new(&ctx, MemFlags::READ_ONLY, 4 * lng.len() as u64)?;
+                queue.enqueue_write_buffer(&lat_d, 0, &f32_bytes(&lat))?;
+                queue.enqueue_write_buffer(&lng_d, 0, &f32_bytes(&lng))?;
+                let mut dists = Vec::with_capacity(cfg.queries);
+                for q in 0..cfg.queries {
+                    let dist = Buffer::new(&ctx, MemFlags::READ_WRITE, 4 * cfg.records as u64)?;
+                    let kernel = Kernel::new(&program, haocl_workloads::knn::DIST_KERNEL_NAME)?;
+                    kernel.set_arg_buffer(0, &lat_d)?;
+                    kernel.set_arg_buffer(1, &lng_d)?;
+                    kernel.set_arg_buffer(2, &dist)?;
+                    kernel.set_arg_f32(3, qlat[q])?;
+                    kernel.set_arg_f32(4, qlng[q])?;
+                    kernel.set_arg_i32(5, cfg.records as i32)?;
+                    graph.add(&kernel, NdRange::linear(cfg.records as u64, 64))?;
+                    dists.push(dist);
+                }
+                dists
+            }
+            _ => {
+                let cfg = haocl_workloads::spmv::SpmvConfig::test_scale();
+                let m = haocl_workloads::spmv::generate_matrix(&cfg);
+                let rows = m.row_ptr.len() - 1;
+                let row_ptr: Vec<i32> = m.row_ptr.iter().map(|&v| v as i32).collect();
+                let program = Program::from_source(&ctx, haocl_workloads::spmv::KERNEL_SOURCE);
+                program.build()?;
+                let ptr_d = Buffer::new(&ctx, MemFlags::READ_ONLY, 4 * row_ptr.len() as u64)?;
+                queue.enqueue_write_buffer(&ptr_d, 0, &i32_bytes(&row_ptr))?;
+                let rounds = 3;
+                let mut counts = Vec::with_capacity(rounds);
+                for _ in 0..rounds {
+                    let nnz = Buffer::new(&ctx, MemFlags::READ_WRITE, 4 * rows as u64)?;
+                    let kernel = Kernel::new(&program, haocl_workloads::spmv::NNZ_KERNEL_NAME)?;
+                    kernel.set_arg_buffer(0, &ptr_d)?;
+                    kernel.set_arg_buffer(1, &nnz)?;
+                    kernel.set_arg_i32(2, rows as i32)?;
+                    graph.add(&kernel, NdRange::linear(rows as u64, 64))?;
+                    counts.push(nnz);
+                }
+                counts
+            }
+        };
+
+        let report = auto.launch_graph(&graph)?;
+        let mut all = Vec::new();
+        for buf in &outputs {
+            let mut bytes = vec![0u8; buf.size() as usize];
+            queue.enqueue_read_buffer(buf, 0, &mut bytes)?;
+            all.extend_from_slice(&bytes);
+        }
+        Ok(FusionRow {
+            app,
+            config,
+            nodes: report.nodes,
+            wire_launches: report.wire_launches,
+            commands_saved: report.commands_saved,
+            digest: fnv1a(&all),
+        })
+    }
 }
 
 /// The multi-tenant serving-plane soak: concurrent synthetic tenants
@@ -1139,6 +1288,45 @@ mod tests {
         let hetero = results.iter().find(|(n, _)| n == "hetero-aware").unwrap().1;
         let worst = results.iter().map(|(_, d)| *d).max().unwrap();
         assert!(hetero <= worst);
+    }
+
+    #[test]
+    fn fusion_ablation_saves_commands_and_preserves_digests() {
+        let rows = ablations::fusion().unwrap();
+        assert_eq!(rows.len(), 4);
+        for app in ["KNN", "SpMV"] {
+            let find = |config: &str| {
+                rows.iter()
+                    .find(|r| r.app == app && r.config == config)
+                    .unwrap()
+            };
+            let fused = find("fused");
+            let unfused = find("unfused");
+            // Fusion may collapse commands, never change results.
+            assert_eq!(
+                fused.digest, unfused.digest,
+                "{app}: fused output diverged from unfused replay"
+            );
+            assert_eq!(
+                unfused.wire_launches, unfused.nodes,
+                "{app}: unfused baseline must issue one command per node"
+            );
+            assert!(
+                fused.commands_saved > 0,
+                "{app}: prover approved no fusions"
+            );
+            // The acceptance bar: the prover cuts wire launch commands
+            // by at least 30% on a small-kernel chain.
+            let reduction = fused.command_reduction_vs(unfused);
+            assert!(
+                reduction >= 0.30,
+                "{app}: expected >=30% command reduction, got {:.0}% \
+                 (fused {} vs unfused {})",
+                reduction * 100.0,
+                fused.wire_launches,
+                unfused.wire_launches
+            );
+        }
     }
 
     #[test]

@@ -15,17 +15,17 @@
 use std::collections::{HashMap, HashSet};
 
 use crate::analysis::cfg::{BlockSet, Cfg};
-use crate::analysis::dataflow::{self, Form, ForwardAnalysis, Iv, Pt, PtrBase, Sc, AV};
+use crate::analysis::dataflow::{self, Form, ForwardAnalysis, Iv, Pt, PtrBase, Sc, Uoff, AV};
+use crate::analysis::effects::{
+    AccessMode, AccessPattern, ArgEffect, EffectSummary, PatternBase, GEOM_SYM, LOAD_SYM,
+    MAX_PATTERNS,
+};
 use crate::analysis::{KernelFeatures, KernelReport};
 use crate::ast::{Block as AstBlock, Expr, KernelDecl, ParamType, Stmt};
 use crate::bytecode::{BinKind, CompiledKernel, Geom, Instr};
 use crate::diag::{Diagnostic, Diagnostics, Severity, Stage};
 use crate::types::{AddressSpace, ScalarType};
 
-/// Sym-id base for geometry queries (params use their slot index).
-const GEOM_SYM: u32 = 1_000_000;
-/// Sym-id base for uniform-address loads (keyed by pc).
-const LOAD_SYM: u32 = 2_000_000;
 /// Interval bounds beyond this magnitude are treated as "unknown" rather
 /// than "meaningfully bounded" when deciding whether to warn.
 const HUGE: i64 = 1 << 40;
@@ -715,9 +715,107 @@ pub(crate) fn analyze(decl: &KernelDecl, kernel: &CompiledKernel, source: &str) 
         divergence_score: div_count as f64 / reach_count as f64,
     };
 
+    let effects = summarize_effects(kernel, &obs, &active);
+
     KernelReport {
         diagnostics: diags,
         features,
+        effects,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Effect summaries (inter-kernel; see `analysis::effects`).
+// ---------------------------------------------------------------------------
+
+/// Folds the replay pass's global-memory events into per-argument effect
+/// summaries. Over-approximates: an access through a pointer whose base
+/// the dataflow lost (`PtrBase::Unknown`) is charged to *every* global
+/// pointer argument with an unprovable pattern and unbounded interval.
+fn summarize_effects(kernel: &CompiledKernel, obs: &Obs, active: &[bool; 3]) -> EffectSummary {
+    let mut args: Vec<ArgEffect> = kernel
+        .params
+        .iter()
+        .map(|p| {
+            let mut a = ArgEffect::untouched();
+            match p {
+                ParamType::Scalar(_) | ParamType::Pointer(AddressSpace::Local, _) => {}
+                ParamType::Pointer(_, t) => a.elem_bytes = t.size_bytes() as u32,
+            }
+            a
+        })
+        .collect();
+    for e in &obs.events {
+        match e.base {
+            PtrBase::Global(slot) => {
+                if let Some(a) = args.get_mut(slot as usize) {
+                    fold_event(a, e.write, &e.form, e.range, active);
+                }
+            }
+            PtrBase::LocalArray(_) | PtrBase::LocalDyn(_) => {}
+            // Base lost: the access may land in any global buffer.
+            _ => {
+                for a in args.iter_mut().filter(|a| a.elem_bytes != 0) {
+                    fold_event(a, e.write, &Form::top(), Iv::TOP, active);
+                }
+            }
+        }
+    }
+    EffectSummary {
+        args,
+        barriers: kernel.barrier_sites.len() as u32,
+    }
+}
+
+/// Folds one access into an argument's effect.
+fn fold_event(a: &mut ArgEffect, write: bool, form: &Form, range: Iv, active: &[bool; 3]) {
+    let first = a.mode == AccessMode::None;
+    a.mode = a.mode.observe(write);
+    let bounds = (range.lo > -HUGE && range.hi < HUGE).then_some((range.lo, range.hi));
+    a.elem_bounds = if first {
+        bounds
+    } else {
+        match (a.elem_bounds, bounds) {
+            (Some((lo, hi)), Some((l2, h2))) => Some((lo.min(l2), hi.max(h2))),
+            _ => None,
+        }
+    };
+    let base = if form.tainted {
+        PatternBase::Opaque
+    } else {
+        match form.uoff {
+            Uoff::Known(k) => PatternBase::Const(k),
+            Uoff::Sym { id, add } if (GEOM_SYM..LOAD_SYM).contains(&id) => PatternBase::Geom {
+                id: id - GEOM_SYM,
+                add,
+            },
+            _ => PatternBase::Opaque,
+        }
+    };
+    // Globally item-private means injective over the *whole* NDRange, not
+    // just within a group (contrast `is_private`, which serves the
+    // per-group `__local` checks): a unit coefficient on exactly one
+    // local-id dimension, rebased by that same dimension's group base —
+    // i.e. the index is `gid(d) + const` — with no other dimension active.
+    let provable = !form.tainted && {
+        let nz: Vec<usize> = (0..3).filter(|&d| form.coeffs[d] != 0).collect();
+        nz.len() == 1
+            && form.coeffs[nz[0]] == 1
+            && matches!(base, PatternBase::Geom { id, .. } if id as usize == nz[0])
+            && active.iter().enumerate().all(|(e, &x)| !x || e == nz[0])
+    };
+    let pat = AccessPattern {
+        write,
+        coeffs: if form.tainted { [0; 3] } else { form.coeffs },
+        base,
+        provable,
+    };
+    if !a.patterns.contains(&pat) {
+        if a.patterns.len() >= MAX_PATTERNS {
+            a.complete = false;
+        } else {
+            a.patterns.push(pat);
+        }
     }
 }
 
@@ -1160,5 +1258,133 @@ mod tests {
             "{:?}",
             r.diagnostics.render()
         );
+    }
+
+    // --- Effect summaries. ------------------------------------------------
+
+    #[test]
+    fn elementwise_kernel_summary_is_provable() {
+        let r = analyze_src(
+            "__kernel void saxpy(__global float* y, __global float* x, float a, int n) {
+                int i = get_global_id(0);
+                if (i < n) { y[i] = a * x[i] + y[i]; }
+            }",
+        );
+        let e = &r.effects;
+        assert_eq!(e.args.len(), 4);
+        assert_eq!(e.barriers, 0);
+        let y = &e.args[0];
+        assert_eq!(y.mode, AccessMode::ReadWrite);
+        assert_eq!(y.elem_bytes, 4);
+        assert!(y.complete);
+        assert!(!y.patterns.is_empty());
+        assert!(
+            y.patterns.iter().all(|p| p.provable
+                && p.coeffs == [1, 0, 0]
+                && p.base == PatternBase::Geom { id: 0, add: 0 }),
+            "{y}"
+        );
+        assert!(y.patterns.iter().any(|p| p.write));
+        assert!(y.patterns.iter().any(|p| !p.write));
+        let x = &e.args[1];
+        assert_eq!(x.mode, AccessMode::Read);
+        assert!(x.patterns.iter().all(|p| p.provable && !p.write), "{x}");
+        assert_eq!(e.args[2].mode, AccessMode::None);
+        assert_eq!(e.args[3].mode, AccessMode::None);
+    }
+
+    #[test]
+    fn scatter_through_loaded_index_is_unprovable() {
+        let r = analyze_src(
+            "__kernel void scatter(__global int* out, __global int* idx) {
+                int i = get_global_id(0);
+                out[idx[i]] = i;
+            }",
+        );
+        let out = &r.effects.args[0];
+        assert_eq!(out.mode, AccessMode::Write);
+        assert!(out.patterns.iter().all(|p| !p.provable), "{out}");
+        assert_eq!(out.elem_bounds, None);
+    }
+
+    #[test]
+    fn shifted_access_keeps_the_addend() {
+        let r = analyze_src(
+            "__kernel void diff(__global int* out, __global int* in) {
+                int i = get_global_id(0);
+                out[i] = in[i + 1] - in[i];
+            }",
+        );
+        let inp = &r.effects.args[1];
+        assert!(inp
+            .patterns
+            .iter()
+            .any(|p| p.base == PatternBase::Geom { id: 0, add: 1 } && p.provable));
+        assert!(inp
+            .patterns
+            .iter()
+            .any(|p| p.base == PatternBase::Geom { id: 0, add: 0 } && p.provable));
+    }
+
+    #[test]
+    fn local_id_indexed_global_write_is_not_globally_private() {
+        // `out[lid]` collides across groups even though it is private
+        // within one — the global-privacy rule must reject it.
+        let r = analyze_src(
+            "__kernel void f(__global int* out) {
+                out[get_local_id(0)] = 1;
+            }",
+        );
+        let out = &r.effects.args[0];
+        assert_eq!(out.mode, AccessMode::Write);
+        assert!(out.patterns.iter().all(|p| !p.provable), "{out}");
+    }
+
+    #[test]
+    fn symbolic_stride_write_is_unprovable() {
+        let r = analyze_src(
+            "__kernel void rowfill(__global float* c, int n) {
+                int i = get_global_id(0);
+                c[i * n] = 0.0f;
+            }",
+        );
+        let c = &r.effects.args[0];
+        assert!(c.patterns.iter().all(|p| !p.provable), "{c}");
+    }
+
+    #[test]
+    fn analyzed_elementwise_chain_proves_fusable_end_to_end() {
+        use crate::analysis::fusion::{prove_fusable, FusionCandidate, FusionShape};
+        let scale = analyze_src(
+            "__kernel void scale(__global float* y, float a, int n) {
+                int i = get_global_id(0);
+                if (i < n) { y[i] = y[i] * a; }
+            }",
+        );
+        let shift = analyze_src(
+            "__kernel void shift(__global float* y, float b, int n) {
+                int i = get_global_id(0);
+                if (i < n) { y[i] = y[i] + b; }
+            }",
+        );
+        let shape = FusionShape {
+            work_dim: 1,
+            global: [256, 1, 1],
+            local: [32, 1, 1],
+        };
+        let bufs = [Some(1u64), None, None];
+        let a = FusionCandidate {
+            name: "scale",
+            effects: Some(&scale.effects),
+            shape,
+            buffers: &bufs,
+        };
+        let b = FusionCandidate {
+            name: "shift",
+            effects: Some(&shift.effects),
+            shape,
+            buffers: &bufs,
+        };
+        assert_eq!(prove_fusable(&a, &b), Ok(()));
     }
 }

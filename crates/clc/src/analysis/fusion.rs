@@ -1,0 +1,492 @@
+//! The fusion-legality prover: may two adjacent launches run as one
+//! fused dispatch?
+//!
+//! Fusing launches `A; B` replaces two wire commands with one and lets a
+//! device run the bodies under a single dispatch, where work-items may
+//! interleave `A`- and `B`-work arbitrarily. That interleaving is
+//! invisible exactly when, on every buffer both launches touch with at
+//! least one store, every access pair involving a store is *provably the
+//! same per-item element*: identical local-id coefficients, an identical
+//! cross-kernel-comparable base, and a pattern that maps distinct
+//! work-items to distinct elements. Then item *i* of `B` depends only on
+//! item *i* of `A`, so any schedule — fully serialized, per-group, or
+//! per-item — produces byte-identical memory.
+//!
+//! Everything the summaries cannot prove is **conservatively rejected**
+//! with a machine-readable [`FusionReject`]; the prover never guesses.
+//! The preconditions:
+//!
+//! * identical NDRange shapes (so geometry symbols denote equal values),
+//! * no barriers in either kernel when a data dependence exists (a
+//!   barrier orders *groups internally*; fusion would need a cross-group
+//!   ordering argument the analysis does not attempt),
+//! * complete, width-consistent summaries on every shared buffer with a
+//!   store.
+//!
+//! Legality composes pairwise: a chain `K1; …; Kn` is fusable iff every
+//! ordered pair is (checked by the caller — see the runtime's
+//! `AutoScheduler::launch_graph`).
+
+use std::fmt;
+
+use super::effects::{AccessMode, EffectSummary};
+
+/// The launch shape of a fusion candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusionShape {
+    /// Number of dimensions (1–3).
+    pub work_dim: u32,
+    /// Global sizes per dimension.
+    pub global: [u64; 3],
+    /// Local (work-group) sizes per dimension.
+    pub local: [u64; 3],
+}
+
+/// One launch as the prover sees it: a kernel's effect summary plus the
+/// launch-time facts (shape and which buffer each argument is bound to).
+#[derive(Debug, Clone)]
+pub struct FusionCandidate<'a> {
+    /// Kernel name (for diagnostics only).
+    pub name: &'a str,
+    /// The kernel's static effect summary, `None` when the toolchain
+    /// did not produce one (e.g. pre-built bitstreams).
+    pub effects: Option<&'a EffectSummary>,
+    /// The launch's NDRange shape.
+    pub shape: FusionShape,
+    /// Buffer identity per argument slot (`None` for scalar/`__local`
+    /// arguments). Any equality-comparable token works; the runtime
+    /// uses buffer-object identity.
+    pub buffers: &'a [Option<u64>],
+}
+
+/// Why a pair of launches cannot be fused. `code()` is the stable
+/// machine-readable identifier surfaced in audit logs and lint output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FusionReject {
+    /// The launches' NDRange shapes differ.
+    ShapeMismatch,
+    /// A kernel has no effect summary (analyzer did not run).
+    MissingSummary {
+        /// The kernel without a summary.
+        kernel: String,
+    },
+    /// A summary's argument list does not match its bound arguments.
+    ArityMismatch {
+        /// The kernel whose summary is inconsistent.
+        kernel: String,
+    },
+    /// An involved argument's pattern set overflowed the analyzer cap.
+    IncompleteSummary {
+        /// The kernel whose summary overflowed.
+        kernel: String,
+        /// Argument slot.
+        arg: u32,
+    },
+    /// The two kernels access a shared buffer with different element
+    /// widths, so their patterns are not comparable.
+    ElemWidthMismatch {
+        /// Argument slot in the earlier launch.
+        earlier_arg: u32,
+        /// Argument slot in the later launch.
+        later_arg: u32,
+    },
+    /// A kernel contains barriers and a data dependence exists on a
+    /// shared buffer.
+    BarrierHazard {
+        /// The kernel with barriers.
+        kernel: String,
+    },
+    /// Two stores to a shared buffer whose per-item disjointness the
+    /// summaries cannot prove.
+    WriteWriteHazard {
+        /// Argument slot in the earlier launch.
+        earlier_arg: u32,
+        /// Argument slot in the later launch.
+        later_arg: u32,
+    },
+    /// A store and a load on a shared buffer whose per-item alignment
+    /// the summaries cannot prove.
+    ReadWriteHazard {
+        /// Argument slot in the earlier launch.
+        earlier_arg: u32,
+        /// Argument slot in the later launch.
+        later_arg: u32,
+    },
+}
+
+impl FusionReject {
+    /// Stable machine-readable reason code.
+    pub fn code(&self) -> &'static str {
+        match self {
+            FusionReject::ShapeMismatch => "shape-mismatch",
+            FusionReject::MissingSummary { .. } => "missing-summary",
+            FusionReject::ArityMismatch { .. } => "arity-mismatch",
+            FusionReject::IncompleteSummary { .. } => "incomplete-summary",
+            FusionReject::ElemWidthMismatch { .. } => "elem-width-mismatch",
+            FusionReject::BarrierHazard { .. } => "barrier-hazard",
+            FusionReject::WriteWriteHazard { .. } => "write-write-overlap",
+            FusionReject::ReadWriteHazard { .. } => "read-write-overlap",
+        }
+    }
+}
+
+impl fmt::Display for FusionReject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FusionReject::ShapeMismatch => f.write_str("NDRange shapes differ"),
+            FusionReject::MissingSummary { kernel } => {
+                write!(f, "kernel `{kernel}` has no effect summary")
+            }
+            FusionReject::ArityMismatch { kernel } => {
+                write!(f, "kernel `{kernel}`'s summary does not match its arguments")
+            }
+            FusionReject::IncompleteSummary { kernel, arg } => {
+                write!(f, "kernel `{kernel}` arg {arg}: pattern set overflowed")
+            }
+            FusionReject::ElemWidthMismatch {
+                earlier_arg,
+                later_arg,
+            } => write!(
+                f,
+                "shared buffer accessed with different element widths (args {earlier_arg}/{later_arg})"
+            ),
+            FusionReject::BarrierHazard { kernel } => write!(
+                f,
+                "kernel `{kernel}` barriers with a data dependence on a shared buffer"
+            ),
+            FusionReject::WriteWriteHazard {
+                earlier_arg,
+                later_arg,
+            } => write!(
+                f,
+                "unprovable write-write overlap on a shared buffer (args {earlier_arg}/{later_arg})"
+            ),
+            FusionReject::ReadWriteHazard {
+                earlier_arg,
+                later_arg,
+            } => write!(
+                f,
+                "unprovable read-write overlap on a shared buffer (args {earlier_arg}/{later_arg})"
+            ),
+        }
+    }
+}
+
+/// Proves (or conservatively refutes) that the launch `earlier` can be
+/// fused with the immediately following launch `later`.
+///
+/// # Errors
+///
+/// The first [`FusionReject`] encountered, in deterministic
+/// (slot-order) traversal.
+pub fn prove_fusable(
+    earlier: &FusionCandidate<'_>,
+    later: &FusionCandidate<'_>,
+) -> Result<(), FusionReject> {
+    if earlier.shape != later.shape {
+        return Err(FusionReject::ShapeMismatch);
+    }
+    let ea = summary_of(earlier)?;
+    let eb = summary_of(later)?;
+
+    // Every buffer both launches bind, with at least one side storing
+    // through it, creates a dependence the summaries must discharge.
+    for (ai, akey) in earlier.buffers.iter().enumerate() {
+        let Some(akey) = akey else { continue };
+        let a_eff = &ea.args[ai];
+        if a_eff.mode == AccessMode::None {
+            continue;
+        }
+        for (bi, bkey) in later.buffers.iter().enumerate() {
+            if Some(*akey) != *bkey {
+                continue;
+            }
+            let b_eff = &eb.args[bi];
+            if b_eff.mode == AccessMode::None {
+                continue;
+            }
+            if !a_eff.mode.writes() && !b_eff.mode.writes() {
+                continue; // read-read: never a hazard
+            }
+            // A dependence exists. Barriers order a group internally;
+            // proving that ordering still holds across a fused dispatch
+            // would need a cross-group argument we do not attempt.
+            if ea.barriers > 0 {
+                return Err(FusionReject::BarrierHazard {
+                    kernel: earlier.name.to_string(),
+                });
+            }
+            if eb.barriers > 0 {
+                return Err(FusionReject::BarrierHazard {
+                    kernel: later.name.to_string(),
+                });
+            }
+            if !a_eff.complete {
+                return Err(FusionReject::IncompleteSummary {
+                    kernel: earlier.name.to_string(),
+                    arg: ai as u32,
+                });
+            }
+            if !b_eff.complete {
+                return Err(FusionReject::IncompleteSummary {
+                    kernel: later.name.to_string(),
+                    arg: bi as u32,
+                });
+            }
+            if a_eff.elem_bytes != b_eff.elem_bytes {
+                return Err(FusionReject::ElemWidthMismatch {
+                    earlier_arg: ai as u32,
+                    later_arg: bi as u32,
+                });
+            }
+            for pa in &a_eff.patterns {
+                for pb in &b_eff.patterns {
+                    if !pa.write && !pb.write {
+                        continue;
+                    }
+                    // The only overlap the prover accepts: both sides
+                    // provably item-private with the *same* per-item
+                    // element. Anything else is a hazard.
+                    let same_elem =
+                        pa.provable && pb.provable && pa.coeffs == pb.coeffs && pa.base == pb.base;
+                    if !same_elem {
+                        return Err(if pa.write && pb.write {
+                            FusionReject::WriteWriteHazard {
+                                earlier_arg: ai as u32,
+                                later_arg: bi as u32,
+                            }
+                        } else {
+                            FusionReject::ReadWriteHazard {
+                                earlier_arg: ai as u32,
+                                later_arg: bi as u32,
+                            }
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn summary_of<'a>(c: &FusionCandidate<'a>) -> Result<&'a EffectSummary, FusionReject> {
+    let effects =
+        c.effects
+            .filter(|e| !e.is_empty())
+            .ok_or_else(|| FusionReject::MissingSummary {
+                kernel: c.name.to_string(),
+            })?;
+    if effects.args.len() != c.buffers.len() {
+        return Err(FusionReject::ArityMismatch {
+            kernel: c.name.to_string(),
+        });
+    }
+    Ok(effects)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::effects::{AccessPattern, ArgEffect, PatternBase};
+    use super::*;
+
+    fn shape() -> FusionShape {
+        FusionShape {
+            work_dim: 1,
+            global: [64, 1, 1],
+            local: [8, 1, 1],
+        }
+    }
+
+    fn gid_pattern(write: bool) -> AccessPattern {
+        AccessPattern {
+            write,
+            coeffs: [1, 0, 0],
+            base: PatternBase::Geom { id: 0, add: 0 },
+            provable: true,
+        }
+    }
+
+    fn arg(mode: AccessMode, patterns: Vec<AccessPattern>) -> ArgEffect {
+        ArgEffect {
+            mode,
+            elem_bytes: 4,
+            elem_bounds: Some((0, 63)),
+            patterns,
+            complete: true,
+        }
+    }
+
+    fn summary(args: Vec<ArgEffect>) -> EffectSummary {
+        EffectSummary { args, barriers: 0 }
+    }
+
+    #[test]
+    fn item_private_write_chain_is_fusable() {
+        let s = summary(vec![arg(
+            AccessMode::ReadWrite,
+            vec![gid_pattern(false), gid_pattern(true)],
+        )]);
+        let bufs = [Some(7u64)];
+        let a = FusionCandidate {
+            name: "a",
+            effects: Some(&s),
+            shape: shape(),
+            buffers: &bufs,
+        };
+        let b = FusionCandidate {
+            name: "b",
+            effects: Some(&s),
+            shape: shape(),
+            buffers: &bufs,
+        };
+        assert_eq!(prove_fusable(&a, &b), Ok(()));
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let s = summary(vec![arg(AccessMode::Write, vec![gid_pattern(true)])]);
+        let bufs = [Some(7u64)];
+        let a = FusionCandidate {
+            name: "a",
+            effects: Some(&s),
+            shape: shape(),
+            buffers: &bufs,
+        };
+        let mut other = shape();
+        other.global = [128, 1, 1];
+        let b = FusionCandidate {
+            name: "b",
+            effects: Some(&s),
+            shape: other,
+            buffers: &bufs,
+        };
+        assert_eq!(prove_fusable(&a, &b), Err(FusionReject::ShapeMismatch));
+    }
+
+    #[test]
+    fn shifted_read_of_written_buffer_rejected() {
+        // A writes y[gid]; B reads y[gid + 1]: a cross-item dependence.
+        let wa = summary(vec![arg(AccessMode::Write, vec![gid_pattern(true)])]);
+        let shifted = AccessPattern {
+            base: PatternBase::Geom { id: 0, add: 1 },
+            ..gid_pattern(false)
+        };
+        let rb = summary(vec![arg(AccessMode::Read, vec![shifted])]);
+        let bufs = [Some(7u64)];
+        let a = FusionCandidate {
+            name: "a",
+            effects: Some(&wa),
+            shape: shape(),
+            buffers: &bufs,
+        };
+        let b = FusionCandidate {
+            name: "b",
+            effects: Some(&rb),
+            shape: shape(),
+            buffers: &bufs,
+        };
+        let err = prove_fusable(&a, &b).unwrap_err();
+        assert_eq!(err.code(), "read-write-overlap");
+    }
+
+    #[test]
+    fn unprovable_write_rejected_even_on_disjoint_slots() {
+        let opaque = AccessPattern {
+            write: true,
+            coeffs: [0, 0, 0],
+            base: PatternBase::Opaque,
+            provable: false,
+        };
+        let wa = summary(vec![arg(AccessMode::Write, vec![opaque])]);
+        let rb = summary(vec![arg(AccessMode::Read, vec![gid_pattern(false)])]);
+        let bufs = [Some(3u64)];
+        let a = FusionCandidate {
+            name: "scatter",
+            effects: Some(&wa),
+            shape: shape(),
+            buffers: &bufs,
+        };
+        let b = FusionCandidate {
+            name: "gather",
+            effects: Some(&rb),
+            shape: shape(),
+            buffers: &bufs,
+        };
+        assert_eq!(
+            prove_fusable(&a, &b).unwrap_err().code(),
+            "read-write-overlap"
+        );
+    }
+
+    #[test]
+    fn disjoint_buffers_fuse_regardless_of_patterns() {
+        let opaque = AccessPattern {
+            write: true,
+            coeffs: [0, 0, 0],
+            base: PatternBase::Opaque,
+            provable: false,
+        };
+        let s = summary(vec![arg(AccessMode::Write, vec![opaque])]);
+        let a_bufs = [Some(1u64)];
+        let b_bufs = [Some(2u64)];
+        let a = FusionCandidate {
+            name: "a",
+            effects: Some(&s),
+            shape: shape(),
+            buffers: &a_bufs,
+        };
+        let b = FusionCandidate {
+            name: "b",
+            effects: Some(&s),
+            shape: shape(),
+            buffers: &b_bufs,
+        };
+        assert_eq!(prove_fusable(&a, &b), Ok(()));
+    }
+
+    #[test]
+    fn barrier_with_dependence_rejected_without_one_allowed() {
+        let mut with_barrier = summary(vec![arg(AccessMode::Write, vec![gid_pattern(true)])]);
+        with_barrier.barriers = 1;
+        let reader = summary(vec![arg(AccessMode::Read, vec![gid_pattern(false)])]);
+        let shared = [Some(9u64)];
+        let a = FusionCandidate {
+            name: "reduce",
+            effects: Some(&with_barrier),
+            shape: shape(),
+            buffers: &shared,
+        };
+        let b = FusionCandidate {
+            name: "consume",
+            effects: Some(&reader),
+            shape: shape(),
+            buffers: &shared,
+        };
+        assert_eq!(prove_fusable(&a, &b).unwrap_err().code(), "barrier-hazard");
+        // The same pair with disjoint buffers has no dependence, so the
+        // barrier is irrelevant.
+        let other = [Some(10u64)];
+        let b2 = FusionCandidate {
+            name: "consume",
+            effects: Some(&reader),
+            shape: shape(),
+            buffers: &other,
+        };
+        assert_eq!(prove_fusable(&a, &b2), Ok(()));
+    }
+
+    #[test]
+    fn missing_summary_rejected() {
+        let bufs = [Some(1u64)];
+        let a = FusionCandidate {
+            name: "bitstream",
+            effects: None,
+            shape: shape(),
+            buffers: &bufs,
+        };
+        assert_eq!(
+            prove_fusable(&a, &a.clone()).unwrap_err().code(),
+            "missing-summary"
+        );
+    }
+}

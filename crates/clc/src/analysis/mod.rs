@@ -12,6 +12,8 @@
 pub mod cfg;
 mod checks;
 pub mod dataflow;
+pub mod effects;
+pub mod fusion;
 
 use crate::ast::{KernelDecl, Unit};
 use crate::bytecode::{CompiledKernel, CompiledProgram};
@@ -60,6 +62,8 @@ pub struct KernelReport {
     pub diagnostics: Diagnostics,
     /// Static placement features.
     pub features: KernelFeatures,
+    /// Inter-kernel effect summary (fusion-legality input).
+    pub effects: effects::EffectSummary,
 }
 
 impl KernelReport {

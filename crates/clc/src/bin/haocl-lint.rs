@@ -6,20 +6,40 @@
 //! (stage): message` format prefixed with the file path (so editors can
 //! jump to findings).
 //!
+//! With `--graph`, each kernel's per-argument effect summary is printed
+//! instead, followed by the fusion prover's verdict for every adjacent
+//! kernel pair (kernels in name order). Buffers are paired by positional
+//! slot: the verdict assumes slot *i* of both kernels binds the same
+//! buffer, which is the interesting (maximally-aliased) case — at
+//! runtime the prover sees the real buffer bindings. A nominal 1-D
+//! launch shape is assumed, so `--graph` never reports `shape-mismatch`.
+//!
 //! Exit status: `0` when every file compiles and no kernel has an
-//! error-severity finding, `1` otherwise (warnings alone do not fail),
-//! `2` on usage or I/O errors.
+//! error-severity finding, `1` otherwise (warnings alone do not fail;
+//! fusion rejections are verdicts, not failures), `2` on usage or I/O
+//! errors.
 
 use std::process::ExitCode;
 
-use haocl_clc::{compile_with_options, AnalysisMode, CompileOptions};
+use haocl_clc::ast::ParamType;
+use haocl_clc::{
+    compile_with_options, prove_fusable, AddressSpace, AnalysisMode, CompileOptions,
+    CompiledProgram, FusionCandidate, FusionShape,
+};
 
 fn main() -> ExitCode {
-    let paths: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<String> = std::env::args().skip(1).collect();
+    let graph_mode = {
+        let before = paths.len();
+        paths.retain(|p| p != "--graph");
+        paths.len() != before
+    };
     if paths.is_empty() || paths.iter().any(|p| p == "-h" || p == "--help") {
-        eprintln!("usage: haocl-lint <kernel.cl>...");
+        eprintln!("usage: haocl-lint [--graph] <kernel.cl>...");
         eprintln!("Statically checks OpenCL C kernels for barrier divergence,");
         eprintln!("__local data races, out-of-bounds indexing and use-before-init.");
+        eprintln!("--graph prints per-argument effect summaries and the fusion");
+        eprintln!("prover's verdict for every adjacent kernel pair.");
         return ExitCode::from(2);
     }
     let opts = CompileOptions {
@@ -36,20 +56,10 @@ fn main() -> ExitCode {
         };
         match compile_with_options(&source, &opts) {
             Ok(program) => {
-                let mut names: Vec<&str> = program.kernel_names().collect();
-                names.sort_unstable();
-                for name in names {
-                    let k = program.kernel(name).expect("listed kernel exists");
-                    let f = &k.report.features;
-                    println!(
-                        "{path}: kernel `{name}`: local_bytes={} barriers={} \
-                         intensity={:.2} divergence={:.2}",
-                        f.local_bytes, f.barrier_count, f.arithmetic_intensity, f.divergence_score
-                    );
-                    for d in k.report.diagnostics.iter() {
-                        println!("{path}:{}", d.render());
-                    }
-                    failed |= k.report.has_errors();
+                if graph_mode {
+                    failed |= graph_report(path, &program);
+                } else {
+                    failed |= default_report(path, &program);
                 }
             }
             Err(e) => {
@@ -65,4 +75,92 @@ fn main() -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+fn default_report(path: &str, program: &CompiledProgram) -> bool {
+    let mut failed = false;
+    let mut names: Vec<&str> = program.kernel_names().collect();
+    names.sort_unstable();
+    for name in names {
+        let k = program.kernel(name).expect("listed kernel exists");
+        let f = &k.report.features;
+        println!(
+            "{path}: kernel `{name}`: local_bytes={} barriers={} \
+             intensity={:.2} divergence={:.2}",
+            f.local_bytes, f.barrier_count, f.arithmetic_intensity, f.divergence_score
+        );
+        for d in k.report.diagnostics.iter() {
+            println!("{path}:{}", d.render());
+        }
+        failed |= k.report.has_errors();
+    }
+    failed
+}
+
+/// `--graph` mode: effect summaries, then a fusion verdict per adjacent
+/// kernel pair under positional-slot buffer pairing.
+fn graph_report(path: &str, program: &CompiledProgram) -> bool {
+    let mut failed = false;
+    let mut names: Vec<&str> = program.kernel_names().collect();
+    names.sort_unstable();
+    for name in &names {
+        let k = program.kernel(name).expect("listed kernel exists");
+        let effects: Vec<String> = k
+            .report
+            .effects
+            .args
+            .iter()
+            .map(|a| a.to_string())
+            .collect();
+        println!(
+            "{path}: kernel `{name}`: barriers={} effects=[{}]",
+            k.report.effects.barriers,
+            effects.join(" | ")
+        );
+        failed |= k.report.has_errors();
+    }
+    // Every kernel's global-pointer slots become buffer tokens by
+    // position, so slot i aliases slot i across the pair.
+    let shape = FusionShape {
+        work_dim: 1,
+        global: [1024, 1, 1],
+        local: [64, 1, 1],
+    };
+    for pair in names.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        let ka = program.kernel(a).expect("listed kernel exists");
+        let kb = program.kernel(b).expect("listed kernel exists");
+        let buf_a = slot_buffers(&ka.params);
+        let buf_b = slot_buffers(&kb.params);
+        let verdict = prove_fusable(
+            &FusionCandidate {
+                name: a,
+                effects: Some(&ka.report.effects),
+                shape,
+                buffers: &buf_a,
+            },
+            &FusionCandidate {
+                name: b,
+                effects: Some(&kb.report.effects),
+                shape,
+                buffers: &buf_b,
+            },
+        );
+        match verdict {
+            Ok(()) => println!("{path}: fuse `{a}` + `{b}`: OK"),
+            Err(e) => println!("{path}: fuse `{a}` + `{b}`: REJECT ({}): {e}", e.code()),
+        }
+    }
+    failed
+}
+
+fn slot_buffers(params: &[ParamType]) -> Vec<Option<u64>> {
+    params
+        .iter()
+        .enumerate()
+        .map(|(i, p)| match p {
+            ParamType::Pointer(AddressSpace::Global | AddressSpace::Constant, _) => Some(i as u64),
+            _ => None,
+        })
+        .collect()
 }

@@ -59,6 +59,8 @@ pub mod sema;
 pub mod types;
 pub mod vm;
 
+pub use analysis::effects::{AccessMode, AccessPattern, ArgEffect, EffectSummary, PatternBase};
+pub use analysis::fusion::{prove_fusable, FusionCandidate, FusionReject, FusionShape};
 pub use analysis::{AnalysisMode, CompileOptions, KernelFeatures, KernelReport};
 pub use bytecode::{CompiledKernel, CompiledProgram};
 pub use diag::ClcError;

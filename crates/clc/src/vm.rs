@@ -530,6 +530,45 @@ impl Default for CheckConfig {
     }
 }
 
+/// One global-memory access observed by [`run_ndrange_observed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GlobalAccess {
+    /// Buffer index (as bound via [`ArgValue::GlobalBuffer`]).
+    pub buffer: usize,
+    /// Flat work-item id across the whole NDRange.
+    pub item: u64,
+    /// Store (`true`) or load (`false`).
+    pub write: bool,
+    /// First byte touched.
+    pub byte_off: u64,
+    /// Bytes touched.
+    pub len: u32,
+}
+
+/// The per-byte global-access log collected by [`run_ndrange_observed`] —
+/// the dynamic ground truth the static effect summaries
+/// ([`crate::analysis::effects`]) are cross-checked against.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalObs {
+    /// Every global-buffer access, in execution order.
+    pub accesses: Vec<GlobalAccess>,
+    /// The log hit its size cap; `accesses` is a prefix.
+    pub truncated: bool,
+}
+
+/// Log cap for [`GlobalObs`] (the cross-check corpora stay far below it).
+const MAX_OBS_ACCESSES: usize = 1 << 22;
+
+impl GlobalObs {
+    fn record(&mut self, rec: GlobalAccess) {
+        if self.accesses.len() >= MAX_OBS_ACCESSES {
+            self.truncated = true;
+        } else {
+            self.accesses.push(rec);
+        }
+    }
+}
+
 /// Dynamic `__local` race oracle.
 ///
 /// For every arena byte it tracks the set of work-items (linear local
@@ -634,7 +673,7 @@ pub fn run_ndrange(
     buffers: &mut [GlobalBuffer],
     range: &NdRange,
 ) -> Result<ExecStats, ExecError> {
-    run_ndrange_impl(kernel, args, buffers, range, None)
+    run_ndrange_impl(kernel, args, buffers, range, None, None)
 }
 
 /// [`run_ndrange`] with dynamic checking: an instruction budget (so
@@ -659,7 +698,27 @@ pub fn run_ndrange_checked(
     range: &NdRange,
     cfg: &CheckConfig,
 ) -> Result<ExecStats, ExecError> {
-    run_ndrange_impl(kernel, args, buffers, range, Some(cfg))
+    run_ndrange_impl(kernel, args, buffers, range, Some(cfg), None)
+}
+
+/// [`run_ndrange_checked`] that additionally logs every global-buffer
+/// access (buffer, flat work-item id, byte range, load/store) into a
+/// [`GlobalObs`] — the dynamic oracle the static effect summaries are
+/// validated against.
+///
+/// # Errors
+///
+/// Everything [`run_ndrange_checked`] returns.
+pub fn run_ndrange_observed(
+    kernel: &CompiledKernel,
+    args: &[ArgValue],
+    buffers: &mut [GlobalBuffer],
+    range: &NdRange,
+    cfg: &CheckConfig,
+) -> Result<(ExecStats, GlobalObs), ExecError> {
+    let mut obs = GlobalObs::default();
+    let stats = run_ndrange_impl(kernel, args, buffers, range, Some(cfg), Some(&mut obs))?;
+    Ok((stats, obs))
 }
 
 fn run_ndrange_impl(
@@ -668,6 +727,7 @@ fn run_ndrange_impl(
     buffers: &mut [GlobalBuffer],
     range: &NdRange,
     cfg: Option<&CheckConfig>,
+    mut obs: Option<&mut GlobalObs>,
 ) -> Result<ExecStats, ExecError> {
     range.validate()?;
     if args.len() != kernel.params.len() {
@@ -743,6 +803,7 @@ fn run_ndrange_impl(
                     &mut arena,
                     &mut stats,
                     checked.as_mut(),
+                    obs.as_deref_mut(),
                 )?;
                 stats.work_groups += 1;
             }
@@ -762,6 +823,7 @@ fn run_group(
     arena: &mut [u8],
     stats: &mut ExecStats,
     mut checked: Option<&mut Checked>,
+    mut obs: Option<&mut GlobalObs>,
 ) -> Result<(), ExecError> {
     arena.fill(0);
     if let Some(c) = checked.as_deref_mut() {
@@ -805,6 +867,7 @@ fn run_group(
                     stats,
                     idx as u32,
                     checked.as_deref_mut(),
+                    obs.as_deref_mut(),
                 )?;
                 any_running = true;
             }
@@ -875,7 +938,10 @@ fn run_item(
     stats: &mut ExecStats,
     idx: u32,
     mut checked: Option<&mut Checked>,
+    mut obs: Option<&mut GlobalObs>,
 ) -> Result<(), ExecError> {
+    let flat_item = (item.global_id[2] * range.global[1] + item.global_id[1]) * range.global[0]
+        + item.global_id[0];
     let code = &kernel.code;
     loop {
         let Some(instr) = code.get(item.pc) else {
@@ -923,6 +989,18 @@ fn run_item(
             }
             Instr::LoadMem(elem) => {
                 let p = pop(&mut item.stack)?.as_ptr()?;
+                if let (PtrSpace::Global(b), Some(o)) = (p.space, obs.as_deref_mut()) {
+                    if p.offset >= 0 {
+                        let sz = elem.size_bytes();
+                        o.record(GlobalAccess {
+                            buffer: b,
+                            item: flat_item,
+                            write: false,
+                            byte_off: p.offset as u64 * sz as u64,
+                            len: sz as u32,
+                        });
+                    }
+                }
                 if p.space == PtrSpace::Local {
                     if let Some(c) = checked.as_deref() {
                         if c.cfg.detect_races {
@@ -940,6 +1018,18 @@ fn run_item(
             Instr::StoreMem(elem) => {
                 let v = pop(&mut item.stack)?;
                 let p = pop(&mut item.stack)?.as_ptr()?;
+                if let (PtrSpace::Global(b), Some(o)) = (p.space, obs.as_deref_mut()) {
+                    if p.offset >= 0 {
+                        let sz = elem.size_bytes();
+                        o.record(GlobalAccess {
+                            buffer: b,
+                            item: flat_item,
+                            write: true,
+                            byte_off: p.offset as u64 * sz as u64,
+                            len: sz as u32,
+                        });
+                    }
+                }
                 let race_check = p.space == PtrSpace::Local
                     && checked.as_deref().is_some_and(|c| c.cfg.detect_races);
                 if race_check {

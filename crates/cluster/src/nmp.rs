@@ -32,13 +32,14 @@ use parking_lot::Mutex;
 
 use haocl_device::device::DeviceError;
 use haocl_device::memory::MemoryError;
-use haocl_device::{presets, SimDevice};
+use haocl_device::{presets, FusedPart, SimDevice};
 use haocl_kernel::{CostModel, Kernel, KernelRegistry, NdRange};
 use haocl_net::{host_name_of, Conn, Fabric, Listener, NetError};
 use haocl_obs::SpanId;
 use haocl_proto::ids::{KernelId, ProgramId, RequestId, UserId};
 use haocl_proto::messages::{
-    status, ApiCall, ApiReply, Envelope, Request, Response, WireKernelReport, WireSpan,
+    status, ApiCall, ApiReply, Envelope, Request, Response, WireAccessPattern, WireArgEffect,
+    WireKernelReport, WireSpan,
 };
 use haocl_proto::wire::{decode_from_slice, encode_to_vec};
 use haocl_sim::SimTime;
@@ -308,6 +309,7 @@ fn mutates_state(call: &ApiCall) -> bool {
             | ApiCall::LoadBitstream { .. }
             | ApiCall::CreateKernel { .. }
             | ApiCall::LaunchKernel { .. }
+            | ApiCall::LaunchFused { .. }
             | ApiCall::PushBufferTo { .. }
             | ApiCall::PullBufferFrom { .. }
     )
@@ -682,6 +684,48 @@ fn wire_reports(compiled: &haocl_clc::CompiledProgram) -> Vec<WireKernelReport> 
             barrier_count: k.report.features.barrier_count,
             arithmetic_intensity: k.report.features.arithmetic_intensity,
             divergence_score: k.report.features.divergence_score,
+            effects: wire_effects(&k.report.effects),
+        })
+        .collect()
+}
+
+/// Flattens a compiler effect summary into its wire form.
+fn wire_effects(summary: &haocl_clc::EffectSummary) -> Vec<WireArgEffect> {
+    use haocl_clc::{AccessMode, PatternBase};
+    summary
+        .args
+        .iter()
+        .map(|a| WireArgEffect {
+            mode: match a.mode {
+                AccessMode::None => 0,
+                AccessMode::Read => 1,
+                AccessMode::Write => 2,
+                AccessMode::ReadWrite => 3,
+            },
+            elem_bytes: a.elem_bytes,
+            bounded: a.elem_bounds.is_some(),
+            lo: a.elem_bounds.map_or(0, |b| b.0),
+            hi: a.elem_bounds.map_or(0, |b| b.1),
+            complete: a.complete,
+            patterns: a
+                .patterns
+                .iter()
+                .map(|p| {
+                    let (base_kind, base_id, base_add) = match p.base {
+                        PatternBase::Const(k) => (0, 0, k),
+                        PatternBase::Geom { id, add } => (1, id, add),
+                        PatternBase::Opaque => (2, 0, 0),
+                    };
+                    WireAccessPattern {
+                        write: p.write,
+                        provable: p.provable,
+                        coeffs: p.coeffs,
+                        base_kind,
+                        base_id,
+                        base_add,
+                    }
+                })
+                .collect(),
         })
         .collect()
 }
@@ -1026,6 +1070,66 @@ fn dispatch(
                 // device timeline until `end_nanos`. Later operations on
                 // this device queue behind it; the host only waits at
                 // `clFinish`/reads.
+                Ok(outcome) => (
+                    ApiReply::LaunchDone {
+                        start_nanos: outcome.grant.start.as_nanos(),
+                        end_nanos: outcome.grant.end.as_nanos(),
+                        instructions: outcome.instructions,
+                    },
+                    at,
+                ),
+                Err(e) => (device_error_reply(e), at),
+            }
+        }
+        ApiCall::LaunchFused {
+            device,
+            fidelity,
+            shared: _,
+            parts,
+        } => {
+            if parts.len() < 2 {
+                return (
+                    err_reply(status::INVALID_VALUE, "fused launch needs >= 2 parts"),
+                    at,
+                );
+            }
+            // Resolve every constituent before running any: a fused
+            // dispatch is one command, so it fails whole on bad handles.
+            let mut resolved = Vec::with_capacity(parts.len());
+            for part in &parts {
+                let Some((kernel_device, k)) = state.kernels.get(&part.kernel).cloned() else {
+                    return (err_reply(status::INVALID_KERNEL, "unknown kernel"), at);
+                };
+                if kernel_device != device {
+                    return (
+                        err_reply(
+                            status::INVALID_DEVICE,
+                            "kernel was created for a different device",
+                        ),
+                        at,
+                    );
+                }
+                resolved.push(k);
+            }
+            let fused: Vec<FusedPart<'_>> = resolved
+                .iter()
+                .zip(&parts)
+                .map(|(k, part)| FusedPart {
+                    kernel: k,
+                    args: &part.args,
+                    range: NdRange {
+                        work_dim: part.range.work_dim,
+                        global: part.range.global,
+                        local: part.range.local,
+                    },
+                    cost: cost_from_wire(&part.cost),
+                })
+                .collect();
+            *state.launches_by_user.entry(user).or_insert(0) += 1;
+            let Some(dev) = state.devices.get_mut(device as usize) else {
+                return (err_reply(status::INVALID_DEVICE, "no such device"), at);
+            };
+            match dev.launch_fused(&fused, fidelity, at) {
                 Ok(outcome) => (
                     ApiReply::LaunchDone {
                         start_nanos: outcome.grant.start.as_nanos(),

@@ -9,7 +9,7 @@
 use parking_lot::Mutex;
 
 use haocl_kernel::NdRange;
-use haocl_obs::{names, PlacementAudit, Span, TraceCtx, DEFAULT_TENANT};
+use haocl_obs::{names, FusionDecision, PlacementAudit, Span, TraceCtx, DEFAULT_TENANT};
 use haocl_proto::ids::UserId;
 use haocl_sched::{DeviceView, QuarantineTracker, Scheduler, SchedulingPolicy, TaskSpec};
 use haocl_sim::{Phase, SimTime};
@@ -18,6 +18,7 @@ use crate::buffer::Buffer;
 use crate::context::Context;
 use crate::error::{Error, Status};
 use crate::event::Event;
+use crate::graph::{GraphReport, LaunchGraph};
 use crate::kernel::{Kernel, StoredArg};
 use crate::queue::CommandQueue;
 
@@ -151,74 +152,8 @@ impl AutoScheduler {
             .tenant(tenant)
             .fpga_eligible(kernel.program().is_bitstream())
             .input_bytes(buffers.iter().map(Buffer::size).sum());
-        let views: Vec<DeviceView> = {
-            let busy = self.busy_until.lock();
-            self.context
-                .devices()
-                .iter()
-                .zip(busy.iter())
-                .map(|(d, &until)| {
-                    let local = buffers
-                        .iter()
-                        .map(|b| b.inner.resident_bytes_on(d.index))
-                        .sum();
-                    DeviceView::from_descriptor(d.node(), &d.info.descriptor)
-                        .loaded(until, u32::from(until > SimTime::ZERO))
-                        .with_local_bytes(local)
-                })
-                .collect()
-        };
+        let (choice, audit) = self.place_filtered(&task, &buffers)?;
         let obs = &self.context.platform.obs;
-        // Fold the runtime's failover signals into node health: every
-        // epoch bump is a failover the host had to perform for that
-        // node, i.e. one quarantine strike.
-        for d in self.context.devices() {
-            let node = d.node();
-            if self
-                .quarantine
-                .observe_epoch(node, self.context.platform.host().node_epoch(node))
-            {
-                obs.audit.record(PlacementAudit {
-                    kernel: "<node-health>".into(),
-                    tenant: DEFAULT_TENANT.into(),
-                    policy: "quarantine".into(),
-                    candidates: Vec::new(),
-                    chosen: d.index(),
-                    reason: format!(
-                        "node {} quarantined after {} route failovers",
-                        d.node_name(),
-                        self.quarantine.strikes(node)
-                    ),
-                });
-                obs.metrics
-                    .inc_counter(names::QUARANTINES, &[("node", d.node_name())], 1);
-            }
-        }
-        // Demote quarantined nodes out of the candidate set — but only
-        // while an alternative exists; an all-quarantined cluster still
-        // schedules.
-        let eligible: Vec<usize> = (0..views.len())
-            .filter(|&i| !self.quarantine.is_quarantined(views[i].node))
-            .collect();
-        let placed = if eligible.is_empty() || eligible.len() == views.len() {
-            self.scheduler.place_audited(&task, &views)
-        } else {
-            let surviving: Vec<DeviceView> = eligible.iter().map(|&i| views[i].clone()).collect();
-            self.scheduler
-                .place_audited(&task, &surviving)
-                .map(|(choice, mut audit)| {
-                    // Remap filtered indices back onto the context's
-                    // device list, which is what callers (and the audit
-                    // log) index by.
-                    for candidate in &mut audit.candidates {
-                        candidate.device = eligible[candidate.device];
-                    }
-                    audit.chosen = eligible[audit.chosen];
-                    (eligible[choice], audit)
-                })
-        };
-        let (choice, audit) =
-            placed.map_err(|e| Error::api(Status::InvalidOperation, e.to_string()))?;
         // The placement decision is always auditable; spans and metrics
         // follow the tracing gate.
         let decided = self.queues[choice].device().platform.clock().now();
@@ -298,6 +233,304 @@ impl AutoScheduler {
             obs.metrics.inc_counter(names::SEED_DISPLACED, &[], behind);
         }
         Ok((event, choice))
+    }
+
+    /// Places `task` over the context's devices: builds the per-device
+    /// views (load + residency of `buffers`), folds failover epochs into
+    /// quarantine strikes, filters quarantined nodes while an
+    /// alternative exists, and remaps the surviving indices back onto
+    /// the context's device list.
+    fn place_filtered(
+        &self,
+        task: &TaskSpec,
+        buffers: &[Buffer],
+    ) -> Result<(usize, PlacementAudit), Error> {
+        let views: Vec<DeviceView> = {
+            let busy = self.busy_until.lock();
+            self.context
+                .devices()
+                .iter()
+                .zip(busy.iter())
+                .map(|(d, &until)| {
+                    let local = buffers
+                        .iter()
+                        .map(|b| b.inner.resident_bytes_on(d.index))
+                        .sum();
+                    DeviceView::from_descriptor(d.node(), &d.info.descriptor)
+                        .loaded(until, u32::from(until > SimTime::ZERO))
+                        .with_local_bytes(local)
+                })
+                .collect()
+        };
+        let obs = &self.context.platform.obs;
+        // Fold the runtime's failover signals into node health: every
+        // epoch bump is a failover the host had to perform for that
+        // node, i.e. one quarantine strike.
+        for d in self.context.devices() {
+            let node = d.node();
+            if self
+                .quarantine
+                .observe_epoch(node, self.context.platform.host().node_epoch(node))
+            {
+                obs.audit.record(PlacementAudit {
+                    kernel: "<node-health>".into(),
+                    tenant: DEFAULT_TENANT.into(),
+                    policy: "quarantine".into(),
+                    candidates: Vec::new(),
+                    chosen: d.index(),
+                    reason: format!(
+                        "node {} quarantined after {} route failovers",
+                        d.node_name(),
+                        self.quarantine.strikes(node)
+                    ),
+                    fused: FusionDecision::Unconsidered,
+                });
+                obs.metrics
+                    .inc_counter(names::QUARANTINES, &[("node", d.node_name())], 1);
+            }
+        }
+        // Demote quarantined nodes out of the candidate set — but only
+        // while an alternative exists; an all-quarantined cluster still
+        // schedules.
+        let eligible: Vec<usize> = (0..views.len())
+            .filter(|&i| !self.quarantine.is_quarantined(views[i].node))
+            .collect();
+        let placed = if eligible.is_empty() || eligible.len() == views.len() {
+            self.scheduler.place_audited(task, &views)
+        } else {
+            let surviving: Vec<DeviceView> = eligible.iter().map(|&i| views[i].clone()).collect();
+            self.scheduler
+                .place_audited(task, &surviving)
+                .map(|(choice, mut audit)| {
+                    // Remap filtered indices back onto the context's
+                    // device list, which is what callers (and the audit
+                    // log) index by.
+                    for candidate in &mut audit.candidates {
+                        candidate.device = eligible[candidate.device];
+                    }
+                    audit.chosen = eligible[audit.chosen];
+                    (eligible[choice], audit)
+                })
+        };
+        placed.map_err(|e| Error::api(Status::InvalidOperation, e.to_string()))
+    }
+
+    /// Dispatches a captured [`LaunchGraph`]: prover-approved adjacent
+    /// chains collapse into single fused wire commands; everything else
+    /// launches exactly as individual enqueues would.
+    ///
+    /// # Errors
+    ///
+    /// As [`AutoScheduler::launch`], for any constituent dispatch.
+    pub fn launch_graph(&self, graph: &LaunchGraph) -> Result<GraphReport, Error> {
+        self.launch_graph_tagged(graph, UserId::new(0), DEFAULT_TENANT)
+    }
+
+    /// [`AutoScheduler::launch_graph`], billed to a session.
+    ///
+    /// Each planned group is placed as one merged task (names joined
+    /// with `+`, costs and input bytes summed), so the policy sees the
+    /// fused dispatch it is actually scheduling. Every fusion decision —
+    /// lead, member, solo, or rejection with its machine-readable code —
+    /// lands in the audit log's `fused=` column, and fused dispatches
+    /// bump `haocl_fused_launches_total` /
+    /// `haocl_fusion_commands_saved_total`.
+    ///
+    /// # Errors
+    ///
+    /// As [`AutoScheduler::launch`], for any constituent dispatch.
+    pub fn launch_graph_tagged(
+        &self,
+        graph: &LaunchGraph,
+        user: UserId,
+        tenant: &str,
+    ) -> Result<GraphReport, Error> {
+        let nodes = graph.nodes();
+        let plan = graph.plan();
+        let obs = &self.context.platform.obs;
+        let mut report = GraphReport {
+            nodes: nodes.len(),
+            wire_launches: 0,
+            fused_launches: 0,
+            commands_saved: 0,
+            events: Vec::with_capacity(plan.len()),
+            decisions: vec![(String::new(), FusionDecision::Solo); nodes.len()],
+        };
+        for group in &plan {
+            let members = &group.members;
+            let lead = &nodes[members[0]];
+            let lead_name = lead.kernel.name().to_string();
+            // Merge the group into the task the policy actually places:
+            // one dispatch with the summed work and the union of inputs.
+            let joined = members
+                .iter()
+                .map(|&m| nodes[m].kernel.name())
+                .collect::<Vec<_>>()
+                .join("+");
+            let mut flops = 0.0;
+            let mut bytes_read = 0.0;
+            let mut bytes_written = 0.0;
+            let mut uniform = true;
+            let mut streaming = true;
+            let mut buffers: Vec<Buffer> = Vec::new();
+            for &m in members {
+                let cost = nodes[m].kernel.cost();
+                flops += cost.total_flops();
+                bytes_read += cost.total_bytes_read();
+                bytes_written += cost.total_bytes_written();
+                uniform &= cost.is_uniform();
+                streaming &= cost.is_streaming();
+                for arg in &nodes[m].args {
+                    if let StoredArg::Buffer(b) = arg {
+                        if !buffers
+                            .iter()
+                            .any(|seen| std::sync::Arc::ptr_eq(&seen.inner, &b.inner))
+                        {
+                            buffers.push(b.clone());
+                        }
+                    }
+                }
+            }
+            let mut cost = haocl_kernel::CostModel::new()
+                .flops(flops)
+                .bytes_read(bytes_read)
+                .bytes_written(bytes_written);
+            if !uniform {
+                cost = cost.divergent();
+            }
+            if streaming {
+                cost = cost.streaming();
+            }
+            let task = TaskSpec::new(&joined)
+                .cost(cost)
+                .user(user)
+                .tenant(tenant)
+                .fpga_eligible(
+                    members
+                        .iter()
+                        .all(|&m| nodes[m].kernel.program().is_bitstream()),
+                )
+                .input_bytes(buffers.iter().map(Buffer::size).sum());
+            let (choice, mut audit) = self.place_filtered(&task, &buffers)?;
+            // The lead's column explains this dispatch: why it fused, or
+            // why it could not extend the previous one.
+            let lead_decision = match (&group.rejected, members.len()) {
+                (Some(code), _) => FusionDecision::Rejected { code: code.clone() },
+                (None, 1) => FusionDecision::Solo,
+                (None, len) => FusionDecision::Fused { len },
+            };
+            audit.fused = lead_decision.clone();
+            report.decisions[members[0]] = (lead_name.clone(), lead_decision);
+            let decided = self.queues[choice].device().platform.clock().now();
+            let ctx = if obs.enabled() {
+                let trace = obs.recorder.new_trace();
+                let root_id = obs.recorder.next_span_id();
+                obs.recorder.record(
+                    Span::new(
+                        obs.recorder.next_span_id(),
+                        trace,
+                        Some(root_id),
+                        "sched.place",
+                        Phase::new("Sched"),
+                        "host",
+                        decided,
+                        decided,
+                    )
+                    .attr("policy", audit.policy.clone())
+                    .attr("tenant", audit.tenant.clone())
+                    .attr("reason", audit.reason.clone())
+                    .attr("fused", audit.fused.to_string())
+                    .attr("candidates", audit.candidates.len().to_string()),
+                );
+                obs.metrics.inc_counter(
+                    names::PLACEMENTS,
+                    &[
+                        ("kernel", joined.as_str()),
+                        (
+                            "kind",
+                            audit.winner().map(|w| w.kind.as_str()).unwrap_or("unknown"),
+                        ),
+                    ],
+                    1,
+                );
+                Some((trace, root_id))
+            } else {
+                None
+            };
+            let (policy, tenant_label) = (audit.policy.clone(), audit.tenant.clone());
+            obs.audit.record(audit);
+            // Members get their own audit rows so per-kernel queries
+            // still see every launch, wire command or not.
+            for &m in &members[1..] {
+                let name = nodes[m].kernel.name().to_string();
+                report.decisions[m] = (
+                    name.clone(),
+                    FusionDecision::FusedInto {
+                        lead: lead_name.clone(),
+                    },
+                );
+                obs.audit.record(PlacementAudit {
+                    kernel: name,
+                    tenant: tenant_label.clone(),
+                    policy: policy.clone(),
+                    candidates: Vec::new(),
+                    chosen: choice,
+                    reason: format!("carried by fused dispatch `{joined}`"),
+                    fused: FusionDecision::FusedInto {
+                        lead: lead_name.clone(),
+                    },
+                });
+            }
+            let parts: Vec<crate::queue::LaunchPart> = members
+                .iter()
+                .map(|&m| crate::queue::LaunchPart {
+                    kernel: nodes[m].kernel.clone(),
+                    args: nodes[m].args.clone(),
+                    range: nodes[m].range,
+                })
+                .collect();
+            let event = self.queues[choice].enqueue_launch_parts_traced(
+                parts,
+                ctx.map(|(trace, root_id)| TraceCtx::new(trace, root_id)),
+            )?;
+            event.wait()?;
+            {
+                let mut busy = self.busy_until.lock();
+                busy[choice] = busy[choice].max(event.finished_at());
+            }
+            // The profile keys on the merged name — the same name the
+            // placement above queried, so predictions stay consistent.
+            self.scheduler.profile().record(
+                &joined,
+                self.context.devices()[choice].kind(),
+                event.duration(),
+            );
+            if let Some((trace, root_id)) = ctx {
+                obs.recorder.record(Span::new(
+                    root_id,
+                    trace,
+                    None,
+                    format!("auto.launch {joined}"),
+                    Phase::Compute,
+                    "host",
+                    decided,
+                    self.context.platform.clock().now(),
+                ));
+            }
+            report.wire_launches += 1;
+            if members.len() > 1 {
+                report.fused_launches += 1;
+                report.commands_saved += members.len() - 1;
+                obs.metrics.inc_counter(names::FUSED_LAUNCHES, &[], 1);
+                obs.metrics.inc_counter(
+                    names::FUSION_COMMANDS_SAVED,
+                    &[],
+                    (members.len() - 1) as u64,
+                );
+            }
+            report.events.push(event);
+        }
+        Ok(report)
     }
 }
 

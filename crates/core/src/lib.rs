@@ -77,6 +77,7 @@ pub mod buffer;
 pub mod context;
 pub mod error;
 pub mod event;
+pub mod graph;
 pub mod kernel;
 pub mod platform;
 pub mod program;
@@ -88,6 +89,7 @@ pub use buffer::{Buffer, MemFlags};
 pub use context::Context;
 pub use error::{Error, Status};
 pub use event::Event;
+pub use graph::{GraphReport, LaunchGraph};
 pub use kernel::Kernel;
 pub use platform::{Device, DeviceType, Platform};
 pub use program::Program;

@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 use haocl_kernel::NdRange;
 use haocl_obs::{names, phase_from_name, Span, TraceCtx};
-use haocl_proto::messages::{ApiCall, ApiReply, WireArg, WireCost, WireNdRange};
+use haocl_proto::messages::{ApiCall, ApiReply, WireArg, WireCost, WireLaunchPart, WireNdRange};
 use haocl_sim::{Phase, SimTime};
 
 use crate::buffer::Buffer;
@@ -25,6 +25,17 @@ use crate::error::{Error, Status};
 use crate::event::{CommandType, Event, Profile};
 use crate::kernel::{Kernel, StoredArg};
 use crate::platform::Device;
+
+/// One constituent of a (possibly fused) dispatch: a kernel with a
+/// snapshot of its bound arguments and its launch geometry. The
+/// [`crate::auto::AutoScheduler`] captures these when a
+/// [`crate::graph::LaunchGraph`] is recorded, so later `set_arg` calls
+/// cannot retroactively change an already-captured launch.
+pub(crate) struct LaunchPart {
+    pub(crate) kernel: Kernel,
+    pub(crate) args: Vec<StoredArg>,
+    pub(crate) range: NdRange,
+}
 
 /// An in-order command queue bound to one device.
 #[derive(Clone)]
@@ -228,26 +239,76 @@ impl CommandQueue {
         range: NdRange,
         parent: Option<TraceCtx>,
     ) -> Result<Event, Error> {
-        let queued = self.now();
         let args = kernel.bound_args()?;
+        self.enqueue_launch_parts_traced(
+            vec![LaunchPart {
+                kernel: kernel.clone(),
+                args,
+                range,
+            }],
+            parent,
+        )
+    }
+
+    /// Submits one wire command covering `parts`: the plain
+    /// `LaunchKernel` path for a single part (byte-identical to
+    /// [`enqueue_nd_range_kernel`](Self::enqueue_nd_range_kernel)), or
+    /// one `LaunchFused` command whose constituents the NMP executes
+    /// back-to-back under a single dispatch. Callers must only pass
+    /// multiple parts the fusion prover approved (see [`crate::graph`]):
+    /// this method trusts the plan and does not re-check legality.
+    ///
+    /// # Errors
+    ///
+    /// Staging or submission transport failures; remote launch failures
+    /// surface on the returned [`Event`].
+    pub(crate) fn enqueue_launch_parts_traced(
+        &self,
+        parts: Vec<LaunchPart>,
+        parent: Option<TraceCtx>,
+    ) -> Result<Event, Error> {
+        assert!(!parts.is_empty(), "a dispatch needs at least one part");
+        let queued = self.now();
         // Stage buffer arguments onto this device. This settles earlier
         // launches against these buffers, so same-buffer launches
         // serialize while independent launches pipeline.
-        for arg in &args {
-            if let StoredArg::Buffer(b) = arg {
-                b.inner.make_current_on(&self.device)?;
+        for part in &parts {
+            for arg in &part.args {
+                if let StoredArg::Buffer(b) = arg {
+                    b.inner.make_current_on(&self.device)?;
+                }
             }
         }
-        let remote_kernel = kernel.ensure_remote(&self.device)?;
-        let wire_args: Vec<WireArg> = args
-            .iter()
-            .map(|a| match a {
-                StoredArg::Buffer(b) => WireArg::Buffer(b.inner.wire_id_on(self.device.node())),
-                StoredArg::Scalar(w) => *w,
-                StoredArg::Local(bytes) => WireArg::LocalBytes(*bytes),
-            })
-            .collect();
-        let cost = kernel.cost();
+        let mut wire_parts = Vec::with_capacity(parts.len());
+        for part in &parts {
+            let remote_kernel = part.kernel.ensure_remote(&self.device)?;
+            let wire_args: Vec<WireArg> = part
+                .args
+                .iter()
+                .map(|a| match a {
+                    StoredArg::Buffer(b) => WireArg::Buffer(b.inner.wire_id_on(self.device.node())),
+                    StoredArg::Scalar(w) => *w,
+                    StoredArg::Local(bytes) => WireArg::LocalBytes(*bytes),
+                })
+                .collect();
+            let cost = part.kernel.cost();
+            wire_parts.push(WireLaunchPart {
+                kernel: remote_kernel,
+                args: wire_args,
+                range: WireNdRange {
+                    work_dim: part.range.work_dim,
+                    global: part.range.global,
+                    local: part.range.local,
+                },
+                cost: WireCost {
+                    flops: cost.total_flops(),
+                    bytes_read: cost.total_bytes_read(),
+                    bytes_written: cost.total_bytes_written(),
+                    uniform: cost.is_uniform(),
+                    streaming: cost.is_streaming(),
+                },
+            });
+        }
         let started = self.now();
         let obs = &self.device.platform.obs;
         // The root span's id is allocated up front — the NMP parents its
@@ -258,41 +319,49 @@ impl CommandQueue {
             (trace, obs.recorder.next_span_id(), parent.map(|c| c.parent))
         });
         let ctx = root.map(|(trace, id, _)| TraceCtx::new(trace, id));
-        let kernel_name = kernel.name().to_string();
-        let call = self
-            .device
-            .platform
-            .host()
-            .submit_traced(
+        let fused_len = parts.len();
+        let kernel_name = parts
+            .iter()
+            .map(|p| p.kernel.name())
+            .collect::<Vec<_>>()
+            .join("+");
+        let fidelity = parts[0].kernel.fidelity();
+        let call = if fused_len == 1 {
+            let mut single = wire_parts;
+            let part = single.pop().expect("one part");
+            self.device.platform.host().submit_traced(
                 self.device.node(),
                 ApiCall::LaunchKernel {
                     device: self.device.device_index(),
-                    kernel: remote_kernel,
-                    args: wire_args,
-                    range: WireNdRange {
-                        work_dim: range.work_dim,
-                        global: range.global,
-                        local: range.local,
-                    },
-                    cost: WireCost {
-                        flops: cost.total_flops(),
-                        bytes_read: cost.total_bytes_read(),
-                        bytes_written: cost.total_bytes_written(),
-                        uniform: cost.is_uniform(),
-                        streaming: cost.is_streaming(),
-                    },
-                    fidelity: kernel.fidelity(),
+                    kernel: part.kernel,
+                    args: part.args,
+                    range: part.range,
+                    cost: part.cost,
+                    fidelity,
                     shared: false,
                 },
                 ctx,
             )
-            .map_err(Error::from)?;
+        } else {
+            self.device.platform.host().submit_traced(
+                self.device.node(),
+                ApiCall::LaunchFused {
+                    device: self.device.device_index(),
+                    fidelity,
+                    shared: false,
+                    parts: wire_parts,
+                },
+                ctx,
+            )
+        }
+        .map_err(Error::from)?;
         // The resolver holds the buffers weakly: a buffer nobody can
         // reach anymore has no coherence state worth updating, and a
         // strong reference would cycle through the buffer's own
         // pending-writer list.
-        let written: Vec<std::sync::Weak<crate::buffer::BufferInner>> = args
+        let written: Vec<std::sync::Weak<crate::buffer::BufferInner>> = parts
             .iter()
+            .flat_map(|p| p.args.iter())
             .filter_map(|a| match a {
                 StoredArg::Buffer(b) => Some(Arc::downgrade(&b.inner)),
                 _ => None,
@@ -332,21 +401,28 @@ impl CommandQueue {
                 let rec = &platform.obs.recorder;
                 let node_name = device.node_name();
                 let kind = format!("{:?}", device.kind());
-                rec.record(
-                    Span::new(
-                        root_id,
-                        trace,
-                        outer_parent,
-                        format!("enqueue_nd_range {kernel_name}"),
-                        Phase::Compute,
-                        "host",
-                        started,
-                        outcome.host_received,
-                    )
-                    .attr("kernel", kernel_name.clone())
-                    .attr("device_kind", kind.clone())
-                    .attr("instructions", instructions.to_string()),
-                );
+                let span_name = if fused_len == 1 {
+                    format!("enqueue_nd_range {kernel_name}")
+                } else {
+                    format!("enqueue_fused {kernel_name}")
+                };
+                let mut span = Span::new(
+                    root_id,
+                    trace,
+                    outer_parent,
+                    span_name,
+                    Phase::Compute,
+                    "host",
+                    started,
+                    outcome.host_received,
+                )
+                .attr("kernel", kernel_name.clone())
+                .attr("device_kind", kind.clone())
+                .attr("instructions", instructions.to_string());
+                if fused_len > 1 {
+                    span = span.attr("fused_parts", fused_len.to_string());
+                }
+                rec.record(span);
                 // The node's side of the tree arrived inside the
                 // response; its spans keep their wire-derived ids.
                 let mut arrival = None;
@@ -410,9 +486,11 @@ impl CommandQueue {
                 instructions,
             })
         });
-        for arg in &args {
-            if let StoredArg::Buffer(b) = arg {
-                b.inner.add_pending_writer(event.clone());
+        for part in &parts {
+            for arg in &part.args {
+                if let StoredArg::Buffer(b) = arg {
+                    b.inner.add_pending_writer(event.clone());
+                }
             }
         }
         self.pending.lock().push(event.clone());

@@ -12,6 +12,7 @@ use haocl::{
 };
 use haocl_cluster::ClusterConfig;
 use haocl_kernel::{CostModel, KernelRegistry};
+use haocl_proto::ids::TenantId;
 use haocl_sched::policies;
 use haocl_sim::SimDuration;
 
@@ -113,6 +114,24 @@ fn weighted_tenants_get_proportional_compute_within_20pct() {
         }
     }
     plane.drain().unwrap();
+}
+
+/// The very first opened session must get a tenant id distinct from the
+/// pre-registered `"default"` tenant: user ids start at 1 (0 is the
+/// reserved ambient user), so `TenantId::new(user)` can never collide
+/// with [`TenantId::DEFAULT`].
+#[test]
+fn first_open_session_does_not_collide_with_default() {
+    let p = Platform::local(&[DeviceKind::Gpu]).unwrap();
+    let ctx = Context::new(&p, &p.devices(DeviceType::All)).unwrap();
+    let plane = ServingPlane::new(&ctx, Box::new(policies::HeteroAware::new())).unwrap();
+    let s = plane.open_session(TenantSpec::new("first").weight(7));
+    assert_ne!(
+        s.tenant(),
+        TenantId::DEFAULT,
+        "first opened tenant collides with the default tenant"
+    );
+    assert!(s.user().raw() != 0, "user id 0 is reserved for the host");
 }
 
 /// A full bounded queue sheds with a typed, matchable error and no

@@ -64,6 +64,19 @@ pub struct LaunchOutcome {
     pub instructions: u64,
 }
 
+/// One constituent of a fused dispatch (see [`SimDevice::launch_fused`]).
+#[derive(Debug, Clone, Copy)]
+pub struct FusedPart<'a> {
+    /// The kernel to run.
+    pub kernel: &'a Kernel,
+    /// Bound arguments, in parameter order.
+    pub args: &'a [WireArg],
+    /// Launch geometry.
+    pub range: NdRange,
+    /// Device-independent cost (for virtual timing).
+    pub cost: CostModel,
+}
+
 #[derive(Debug, Clone, Default)]
 struct KernelProfile {
     runs: u64,
@@ -279,39 +292,7 @@ impl SimDevice {
     ) -> Result<LaunchOutcome, DeviceError> {
         let mut instructions = 0;
         if fidelity == Fidelity::Full {
-            // Gather the buffer handles referenced by the arguments.
-            let buffer_ids: Vec<BufferId> = args
-                .iter()
-                .filter_map(|a| match a {
-                    WireArg::Buffer(id) => Some(*id),
-                    _ => None,
-                })
-                .collect();
-            let (mut taken, slots) = self.memory.take_for_launch(&buffer_ids)?;
-            let mut slot_iter = slots.into_iter();
-            let resolved: Vec<ArgValue> = args
-                .iter()
-                .map(|a| match a {
-                    WireArg::F32(v) => ArgValue::from_f32(*v),
-                    WireArg::F64(v) => ArgValue::from_f64(*v),
-                    WireArg::I32(v) => ArgValue::from_i32(*v),
-                    WireArg::U32(v) => ArgValue::from_u32(*v),
-                    WireArg::I64(v) => ArgValue::from_i64(*v),
-                    WireArg::U64(v) => ArgValue::from_u64(*v),
-                    WireArg::Buffer(_) => {
-                        ArgValue::global(slot_iter.next().expect("slot per buffer arg"))
-                    }
-                    WireArg::LocalBytes(b) => ArgValue::local_bytes(*b as usize),
-                })
-                .collect();
-            let mut buffers: Vec<GlobalBuffer> =
-                taken.iter_mut().map(|(_, b)| std::mem::take(b)).collect();
-            let result = kernel.execute(&resolved, &mut buffers, range);
-            for ((_, slot), buf) in taken.iter_mut().zip(buffers) {
-                *slot = buf;
-            }
-            self.memory.restore(taken);
-            instructions = result?.instructions;
+            instructions = self.execute_full(kernel, args, range)?;
         }
         let dur = self.model.kernel_time(cost);
         let grant = self.charge(at, dur);
@@ -322,6 +303,86 @@ impl SimDevice {
             grant,
             instructions,
         })
+    }
+
+    /// Launches a prover-approved chain of kernels back-to-back under one
+    /// dispatch: the constituent bodies run sequentially (in [`Fidelity::Full`]),
+    /// their modeled durations are summed into a single timeline grant,
+    /// and each constituent still gets its own profile row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError`] like [`SimDevice::launch`]; a failing part
+    /// aborts the chain (earlier parts' writes remain, matching a device
+    /// fault mid-command).
+    pub fn launch_fused(
+        &mut self,
+        parts: &[FusedPart<'_>],
+        fidelity: Fidelity,
+        at: SimTime,
+    ) -> Result<LaunchOutcome, DeviceError> {
+        let mut instructions = 0;
+        if fidelity == Fidelity::Full {
+            for p in parts {
+                instructions += self.execute_full(p.kernel, p.args, &p.range)?;
+            }
+        }
+        let mut total = SimDuration::ZERO;
+        for p in parts {
+            let dur = self.model.kernel_time(&p.cost);
+            total += dur;
+            let entry = self.profile.entry(p.kernel.name().to_string()).or_default();
+            entry.runs += 1;
+            entry.total += dur;
+        }
+        let grant = self.charge(at, total);
+        Ok(LaunchOutcome {
+            grant,
+            instructions,
+        })
+    }
+
+    /// Runs one kernel body against this device's buffers, returning the
+    /// instructions retired (the full-fidelity core of a launch).
+    fn execute_full(
+        &mut self,
+        kernel: &Kernel,
+        args: &[WireArg],
+        range: &NdRange,
+    ) -> Result<u64, DeviceError> {
+        // Gather the buffer handles referenced by the arguments.
+        let buffer_ids: Vec<BufferId> = args
+            .iter()
+            .filter_map(|a| match a {
+                WireArg::Buffer(id) => Some(*id),
+                _ => None,
+            })
+            .collect();
+        let (mut taken, slots) = self.memory.take_for_launch(&buffer_ids)?;
+        let mut slot_iter = slots.into_iter();
+        let resolved: Vec<ArgValue> = args
+            .iter()
+            .map(|a| match a {
+                WireArg::F32(v) => ArgValue::from_f32(*v),
+                WireArg::F64(v) => ArgValue::from_f64(*v),
+                WireArg::I32(v) => ArgValue::from_i32(*v),
+                WireArg::U32(v) => ArgValue::from_u32(*v),
+                WireArg::I64(v) => ArgValue::from_i64(*v),
+                WireArg::U64(v) => ArgValue::from_u64(*v),
+                WireArg::Buffer(_) => {
+                    ArgValue::global(slot_iter.next().expect("slot per buffer arg"))
+                }
+                WireArg::LocalBytes(b) => ArgValue::local_bytes(*b as usize),
+            })
+            .collect();
+        let mut buffers: Vec<GlobalBuffer> =
+            taken.iter_mut().map(|(_, b)| std::mem::take(b)).collect();
+        let result = kernel.execute(&resolved, &mut buffers, range);
+        for ((_, slot), buf) in taken.iter_mut().zip(buffers) {
+            *slot = buf;
+        }
+        self.memory.restore(taken);
+        Ok(result?.instructions)
     }
 
     /// The per-kernel profile rows this device reports to the runtime

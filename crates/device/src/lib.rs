@@ -38,7 +38,7 @@ pub mod memory;
 pub mod model;
 pub mod presets;
 
-pub use device::{DeviceError, LaunchOutcome, SimDevice};
+pub use device::{DeviceError, FusedPart, LaunchOutcome, SimDevice};
 pub use memory::MemoryManager;
 pub use model::DeviceModel;
 

@@ -57,6 +57,49 @@ impl fmt::Display for CandidateInfo {
     }
 }
 
+/// What the fusion prover decided about a launch, rendered as the
+/// audit line's `fused=` column. Launches that never went through the
+/// graph path carry [`FusionDecision::Unconsidered`] (`-`), so the
+/// single-launch audit trail stays recognizable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum FusionDecision {
+    /// The launch never went through the task-graph path.
+    #[default]
+    Unconsidered,
+    /// Graph path, but the node dispatched alone (no fusable neighbor,
+    /// or fusion disabled on the graph).
+    Solo,
+    /// Leads a fused dispatch covering `len` kernels.
+    Fused {
+        /// Total kernels in the fused dispatch (including the lead).
+        len: usize,
+    },
+    /// Folded into the dispatch led by `lead` — no wire command of its
+    /// own.
+    FusedInto {
+        /// Kernel name of the dispatch lead.
+        lead: String,
+    },
+    /// Fusing with its predecessor was not provably safe; `code` is the
+    /// prover's machine-readable rejection reason.
+    Rejected {
+        /// Stable rejection code (e.g. `write-write-overlap`).
+        code: String,
+    },
+}
+
+impl fmt::Display for FusionDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FusionDecision::Unconsidered => f.write_str("-"),
+            FusionDecision::Solo => f.write_str("solo"),
+            FusionDecision::Fused { len } => write!(f, "lead:{len}"),
+            FusionDecision::FusedInto { lead } => write!(f, "into:{lead}"),
+            FusionDecision::Rejected { code } => write!(f, "rejected:{code}"),
+        }
+    }
+}
+
 /// The full record of one placement decision.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PlacementAudit {
@@ -74,6 +117,8 @@ pub struct PlacementAudit {
     pub chosen: usize,
     /// Why the winner won (policy-specific).
     pub reason: String,
+    /// The fusion prover's verdict for this launch.
+    pub fused: FusionDecision,
 }
 
 /// The tenant label untagged placements carry.
@@ -93,11 +138,12 @@ impl PlacementAudit {
         };
         let cands: Vec<String> = self.candidates.iter().map(|c| c.to_string()).collect();
         format!(
-            "place kernel={} tenant={} policy={} chosen={} reason=\"{}\" candidates=[{}]",
+            "place kernel={} tenant={} policy={} chosen={} fused={} reason=\"{}\" candidates=[{}]",
             self.kernel,
             self.tenant,
             self.policy,
             chosen,
+            self.fused,
             self.reason,
             cands.join(", ")
         )
@@ -193,6 +239,7 @@ mod tests {
             ],
             chosen,
             reason: "lowest predicted time".to_string(),
+            fused: FusionDecision::Unconsidered,
         }
     }
 
@@ -202,8 +249,26 @@ mod tests {
         assert!(line.contains("kernel=mm"));
         assert!(line.contains("tenant=default"));
         assert!(line.contains("chosen=node0/Cpu"));
+        assert!(line.contains("fused=-"));
         assert!(line.contains("pred=500ns src=seed"));
         assert!(line.contains("pred=none src=cost-model"));
+    }
+
+    #[test]
+    fn fusion_column_renders_every_decision() {
+        let mut a = audit("mm", 0);
+        a.fused = FusionDecision::Fused { len: 3 };
+        assert!(a.line().contains("fused=lead:3"));
+        a.fused = FusionDecision::FusedInto {
+            lead: "mm".to_string(),
+        };
+        assert!(a.line().contains("fused=into:mm"));
+        a.fused = FusionDecision::Rejected {
+            code: "write-write-overlap".to_string(),
+        };
+        assert!(a.line().contains("fused=rejected:write-write-overlap"));
+        a.fused = FusionDecision::Solo;
+        assert!(a.line().contains("fused=solo"));
     }
 
     #[test]

@@ -32,7 +32,9 @@ pub mod metrics;
 pub mod replay;
 pub mod span;
 
-pub use audit::{AuditLog, CandidateInfo, PlacementAudit, PredictionSource, DEFAULT_TENANT};
+pub use audit::{
+    AuditLog, CandidateInfo, FusionDecision, PlacementAudit, PredictionSource, DEFAULT_TENANT,
+};
 pub use chrome::chrome_trace;
 pub use metrics::{Registry, LATENCY_BUCKETS_NANOS, SIZE_BUCKETS};
 pub use replay::{orphan_ids, parse_chrome_trace, render_breakdown, ReplaySpan};
@@ -99,6 +101,11 @@ pub mod names {
     pub const TENANT_QUEUE_DEPTH: &str = "haocl_tenant_queue_depth";
     /// Counter: compute-budget throttle transitions, per tenant.
     pub const TENANT_THROTTLES: &str = "haocl_tenant_throttles_total";
+    /// Counter: fused dispatches issued (each covers ≥ 2 kernels).
+    pub const FUSED_LAUNCHES: &str = "haocl_fused_launches_total";
+    /// Counter: wire launch commands saved by fusion (kernels folded
+    /// into a lead dispatch instead of getting their own command).
+    pub const FUSION_COMMANDS_SAVED: &str = "haocl_fusion_commands_saved_total";
 }
 
 /// The bundle every instrumented layer shares: one span [`Recorder`], one

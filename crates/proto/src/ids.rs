@@ -115,9 +115,18 @@ id_newtype!(
 /// let b: BufferId = BufferId::new(alloc.next());
 /// assert_ne!(a, b);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct IdAllocator {
     next: AtomicU64,
+}
+
+impl Default for IdAllocator {
+    /// Same as [`IdAllocator::new`]: starts at 1, honoring the "0 is
+    /// reserved" contract even when the allocator is embedded in a
+    /// `#[derive(Default)]` owner.
+    fn default() -> Self {
+        IdAllocator::new()
+    }
 }
 
 impl IdAllocator {

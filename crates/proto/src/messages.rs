@@ -348,6 +348,21 @@ pub enum ApiCall {
         /// Whether the buffer is modeled (timing-only transfer).
         modeled: bool,
     },
+    /// A prover-approved chain of launches executed back-to-back under
+    /// one dispatch: one wire command, one completion, one device grant.
+    /// The host only emits this for chains the fusion-legality prover
+    /// accepted, so constituent order within the dispatch is the only
+    /// ordering the parts need.
+    LaunchFused {
+        /// Target device index on the node.
+        device: u8,
+        /// Execute fully or model-only.
+        fidelity: Fidelity,
+        /// Whether the device may be time-shared with other users.
+        shared: bool,
+        /// Constituent launches, in program order (at least two).
+        parts: Vec<WireLaunchPart>,
+    },
     /// Pull the node's runtime profile (scheduler feedback, §III-B).
     QueryProfile,
     /// Liveness check.
@@ -442,6 +457,61 @@ pub struct WireKernelReport {
     /// Fraction of reachable blocks under work-item-dependent control
     /// flow.
     pub divergence_score: f64,
+    /// Per-argument effect summary (fusion-legality input), in parameter
+    /// order. Empty when the node's toolchain does not run the analyzer.
+    pub effects: Vec<WireArgEffect>,
+}
+
+/// Flat wire mirror of one access pattern in an effect summary (see the
+/// compiler's `analysis::effects::AccessPattern`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireAccessPattern {
+    /// Store (`true`) or load (`false`).
+    pub write: bool,
+    /// Provably item-private with a cross-kernel-comparable base.
+    pub provable: bool,
+    /// Per-dimension local-id coefficients, in elements.
+    pub coeffs: [i64; 3],
+    /// Base discriminant: 0 = constant, 1 = launch-geometry symbol,
+    /// 2 = opaque.
+    pub base_kind: u8,
+    /// Geometry symbol id (`base_kind == 1` only).
+    pub base_id: u32,
+    /// Constant element addend (`base_kind <= 1`).
+    pub base_add: i64,
+}
+
+/// Flat wire mirror of one argument's effect summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireArgEffect {
+    /// Access mode: 0 = none, 1 = read, 2 = write, 3 = read-write.
+    pub mode: u8,
+    /// Element size of the pointee in bytes (0 for non-global args).
+    pub elem_bytes: u32,
+    /// Whether `lo`/`hi` carry meaningful element bounds.
+    pub bounded: bool,
+    /// Inclusive lower element offset (when `bounded`).
+    pub lo: i64,
+    /// Inclusive upper element offset (when `bounded`).
+    pub hi: i64,
+    /// Whether `patterns` covers every possible access.
+    pub complete: bool,
+    /// Deduplicated access shapes.
+    pub patterns: Vec<WireAccessPattern>,
+}
+
+/// One constituent launch of an [`ApiCall::LaunchFused`] dispatch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireLaunchPart {
+    /// Kernel to run.
+    pub kernel: KernelId,
+    /// Bound arguments, in parameter order.
+    pub args: Vec<WireArg>,
+    /// Launch geometry (the prover guarantees all parts of one fused
+    /// dispatch share it).
+    pub range: WireNdRange,
+    /// Device-independent cost (for virtual timing).
+    pub cost: WireCost,
 }
 
 /// One row of a node's runtime profile.
@@ -973,6 +1043,18 @@ impl Encode for ApiCall {
                 epoch.encode(buf);
                 modeled.encode(buf);
             }
+            ApiCall::LaunchFused {
+                device,
+                fidelity,
+                shared,
+                parts,
+            } => {
+                buf.put_u8(19);
+                device.encode(buf);
+                fidelity.encode(buf);
+                shared.encode(buf);
+                parts.encode(buf);
+            }
         }
     }
 }
@@ -1085,6 +1167,12 @@ impl Decode for ApiCall {
                 epoch: Decode::decode(buf)?,
                 modeled: Decode::decode(buf)?,
             },
+            19 => ApiCall::LaunchFused {
+                device: Decode::decode(buf)?,
+                fidelity: Decode::decode(buf)?,
+                shared: Decode::decode(buf)?,
+                parts: Decode::decode(buf)?,
+            },
             tag => {
                 return Err(WireError::InvalidTag {
                     what: "ApiCall",
@@ -1104,6 +1192,7 @@ impl Encode for WireKernelReport {
         self.barrier_count.encode(buf);
         self.arithmetic_intensity.encode(buf);
         self.divergence_score.encode(buf);
+        self.effects.encode(buf);
     }
 }
 
@@ -1117,6 +1206,83 @@ impl Decode for WireKernelReport {
             barrier_count: Decode::decode(buf)?,
             arithmetic_intensity: Decode::decode(buf)?,
             divergence_score: Decode::decode(buf)?,
+            effects: Decode::decode(buf)?,
+        })
+    }
+}
+
+impl Encode for WireAccessPattern {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.write.encode(buf);
+        self.provable.encode(buf);
+        for c in self.coeffs {
+            c.encode(buf);
+        }
+        self.base_kind.encode(buf);
+        self.base_id.encode(buf);
+        self.base_add.encode(buf);
+    }
+}
+
+impl Decode for WireAccessPattern {
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(WireAccessPattern {
+            write: Decode::decode(buf)?,
+            provable: Decode::decode(buf)?,
+            coeffs: [
+                Decode::decode(buf)?,
+                Decode::decode(buf)?,
+                Decode::decode(buf)?,
+            ],
+            base_kind: Decode::decode(buf)?,
+            base_id: Decode::decode(buf)?,
+            base_add: Decode::decode(buf)?,
+        })
+    }
+}
+
+impl Encode for WireArgEffect {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.mode.encode(buf);
+        self.elem_bytes.encode(buf);
+        self.bounded.encode(buf);
+        self.lo.encode(buf);
+        self.hi.encode(buf);
+        self.complete.encode(buf);
+        self.patterns.encode(buf);
+    }
+}
+
+impl Decode for WireArgEffect {
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(WireArgEffect {
+            mode: Decode::decode(buf)?,
+            elem_bytes: Decode::decode(buf)?,
+            bounded: Decode::decode(buf)?,
+            lo: Decode::decode(buf)?,
+            hi: Decode::decode(buf)?,
+            complete: Decode::decode(buf)?,
+            patterns: Decode::decode(buf)?,
+        })
+    }
+}
+
+impl Encode for WireLaunchPart {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.kernel.encode(buf);
+        self.args.encode(buf);
+        self.range.encode(buf);
+        self.cost.encode(buf);
+    }
+}
+
+impl Decode for WireLaunchPart {
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(WireLaunchPart {
+            kernel: Decode::decode(buf)?,
+            args: Decode::decode(buf)?,
+            range: Decode::decode(buf)?,
+            cost: Decode::decode(buf)?,
         })
     }
 }
@@ -1509,6 +1675,45 @@ mod tests {
                 epoch: 0,
                 modeled: true,
             },
+            ApiCall::LaunchFused {
+                device: 1,
+                fidelity: Fidelity::Full,
+                shared: false,
+                parts: vec![
+                    WireLaunchPart {
+                        kernel: KernelId::new(9),
+                        args: vec![WireArg::Buffer(BufferId::new(5)), WireArg::I32(64)],
+                        range: WireNdRange {
+                            work_dim: 1,
+                            global: [256, 1, 1],
+                            local: [32, 1, 1],
+                        },
+                        cost: WireCost {
+                            flops: 1e6,
+                            bytes_read: 2e6,
+                            bytes_written: 1e6,
+                            uniform: true,
+                            streaming: true,
+                        },
+                    },
+                    WireLaunchPart {
+                        kernel: KernelId::new(10),
+                        args: vec![WireArg::Buffer(BufferId::new(5)), WireArg::F32(0.5)],
+                        range: WireNdRange {
+                            work_dim: 1,
+                            global: [256, 1, 1],
+                            local: [32, 1, 1],
+                        },
+                        cost: WireCost {
+                            flops: 2e6,
+                            bytes_read: 1e6,
+                            bytes_written: 1e6,
+                            uniform: true,
+                            streaming: false,
+                        },
+                    },
+                ],
+            },
         ];
         for call in calls {
             roundtrip(call);
@@ -1540,6 +1745,43 @@ mod tests {
                     barrier_count: 2,
                     arithmetic_intensity: 1.5,
                     divergence_score: 0.25,
+                    effects: vec![
+                        WireArgEffect {
+                            mode: 3,
+                            elem_bytes: 4,
+                            bounded: true,
+                            lo: 0,
+                            hi: 1023,
+                            complete: true,
+                            patterns: vec![
+                                WireAccessPattern {
+                                    write: true,
+                                    provable: true,
+                                    coeffs: [1, 0, 0],
+                                    base_kind: 1,
+                                    base_id: 0,
+                                    base_add: 0,
+                                },
+                                WireAccessPattern {
+                                    write: false,
+                                    provable: false,
+                                    coeffs: [0, 0, 0],
+                                    base_kind: 2,
+                                    base_id: 0,
+                                    base_add: 0,
+                                },
+                            ],
+                        },
+                        WireArgEffect {
+                            mode: 0,
+                            elem_bytes: 0,
+                            bounded: false,
+                            lo: 0,
+                            hi: 0,
+                            complete: true,
+                            patterns: Vec::new(),
+                        },
+                    ],
                 }],
             },
             ApiReply::LaunchDone {

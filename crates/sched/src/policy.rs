@@ -135,6 +135,7 @@ impl Scheduler {
                 candidates: vec![self.candidate(task, idx, &devices[idx])],
                 chosen: idx,
                 reason: "pinned by task spec".to_string(),
+                fused: haocl_obs::FusionDecision::Unconsidered,
             };
             return Ok((idx, audit));
         }
@@ -181,6 +182,7 @@ impl Scheduler {
             candidates,
             chosen,
             reason,
+            fused: haocl_obs::FusionDecision::Unconsidered,
         };
         Ok((chosen, audit))
     }
