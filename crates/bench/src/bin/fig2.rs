@@ -47,6 +47,11 @@ fn main() {
     };
     println!("Fig. 2 — End-to-end speedup over a single GPU (virtual time)");
     println!();
+    // Wall clock (monotonic) around the measured runs: the JSON artifact
+    // reports simulated-vs-real throughput so CI history can spot harness
+    // slowdowns that virtual time is blind to.
+    let wall_start = std::time::Instant::now();
+    let mut virtual_nanos: u128 = 0;
     let mut records = Vec::new();
     for workload in &workloads {
         let rows = fig2::rows(workload, &node_counts, &opts).expect("fig2 rows");
@@ -75,6 +80,7 @@ fn main() {
         }
         println!();
         for r in &rows {
+            virtual_nanos += u128::from(r.makespan.as_nanos());
             records.push(format!(
                 concat!(
                     "    {{\"workload\": {}, \"series\": {}, \"nodes\": {}, ",
@@ -110,12 +116,18 @@ fn main() {
             .as_ref()
             .map(|a| audit_json(&a.audit_summary))
             .unwrap_or_else(|| "[]".to_string());
+        let wall_nanos = wall_start.elapsed().as_nanos().max(1);
         let body = format!(
             concat!(
                 "{{\n  \"figure\": \"fig2\",\n  \"scale\": \"{}\",\n",
+                "  \"wall\": {{\"elapsed_nanos\": {}, \"virtual_nanos\": {}, ",
+                "\"virtual_per_wall\": {:.3}}},\n",
                 "  \"audit\": {},\n  \"rows\": [\n{}\n  ]\n}}\n"
             ),
             if small { "small" } else { "paper" },
+            wall_nanos,
+            virtual_nanos,
+            virtual_nanos as f64 / wall_nanos as f64,
             audit,
             records.join(",\n"),
         );

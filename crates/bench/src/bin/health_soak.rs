@@ -1,0 +1,129 @@
+//! Degraded-device soak with CI gates.
+//!
+//! ```text
+//! cargo run --release -p haocl-bench --bin health_soak
+//! cargo run --release -p haocl-bench --bin health_soak -- --rounds 8 \
+//!     --json out.json --metrics metrics.prom --audit audit.log --top top.json
+//! ```
+//!
+//! A 3-GPU fleet warms up healthy, then one node is silently throttled
+//! 3× (its descriptor keeps advertising full speed). The process exits
+//! nonzero when any gate fails:
+//!
+//! * **detection** — the drift detector flags the sick node within a
+//!   bounded number of launches;
+//! * **avoidance** — ≥ 90% of post-detection placements land on the
+//!   healthy peers (the degraded node stays a candidate, advisory);
+//! * **consistency** — the output buffer is byte-identical to the
+//!   healthy reference at the completed launch count;
+//! * **recovery** — the verdict clears once the node re-qualifies at
+//!   full speed.
+//!
+//! `--top` writes the embedded `haocl-top --report json` snapshot — the
+//! artifact the nightly `degraded-soak` CI job uploads.
+
+use haocl_bench::health_soak;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let arg_after = |flag: &str| {
+        args.iter().position(|a| a == flag).map(|i| {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("{flag} requires a value");
+                std::process::exit(2);
+            })
+        })
+    };
+    let rounds: usize = arg_after("--rounds")
+        .map(|v| v.parse().expect("--rounds takes a number"))
+        .unwrap_or(8);
+    let json_path = arg_after("--json");
+    let metrics_path = arg_after("--metrics");
+    let audit_path = arg_after("--audit");
+    let top_path = arg_after("--top");
+
+    println!("Health soak — 3-GPU fleet, node1 silently throttled 3x, {rounds} probe rounds");
+    println!();
+    let report = health_soak::run(rounds).expect("health soak run");
+
+    println!(
+        "detection: {}",
+        report
+            .detection_launches
+            .map_or("NEVER".to_string(), |n| format!("{n} launches"))
+    );
+    println!(
+        "post-detection placements: {} total, {} on the sick node ({:.0}% avoided; gate >= 90%)",
+        report.post_total,
+        report.post_on_sick,
+        report.avoidance * 100.0
+    );
+    println!(
+        "recovery: {}   output: {}   launches: {}",
+        if report.recovered { "ok" } else { "STUCK" },
+        if report.consistent {
+            "byte-identical"
+        } else {
+            "MISMATCH"
+        },
+        report.launches
+    );
+
+    let write_to = |path: &Option<String>, body: &str| {
+        if let Some(path) = path {
+            if let Some(dir) = std::path::Path::new(path).parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir).expect("create output directory");
+                }
+            }
+            std::fs::write(path, body).expect("write output file");
+            println!("wrote {path}");
+        }
+    };
+    write_to(&metrics_path, &report.metrics);
+    write_to(&audit_path, &report.audit);
+    write_to(&top_path, &format!("{}\n", report.top_json));
+    if json_path.is_some() {
+        let violations: Vec<String> = report
+            .violations
+            .iter()
+            .map(|v| format!("    \"{}\"", v.replace('"', "'")))
+            .collect();
+        let body = format!(
+            concat!(
+                "{{\n  \"soak\": \"health\",\n  \"rounds\": {},\n",
+                "  \"detection_launches\": {},\n  \"post_total\": {},\n",
+                "  \"post_on_sick\": {},\n  \"avoidance\": {:.4},\n",
+                "  \"recovered\": {},\n  \"consistent\": {},\n",
+                "  \"launches\": {},\n  \"violations\": [\n{}\n  ]\n}}\n"
+            ),
+            rounds,
+            report
+                .detection_launches
+                .map_or("null".to_string(), |n| n.to_string()),
+            report.post_total,
+            report.post_on_sick,
+            report.avoidance,
+            report.recovered,
+            report.consistent,
+            report.launches,
+            if violations.is_empty() {
+                String::new()
+            } else {
+                violations.join(",\n")
+            },
+        );
+        write_to(&json_path, &body);
+    }
+
+    if report.violations.is_empty() {
+        println!();
+        println!("all gates passed");
+    } else {
+        eprintln!();
+        for v in &report.violations {
+            eprintln!("GATE VIOLATION: {v}");
+        }
+        std::process::exit(1);
+    }
+}

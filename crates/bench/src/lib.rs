@@ -1199,6 +1199,240 @@ pub mod tenant_soak {
     }
 }
 
+/// The degraded-device soak: a 3-GPU fleet establishes healthy drift
+/// baselines, then one node is silently throttled (its descriptor keeps
+/// advertising full speed). The run gates on the telemetry plane doing
+/// its job — the drift detector flags the sick node within a bounded
+/// number of launches, placements shift off it (≥ 90% avoidance after
+/// detection), outputs stay byte-identical to the healthy reference,
+/// and the node recovers once re-qualified at full speed. The CI
+/// `degraded-soak` job drives this through the `health_soak` binary and
+/// uploads the `haocl-top --report json` snapshot it embeds.
+pub mod health_soak {
+    use super::*;
+    use haocl::auto::AutoScheduler;
+    use haocl::{
+        Buffer, CommandQueue, Context, DeviceType, Kernel, MemFlags, NodeCondition, NodeId, Program,
+    };
+    use haocl_kernel::{CostModel, NdRange};
+    use haocl_obs::FleetSnapshot;
+    use haocl_sched::policies;
+
+    /// Lanes (i32) in the shared output buffer.
+    const LANES: usize = 64;
+
+    /// Node (and, in a one-GPU-per-node fleet, device index) that falls
+    /// sick mid-run.
+    const SICK: u32 = 1;
+
+    /// Launches after injection within which detection must happen.
+    /// The detector needs its strikes; the scheduler also has to keep
+    /// *giving* the slowing node launches long enough to collect them.
+    const DETECTION_BUDGET: usize = 40;
+
+    /// Same order-sensitive churn step as the tenant soak: `k`
+    /// applications are distinguishable from `k±1`, so the digest pins
+    /// the exact completed count regardless of which devices ran them.
+    const CHURN_SRC: &str =
+        "__kernel void churn(__global int* a) { int i = get_global_id(0); a[i] = a[i] * 3 + i; }";
+
+    /// Reference output after `k` applications to a zeroed buffer.
+    fn churn_ref(k: u64) -> Vec<u8> {
+        let mut lanes = [0i32; LANES];
+        for _ in 0..k {
+            for (i, v) in lanes.iter_mut().enumerate() {
+                *v = v.wrapping_mul(3).wrapping_add(i as i32);
+            }
+        }
+        lanes.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    /// Everything one degraded-device soak produced.
+    #[derive(Debug, Clone)]
+    pub struct HealthReport {
+        /// Launches between throttle injection and the `Degraded`
+        /// verdict (`None` = never detected).
+        pub detection_launches: Option<usize>,
+        /// Post-detection launches placed, total.
+        pub post_total: usize,
+        /// Post-detection launches that still landed on the sick node.
+        pub post_on_sick: usize,
+        /// `1 - post_on_sick / post_total` (gate: ≥ 0.9).
+        pub avoidance: f64,
+        /// Whether the node's verdict returned to healthy after the
+        /// throttle was lifted and the node re-qualified.
+        pub recovered: bool,
+        /// Whether the final buffer is byte-identical to the healthy
+        /// reference at the completed launch count.
+        pub consistent: bool,
+        /// Total launches completed across all phases.
+        pub launches: u64,
+        /// Gate violations; empty means the run passes.
+        pub violations: Vec<String>,
+        /// Prometheus text-format metrics dump.
+        pub metrics: String,
+        /// Scheduler decision audit log.
+        pub audit: String,
+        /// The `haocl-top --report json` snapshot of the final state.
+        pub top_json: String,
+    }
+
+    struct Fleet {
+        auto: AutoScheduler,
+        kernel: Kernel,
+        buffer: Buffer,
+        staging: CommandQueue,
+        launches: u64,
+    }
+
+    impl Fleet {
+        /// One placed launch; returns the chosen node.
+        fn step(&mut self) -> Result<NodeId, Error> {
+            let (_, choice) = self
+                .auto
+                .launch(&self.kernel, NdRange::linear(LANES as u64, 1))?;
+            self.launches += 1;
+            Ok(self.auto.queues()[choice].device().node_id())
+        }
+    }
+
+    /// Runs the soak. `probe_rounds` scales the healthy warmup and the
+    /// recovery re-qualification phases (8 is plenty; the detector
+    /// freezes its baseline after 3 observations per node).
+    ///
+    /// # Errors
+    ///
+    /// Propagates cluster bring-up and launch failures.
+    pub fn run(probe_rounds: usize) -> Result<HealthReport, Error> {
+        let platform = Platform::cluster(&ClusterConfig::gpu_cluster(3), registry_with_all())?;
+        platform.set_tracing(true);
+        let ctx = Context::new(&platform, &platform.devices(DeviceType::All))?;
+        let auto = AutoScheduler::new(&ctx, Box::new(policies::HeteroAware::new()))?;
+        let staging = CommandQueue::new(&ctx, &ctx.devices()[0])?;
+        let program = Program::from_source(&ctx, CHURN_SRC);
+        program.build()?;
+        let kernel = Kernel::new(&program, "churn")?;
+        kernel.set_cost(CostModel::new().flops(1e9).bytes_read(4.0 * LANES as f64));
+        let buffer = Buffer::new(&ctx, MemFlags::READ_WRITE, 4 * LANES as u64)?;
+        kernel.set_arg_buffer(0, &buffer)?;
+        let mut fleet = Fleet {
+            auto,
+            kernel,
+            buffer,
+            staging,
+            launches: 0,
+        };
+        let sick = NodeId::new(SICK);
+        let mut violations = Vec::new();
+
+        // Phase 1 — healthy warmup. Round-robin guarantees every node
+        // collects enough observations to freeze its drift baseline
+        // (identical devices would otherwise let ties starve a node).
+        fleet.auto.set_policy(Box::new(policies::RoundRobin::new()));
+        for _ in 0..probe_rounds.max(4) * 3 {
+            fleet.step()?;
+        }
+        if fleet.auto.quarantine().condition(sick) != NodeCondition::Healthy {
+            violations.push("baseline: node flagged before any fault was injected".into());
+        }
+
+        // Phase 2 — silent degradation: node 1's GPU runs 3× slow while
+        // its descriptor still advertises full speed. Only observed
+        // timings can betray it. Probing traffic stays round-robin —
+        // detection must not depend on the load balancer happening to
+        // visit the sick node.
+        platform.set_device_throttle(sick, 0, 3.0)?;
+        let mut detection_launches = None;
+        for i in 0..DETECTION_BUDGET {
+            fleet.step()?;
+            if fleet.auto.drift().is_degraded(sick) {
+                detection_launches = Some(i + 1);
+                break;
+            }
+        }
+        fleet
+            .auto
+            .set_policy(Box::new(policies::HeteroAware::new()));
+        if detection_launches.is_none() {
+            violations.push(format!(
+                "detection: sick node not flagged within {DETECTION_BUDGET} launches"
+            ));
+        }
+        if detection_launches.is_some()
+            && fleet.auto.quarantine().condition(sick) != NodeCondition::Degraded
+        {
+            violations.push("verdict: drift flag did not reach the quarantine tracker".into());
+        }
+
+        // Phase 3 — post-detection placement: the degraded node stays a
+        // candidate (advisory, not banned) but should lose almost every
+        // placement to its healthy peers.
+        let post_total = probe_rounds.max(4) * 3;
+        let mut post_on_sick = 0usize;
+        for _ in 0..post_total {
+            if fleet.step()? == sick {
+                post_on_sick += 1;
+            }
+        }
+        let avoidance = 1.0 - post_on_sick as f64 / post_total as f64;
+        if avoidance < 0.9 {
+            violations.push(format!(
+                "avoidance: only {:.0}% of post-detection placements avoided the sick node",
+                avoidance * 100.0
+            ));
+        }
+
+        // Phase 4 — recovery: lift the throttle and re-qualify the node
+        // with probe launches (round-robin again — an avoided node never
+        // produces the observations that would clear it).
+        platform.set_device_throttle(sick, 0, 1.0)?;
+        fleet.auto.set_policy(Box::new(policies::RoundRobin::new()));
+        for _ in 0..probe_rounds.max(4) * 3 {
+            fleet.step()?;
+        }
+        fleet
+            .auto
+            .set_policy(Box::new(policies::HeteroAware::new()));
+        let recovered = fleet.auto.quarantine().condition(sick) == NodeCondition::Healthy;
+        if !recovered {
+            violations.push("recovery: node still flagged after returning to baseline".into());
+        }
+
+        // Consistency: the buffer must be byte-identical to the healthy
+        // reference at the completed count — placement shifts are not
+        // allowed to change results.
+        let mut readback = vec![0u8; 4 * LANES];
+        fleet
+            .staging
+            .enqueue_read_buffer(&fleet.buffer, 0, &mut readback)?;
+        fleet.staging.finish();
+        let consistent = readback == churn_ref(fleet.launches);
+        if !consistent {
+            violations.push(format!(
+                "consistency: buffer does not match {} healthy applications",
+                fleet.launches
+            ));
+        }
+
+        let metrics = platform.render_metrics();
+        let audit = platform.render_audit_log();
+        let top_json = FleetSnapshot::from_text(&metrics, &audit).to_json();
+        Ok(HealthReport {
+            detection_launches,
+            post_total,
+            post_on_sick,
+            avoidance,
+            recovered,
+            consistent,
+            launches: fleet.launches,
+            violations,
+            metrics,
+            audit,
+            top_json,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -342,7 +342,11 @@ fn handle(
     }
     let user = request.user;
     let traced = request.traced();
+    // Wall clock is legal here: it never feeds virtual-time accounting,
+    // only the `wall_nanos` observability field on shipped spans.
+    let wall_start = std::time::Instant::now();
     let (body, completed) = dispatch(&mut state, user, request.body, arrival);
+    let wall_nanos = wall_start.elapsed().as_nanos() as u64;
     // For traced requests the node ships its side of the span tree back in
     // the response: a dispatch span covering the NMP's handling, plus —
     // for kernel launches — the VM run interval the reply already carries.
@@ -369,6 +373,7 @@ fn handle(
                 category: "Compute".to_string(),
                 start_nanos: *start_nanos,
                 end_nanos: *end_nanos,
+                wall_nanos,
             });
         }
         spans.insert(
@@ -380,6 +385,7 @@ fn handle(
                 category: "Dispatch".to_string(),
                 start_nanos: arrival.as_nanos(),
                 end_nanos: dispatch_end,
+                wall_nanos,
             },
         );
         spans
@@ -434,7 +440,9 @@ fn handle_peer_transfer(
     let traced = request.traced();
     let id = request.id;
     let parent_span = request.parent_span;
+    let wall_start = std::time::Instant::now();
     let (body, completed) = peer_transfer(state, &request, arrival, peer);
+    let wall_nanos = wall_start.elapsed().as_nanos() as u64;
     let spans = if traced {
         let dispatch_id = SpanId::derive(id.raw(), 0);
         vec![
@@ -445,6 +453,7 @@ fn handle_peer_transfer(
                 category: "Dispatch".to_string(),
                 start_nanos: arrival.as_nanos(),
                 end_nanos: completed.as_nanos(),
+                wall_nanos,
             },
             WireSpan {
                 id: SpanId::derive(id.raw(), 1).0,
@@ -453,6 +462,7 @@ fn handle_peer_transfer(
                 category: "DataTransfer".to_string(),
                 start_nanos: arrival.as_nanos(),
                 end_nanos: completed.as_nanos(),
+                wall_nanos,
             },
         ]
     } else {
@@ -810,6 +820,17 @@ fn dispatch(
             }
             (ApiReply::Profile { entries }, at)
         }
+        // Fault injection: degrade (or restore) a device's compute rate.
+        // Idempotent control call — deliberately NOT journaled, and the
+        // descriptor keeps advertising full speed, so only observed
+        // timings betray the sickness.
+        ApiCall::SetThrottle { device, factor } => match device_mut(state, device) {
+            Err(reply) => (reply, at),
+            Ok(dev) => {
+                dev.set_throttle(factor);
+                (ApiReply::Ack, at)
+            }
+        },
         ApiCall::CreateBuffer {
             device,
             buffer,

@@ -11,7 +11,10 @@ use parking_lot::Mutex;
 use haocl_kernel::NdRange;
 use haocl_obs::{names, FusionDecision, PlacementAudit, Span, TraceCtx, DEFAULT_TENANT};
 use haocl_proto::ids::UserId;
-use haocl_sched::{DeviceView, QuarantineTracker, Scheduler, SchedulingPolicy, TaskSpec};
+use haocl_sched::{
+    CurrencyTable, DeviceView, DriftDetector, DriftEvent, NodeCondition, QuarantineTracker,
+    Scheduler, SchedulingPolicy, TaskSpec,
+};
 use haocl_sim::{Phase, SimTime};
 
 use crate::buffer::Buffer;
@@ -33,6 +36,10 @@ pub struct AutoScheduler {
     /// flapping nodes drop out of the candidate set (see
     /// [`AutoScheduler::quarantine`]).
     quarantine: QuarantineTracker,
+    /// Timing-drift watchdog: every completed launch feeds it, and nodes
+    /// running persistently slower than their own healthy baseline are
+    /// advisorily down-weighted (see [`AutoScheduler::drift`]).
+    drift: DriftDetector,
 }
 
 impl AutoScheduler {
@@ -55,7 +62,14 @@ impl AutoScheduler {
             scheduler: Scheduler::new(policy),
             busy_until: Mutex::new(vec![SimTime::ZERO; n]),
             quarantine: QuarantineTracker::default(),
+            drift: DriftDetector::new(),
         })
+    }
+
+    /// The drift detector watching per-node launch timings (inspect
+    /// degraded nodes, or feed it synthetic observations in tests).
+    pub fn drift(&self) -> &DriftDetector {
+        &self.drift
     }
 
     /// The node-health tracker feeding this scheduler's candidate
@@ -212,6 +226,7 @@ impl AutoScheduler {
             self.context.devices()[choice].kind(),
             event.duration(),
         );
+        self.observe_drift(kernel.name(), choice, event.duration());
         if let Some((trace, root_id)) = ctx {
             // Close the trace root now that the launch has resolved; the
             // sched.place and enqueue spans recorded earlier parent here.
@@ -231,8 +246,65 @@ impl AutoScheduler {
             let behind =
                 displaced.saturating_sub(obs.metrics.counter_value(names::SEED_DISPLACED, &[]));
             obs.metrics.inc_counter(names::SEED_DISPLACED, &[], behind);
+            self.sync_health_metrics();
         }
         Ok((event, choice))
+    }
+
+    /// Feeds one completed launch into the drift detector and folds any
+    /// verdict flip into node health: `Degraded` raises the advisory
+    /// flag (candidates down-weighted, not banned), `Recovered` clears
+    /// it. Either transition lands in the audit log as a `drift` row.
+    fn observe_drift(&self, kernel: &str, choice: usize, duration: haocl_sim::SimDuration) {
+        let device = &self.context.devices()[choice];
+        let node = device.node();
+        let Some(transition) = self.drift.observe(kernel, node, duration) else {
+            return;
+        };
+        let reason = match transition {
+            DriftEvent::Degraded { ratio, .. } => {
+                self.quarantine.mark_degraded(node);
+                format!(
+                    "node {} degraded: launches running {ratio:.2}x over healthy baseline",
+                    device.node_name()
+                )
+            }
+            DriftEvent::Recovered { .. } => {
+                self.quarantine.clear_degraded(node);
+                format!("node {} recovered to healthy baseline", device.node_name())
+            }
+        };
+        self.context.platform.obs.audit.record(PlacementAudit {
+            kernel: "<node-health>".into(),
+            tenant: DEFAULT_TENANT.into(),
+            policy: "drift".into(),
+            candidates: Vec::new(),
+            chosen: device.index(),
+            reason,
+            fused: FusionDecision::Unconsidered,
+        });
+    }
+
+    /// Publishes the recalibration counter and compute-currency rates
+    /// from the profile db (delta-synced / gauge-set, so re-publishing
+    /// is idempotent).
+    fn sync_health_metrics(&self) {
+        let obs = &self.context.platform.obs;
+        let recals = self.scheduler.profile().recalibrations();
+        let behind = recals.saturating_sub(
+            obs.metrics
+                .counter_value(names::PROFILE_RECALIBRATIONS, &[]),
+        );
+        obs.metrics
+            .inc_counter(names::PROFILE_RECALIBRATIONS, &[], behind);
+        let currency = CurrencyTable::from_profile(self.scheduler.profile());
+        for (kind, rate) in currency.rates() {
+            obs.metrics.set_gauge(
+                names::CURRENCY_RATE,
+                &[("kind", &kind.to_string())],
+                (rate * 1000.0).round() as i64,
+            );
+        }
     }
 
     /// Places `task` over the context's devices: builds the per-device
@@ -245,6 +317,7 @@ impl AutoScheduler {
         task: &TaskSpec,
         buffers: &[Buffer],
     ) -> Result<(usize, PlacementAudit), Error> {
+        let now = self.context.platform.clock().now();
         let views: Vec<DeviceView> = {
             let busy = self.busy_until.lock();
             self.context
@@ -256,9 +329,18 @@ impl AutoScheduler {
                         .iter()
                         .map(|b| b.inner.resident_bytes_on(d.index))
                         .sum();
+                    // A queue that drained in the past is available *now*,
+                    // not at its stale drain time — without the clamp a
+                    // long-idle (e.g. degraded, avoided) device looks
+                    // cheaper than a recently busy healthy one.
                     DeviceView::from_descriptor(d.node(), &d.info.descriptor)
-                        .loaded(until, u32::from(until > SimTime::ZERO))
+                        .named(d.node_name())
+                        .loaded(until.max(now), u32::from(until > now))
                         .with_local_bytes(local)
+                        // Advisory health: a drifting node's candidates
+                        // stay in the running, but every predicted run
+                        // is inflated by its observed slowdown.
+                        .with_health_penalty(self.drift.penalty(d.node()))
                 })
                 .collect()
         };
@@ -289,6 +371,17 @@ impl AutoScheduler {
                     .inc_counter(names::QUARANTINES, &[("node", d.node_name())], 1);
             }
         }
+        // Every placement refreshes the per-node health gauge, so the
+        // exported series always reflects the tracker's current verdict.
+        for d in self.context.devices() {
+            let verdict = match self.quarantine.condition(d.node()) {
+                NodeCondition::Healthy => 0,
+                NodeCondition::Degraded => 1,
+                NodeCondition::Quarantined => 2,
+            };
+            obs.metrics
+                .set_gauge(names::DEVICE_HEALTH, &[("node", d.node_name())], verdict);
+        }
         // Demote quarantined nodes out of the candidate set — but only
         // while an alternative exists; an all-quarantined cluster still
         // schedules.
@@ -312,7 +405,28 @@ impl AutoScheduler {
                     (eligible[choice], audit)
                 })
         };
-        placed.map_err(|e| Error::api(Status::InvalidOperation, e.to_string()))
+        placed
+            .map(|(choice, audit)| {
+                // Advisory health in action: a degraded candidate was on
+                // offer but a healthy device won — count the avoidance
+                // against each sick node that lost.
+                if audit.winner().is_some_and(|w| !w.is_degraded()) {
+                    let mut counted: Vec<&str> = Vec::new();
+                    for c in audit.candidates.iter().filter(|c| c.is_degraded()) {
+                        let name = self.context.devices()[c.device].node_name();
+                        if !counted.contains(&name) {
+                            counted.push(name);
+                            obs.metrics.inc_counter(
+                                names::DEGRADED_PLACEMENTS_AVOIDED,
+                                &[("node", name)],
+                                1,
+                            );
+                        }
+                    }
+                }
+                (choice, audit)
+            })
+            .map_err(|e| Error::api(Status::InvalidOperation, e.to_string()))
     }
 
     /// Dispatches a captured [`LaunchGraph`]: prover-approved adjacent
@@ -505,6 +619,7 @@ impl AutoScheduler {
                 self.context.devices()[choice].kind(),
                 event.duration(),
             );
+            self.observe_drift(&joined, choice, event.duration());
             if let Some((trace, root_id)) = ctx {
                 obs.recorder.record(Span::new(
                     root_id,
@@ -516,6 +631,7 @@ impl AutoScheduler {
                     decided,
                     self.context.platform.clock().now(),
                 ));
+                self.sync_health_metrics();
             }
             report.wire_launches += 1;
             if members.len() > 1 {

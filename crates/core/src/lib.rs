@@ -99,6 +99,6 @@ pub use serve::{ServingPlane, Session};
 pub use haocl_cluster::RecoveryPolicy;
 pub use haocl_kernel::NdRange;
 pub use haocl_net::{ChaosPolicy, ChaosSpec};
-pub use haocl_proto::ids::TenantId;
+pub use haocl_proto::ids::{NodeId, TenantId};
 pub use haocl_proto::messages::{DeviceKind, Fidelity};
-pub use haocl_sched::{AdmitError, TenantQuota, TenantSpec, TenantStats};
+pub use haocl_sched::{AdmitError, NodeCondition, TenantQuota, TenantSpec, TenantStats};

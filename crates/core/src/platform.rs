@@ -424,6 +424,30 @@ impl Platform {
         Ok(out)
     }
 
+    /// Injects (or clears, with `factor <= 1.0`) a silent compute
+    /// degradation on one device of one node: every subsequent kernel on
+    /// it runs `factor`× slow while its descriptor keeps advertising full
+    /// speed. Fault injection for exercising the drift detector — the
+    /// only way the scheduler learns of the sickness is through observed
+    /// timings.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures; anything but an `Ack` is a
+    /// protocol error.
+    pub fn set_device_throttle(&self, node: NodeId, device: u8, factor: f64) -> Result<(), Error> {
+        let outcome = self
+            .inner
+            .host()
+            .call(node, ApiCall::SetThrottle { device, factor })?;
+        match outcome.reply {
+            haocl_proto::messages::ApiReply::Ack => Ok(()),
+            other => Err(Error::Transport(format!(
+                "SetThrottle answered with {other:?}"
+            ))),
+        }
+    }
+
     /// Switches the session's user id (multi-user support, §III-D).
     ///
     /// Affects subsequently created contexts/queues sharing this

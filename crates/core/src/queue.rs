@@ -430,7 +430,7 @@ impl CommandQueue {
                     if w.name == "nmp.dispatch" {
                         arrival = Some(SimTime::from_nanos(w.start_nanos));
                     }
-                    rec.record(Span::new(
+                    let mut span = Span::new(
                         haocl_obs::SpanId(w.id),
                         trace,
                         (w.parent != 0).then_some(haocl_obs::SpanId(w.parent)),
@@ -439,7 +439,14 @@ impl CommandQueue {
                         node_name,
                         SimTime::from_nanos(w.start_nanos),
                         SimTime::from_nanos(w.end_nanos),
-                    ));
+                    );
+                    // Wall-clock (monotonic) duration measured on the
+                    // node, alongside the virtual interval; zero means
+                    // the node did not measure.
+                    if w.wall_nanos > 0 {
+                        span = span.attr("wall_nanos", w.wall_nanos.to_string());
+                    }
+                    rec.record(span);
                 }
                 // Fabric hops are synthesized host-side — the fabric
                 // never decodes payloads, so it cannot record them.
@@ -498,7 +505,10 @@ impl CommandQueue {
         if obs.enabled() {
             obs.metrics.set_gauge(
                 names::QUEUE_DEPTH,
-                &[("device", &self.device.index().to_string())],
+                &[
+                    ("device", &self.device.index().to_string()),
+                    ("node", self.device.node_name()),
+                ],
                 self.pending.lock().len() as i64,
             );
         }
@@ -521,7 +531,10 @@ impl CommandQueue {
         if obs.enabled() {
             obs.metrics.set_gauge(
                 names::QUEUE_DEPTH,
-                &[("device", &self.device.index().to_string())],
+                &[
+                    ("device", &self.device.index().to_string()),
+                    ("node", self.device.node_name()),
+                ],
                 0,
             );
         }

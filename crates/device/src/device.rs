@@ -118,6 +118,14 @@ impl SimDevice {
         &self.model
     }
 
+    /// Injects (or lifts, with `1.0`) a degradation multiplier on every
+    /// subsequent kernel time — the simulator-side lever behind the
+    /// `SetThrottle` control call. Clamped to ≥ 1.0; already-queued work
+    /// is not retimed.
+    pub fn set_throttle(&mut self, factor: f64) {
+        self.model.throttle = factor.max(1.0);
+    }
+
     /// The wire descriptor for this device at `index`.
     pub fn descriptor(&self, index: u8) -> DeviceDescriptor {
         self.model.descriptor(index)

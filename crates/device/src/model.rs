@@ -49,6 +49,12 @@ pub struct DeviceModel {
     pub load_power_watts: f64,
     /// Idle power draw, watts.
     pub idle_power_watts: f64,
+    /// Degradation multiplier (≥ 1.0) applied to every kernel time —
+    /// `1.0` is a healthy device; `3.0` models a thermally throttled or
+    /// retry-storming part running 3× slow. Injectable at runtime via
+    /// the `SetThrottle` control call, so drift detection can be
+    /// exercised against an established healthy baseline.
+    pub throttle: f64,
 }
 
 impl DeviceModel {
@@ -78,7 +84,19 @@ impl DeviceModel {
             0.0
         };
         let body = SimDuration::from_secs_f64(compute_secs.max(memory_secs));
-        self.launch_overhead + self.pipeline_fill + body
+        let healthy = self.launch_overhead + self.pipeline_fill + body;
+        if self.throttle > 1.0 {
+            SimDuration::from_nanos((healthy.as_nanos() as f64 * self.throttle) as u64)
+        } else {
+            healthy
+        }
+    }
+
+    /// Returns the model with a degradation multiplier applied
+    /// (builder-style; clamped to ≥ 1.0).
+    pub fn with_throttle(mut self, factor: f64) -> Self {
+        self.throttle = factor.max(1.0);
+        self
     }
 
     /// Virtual time to move `bytes` across the host↔device link (PCIe).
@@ -179,5 +197,21 @@ mod tests {
         let gpu = presets::tesla_p4();
         let e = gpu.energy(SimDuration::from_secs(2));
         assert!((e - 2.0 * gpu.load_power_watts).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throttle_scales_kernel_time_uniformly() {
+        let healthy = presets::tesla_p4();
+        let sick = presets::tesla_p4().with_throttle(3.0);
+        let cost = CostModel::new().flops(1e10);
+        let ratio =
+            sick.kernel_time(&cost).as_secs_f64() / healthy.kernel_time(&cost).as_secs_f64();
+        assert!((ratio - 3.0).abs() < 0.01, "ratio {ratio}");
+        // Transfers are unaffected — throttling models compute-side
+        // degradation, not link health.
+        assert_eq!(sick.transfer_time(1 << 20), healthy.transfer_time(1 << 20));
+        // Sub-unity factors are clamped: health never speeds a device up.
+        let boosted = presets::tesla_p4().with_throttle(0.5);
+        assert_eq!(boosted.kernel_time(&cost), healthy.kernel_time(&cost));
     }
 }

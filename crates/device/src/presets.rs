@@ -29,6 +29,7 @@ pub fn xeon_e5_2686() -> DeviceModel {
         reconfig_time: SimDuration::ZERO,
         load_power_watts: 145.0,
         idle_power_watts: 60.0,
+        throttle: 1.0,
     }
 }
 
@@ -49,6 +50,7 @@ pub fn tesla_p4() -> DeviceModel {
         reconfig_time: SimDuration::ZERO,
         load_power_watts: 75.0,
         idle_power_watts: 8.0,
+        throttle: 1.0,
     }
 }
 
@@ -72,6 +74,7 @@ pub fn vu9p() -> DeviceModel {
         reconfig_time: SimDuration::from_secs(2),
         load_power_watts: 45.0,
         idle_power_watts: 12.0,
+        throttle: 1.0,
     }
 }
 
@@ -82,6 +85,14 @@ pub fn by_kind(kind: DeviceKind) -> DeviceModel {
         DeviceKind::Gpu => tesla_p4(),
         DeviceKind::Fpga => vu9p(),
     }
+}
+
+/// A degraded variant of the kind's preset: every kernel runs `factor`×
+/// slow (thermal throttling / ECC retry storms), while the advertised
+/// descriptor still claims full speed — exactly the silent sub-healthy
+/// device the drift detector exists to catch.
+pub fn throttled(kind: DeviceKind, factor: f64) -> DeviceModel {
+    by_kind(kind).with_throttle(factor)
 }
 
 #[cfg(test)]
@@ -116,6 +127,17 @@ mod tests {
         let fpga = joules(&vu9p());
         assert!(fpga < gpu, "fpga {fpga} J vs gpu {gpu} J");
         assert!(fpga < cpu, "fpga {fpga} J vs cpu {cpu} J");
+    }
+
+    #[test]
+    fn throttled_preset_runs_slow_but_advertises_full_speed() {
+        let sick = throttled(DeviceKind::Gpu, 2.0);
+        let healthy = tesla_p4();
+        let cost = CostModel::new().flops(1e10);
+        assert!(sick.kernel_time(&cost) > healthy.kernel_time(&cost));
+        // The descriptor betrays nothing — degradation is only visible
+        // in observed timings.
+        assert_eq!(sick.descriptor(0), healthy.descriptor(0));
     }
 
     #[test]

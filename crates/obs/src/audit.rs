@@ -18,6 +18,9 @@ pub enum PredictionSource {
     Observed,
     /// Static-analysis seed not yet displaced by observations.
     Seed,
+    /// A warm observation from *another* device class, transferred
+    /// through the compute-currency exchange rates.
+    Currency,
     /// No profile entry; the roofline cost model estimated the time.
     CostModel,
 }
@@ -27,6 +30,7 @@ impl fmt::Display for PredictionSource {
         f.write_str(match self {
             PredictionSource::Observed => "observed",
             PredictionSource::Seed => "seed",
+            PredictionSource::Currency => "currency",
             PredictionSource::CostModel => "cost-model",
         })
     }
@@ -45,15 +49,35 @@ pub struct CandidateInfo {
     pub predicted_nanos: Option<u64>,
     /// Which source produced the prediction.
     pub source: PredictionSource,
+    /// The drift detector's verdict on the candidate's node at placement
+    /// time: `"ok"`, or `"degraded(x<ratio>)"` with the measured
+    /// slowdown the policies down-weighted it by.
+    pub health: String,
+}
+
+impl CandidateInfo {
+    /// The health string a healthy candidate carries.
+    pub const HEALTHY: &'static str = "ok";
+
+    /// Renders a degraded verdict with its measured slowdown ratio.
+    pub fn degraded_health(penalty: f64) -> String {
+        format!("degraded(x{penalty:.2})")
+    }
+
+    /// Whether the candidate carried a degraded verdict at placement.
+    pub fn is_degraded(&self) -> bool {
+        self.health.starts_with("degraded")
+    }
 }
 
 impl fmt::Display for CandidateInfo {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}:{}/{}", self.device, self.node, self.kind)?;
         match self.predicted_nanos {
-            Some(n) => write!(f, " pred={n}ns src={}", self.source),
-            None => write!(f, " pred=none src={}", self.source),
+            Some(n) => write!(f, " pred={n}ns src={}", self.source)?,
+            None => write!(f, " pred=none src={}", self.source)?,
         }
+        write!(f, " health={}", self.health)
     }
 }
 
@@ -136,13 +160,18 @@ impl PlacementAudit {
             Some(w) => format!("{}/{}", w.node, w.kind),
             None => format!("device{}", self.chosen),
         };
+        let health = self
+            .winner()
+            .map(|w| w.health.clone())
+            .unwrap_or_else(|| "-".to_string());
         let cands: Vec<String> = self.candidates.iter().map(|c| c.to_string()).collect();
         format!(
-            "place kernel={} tenant={} policy={} chosen={} fused={} reason=\"{}\" candidates=[{}]",
+            "place kernel={} tenant={} policy={} chosen={} health={} fused={} reason=\"{}\" candidates=[{}]",
             self.kernel,
             self.tenant,
             self.policy,
             chosen,
+            health,
             self.fused,
             self.reason,
             cands.join(", ")
@@ -228,6 +257,7 @@ mod tests {
                     kind: "Cpu".to_string(),
                     predicted_nanos: Some(500),
                     source: PredictionSource::Seed,
+                    health: CandidateInfo::HEALTHY.to_string(),
                 },
                 CandidateInfo {
                     device: 1,
@@ -235,6 +265,7 @@ mod tests {
                     kind: "Gpu".to_string(),
                     predicted_nanos: None,
                     source: PredictionSource::CostModel,
+                    health: CandidateInfo::HEALTHY.to_string(),
                 },
             ],
             chosen,
@@ -252,6 +283,21 @@ mod tests {
         assert!(line.contains("fused=-"));
         assert!(line.contains("pred=500ns src=seed"));
         assert!(line.contains("pred=none src=cost-model"));
+    }
+
+    #[test]
+    fn health_column_carries_the_winners_verdict() {
+        let mut a = audit("mm", 0);
+        assert!(a.line().contains(" health=ok "), "{}", a.line());
+        a.candidates[0].health = CandidateInfo::degraded_health(2.5);
+        assert!(a.candidates[0].is_degraded());
+        let line = a.line();
+        assert!(line.contains(" health=degraded(x2.50) "), "{line}");
+        assert!(line.contains("src=seed health=degraded(x2.50)"), "{line}");
+        // A row with no candidate records (e.g. node-health transitions)
+        // renders a placeholder.
+        a.candidates.clear();
+        assert!(a.line().contains(" health=- "), "{}", a.line());
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod json;
 pub mod metrics;
 pub mod replay;
 pub mod span;
+pub mod top;
 
 pub use audit::{
     AuditLog, CandidateInfo, FusionDecision, PlacementAudit, PredictionSource, DEFAULT_TENANT,
@@ -41,6 +42,7 @@ pub use replay::{orphan_ids, parse_chrome_trace, render_breakdown, ReplaySpan};
 pub use span::{
     is_connected_tree, orphans, phase_from_name, roots, Recorder, Span, SpanId, TraceCtx, TraceId,
 };
+pub use top::FleetSnapshot;
 
 /// Canonical metric names, shared by every instrumented crate.
 pub mod names {
@@ -53,7 +55,8 @@ pub mod names {
     pub const PLANE_FRAMES: &str = "haocl_plane_frames_total";
     /// Histogram: requests coalesced per control-plane frame.
     pub const BATCH_SIZE: &str = "haocl_batch_coalesced_requests";
-    /// Gauge: host-side queue depth per device at last sample.
+    /// Gauge: host-side queue depth per device at last sample, labelled
+    /// with the device index and its hosting node's name.
     pub const QUEUE_DEPTH: &str = "haocl_queue_depth";
     /// Counter: link/plane failures observed by the host runtime.
     pub const LINK_FAILURES: &str = "haocl_link_failures_total";
@@ -106,6 +109,19 @@ pub mod names {
     /// Counter: wire launch commands saved by fusion (kernels folded
     /// into a lead dispatch instead of getting their own command).
     pub const FUSION_COMMANDS_SAVED: &str = "haocl_fusion_commands_saved_total";
+    /// Gauge: the drift detector's verdict per node — `0` healthy,
+    /// `1` degraded (advisory), `2` quarantined (hard).
+    pub const DEVICE_HEALTH: &str = "haocl_device_health";
+    /// Counter: profile-db observations that recalibrated an
+    /// already-warm `(kernel, device class)` estimate.
+    pub const PROFILE_RECALIBRATIONS: &str = "haocl_profile_recalibrations_total";
+    /// Counter: placements where a degraded candidate was on offer but a
+    /// healthy device won, labelled with the avoided node.
+    pub const DEGRADED_PLACEMENTS_AVOIDED: &str = "haocl_degraded_placements_avoided_total";
+    /// Gauge: compute-currency exchange rate per device class, in
+    /// thousandths of the base class's time unit (milli-units, since
+    /// gauges are integral).
+    pub const CURRENCY_RATE: &str = "haocl_compute_currency_rate_milli";
 }
 
 /// The bundle every instrumented layer shares: one span [`Recorder`], one

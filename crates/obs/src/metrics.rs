@@ -48,9 +48,19 @@ fn canon(labels: &[(&str, &str)]) -> Labels {
 }
 
 fn render_labels(labels: &Labels, extra: Option<(&str, &str)>) -> String {
+    // Per the exposition format, label values escape backslash, double
+    // quote and line feed (in that order, so the escapes themselves
+    // survive).
     let mut parts: Vec<String> = labels
         .iter()
-        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .map(|(k, v)| {
+            format!(
+                "{k}=\"{}\"",
+                v.replace('\\', "\\\\")
+                    .replace('"', "\\\"")
+                    .replace('\n', "\\n")
+            )
+        })
         .collect();
     if let Some((k, v)) = extra {
         parts.push(format!("{k}=\"{v}\""));
@@ -281,5 +291,29 @@ mod tests {
         assert!(a < z, "families sorted: {text}");
         assert!(text.contains("k=\"quo\\\"te\""));
         assert!(text.contains("# TYPE depth gauge\ndepth{node=\"n0\"} 4\n"));
+    }
+
+    #[test]
+    fn label_values_escape_backslash_quote_and_newline() {
+        let m = Registry::new();
+        m.inc_counter("c", &[("k", "line1\nline2")], 1);
+        m.inc_counter("c", &[("k", "back\\slash \"quoted\"")], 1);
+        m.inc_counter("c", &[("k", "\\n")], 1);
+        let text = m.render();
+        // A raw newline inside a label value would split the sample line
+        // and corrupt the whole exposition; it must render as \n.
+        assert!(text.contains("c{k=\"line1\\nline2\"} 1"), "{text}");
+        assert!(
+            text.contains("c{k=\"back\\\\slash \\\"quoted\\\"\"} 1"),
+            "{text}"
+        );
+        // A literal backslash-n survives distinct from a real newline.
+        assert!(text.contains("c{k=\"\\\\n\"} 1"), "{text}");
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.ends_with(" 1"),
+                "unterminated sample line: {line:?}"
+            );
+        }
     }
 }

@@ -365,6 +365,16 @@ pub enum ApiCall {
     },
     /// Pull the node's runtime profile (scheduler feedback, §III-B).
     QueryProfile,
+    /// Inject (or lift, with `factor == 1.0`) a degradation multiplier
+    /// on one of the node's devices — the fault-injection lever behind
+    /// drift-detection tests and degraded-device soaks. Idempotent
+    /// control call: not journaled, safe to re-execute on retry.
+    SetThrottle {
+        /// Target device index on the node.
+        device: u8,
+        /// Slowdown multiplier, clamped to ≥ 1.0 device-side.
+        factor: f64,
+    },
     /// Liveness check.
     Ping,
     /// Orderly shutdown of the NMP.
@@ -551,6 +561,10 @@ pub struct WireSpan {
     pub start_nanos: u64,
     /// Interval end, virtual nanoseconds.
     pub end_nanos: u64,
+    /// Wall-clock (monotonic) nanoseconds the node spent handling the
+    /// work — *real* time alongside the virtual interval, so simulation
+    /// throughput is measurable per span. `0` when not measured.
+    pub wall_nanos: u64,
 }
 
 /// A framed request on the backbone.
@@ -1055,6 +1069,11 @@ impl Encode for ApiCall {
                 shared.encode(buf);
                 parts.encode(buf);
             }
+            ApiCall::SetThrottle { device, factor } => {
+                buf.put_u8(20);
+                device.encode(buf);
+                factor.encode(buf);
+            }
         }
     }
 }
@@ -1172,6 +1191,10 @@ impl Decode for ApiCall {
                 fidelity: Decode::decode(buf)?,
                 shared: Decode::decode(buf)?,
                 parts: Decode::decode(buf)?,
+            },
+            20 => ApiCall::SetThrottle {
+                device: Decode::decode(buf)?,
+                factor: Decode::decode(buf)?,
             },
             tag => {
                 return Err(WireError::InvalidTag {
@@ -1419,6 +1442,7 @@ impl Encode for WireSpan {
         self.category.encode(buf);
         self.start_nanos.encode(buf);
         self.end_nanos.encode(buf);
+        self.wall_nanos.encode(buf);
     }
 }
 
@@ -1431,6 +1455,7 @@ impl Decode for WireSpan {
             category: Decode::decode(buf)?,
             start_nanos: Decode::decode(buf)?,
             end_nanos: Decode::decode(buf)?,
+            wall_nanos: Decode::decode(buf)?,
         })
     }
 }
@@ -1714,6 +1739,10 @@ mod tests {
                     },
                 ],
             },
+            ApiCall::SetThrottle {
+                device: 2,
+                factor: 3.5,
+            },
         ];
         for call in calls {
             roundtrip(call);
@@ -1854,6 +1883,7 @@ mod tests {
                     category: "Dispatch".into(),
                     start_nanos: 20,
                     end_nanos: 45,
+                    wall_nanos: 1_830,
                 },
                 WireSpan {
                     id: (1 << 63) | 65,
@@ -1862,6 +1892,7 @@ mod tests {
                     category: "Compute".into(),
                     start_nanos: 25,
                     end_nanos: 44,
+                    wall_nanos: 0,
                 },
             ],
         });

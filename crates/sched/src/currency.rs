@@ -1,0 +1,228 @@
+//! Compute-currency normalization.
+//!
+//! Observed kernel timings live in device-local units: "500 µs on a
+//! GPU" and "500 µs on an FPGA" describe very different amounts of
+//! work. To compare candidates across device classes the scheduler
+//! needs *exchange rates* — how much slower or faster one class is than
+//! another at the workloads this cluster actually runs.
+//!
+//! [`CurrencyTable::from_profile`] derives those rates from the
+//! [`ProfileDb`](crate::ProfileDb): every kernel with warm observations
+//! on two or more device classes votes with its timing ratio, and the
+//! per-class rate is the geometric mean of the votes (geometric, so a
+//! kernel that is 4× slower and one that is 4× faster cancel exactly).
+//! Rates are expressed relative to a base class — the GPU when one has
+//! warm data, else the first class in a fixed order — with
+//! `rate(base) == 1.0`; a rate of `3.0` means "this class takes 3× the
+//! base class's time for the same work".
+//!
+//! [`CurrencyTable::convert`] then transfers a warm observation from
+//! one class onto another, which is how a candidate device that has
+//! never run a kernel can still get a *measured* (rather than modelled)
+//! prediction: `sched::policy` attributes such predictions to
+//! [`PredictionSource::Currency`](haocl_obs::PredictionSource).
+
+use std::collections::BTreeMap;
+
+use haocl_proto::messages::DeviceKind;
+use haocl_sim::SimDuration;
+
+use crate::ProfileDb;
+
+/// The fixed base-class preference order: the first kind in this list
+/// with any warm observation anchors the table at rate 1.0.
+const BASE_ORDER: [DeviceKind; 3] = [DeviceKind::Gpu, DeviceKind::Cpu, DeviceKind::Fpga];
+
+/// Device-class exchange rates derived from shared-kernel timings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CurrencyTable {
+    base: Option<DeviceKind>,
+    /// rate ↦ how many base-class seconds one second of this class's
+    /// work is worth (keyed by the debug name for deterministic order).
+    rates: BTreeMap<String, (DeviceKind, f64)>,
+}
+
+impl CurrencyTable {
+    /// Derives the table from every kernel the profile has observed warm
+    /// on at least two device classes. Returns an empty table (no rates)
+    /// when no class pair shares a kernel yet.
+    pub fn from_profile(profile: &ProfileDb) -> Self {
+        let mut observed: BTreeMap<String, Vec<(DeviceKind, f64)>> = BTreeMap::new();
+        for kernel in profile.warm_kernels() {
+            let warm = profile.warm_observations(&kernel);
+            if warm.len() >= 2 {
+                observed.insert(
+                    kernel,
+                    warm.into_iter()
+                        .map(|(k, d)| (k, d.as_nanos() as f64))
+                        .collect(),
+                );
+            }
+        }
+        let base = BASE_ORDER
+            .into_iter()
+            .find(|b| observed.values().any(|obs| obs.iter().any(|(k, _)| k == b)));
+        let Some(base) = base else {
+            return CurrencyTable {
+                base: None,
+                rates: BTreeMap::new(),
+            };
+        };
+        // Geometric mean of per-kernel ratios t_kind / t_base.
+        let mut log_sums: BTreeMap<String, (DeviceKind, f64, u32)> = BTreeMap::new();
+        for obs in observed.values() {
+            let Some(&(_, base_nanos)) = obs.iter().find(|(k, _)| *k == base) else {
+                continue;
+            };
+            if base_nanos <= 0.0 {
+                continue;
+            }
+            for &(kind, nanos) in obs {
+                if nanos <= 0.0 {
+                    continue;
+                }
+                let slot = log_sums
+                    .entry(format!("{kind:?}"))
+                    .or_insert((kind, 0.0, 0));
+                slot.1 += (nanos / base_nanos).ln();
+                slot.2 += 1;
+            }
+        }
+        let rates = log_sums
+            .into_iter()
+            .map(|(name, (kind, log_sum, n))| (name, (kind, (log_sum / f64::from(n.max(1))).exp())))
+            .collect();
+        CurrencyTable {
+            base: Some(base),
+            rates,
+        }
+    }
+
+    /// The class the table is anchored on (`rate == 1.0`), if any rates
+    /// exist.
+    pub fn base(&self) -> Option<DeviceKind> {
+        self.base
+    }
+
+    /// The exchange rate for a class: how many base-class time units one
+    /// of its time units is worth. `None` until some kernel links the
+    /// class to the base class.
+    pub fn rate(&self, kind: DeviceKind) -> Option<f64> {
+        self.rates.get(&format!("{kind:?}")).map(|&(_, r)| r)
+    }
+
+    /// Every known rate, ordered by class name — for export as the
+    /// `haocl_compute_currency_rate_milli` gauge series.
+    pub fn rates(&self) -> Vec<(DeviceKind, f64)> {
+        self.rates.values().copied().collect()
+    }
+
+    /// Transfers a duration observed on `from` onto `to` through the
+    /// exchange rates: the same amount of work, re-priced in the other
+    /// class's time. `None` unless both classes have rates.
+    pub fn convert(
+        &self,
+        duration: SimDuration,
+        from: DeviceKind,
+        to: DeviceKind,
+    ) -> Option<SimDuration> {
+        let from_rate = self.rate(from)?;
+        let to_rate = self.rate(to)?;
+        if from_rate <= 0.0 {
+            return None;
+        }
+        Some(SimDuration::from_nanos(
+            (duration.as_nanos() as f64 * to_rate / from_rate) as u64,
+        ))
+    }
+
+    /// Whether any cross-class rate exists yet.
+    pub fn is_empty(&self) -> bool {
+        self.rates.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn warm(db: &ProfileDb, kernel: &str, kind: DeviceKind, nanos: u64) {
+        db.record(kernel, kind, SimDuration::from_nanos(nanos));
+        db.record(kernel, kind, SimDuration::from_nanos(nanos));
+    }
+
+    #[test]
+    fn empty_profile_yields_no_rates() {
+        let table = CurrencyTable::from_profile(&ProfileDb::new());
+        assert!(table.is_empty());
+        assert_eq!(table.base(), None);
+        assert_eq!(table.rate(DeviceKind::Gpu), None);
+    }
+
+    #[test]
+    fn single_class_profile_yields_no_rates() {
+        let db = ProfileDb::new();
+        warm(&db, "k", DeviceKind::Gpu, 100);
+        let table = CurrencyTable::from_profile(&db);
+        assert!(table.is_empty(), "no kernel links two classes");
+    }
+
+    #[test]
+    fn shared_kernel_derives_exchange_rates() {
+        let db = ProfileDb::new();
+        warm(&db, "k", DeviceKind::Gpu, 100);
+        warm(&db, "k", DeviceKind::Cpu, 400);
+        let table = CurrencyTable::from_profile(&db);
+        assert_eq!(table.base(), Some(DeviceKind::Gpu));
+        assert!((table.rate(DeviceKind::Gpu).unwrap() - 1.0).abs() < 1e-9);
+        assert!((table.rate(DeviceKind::Cpu).unwrap() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rates_are_geometric_means_over_kernels() {
+        let db = ProfileDb::new();
+        // One kernel says the CPU is 2× slower, another says 8× slower:
+        // the geometric mean is 4×.
+        warm(&db, "a", DeviceKind::Gpu, 100);
+        warm(&db, "a", DeviceKind::Cpu, 200);
+        warm(&db, "b", DeviceKind::Gpu, 100);
+        warm(&db, "b", DeviceKind::Cpu, 800);
+        let table = CurrencyTable::from_profile(&db);
+        assert!((table.rate(DeviceKind::Cpu).unwrap() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn convert_transfers_work_between_classes() {
+        let db = ProfileDb::new();
+        warm(&db, "k", DeviceKind::Gpu, 100);
+        warm(&db, "k", DeviceKind::Cpu, 400);
+        let table = CurrencyTable::from_profile(&db);
+        // 1 ms of GPU work costs 4 ms of CPU time…
+        assert_eq!(
+            table.convert(
+                SimDuration::from_millis(1),
+                DeviceKind::Gpu,
+                DeviceKind::Cpu
+            ),
+            Some(SimDuration::from_millis(4))
+        );
+        // …and the reverse trip divides.
+        assert_eq!(
+            table.convert(
+                SimDuration::from_millis(4),
+                DeviceKind::Cpu,
+                DeviceKind::Gpu
+            ),
+            Some(SimDuration::from_millis(1))
+        );
+        // No FPGA kernel linked yet — no conversion.
+        assert_eq!(
+            table.convert(
+                SimDuration::from_millis(1),
+                DeviceKind::Gpu,
+                DeviceKind::Fpga
+            ),
+            None
+        );
+    }
+}

@@ -9,10 +9,16 @@
 //! * [`task`] — [`TaskSpec`] (one kernel launch as the scheduler sees it)
 //!   and [`task::TaskGraph`] (the dependency DAG of Fig. 1).
 //! * [`monitor`] — [`DeviceView`]: the host-side snapshot of every device
-//!   in the cluster (model summary + load + data locality).
-//! * [`profile`] — [`ProfileDb`]: per-(kernel, device-class) exponential
-//!   moving averages of observed execution times, fed by NMP profile
-//!   reports.
+//!   in the cluster (model summary + load + data locality + advisory
+//!   health), and [`DriftDetector`]: per-node z-score/ratio tests over
+//!   rolling launch-timing windows that flag sub-healthy devices.
+//! * [`profile`] — [`ProfileDb`]: per-(kernel, device-class) rolling
+//!   EWMA + variance windows of observed execution times, recalibrated
+//!   online on every completed launch, with geometrically decaying
+//!   static seeds.
+//! * [`currency`] — [`CurrencyTable`]: device-class exchange rates
+//!   derived from shared-kernel timings, so candidates on different
+//!   classes compare in common units.
 //! * [`hints`] — [`seed_from_report`]: converts the compiler's static
 //!   kernel feature vectors into cold-start [`ProfileDb`] seeds, so
 //!   placement is informed before the first launch.
@@ -51,6 +57,7 @@
 //! # Ok::<(), haocl_sched::SchedError>(())
 //! ```
 
+pub mod currency;
 pub mod hints;
 pub mod monitor;
 pub mod policies;
@@ -60,11 +67,12 @@ pub mod quarantine;
 pub mod task;
 pub mod tenancy;
 
+pub use currency::CurrencyTable;
 pub use hints::seed_from_report;
-pub use monitor::DeviceView;
+pub use monitor::{DeviceView, DriftDetector, DriftEvent};
 pub use policy::{SchedError, Scheduler, SchedulingPolicy};
-pub use profile::{ProfileDb, ProfileSnapshotEntry};
-pub use quarantine::{QuarantineTracker, DEFAULT_QUARANTINE_THRESHOLD};
+pub use profile::{ProfileDb, ProfileSnapshotEntry, ProfileStats};
+pub use quarantine::{NodeCondition, QuarantineTracker, DEFAULT_QUARANTINE_THRESHOLD};
 pub use task::TaskSpec;
 pub use tenancy::{
     normalized_cost_nanos, AdmitError, QuotaLedger, TenantQuota, TenantScheduler, TenantSpec,

@@ -6,6 +6,7 @@ use haocl_obs::{CandidateInfo, PlacementAudit, PredictionSource};
 use haocl_proto::messages::DeviceKind;
 use haocl_sim::SimDuration;
 
+use crate::currency::CurrencyTable;
 use crate::monitor::DeviceView;
 use crate::profile::ProfileDb;
 use crate::task::TaskSpec;
@@ -121,6 +122,7 @@ impl Scheduler {
         task: &TaskSpec,
         devices: &[DeviceView],
     ) -> Result<(usize, PlacementAudit), SchedError> {
+        let currency = CurrencyTable::from_profile(&self.profile);
         if let Some((node, dev)) = task.pinned {
             let idx = devices
                 .iter()
@@ -132,7 +134,7 @@ impl Scheduler {
                 kernel: task.kernel.clone(),
                 tenant: task.tenant.clone(),
                 policy: self.policy.name().to_string(),
-                candidates: vec![self.candidate(task, idx, &devices[idx])],
+                candidates: vec![self.candidate(task, idx, &devices[idx], &currency)],
                 chosen: idx,
                 reason: "pinned by task spec".to_string(),
                 fused: haocl_obs::FusionDecision::Unconsidered,
@@ -157,7 +159,7 @@ impl Scheduler {
             })?;
         let candidates: Vec<CandidateInfo> = eligible
             .iter()
-            .map(|&(i, d)| self.candidate(task, i, d))
+            .map(|&(i, d)| self.candidate(task, i, d, &currency))
             .collect();
         let reason = candidates
             .iter()
@@ -169,6 +171,10 @@ impl Scheduler {
                 (PredictionSource::Seed, Some(n)) => {
                     format!("static seed predicts {}", SimDuration::from_nanos(n))
                 }
+                (PredictionSource::Currency, Some(n)) => format!(
+                    "currency-converted observation predicts {}",
+                    SimDuration::from_nanos(n)
+                ),
                 (PredictionSource::CostModel, Some(n)) => {
                     format!("cost model estimates {}", SimDuration::from_nanos(n))
                 }
@@ -188,28 +194,65 @@ impl Scheduler {
     }
 
     /// Builds the audit record for one candidate device, attributing the
-    /// prediction to the strongest available source (warm profile, then
-    /// static seed, then the roofline cost model).
-    fn candidate(&self, task: &TaskSpec, idx: usize, view: &DeviceView) -> CandidateInfo {
+    /// prediction to the strongest available source: warm profile, then
+    /// static seed, then a warm observation from another device class
+    /// converted through the compute-currency table, then the roofline
+    /// cost model.
+    fn candidate(
+        &self,
+        task: &TaskSpec,
+        idx: usize,
+        view: &DeviceView,
+        currency: &CurrencyTable,
+    ) -> CandidateInfo {
         let (predicted_nanos, source) =
             if let Some(d) = self.profile.observed(&task.kernel, view.kind) {
                 (Some(d.as_nanos()), PredictionSource::Observed)
             } else if let Some(d) = self.profile.seed_hint(&task.kernel, view.kind) {
                 (Some(d.as_nanos()), PredictionSource::Seed)
+            } else if let Some(d) = convert_observation(&self.profile, currency, task, view.kind) {
+                (Some(d.as_nanos()), PredictionSource::Currency)
             } else {
                 (
                     Some(estimate_time(task, view).as_nanos()),
                     PredictionSource::CostModel,
                 )
             };
+        let health = if view.health_penalty > 1.0 {
+            CandidateInfo::degraded_health(view.health_penalty)
+        } else {
+            CandidateInfo::HEALTHY.to_string()
+        };
         CandidateInfo {
             device: idx,
-            node: format!("node{}", view.node.raw()),
+            node: if view.node_name.is_empty() {
+                format!("node{}", view.node.raw())
+            } else {
+                view.node_name.clone()
+            },
             kind: format!("{:?}", view.kind),
             predicted_nanos,
             source,
+            health,
         }
     }
+}
+
+/// Transfers the kernel's warm observation from another device class onto
+/// `kind` through the currency table's exchange rates. `None` when the
+/// kernel has no warm sibling or the table lacks a rate for either class.
+pub(crate) fn convert_observation(
+    profile: &ProfileDb,
+    currency: &CurrencyTable,
+    task: &TaskSpec,
+    kind: DeviceKind,
+) -> Option<SimDuration> {
+    profile
+        .warm_observations(&task.kernel)
+        .into_iter()
+        .filter(|&(k, _)| k != kind)
+        .filter_map(|(k, d)| currency.convert(d, k, kind))
+        .min()
 }
 
 impl fmt::Debug for Scheduler {
@@ -393,6 +436,48 @@ mod tests {
         assert_eq!(w.source, PredictionSource::Observed);
         assert_eq!(w.predicted_nanos, Some(700));
         assert!(audit.line().contains("chosen=node1/Gpu"));
+    }
+
+    #[test]
+    fn currency_converts_sibling_observations_for_unseen_classes() {
+        let s = Scheduler::new(Box::new(FirstFit));
+        // Link the GPU and CPU classes through a shared kernel: the CPU
+        // runs it 4× slower.
+        for _ in 0..2 {
+            s.profile()
+                .record("link", DeviceKind::Gpu, SimDuration::from_nanos(100));
+            s.profile()
+                .record("link", DeviceKind::Cpu, SimDuration::from_nanos(400));
+        }
+        // Kernel "j" has only been measured on the GPU.
+        for _ in 0..2 {
+            s.profile()
+                .record("j", DeviceKind::Gpu, SimDuration::from_nanos(1000));
+        }
+        let (_, audit) = s.place_audited(&TaskSpec::new("j"), &snapshot()).unwrap();
+        let cpu = audit.candidates.iter().find(|c| c.kind == "Cpu").unwrap();
+        assert_eq!(
+            cpu.source,
+            PredictionSource::Currency,
+            "unseen class gets a converted measurement, not a model guess"
+        );
+        assert_eq!(cpu.predicted_nanos, Some(4000));
+        let gpu = audit.candidates.iter().find(|c| c.kind == "Gpu").unwrap();
+        assert_eq!(gpu.source, PredictionSource::Observed);
+    }
+
+    #[test]
+    fn candidates_carry_the_health_verdict() {
+        let s = Scheduler::new(Box::new(FirstFit));
+        let mut devices = snapshot();
+        devices[1] = devices[1].clone().with_health_penalty(2.0);
+        let (_, audit) = s.place_audited(&TaskSpec::new("k"), &devices).unwrap();
+        let gpu = audit.candidates.iter().find(|c| c.kind == "Gpu").unwrap();
+        assert_eq!(gpu.health, "degraded(x2.00)");
+        assert!(gpu.is_degraded());
+        let cpu = audit.candidates.iter().find(|c| c.kind == "Cpu").unwrap();
+        assert_eq!(cpu.health, CandidateInfo::HEALTHY);
+        assert!(audit.line().contains("health=degraded(x2.00)"));
     }
 
     #[test]

@@ -20,10 +20,20 @@ const ALPHA: f64 = 0.3;
 /// Observations below this count are considered too thin to trust.
 const MIN_RUNS: u64 = 2;
 
+/// Per-observation decay of a seed's weight once the key is warm: after
+/// `k` post-warm-up observations the seed still contributes
+/// `SEED_DECAY^k` of the blended prediction, so static hints fade out
+/// geometrically instead of being dropped on a cliff edge.
+const SEED_DECAY: f64 = 0.5;
+
 #[derive(Debug, Clone, Copy, Default)]
 struct Entry {
     runs: u64,
     ema_nanos: f64,
+    /// Exponentially weighted variance of the observations (same ALPHA
+    /// window as the mean) — the rolling dispersion the drift detector's
+    /// z-scores are measured against.
+    var_nanos2: f64,
 }
 
 /// Thread-safe profile store.
@@ -51,6 +61,21 @@ pub struct ProfileDb {
     /// How many seeded keys have warmed past `MIN_RUNS` (the moment the
     /// dynamic profile first displaces a static hint).
     seed_displacements: AtomicU64,
+    /// How many observations have updated an *already warm* key — each
+    /// one is an online recalibration of a trusted estimate. Feeds the
+    /// `haocl_profile_recalibrations_total` metric.
+    recalibrations: AtomicU64,
+}
+
+/// Rolling statistics for one warm `(kernel, device class)` key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfileStats {
+    /// Observed run count.
+    pub runs: u64,
+    /// The exponentially weighted mean execution time.
+    pub mean: SimDuration,
+    /// The exponentially weighted standard deviation.
+    pub std_dev: SimDuration,
 }
 
 /// One `(kernel, device class)` row of a [`ProfileDb::snapshot`].
@@ -76,7 +101,10 @@ impl ProfileDb {
         ProfileDb::default()
     }
 
-    /// Records one observed execution time.
+    /// Records one observed execution time, updating the rolling EWMA
+    /// and its exponentially weighted variance (West's incremental
+    /// update). Every record against an already-warm key counts as an
+    /// online recalibration.
     pub fn record(&self, kernel: &str, kind: DeviceKind, duration: SimDuration) {
         let key = (kernel.to_string(), kind);
         let mut entries = self.entries.write();
@@ -84,8 +112,15 @@ impl ProfileDb {
         let nanos = duration.as_nanos() as f64;
         if e.runs == 0 {
             e.ema_nanos = nanos;
+            e.var_nanos2 = 0.0;
         } else {
-            e.ema_nanos = ALPHA * nanos + (1.0 - ALPHA) * e.ema_nanos;
+            if e.runs >= MIN_RUNS {
+                self.recalibrations.fetch_add(1, Ordering::Relaxed);
+            }
+            let diff = nanos - e.ema_nanos;
+            let incr = ALPHA * diff;
+            e.ema_nanos += incr;
+            e.var_nanos2 = (1.0 - ALPHA) * (e.var_nanos2 + diff * incr);
         }
         e.runs += 1;
         if e.runs == MIN_RUNS && self.seeds.read().contains_key(&key) {
@@ -104,22 +139,16 @@ impl ProfileDb {
             .insert((kernel.to_string(), kind), duration.as_nanos() as f64);
     }
 
-    /// Predicted execution time: the observed EMA once warm
-    /// (≥ `MIN_RUNS` observations), else a planted seed, else `None`.
+    /// Predicted execution time. While a key is cold (< `MIN_RUNS`
+    /// observations) a planted seed answers alone; once warm, the seed's
+    /// weight decays geometrically with every further observation
+    /// (`SEED_DECAY^k`), so the blended prediction slides from the static
+    /// hint onto the observed EMA instead of jumping on a cliff edge.
     pub fn predict(&self, kernel: &str, kind: DeviceKind) -> Option<SimDuration> {
         let key = (kernel.to_string(), kind);
-        {
-            let entries = self.entries.read();
-            if let Some(e) = entries.get(&key) {
-                if e.runs >= MIN_RUNS {
-                    return Some(SimDuration::from_nanos(e.ema_nanos as u64));
-                }
-            }
-        }
-        self.seeds
-            .read()
-            .get(&key)
-            .map(|&n| SimDuration::from_nanos(n as u64))
+        let entry = self.entries.read().get(&key).copied();
+        let seed = self.seeds.read().get(&key).copied();
+        blend(entry, seed).map(|n| SimDuration::from_nanos(n as u64))
     }
 
     /// The warm observed EMA only — `None` while the key is cold, even
@@ -149,6 +178,56 @@ impl ProfileDb {
         self.seed_displacements.load(Ordering::Relaxed)
     }
 
+    /// How many observations have recalibrated an already-warm key.
+    /// Feeds the `haocl_profile_recalibrations_total` metric.
+    pub fn recalibrations(&self) -> u64 {
+        self.recalibrations.load(Ordering::Relaxed)
+    }
+
+    /// Rolling mean and dispersion for a warm key — the window the drift
+    /// detector's z-score/ratio tests are measured against. `None` while
+    /// cold.
+    pub fn stats(&self, kernel: &str, kind: DeviceKind) -> Option<ProfileStats> {
+        self.entries
+            .read()
+            .get(&(kernel.to_string(), kind))
+            .filter(|e| e.runs >= MIN_RUNS)
+            .map(|e| ProfileStats {
+                runs: e.runs,
+                mean: SimDuration::from_nanos(e.ema_nanos as u64),
+                std_dev: SimDuration::from_nanos(e.var_nanos2.max(0.0).sqrt() as u64),
+            })
+    }
+
+    /// Every device class with a *warm* observation of `kernel`, with its
+    /// observed EMA. This is the raw material the compute-currency table
+    /// derives device-class exchange rates from.
+    pub fn warm_observations(&self, kernel: &str) -> Vec<(DeviceKind, SimDuration)> {
+        let mut out: Vec<(DeviceKind, SimDuration)> = self
+            .entries
+            .read()
+            .iter()
+            .filter(|((k, _), e)| k == kernel && e.runs >= MIN_RUNS)
+            .map(|((_, kind), e)| (*kind, SimDuration::from_nanos(e.ema_nanos as u64)))
+            .collect();
+        out.sort_by_key(|(kind, _)| format!("{kind:?}"));
+        out
+    }
+
+    /// Every kernel name with at least one warm observation, sorted.
+    pub fn warm_kernels(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .entries
+            .read()
+            .iter()
+            .filter(|(_, e)| e.runs >= MIN_RUNS)
+            .map(|((k, _), _)| k.clone())
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
     /// Every `(kernel, device class)` key the database knows about —
     /// observed or merely seeded — with run counts and all three
     /// prediction views, sorted by kernel then device class.
@@ -161,15 +240,17 @@ impl ProfileDb {
         keys.dedup();
         keys.into_iter()
             .map(|key| {
-                let e = entries.get(&key).copied().unwrap_or_default();
-                let observed =
-                    (e.runs >= MIN_RUNS).then(|| SimDuration::from_nanos(e.ema_nanos as u64));
-                let seed = seeds.get(&key).map(|&n| SimDuration::from_nanos(n as u64));
+                let e = entries.get(&key).copied();
+                let seed_nanos = seeds.get(&key).copied();
+                let entry = e.unwrap_or_default();
+                let observed = (entry.runs >= MIN_RUNS)
+                    .then(|| SimDuration::from_nanos(entry.ema_nanos as u64));
+                let seed = seed_nanos.map(|n| SimDuration::from_nanos(n as u64));
                 ProfileSnapshotEntry {
-                    prediction: observed.or(seed),
+                    prediction: blend(e, seed_nanos).map(|n| SimDuration::from_nanos(n as u64)),
                     kernel: key.0,
                     kind: key.1,
-                    runs: e.runs,
+                    runs: entry.runs,
                     observed,
                     seed,
                 }
@@ -200,6 +281,21 @@ impl ProfileDb {
         self.entries.write().clear();
         self.seeds.write().clear();
         self.seed_displacements.store(0, Ordering::Relaxed);
+        self.recalibrations.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The seed-decay blend behind [`ProfileDb::predict`]: cold keys answer
+/// from the seed alone; warm keys mix the seed in with geometrically
+/// vanishing weight.
+fn blend(entry: Option<Entry>, seed: Option<f64>) -> Option<f64> {
+    match (entry.filter(|e| e.runs >= MIN_RUNS), seed) {
+        (Some(e), Some(s)) => {
+            let w = SEED_DECAY.powi((e.runs - MIN_RUNS + 1).min(64) as i32);
+            Some(w * s + (1.0 - w) * e.ema_nanos)
+        }
+        (Some(e), None) => Some(e.ema_nanos),
+        (None, s) => s,
     }
 }
 
@@ -299,7 +395,7 @@ mod tests {
     }
 
     #[test]
-    fn seed_predicts_until_observations_warm() {
+    fn seed_predicts_until_observations_warm_then_decays() {
         let db = ProfileDb::new();
         db.seed("k", DeviceKind::Gpu, SimDuration::from_nanos(500));
         assert_eq!(
@@ -313,11 +409,76 @@ mod tests {
             db.predict("k", DeviceKind::Gpu),
             Some(SimDuration::from_nanos(500))
         );
-        // Warm profile displaces the seed.
+        // Warm profile blends: the seed still carries half the weight at
+        // the trust threshold…
         db.record("k", DeviceKind::Gpu, SimDuration::from_nanos(100));
         assert_eq!(
             db.predict("k", DeviceKind::Gpu),
-            Some(SimDuration::from_nanos(100))
+            Some(SimDuration::from_nanos(300))
         );
+        // …then decays geometrically toward the observed EMA.
+        db.record("k", DeviceKind::Gpu, SimDuration::from_nanos(100));
+        assert_eq!(
+            db.predict("k", DeviceKind::Gpu),
+            Some(SimDuration::from_nanos(200))
+        );
+        for _ in 0..20 {
+            db.record("k", DeviceKind::Gpu, SimDuration::from_nanos(100));
+        }
+        let p = db.predict("k", DeviceKind::Gpu).unwrap();
+        assert!(p <= SimDuration::from_nanos(101), "seed fully decayed: {p}");
+    }
+
+    #[test]
+    fn recalibrations_count_warm_updates_only() {
+        let db = ProfileDb::new();
+        db.record("k", DeviceKind::Gpu, SimDuration::from_nanos(100));
+        db.record("k", DeviceKind::Gpu, SimDuration::from_nanos(100));
+        assert_eq!(db.recalibrations(), 0, "warm-up records are not recals");
+        db.record("k", DeviceKind::Gpu, SimDuration::from_nanos(120));
+        db.record("k", DeviceKind::Gpu, SimDuration::from_nanos(90));
+        assert_eq!(db.recalibrations(), 2);
+        db.clear();
+        assert_eq!(db.recalibrations(), 0);
+    }
+
+    #[test]
+    fn stats_expose_rolling_dispersion() {
+        let db = ProfileDb::new();
+        assert_eq!(db.stats("k", DeviceKind::Gpu), None);
+        for _ in 0..8 {
+            db.record("k", DeviceKind::Gpu, SimDuration::from_nanos(1000));
+        }
+        let steady = db.stats("k", DeviceKind::Gpu).unwrap();
+        assert_eq!(steady.mean, SimDuration::from_nanos(1000));
+        assert_eq!(
+            steady.std_dev,
+            SimDuration::ZERO,
+            "constant observations have no spread"
+        );
+        db.record("k", DeviceKind::Gpu, SimDuration::from_nanos(2000));
+        let jolted = db.stats("k", DeviceKind::Gpu).unwrap();
+        assert!(jolted.std_dev > SimDuration::ZERO);
+        assert!(jolted.mean > steady.mean);
+    }
+
+    #[test]
+    fn warm_observations_list_kinds_that_share_a_kernel() {
+        let db = ProfileDb::new();
+        for _ in 0..2 {
+            db.record("k", DeviceKind::Gpu, SimDuration::from_nanos(100));
+            db.record("k", DeviceKind::Cpu, SimDuration::from_nanos(400));
+        }
+        db.record("k", DeviceKind::Fpga, SimDuration::from_nanos(999));
+        let warm = db.warm_observations("k");
+        assert_eq!(
+            warm,
+            vec![
+                (DeviceKind::Cpu, SimDuration::from_nanos(400)),
+                (DeviceKind::Gpu, SimDuration::from_nanos(100)),
+            ],
+            "the single FPGA run is still cold"
+        );
+        assert_eq!(db.warm_kernels(), vec!["k".to_string()]);
     }
 }

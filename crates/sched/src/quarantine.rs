@@ -26,6 +26,34 @@ struct NodeHealth {
     /// [`QuarantineTracker::observe_epoch`]).
     last_epoch: u32,
     quarantined: bool,
+    /// Advisory sub-healthy flag set by the drift detector: the node is
+    /// slower than its own baseline but still functional. Degraded
+    /// candidates are down-weighted by the placement policies, never
+    /// removed from the candidate set.
+    degraded: bool,
+}
+
+/// A node's overall health verdict, worst-first when combined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeCondition {
+    /// No strikes against the node.
+    Healthy,
+    /// Advisory: the drift detector sees the node running sub-healthy;
+    /// its candidates are down-weighted, not banned.
+    Degraded,
+    /// Hard: the node is out of the candidate set while alternatives
+    /// exist.
+    Quarantined,
+}
+
+impl std::fmt::Display for NodeCondition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            NodeCondition::Healthy => "healthy",
+            NodeCondition::Degraded => "degraded",
+            NodeCondition::Quarantined => "quarantined",
+        })
+    }
 }
 
 /// Per-node strike counter with a quarantine threshold.
@@ -135,6 +163,57 @@ impl QuarantineTracker {
             health.quarantined = false;
         }
     }
+
+    /// Sets the advisory `Degraded` flag on a node (drift-detector
+    /// verdict). Returns `true` on the transition, `false` if the node
+    /// was already degraded.
+    pub fn mark_degraded(&self, node: NodeId) -> bool {
+        let mut nodes = self.nodes.lock();
+        let health = nodes.entry(node.raw()).or_default();
+        let transition = !health.degraded;
+        health.degraded = true;
+        transition
+    }
+
+    /// Clears the advisory `Degraded` flag. Returns `true` on the
+    /// transition.
+    pub fn clear_degraded(&self, node: NodeId) -> bool {
+        let mut nodes = self.nodes.lock();
+        let Some(health) = nodes.get_mut(&node.raw()) else {
+            return false;
+        };
+        let transition = health.degraded;
+        health.degraded = false;
+        transition
+    }
+
+    /// Whether the node currently carries the advisory `Degraded` flag.
+    pub fn is_degraded(&self, node: NodeId) -> bool {
+        self.nodes
+            .lock()
+            .get(&node.raw())
+            .is_some_and(|h| h.degraded)
+    }
+
+    /// The node's overall condition, worst verdict first: a hard
+    /// quarantine outranks the advisory degraded flag.
+    pub fn condition(&self, node: NodeId) -> NodeCondition {
+        match self.nodes.lock().get(&node.raw()) {
+            Some(h) if h.quarantined => NodeCondition::Quarantined,
+            Some(h) if h.degraded => NodeCondition::Degraded,
+            _ => NodeCondition::Healthy,
+        }
+    }
+
+    /// The degraded (but not quarantined) nodes, ascending by id.
+    pub fn degraded(&self) -> Vec<NodeId> {
+        self.nodes
+            .lock()
+            .iter()
+            .filter(|(_, h)| h.degraded && !h.quarantined)
+            .map(|(id, _)| NodeId::new(*id))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -186,6 +265,30 @@ mod tests {
         let m = NodeId::new(2);
         assert!(t.observe_epoch(m, 5));
         assert_eq!(t.strikes(m), 5);
+    }
+
+    #[test]
+    fn degraded_is_advisory_and_orthogonal_to_quarantine() {
+        let t = QuarantineTracker::new(2);
+        let n = NodeId::new(3);
+        assert_eq!(t.condition(n), NodeCondition::Healthy);
+        assert!(t.mark_degraded(n), "first mark is a transition");
+        assert!(!t.mark_degraded(n), "re-marking is not");
+        assert_eq!(t.condition(n), NodeCondition::Degraded);
+        assert_eq!(t.degraded(), vec![n]);
+        // Degradation does not quarantine and does not add strikes.
+        assert!(!t.is_quarantined(n));
+        assert_eq!(t.strikes(n), 0);
+        // A hard quarantine outranks the advisory flag…
+        t.record_failure(n);
+        t.record_failure(n);
+        assert_eq!(t.condition(n), NodeCondition::Quarantined);
+        assert!(t.degraded().is_empty(), "quarantined nodes drop out");
+        // …and clearing the advisory flag leaves quarantine intact.
+        assert!(t.clear_degraded(n));
+        assert!(!t.clear_degraded(n));
+        assert!(t.is_quarantined(n));
+        assert_eq!(t.condition(n), NodeCondition::Quarantined);
     }
 
     #[test]
