@@ -1,0 +1,125 @@
+//! Elastic-fleet soak with CI gates.
+//!
+//! ```text
+//! cargo run --release -p haocl-bench --bin autoscale_soak
+//! cargo run --release -p haocl-bench --bin autoscale_soak -- --rounds 6 \
+//!     --json out.json --metrics metrics.prom --audit audit.log --top top.json
+//! ```
+//!
+//! A fleet that starts as one GPU node rides repeated traffic spikes
+//! and idle valleys: each spike must scale the fleet up within the
+//! reaction budget (the spike's tail then rides the grown fleet), each
+//! valley must drain the burst node back out while it holds live
+//! state. The process exits nonzero when any gate fails:
+//!
+//! * **reaction** — the autoscaler answers a sustained spike within its
+//!   tick budget (hysteresis + cooldown + one tick of slack);
+//! * **consistency** — after every scale-down drain, the output buffer
+//!   is byte-identical to the reference at the completed launch count;
+//! * **quarantine** — `haocl_quarantines_total` stays 0: every epoch
+//!   bump in this soak is a voluntary departure, never a failure. This
+//!   gate lifts when `HAOCL_CHAOS_SPEC` arms fault injection — there, a
+//!   crash racing a drain *should* book a strike, and the bar is that
+//!   recovery plus drain retries keep the other gates green.
+//!
+//! `--top` writes the embedded `haocl-top --report json` snapshot — the
+//! artifact the nightly `autoscale-soak` CI job uploads.
+
+use haocl_bench::autoscale_soak;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let arg_after = |flag: &str| {
+        args.iter().position(|a| a == flag).map(|i| {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("{flag} requires a value");
+                std::process::exit(2);
+            })
+        })
+    };
+    let rounds: usize = arg_after("--rounds")
+        .map(|v| v.parse().expect("--rounds takes a number"))
+        .unwrap_or(6);
+    let json_path = arg_after("--json");
+    let metrics_path = arg_after("--metrics");
+    let audit_path = arg_after("--audit");
+    let top_path = arg_after("--top");
+
+    println!("Autoscale soak — 1-GPU seed fleet, {rounds} spike/valley rounds");
+    println!();
+    let report = autoscale_soak::run(rounds).expect("autoscale soak run");
+
+    println!(
+        "scale-ups: {}/{}   scale-downs: {}/{}   worst reaction: {} ticks",
+        report.scale_ups,
+        report.rounds,
+        report.scale_downs,
+        report.rounds,
+        report.worst_reaction_ticks
+    );
+    println!(
+        "output: {}   quarantines: {}   launches: {}",
+        if report.consistent {
+            "byte-identical"
+        } else {
+            "MISMATCH"
+        },
+        report.quarantines,
+        report.launches
+    );
+
+    let write_to = |path: &Option<String>, body: &str| {
+        if let Some(path) = path {
+            if let Some(dir) = std::path::Path::new(path).parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir).expect("create output directory");
+                }
+            }
+            std::fs::write(path, body).expect("write output file");
+            println!("wrote {path}");
+        }
+    };
+    write_to(&metrics_path, &report.metrics);
+    write_to(&audit_path, &report.audit);
+    write_to(&top_path, &format!("{}\n", report.top_json));
+    if json_path.is_some() {
+        let violations: Vec<String> = report
+            .violations
+            .iter()
+            .map(|v| format!("    \"{}\"", v.replace('"', "'")))
+            .collect();
+        let body = format!(
+            concat!(
+                "{{\n  \"soak\": \"autoscale\",\n  \"rounds\": {},\n",
+                "  \"scale_ups\": {},\n  \"scale_downs\": {},\n",
+                "  \"worst_reaction_ticks\": {},\n  \"consistent\": {},\n",
+                "  \"quarantines\": {},\n  \"launches\": {},\n",
+                "  \"violations\": [\n{}\n  ]\n}}\n"
+            ),
+            report.rounds,
+            report.scale_ups,
+            report.scale_downs,
+            report.worst_reaction_ticks,
+            report.consistent,
+            report.quarantines,
+            report.launches,
+            if violations.is_empty() {
+                String::new()
+            } else {
+                violations.join(",\n")
+            },
+        );
+        write_to(&json_path, &body);
+    }
+
+    if report.violations.is_empty() {
+        println!();
+        println!("all gates passed");
+    } else {
+        eprintln!();
+        for v in &report.violations {
+            eprintln!("GATE VIOLATION: {v}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1433,6 +1433,265 @@ pub mod health_soak {
     }
 }
 
+/// Elastic-fleet soak: repeated traffic spikes drive the autoscaler up,
+/// idle valleys drive it back down through graceful drains, with CI
+/// gates on reaction latency, post-drain digest exactness, and zero
+/// quarantines under pure voluntary departures.
+pub mod autoscale_soak {
+    use super::*;
+    use haocl::auto::AutoScheduler;
+    use haocl::{
+        AutoscaleConfig, Autoscaler, Buffer, CommandQueue, Context, Decision, DeviceType,
+        DrainOptions, Kernel, MemFlags, MembershipState, NodeSpec, Program,
+    };
+    use haocl_kernel::{CostModel, NdRange};
+    use haocl_obs::FleetSnapshot;
+    use haocl_sched::policies;
+
+    /// Lanes (i32) in the shared output buffer.
+    const LANES: usize = 64;
+
+    /// Backlog depth of one traffic spike (well above `high_depth`).
+    const SPIKE: usize = 10;
+
+    /// Policy ticks the scaler may take to react to a sustained spike
+    /// (sustain streak + post-action cooldown + one tick of slack).
+    const REACTION_BUDGET: usize = 6;
+
+    /// Same order-sensitive churn step as the other soaks.
+    const CHURN_SRC: &str =
+        "__kernel void churn(__global int* a) { int i = get_global_id(0); a[i] = a[i] * 3 + i; }";
+
+    /// Reference output after `k` applications to a zeroed buffer.
+    fn churn_ref(k: u64) -> Vec<u8> {
+        let mut lanes = [0i32; LANES];
+        for _ in 0..k {
+            for (i, v) in lanes.iter_mut().enumerate() {
+                *v = v.wrapping_mul(3).wrapping_add(i as i32);
+            }
+        }
+        lanes.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    /// Everything one elastic soak produced.
+    #[derive(Debug, Clone)]
+    pub struct AutoscaleReport {
+        /// Spike/valley rounds driven.
+        pub rounds: usize,
+        /// Scale-ups actuated (gate: one per round).
+        pub scale_ups: usize,
+        /// Scale-downs actuated (gate: one per round).
+        pub scale_downs: usize,
+        /// Worst ticks-to-ScaleUp across rounds (gate: ≤ budget).
+        pub worst_reaction_ticks: usize,
+        /// Total launches completed.
+        pub launches: u64,
+        /// Whether every post-drain readback was byte-identical to the
+        /// reference at the completed launch count.
+        pub consistent: bool,
+        /// Final `haocl_quarantines_total` sum (gate: 0 — every epoch
+        /// bump in this soak is a voluntary drain).
+        pub quarantines: u64,
+        /// Gate violations; empty means the run passes.
+        pub violations: Vec<String>,
+        /// Prometheus text-format metrics dump.
+        pub metrics: String,
+        /// Scheduler decision audit log.
+        pub audit: String,
+        /// The `haocl-top --report json` snapshot of the final state.
+        pub top_json: String,
+    }
+
+    /// Runs `rounds` spike/valley cycles on a fleet that starts as one
+    /// GPU node. Chaos opt-in via `HAOCL_CHAOS_SPEC` applies as for
+    /// every cluster launch; under chaos the soak pins the data plane to
+    /// the host relay (as the tenant soak does, for replayable
+    /// lineages), retries drains that a fault schedule interrupts, and
+    /// drops the quarantine gate — a crash racing a drain *should* book
+    /// a strike.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cluster bring-up, launch, join and drain failures
+    /// (under chaos, recovery and drain retries are expected to mask
+    /// them — a surfaced failure is a real finding).
+    pub fn run(rounds: usize) -> Result<AutoscaleReport, Error> {
+        let platform = Platform::cluster(&ClusterConfig::gpu_cluster(1), registry_with_all())?;
+        platform.set_tracing(true);
+        let chaotic = std::env::var("HAOCL_CHAOS_SPEC").is_ok();
+        if chaotic {
+            platform.set_peer_transfers(false);
+        }
+        let ctx = Context::new(&platform, &platform.devices(DeviceType::All))?;
+        let mut auto = AutoScheduler::new(&ctx, Box::new(policies::RoundRobin::new()))?;
+        let mut scaler = Autoscaler::new(AutoscaleConfig {
+            high_depth: 4.0,
+            low_depth: 1.0,
+            sustain_ticks: 2,
+            cooldown_ticks: 2,
+            min_nodes: 1,
+            max_nodes: 3,
+        });
+        let program = Program::from_source(&ctx, CHURN_SRC);
+        program.build()?;
+        let kernel = Kernel::new(&program, "churn")?;
+        kernel.set_cost(CostModel::new().flops(1e9).bytes_read(4.0 * LANES as f64));
+        let buffer = Buffer::new(&ctx, MemFlags::READ_WRITE, 4 * LANES as u64)?;
+        kernel.set_arg_buffer(0, &buffer)?;
+        let staging = |auto: &AutoScheduler| -> CommandQueue {
+            auto.queues()
+                .iter()
+                .find(|q| {
+                    platform.node_membership(q.device().node_id()) == Some(MembershipState::Active)
+                })
+                .expect("at least one active node")
+                .clone()
+        };
+
+        let mut violations = Vec::new();
+        let mut launches = 0u64;
+        let mut scale_ups = 0usize;
+        let mut scale_downs = 0usize;
+        let mut worst_reaction_ticks = 0usize;
+        let mut consistent = true;
+        for round in 0..rounds {
+            // Spike: a backlog far above `high_depth` piles onto the
+            // shrunken fleet; the queue-depth gauge carries it to the
+            // scaler, which must react within the budget.
+            for _ in 0..SPIKE {
+                auto.launch(&kernel, NdRange::linear(LANES as u64, 1))?;
+                launches += 1;
+            }
+            let mut reacted = false;
+            for tick in 1..=REACTION_BUDGET {
+                if platform.autoscale_tick(&mut scaler) == Decision::ScaleUp {
+                    worst_reaction_ticks = worst_reaction_ticks.max(tick);
+                    reacted = true;
+                    break;
+                }
+            }
+            if !reacted {
+                violations.push(format!(
+                    "reaction: round {round} spike not answered within {REACTION_BUDGET} ticks"
+                ));
+                for q in auto.queues() {
+                    q.finish();
+                }
+                continue;
+            }
+            let spec = NodeSpec {
+                name: format!("burst{round}"),
+                addr: format!("10.0.8.{}:7100", round + 1),
+                devices: vec![DeviceKind::Gpu],
+            };
+            let burst = platform.add_node(&spec)?;
+            auto.sync_membership()?;
+            scale_ups += 1;
+            // The tail of the spike rides the grown fleet: round-robin
+            // now spreads real launches (and the buffer's resident
+            // bytes) onto the new node before the valley takes it back
+            // out — the drain below migrates state that matters.
+            for _ in 0..SPIKE {
+                auto.launch(&kernel, NdRange::linear(LANES as u64, 1))?;
+                launches += 1;
+            }
+            for q in auto.queues() {
+                q.finish();
+            }
+
+            // Valley: the fleet idles; the scaler must ask for a
+            // scale-down, and the burst node drains cleanly.
+            let mut down = false;
+            for _ in 0..REACTION_BUDGET {
+                if platform.autoscale_tick(&mut scaler) == Decision::ScaleDown {
+                    down = true;
+                    break;
+                }
+            }
+            if !down {
+                violations.push(format!(
+                    "scale-down: round {round} idle fleet held within {REACTION_BUDGET} ticks"
+                ));
+                continue;
+            }
+            // The valley retires the elastic node the spike added: the
+            // seed node is the fleet's stable anchor, the burst node is
+            // the capacity being handed back — usually while holding
+            // the newest bytes, so the drain migrates state that
+            // matters. A fault schedule can kill the very node being
+            // drained; the drain leaves it Draining (retryable) and the
+            // retry rides failover replay. On a clean network one
+            // attempt must suffice.
+            let victim = burst;
+            let mut drained = false;
+            for _ in 0..3 {
+                match platform.drain_node(victim, DrainOptions::default()) {
+                    Ok(_) => {
+                        drained = true;
+                        break;
+                    }
+                    Err(e) if chaotic => {
+                        assert_eq!(
+                            platform.node_membership(victim),
+                            Some(MembershipState::Draining),
+                            "failed drain of {victim:?} did not leave it Draining: {e}"
+                        );
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            if !drained {
+                // Capacity is wedged at the ceiling; later rounds would
+                // fail the reaction gate for the wrong reason. End the
+                // soak early — partial counts still print.
+                break;
+            }
+            scale_downs += 1;
+
+            // Post-drain digest: the shrunken fleet must still hold the
+            // exact bytes of every completed launch.
+            let mut readback = vec![0u8; 4 * LANES];
+            let q = staging(&auto);
+            q.enqueue_read_buffer(&buffer, 0, &mut readback)?;
+            q.finish();
+            if readback != churn_ref(launches) {
+                consistent = false;
+                violations.push(format!(
+                    "consistency: round {round} post-drain digest does not match {launches} \
+                     applications"
+                ));
+            }
+        }
+
+        let metrics = platform.render_metrics();
+        let quarantines: u64 = haocl_obs::top::parse_metrics(&metrics)
+            .iter()
+            .filter(|s| s.name == haocl_obs::names::QUARANTINES)
+            .map(|s| s.value as u64)
+            .sum();
+        if quarantines != 0 && !chaotic {
+            violations.push(format!(
+                "quarantine: {quarantines} strike(s) booked under pure voluntary drains"
+            ));
+        }
+        let audit = platform.render_audit_log();
+        let top_json = FleetSnapshot::from_text(&metrics, &audit).to_json();
+        Ok(AutoscaleReport {
+            rounds,
+            scale_ups,
+            scale_downs,
+            worst_reaction_ticks,
+            launches,
+            consistent,
+            quarantines,
+            violations,
+            metrics,
+            audit,
+            top_json,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1606,5 +1865,21 @@ mod tests {
                 blind.relay_bytes
             );
         }
+    }
+
+    #[test]
+    fn autoscale_soak_passes_all_gates() {
+        let report = autoscale_soak::run(2).unwrap();
+        assert!(
+            report.violations.is_empty(),
+            "gate violations: {:?}",
+            report.violations
+        );
+        assert_eq!((report.scale_ups, report.scale_downs), (2, 2));
+        assert!(report.consistent);
+        assert_eq!(report.quarantines, 0);
+        // The haocl-top artifact carries the elastic columns.
+        assert!(report.top_json.contains("\"autoscale_events\":4"));
+        assert!(report.top_json.contains("\"state\":\"departed\""));
     }
 }

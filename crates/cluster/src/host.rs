@@ -44,12 +44,15 @@
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use haocl_net::{ConnSender, Fabric, NetError};
-use haocl_obs::{names, Hub, TraceCtx};
+use haocl_obs::{
+    names, CandidateInfo, FusionDecision, Hub, PlacementAudit, PredictionSource, TraceCtx,
+    DEFAULT_TENANT,
+};
 use haocl_proto::ids::{IdAllocator, NodeId, RequestId, UserId};
 use haocl_proto::messages::{
     ApiCall, ApiReply, DeviceDescriptor, Envelope, Request, Response, WireSpan,
@@ -57,7 +60,7 @@ use haocl_proto::messages::{
 use haocl_proto::wire::{decode_from_slice, encode_to_vec};
 use haocl_sim::{Clock, SimTime};
 
-use crate::config::ClusterConfig;
+use crate::config::{ClusterConfig, NodeSpec};
 use crate::error::ClusterError;
 
 /// How often demultiplexer threads check the stop flag.
@@ -116,6 +119,50 @@ impl Default for RecoveryPolicy {
             max_attempts: 4,
             failover: true,
         }
+    }
+}
+
+/// Where a logical node stands in the cluster's membership lifecycle.
+///
+/// Nodes move strictly forward: `Joining → Active → Draining → Departed`
+/// (a failed handshake jumps straight from `Joining` to `Departed`).
+/// Departed slots persist as tombstones — device indices and [`NodeId`]s
+/// allocated while the node was alive stay stable forever — and a node
+/// that rejoins under the same name gets a *fresh* slot and `NodeId`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MembershipState {
+    /// Connected; the hello/device-mapping handshake is in flight.
+    Joining,
+    /// Fully registered; eligible for placements and failover targets.
+    Active,
+    /// Voluntarily leaving: no new placements land here, resident
+    /// buffers are migrating off, in-flight work still completes.
+    Draining,
+    /// Gone from the cluster — voluntarily (after a drain) or because a
+    /// join handshake failed. Terminal.
+    Departed,
+}
+
+impl MembershipState {
+    /// The value the `haocl_node_state` gauge carries for this state.
+    pub fn gauge_value(self) -> i64 {
+        match self {
+            MembershipState::Joining => 0,
+            MembershipState::Active => 1,
+            MembershipState::Draining => 2,
+            MembershipState::Departed => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for MembershipState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            MembershipState::Joining => "Joining",
+            MembershipState::Active => "Active",
+            MembershipState::Draining => "Draining",
+            MembershipState::Departed => "Departed",
+        })
     }
 }
 
@@ -337,6 +384,10 @@ struct NodeLink {
     /// Shared observability hub (plane metrics; gated on its enable
     /// flag so the hot path pays one atomic load when tracing is off).
     obs: Arc<Hub>,
+    /// Set when the node retires voluntarily: the demultiplexer threads
+    /// exit quietly instead of counting the (expected) disconnect as a
+    /// link failure.
+    retired: Arc<AtomicBool>,
 }
 
 impl NodeLink {
@@ -464,21 +515,35 @@ struct JournalEntry {
     call: ApiCall,
 }
 
+/// Everything the host tracks about one logical node, consolidated so
+/// membership can grow at runtime: the slot vector is append-only (a
+/// departed node leaves a tombstone slot), so slot index, [`NodeId`] and
+/// physical link index are one and the same, and all stay stable.
+struct NodeSlot {
+    link: NodeLink,
+    /// Current physical route (identity until failover).
+    route: Mutex<RouteState>,
+    /// Ordered journal of state-establishing calls, replayed onto a
+    /// failover target to reconstruct the lost node's buffers, programs
+    /// and kernels. Recorded only while recovery is enabled.
+    journal: Mutex<Vec<JournalEntry>>,
+    /// Ids of calls currently in flight. Failover replay skips these:
+    /// their own waiters retransmit them (under the original id, so the
+    /// node journal can dedup), and replaying them under a fresh id as
+    /// well would execute them twice.
+    inflight: Mutex<HashSet<RequestId>>,
+    /// Where the node stands in the membership lifecycle.
+    membership: Mutex<MembershipState>,
+    /// How many of this node's route-epoch bumps were *voluntary*
+    /// (drain retirements). Quarantine logic subtracts these from the
+    /// route epoch so a clean departure never reads as a failure.
+    voluntary_epochs: AtomicU32,
+}
+
 /// State shared between the runtime, its pending calls and recovery.
 struct HostInner {
-    links: Vec<NodeLink>,
-    /// Logical node → current physical route (identity until failover).
-    routes: Vec<Mutex<RouteState>>,
-    /// Per-logical-node ordered journal of state-establishing calls,
-    /// replayed onto a failover target to reconstruct the lost node's
-    /// buffers, programs and kernels. Recorded only while recovery is
-    /// enabled.
-    journals: Vec<Mutex<Vec<JournalEntry>>>,
-    /// Ids of calls currently in flight per logical node. Failover
-    /// replay skips these: their own waiters retransmit them (under the
-    /// original id, so the node journal can dedup), and replaying them
-    /// under a fresh id as well would execute them twice.
-    inflight: Vec<Mutex<HashSet<RequestId>>>,
+    /// One slot per logical node, append-only (see [`NodeSlot`]).
+    slots: RwLock<Vec<Arc<NodeSlot>>>,
     recovery: Mutex<Option<RecoveryPolicy>>,
     request_ids: IdAllocator,
     clock: Clock,
@@ -490,21 +555,46 @@ impl HostInner {
         *self.recovery.lock().expect("recovery policy poisoned")
     }
 
+    /// Clones the slot out of the registry: callers never hold the
+    /// registry lock across blocking sends or waits.
+    fn slot(&self, index: usize) -> Option<Arc<NodeSlot>> {
+        self.slots
+            .read()
+            .expect("slots poisoned")
+            .get(index)
+            .cloned()
+    }
+
+    fn slot_count(&self) -> usize {
+        self.slots.read().expect("slots poisoned").len()
+    }
+
+    fn membership_of(&self, index: usize) -> Option<MembershipState> {
+        self.slot(index)
+            .map(|s| *s.membership.lock().expect("membership poisoned"))
+    }
+
     fn route_of(&self, node: NodeId) -> (usize, u32) {
-        let route = self.routes[node.raw() as usize]
-            .lock()
-            .expect("route poisoned");
+        let slot = self
+            .slot(node.raw() as usize)
+            .expect("route of unknown node");
+        let route = slot.route.lock().expect("route poisoned");
         (route.physical, route.epoch)
     }
 
     fn link_alive(&self, physical: usize) -> bool {
-        self.links[physical]
+        let Some(slot) = self.slot(physical) else {
+            return false;
+        };
+        let alive = slot
+            .link
             .shared
             .state
             .lock()
             .expect("link state poisoned")
             .dead
-            .is_none()
+            .is_none();
+        alive
     }
 
     /// Moves `node`'s route to a surviving physical link, replaying its
@@ -513,7 +603,10 @@ impl HostInner {
     /// route, the current route is returned without replaying again.
     fn failover(&self, node: NodeId, observed_epoch: u32) -> Result<(usize, u32), ClusterError> {
         let index = node.raw() as usize;
-        let mut route = self.routes[index].lock().expect("route poisoned");
+        let slot = self
+            .slot(index)
+            .ok_or(ClusterError::Net(NetError::Disconnected))?;
+        let mut route = slot.route.lock().expect("route poisoned");
         if route.epoch != observed_epoch {
             return Ok((route.physical, route.epoch));
         }
@@ -523,18 +616,25 @@ impl HostInner {
         }
         let policy = self.recovery().unwrap_or_default();
         loop {
-            let Some(candidate) =
-                (0..self.links.len()).find(|p| !route.burned.contains(p) && self.link_alive(*p))
-            else {
+            // Only Active members host failover traffic: a Joining node
+            // has no verified inventory yet, a Draining node is on its
+            // way out, and a Departed slot is a tombstone.
+            let Some(candidate) = (0..self.slot_count()).find(|p| {
+                !route.burned.contains(p)
+                    && self.membership_of(*p) == Some(MembershipState::Active)
+                    && self.link_alive(*p)
+            }) else {
                 return Err(ClusterError::Net(NetError::Disconnected));
             };
             match self.replay_journal(index, candidate, &policy) {
                 Ok(()) => {
+                    let from = self.slot(failed).map(|s| s.link.name.clone());
+                    let to = self.slot(candidate).map(|s| s.link.name.clone());
                     self.obs.metrics.inc_counter(
                         names::FAILOVERS,
                         &[
-                            ("from", self.links[failed].name.as_str()),
-                            ("to", self.links[candidate].name.as_str()),
+                            ("from", from.as_deref().unwrap_or("?")),
+                            ("to", to.as_deref().unwrap_or("?")),
                         ],
                         1,
                     );
@@ -560,14 +660,11 @@ impl HostInner {
         candidate: usize,
         policy: &RecoveryPolicy,
     ) -> Result<(), ClusterError> {
-        let entries: Vec<JournalEntry> = self.journals[index]
-            .lock()
-            .expect("journal poisoned")
-            .clone();
-        let inflight: HashSet<RequestId> = self.inflight[index]
-            .lock()
-            .expect("inflight poisoned")
-            .clone();
+        let slot = self
+            .slot(index)
+            .ok_or(ClusterError::Net(NetError::Disconnected))?;
+        let entries: Vec<JournalEntry> = slot.journal.lock().expect("journal poisoned").clone();
+        let inflight: HashSet<RequestId> = slot.inflight.lock().expect("inflight poisoned").clone();
         for entry in entries {
             // In-flight calls re-execute through their own waiters'
             // retransmissions (same id, deduped by the node journal);
@@ -619,7 +716,10 @@ impl HostInner {
         call: ApiCall,
         policy: &RecoveryPolicy,
     ) -> Result<CallOutcome, ClusterError> {
-        let link = &self.links[physical];
+        let slot = self
+            .slot(physical)
+            .ok_or(ClusterError::Net(NetError::Disconnected))?;
+        let link = &slot.link;
         let id = RequestId::new(self.request_ids.next());
         let plane = plane_of(&call);
         for attempt in 0..=policy.max_attempts.min(6) {
@@ -729,7 +829,11 @@ impl PendingCall {
     }
 
     fn wait_plain(&mut self) -> Result<CallOutcome, ClusterError> {
-        let shared = Arc::clone(&self.inner.links[self.physical].shared);
+        let Some(slot) = self.inner.slot(self.physical) else {
+            self.taken = true;
+            return Err(ClusterError::Net(NetError::Disconnected));
+        };
+        let shared = Arc::clone(&slot.link.shared);
         match shared.claim(self.request.id, &self.inner.clock, None) {
             Claim::Outcome(result) => {
                 self.taken = true;
@@ -749,7 +853,11 @@ impl PendingCall {
         loop {
             let patience = policy.base_timeout * 2u32.saturating_pow(attempt.min(6));
             let deadline = Instant::now() + patience;
-            let shared = Arc::clone(&self.inner.links[self.physical].shared);
+            let Some(slot) = self.inner.slot(self.physical) else {
+                self.taken = true;
+                return Err(ClusterError::Net(NetError::Disconnected));
+            };
+            let shared = Arc::clone(&slot.link.shared);
             match shared.claim(self.request.id, &self.inner.clock, Some(deadline)) {
                 Claim::Outcome(result) => match result {
                     Err(e) if is_transport(&e) => last_err = e,
@@ -771,7 +879,7 @@ impl PendingCall {
             {
                 self.inner.obs.metrics.inc_counter(
                     names::RETRIES,
-                    &[("node", self.inner.links[self.physical].name.as_str())],
+                    &[("node", slot.link.name.as_str())],
                     1,
                 );
                 continue;
@@ -783,7 +891,7 @@ impl PendingCall {
                 Ok((physical, epoch)) => {
                     if physical != self.physical {
                         // Abandon the entry on the lost route.
-                        if let Ok(mut state) = self.inner.links[self.physical].shared.state.lock() {
+                        if let Ok(mut state) = slot.link.shared.state.lock() {
                             state.pending.remove(&self.request.id);
                         }
                     }
@@ -802,7 +910,11 @@ impl PendingCall {
     /// Retransmits the original request (same id) on the current route,
     /// (re-)registering its pending entry first.
     fn resend(&mut self, attempt: u32) -> Result<(), ClusterError> {
-        let link = &self.inner.links[self.physical];
+        let slot = self
+            .inner
+            .slot(self.physical)
+            .ok_or(ClusterError::Net(NetError::Disconnected))?;
+        let link = &slot.link;
         let plane = plane_of(&self.request.body);
         {
             let mut state = link.shared.state.lock().expect("link state poisoned");
@@ -831,8 +943,11 @@ impl PendingCall {
         if self.taken {
             return None;
         }
-        let shared = &self.inner.links[self.physical].shared;
-        let mut state = shared.state.lock().expect("link state poisoned");
+        let Some(slot) = self.inner.slot(self.physical) else {
+            self.taken = true;
+            return Some(Err(ClusterError::Net(NetError::Disconnected)));
+        };
+        let mut state = slot.link.shared.state.lock().expect("link state poisoned");
         match state.pending.get(&self.request.id) {
             Some(PendingEntry::Done(..)) => {
                 let Some(PendingEntry::Done(result, received_at)) =
@@ -861,12 +976,16 @@ impl PendingCall {
 impl Drop for PendingCall {
     fn drop(&mut self) {
         if !self.taken {
-            if let Ok(mut state) = self.inner.links[self.physical].shared.state.lock() {
-                state.pending.remove(&self.request.id);
+            if let Some(slot) = self.inner.slot(self.physical) {
+                if let Ok(mut state) = slot.link.shared.state.lock() {
+                    state.pending.remove(&self.request.id);
+                }
             }
         }
-        if let Ok(mut inflight) = self.inner.inflight[self.node.raw() as usize].lock() {
-            inflight.remove(&self.request.id);
+        if let Some(slot) = self.inner.slot(self.node.raw() as usize) {
+            if let Ok(mut inflight) = slot.inflight.lock() {
+                inflight.remove(&self.request.id);
+            }
         }
     }
 }
@@ -884,12 +1003,20 @@ pub struct HostRuntime {
     /// handle — the per-tenant submission path tags each wire request
     /// with the tenant's session id (§III-D's "user ID" field).
     user: AtomicU32,
-    devices: Vec<RemoteDevice>,
+    /// The mapped devices, cluster-wide; append-only like the slots, so
+    /// device indices allocated while a node was alive stay stable after
+    /// it departs.
+    devices: RwLock<Vec<RemoteDevice>>,
     /// Session registry: tenants/users submitting through this runtime.
     sessions: crate::session::SessionManager,
+    /// The fabric nodes connect through, kept so membership can grow
+    /// after construction ([`HostRuntime::connect_node`]).
+    fabric: Fabric,
+    /// The host's fabric endpoint name.
+    host_name: String,
     inner: Arc<HostInner>,
     stop: Arc<AtomicBool>,
-    demux_threads: Vec<JoinHandle<()>>,
+    demux_threads: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl HostRuntime {
@@ -907,100 +1034,166 @@ impl HostRuntime {
             .next()
             .unwrap_or(&config.host_addr)
             .to_string();
-        let stop = Arc::new(AtomicBool::new(false));
-        let obs = Arc::new(Hub::new());
-        let mut demux_threads = Vec::new();
-        let mut links = Vec::with_capacity(config.nodes.len());
-        let mut routes = Vec::with_capacity(config.nodes.len());
-        let mut journals = Vec::with_capacity(config.nodes.len());
-        let mut inflight = Vec::with_capacity(config.nodes.len());
-        for (i, spec) in config.nodes.iter().enumerate() {
-            let (msg_tx, msg_rx) = fabric.connect(&host_name, &spec.addr)?.split();
-            let (data_tx, data_rx) = fabric.connect(&host_name, &spec.data_addr())?.split();
-            let shared = Arc::new(LinkShared::new());
-            for (plane, rx) in [(Plane::Control, msg_rx), (Plane::Data, data_rx)] {
-                let shared = Arc::clone(&shared);
-                let stop = Arc::clone(&stop);
-                let obs = Arc::clone(&obs);
-                let node_name = spec.name.clone();
-                demux_threads.push(
-                    std::thread::Builder::new()
-                        .name(format!("haocl-demux-{}-{plane:?}", spec.name))
-                        .spawn(move || demux_loop(rx, plane, shared, stop, obs, node_name))
-                        .expect("spawn demux thread"),
-                );
-            }
-            links.push(NodeLink {
-                name: spec.name.clone(),
-                data_addr: spec.data_addr(),
-                shared,
-                control_queue: Mutex::new(Vec::new()),
-                msg_tx: Mutex::new(msg_tx),
-                data_tx: Mutex::new(data_tx),
-                obs: Arc::clone(&obs),
-            });
-            routes.push(Mutex::new(RouteState {
-                physical: i,
-                epoch: 0,
-                burned: Vec::new(),
-            }));
-            journals.push(Mutex::new(Vec::new()));
-            inflight.push(Mutex::new(HashSet::new()));
-        }
-        let mut runtime = HostRuntime {
+        let runtime = HostRuntime {
             user: AtomicU32::new(1),
-            devices: Vec::new(),
+            devices: RwLock::new(Vec::new()),
             sessions: crate::session::SessionManager::new(),
+            fabric: fabric.clone(),
+            host_name,
             inner: Arc::new(HostInner {
-                links,
-                routes,
-                journals,
-                inflight,
+                slots: RwLock::new(Vec::new()),
                 recovery: Mutex::new(None),
                 request_ids: IdAllocator::new(),
                 clock: fabric.clock().clone(),
-                obs,
+                obs: Arc::new(Hub::new()),
             }),
-            stop,
-            demux_threads,
+            stop: Arc::new(AtomicBool::new(false)),
+            demux_threads: Mutex::new(Vec::new()),
         };
-        for (i, spec) in config.nodes.iter().enumerate() {
-            let node = NodeId::new(i as u32);
-            let outcome = runtime.call(
-                node,
-                ApiCall::Hello {
-                    client: format!("haocl-host/{host_name}"),
-                },
-            )?;
-            match outcome.reply {
-                ApiReply::NodeInfo { devices } => {
-                    for d in devices {
-                        runtime.devices.push(RemoteDevice {
-                            node,
-                            node_name: spec.name.clone(),
-                            device: d.index,
-                            descriptor: d,
-                        });
-                    }
-                }
-                other => {
-                    return Err(ClusterError::UnexpectedReply(format!(
-                        "hello answered with {other:?}"
-                    )));
-                }
-            }
+        for spec in &config.nodes {
+            runtime.connect_node(spec)?;
         }
         Ok(runtime)
     }
 
-    /// The mapped devices, cluster-wide, in `(node, device)` order.
-    pub fn devices(&self) -> &[RemoteDevice] {
-        &self.devices
+    /// Connects a *new* node into the running cluster: dials both
+    /// planes, spawns its demultiplexers, registers a fresh slot (state
+    /// `Joining`), performs the hello/device-mapping handshake, and
+    /// promotes the node to `Active`. Returns the new node's id.
+    ///
+    /// Each join mints a fresh [`NodeId`] and fresh device indices, even
+    /// for a name that served before — a rejoining node is a new member,
+    /// not a resurrection of the old slot.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError`] if the node is unreachable or the handshake
+    /// fails; the slot is left behind as a `Departed` tombstone so ids
+    /// stay stable.
+    pub fn connect_node(&self, spec: &NodeSpec) -> Result<NodeId, ClusterError> {
+        let (msg_tx, msg_rx) = self.fabric.connect(&self.host_name, &spec.addr)?.split();
+        let (data_tx, data_rx) = self
+            .fabric
+            .connect(&self.host_name, &spec.data_addr())?
+            .split();
+        let shared = Arc::new(LinkShared::new());
+        let retired = Arc::new(AtomicBool::new(false));
+        {
+            let mut threads = self.demux_threads.lock().expect("demux threads poisoned");
+            for (plane, rx) in [(Plane::Control, msg_rx), (Plane::Data, data_rx)] {
+                let shared = Arc::clone(&shared);
+                let stop = Arc::clone(&self.stop);
+                let retired = Arc::clone(&retired);
+                let obs = Arc::clone(&self.inner.obs);
+                let node_name = spec.name.clone();
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("haocl-demux-{}-{plane:?}", spec.name))
+                        .spawn(move || demux_loop(rx, plane, shared, stop, retired, obs, node_name))
+                        .expect("spawn demux thread"),
+                );
+            }
+        }
+        let node = {
+            let mut slots = self.inner.slots.write().expect("slots poisoned");
+            let index = slots.len();
+            slots.push(Arc::new(NodeSlot {
+                link: NodeLink {
+                    name: spec.name.clone(),
+                    data_addr: spec.data_addr(),
+                    shared,
+                    control_queue: Mutex::new(Vec::new()),
+                    msg_tx: Mutex::new(msg_tx),
+                    data_tx: Mutex::new(data_tx),
+                    obs: Arc::clone(&self.inner.obs),
+                    retired,
+                },
+                route: Mutex::new(RouteState {
+                    physical: index,
+                    epoch: 0,
+                    burned: Vec::new(),
+                }),
+                journal: Mutex::new(Vec::new()),
+                inflight: Mutex::new(HashSet::new()),
+                membership: Mutex::new(MembershipState::Joining),
+                voluntary_epochs: AtomicU32::new(0),
+            }));
+            NodeId::new(index as u32)
+        };
+        self.note_membership(node, MembershipState::Joining);
+        let handshake = (|| {
+            let outcome = self.call(
+                node,
+                ApiCall::Hello {
+                    client: format!("haocl-host/{}", self.host_name),
+                },
+            )?;
+            match outcome.reply {
+                ApiReply::NodeInfo { devices } => Ok(devices),
+                other => Err(ClusterError::UnexpectedReply(format!(
+                    "hello answered with {other:?}"
+                ))),
+            }
+        })();
+        let slot = self
+            .inner
+            .slot(node.raw() as usize)
+            .expect("slot just added");
+        match handshake {
+            Ok(descriptors) => {
+                let mut devices = self.devices.write().expect("devices poisoned");
+                for d in descriptors {
+                    devices.push(RemoteDevice {
+                        node,
+                        node_name: spec.name.clone(),
+                        device: d.index,
+                        descriptor: d,
+                    });
+                }
+                drop(devices);
+                *slot.membership.lock().expect("membership poisoned") = MembershipState::Active;
+                self.note_membership(node, MembershipState::Active);
+                Ok(node)
+            }
+            Err(e) => {
+                // Tombstone the slot so indices stay stable and nothing
+                // ever routes here.
+                *slot.membership.lock().expect("membership poisoned") = MembershipState::Departed;
+                slot.link.retired.store(true, Ordering::SeqCst);
+                slot.link
+                    .shared
+                    .fail_all(ClusterError::Net(NetError::Disconnected));
+                self.note_membership(node, MembershipState::Departed);
+                Err(e)
+            }
+        }
     }
 
-    /// Number of nodes connected.
+    /// The mapped devices, cluster-wide, in `(node, device)` order —
+    /// including devices on nodes that have since departed (device
+    /// indices are stable for the life of the runtime). Check
+    /// [`HostRuntime::node_membership`] for liveness.
+    pub fn devices(&self) -> Vec<RemoteDevice> {
+        self.devices.read().expect("devices poisoned").clone()
+    }
+
+    /// The mapping record for one cluster-wide device index.
+    pub fn device_info(&self, index: usize) -> Option<RemoteDevice> {
+        self.devices
+            .read()
+            .expect("devices poisoned")
+            .get(index)
+            .cloned()
+    }
+
+    /// Number of mapped devices, cluster-wide (tombstones included).
+    pub fn device_count(&self) -> usize {
+        self.devices.read().expect("devices poisoned").len()
+    }
+
+    /// Number of node slots, including `Departed` tombstones.
     pub fn node_count(&self) -> usize {
-        self.inner.links.len()
+        self.inner.slot_count()
     }
 
     /// The shared virtual clock.
@@ -1049,21 +1242,40 @@ impl HostRuntime {
     /// state, not reachability.
     pub fn node_is_live(&self, node: NodeId) -> bool {
         let index = node.raw() as usize;
-        if index >= self.inner.links.len() {
+        let Some(membership) = self.inner.membership_of(index) else {
+            return false;
+        };
+        if membership == MembershipState::Departed {
             return false;
         }
         let (physical, _) = self.inner.route_of(node);
         self.inner.link_alive(physical)
     }
 
-    /// The logical node's routing epoch: 0 until its first failover,
-    /// bumped on each. Schedulers use this as a flap signal.
+    /// The logical node's routing epoch: 0 until its first failover or
+    /// retirement, bumped on each. Schedulers use this as a flap signal
+    /// (net of [`HostRuntime::node_voluntary_epochs`]).
     pub fn node_epoch(&self, node: NodeId) -> u32 {
         let index = node.raw() as usize;
-        if index >= self.inner.links.len() {
+        if index >= self.inner.slot_count() {
             return 0;
         }
         self.inner.route_of(node).1
+    }
+
+    /// How many of the node's epoch bumps were voluntary (drain
+    /// retirements, not failures). `node_epoch - node_voluntary_epochs`
+    /// is the *involuntary* flap count quarantine policies should see.
+    pub fn node_voluntary_epochs(&self, node: NodeId) -> u32 {
+        self.inner
+            .slot(node.raw() as usize)
+            .map_or(0, |s| s.voluntary_epochs.load(Ordering::SeqCst))
+    }
+
+    /// Where the node stands in the membership lifecycle; `None` for an
+    /// unknown node.
+    pub fn node_membership(&self, node: NodeId) -> Option<MembershipState> {
+        self.inner.membership_of(node.raw() as usize)
     }
 
     /// The data-listener address currently serving the logical node —
@@ -1071,11 +1283,11 @@ impl HostRuntime {
     /// on its surviving physical link. `None` for an unknown node.
     pub fn node_data_addr(&self, node: NodeId) -> Option<String> {
         let index = node.raw() as usize;
-        if index >= self.inner.links.len() {
+        if index >= self.inner.slot_count() {
             return None;
         }
         let (physical, _) = self.inner.route_of(node);
-        Some(self.inner.links[physical].data_addr.clone())
+        self.inner.slot(physical).map(|s| s.link.data_addr.clone())
     }
 
     /// Appends `call` to `node`'s failover journal under a fresh request
@@ -1089,11 +1301,15 @@ impl HostRuntime {
     /// recovery is off, exactly like the automatic journaling in
     /// [`HostRuntime::submit`].
     pub fn journal_companion(&self, node: NodeId, call: ApiCall) {
-        let index = node.raw() as usize;
-        if index >= self.inner.links.len() || self.inner.recovery().is_none() {
+        let Some(slot) = self.inner.slot(node.raw() as usize) else {
+            return;
+        };
+        if self.inner.recovery().is_none()
+            || *slot.membership.lock().expect("membership poisoned") == MembershipState::Departed
+        {
             return;
         }
-        self.inner.journals[index]
+        slot.journal
             .lock()
             .expect("journal poisoned")
             .push(JournalEntry {
@@ -1136,8 +1352,16 @@ impl HostRuntime {
     ) -> Result<PendingCall, ClusterError> {
         let inner = &self.inner;
         let index = node.raw() as usize;
-        if index >= inner.links.len() {
+        let Some(node_slot) = inner.slot(index) else {
             return Err(ClusterError::Config(format!("unknown node {node}")));
+        };
+        // Joining (the handshake itself), Active and Draining nodes all
+        // accept traffic; a Departed tombstone never does — its in-flight
+        // work was already failed out when it retired.
+        if *node_slot.membership.lock().expect("membership poisoned") == MembershipState::Departed {
+            return Err(ClusterError::Config(format!(
+                "node {node} has departed the cluster"
+            )));
         }
         let recovery = inner.recovery();
         let failover = recovery.is_some_and(|p| p.failover);
@@ -1146,7 +1370,8 @@ impl HostRuntime {
         // a concurrent failover can neither miss this call's state nor
         // replay it while its own waiter still owns it.
         if recovery.is_some() && establishes_state(&call) {
-            inner.journals[index]
+            node_slot
+                .journal
                 .lock()
                 .expect("journal poisoned")
                 .push(JournalEntry {
@@ -1155,7 +1380,8 @@ impl HostRuntime {
                     call: call.clone(),
                 });
         }
-        inner.inflight[index]
+        node_slot
+            .inflight
             .lock()
             .expect("inflight poisoned")
             .insert(id);
@@ -1171,11 +1397,12 @@ impl HostRuntime {
             body: call,
         };
         let abort = |err: ClusterError| {
-            inner.inflight[index]
+            node_slot
+                .inflight
                 .lock()
                 .expect("inflight poisoned")
                 .remove(&id);
-            let mut journal = inner.journals[index].lock().expect("journal poisoned");
+            let mut journal = node_slot.journal.lock().expect("journal poisoned");
             if let Some(pos) = journal.iter().rposition(|e| e.id == id) {
                 journal.remove(pos);
             }
@@ -1195,12 +1422,15 @@ impl HostRuntime {
                 }
             };
             request.epoch = epoch;
-            let link = &inner.links[physical];
+            let Some(route_slot) = inner.slot(physical) else {
+                return abort(ClusterError::Net(NetError::Disconnected));
+            };
+            let link = &route_slot.link;
             let plane = plane_of(&request.body);
             {
                 let mut state = link.shared.state.lock().expect("link state poisoned");
                 if let Some(err) = &state.dead {
-                    if failover && routes_tried < inner.links.len() {
+                    if failover && routes_tried < inner.slot_count() {
                         routes_tried += 1;
                         continue;
                     }
@@ -1226,7 +1456,7 @@ impl HostRuntime {
                         .expect("link state poisoned")
                         .pending
                         .remove(&id);
-                    if failover && routes_tried < inner.links.len() {
+                    if failover && routes_tried < inner.slot_count() {
                         routes_tried += 1;
                         continue;
                     }
@@ -1259,18 +1489,157 @@ impl HostRuntime {
             max_attempts: 1,
             failover: false,
         }));
-        for i in 0..self.inner.links.len() {
-            let _ = self.call(NodeId::new(i as u32), ApiCall::Shutdown);
+        for i in 0..self.inner.slot_count() {
+            let node = NodeId::new(i as u32);
+            if self.node_membership(node) == Some(MembershipState::Departed) {
+                continue;
+            }
+            let _ = self.call(node, ApiCall::Shutdown);
         }
         self.set_recovery(None);
     }
 
+    /// Marks `node` as draining: the membership state flips to
+    /// `Draining` (so placement layers stop choosing it and failover
+    /// stops targeting it) and the NMP is told — best effort — to refuse
+    /// fresh kernel launches. In-flight work and buffer reads continue;
+    /// actually moving the resident replicas off is the platform layer's
+    /// job, after which [`HostRuntime::retire_node`] completes the
+    /// departure.
+    ///
+    /// Draining an already-draining node is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Config`] for an unknown node or one that is
+    /// `Joining`/`Departed`.
+    pub fn begin_drain(&self, node: NodeId) -> Result<(), ClusterError> {
+        let slot = self
+            .inner
+            .slot(node.raw() as usize)
+            .ok_or_else(|| ClusterError::Config(format!("unknown node {node}")))?;
+        {
+            let mut membership = slot.membership.lock().expect("membership poisoned");
+            match *membership {
+                MembershipState::Draining => return Ok(()),
+                MembershipState::Active => *membership = MembershipState::Draining,
+                other => {
+                    return Err(ClusterError::Config(format!(
+                        "node {node} cannot drain from state {other}"
+                    )));
+                }
+            }
+        }
+        self.note_membership(node, MembershipState::Draining);
+        // Advisory: a node that cannot hear it still drains correctly —
+        // the host-side Draining state already excludes it from
+        // placement; the NMP-side flag just closes the race with
+        // requests already on the wire. It goes straight onto the
+        // node's *own* physical link, outside routing and recovery: a
+        // routed send could fail over mid-call (say a crash races the
+        // drain) and retransmit the flag onto the surviving NMP that
+        // now hosts this node's replayed state — which would then
+        // refuse every launch the fleet still depends on.
+        let _ = self.inner.call_on_link(
+            node.raw() as usize,
+            self.user(),
+            ApiCall::BeginDrain,
+            &RecoveryPolicy {
+                base_timeout: Duration::from_millis(50),
+                max_attempts: 1,
+                failover: false,
+            },
+        );
+        Ok(())
+    }
+
+    /// Completes a voluntary departure: the node becomes a `Departed`
+    /// tombstone, its route epoch is bumped (with the bump booked as
+    /// *voluntary*, so quarantine logic does not read it as a failure),
+    /// its journal and in-flight set are cleared, and any stragglers
+    /// still waiting on it are failed out. No replay happens — departure
+    /// is clean by construction, the caller having already migrated the
+    /// node's resident state.
+    ///
+    /// Retiring an already-departed node is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Config`] for an unknown node.
+    pub fn retire_node(&self, node: NodeId) -> Result<(), ClusterError> {
+        let slot = self
+            .inner
+            .slot(node.raw() as usize)
+            .ok_or_else(|| ClusterError::Config(format!("unknown node {node}")))?;
+        {
+            let mut membership = slot.membership.lock().expect("membership poisoned");
+            if *membership == MembershipState::Departed {
+                return Ok(());
+            }
+            *membership = MembershipState::Departed;
+        }
+        {
+            let mut route = slot.route.lock().expect("route poisoned");
+            route.epoch += 1;
+            let physical = route.physical;
+            if !route.burned.contains(&physical) {
+                route.burned.push(physical);
+            }
+        }
+        slot.voluntary_epochs.fetch_add(1, Ordering::SeqCst);
+        slot.journal.lock().expect("journal poisoned").clear();
+        slot.inflight.lock().expect("inflight poisoned").clear();
+        // The demux threads see the retirement flag and exit without
+        // booking a link failure when the NMP's connections close.
+        slot.link.retired.store(true, Ordering::SeqCst);
+        slot.link
+            .shared
+            .fail_all(ClusterError::Net(NetError::Disconnected));
+        self.note_membership(node, MembershipState::Departed);
+        Ok(())
+    }
+
+    /// Records one membership transition: the `haocl_node_state` gauge
+    /// and a `policy=membership` audit row (the source haocl-top reads
+    /// node states from).
+    fn note_membership(&self, node: NodeId, state: MembershipState) {
+        let name = self
+            .node_name(node)
+            .unwrap_or_else(|| format!("node{}", node.raw()));
+        let obs = &self.inner.obs;
+        obs.metrics.set_gauge(
+            names::NODE_STATE,
+            &[("node", name.as_str())],
+            state.gauge_value(),
+        );
+        // The audit row follows the scheduler convention: decision rows
+        // are recorded only while tracing is on.
+        if !obs.enabled() {
+            return;
+        }
+        obs.audit.record(PlacementAudit {
+            kernel: "<membership>".to_string(),
+            tenant: DEFAULT_TENANT.to_string(),
+            policy: "membership".to_string(),
+            candidates: vec![CandidateInfo {
+                device: node.raw() as usize,
+                node: name.clone(),
+                kind: "-".to_string(),
+                predicted_nanos: None,
+                source: PredictionSource::CostModel,
+                health: CandidateInfo::HEALTHY.to_string(),
+            }],
+            chosen: node.raw() as usize,
+            reason: format!("state={state} node={name}"),
+            fused: FusionDecision::Unconsidered,
+        });
+    }
+
     /// The configured name of `node`.
-    pub fn node_name(&self, node: NodeId) -> Option<&str> {
+    pub fn node_name(&self, node: NodeId) -> Option<String> {
         self.inner
-            .links
-            .get(node.raw() as usize)
-            .map(|l| l.name.as_str())
+            .slot(node.raw() as usize)
+            .map(|s| s.link.name.clone())
     }
 
     /// The observability hub shared by this runtime's links and demux
@@ -1290,14 +1659,21 @@ impl HostRuntime {
 impl Drop for HostRuntime {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        for t in self.demux_threads.drain(..) {
+        let threads: Vec<JoinHandle<()>> = self
+            .demux_threads
+            .lock()
+            .expect("demux threads poisoned")
+            .drain(..)
+            .collect();
+        for t in threads {
             let _ = t.join();
         }
         // PendingCalls hold their own Arc into the shared state and may
         // outlive the runtime; leave them a terminal error instead of a
         // hang.
-        for link in &self.inner.links {
-            link.shared
+        for slot in self.inner.slots.read().expect("slots poisoned").iter() {
+            slot.link
+                .shared
                 .fail_all(ClusterError::Net(NetError::Disconnected));
         }
     }
@@ -1313,6 +1689,7 @@ fn demux_loop(
     plane: Plane,
     shared: Arc<LinkShared>,
     stop: Arc<AtomicBool>,
+    retired: Arc<AtomicBool>,
     obs: Arc<Hub>,
     node_name: String,
 ) {
@@ -1334,6 +1711,12 @@ fn demux_loop(
         );
     };
     while !stop.load(Ordering::SeqCst) {
+        // A retired node's connections close by design: exit without
+        // booking a link failure (retire_node already failed out any
+        // straggling waiters).
+        if retired.load(Ordering::SeqCst) {
+            return;
+        }
         match rx.recv_frame_timeout(DEMUX_POLL) {
             Ok((frame, received_at)) => match decode_from_slice::<Response>(&frame) {
                 Ok(response) => {
@@ -1347,6 +1730,9 @@ fn demux_loop(
                     shared.complete(response, received_at);
                 }
                 Err(e) => {
+                    if retired.load(Ordering::SeqCst) {
+                        return;
+                    }
                     note_failure();
                     shared.fail_plane(plane, ClusterError::Wire(e));
                     return;
@@ -1358,6 +1744,9 @@ fn demux_loop(
             // on the remaining chunks.
             Err(NetError::TimeoutMidFrame { .. }) => continue,
             Err(e) => {
+                if retired.load(Ordering::SeqCst) {
+                    return;
+                }
                 note_failure();
                 shared.fail_plane(plane, ClusterError::Net(e));
                 return;
@@ -1370,8 +1759,8 @@ impl std::fmt::Debug for HostRuntime {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("HostRuntime")
             .field("user", &self.user())
-            .field("nodes", &self.inner.links.len())
-            .field("devices", &self.devices.len())
+            .field("nodes", &self.inner.slot_count())
+            .field("devices", &self.device_count())
             .finish()
     }
 }

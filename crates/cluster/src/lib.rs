@@ -20,6 +20,9 @@
 //!   (NMPs as OS threads on a shared [`haocl_net::Fabric`]) for tests,
 //!   examples and benchmarks.
 //! * [`session`] — multi-user session bookkeeping (§I, §III-D).
+//! * [`autoscale`] — the metrics-driven [`autoscale::Autoscaler`]: a
+//!   hysteresis/cooldown policy engine over the obs layer's queue-depth
+//!   series that tells the platform when to grow or drain the fleet.
 //!
 //! # Examples
 //!
@@ -35,6 +38,7 @@
 //! # Ok::<(), haocl_cluster::ClusterError>(())
 //! ```
 
+pub mod autoscale;
 pub mod config;
 pub mod error;
 pub mod host;
@@ -42,9 +46,12 @@ pub mod local;
 pub mod nmp;
 pub mod session;
 
+pub use autoscale::{AutoscaleConfig, Autoscaler, Decision, LoadSample};
 pub use config::{ClusterConfig, NodeSpec};
 pub use error::ClusterError;
-pub use host::{CallOutcome, HostRuntime, PendingCall, RecoveryPolicy, RemoteDevice};
+pub use host::{
+    CallOutcome, HostRuntime, MembershipState, PendingCall, RecoveryPolicy, RemoteDevice,
+};
 pub use local::LocalCluster;
 pub use nmp::NmpHandle;
 pub use session::SessionManager;

@@ -1,10 +1,13 @@
 //! In-process cluster launcher.
 
+use std::sync::Mutex;
+
 use haocl_kernel::KernelRegistry;
 use haocl_net::{ChaosPolicy, Fabric};
+use haocl_proto::ids::NodeId;
 use haocl_sim::Clock;
 
-use crate::config::ClusterConfig;
+use crate::config::{ClusterConfig, NodeSpec};
 use crate::error::ClusterError;
 use crate::host::{HostRuntime, RecoveryPolicy};
 use crate::nmp::NmpHandle;
@@ -30,7 +33,14 @@ use crate::nmp::NmpHandle;
 /// ```
 pub struct LocalCluster {
     fabric: Fabric,
-    handles: Vec<NmpHandle>,
+    /// One entry per node slot, aligned with the host's `NodeId` space;
+    /// `None` marks a node whose NMP has been stopped (killed, retired,
+    /// or failed to join). Entries are never removed, so indices stay
+    /// aligned as membership grows.
+    handles: Mutex<Vec<Option<NmpHandle>>>,
+    /// The shared bitstream store, kept so late-joining nodes get the
+    /// same kernels as the founders.
+    registry: KernelRegistry,
     host: HostRuntime,
 }
 
@@ -47,7 +57,7 @@ impl LocalCluster {
         let fabric = Fabric::new(Clock::new(), config.link);
         let mut handles = Vec::with_capacity(config.nodes.len());
         for spec in &config.nodes {
-            handles.push(NmpHandle::spawn(&fabric, spec, registry.clone())?);
+            handles.push(Some(NmpHandle::spawn(&fabric, spec, registry.clone())?));
         }
         let host = HostRuntime::connect(&fabric, config)?;
         // Chaos opt-in from the environment (HAOCL_CHAOS_SPEC /
@@ -79,9 +89,75 @@ impl LocalCluster {
         }
         Ok(LocalCluster {
             fabric,
-            handles,
+            handles: Mutex::new(handles),
+            registry,
             host,
         })
+    }
+
+    /// Adds a node to the running cluster: spawns its NMP on the shared
+    /// fabric (with the shared kernel registry) and joins it through the
+    /// host's membership handshake. Returns the new node's id.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError`] on address clashes or a failed handshake; the
+    /// NMP is stopped again and the host keeps a `Departed` tombstone.
+    pub fn add_node(&self, spec: &NodeSpec) -> Result<NodeId, ClusterError> {
+        let handle = NmpHandle::spawn(&self.fabric, spec, self.registry.clone())?;
+        // Reserve the slot before the handshake so the handle index and
+        // the host's NodeId stay aligned even if the join fails.
+        {
+            let mut handles = self.handles.lock().expect("handles poisoned");
+            debug_assert_eq!(handles.len(), self.host.node_count());
+            handles.push(Some(handle));
+        }
+        match self.host.connect_node(spec) {
+            Ok(node) => {
+                debug_assert_eq!(
+                    node.raw() as usize + 1,
+                    self.handles.lock().expect("handles poisoned").len()
+                );
+                Ok(node)
+            }
+            Err(e) => {
+                if let Some(handle) = self
+                    .handles
+                    .lock()
+                    .expect("handles poisoned")
+                    .last_mut()
+                    .and_then(Option::take)
+                {
+                    handle.stop();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Completes a node's voluntary departure: retires it host-side
+    /// (epoch bump booked as voluntary, stragglers failed out) and stops
+    /// its NMP, freeing its fabric addresses for a later rejoin.
+    ///
+    /// The caller is responsible for *draining* first — migrating the
+    /// node's resident state off via the platform layer. `remove_node`
+    /// itself is the final, state-destroying step.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Config`] for an unknown node.
+    pub fn remove_node(&self, node: NodeId) -> Result<(), ClusterError> {
+        self.host.retire_node(node)?;
+        if let Some(handle) = self
+            .handles
+            .lock()
+            .expect("handles poisoned")
+            .get_mut(node.raw() as usize)
+            .and_then(Option::take)
+        {
+            handle.stop();
+        }
+        Ok(())
     }
 
     /// The connected host runtime.
@@ -121,24 +197,39 @@ impl LocalCluster {
     /// listener threads stop and join, connections drop. Returns `false`
     /// if the node was already killed or the index is out of range.
     pub fn kill_node(&mut self, index: usize) -> bool {
-        if index >= self.handles.len() {
+        let Some(handle) = self
+            .handles
+            .lock()
+            .expect("handles poisoned")
+            .get_mut(index)
+            .and_then(Option::take)
+        else {
             return false;
-        }
-        // Replace with a tombstone by draining just that handle.
-        let handle = self.handles.remove(index);
+        };
         handle.stop();
         true
     }
 
     /// Number of NMPs still running.
     pub fn live_nodes(&self) -> usize {
-        self.handles.len()
+        self.handles
+            .lock()
+            .expect("handles poisoned")
+            .iter()
+            .filter(|h| h.is_some())
+            .count()
     }
 
     /// Orderly shutdown: notifies every NMP, then stops and joins them.
-    pub fn shutdown(mut self) {
+    pub fn shutdown(self) {
         self.host.shutdown_cluster();
-        for h in self.handles.drain(..) {
+        for h in self
+            .handles
+            .lock()
+            .expect("handles poisoned")
+            .iter_mut()
+            .filter_map(Option::take)
+        {
             h.stop();
         }
     }
@@ -147,7 +238,7 @@ impl LocalCluster {
 impl std::fmt::Debug for LocalCluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LocalCluster")
-            .field("nodes", &self.handles.len())
+            .field("nodes", &self.live_nodes())
             .field("devices", &self.host.devices().len())
             .finish()
     }

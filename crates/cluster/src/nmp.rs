@@ -83,6 +83,10 @@ struct NodeState {
     kernels: HashMap<KernelId, (u8, Kernel)>,
     registry: KernelRegistry,
     launches_by_user: HashMap<UserId, u64>,
+    /// Set by [`ApiCall::BeginDrain`]: the node refuses fresh kernel
+    /// launches so live migration can converge, while buffer traffic
+    /// and already-queued work keep completing.
+    draining: bool,
     /// At-most-once journal: completed responses to state-mutating
     /// requests, keyed by correlation token. A retried or duplicated
     /// request whose id is here is answered from the journal instead of
@@ -151,6 +155,7 @@ impl NmpHandle {
             kernels: HashMap::new(),
             registry,
             launches_by_user: HashMap::new(),
+            draining: false,
             journal: HashMap::new(),
             journal_order: VecDeque::new(),
         }));
@@ -831,6 +836,12 @@ fn dispatch(
                 (ApiReply::Ack, at)
             }
         },
+        // Idempotent like SetThrottle: not journaled, safe to re-apply
+        // on a retried delivery.
+        ApiCall::BeginDrain => {
+            state.draining = true;
+            (ApiReply::Ack, at)
+        }
         ApiCall::CreateBuffer {
             device,
             buffer,
@@ -1063,6 +1074,12 @@ fn dispatch(
             fidelity,
             shared: _,
         } => {
+            if state.draining {
+                return (
+                    err_reply(status::DEVICE_NOT_AVAILABLE, "node is draining"),
+                    at,
+                );
+            }
             let Some((kernel_device, k)) = state.kernels.get(&kernel).cloned() else {
                 return (err_reply(status::INVALID_KERNEL, "unknown kernel"), at);
             };
@@ -1108,6 +1125,12 @@ fn dispatch(
             shared: _,
             parts,
         } => {
+            if state.draining {
+                return (
+                    err_reply(status::DEVICE_NOT_AVAILABLE, "node is draining"),
+                    at,
+                );
+            }
             if parts.len() < 2 {
                 return (
                     err_reply(status::INVALID_VALUE, "fused launch needs >= 2 parts"),
@@ -1701,6 +1724,7 @@ mod tests {
             kernels: HashMap::new(),
             registry: KernelRegistry::new(),
             launches_by_user: HashMap::new(),
+            draining: false,
             journal: HashMap::new(),
             journal_order: VecDeque::new(),
         };

@@ -467,3 +467,106 @@ mod observability {
         );
     }
 }
+
+mod elastic {
+    use super::*;
+    use haocl::{
+        Buffer, CommandQueue, Context, DeviceType, DrainOptions, Kernel, MemFlags, MembershipState,
+        NdRange, Platform, Program,
+    };
+
+    /// One scripted elastic run: seed the buffer on node 1, iterate the
+    /// tick kernel there (so node 1 holds the newest bytes), drain
+    /// node 1, then keep working on node 0 and read back through it.
+    /// `crash_at` arms a frame-counted blackhole on node 1's host;
+    /// sweeping the threshold slides the crash across the whole drain
+    /// state machine — before the drain (failover first, then a drain
+    /// of the re-routed node), mid-evacuation, or after retirement.
+    /// Returns the final bytes plus the number of blackholed frames.
+    fn drain_race_run(crash_at: Option<u64>) -> (Vec<u8>, usize) {
+        let config = ClusterConfig::gpu_cluster(3);
+        let platform = Platform::cluster(&config, KernelRegistry::new()).unwrap();
+        let chaotic = crash_at.is_some();
+        if let Some(at) = crash_at {
+            let spec = format!("crash={}@{at}", node_hosts(&config)[1]);
+            platform.install_chaos(policy_for(&config, 11, &spec));
+            platform.set_recovery(Some(recovery(Duration::from_millis(10), true)));
+        }
+        let ctx = Context::new(&platform, &platform.devices(DeviceType::All)).unwrap();
+        let q0 = CommandQueue::new(&ctx, &ctx.devices()[0]).unwrap();
+        let q1 = CommandQueue::new(&ctx, &ctx.devices()[1]).unwrap();
+        let prog = Program::from_source(&ctx, TICK_SRC);
+        prog.build().unwrap();
+        let k = Kernel::new(&prog, "tick").unwrap();
+        let buf = Buffer::new(&ctx, MemFlags::READ_WRITE, 32).unwrap();
+        k.set_arg_buffer(0, &buf).unwrap();
+        q1.enqueue_write_buffer(&buf, 0, &[0u8; 32]).unwrap();
+        for _ in 0..4 {
+            let ev = q1
+                .enqueue_nd_range_kernel(&k, NdRange::linear(8, 4))
+                .unwrap();
+            ev.wait().unwrap();
+        }
+
+        let victim = NodeId::new(1);
+        // However the race lands, the drain either completes (Departed)
+        // or fails retryably (Draining) — and a retry may ride failover
+        // replay to completion.
+        let mut drained = false;
+        for _ in 0..3 {
+            match platform.drain_node(victim, DrainOptions::default()) {
+                Ok(_) => {
+                    drained = true;
+                    break;
+                }
+                Err(e) => {
+                    assert!(chaotic, "clean-network drain failed: {e:?}");
+                    assert_eq!(
+                        platform.node_membership(victim),
+                        Some(MembershipState::Draining)
+                    );
+                }
+            }
+        }
+        if drained {
+            assert_eq!(
+                platform.node_membership(victim),
+                Some(MembershipState::Departed)
+            );
+        }
+
+        // The survivors must keep serving launches: a drain (or a crash
+        // racing it) must never poison a surviving node's data plane.
+        for _ in 0..2 {
+            let ev = q0
+                .enqueue_nd_range_kernel(&k, NdRange::linear(8, 4))
+                .unwrap();
+            ev.wait().unwrap();
+        }
+        let mut out = vec![0u8; 32];
+        q0.enqueue_read_buffer(&buf, 0, &mut out).unwrap();
+        (out, platform.chaos_schedule().len())
+    }
+
+    #[test]
+    fn drain_racing_a_crash_preserves_bytes_and_survivors() {
+        let (golden, no_faults) = drain_race_run(None);
+        assert_eq!(no_faults, 0, "fault-free run injected nothing");
+        let mut total_faults = 0;
+        // Small thresholds crash node 1 before the drain even starts
+        // (the drain then targets an already-failed-over node); larger
+        // ones land mid-evacuation or after retirement.
+        for at in [2, 4, 6, 9, 12, 16, 24, 40] {
+            let (bytes, faults) = drain_race_run(Some(at));
+            total_faults += faults;
+            assert_eq!(
+                bytes, golden,
+                "crash@{at} racing the drain diverged from the fault-free golden"
+            );
+        }
+        assert!(
+            total_faults > 0,
+            "the threshold sweep never actually fired the crash"
+        );
+    }
+}

@@ -23,6 +23,7 @@ use crate::error::{Error, Status};
 use crate::event::Event;
 use crate::graph::{GraphReport, LaunchGraph};
 use crate::kernel::{Kernel, StoredArg};
+use crate::platform::Device;
 use crate::queue::CommandQueue;
 
 /// Scheduler-routed kernel launching over a context's devices.
@@ -101,6 +102,48 @@ impl AutoScheduler {
         &self.queues
     }
 
+    /// Adopts devices that joined the platform after this component was
+    /// built: each new device gets a queue, a load slot, and a lazy
+    /// program build the first time a placement lands on it. Draining
+    /// and departed nodes need no adoption — they drop out of the
+    /// candidate set on the next placement. Returns how many devices
+    /// were adopted.
+    ///
+    /// # Errors
+    ///
+    /// [`Status::InvalidOperation`] when the component's context covers
+    /// only a subset of the platform's devices (a subset context cannot
+    /// grow elastically); queue-creation failures otherwise.
+    pub fn sync_membership(&mut self) -> Result<usize, Error> {
+        if self
+            .context
+            .devices
+            .iter()
+            .enumerate()
+            .any(|(i, d)| d.index() != i)
+        {
+            return Err(Error::api(
+                Status::InvalidOperation,
+                "elastic membership needs a context over the platform's full device list",
+            ));
+        }
+        let inner = &self.context.platform;
+        let all = inner.host().devices();
+        let mut adopted = 0;
+        for (index, info) in all.iter().enumerate().skip(self.context.devices.len()) {
+            let device = Device {
+                platform: std::sync::Arc::clone(inner),
+                index,
+                info: info.clone(),
+            };
+            self.context.devices.push(device.clone());
+            self.queues.push(CommandQueue::new(&self.context, &device)?);
+            self.busy_until.lock().push(SimTime::ZERO);
+            adopted += 1;
+        }
+        Ok(adopted)
+    }
+
     /// Seeds the profiling database from a built program's static
     /// kernel-analysis reports, so the first-ever launch of each kernel
     /// is already placed with the compiler's feature vector (barrier
@@ -167,6 +210,11 @@ impl AutoScheduler {
             .fpga_eligible(kernel.program().is_bitstream())
             .input_bytes(buffers.iter().map(Buffer::size).sum());
         let (choice, audit) = self.place_filtered(&task, &buffers)?;
+        // A device adopted after the program was built gets the build
+        // lazily, on the first placement that lands on it.
+        kernel
+            .program()
+            .build_for(&self.context.devices()[choice])?;
         let obs = &self.context.platform.obs;
         // The placement decision is always auditable; spans and metrics
         // follow the tracing gate.
@@ -345,15 +393,25 @@ impl AutoScheduler {
                 .collect()
         };
         let obs = &self.context.platform.obs;
+        let host = self.context.platform.host();
         // Fold the runtime's failover signals into node health: every
-        // epoch bump is a failover the host had to perform for that
-        // node, i.e. one quarantine strike.
+        // *involuntary* epoch bump is a failover the host had to perform
+        // for that node, i.e. one quarantine strike. Voluntary bumps
+        // (graceful drains) are subtracted first — an operator decision
+        // is not a failure signal — and a departed node's history is
+        // erased entirely, so a node rejoining under the same name
+        // starts with a clean record.
         for d in self.context.devices() {
             let node = d.node();
-            if self
-                .quarantine
-                .observe_epoch(node, self.context.platform.host().node_epoch(node))
-            {
+            if host.node_membership(node) == Some(haocl_cluster::MembershipState::Departed) {
+                self.quarantine.forget(node);
+                continue;
+            }
+            if self.quarantine.observe_epochs(
+                node,
+                host.node_epoch(node),
+                host.node_voluntary_epochs(node),
+            ) {
                 obs.audit.record(PlacementAudit {
                     kernel: "<node-health>".into(),
                     tenant: DEFAULT_TENANT.into(),
@@ -382,16 +440,37 @@ impl AutoScheduler {
             obs.metrics
                 .set_gauge(names::DEVICE_HEALTH, &[("node", d.node_name())], verdict);
         }
-        // Demote quarantined nodes out of the candidate set — but only
-        // while an alternative exists; an all-quarantined cluster still
-        // schedules.
-        let eligible: Vec<usize> = (0..views.len())
+        // Nodes that are leaving (Draining) or gone (Departed) are out
+        // of the candidate set unconditionally — a draining node refuses
+        // new launches and a departed one cannot execute them. Within
+        // the active set, quarantined nodes are demoted while an
+        // alternative exists (advisory: an all-quarantined fleet still
+        // schedules).
+        let active: Vec<usize> = (0..views.len())
+            .filter(|&i| {
+                host.node_membership(views[i].node) == Some(haocl_cluster::MembershipState::Active)
+            })
+            .collect();
+        if active.is_empty() {
+            return Err(Error::api(
+                Status::InvalidOperation,
+                "no active node to place on",
+            ));
+        }
+        let eligible: Vec<usize> = active
+            .iter()
+            .copied()
             .filter(|&i| !self.quarantine.is_quarantined(views[i].node))
             .collect();
-        let placed = if eligible.is_empty() || eligible.len() == views.len() {
+        let candidates = if eligible.is_empty() {
+            active
+        } else {
+            eligible
+        };
+        let placed = if candidates.len() == views.len() {
             self.scheduler.place_audited(task, &views)
         } else {
-            let surviving: Vec<DeviceView> = eligible.iter().map(|&i| views[i].clone()).collect();
+            let surviving: Vec<DeviceView> = candidates.iter().map(|&i| views[i].clone()).collect();
             self.scheduler
                 .place_audited(task, &surviving)
                 .map(|(choice, mut audit)| {
@@ -399,10 +478,10 @@ impl AutoScheduler {
                     // device list, which is what callers (and the audit
                     // log) index by.
                     for candidate in &mut audit.candidates {
-                        candidate.device = eligible[candidate.device];
+                        candidate.device = candidates[candidate.device];
                     }
-                    audit.chosen = eligible[audit.chosen];
-                    (eligible[choice], audit)
+                    audit.chosen = candidates[audit.chosen];
+                    (candidates[choice], audit)
                 })
         };
         placed
@@ -526,6 +605,12 @@ impl AutoScheduler {
                 )
                 .input_bytes(buffers.iter().map(Buffer::size).sum());
             let (choice, mut audit) = self.place_filtered(&task, &buffers)?;
+            for &m in members {
+                nodes[m]
+                    .kernel
+                    .program()
+                    .build_for(&self.context.devices()[choice])?;
+            }
             // The lead's column explains this dispatch: why it fused, or
             // why it could not extend the previous one.
             let lead_decision = match (&group.rejected, members.len()) {

@@ -23,6 +23,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 use parking_lot::Mutex;
 
+use haocl_cluster::MembershipState;
 use haocl_obs::{names, Span};
 use haocl_proto::ids::{BufferId, NodeId};
 use haocl_proto::messages::{ApiCall, ApiReply};
@@ -106,6 +107,19 @@ pub(crate) struct BufferInner {
     charge: Mutex<Option<TenantCharge>>,
 }
 
+/// How [`BufferInner::evacuate_node`] rescued a buffer off a draining
+/// node (byte counts feed the platform's drain report).
+pub(crate) enum EvacOutcome {
+    /// The newest copy was already safe elsewhere; replicas on the node
+    /// were merely evicted (or the buffer never touched the node).
+    Untouched,
+    /// Newest bytes re-homed on a surviving device over the peer data
+    /// plane.
+    PeerMigrated(u64),
+    /// Newest bytes pulled back into the host shadow (relay fallback).
+    HostRelayed(u64),
+}
+
 /// A device-memory charge against a tenant's quota ledger. Held by the
 /// buffer it paid for; dropping the buffer replenishes the quota and
 /// refreshes the per-tenant memory gauge.
@@ -163,26 +177,28 @@ impl Buffer {
         }
         let platform = Arc::clone(&context.platform);
         let id = BufferId::new(platform.ids.next());
-        Ok(Buffer {
-            inner: Arc::new(BufferInner {
-                platform,
-                id,
-                size,
-                flags,
-                modeled,
-                state: Mutex::new(BufState {
-                    shadow: if modeled {
-                        Vec::new()
-                    } else {
-                        vec![0; size as usize]
-                    },
-                    residency: ResidencyTracker::new(),
-                    wire: BTreeMap::new(),
-                }),
-                pending_writers: Mutex::new(Vec::new()),
-                charge: Mutex::new(None),
+        let inner = Arc::new(BufferInner {
+            platform,
+            id,
+            size,
+            flags,
+            modeled,
+            state: Mutex::new(BufState {
+                shadow: if modeled {
+                    Vec::new()
+                } else {
+                    vec![0; size as usize]
+                },
+                residency: ResidencyTracker::new(),
+                wire: BTreeMap::new(),
             }),
-        })
+            pending_writers: Mutex::new(Vec::new()),
+            charge: Mutex::new(None),
+        });
+        // Membership changes (node drains) walk every live buffer to
+        // migrate stranded replicas, so the platform keeps a weak index.
+        inner.platform.register_buffer(&inner);
+        Ok(Buffer { inner })
     }
 
     /// Attaches a tenant quota charge to be released when the last
@@ -230,6 +246,14 @@ impl Drop for BufferInner {
         for dev in st.residency.allocated_devices() {
             let info = host.devices().get(dev).cloned();
             let released = match &info {
+                // A voluntarily departed node destroyed its allocations
+                // by design when it retired — nothing left to release,
+                // and nothing failed.
+                Some(info)
+                    if host.node_membership(info.node) == Some(MembershipState::Departed) =>
+                {
+                    true
+                }
                 Some(info) if host.node_is_live(info.node) => {
                     let wire = st.wire.get(&info.node).copied().unwrap_or(self.id);
                     matches!(
@@ -285,12 +309,17 @@ impl BufferInner {
         }
     }
 
-    /// The live routing epoch of the node hosting global device `dev`.
+    /// The live routing epoch of the node hosting global device `dev` —
+    /// `u32::MAX` (never trusted) for a vanished device or a node that
+    /// has departed the cluster: even a replayable lineage dies with a
+    /// retirement, because retirement clears the journal.
     fn live_epoch(&self, dev: usize) -> u32 {
         let host = self.platform.host();
         match host.devices().get(dev) {
-            Some(info) => host.node_epoch(info.node),
-            None => u32::MAX,
+            Some(info) if host.node_membership(info.node) != Some(MembershipState::Departed) => {
+                host.node_epoch(info.node)
+            }
+            _ => u32::MAX,
         }
     }
 
@@ -317,16 +346,10 @@ impl BufferInner {
         self.wire_id_locked(&mut self.state.lock(), node)
     }
 
-    /// Drops residency entries invalidated by node failovers.
+    /// Drops residency entries invalidated by node failovers or
+    /// departures.
     fn revalidate(&self, st: &mut BufState) {
-        let host = self.platform.host();
-        let devices = host.devices();
-        st.residency.revalidate(|dev| {
-            devices
-                .get(dev)
-                .map(|info| host.node_epoch(info.node))
-                .unwrap_or(u32::MAX)
-        });
+        st.residency.revalidate(|dev| self.live_epoch(dev));
     }
 
     fn check_mode(&self, op_modeled: bool, which: &str) -> Result<(), Error> {
@@ -703,6 +726,73 @@ impl BufferInner {
             .get(owner)
             .cloned()
             .ok_or_else(|| Error::Transport(format!("device {owner} vanished")))
+    }
+
+    /// Rescues this buffer from a draining node. If the newest contents
+    /// live *only* on `node`, they are moved out — peer-pushed to
+    /// `target` (a device on a surviving node) unless `force_relay`, in
+    /// which case they are pulled back into the host shadow in one hop.
+    /// Either way, every replica and allocation the buffer held on the
+    /// node is evicted, so nothing ever reads from the departed epoch
+    /// and the eventual drop has no dead allocation to release.
+    pub(crate) fn evacuate_node(
+        &self,
+        node: NodeId,
+        target: Option<&Device>,
+        force_relay: bool,
+    ) -> Result<EvacOutcome, Error> {
+        self.settle_pending();
+        let host = self.platform.host();
+        let leaving: Vec<usize> = host
+            .devices()
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.node == node)
+            .map(|(i, _)| i)
+            .collect();
+        let mut st = self.state.lock();
+        self.revalidate(&mut st);
+        if leaving.iter().all(|&dev| !st.residency.is_allocated(dev)) {
+            return Ok(EvacOutcome::Untouched);
+        }
+        // The newest bytes are endangered iff no current copy survives
+        // off the node: the shadow is stale and every current replica
+        // sits on a leaving device.
+        let endangered = !st.residency.host_current()
+            && st
+                .residency
+                .owner_device()
+                .is_some_and(|o| leaving.contains(&o))
+            && !(0..host.device_count()).any(|dev| {
+                !leaving.contains(&dev) && st.residency.is_current(dev, self.live_epoch(dev))
+            });
+        let mut outcome = EvacOutcome::Untouched;
+        if endangered {
+            let owner = st
+                .residency
+                .owner_device()
+                .expect("endangered implies an owner");
+            let mut rescued = false;
+            if !force_relay && self.platform.peer_transfers_enabled() {
+                if let Some(target) = target {
+                    let epoch = self.live_epoch(target.index);
+                    if self.allocate_locked(&mut st, target).is_ok()
+                        && self.peer_push_locked(&mut st, owner, target, epoch).is_ok()
+                    {
+                        outcome = EvacOutcome::PeerMigrated(self.size);
+                        rescued = true;
+                    }
+                }
+            }
+            if !rescued {
+                self.refresh_shadow_locked(&mut st)?;
+                outcome = EvacOutcome::HostRelayed(self.size);
+            }
+        }
+        for &dev in &leaving {
+            st.residency.evict_device(dev);
+        }
+        Ok(outcome)
     }
 
     /// Whether `device` holds the newest contents (after

@@ -91,12 +91,14 @@ pub use error::{Error, Status};
 pub use event::Event;
 pub use graph::{GraphReport, LaunchGraph};
 pub use kernel::Kernel;
-pub use platform::{Device, DeviceType, Platform};
+pub use platform::{Device, DeviceType, DrainOptions, DrainReport, Platform};
 pub use program::Program;
 pub use queue::CommandQueue;
 pub use serve::{ServingPlane, Session};
 
-pub use haocl_cluster::RecoveryPolicy;
+pub use haocl_cluster::{
+    AutoscaleConfig, Autoscaler, Decision, LoadSample, MembershipState, NodeSpec, RecoveryPolicy,
+};
 pub use haocl_kernel::NdRange;
 pub use haocl_net::{ChaosPolicy, ChaosSpec};
 pub use haocl_proto::ids::{NodeId, TenantId};

@@ -6,16 +6,21 @@
 //! "native OpenCL single node" the paper's evaluation normalizes against.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
-use haocl_cluster::{ClusterConfig, HostRuntime, LocalCluster, NodeSpec, RemoteDevice};
+use haocl_cluster::{
+    Autoscaler, ClusterConfig, Decision, HostRuntime, LoadSample, LocalCluster, MembershipState,
+    NodeSpec, RemoteDevice,
+};
 use haocl_kernel::KernelRegistry;
 use haocl_net::LinkModel;
 use haocl_obs::{names, Hub};
 use haocl_proto::ids::{IdAllocator, NodeId, UserId};
 use haocl_proto::messages::{ApiCall, DeviceKind};
 use haocl_sim::{Clock, Phase, PhaseBreakdown, SimDuration, SimTime, Tracer};
+use parking_lot::Mutex;
 
+use crate::buffer::{BufferInner, EvacOutcome};
 use crate::error::Error;
 
 /// Host-side memory generation rate used to cost data creation
@@ -33,6 +38,9 @@ pub(crate) struct PlatformInner {
     /// Whether buffer migrations may travel NMP→NMP directly instead of
     /// relaying through the host shadow.
     peer_transfers: AtomicBool,
+    /// Every live buffer created under this platform, weakly held — the
+    /// work-list a node drain migrates before retirement.
+    buffers: Mutex<Vec<Weak<BufferInner>>>,
     name: String,
 }
 
@@ -65,6 +73,23 @@ impl PlatformInner {
     /// Whether direct peer transfers are enabled (they are by default).
     pub(crate) fn peer_transfers_enabled(&self) -> bool {
         self.peer_transfers.load(Ordering::Relaxed)
+    }
+
+    /// Registers a freshly created buffer so membership changes can find
+    /// it; dead entries are pruned opportunistically.
+    pub(crate) fn register_buffer(&self, buffer: &Arc<BufferInner>) {
+        let mut buffers = self.buffers.lock();
+        buffers.retain(|w| w.strong_count() > 0);
+        buffers.push(Arc::downgrade(buffer));
+    }
+
+    /// The buffers still alive under this platform.
+    pub(crate) fn live_buffers(&self) -> Vec<Arc<BufferInner>> {
+        self.buffers
+            .lock()
+            .iter()
+            .filter_map(Weak::upgrade)
+            .collect()
     }
 
     /// Counts `bytes` of buffer contents moved by the data plane over
@@ -169,6 +194,47 @@ impl std::fmt::Debug for Device {
     }
 }
 
+/// Tuning for a graceful node drain (see [`Platform::drain_node`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DrainOptions {
+    /// Virtual-time budget for peer-to-peer migration. Buffers reached
+    /// after the budget has elapsed degrade to the host relay — the
+    /// newest bytes are pulled back into the host shadow in one hop
+    /// instead of being re-homed on a surviving device, so a spot
+    /// revocation with a tight deadline still loses nothing. `None`
+    /// means no deadline: every endangered buffer is peer-migrated.
+    pub deadline: Option<SimDuration>,
+}
+
+impl DrainOptions {
+    /// A drain with a peer-migration deadline.
+    pub fn with_deadline(deadline: SimDuration) -> DrainOptions {
+        DrainOptions {
+            deadline: Some(deadline),
+        }
+    }
+}
+
+/// What a graceful node drain did (see [`Platform::drain_node`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// The drained node.
+    pub node: NodeId,
+    /// Buffers whose newest bytes were re-homed on a surviving device
+    /// over the peer data plane.
+    pub peer_migrated: usize,
+    /// Buffers whose newest bytes were pulled back into the host shadow
+    /// (no surviving target, peer transfers off, or past the deadline).
+    pub host_relayed: usize,
+    /// Buffers that needed no rescue (newest copy already safe
+    /// elsewhere); replicas on the node were simply evicted.
+    pub untouched: usize,
+    /// Buffer-content bytes the evacuation moved.
+    pub bytes_evacuated: u64,
+    /// Whether the deadline forced at least one host-relay degradation.
+    pub deadline_degraded: bool,
+}
+
 /// The HaoCL platform.
 #[derive(Clone)]
 pub struct Platform {
@@ -202,6 +268,7 @@ impl Platform {
                 tracer: Tracer::new(),
                 obs,
                 peer_transfers: AtomicBool::new(true),
+                buffers: Mutex::new(Vec::new()),
                 name: name.to_string(),
             }),
         }
@@ -364,6 +431,141 @@ impl Platform {
     /// Whether `node`'s current route has a live backbone connection.
     pub fn node_is_live(&self, node: NodeId) -> bool {
         self.inner.host().node_is_live(node)
+    }
+
+    /// The membership state of `node` (`None` for an unknown id).
+    pub fn node_membership(&self, node: NodeId) -> Option<MembershipState> {
+        self.inner.host().node_membership(node)
+    }
+
+    /// How many of `node`'s routing-epoch bumps were voluntary (drains)
+    /// rather than failovers. Health trackers subtract this before
+    /// converting epochs to strikes.
+    pub fn node_voluntary_epochs(&self, node: NodeId) -> u32 {
+        self.inner.host().node_voluntary_epochs(node)
+    }
+
+    /// The nodes currently `Active`, ascending by id.
+    pub fn active_nodes(&self) -> Vec<NodeId> {
+        let host = self.inner.host();
+        (0..host.node_count() as u32)
+            .map(NodeId::new)
+            .filter(|&n| host.node_membership(n) == Some(MembershipState::Active))
+            .collect()
+    }
+
+    /// Adds a node to the running cluster: spawns its NMP, joins it
+    /// through the membership handshake (Joining → Active) and maps its
+    /// devices at the end of the platform device list. Returns the new
+    /// node's id; existing [`Device`] indices are unaffected.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Transport`] on address clashes or a failed handshake
+    /// (the host keeps a `Departed` tombstone for the slot).
+    pub fn add_node(&self, spec: &NodeSpec) -> Result<NodeId, Error> {
+        Ok(self.inner.cluster.add_node(spec)?)
+    }
+
+    /// Gracefully drains `node` out of the cluster and retires it.
+    ///
+    /// The sequence is the drain state machine's happy path: membership
+    /// flips to `Draining` (the node refuses new launches, buffer
+    /// traffic continues), every live buffer whose newest bytes are
+    /// stranded on the node is migrated — peer push to a surviving
+    /// device while inside the [`DrainOptions::deadline`] budget, host
+    /// relay after it — replicas on the node are evicted, and the node
+    /// is retired: a clean *voluntary* epoch bump (no quarantine
+    /// strikes), journal cleared, NMP stopped, addresses freed for a
+    /// later rejoin.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Transport`] for an unknown node, a drain from a
+    /// non-drainable state (`Joining`, `Departed`), or a migration
+    /// failure mid-evacuation (the node is left `Draining`, not
+    /// retired, so the drain can be retried).
+    pub fn drain_node(&self, node: NodeId, opts: DrainOptions) -> Result<DrainReport, Error> {
+        let host = self.inner.host();
+        host.begin_drain(node)?;
+        let started = self.clock().now();
+        // One migration target serves the whole drain: the first device
+        // on another Active node (deterministic, smallest index).
+        let devices = host.devices();
+        let target = devices
+            .iter()
+            .enumerate()
+            .find(|(_, d)| {
+                d.node != node && host.node_membership(d.node) == Some(MembershipState::Active)
+            })
+            .map(|(index, d)| Device {
+                platform: Arc::clone(&self.inner),
+                index,
+                info: d.clone(),
+            });
+        let mut report = DrainReport {
+            node,
+            peer_migrated: 0,
+            host_relayed: 0,
+            untouched: 0,
+            bytes_evacuated: 0,
+            deadline_degraded: false,
+        };
+        for buffer in self.inner.live_buffers() {
+            let over_deadline = opts
+                .deadline
+                .is_some_and(|d| self.clock().now().saturating_duration_since(started) >= d);
+            let force_relay = over_deadline || target.is_none();
+            match buffer.evacuate_node(node, target.as_ref(), force_relay)? {
+                EvacOutcome::Untouched => report.untouched += 1,
+                EvacOutcome::PeerMigrated(bytes) => {
+                    report.peer_migrated += 1;
+                    report.bytes_evacuated += bytes;
+                }
+                EvacOutcome::HostRelayed(bytes) => {
+                    if over_deadline {
+                        report.deadline_degraded = true;
+                    }
+                    report.host_relayed += 1;
+                    report.bytes_evacuated += bytes;
+                }
+            }
+        }
+        self.inner.cluster.remove_node(node)?;
+        Ok(report)
+    }
+
+    /// The `Active` node holding the fewest resident buffer bytes — the
+    /// cheapest node to drain when scaling down. `None` when fewer than
+    /// two nodes are active (never drain the last one).
+    pub fn least_resident_node(&self) -> Option<NodeId> {
+        let active = self.active_nodes();
+        if active.len() < 2 {
+            return None;
+        }
+        let host = self.inner.host();
+        let devices = host.devices();
+        let buffers = self.inner.live_buffers();
+        active.into_iter().min_by_key(|&n| {
+            devices
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| d.node == n)
+                .map(|(i, _)| buffers.iter().map(|b| b.resident_bytes_on(i)).sum::<u64>())
+                .sum::<u64>()
+        })
+    }
+
+    /// Feeds one autoscaler policy tick from the live metrics: the
+    /// queue-depth series summed over the fleet, divided across the
+    /// currently `Active` nodes. The caller actuates the returned
+    /// decision ([`Platform::add_node`] on `ScaleUp`,
+    /// [`Platform::drain_node`] on the
+    /// [`Platform::least_resident_node`] for `ScaleDown`).
+    pub fn autoscale_tick(&self, autoscaler: &mut Autoscaler) -> Decision {
+        let active = self.active_nodes().len();
+        let sample = LoadSample::from_metrics_text(&self.render_metrics(), active);
+        autoscaler.observe(&sample, &self.inner.obs)
     }
 
     /// Exports every recorded span as a Chrome trace-event JSON document

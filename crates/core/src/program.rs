@@ -12,7 +12,7 @@ use haocl_sim::Phase;
 
 use crate::context::Context;
 use crate::error::{Error, Status};
-use crate::platform::PlatformInner;
+use crate::platform::{Device, PlatformInner};
 
 pub(crate) enum ProgramForm {
     /// OpenCL C source, compiled on CPU/GPU nodes.
@@ -95,8 +95,23 @@ impl Program {
     pub fn build(&self) -> Result<(), Error> {
         let devices = self.inner.context.devices().to_vec();
         for device in &devices {
+            self.build_for(device)?;
+        }
+        Ok(())
+    }
+
+    /// Builds the program for one device, even a device outside the
+    /// program's original context — how an already-built program reaches
+    /// a node that joined the cluster after the build. Idempotent per
+    /// device.
+    ///
+    /// # Errors
+    ///
+    /// As [`Program::build`].
+    pub fn build_for(&self, device: &Device) -> Result<(), Error> {
+        {
             if self.inner.built.lock().contains(&device.index) {
-                continue;
+                return Ok(());
             }
             let call = match &self.inner.form {
                 ProgramForm::Source(source) => {

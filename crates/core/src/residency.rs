@@ -171,6 +171,24 @@ impl ResidencyTracker {
         self.allocated.iter().copied().collect()
     }
 
+    /// Evicts one device's replica and allocation (the device's node is
+    /// voluntarily leaving the cluster and its state has been migrated
+    /// or is about to be destroyed). Unlike an epoch-driven drop in
+    /// [`ResidencyTracker::revalidate`], eviction is unconditional —
+    /// even a replayable lineage dies with a departed node, because its
+    /// journal is cleared on retirement. If the evicted replica was the
+    /// last current copy, the host shadow is promoted (the caller is
+    /// expected to have refreshed it first when the bytes matter).
+    pub(crate) fn evict_device(&mut self, dev: usize) {
+        self.replicas.remove(&dev);
+        self.allocated.remove(&dev);
+        let any_current =
+            self.host_current() || self.replicas.values().any(|r| r.version == self.version);
+        if !any_current {
+            self.host_version = self.version;
+        }
+    }
+
     /// Forgets every replica and allocation (buffer teardown).
     pub(crate) fn clear(&mut self) {
         self.replicas.clear();
@@ -267,6 +285,25 @@ mod tests {
         t.revalidate(|dev| if dev == 0 { 3 } else { 9 });
         assert_eq!(t.owner_device(), Some(0));
         assert!(!t.host_current());
+    }
+
+    #[test]
+    fn evict_drops_even_replayable_replicas_and_promotes_the_shadow() {
+        let mut t = ResidencyTracker::new();
+        t.note_allocated(0);
+        t.record_write(Location::Device(0), 0, true);
+        assert!(!t.host_current());
+        t.evict_device(0);
+        assert_eq!(t.owner_device(), None);
+        assert!(!t.is_allocated(0));
+        assert!(t.host_current(), "last copy gone: shadow promoted");
+        // Evicting one of several replicas leaves the others current.
+        let mut t = ResidencyTracker::new();
+        t.record_write(Location::Device(0), 0, true);
+        t.record_sync(Location::Device(1), 0, true);
+        t.evict_device(0);
+        assert_eq!(t.owner_device(), Some(1));
+        assert!(!t.host_current(), "a surviving replica is still newest");
     }
 
     #[test]

@@ -122,6 +122,12 @@ pub mod names {
     /// thousandths of the base class's time unit (milli-units, since
     /// gauges are integral).
     pub const CURRENCY_RATE: &str = "haocl_compute_currency_rate_milli";
+    /// Gauge: a node's membership state — `0` joining, `1` active,
+    /// `2` draining, `3` departed.
+    pub const NODE_STATE: &str = "haocl_node_state";
+    /// Counter: autoscaler scale actions, labelled by `direction`
+    /// (`up` / `down`).
+    pub const AUTOSCALE_EVENTS: &str = "haocl_autoscale_events_total";
 }
 
 /// The bundle every instrumented layer shares: one span [`Recorder`], one

@@ -105,6 +105,11 @@ pub struct NodeRow {
     /// Health verdict: `healthy` / `degraded` / `quarantined` /
     /// `unknown` (no gauge exported).
     pub health: String,
+    /// Membership state: `joining` / `active` / `draining` / `departed`
+    /// / `unknown` — from the `policy=membership` audit records (last
+    /// transition wins), falling back to the `haocl_node_state` gauge
+    /// for transitions that predate tracing (e.g. the founding join).
+    pub state: String,
     /// Placements won by this node.
     pub placements: u64,
     /// Placements won *while flagged degraded* (the advisory verdict in
@@ -131,10 +136,13 @@ pub struct FleetSnapshot {
     pub nodes: Vec<NodeRow>,
     /// Warm-profile recalibrations performed.
     pub recalibrations: u64,
-    /// Audit placements parsed (excludes node-health rows).
+    /// Audit placements parsed (excludes node-health, membership and
+    /// autoscale rows).
     pub total_placements: u64,
     /// Drift verdict transitions recorded in the audit log.
     pub drift_transitions: u64,
+    /// Autoscaler scale decisions recorded in the audit log.
+    pub autoscale_events: u64,
 }
 
 impl FleetSnapshot {
@@ -154,9 +162,28 @@ impl FleetSnapshot {
                 node: node.to_string(),
                 kind: "?".to_string(),
                 health: "unknown".to_string(),
+                state: "unknown".to_string(),
                 ..NodeRow::default()
             });
         };
+        // Membership baseline from the unconditional gauge; audit
+        // transition rows (recorded only while tracing) override below.
+        for s in samples
+            .iter()
+            .filter(|s| s.name == crate::names::NODE_STATE)
+        {
+            if let Some(node) = s.labels.get("node") {
+                row(node, &mut rows);
+                rows.get_mut(node).unwrap().state = match s.value as i64 {
+                    0 => "joining",
+                    1 => "active",
+                    2 => "draining",
+                    3 => "departed",
+                    _ => "unknown",
+                }
+                .to_string();
+            }
+        }
         for s in samples
             .iter()
             .filter(|s| s.name == crate::names::DEVICE_HEALTH)
@@ -198,9 +225,24 @@ impl FleetSnapshot {
                 snapshot.drift_transitions += 1;
                 continue;
             }
+            if audit_field(line, "policy") == Some("autoscale") {
+                snapshot.autoscale_events += 1;
+                continue;
+            }
             let Some(chosen) = audit_field(line, "chosen") else {
                 continue;
             };
+            if audit_field(line, "policy") == Some("membership") {
+                // `reason="state=<State> node=<name>"` transition rows:
+                // the chosen column carries the node, later rows win.
+                let state = audit_field(line, "reason")
+                    .and_then(|r| r.trim_start_matches('"').strip_prefix("state="));
+                if let (Some((node, _)), Some(state)) = (chosen.split_once('/'), state) {
+                    row(node, &mut rows);
+                    rows.get_mut(node).unwrap().state = state.to_lowercase();
+                }
+                continue;
+            }
             snapshot.total_placements += 1;
             let (node, kind) = match chosen.split_once('/') {
                 Some((node, kind)) => (node, Some(kind)),
@@ -270,17 +312,20 @@ impl FleetSnapshot {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "haocl-top — {} nodes, {} placements, {} recalibrations, {} drift transitions\n",
+            "haocl-top — {} nodes, {} placements, {} recalibrations, {} drift transitions, \
+             {} autoscale events\n",
             self.nodes.len(),
             self.total_placements,
             self.recalibrations,
-            self.drift_transitions
+            self.drift_transitions,
+            self.autoscale_events
         ));
         out.push_str(&format!(
-            "{:<8} {:<6} {:<12} {:>6} {:>9} {:>8} {:>6} {:>14} {:>9}\n",
+            "{:<8} {:<6} {:<12} {:<9} {:>6} {:>9} {:>8} {:>6} {:>14} {:>9}\n",
             "NODE",
             "KIND",
             "HEALTH",
+            "STATE",
             "PLACE",
             "DEGR.WIN",
             "AVOIDED",
@@ -290,10 +335,11 @@ impl FleetSnapshot {
         ));
         for n in &self.nodes {
             out.push_str(&format!(
-                "{:<8} {:<6} {:<12} {:>6} {:>9} {:>8} {:>6} {:>14} {:>9}\n",
+                "{:<8} {:<6} {:<12} {:<9} {:>6} {:>9} {:>8} {:>6} {:>14} {:>9}\n",
                 n.node,
                 n.kind,
                 n.health,
+                n.state,
                 n.placements,
                 n.degraded_wins,
                 n.avoided,
@@ -313,12 +359,13 @@ impl FleetSnapshot {
             .iter()
             .map(|n| {
                 format!(
-                    "{{\"node\":{},\"kind\":{},\"health\":{},\"placements\":{},\
+                    "{{\"node\":{},\"kind\":{},\"health\":{},\"state\":{},\"placements\":{},\
                      \"degraded_wins\":{},\"avoided\":{},\"queue_depth\":{},\
                      \"mean_latency_nanos\":{},\"currency_rate\":{}}}",
                     json_str(&n.node),
                     json_str(&n.kind),
                     json_str(&n.health),
+                    json_str(&n.state),
                     n.placements,
                     n.degraded_wins,
                     n.avoided,
@@ -331,10 +378,11 @@ impl FleetSnapshot {
             .collect();
         format!(
             "{{\"total_placements\":{},\"recalibrations\":{},\"drift_transitions\":{},\
-             \"any_unhealthy\":{},\"nodes\":[{}]}}",
+             \"autoscale_events\":{},\"any_unhealthy\":{},\"nodes\":[{}]}}",
             self.total_placements,
             self.recalibrations,
             self.drift_transitions,
+            self.autoscale_events,
             self.any_unhealthy(),
             nodes.join(",")
         )
@@ -370,6 +418,9 @@ haocl_degraded_placements_avoided_total{node=\"node1\"} 7
 # TYPE haocl_device_health gauge
 haocl_device_health{node=\"node0\"} 0
 haocl_device_health{node=\"node1\"} 1
+# TYPE haocl_node_state gauge
+haocl_node_state{node=\"node0\"} 1
+haocl_node_state{node=\"node1\"} 1
 # TYPE haocl_kernel_latency_nanos histogram
 haocl_kernel_latency_nanos_bucket{kernel=\"mm\",kind=\"GPU\",le=\"+Inf\"} 2
 haocl_kernel_latency_nanos_sum{kernel=\"mm\",kind=\"GPU\"} 3000
@@ -385,6 +436,8 @@ place kernel=mm tenant=default policy=hetero-aware chosen=node0/Gpu health=ok fu
 place kernel=mm tenant=default policy=hetero-aware chosen=node1/Gpu health=degraded(x2.00) fused=- reason=\"r\" candidates=[]
 place kernel=<node-health> tenant=default policy=drift chosen=device1 health=- fused=- reason=\"node node1 degraded\" candidates=[]
 place kernel=mm tenant=default policy=hetero-aware chosen=node0/Gpu health=ok fused=- reason=\"r\" candidates=[]
+place kernel=<autoscale> tenant=default policy=autoscale chosen=device0 health=- fused=- reason=\"decision=up queue_depth=20\" candidates=[]
+place kernel=<membership> tenant=default policy=membership chosen=node1/- health=- fused=- reason=\"state=Draining node=node1\" candidates=[]
 ";
 
     #[test]
@@ -400,17 +453,21 @@ place kernel=mm tenant=default policy=hetero-aware chosen=node0/Gpu health=ok fu
         assert_eq!(snap.total_placements, 3);
         assert_eq!(snap.recalibrations, 4);
         assert_eq!(snap.drift_transitions, 1);
+        assert_eq!(snap.autoscale_events, 1);
         assert!(snap.any_unhealthy());
         assert_eq!(snap.nodes.len(), 2);
         let n0 = &snap.nodes[0];
         assert_eq!((n0.node.as_str(), n0.health.as_str()), ("node0", "healthy"));
         assert_eq!((n0.placements, n0.degraded_wins), (2, 0));
+        assert_eq!(n0.state, "active");
         assert_eq!(n0.queue_depth, Some(3));
         assert_eq!(n0.mean_latency_nanos, Some(1500.0));
         assert_eq!(n0.currency_rate, Some(1.0));
         let n1 = &snap.nodes[1];
         assert_eq!(n1.health, "degraded");
         assert_eq!((n1.placements, n1.degraded_wins, n1.avoided), (1, 1, 7));
+        // The audit transition row wins over the gauge baseline.
+        assert_eq!(n1.state, "draining");
     }
 
     #[test]
@@ -428,10 +485,48 @@ place kernel=mm tenant=default policy=hetero-aware chosen=node0/Gpu health=ok fu
         let json = snap.to_json();
         assert!(json.contains("\"any_unhealthy\":true"), "{json}");
         assert!(
-            json.contains("\"node\":\"node1\",\"kind\":\"GPU\",\"health\":\"degraded\""),
+            json.contains(
+                "\"node\":\"node1\",\"kind\":\"GPU\",\"health\":\"degraded\",\"state\":\"draining\""
+            ),
             "{json}"
         );
         assert!(json.contains("\"avoided\":7"), "{json}");
+        assert!(json.contains("\"autoscale_events\":1"), "{json}");
+    }
+
+    #[test]
+    fn membership_states_render_without_counting_as_placements() {
+        let metrics = "\
+# TYPE haocl_node_state gauge
+haocl_node_state{node=\"gpu0\"} 3
+haocl_node_state{node=\"gpu1\"} 0
+";
+        let audit = "\
+place kernel=<membership> tenant=default policy=membership chosen=gpu1/- health=- fused=- reason=\"state=Joining node=gpu1\" candidates=[]
+place kernel=<membership> tenant=default policy=membership chosen=gpu1/- health=- fused=- reason=\"state=Active node=gpu1\" candidates=[]
+place kernel=<autoscale> tenant=default policy=autoscale chosen=device0 health=- fused=- reason=\"decision=up queue_depth=9\" candidates=[]
+";
+        let snap = FleetSnapshot::from_text(metrics, audit);
+        assert_eq!(snap.total_placements, 0);
+        assert_eq!(snap.autoscale_events, 1);
+        let by_name = |name: &str| snap.nodes.iter().find(|n| n.node == name).unwrap();
+        assert_eq!(by_name("gpu0").state, "departed");
+        assert_eq!(by_name("gpu1").state, "active");
+        let text = snap.render();
+        assert!(text.contains("departed"), "{text}");
+        assert!(text.contains("1 autoscale events"), "{text}");
+        // Golden `--report json` shape for the elastic fleet columns.
+        assert_eq!(
+            snap.to_json(),
+            "{\"total_placements\":0,\"recalibrations\":0,\"drift_transitions\":0,\
+             \"autoscale_events\":1,\"any_unhealthy\":false,\"nodes\":[\
+             {\"node\":\"gpu0\",\"kind\":\"?\",\"health\":\"unknown\",\"state\":\"departed\",\
+             \"placements\":0,\"degraded_wins\":0,\"avoided\":0,\"queue_depth\":null,\
+             \"mean_latency_nanos\":null,\"currency_rate\":null},\
+             {\"node\":\"gpu1\",\"kind\":\"?\",\"health\":\"unknown\",\"state\":\"active\",\
+             \"placements\":0,\"degraded_wins\":0,\"avoided\":0,\"queue_depth\":null,\
+             \"mean_latency_nanos\":null,\"currency_rate\":null}]}"
+        );
     }
 
     #[test]
@@ -445,6 +540,6 @@ place kernel=mm tenant=default policy=hetero-aware chosen=node0/Gpu health=ok fu
         let snap = FleetSnapshot::from_text("", "");
         assert!(snap.nodes.is_empty());
         assert!(!snap.any_unhealthy());
-        assert_eq!(snap.to_json(), "{\"total_placements\":0,\"recalibrations\":0,\"drift_transitions\":0,\"any_unhealthy\":false,\"nodes\":[]}");
+        assert_eq!(snap.to_json(), "{\"total_placements\":0,\"recalibrations\":0,\"drift_transitions\":0,\"autoscale_events\":0,\"any_unhealthy\":false,\"nodes\":[]}");
     }
 }

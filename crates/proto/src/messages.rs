@@ -375,6 +375,11 @@ pub enum ApiCall {
         /// Slowdown multiplier, clamped to ≥ 1.0 device-side.
         factor: f64,
     },
+    /// Tell the node it is draining out of the cluster: refuse fresh
+    /// kernel launches (buffer traffic and in-flight work continue, so
+    /// live migration can proceed). Idempotent control call: not
+    /// journaled, safe to re-execute on retry.
+    BeginDrain,
     /// Liveness check.
     Ping,
     /// Orderly shutdown of the NMP.
@@ -1074,6 +1079,7 @@ impl Encode for ApiCall {
                 device.encode(buf);
                 factor.encode(buf);
             }
+            ApiCall::BeginDrain => buf.put_u8(21),
         }
     }
 }
@@ -1196,6 +1202,7 @@ impl Decode for ApiCall {
                 device: Decode::decode(buf)?,
                 factor: Decode::decode(buf)?,
             },
+            21 => ApiCall::BeginDrain,
             tag => {
                 return Err(WireError::InvalidTag {
                     what: "ApiCall",
@@ -1743,6 +1750,7 @@ mod tests {
                 device: 2,
                 factor: 3.5,
             },
+            ApiCall::BeginDrain,
         ];
         for call in calls {
             roundtrip(call);

@@ -117,6 +117,16 @@ impl QuarantineTracker {
     /// runtime performed for this node, i.e. one strike. Returns `true`
     /// when the observation newly quarantined the node.
     pub fn observe_epoch(&self, node: NodeId, epoch: u32) -> bool {
+        self.observe_epochs(node, epoch, 0)
+    }
+
+    /// Like [`QuarantineTracker::observe_epoch`], but with the node's
+    /// *voluntary* epoch count (graceful drains) subtracted first. A
+    /// drain bumps the routing epoch exactly like a crash does — the
+    /// bump is what invalidates stale residency — but it is an operator
+    /// decision, not a failure signal, so it must not earn strikes.
+    pub fn observe_epochs(&self, node: NodeId, epoch: u32, voluntary: u32) -> bool {
+        let epoch = epoch.saturating_sub(voluntary);
         let mut nodes = self.nodes.lock();
         let health = nodes.entry(node.raw()).or_default();
         let new_strikes = epoch.saturating_sub(health.last_epoch);
@@ -162,6 +172,15 @@ impl QuarantineTracker {
             health.strikes = 0;
             health.quarantined = false;
         }
+    }
+
+    /// Erases everything the tracker knows about a node: strikes,
+    /// epoch baseline, quarantine and degraded flags. Called when a
+    /// node *voluntarily* departs the cluster — its history must not
+    /// follow a fresh node that later rejoins under the same id, and a
+    /// drain is not evidence of ill health.
+    pub fn forget(&self, node: NodeId) {
+        self.nodes.lock().remove(&node.raw());
     }
 
     /// Sets the advisory `Degraded` flag on a node (drift-detector
@@ -289,6 +308,41 @@ mod tests {
         assert!(!t.clear_degraded(n));
         assert!(t.is_quarantined(n));
         assert_eq!(t.condition(n), NodeCondition::Quarantined);
+    }
+
+    #[test]
+    fn voluntary_epochs_earn_no_strikes() {
+        let t = QuarantineTracker::new(2);
+        let n = NodeId::new(5);
+        // Two drains, zero crashes: epoch 2, voluntary 2 — healthy.
+        assert!(!t.observe_epochs(n, 2, 2));
+        assert_eq!(t.strikes(n), 0);
+        assert_eq!(t.condition(n), NodeCondition::Healthy);
+        // One real failover on top of the drains is exactly one strike.
+        assert!(!t.observe_epochs(n, 3, 2));
+        assert_eq!(t.strikes(n), 1);
+        // A second real failover quarantines as usual.
+        assert!(t.observe_epochs(n, 4, 2));
+        assert!(t.is_quarantined(n));
+    }
+
+    #[test]
+    fn forget_wipes_history_for_a_rejoining_node() {
+        let t = QuarantineTracker::new(2);
+        let n = NodeId::new(6);
+        t.record_failure(n);
+        t.record_failure(n);
+        t.mark_degraded(n);
+        assert!(t.is_quarantined(n));
+        t.forget(n);
+        assert!(!t.is_quarantined(n));
+        assert!(!t.is_degraded(n));
+        assert_eq!(t.strikes(n), 0);
+        assert_eq!(t.condition(n), NodeCondition::Healthy);
+        // The epoch baseline is gone too: a rejoin re-observing the
+        // (voluntary-adjusted) epoch 0 starts clean, not mid-history.
+        assert!(!t.observe_epochs(n, 0, 0));
+        assert_eq!(t.strikes(n), 0);
     }
 
     #[test]

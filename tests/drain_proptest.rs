@@ -1,0 +1,299 @@
+//! Property tests for elastic membership: random interleavings of
+//! launches, host writes/reads, drains and joins — optionally under
+//! seeded network chaos — must keep every observable byte equal to a
+//! trivial `Vec<u8>` reference model. A read that trusted a replica
+//! left behind on a departed node (a stale epoch) would diverge from
+//! the model immediately, so byte equality *is* the "no read from a
+//! departed epoch" invariant.
+//!
+//! The same interleavings also audit the tenant quota ledger: buffers
+//! are created through a serving-plane session, and however many of
+//! their replicas die with drained nodes, the ledger must hold exactly
+//! the live bytes mid-run and balance back to zero when the buffers
+//! drop — a departed node's allocations are released exactly once.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use haocl::auto::AutoScheduler;
+use haocl::{
+    ChaosPolicy, ChaosSpec, CommandQueue, Context, Decision, DeviceKind, DeviceType, DrainOptions,
+    Kernel, MembershipState, NodeSpec, Platform, Program, RecoveryPolicy, ServingPlane, TenantSpec,
+};
+use haocl_cluster::ClusterConfig;
+use haocl_kernel::{KernelRegistry, NdRange};
+use haocl_sched::policies;
+
+/// Buffer size in bytes: 8 int lanes.
+const SIZE: usize = 32;
+const LANES: usize = SIZE / 4;
+
+/// Pure bitwise transform: device execution and the reference model
+/// agree exactly, and `k` applications differ from `k±1`.
+const SCRAMBLE_SRC: &str =
+    "__kernel void scramble(__global int* a) { int i = get_global_id(0); a[i] = a[i] ^ (i + 1); }";
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Scheduler-placed launch of `scramble` over buffer `buf`.
+    Launch { buf: usize },
+    /// `clEnqueueWriteBuffer` of `data` at `offset`.
+    HostWrite {
+        buf: usize,
+        offset: usize,
+        data: Vec<u8>,
+    },
+    /// `clEnqueueReadBuffer`, checked against the reference immediately.
+    HostRead {
+        buf: usize,
+        offset: usize,
+        len: usize,
+    },
+    /// Drain the `sel`-th active node (skipped when it is the last one).
+    Drain { sel: usize },
+    /// Join a fresh node and teach the running scheduler about it.
+    Join,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..2usize).prop_map(|buf| Op::Launch { buf }),
+        (
+            0..2usize,
+            0..SIZE,
+            proptest::collection::vec(any::<u8>(), 1..9)
+        )
+            .prop_map(|(buf, offset, data)| Op::HostWrite { buf, offset, data }),
+        (0..2usize, 0..SIZE, 1..SIZE + 1).prop_map(|(buf, offset, len)| Op::HostRead {
+            buf,
+            offset,
+            len
+        }),
+        (0..8usize).prop_map(|sel| Op::Drain { sel }),
+        Just(Op::Join),
+    ]
+}
+
+fn scramble_ref(model: &mut [u8]) {
+    for i in 0..LANES {
+        let mut v = i32::from_le_bytes(model[i * 4..i * 4 + 4].try_into().unwrap());
+        v ^= (i + 1) as i32;
+        model[i * 4..i * 4 + 4].copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn node_hosts(config: &ClusterConfig) -> Vec<String> {
+    config
+        .nodes
+        .iter()
+        .map(|s| s.addr.split(':').next().unwrap_or(&s.addr).to_string())
+        .collect()
+}
+
+/// Runs `ops` against a fresh 3-node fleet, checking every read against
+/// the reference model and the ledger/final bytes at the end. `chaos`
+/// toggles a lossy-network overlay (with retry + failover recovery).
+fn check_against_reference(ops: &[Op], chaos_seed: Option<u64>) {
+    let config = ClusterConfig::gpu_cluster(3);
+    let platform = Platform::cluster(&config, KernelRegistry::new()).unwrap();
+    let chaotic = if let Some(seed) = chaos_seed {
+        let spec = ChaosSpec::parse("drop=0.02,delay=0.05:200us,dup=0.02")
+            .unwrap()
+            .resolve_wildcards(&node_hosts(&config), seed);
+        platform.install_chaos(ChaosPolicy::new(seed, spec));
+        platform.set_recovery(Some(RecoveryPolicy {
+            base_timeout: Duration::from_millis(10),
+            max_attempts: 4,
+            failover: true,
+        }));
+        true
+    } else {
+        false
+    };
+    let ctx = Context::new(&platform, &platform.devices(DeviceType::All)).unwrap();
+    let mut auto = AutoScheduler::new(&ctx, Box::new(policies::RoundRobin::new())).unwrap();
+    let plane = ServingPlane::new(&ctx, Box::new(policies::RoundRobin::new())).unwrap();
+    let session = plane.open_session(TenantSpec::new("drain-props"));
+    // Host I/O rides whichever queue still fronts an Active node — a
+    // queue pinned to a drained node refuses work, by design.
+    let staging = |auto: &AutoScheduler| -> CommandQueue {
+        auto.queues()
+            .iter()
+            .find(|q| {
+                platform.node_membership(q.device().node_id()) == Some(MembershipState::Active)
+            })
+            .expect("at least one active node")
+            .clone()
+    };
+    let prog = Program::from_source(&ctx, SCRAMBLE_SRC);
+    prog.build().unwrap();
+    let kernel = Kernel::new(&prog, "scramble").unwrap();
+    let buffers = [
+        session
+            .create_buffer(haocl::MemFlags::READ_WRITE, SIZE as u64)
+            .unwrap(),
+        session
+            .create_buffer(haocl::MemFlags::READ_WRITE, SIZE as u64)
+            .unwrap(),
+    ];
+    let mut model = [vec![0u8; SIZE], vec![0u8; SIZE]];
+    let mut joins = 0usize;
+
+    for op in ops {
+        match op {
+            Op::Launch { buf } => {
+                kernel.set_arg_buffer(0, &buffers[*buf]).unwrap();
+                let (ev, _) = auto
+                    .launch(&kernel, NdRange::linear(LANES as u64, 4))
+                    .unwrap();
+                ev.wait().unwrap();
+                scramble_ref(&mut model[*buf]);
+            }
+            Op::HostWrite { buf, offset, data } => {
+                let len = data.len().min(SIZE - offset);
+                let data = &data[..len];
+                staging(&auto)
+                    .enqueue_write_buffer(&buffers[*buf], *offset as u64, data)
+                    .unwrap();
+                model[*buf][*offset..*offset + len].copy_from_slice(data);
+            }
+            Op::HostRead { buf, offset, len } => {
+                let len = (*len).min(SIZE - offset);
+                let mut out = vec![0u8; len];
+                staging(&auto)
+                    .enqueue_read_buffer(&buffers[*buf], *offset as u64, &mut out)
+                    .unwrap();
+                assert_eq!(out, model[*buf][*offset..*offset + len], "read {op:?}");
+            }
+            Op::Drain { sel } => {
+                let active = platform.active_nodes();
+                if active.len() < 2 {
+                    continue;
+                }
+                let victim = active[sel % active.len()];
+                // Under chaos a drain may fail mid-migration; it leaves
+                // the node Draining (out of the candidate set, state
+                // intact) and the interleaving moves on.
+                match platform.drain_node(victim, DrainOptions::default()) {
+                    Ok(_) => assert_eq!(
+                        platform.node_membership(victim),
+                        Some(MembershipState::Departed)
+                    ),
+                    Err(e) => {
+                        assert!(chaotic, "clean-network drain failed: {e:?}");
+                        assert_eq!(
+                            platform.node_membership(victim),
+                            Some(MembershipState::Draining)
+                        );
+                    }
+                }
+                // The newest bytes must have survived the departure.
+                for (buf, model) in buffers.iter().zip(&model) {
+                    let mut out = vec![0u8; SIZE];
+                    staging(&auto)
+                        .enqueue_read_buffer(buf, 0, &mut out)
+                        .unwrap();
+                    assert_eq!(&out, model, "drain of {victim:?} lost bytes");
+                }
+            }
+            Op::Join => {
+                joins += 1;
+                let spec = NodeSpec {
+                    name: format!("elastic{joins}"),
+                    addr: format!("10.0.9.{joins}:7100"),
+                    devices: vec![DeviceKind::Gpu],
+                };
+                platform.add_node(&spec).unwrap();
+                assert_eq!(auto.sync_membership().unwrap(), 1);
+            }
+        }
+        // Mid-run ledger invariant: exactly the live buffer bytes are
+        // charged, no matter how many replicas drains have destroyed.
+        assert_eq!(session.stats().unwrap().mem_bytes, 2 * SIZE as u64);
+    }
+
+    for q in auto.queues() {
+        if platform.node_membership(q.device().node_id()) == Some(MembershipState::Active) {
+            q.finish();
+        }
+    }
+    for (buf, model) in buffers.iter().zip(&model) {
+        let mut out = vec![0u8; SIZE];
+        staging(&auto)
+            .enqueue_read_buffer(buf, 0, &mut out)
+            .unwrap();
+        assert_eq!(&out, model, "final contents diverged from the reference");
+    }
+
+    // Pure voluntary departures must never quarantine anyone.
+    if !chaotic {
+        let metrics = platform.render_metrics();
+        for line in metrics.lines() {
+            if line.starts_with("haocl_quarantines_total") {
+                assert!(line.ends_with(" 0"), "voluntary drains quarantined: {line}");
+            }
+        }
+    }
+
+    // The quota ledger balances: dropping the buffers releases every
+    // charge exactly once, including allocations that died with a
+    // departed node (their release is a no-op by design, not a leak).
+    // The kernel's bound argument holds the last buffer handle.
+    drop(kernel);
+    drop(buffers);
+    assert_eq!(session.stats().unwrap().mem_bytes, 0, "quota ledger leaked");
+}
+
+/// Exercises `Decision` linkage so the scaler can ride along a random
+/// membership trajectory: ticking an idle fleet never scales below one
+/// node, whatever the drains/joins did first.
+fn scaler_never_underflows(platform: &Platform) {
+    let mut scaler = haocl::Autoscaler::new(haocl::AutoscaleConfig {
+        min_nodes: 1,
+        ..haocl::AutoscaleConfig::default()
+    });
+    for _ in 0..12 {
+        if platform.autoscale_tick(&mut scaler) == Decision::ScaleDown {
+            let victim = platform
+                .least_resident_node()
+                .expect("ScaleDown implies a drainable node");
+            platform
+                .drain_node(victim, DrainOptions::default())
+                .unwrap();
+        }
+        assert!(!platform.active_nodes().is_empty());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn drain_join_interleavings_match_the_residency_model(
+        ops in proptest::collection::vec(op_strategy(), 1..24)
+    ) {
+        check_against_reference(&ops, None);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn drains_survive_lossy_chaos(
+        seed in any::<u64>(),
+        ops in proptest::collection::vec(op_strategy(), 1..12)
+    ) {
+        check_against_reference(&ops, Some(seed));
+    }
+}
+
+#[test]
+fn idle_autoscaling_never_drains_the_last_node() {
+    let platform =
+        Platform::cluster(&ClusterConfig::gpu_cluster(3), KernelRegistry::new()).unwrap();
+    platform.set_tracing(true);
+    scaler_never_underflows(&platform);
+    assert_eq!(platform.active_nodes().len(), 1);
+}
