@@ -17,6 +17,7 @@
 //! are the reproduction target. See `EXPERIMENTS.md`.
 
 pub mod text;
+pub mod wall;
 
 use haocl::{DeviceKind, Error, Platform};
 use haocl_cluster::ClusterConfig;

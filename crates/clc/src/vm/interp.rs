@@ -1,0 +1,485 @@
+//! The reference interpreter engine.
+//!
+//! This is the original tree-walking/state-machine executor, kept as the
+//! byte-exact oracle: `run_ndrange_checked` and `run_ndrange_observed`
+//! always run here, and every other engine is validated against it.
+//! Work-items of one group are state machines — (pc, operand stack,
+//! slots) — so `barrier()` suspension is a cheap save/restore rather
+//! than one OS thread per item.
+
+use crate::bytecode::{CompiledKernel, Geom, Instr};
+use crate::types::ScalarType;
+
+use super::ops::*;
+use super::*;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(super) enum ItemStatus {
+    Running,
+    AtBarrier,
+    Done,
+}
+
+/// One work-item's resumable machine state, shared with the compiled
+/// engine so both schedule items identically.
+pub(super) struct Item {
+    pub(super) pc: usize,
+    pub(super) stack: Vec<Value>,
+    pub(super) slots: Vec<Value>,
+    pub(super) status: ItemStatus,
+    pub(super) global_id: [u64; 3],
+    pub(super) local_id: [u64; 3],
+}
+
+/// Builds one group's items in `lz/ly/lx` order (`lx` fastest) — the
+/// item schedule every engine shares.
+pub(super) fn build_items(
+    kernel: &CompiledKernel,
+    bound: &[Value],
+    range: &NdRange,
+    group_id: [u64; 3],
+) -> Vec<Item> {
+    let mut items = Vec::with_capacity(range.group_items() as usize);
+    for lz in 0..range.local[2] {
+        for ly in 0..range.local[1] {
+            for lx in 0..range.local[0] {
+                let local_id = [lx, ly, lz];
+                let global_id = [
+                    group_id[0] * range.local[0] + lx,
+                    group_id[1] * range.local[1] + ly,
+                    group_id[2] * range.local[2] + lz,
+                ];
+                let mut slots = vec![Value::I32(0); kernel.n_slots as usize];
+                slots[..bound.len()].copy_from_slice(bound);
+                items.push(Item {
+                    pc: 0,
+                    stack: Vec::with_capacity(16),
+                    slots,
+                    status: ItemStatus::Running,
+                    global_id,
+                    local_id,
+                });
+            }
+        }
+    }
+    items
+}
+
+/// Scans a stalled pass for divergence: returns `Ok(false)` when every
+/// item is done, `Ok(true)` when all items wait at one barrier (release
+/// them), or the shared divergence error. Identical across engines.
+pub(super) fn barrier_stall_check(
+    kernel: &CompiledKernel,
+    items: &[Item],
+) -> Result<bool, ExecError> {
+    // A waiting item's barrier is at `pc - 1` (the pc was advanced
+    // before the Barrier executed).
+    let waiting_pcs: Vec<usize> = items
+        .iter()
+        .filter(|i| i.status == ItemStatus::AtBarrier)
+        .map(|i| i.pc - 1)
+        .collect();
+    if waiting_pcs.is_empty() {
+        return Ok(false);
+    }
+    let done = items.len() - waiting_pcs.len();
+    if done > 0 {
+        return Err(divergence_unreached(
+            kernel,
+            waiting_pcs.len(),
+            waiting_pcs[0],
+            done,
+        ));
+    }
+    // Every item waits — but a release is only legal when they all
+    // wait at the *same* barrier. Divergent control flow can park
+    // items at distinct barrier sites, which real devices deadlock
+    // or corrupt on; report it as divergence instead.
+    if let Some(&other) = waiting_pcs.iter().find(|&&pc| pc != waiting_pcs[0]) {
+        return Err(divergence_mixed(kernel, waiting_pcs[0], other));
+    }
+    Ok(true)
+}
+
+/// Dynamic `__local` race oracle.
+///
+/// For every arena byte it tracks the set of work-items (linear local
+/// index) that wrote the byte's *current value* since the last barrier:
+///
+/// * a read is racy when the byte has writers and the reader is not one
+///   of them (it observes another item's unsynchronized write);
+/// * a value-changing write is racy when a *different* item wrote the
+///   current value (that item's data is silently clobbered);
+/// * a same-value write is benign and joins the writer set, matching the
+///   analyzer's rule that only *different* values stored to one element
+///   constitute a race.
+///
+/// Writer sets are cleared whenever a barrier releases, so
+/// barrier-separated accesses never conflict.
+struct RaceOracle {
+    writers: Vec<Vec<u32>>,
+}
+
+impl RaceOracle {
+    fn new(arena_len: usize) -> Self {
+        RaceOracle {
+            writers: vec![Vec::new(); arena_len],
+        }
+    }
+
+    fn reset(&mut self) {
+        for w in &mut self.writers {
+            w.clear();
+        }
+    }
+
+    /// Returns a conflicting writer if `item` reading `len` bytes at
+    /// `off` races with an unsynchronized write.
+    fn note_read(&self, off: usize, len: usize, item: u32) -> Option<u32> {
+        for w in &self.writers[off..off + len] {
+            if !w.is_empty() && !w.contains(&item) {
+                return Some(w[0]);
+            }
+        }
+        None
+    }
+
+    /// Records `item` overwriting `old` with `new` at `off`; returns a
+    /// conflicting prior writer if the write races.
+    fn note_write(&mut self, off: usize, old: &[u8], new: &[u8], item: u32) -> Option<u32> {
+        for (i, (&o, &n)) in old.iter().zip(new).enumerate() {
+            let w = &mut self.writers[off + i];
+            if o != n {
+                if let Some(&other) = w.iter().find(|&&j| j != item) {
+                    return Some(other);
+                }
+                w.clear();
+                w.push(item);
+            } else if !w.contains(&item) {
+                w.push(item);
+            }
+        }
+        None
+    }
+}
+
+struct Checked {
+    cfg: CheckConfig,
+    oracle: RaceOracle,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_group(
+    kernel: &CompiledKernel,
+    bound: &[Value],
+    buffers: &mut [GlobalBuffer],
+    range: &NdRange,
+    group_id: [u64; 3],
+    num_groups: [u64; 3],
+    arena: &mut [u8],
+    stats: &mut ExecStats,
+    mut checked: Option<&mut Checked>,
+    mut obs: Option<&mut GlobalObs>,
+) -> Result<(), ExecError> {
+    arena.fill(0);
+    if let Some(c) = checked.as_deref_mut() {
+        c.oracle.reset();
+    }
+    let mut items = build_items(kernel, bound, range, group_id);
+    loop {
+        let mut any_running = false;
+        for (idx, item) in items.iter_mut().enumerate() {
+            if item.status == ItemStatus::Running {
+                run_item(
+                    kernel,
+                    item,
+                    buffers,
+                    range,
+                    group_id,
+                    num_groups,
+                    arena,
+                    stats,
+                    idx as u32,
+                    checked.as_deref_mut(),
+                    obs.as_deref_mut(),
+                )?;
+                any_running = true;
+            }
+        }
+        if !any_running {
+            // A full pass with nothing running: all are AtBarrier or Done.
+            if !barrier_stall_check(kernel, &items)? {
+                break;
+            }
+            if let Some(c) = checked.as_deref_mut() {
+                c.oracle.reset();
+            }
+            stats.barriers += 1;
+            for item in &mut items {
+                item.status = ItemStatus::Running;
+            }
+        }
+    }
+    stats.work_items += items.len() as u64;
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_item(
+    kernel: &CompiledKernel,
+    item: &mut Item,
+    buffers: &mut [GlobalBuffer],
+    range: &NdRange,
+    group_id: [u64; 3],
+    num_groups: [u64; 3],
+    arena: &mut [u8],
+    stats: &mut ExecStats,
+    idx: u32,
+    mut checked: Option<&mut Checked>,
+    mut obs: Option<&mut GlobalObs>,
+) -> Result<(), ExecError> {
+    let flat_item = (item.global_id[2] * range.global[1] + item.global_id[1]) * range.global[0]
+        + item.global_id[0];
+    let code = &kernel.code;
+    loop {
+        let Some(instr) = code.get(item.pc) else {
+            // Fell off the end — treated as return (sema always appends one,
+            // so this is belt-and-braces).
+            item.status = ItemStatus::Done;
+            return Ok(());
+        };
+        item.pc += 1;
+        stats.instructions += 1;
+        if let Some(c) = checked.as_deref() {
+            if stats.instructions > c.cfg.max_instructions {
+                return Err(ExecError::with_kind(
+                    ExecErrorKind::BudgetExhausted,
+                    format!(
+                        "instruction budget exhausted in kernel `{}` after {} \
+                         instructions: the kernel may not terminate",
+                        kernel.name, c.cfg.max_instructions
+                    ),
+                ));
+            }
+        }
+        match *instr {
+            Instr::PushInt(v, ty) => item.stack.push(int_value(v, ty)),
+            Instr::PushFloat(v, ty) => item.stack.push(if ty == ScalarType::F32 {
+                Value::F32(v as f32)
+            } else {
+                Value::F64(v)
+            }),
+            Instr::PushBool(b) => item.stack.push(Value::Bool(b)),
+            Instr::PushLocalPtr { byte_offset, elem } => {
+                item.stack.push(Value::Ptr(Ptr {
+                    space: PtrSpace::Local,
+                    elem,
+                    offset: (byte_offset as usize / elem.size_bytes()) as i64,
+                }));
+            }
+            Instr::LoadLocal(slot) => {
+                let v = item.slots[slot as usize];
+                item.stack.push(v);
+            }
+            Instr::StoreLocal(slot) => {
+                let v = pop(&mut item.stack)?;
+                item.slots[slot as usize] = v;
+            }
+            Instr::LoadMem(elem) => {
+                let p = pop(&mut item.stack)?.as_ptr()?;
+                if let (PtrSpace::Global(b), Some(o)) = (p.space, obs.as_deref_mut()) {
+                    if p.offset >= 0 {
+                        let sz = elem.size_bytes();
+                        o.record(GlobalAccess {
+                            buffer: b,
+                            item: flat_item,
+                            write: false,
+                            byte_off: p.offset as u64 * sz as u64,
+                            len: sz as u32,
+                        });
+                    }
+                }
+                if p.space == PtrSpace::Local {
+                    if let Some(c) = checked.as_deref() {
+                        if c.cfg.detect_races {
+                            let sz = elem.size_bytes();
+                            let off = checked_offset(p.offset, sz, arena.len())?;
+                            if let Some(other) = c.oracle.note_read(off, sz, idx) {
+                                return Err(local_race_error(kernel, idx, other, "reads"));
+                            }
+                        }
+                    }
+                }
+                let v = load_mem(p, elem, buffers, arena)?;
+                item.stack.push(v);
+            }
+            Instr::StoreMem(elem) => {
+                let v = pop(&mut item.stack)?;
+                let p = pop(&mut item.stack)?.as_ptr()?;
+                if let (PtrSpace::Global(b), Some(o)) = (p.space, obs.as_deref_mut()) {
+                    if p.offset >= 0 {
+                        let sz = elem.size_bytes();
+                        o.record(GlobalAccess {
+                            buffer: b,
+                            item: flat_item,
+                            write: true,
+                            byte_off: p.offset as u64 * sz as u64,
+                            len: sz as u32,
+                        });
+                    }
+                }
+                let race_check = p.space == PtrSpace::Local
+                    && checked.as_deref().is_some_and(|c| c.cfg.detect_races);
+                if race_check {
+                    let sz = elem.size_bytes();
+                    let off = checked_offset(p.offset, sz, arena.len())?;
+                    let mut old = [0u8; 8];
+                    old[..sz].copy_from_slice(&arena[off..off + sz]);
+                    store_mem(p, elem, &v, buffers, arena)?;
+                    let c = checked.as_deref_mut().expect("race_check implies checked");
+                    if let Some(other) =
+                        c.oracle
+                            .note_write(off, &old[..sz], &arena[off..off + sz], idx)
+                    {
+                        return Err(local_race_error(kernel, idx, other, "overwrites"));
+                    }
+                } else {
+                    store_mem(p, elem, &v, buffers, arena)?;
+                }
+            }
+            Instr::PtrAdd => {
+                let idx = pop(&mut item.stack)?.as_index()?;
+                let p = pop(&mut item.stack)?.as_ptr()?;
+                item.stack.push(Value::Ptr(Ptr {
+                    offset: p.offset + idx,
+                    ..p
+                }));
+            }
+            Instr::Bin(kind, ty) => {
+                let b = pop(&mut item.stack)?;
+                let a = pop(&mut item.stack)?;
+                item.stack.push(bin_op(kind, ty, a, b)?);
+            }
+            Instr::Cmp(kind, ty) => {
+                let b = pop(&mut item.stack)?;
+                let a = pop(&mut item.stack)?;
+                item.stack.push(Value::Bool(cmp_op(kind, ty, a, b)));
+            }
+            Instr::Neg(ty) => {
+                let a = pop(&mut item.stack)?;
+                item.stack.push(neg_op(ty, a));
+            }
+            Instr::BitNot(ty) => {
+                let a = pop(&mut item.stack)?;
+                let x = a.to_i64_lossy();
+                item.stack.push(int_value(!x, ty));
+            }
+            Instr::NotBool => {
+                let a = pop(&mut item.stack)?.as_bool()?;
+                item.stack.push(Value::Bool(!a));
+            }
+            Instr::Cast { to, .. } => {
+                let a = pop(&mut item.stack)?;
+                item.stack.push(a.cast(to));
+            }
+            Instr::Jump(t) => item.pc = t as usize,
+            Instr::JumpIfFalse(t) => {
+                if !pop(&mut item.stack)?.as_bool()? {
+                    item.pc = t as usize;
+                }
+            }
+            Instr::JumpIfTrue(t) => {
+                if pop(&mut item.stack)?.as_bool()? {
+                    item.pc = t as usize;
+                }
+            }
+            Instr::CallMath1(m, ty) => {
+                let a = pop(&mut item.stack)?;
+                item.stack.push(math1(m, ty, a));
+            }
+            Instr::CallMath2(m, ty) => {
+                let b = pop(&mut item.stack)?;
+                let a = pop(&mut item.stack)?;
+                item.stack.push(math2(m, ty, a, b));
+            }
+            Instr::Query(g) => {
+                let dim = pop(&mut item.stack)?.as_index()?;
+                let d = (dim as usize).min(2);
+                let v = match g {
+                    Geom::GlobalId => item.global_id[d],
+                    Geom::LocalId => item.local_id[d],
+                    Geom::GroupId => group_id[d],
+                    Geom::GlobalSize => range.global[d],
+                    Geom::LocalSize => range.local[d],
+                    Geom::NumGroups => num_groups[d],
+                    Geom::WorkDim => u64::from(range.work_dim),
+                };
+                item.stack.push(Value::U64(v));
+            }
+            Instr::Barrier => {
+                item.status = ItemStatus::AtBarrier;
+                return Ok(());
+            }
+            Instr::Return => {
+                item.status = ItemStatus::Done;
+                return Ok(());
+            }
+            Instr::Dup => {
+                let v = *item
+                    .stack
+                    .last()
+                    .ok_or_else(|| ExecError::new("stack underflow on Dup"))?;
+                item.stack.push(v);
+            }
+            Instr::Pop => {
+                pop(&mut item.stack)?;
+            }
+        }
+    }
+}
+
+/// Full-launch interpreter driver: the sequential `gz/gy/gx` group loop
+/// the compiled engines are validated against. Checked and observed
+/// modes always run here.
+pub(super) fn run(
+    kernel: &CompiledKernel,
+    args: &[ArgValue],
+    buffers: &mut [GlobalBuffer],
+    range: &NdRange,
+    cfg: Option<&CheckConfig>,
+    mut obs: Option<&mut GlobalObs>,
+) -> Result<ExecStats, ExecError> {
+    range.validate()?;
+    let (bound, arena_bytes) = bind_args(kernel, args, buffers.len())?;
+    let num_groups = [
+        range.global[0] / range.local[0],
+        range.global[1] / range.local[1],
+        range.global[2] / range.local[2],
+    ];
+    let mut stats = ExecStats::default();
+    let mut arena = vec![0u8; arena_bytes];
+    let mut checked = cfg.map(|c| Checked {
+        cfg: *c,
+        oracle: RaceOracle::new(arena_bytes),
+    });
+    for gz in 0..num_groups[2] {
+        for gy in 0..num_groups[1] {
+            for gx in 0..num_groups[0] {
+                run_group(
+                    kernel,
+                    &bound,
+                    buffers,
+                    range,
+                    [gx, gy, gz],
+                    num_groups,
+                    &mut arena,
+                    &mut stats,
+                    checked.as_mut(),
+                    obs.as_deref_mut(),
+                )?;
+                stats.work_groups += 1;
+            }
+        }
+    }
+    Ok(stats)
+}

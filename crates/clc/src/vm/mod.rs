@@ -8,10 +8,18 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
 
 use crate::ast::ParamType;
-use crate::bytecode::{BinKind, CmpKind, CompiledKernel, Geom, Instr, Math1, Math2};
+use crate::bytecode::CompiledKernel;
 use crate::types::{AddressSpace, ScalarType};
+
+mod compiled;
+mod interp;
+mod ops;
+mod parallel;
+
+pub use parallel::parallel_groups_safe;
 
 /// What class of failure an [`ExecError`] reports.
 ///
@@ -172,16 +180,7 @@ impl GlobalBuffer {
     fn load(&self, elem: ScalarType, idx: i64) -> Result<Value, ExecError> {
         let sz = elem.size_bytes();
         let off = checked_offset(idx, sz, self.bytes.len())?;
-        let b = &self.bytes[off..off + sz];
-        Ok(match elem {
-            ScalarType::Bool => Value::Bool(b[0] != 0),
-            ScalarType::I32 => Value::I32(i32::from_le_bytes(b.try_into().expect("size"))),
-            ScalarType::U32 => Value::U32(u32::from_le_bytes(b.try_into().expect("size"))),
-            ScalarType::I64 => Value::I64(i64::from_le_bytes(b.try_into().expect("size"))),
-            ScalarType::U64 => Value::U64(u64::from_le_bytes(b.try_into().expect("size"))),
-            ScalarType::F32 => Value::F32(f32::from_le_bytes(b.try_into().expect("size"))),
-            ScalarType::F64 => Value::F64(f64::from_le_bytes(b.try_into().expect("size"))),
-        })
+        Ok(decode_scalar(&self.bytes[off..off + sz], elem))
     }
 
     fn store(&mut self, elem: ScalarType, idx: i64, v: &Value) -> Result<(), ExecError> {
@@ -219,6 +218,21 @@ fn write_scalar(dst: &mut [u8], elem: ScalarType, v: &Value) {
         (ScalarType::F32, Value::F32(x)) => dst.copy_from_slice(&x.to_le_bytes()),
         (ScalarType::F64, Value::F64(x)) => dst.copy_from_slice(&x.to_le_bytes()),
         (elem, v) => unreachable!("type confusion storing {v:?} as {elem}"),
+    }
+}
+
+/// Decodes one little-endian scalar from `bytes` (exactly
+/// `elem.size_bytes()` long). The single decode path every engine and
+/// memory view shares.
+fn decode_scalar(bytes: &[u8], elem: ScalarType) -> Value {
+    match elem {
+        ScalarType::Bool => Value::Bool(bytes[0] != 0),
+        ScalarType::I32 => Value::I32(i32::from_le_bytes(bytes.try_into().expect("size"))),
+        ScalarType::U32 => Value::U32(u32::from_le_bytes(bytes.try_into().expect("size"))),
+        ScalarType::I64 => Value::I64(i64::from_le_bytes(bytes.try_into().expect("size"))),
+        ScalarType::U64 => Value::U64(u64::from_le_bytes(bytes.try_into().expect("size"))),
+        ScalarType::F32 => Value::F32(f32::from_le_bytes(bytes.try_into().expect("size"))),
+        ScalarType::F64 => Value::F64(f64::from_le_bytes(bytes.try_into().expect("size"))),
     }
 }
 
@@ -495,22 +509,6 @@ pub struct ExecStats {
     pub barriers: u64,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ItemStatus {
-    Running,
-    AtBarrier,
-    Done,
-}
-
-struct Item {
-    pc: usize,
-    stack: Vec<Value>,
-    slots: Vec<Value>,
-    status: ItemStatus,
-    global_id: [u64; 3],
-    local_id: [u64; 3],
-}
-
 /// Configuration for [`run_ndrange_checked`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CheckConfig {
@@ -569,79 +567,46 @@ impl GlobalObs {
     }
 }
 
-/// Dynamic `__local` race oracle.
-///
-/// For every arena byte it tracks the set of work-items (linear local
-/// index) that wrote the byte's *current value* since the last barrier:
-///
-/// * a read is racy when the byte has writers and the reader is not one
-///   of them (it observes another item's unsynchronized write);
-/// * a value-changing write is racy when a *different* item wrote the
-///   current value (that item's data is silently clobbered);
-/// * a same-value write is benign and joins the writer set, matching the
-///   analyzer's rule that only *different* values stored to one element
-///   constitute a race.
-///
-/// Writer sets are cleared whenever a barrier releases, so
-/// barrier-separated accesses never conflict.
-struct RaceOracle {
-    writers: Vec<Vec<u32>>,
-}
-
-impl RaceOracle {
-    fn new(arena_len: usize) -> Self {
-        RaceOracle {
-            writers: vec![Vec::new(); arena_len],
-        }
-    }
-
-    fn reset(&mut self) {
-        for w in &mut self.writers {
-            w.clear();
-        }
-    }
-
-    /// Returns a conflicting writer if `item` reading `len` bytes at
-    /// `off` races with an unsynchronized write.
-    fn note_read(&self, off: usize, len: usize, item: u32) -> Option<u32> {
-        for w in &self.writers[off..off + len] {
-            if !w.is_empty() && !w.contains(&item) {
-                return Some(w[0]);
-            }
-        }
-        None
-    }
-
-    /// Records `item` overwriting `old` with `new` at `off`; returns a
-    /// conflicting prior writer if the write races.
-    fn note_write(&mut self, off: usize, old: &[u8], new: &[u8], item: u32) -> Option<u32> {
-        for (i, (&o, &n)) in old.iter().zip(new).enumerate() {
-            let w = &mut self.writers[off + i];
-            if o != n {
-                if let Some(&other) = w.iter().find(|&&j| j != item) {
-                    return Some(other);
-                }
-                w.clear();
-                w.push(item);
-            } else if !w.contains(&item) {
-                w.push(item);
-            }
-        }
-        None
-    }
-}
-
-struct Checked {
-    cfg: CheckConfig,
-    oracle: RaceOracle,
-}
-
 /// Formats a barrier's source position for error messages.
 fn barrier_pos(kernel: &CompiledKernel, pc: usize) -> String {
     match kernel.barrier_site(pc as u32) {
         Some(s) => format!("the barrier at line {}, column {}", s.line, s.col),
         None => format!("the barrier at pc {pc}"),
     }
+}
+
+/// Builds the "some items finished without reaching the barrier" error,
+/// shared verbatim by every engine.
+fn divergence_unreached(
+    kernel: &CompiledKernel,
+    waiting: usize,
+    pc: usize,
+    done: usize,
+) -> ExecError {
+    ExecError::with_kind(
+        ExecErrorKind::BarrierDivergence,
+        format!(
+            "barrier divergence in kernel `{}`: {waiting} item(s) wait at {} \
+             while {done} finished without reaching it",
+            kernel.name,
+            barrier_pos(kernel, pc),
+        ),
+    )
+}
+
+/// Builds the "items wait at different barriers" error, shared verbatim
+/// by every engine.
+fn divergence_mixed(kernel: &CompiledKernel, pc_a: usize, pc_b: usize) -> ExecError {
+    ExecError::with_kind(
+        ExecErrorKind::BarrierDivergence,
+        format!(
+            "barrier divergence in kernel `{}`: work-items of one group wait \
+             at different barriers ({} vs {})",
+            kernel.name,
+            barrier_pos(kernel, pc_a),
+            barrier_pos(kernel, pc_b),
+        ),
+    )
 }
 
 /// Builds the checked-mode `__local` race error.
@@ -656,12 +621,67 @@ fn local_race_error(kernel: &CompiledKernel, item: u32, other: u32, verb: &str) 
     )
 }
 
+/// Which execution engine [`run_ndrange`] drives.
+///
+/// All engines are observationally identical: same output bytes, same
+/// [`ExecStats`], same structured errors. The interpreter is the
+/// reference; [`run_ndrange_checked`] and [`run_ndrange_observed`] are
+/// always interpreted so the oracle itself never depends on the
+/// optimized paths it validates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EngineKind {
+    /// The reference tree-walking interpreter.
+    Interp,
+    /// Bytecode lowered once per kernel into fused closures, work-groups
+    /// executed sequentially in interpreter order.
+    CompiledSerial,
+    /// The compiled engine, plus parallel work-group execution for
+    /// kernels the effect prover shows are safe (sequential fallback
+    /// otherwise). This is the default.
+    Compiled,
+}
+
+/// Process-wide engine override set by [`set_default_engine`].
+/// 0 = unset (consult `HAOCL_VM_ENGINE`, then default), 1..=3 = kinds.
+static ENGINE_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Overrides the engine [`run_ndrange`] selects, process-wide.
+/// `None` restores env/default selection.
+pub fn set_default_engine(kind: Option<EngineKind>) {
+    let v = match kind {
+        None => 0,
+        Some(EngineKind::Interp) => 1,
+        Some(EngineKind::CompiledSerial) => 2,
+        Some(EngineKind::Compiled) => 3,
+    };
+    ENGINE_OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// The engine [`run_ndrange`] will use: the [`set_default_engine`]
+/// override if set, else `HAOCL_VM_ENGINE` (`interp`, `compiled-serial`,
+/// `compiled`), else [`EngineKind::Compiled`].
+pub fn default_engine() -> EngineKind {
+    match ENGINE_OVERRIDE.load(Ordering::Relaxed) {
+        1 => EngineKind::Interp,
+        2 => EngineKind::CompiledSerial,
+        3 => EngineKind::Compiled,
+        _ => match std::env::var("HAOCL_VM_ENGINE").ok().as_deref() {
+            Some("interp") => EngineKind::Interp,
+            Some("compiled-serial") => EngineKind::CompiledSerial,
+            _ => EngineKind::Compiled,
+        },
+    }
+}
+
 /// Executes `kernel` across the whole `range`.
 ///
 /// `args` supplies one [`ArgValue`] per kernel parameter, and
-/// [`ArgValue::GlobalBuffer`] entries index into `buffers`. The launch is
-/// sequential (device parallelism is *modelled* by `haocl-device`, not
-/// recreated with threads — results must be deterministic).
+/// [`ArgValue::GlobalBuffer`] entries index into `buffers`. Runs on the
+/// engine chosen by [`default_engine`]; every engine is deterministic
+/// and byte-identical to the reference interpreter (device parallelism
+/// is *modelled* by `haocl-device` — OS-thread parallelism here is only
+/// used where the effect prover shows group order is unobservable).
 ///
 /// # Errors
 ///
@@ -673,7 +693,28 @@ pub fn run_ndrange(
     buffers: &mut [GlobalBuffer],
     range: &NdRange,
 ) -> Result<ExecStats, ExecError> {
-    run_ndrange_impl(kernel, args, buffers, range, None, None)
+    run_ndrange_with_engine(kernel, args, buffers, range, default_engine())
+}
+
+/// [`run_ndrange`] on an explicitly chosen engine, ignoring the
+/// process-wide default. This is what differential tests use to compare
+/// engines without racing on global state.
+///
+/// # Errors
+///
+/// Same as [`run_ndrange`].
+pub fn run_ndrange_with_engine(
+    kernel: &CompiledKernel,
+    args: &[ArgValue],
+    buffers: &mut [GlobalBuffer],
+    range: &NdRange,
+    engine: EngineKind,
+) -> Result<ExecStats, ExecError> {
+    match engine {
+        EngineKind::Interp => interp::run(kernel, args, buffers, range, None, None),
+        EngineKind::CompiledSerial => compiled::run(kernel, args, buffers, range, false),
+        EngineKind::Compiled => compiled::run(kernel, args, buffers, range, true),
+    }
 }
 
 /// [`run_ndrange`] with dynamic checking: an instruction budget (so
@@ -698,7 +739,7 @@ pub fn run_ndrange_checked(
     range: &NdRange,
     cfg: &CheckConfig,
 ) -> Result<ExecStats, ExecError> {
-    run_ndrange_impl(kernel, args, buffers, range, Some(cfg), None)
+    interp::run(kernel, args, buffers, range, Some(cfg), None)
 }
 
 /// [`run_ndrange_checked`] that additionally logs every global-buffer
@@ -717,19 +758,20 @@ pub fn run_ndrange_observed(
     cfg: &CheckConfig,
 ) -> Result<(ExecStats, GlobalObs), ExecError> {
     let mut obs = GlobalObs::default();
-    let stats = run_ndrange_impl(kernel, args, buffers, range, Some(cfg), Some(&mut obs))?;
+    let stats = interp::run(kernel, args, buffers, range, Some(cfg), Some(&mut obs))?;
     Ok((stats, obs))
 }
 
-fn run_ndrange_impl(
+/// Binds launch arguments to slot values, shared by every engine.
+///
+/// Lays out dynamic `__local` allocations after the kernel's static
+/// local arrays (8-byte aligned) and returns the bound parameter values
+/// plus the total local-arena size in bytes.
+fn bind_args(
     kernel: &CompiledKernel,
     args: &[ArgValue],
-    buffers: &mut [GlobalBuffer],
-    range: &NdRange,
-    cfg: Option<&CheckConfig>,
-    mut obs: Option<&mut GlobalObs>,
-) -> Result<ExecStats, ExecError> {
-    range.validate()?;
+    buffers_len: usize,
+) -> Result<(Vec<Value>, usize), ExecError> {
     if args.len() != kernel.params.len() {
         return Err(ExecError::new(format!(
             "kernel `{}` expects {} arguments, got {}",
@@ -738,8 +780,6 @@ fn run_ndrange_impl(
             args.len()
         )));
     }
-    // Bind arguments to slot values; lay out dynamic __local allocations
-    // after the kernel's static local arrays.
     let mut arena_bytes = (kernel.static_local_bytes as usize + 7) & !7;
     let mut bound = Vec::with_capacity(args.len());
     for (i, (arg, param)) in args.iter().zip(&kernel.params).enumerate() {
@@ -749,10 +789,9 @@ fn run_ndrange_impl(
                 ArgValue::GlobalBuffer(b),
                 ParamType::Pointer(AddressSpace::Global | AddressSpace::Constant, elem),
             ) => {
-                if *b >= buffers.len() {
+                if *b >= buffers_len {
                     return Err(ExecError::new(format!(
-                        "argument {i}: buffer index {b} out of range ({} bound)",
-                        buffers.len()
+                        "argument {i}: buffer index {b} out of range ({buffers_len} bound)"
                     )));
                 }
                 Value::Ptr(Ptr {
@@ -778,628 +817,7 @@ fn run_ndrange_impl(
         };
         bound.push(v);
     }
-
-    let num_groups = [
-        range.global[0] / range.local[0],
-        range.global[1] / range.local[1],
-        range.global[2] / range.local[2],
-    ];
-    let mut stats = ExecStats::default();
-    let mut arena = vec![0u8; arena_bytes];
-    let mut checked = cfg.map(|c| Checked {
-        cfg: *c,
-        oracle: RaceOracle::new(arena_bytes),
-    });
-    for gz in 0..num_groups[2] {
-        for gy in 0..num_groups[1] {
-            for gx in 0..num_groups[0] {
-                run_group(
-                    kernel,
-                    &bound,
-                    buffers,
-                    range,
-                    [gx, gy, gz],
-                    num_groups,
-                    &mut arena,
-                    &mut stats,
-                    checked.as_mut(),
-                    obs.as_deref_mut(),
-                )?;
-                stats.work_groups += 1;
-            }
-        }
-    }
-    Ok(stats)
-}
-
-#[allow(clippy::too_many_arguments)]
-fn run_group(
-    kernel: &CompiledKernel,
-    bound: &[Value],
-    buffers: &mut [GlobalBuffer],
-    range: &NdRange,
-    group_id: [u64; 3],
-    num_groups: [u64; 3],
-    arena: &mut [u8],
-    stats: &mut ExecStats,
-    mut checked: Option<&mut Checked>,
-    mut obs: Option<&mut GlobalObs>,
-) -> Result<(), ExecError> {
-    arena.fill(0);
-    if let Some(c) = checked.as_deref_mut() {
-        c.oracle.reset();
-    }
-    let mut items = Vec::with_capacity(range.group_items() as usize);
-    for lz in 0..range.local[2] {
-        for ly in 0..range.local[1] {
-            for lx in 0..range.local[0] {
-                let local_id = [lx, ly, lz];
-                let global_id = [
-                    group_id[0] * range.local[0] + lx,
-                    group_id[1] * range.local[1] + ly,
-                    group_id[2] * range.local[2] + lz,
-                ];
-                let mut slots = vec![Value::I32(0); kernel.n_slots as usize];
-                slots[..bound.len()].copy_from_slice(bound);
-                items.push(Item {
-                    pc: 0,
-                    stack: Vec::with_capacity(16),
-                    slots,
-                    status: ItemStatus::Running,
-                    global_id,
-                    local_id,
-                });
-            }
-        }
-    }
-    loop {
-        let mut any_running = false;
-        for (idx, item) in items.iter_mut().enumerate() {
-            if item.status == ItemStatus::Running {
-                run_item(
-                    kernel,
-                    item,
-                    buffers,
-                    range,
-                    group_id,
-                    num_groups,
-                    arena,
-                    stats,
-                    idx as u32,
-                    checked.as_deref_mut(),
-                    obs.as_deref_mut(),
-                )?;
-                any_running = true;
-            }
-        }
-        if !any_running {
-            // A full pass with nothing running: all are AtBarrier or Done.
-            // A waiting item's barrier is at `pc - 1` (the pc was advanced
-            // before the Barrier executed).
-            let waiting_pcs: Vec<usize> = items
-                .iter()
-                .filter(|i| i.status == ItemStatus::AtBarrier)
-                .map(|i| i.pc - 1)
-                .collect();
-            if waiting_pcs.is_empty() {
-                break;
-            }
-            let done = items.len() - waiting_pcs.len();
-            if done > 0 {
-                return Err(ExecError::with_kind(
-                    ExecErrorKind::BarrierDivergence,
-                    format!(
-                        "barrier divergence in kernel `{}`: {} item(s) wait at {} \
-                         while {done} finished without reaching it",
-                        kernel.name,
-                        waiting_pcs.len(),
-                        barrier_pos(kernel, waiting_pcs[0]),
-                    ),
-                ));
-            }
-            // Every item waits — but a release is only legal when they all
-            // wait at the *same* barrier. Divergent control flow can park
-            // items at distinct barrier sites, which real devices deadlock
-            // or corrupt on; report it as divergence instead.
-            if let Some(&other) = waiting_pcs.iter().find(|&&pc| pc != waiting_pcs[0]) {
-                return Err(ExecError::with_kind(
-                    ExecErrorKind::BarrierDivergence,
-                    format!(
-                        "barrier divergence in kernel `{}`: work-items of one group wait \
-                         at different barriers ({} vs {})",
-                        kernel.name,
-                        barrier_pos(kernel, waiting_pcs[0]),
-                        barrier_pos(kernel, other),
-                    ),
-                ));
-            }
-            if let Some(c) = checked.as_deref_mut() {
-                c.oracle.reset();
-            }
-            stats.barriers += 1;
-            for item in &mut items {
-                item.status = ItemStatus::Running;
-            }
-        }
-    }
-    stats.work_items += items.len() as u64;
-    Ok(())
-}
-
-#[allow(clippy::too_many_arguments)]
-fn run_item(
-    kernel: &CompiledKernel,
-    item: &mut Item,
-    buffers: &mut [GlobalBuffer],
-    range: &NdRange,
-    group_id: [u64; 3],
-    num_groups: [u64; 3],
-    arena: &mut [u8],
-    stats: &mut ExecStats,
-    idx: u32,
-    mut checked: Option<&mut Checked>,
-    mut obs: Option<&mut GlobalObs>,
-) -> Result<(), ExecError> {
-    let flat_item = (item.global_id[2] * range.global[1] + item.global_id[1]) * range.global[0]
-        + item.global_id[0];
-    let code = &kernel.code;
-    loop {
-        let Some(instr) = code.get(item.pc) else {
-            // Fell off the end — treated as return (sema always appends one,
-            // so this is belt-and-braces).
-            item.status = ItemStatus::Done;
-            return Ok(());
-        };
-        item.pc += 1;
-        stats.instructions += 1;
-        if let Some(c) = checked.as_deref() {
-            if stats.instructions > c.cfg.max_instructions {
-                return Err(ExecError::with_kind(
-                    ExecErrorKind::BudgetExhausted,
-                    format!(
-                        "instruction budget exhausted in kernel `{}` after {} \
-                         instructions: the kernel may not terminate",
-                        kernel.name, c.cfg.max_instructions
-                    ),
-                ));
-            }
-        }
-        match *instr {
-            Instr::PushInt(v, ty) => item.stack.push(int_value(v, ty)),
-            Instr::PushFloat(v, ty) => item.stack.push(if ty == ScalarType::F32 {
-                Value::F32(v as f32)
-            } else {
-                Value::F64(v)
-            }),
-            Instr::PushBool(b) => item.stack.push(Value::Bool(b)),
-            Instr::PushLocalPtr { byte_offset, elem } => {
-                item.stack.push(Value::Ptr(Ptr {
-                    space: PtrSpace::Local,
-                    elem,
-                    offset: (byte_offset as usize / elem.size_bytes()) as i64,
-                }));
-            }
-            Instr::LoadLocal(slot) => {
-                let v = item.slots[slot as usize];
-                item.stack.push(v);
-            }
-            Instr::StoreLocal(slot) => {
-                let v = pop(&mut item.stack)?;
-                item.slots[slot as usize] = v;
-            }
-            Instr::LoadMem(elem) => {
-                let p = pop(&mut item.stack)?.as_ptr()?;
-                if let (PtrSpace::Global(b), Some(o)) = (p.space, obs.as_deref_mut()) {
-                    if p.offset >= 0 {
-                        let sz = elem.size_bytes();
-                        o.record(GlobalAccess {
-                            buffer: b,
-                            item: flat_item,
-                            write: false,
-                            byte_off: p.offset as u64 * sz as u64,
-                            len: sz as u32,
-                        });
-                    }
-                }
-                if p.space == PtrSpace::Local {
-                    if let Some(c) = checked.as_deref() {
-                        if c.cfg.detect_races {
-                            let sz = elem.size_bytes();
-                            let off = checked_offset(p.offset, sz, arena.len())?;
-                            if let Some(other) = c.oracle.note_read(off, sz, idx) {
-                                return Err(local_race_error(kernel, idx, other, "reads"));
-                            }
-                        }
-                    }
-                }
-                let v = load_mem(p, elem, buffers, arena)?;
-                item.stack.push(v);
-            }
-            Instr::StoreMem(elem) => {
-                let v = pop(&mut item.stack)?;
-                let p = pop(&mut item.stack)?.as_ptr()?;
-                if let (PtrSpace::Global(b), Some(o)) = (p.space, obs.as_deref_mut()) {
-                    if p.offset >= 0 {
-                        let sz = elem.size_bytes();
-                        o.record(GlobalAccess {
-                            buffer: b,
-                            item: flat_item,
-                            write: true,
-                            byte_off: p.offset as u64 * sz as u64,
-                            len: sz as u32,
-                        });
-                    }
-                }
-                let race_check = p.space == PtrSpace::Local
-                    && checked.as_deref().is_some_and(|c| c.cfg.detect_races);
-                if race_check {
-                    let sz = elem.size_bytes();
-                    let off = checked_offset(p.offset, sz, arena.len())?;
-                    let mut old = [0u8; 8];
-                    old[..sz].copy_from_slice(&arena[off..off + sz]);
-                    store_mem(p, elem, &v, buffers, arena)?;
-                    let c = checked.as_deref_mut().expect("race_check implies checked");
-                    if let Some(other) =
-                        c.oracle
-                            .note_write(off, &old[..sz], &arena[off..off + sz], idx)
-                    {
-                        return Err(local_race_error(kernel, idx, other, "overwrites"));
-                    }
-                } else {
-                    store_mem(p, elem, &v, buffers, arena)?;
-                }
-            }
-            Instr::PtrAdd => {
-                let idx = pop(&mut item.stack)?.as_index()?;
-                let p = pop(&mut item.stack)?.as_ptr()?;
-                item.stack.push(Value::Ptr(Ptr {
-                    offset: p.offset + idx,
-                    ..p
-                }));
-            }
-            Instr::Bin(kind, ty) => {
-                let b = pop(&mut item.stack)?;
-                let a = pop(&mut item.stack)?;
-                item.stack.push(bin_op(kind, ty, a, b)?);
-            }
-            Instr::Cmp(kind, ty) => {
-                let b = pop(&mut item.stack)?;
-                let a = pop(&mut item.stack)?;
-                item.stack.push(Value::Bool(cmp_op(kind, ty, a, b)));
-            }
-            Instr::Neg(ty) => {
-                let a = pop(&mut item.stack)?;
-                item.stack.push(neg_op(ty, a));
-            }
-            Instr::BitNot(ty) => {
-                let a = pop(&mut item.stack)?;
-                let x = a.to_i64_lossy();
-                item.stack.push(int_value(!x, ty));
-            }
-            Instr::NotBool => {
-                let a = pop(&mut item.stack)?.as_bool()?;
-                item.stack.push(Value::Bool(!a));
-            }
-            Instr::Cast { to, .. } => {
-                let a = pop(&mut item.stack)?;
-                item.stack.push(a.cast(to));
-            }
-            Instr::Jump(t) => item.pc = t as usize,
-            Instr::JumpIfFalse(t) => {
-                if !pop(&mut item.stack)?.as_bool()? {
-                    item.pc = t as usize;
-                }
-            }
-            Instr::JumpIfTrue(t) => {
-                if pop(&mut item.stack)?.as_bool()? {
-                    item.pc = t as usize;
-                }
-            }
-            Instr::CallMath1(m, ty) => {
-                let a = pop(&mut item.stack)?;
-                item.stack.push(math1(m, ty, a));
-            }
-            Instr::CallMath2(m, ty) => {
-                let b = pop(&mut item.stack)?;
-                let a = pop(&mut item.stack)?;
-                item.stack.push(math2(m, ty, a, b));
-            }
-            Instr::Query(g) => {
-                let dim = pop(&mut item.stack)?.as_index()?;
-                let d = (dim as usize).min(2);
-                let v = match g {
-                    Geom::GlobalId => item.global_id[d],
-                    Geom::LocalId => item.local_id[d],
-                    Geom::GroupId => group_id[d],
-                    Geom::GlobalSize => range.global[d],
-                    Geom::LocalSize => range.local[d],
-                    Geom::NumGroups => num_groups[d],
-                    Geom::WorkDim => u64::from(range.work_dim),
-                };
-                item.stack.push(Value::U64(v));
-            }
-            Instr::Barrier => {
-                item.status = ItemStatus::AtBarrier;
-                return Ok(());
-            }
-            Instr::Return => {
-                item.status = ItemStatus::Done;
-                return Ok(());
-            }
-            Instr::Dup => {
-                let v = *item
-                    .stack
-                    .last()
-                    .ok_or_else(|| ExecError::new("stack underflow on Dup"))?;
-                item.stack.push(v);
-            }
-            Instr::Pop => {
-                pop(&mut item.stack)?;
-            }
-        }
-    }
-}
-
-fn pop(stack: &mut Vec<Value>) -> Result<Value, ExecError> {
-    stack
-        .pop()
-        .ok_or_else(|| ExecError::new("operand stack underflow"))
-}
-
-fn int_value(v: i64, ty: ScalarType) -> Value {
-    match ty {
-        ScalarType::Bool => Value::Bool(v != 0),
-        ScalarType::I32 => Value::I32(v as i32),
-        ScalarType::U32 => Value::U32(v as u32),
-        ScalarType::I64 => Value::I64(v),
-        ScalarType::U64 => Value::U64(v as u64),
-        ScalarType::F32 => Value::F32(v as f32),
-        ScalarType::F64 => Value::F64(v as f64),
-    }
-}
-
-fn load_mem(
-    p: Ptr,
-    elem: ScalarType,
-    buffers: &[GlobalBuffer],
-    arena: &[u8],
-) -> Result<Value, ExecError> {
-    match p.space {
-        PtrSpace::Global(b) => buffers
-            .get(b)
-            .ok_or_else(|| ExecError::new(format!("dangling buffer binding {b}")))?
-            .load(elem, p.offset),
-        PtrSpace::Local => {
-            let sz = elem.size_bytes();
-            let off = checked_offset(p.offset, sz, arena.len())?;
-            let bytes = &arena[off..off + sz];
-            Ok(match elem {
-                ScalarType::Bool => Value::Bool(bytes[0] != 0),
-                ScalarType::I32 => Value::I32(i32::from_le_bytes(bytes.try_into().expect("sz"))),
-                ScalarType::U32 => Value::U32(u32::from_le_bytes(bytes.try_into().expect("sz"))),
-                ScalarType::I64 => Value::I64(i64::from_le_bytes(bytes.try_into().expect("sz"))),
-                ScalarType::U64 => Value::U64(u64::from_le_bytes(bytes.try_into().expect("sz"))),
-                ScalarType::F32 => Value::F32(f32::from_le_bytes(bytes.try_into().expect("sz"))),
-                ScalarType::F64 => Value::F64(f64::from_le_bytes(bytes.try_into().expect("sz"))),
-            })
-        }
-    }
-}
-
-fn store_mem(
-    p: Ptr,
-    elem: ScalarType,
-    v: &Value,
-    buffers: &mut [GlobalBuffer],
-    arena: &mut [u8],
-) -> Result<(), ExecError> {
-    match p.space {
-        PtrSpace::Global(b) => {
-            let buf = buffers
-                .get_mut(b)
-                .ok_or_else(|| ExecError::new(format!("dangling buffer binding {b}")))?;
-            buf.store(elem, p.offset, v)
-        }
-        PtrSpace::Local => {
-            let sz = elem.size_bytes();
-            let off = checked_offset(p.offset, sz, arena.len())?;
-            write_scalar(&mut arena[off..off + sz], elem, v);
-            Ok(())
-        }
-    }
-}
-
-fn bin_op(kind: BinKind, ty: ScalarType, a: Value, b: Value) -> Result<Value, ExecError> {
-    use ScalarType::*;
-    if ty == F32 {
-        // Compute in f32 so single-precision rounding matches real devices.
-        let (x, y) = (a.to_f64_lossy() as f32, b.to_f64_lossy() as f32);
-        let r = match kind {
-            BinKind::Add => x + y,
-            BinKind::Sub => x - y,
-            BinKind::Mul => x * y,
-            BinKind::Div => x / y,
-            other => {
-                return Err(ExecError::new(format!(
-                    "float operands for integer operator {other:?}"
-                )));
-            }
-        };
-        return Ok(Value::F32(r));
-    }
-    if ty == F64 {
-        let (x, y) = (a.to_f64_lossy(), b.to_f64_lossy());
-        let r = match kind {
-            BinKind::Add => x + y,
-            BinKind::Sub => x - y,
-            BinKind::Mul => x * y,
-            BinKind::Div => x / y,
-            other => {
-                return Err(ExecError::new(format!(
-                    "float operands for integer operator {other:?}"
-                )));
-            }
-        };
-        return Ok(Value::F64(r));
-    }
-    // Integer (and bool promoted earlier by sema).
-    let (x, y) = (a.to_i64_lossy(), b.to_i64_lossy());
-    let div_checked = |num: i64, den: i64| -> Result<i64, ExecError> {
-        if den == 0 {
-            Err(ExecError::new("integer division by zero"))
-        } else {
-            Ok(num)
-        }
-    };
-    let r = match (kind, ty) {
-        (BinKind::Add, _) => x.wrapping_add(y),
-        (BinKind::Sub, _) => x.wrapping_sub(y),
-        (BinKind::Mul, _) => x.wrapping_mul(y),
-        (BinKind::Div, U32 | U64) => {
-            div_checked(x, y)?;
-            ((x as u64).wrapping_div(y as u64)) as i64
-        }
-        (BinKind::Div, _) => {
-            div_checked(x, y)?;
-            x.wrapping_div(y)
-        }
-        (BinKind::Rem, U32 | U64) => {
-            div_checked(x, y)?;
-            ((x as u64).wrapping_rem(y as u64)) as i64
-        }
-        (BinKind::Rem, _) => {
-            div_checked(x, y)?;
-            x.wrapping_rem(y)
-        }
-        (BinKind::Shl, _) => x.wrapping_shl(y as u32 & 63),
-        (BinKind::Shr, U32 | U64) => ((x as u64).wrapping_shr(y as u32 & 63)) as i64,
-        (BinKind::Shr, _) => x.wrapping_shr(y as u32 & 63),
-        (BinKind::And, _) => x & y,
-        (BinKind::Or, _) => x | y,
-        (BinKind::Xor, _) => x ^ y,
-    };
-    // 32-bit types need masking before re-widening so wraparound matches C.
-    Ok(match ty {
-        I32 => Value::I32(r as i32),
-        U32 => Value::U32(r as u32),
-        I64 => Value::I64(r),
-        U64 => Value::U64(r as u64),
-        Bool => Value::Bool(r != 0),
-        F32 | F64 => unreachable!("floats handled above"),
-    })
-}
-
-fn cmp_op(kind: CmpKind, ty: ScalarType, a: Value, b: Value) -> bool {
-    if ty.is_float() {
-        let (x, y) = (a.to_f64_lossy(), b.to_f64_lossy());
-        match kind {
-            CmpKind::Eq => x == y,
-            CmpKind::Ne => x != y,
-            CmpKind::Lt => x < y,
-            CmpKind::Le => x <= y,
-            CmpKind::Gt => x > y,
-            CmpKind::Ge => x >= y,
-        }
-    } else if matches!(ty, ScalarType::U32 | ScalarType::U64) {
-        let (x, y) = (a.to_i64_lossy() as u64, b.to_i64_lossy() as u64);
-        match kind {
-            CmpKind::Eq => x == y,
-            CmpKind::Ne => x != y,
-            CmpKind::Lt => x < y,
-            CmpKind::Le => x <= y,
-            CmpKind::Gt => x > y,
-            CmpKind::Ge => x >= y,
-        }
-    } else {
-        let (x, y) = (a.to_i64_lossy(), b.to_i64_lossy());
-        match kind {
-            CmpKind::Eq => x == y,
-            CmpKind::Ne => x != y,
-            CmpKind::Lt => x < y,
-            CmpKind::Le => x <= y,
-            CmpKind::Gt => x > y,
-            CmpKind::Ge => x >= y,
-        }
-    }
-}
-
-fn neg_op(ty: ScalarType, a: Value) -> Value {
-    match ty {
-        ScalarType::F32 => Value::F32(-(a.to_f64_lossy() as f32)),
-        ScalarType::F64 => Value::F64(-a.to_f64_lossy()),
-        ScalarType::I32 => Value::I32((a.to_i64_lossy() as i32).wrapping_neg()),
-        ScalarType::U32 => Value::U32((a.to_i64_lossy() as u32).wrapping_neg()),
-        ScalarType::I64 => Value::I64(a.to_i64_lossy().wrapping_neg()),
-        ScalarType::U64 => Value::U64((a.to_i64_lossy() as u64).wrapping_neg()),
-        ScalarType::Bool => Value::I32(-i64::from(a.to_i64_lossy() != 0) as i32),
-    }
-}
-
-fn math1(m: Math1, ty: ScalarType, a: Value) -> Value {
-    if ty.is_integer() {
-        // Only Abs reaches here for integers (sema guarantees).
-        let x = a.to_i64_lossy();
-        return int_value(x.wrapping_abs(), ty);
-    }
-    let x = a.to_f64_lossy();
-    let r = match m {
-        Math1::Sqrt => x.sqrt(),
-        Math1::Rsqrt => 1.0 / x.sqrt(),
-        Math1::Abs => x.abs(),
-        Math1::Exp => x.exp(),
-        Math1::Log => x.ln(),
-        Math1::Log2 => x.log2(),
-        Math1::Sin => x.sin(),
-        Math1::Cos => x.cos(),
-        Math1::Tan => x.tan(),
-        Math1::Floor => x.floor(),
-        Math1::Ceil => x.ceil(),
-    };
-    if ty == ScalarType::F32 {
-        Value::F32(r as f32)
-    } else {
-        Value::F64(r)
-    }
-}
-
-fn math2(m: Math2, ty: ScalarType, a: Value, b: Value) -> Value {
-    if ty.is_integer() {
-        let (x, y) = (a.to_i64_lossy(), b.to_i64_lossy());
-        let unsigned = matches!(ty, ScalarType::U32 | ScalarType::U64);
-        let r = match m {
-            Math2::Min => {
-                if unsigned {
-                    (x as u64).min(y as u64) as i64
-                } else {
-                    x.min(y)
-                }
-            }
-            Math2::Max => {
-                if unsigned {
-                    (x as u64).max(y as u64) as i64
-                } else {
-                    x.max(y)
-                }
-            }
-            Math2::Pow | Math2::Fmod => {
-                // Sema types pow/fmod as floats, so this is unreachable.
-                unreachable!("float-only builtin with integer type")
-            }
-        };
-        return int_value(r, ty);
-    }
-    let (x, y) = (a.to_f64_lossy(), b.to_f64_lossy());
-    let r = match m {
-        Math2::Pow => x.powf(y),
-        Math2::Min => x.min(y),
-        Math2::Max => x.max(y),
-        Math2::Fmod => x % y,
-    };
-    if ty == ScalarType::F32 {
-        Value::F32(r as f32)
-    } else {
-        Value::F64(r)
-    }
+    Ok((bound, arena_bytes))
 }
 
 #[cfg(test)]
@@ -2042,5 +1460,175 @@ mod tests {
         )
         .unwrap();
         assert_eq!(eight.instructions, one.instructions * 8);
+    }
+
+    // --- Engine equivalence. ----------------------------------------------
+
+    const ALL_ENGINES: [EngineKind; 3] = [
+        EngineKind::Interp,
+        EngineKind::CompiledSerial,
+        EngineKind::Compiled,
+    ];
+
+    /// Runs `kernel` on every engine and asserts byte-identical buffers,
+    /// identical stats, and identical errors across all of them.
+    fn assert_engines_agree(
+        src: &str,
+        kernel: &str,
+        args: &[ArgValue],
+        buffers: &[GlobalBuffer],
+        range: &NdRange,
+    ) {
+        let p = compile(src).expect("compile");
+        let k = p.kernel(kernel).expect("kernel");
+        let mut reference: Option<(Result<ExecStats, ExecError>, Vec<GlobalBuffer>)> = None;
+        for engine in ALL_ENGINES {
+            let mut bufs = buffers.to_vec();
+            let r = run_ndrange_with_engine(k, args, &mut bufs, range, engine);
+            match &reference {
+                None => reference = Some((r, bufs)),
+                Some((r0, bufs0)) => {
+                    assert_eq!(r0, &r, "stats/error diverged on {engine:?}");
+                    if r.is_ok() {
+                        assert_eq!(bufs0, &bufs, "buffers diverged on {engine:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_elementwise_kernel() {
+        let src = r#"__kernel void saxpy(__global float* y, __global const float* x,
+                                         float a, int n) {
+            int i = get_global_id(0);
+            if (i < n) y[i] = a * x[i] + y[i];
+        }"#;
+        let n = 1024u64;
+        let y: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let x: Vec<f32> = (0..n).map(|i| (i as f32) * 0.5).collect();
+        let bufs = vec![GlobalBuffer::from_f32(&y), GlobalBuffer::from_f32(&x)];
+        let args = [
+            ArgValue::global(0),
+            ArgValue::global(1),
+            ArgValue::from_f32(2.5),
+            ArgValue::from_i32(n as i32),
+        ];
+        assert_engines_agree(src, "saxpy", &args, &bufs, &NdRange::linear(n, 64));
+    }
+
+    #[test]
+    fn engines_agree_on_barrier_kernel() {
+        let src = r#"__kernel void rev(__global int* out, __global const int* in) {
+            __local int tile[64];
+            int l = get_local_id(0);
+            int g = get_global_id(0);
+            tile[l] = in[g];
+            barrier(CLK_LOCAL_MEM_FENCE);
+            out[g] = tile[63 - l];
+        }"#;
+        let n = 512u64;
+        let inp: Vec<i32> = (0..n as i32).collect();
+        let bufs = vec![
+            GlobalBuffer::zeroed(n as usize * 4),
+            GlobalBuffer::from_i32(&inp),
+        ];
+        let args = [ArgValue::global(0), ArgValue::global(1)];
+        assert_engines_agree(src, "rev", &args, &bufs, &NdRange::linear(n, 64));
+    }
+
+    #[test]
+    fn engines_agree_on_runtime_error() {
+        let src = r#"__kernel void oob(__global int* a, int n) {
+            a[n] = 1;
+        }"#;
+        let bufs = vec![GlobalBuffer::from_i32(&[0; 4])];
+        let args = [ArgValue::global(0), ArgValue::from_i32(100)];
+        assert_engines_agree(src, "oob", &args, &bufs, &NdRange::linear(1, 1));
+    }
+
+    #[test]
+    fn parallel_gate_admits_elementwise_and_rejects_scatter() {
+        let src = r#"
+            __kernel void scale(__global float* y, float a, int n) {
+                int i = get_global_id(0);
+                if (i < n) y[i] = y[i] * a;
+            }
+            __kernel void scatter(__global int* out, __global const int* idx) {
+                out[idx[get_global_id(0)]] = 1;
+            }
+        "#;
+        let p = compile(src).expect("compile");
+        let range = NdRange::linear(1024, 64);
+        let scale = p.kernel("scale").unwrap();
+        assert!(parallel_groups_safe(
+            scale,
+            &[
+                ArgValue::global(0),
+                ArgValue::from_f32(2.0),
+                ArgValue::from_i32(1024)
+            ],
+            &range,
+        ));
+        let scatter = p.kernel("scatter").unwrap();
+        assert!(!parallel_groups_safe(
+            scatter,
+            &[ArgValue::global(0), ArgValue::global(1)],
+            &range,
+        ));
+    }
+
+    #[test]
+    fn parallel_gate_rejects_aliased_written_buffer() {
+        let src = r#"__kernel void copy(__global int* out, __global const int* in) {
+            int i = get_global_id(0);
+            out[i] = in[i];
+        }"#;
+        let p = compile(src).expect("compile");
+        let k = p.kernel("copy").unwrap();
+        let range = NdRange::linear(1024, 64);
+        assert!(parallel_groups_safe(
+            k,
+            &[ArgValue::global(0), ArgValue::global(1)],
+            &range,
+        ));
+        assert!(!parallel_groups_safe(
+            k,
+            &[ArgValue::global(0), ArgValue::global(0)],
+            &range,
+        ));
+    }
+
+    #[test]
+    fn parallel_gate_requires_single_group_in_other_dims() {
+        // Writes are gid(0)-private, but a 2-D launch with several groups
+        // along dim 1 would repeat gid(0) across groups — must reject.
+        let src = r#"__kernel void f(__global int* out) {
+            out[get_global_id(0)] = 1;
+        }"#;
+        let p = compile(src).expect("compile");
+        let k = p.kernel("f").unwrap();
+        assert!(parallel_groups_safe(
+            k,
+            &[ArgValue::global(0)],
+            &NdRange::d2([1024, 4], [64, 4]),
+        ));
+        assert!(!parallel_groups_safe(
+            k,
+            &[ArgValue::global(0)],
+            &NdRange::d2([1024, 8], [64, 4]),
+        ));
+    }
+
+    #[test]
+    fn engine_selection_override_round_trip() {
+        set_default_engine(Some(EngineKind::Interp));
+        assert_eq!(default_engine(), EngineKind::Interp);
+        set_default_engine(Some(EngineKind::CompiledSerial));
+        assert_eq!(default_engine(), EngineKind::CompiledSerial);
+        set_default_engine(None);
+        // Back to env/default selection (never the value we just cleared
+        // unless the env says so).
+        let _ = default_engine();
     }
 }

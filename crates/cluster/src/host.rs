@@ -57,7 +57,9 @@ use haocl_proto::ids::{IdAllocator, NodeId, RequestId, UserId};
 use haocl_proto::messages::{
     ApiCall, ApiReply, DeviceDescriptor, Envelope, Request, Response, WireSpan,
 };
-use haocl_proto::wire::{decode_from_slice, encode_to_vec};
+#[cfg(test)]
+use haocl_proto::wire::encode_to_vec;
+use haocl_proto::wire::{decode_from_slice, encode_into_vec};
 use haocl_sim::{Clock, SimTime};
 
 use crate::config::{ClusterConfig, NodeSpec};
@@ -414,9 +416,14 @@ impl NodeLink {
             }
             let virtual_len: u64 = batch.iter().map(|r| virtual_len_of(&r.body)).sum();
             let coalesced = batch.len() as u64;
-            let payload = encode_to_vec(&Envelope::from(batch));
-            self.note_frame("control", &payload, virtual_len, coalesced);
-            if let Err(e) = sender.send_frame_virtual(&payload, at, virtual_len) {
+            let mut encoded_len = 0;
+            let sent = sender.send_frame_with(at, virtual_len, |buf| {
+                let start = buf.len();
+                encode_into_vec(&Envelope::from(batch), buf);
+                encoded_len = buf.len() - start;
+            });
+            self.note_frame("control", encoded_len, virtual_len, coalesced);
+            if let Err(e) = sent {
                 // The batch may carry other submitters' requests; their
                 // PendingCalls must observe the failure too.
                 let err = ClusterError::Net(e);
@@ -441,10 +448,16 @@ impl NodeLink {
     /// coalesced; their transmit cost dominates framing overhead).
     fn send_data(&self, request: Request, at: SimTime) -> Result<(), ClusterError> {
         let virtual_len = virtual_len_of(&request.body);
-        let payload = encode_to_vec(&Envelope::Single(request));
-        self.note_frame("data", &payload, virtual_len, 1);
         let mut sender = self.data_tx.lock().expect("data sender poisoned");
-        sender.send_frame_virtual(&payload, at, virtual_len)?;
+        let mut encoded_len = 0;
+        let sent = sender.send_frame_with(at, virtual_len, |buf| {
+            let start = buf.len();
+            encode_into_vec(&Envelope::Single(request), buf);
+            encoded_len = buf.len() - start;
+        });
+        drop(sender);
+        self.note_frame("data", encoded_len, virtual_len, 1);
+        sent?;
         Ok(())
     }
 
@@ -460,12 +473,12 @@ impl NodeLink {
     /// is off). Bytes are *virtual wire bytes*: modeled bulk payloads
     /// count their declared length, not the descriptor that stands in
     /// for them.
-    fn note_frame(&self, plane: &str, payload: &[u8], virtual_len: u64, coalesced: u64) {
+    fn note_frame(&self, plane: &str, payload_len: usize, virtual_len: u64, coalesced: u64) {
         if !self.obs.enabled() {
             return;
         }
         let labels = [("node", self.name.as_str()), ("plane", plane)];
-        let bytes = (payload.len() as u64).max(virtual_len);
+        let bytes = (payload_len as u64).max(virtual_len);
         self.obs
             .metrics
             .inc_counter(names::PLANE_FRAMES, &labels, 1);

@@ -41,7 +41,9 @@ use haocl_proto::messages::{
     status, ApiCall, ApiReply, Envelope, Request, Response, WireAccessPattern, WireArgEffect,
     WireKernelReport, WireSpan,
 };
-use haocl_proto::wire::{decode_from_slice, encode_to_vec};
+#[cfg(test)]
+use haocl_proto::wire::encode_to_vec;
+use haocl_proto::wire::{decode_from_slice, encode_into_vec};
 use haocl_sim::SimTime;
 
 use crate::config::NodeSpec;
@@ -282,11 +284,9 @@ fn serve(mut conn: Conn, state: Arc<Mutex<NodeState>>, stop: Arc<AtomicBool>, pe
                 _ => 0,
             };
             if conn
-                .send_frame_virtual(
-                    &encode_to_vec(&response),
-                    SimTime::from_nanos(send_at),
-                    virtual_len,
-                )
+                .send_frame_with(SimTime::from_nanos(send_at), virtual_len, |buf| {
+                    encode_into_vec(&response, buf)
+                })
                 .is_err()
             {
                 break 'serve;
@@ -674,8 +674,10 @@ fn peer_round_trip(
         attempt: 0,
         body: call,
     };
-    conn.send_frame_virtual(&encode_to_vec(&Envelope::Single(inner)), at, virtual_len)
-        .map_err(|e| failed("rejected the transfer", e.to_string()))?;
+    conn.send_frame_with(at, virtual_len, |buf| {
+        encode_into_vec(&Envelope::Single(inner), buf)
+    })
+    .map_err(|e| failed("rejected the transfer", e.to_string()))?;
     let (frame, received_at) = conn
         .recv_frame_timeout(PEER_PATIENCE)
         .map_err(|e| failed("did not answer", e.to_string()))?;

@@ -370,8 +370,23 @@ impl CommandQueue {
         let device = self.device.clone();
         let last_end = Arc::clone(&self.last_end);
         let event = Event::pending(CommandType::NdRangeKernel, move || {
+            let wall_started = std::time::Instant::now();
             let outcome = call.wait()?;
+            let wall_nanos = wall_started.elapsed().as_nanos() as u64;
             let platform = &device.platform;
+            // Real requests/sec, next to the virtual model: the
+            // wall-clock launch round trip, summed per node (feeds the
+            // `haocl-top` WALL.RPS column).
+            platform.obs.metrics.inc_counter(
+                names::WALL_REQUESTS,
+                &[("node", device.node_name())],
+                1,
+            );
+            platform.obs.metrics.inc_counter(
+                names::WALL_NANOS,
+                &[("node", device.node_name())],
+                wall_nanos,
+            );
             // The enqueue RPC round-trip, now that its cost is known.
             platform.tracer.record(
                 Phase::Compute,

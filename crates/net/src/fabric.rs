@@ -26,7 +26,8 @@ use haocl_sim::{Clock, Resource, SimDuration, SimTime};
 
 use crate::chaos::{ChaosPolicy, ChaosVerdict};
 use crate::error::NetError;
-use crate::frame::{encode_frame, segment, FrameAssembler};
+use crate::frame::{encode_frame_pooled, segment_pooled, FrameAssembler};
+use crate::pool::{BufferPool, PoolStats, PooledBytes};
 
 /// Bandwidth/latency model of every link in the fabric.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -79,7 +80,9 @@ impl LinkModel {
 
 #[derive(Debug, Clone)]
 struct Chunk {
-    bytes: Vec<u8>,
+    /// A view into the frame's pooled allocation — chunks of one frame
+    /// share storage instead of carrying per-MTU copies.
+    bytes: PooledBytes,
     arrival: SimTime,
 }
 
@@ -114,6 +117,8 @@ struct FabricInner {
     /// Transmit NIC per host name.
     nics: Mutex<HashMap<String, Resource>>,
     stats: StatCells,
+    /// Frame-buffer recycling shared by every connection on the fabric.
+    pool: BufferPool,
     /// Fault injector; `None` (the default) delivers every frame intact.
     chaos: Mutex<Option<ChaosPolicy>>,
 }
@@ -136,6 +141,7 @@ impl Fabric {
                 listeners: Mutex::new(HashMap::new()),
                 nics: Mutex::new(HashMap::new()),
                 stats: StatCells::default(),
+                pool: BufferPool::new(),
                 chaos: Mutex::new(None),
             }),
         }
@@ -144,6 +150,11 @@ impl Fabric {
     /// The fabric's link model.
     pub fn link(&self) -> LinkModel {
         self.inner.link
+    }
+
+    /// A snapshot of the frame-buffer pool's recycling counters.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.inner.pool.stats()
     }
 
     /// A consistent-enough snapshot of the fabric's transmit counters.
@@ -349,7 +360,7 @@ pub struct ConnSender {
     /// A frame held back by a chaos reorder verdict, released after the
     /// next frame on this connection (whole frames only — chunks of two
     /// frames must never interleave on the channel).
-    stash: Option<(Vec<u8>, SimTime)>,
+    stash: Option<(PooledBytes, SimTime)>,
 }
 
 impl ConnSender {
@@ -394,7 +405,24 @@ impl ConnSender {
         at: SimTime,
         virtual_len: u64,
     ) -> Result<SimTime, NetError> {
-        let frame = encode_frame(payload);
+        self.send_frame_with(at, virtual_len, |buf| buf.extend_from_slice(payload))
+    }
+
+    /// Like [`ConnSender::send_frame_virtual`], but `write` appends the
+    /// payload directly into a recycled frame buffer — the zero-copy
+    /// path for callers that serialize a message anyway (no intermediate
+    /// payload vector, no per-chunk copies).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Disconnected`] if the peer is gone.
+    pub fn send_frame_with(
+        &mut self,
+        at: SimTime,
+        virtual_len: u64,
+        write: impl FnOnce(&mut Vec<u8>),
+    ) -> Result<SimTime, NetError> {
+        let frame = encode_frame_pooled(&self.fabric.pool, write);
         // Loopback: co-located peers (same host name) never touch the
         // NIC — the paper's single-node deployment runs the host process
         // on the device node itself.
@@ -455,9 +483,9 @@ impl ConnSender {
     }
 
     /// Pushes one already-encoded frame's chunks onto the channel,
-    /// contiguously.
-    fn transmit(&self, frame: &[u8], arrival: SimTime) -> Result<(), NetError> {
-        for chunk in segment(frame) {
+    /// contiguously. Chunks are views of the frame's pooled allocation.
+    fn transmit(&self, frame: &PooledBytes, arrival: SimTime) -> Result<(), NetError> {
+        for chunk in segment_pooled(frame) {
             self.tx
                 .send(Chunk {
                     bytes: chunk,
@@ -482,7 +510,7 @@ pub struct ConnReceiver {
     rx: Receiver<Chunk>,
     assembler: FrameAssembler,
     /// Frames completed by earlier chunks but not yet returned.
-    ready: Vec<(Vec<u8>, SimTime)>,
+    ready: Vec<(PooledBytes, SimTime)>,
 }
 
 impl ConnReceiver {
@@ -498,7 +526,7 @@ impl ConnReceiver {
     ///
     /// [`NetError::Disconnected`] if the peer is gone before a frame
     /// completes; [`NetError::BadFrame`] on corruption.
-    pub fn recv_frame(&mut self) -> Result<(Vec<u8>, SimTime), NetError> {
+    pub fn recv_frame(&mut self) -> Result<(PooledBytes, SimTime), NetError> {
         loop {
             if !self.ready.is_empty() {
                 return Ok(self.ready.remove(0));
@@ -520,7 +548,7 @@ impl ConnReceiver {
     pub fn recv_frame_timeout(
         &mut self,
         timeout: Duration,
-    ) -> Result<(Vec<u8>, SimTime), NetError> {
+    ) -> Result<(PooledBytes, SimTime), NetError> {
         use crossbeam::channel::RecvTimeoutError;
         let deadline = std::time::Instant::now() + timeout;
         loop {
@@ -545,7 +573,7 @@ impl ConnReceiver {
 
     /// Receives a frame if one is already complete or completable from
     /// queued chunks, without blocking.
-    pub fn try_recv_frame(&mut self) -> Result<Option<(Vec<u8>, SimTime)>, NetError> {
+    pub fn try_recv_frame(&mut self) -> Result<Option<(PooledBytes, SimTime)>, NetError> {
         loop {
             if !self.ready.is_empty() {
                 return Ok(Some(self.ready.remove(0)));
@@ -559,7 +587,7 @@ impl ConnReceiver {
 
     fn ingest(&mut self, chunk: Chunk) -> Result<(), NetError> {
         let arrival = chunk.arrival;
-        for frame in self.assembler.push(&chunk.bytes)? {
+        for frame in self.assembler.push_pooled(&chunk.bytes)? {
             self.ready.push((frame, arrival));
         }
         Ok(())
@@ -643,6 +671,21 @@ impl Conn {
         self.sender.send_frame_virtual(payload, at, virtual_len)
     }
 
+    /// Serializes the payload straight into a recycled frame buffer. See
+    /// [`ConnSender::send_frame_with`].
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Disconnected`] if the peer is gone.
+    pub fn send_frame_with(
+        &mut self,
+        at: SimTime,
+        virtual_len: u64,
+        write: impl FnOnce(&mut Vec<u8>),
+    ) -> Result<SimTime, NetError> {
+        self.sender.send_frame_with(at, virtual_len, write)
+    }
+
     /// Blocks until a whole frame is available. See
     /// [`ConnReceiver::recv_frame`].
     ///
@@ -650,7 +693,7 @@ impl Conn {
     ///
     /// [`NetError::Disconnected`] if the peer is gone before a frame
     /// completes; [`NetError::BadFrame`] on corruption.
-    pub fn recv_frame(&mut self) -> Result<(Vec<u8>, SimTime), NetError> {
+    pub fn recv_frame(&mut self) -> Result<(PooledBytes, SimTime), NetError> {
         self.receiver.recv_frame()
     }
 
@@ -662,13 +705,13 @@ impl Conn {
     pub fn recv_frame_timeout(
         &mut self,
         timeout: Duration,
-    ) -> Result<(Vec<u8>, SimTime), NetError> {
+    ) -> Result<(PooledBytes, SimTime), NetError> {
         self.receiver.recv_frame_timeout(timeout)
     }
 
     /// Receives a frame if one is already complete or completable from
     /// queued chunks, without blocking.
-    pub fn try_recv_frame(&mut self) -> Result<Option<(Vec<u8>, SimTime)>, NetError> {
+    pub fn try_recv_frame(&mut self) -> Result<Option<(PooledBytes, SimTime)>, NetError> {
         self.receiver.try_recv_frame()
     }
 }
@@ -686,6 +729,7 @@ impl std::fmt::Debug for Conn {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::frame::encode_frame;
 
     fn fabric() -> Fabric {
         Fabric::new(Clock::new(), LinkModel::gigabit_ethernet())
@@ -925,7 +969,7 @@ mod tests {
         };
         let frame = encode_frame(b"split across chunks");
         tx.send(Chunk {
-            bytes: frame[..5].to_vec(),
+            bytes: PooledBytes::copy_from_slice(&frame[..5]),
             arrival: SimTime::ZERO,
         })
         .unwrap();
@@ -935,7 +979,7 @@ mod tests {
         assert_eq!(err, NetError::TimeoutMidFrame { pending: 5 });
         // An idle timeout (nothing buffered) still reports plain Timeout.
         tx.send(Chunk {
-            bytes: frame[5..].to_vec(),
+            bytes: PooledBytes::copy_from_slice(&frame[5..]),
             arrival: SimTime::ZERO,
         })
         .unwrap();

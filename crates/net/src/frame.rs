@@ -6,8 +6,15 @@
 //! and reassembled by a [`FrameAssembler`] at the receiver — partial
 //! arrival, interleaved boundary cases and corrupt prefixes are all
 //! exercised by the tests rather than hidden behind an in-process queue.
+//!
+//! The hot path is copy-free end to end: [`segment`] yields borrowed
+//! sub-slices (the single-chunk ≤ MTU common case borrows the input
+//! frame outright), [`segment_pooled`] yields [`PooledBytes`] views
+//! sharing one pooled allocation, and the assembler's fast path slices
+//! complete frames straight out of the arriving chunk's storage.
 
 use crate::error::NetError;
+use crate::pool::{BufferPool, PooledBytes};
 
 /// Ethernet payload size used for segmentation.
 pub const MTU: usize = 1500;
@@ -23,11 +30,34 @@ pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Splits an encoded frame into MTU-sized chunks (the last may be short).
+/// Builds a frame in a pooled buffer: `write` appends the payload, and
+/// the length prefix is patched afterwards. One checkout, zero
+/// intermediate copies.
+pub fn encode_frame_pooled(pool: &BufferPool, write: impl FnOnce(&mut Vec<u8>)) -> PooledBytes {
+    let mut buf = pool.take();
+    let v = buf.bytes_mut();
+    v.extend_from_slice(&[0u8; 4]);
+    write(v);
+    let len = (v.len() - 4) as u32;
+    v[..4].copy_from_slice(&len.to_le_bytes());
+    buf.seal()
+}
+
+/// Splits an encoded frame into MTU-sized chunks (the last may be
+/// short) without copying: each chunk borrows the input, and a frame
+/// that already fits in one MTU is yielded as-is.
 ///
 /// An empty frame still produces one chunk (the 4-byte prefix).
-pub fn segment(frame: &[u8]) -> Vec<Vec<u8>> {
-    frame.chunks(MTU).map(|c| c.to_vec()).collect()
+pub fn segment(frame: &[u8]) -> impl Iterator<Item = &[u8]> {
+    frame.chunks(MTU)
+}
+
+/// [`segment`] over a pooled frame: every chunk is a [`PooledBytes`]
+/// view sharing the frame's backing storage.
+pub fn segment_pooled(frame: &PooledBytes) -> impl Iterator<Item = PooledBytes> + '_ {
+    (0..frame.len().max(1))
+        .step_by(MTU)
+        .map(|start| frame.slice(start..frame.len().min(start + MTU)))
 }
 
 /// Incremental reassembly of frames from a chunk stream.
@@ -41,13 +71,15 @@ pub fn segment(frame: &[u8]) -> Vec<Vec<u8>> {
 /// let mut asm = FrameAssembler::new();
 /// let mut frames = Vec::new();
 /// for chunk in segment(&encode_frame(&payload)) {
-///     frames.extend(asm.push(&chunk)?);
+///     frames.extend(asm.push(chunk)?);
 /// }
 /// assert_eq!(frames, vec![payload]);
 /// # Ok::<(), haocl_net::NetError>(())
 /// ```
 #[derive(Debug, Default)]
 pub struct FrameAssembler {
+    /// Bytes of a frame spanning chunk boundaries (empty on the fast
+    /// path, where complete frames are sliced out of arriving chunks).
     buf: Vec<u8>,
 }
 
@@ -64,25 +96,39 @@ impl FrameAssembler {
     /// [`NetError::BadFrame`] if a length prefix exceeds
     /// [`MAX_FRAME_LEN`].
     pub fn push(&mut self, chunk: &[u8]) -> Result<Vec<Vec<u8>>, NetError> {
-        self.buf.extend_from_slice(chunk);
+        Ok(self
+            .push_pooled(&PooledBytes::copy_from_slice(chunk))?
+            .into_iter()
+            .map(|f| f.to_vec())
+            .collect())
+    }
+
+    /// [`FrameAssembler::push`] over a pooled chunk. Frames contained
+    /// entirely within `chunk` are returned as views of its storage —
+    /// no copy; only frames spanning chunk boundaries are assembled
+    /// through the internal buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::BadFrame`] if a length prefix exceeds
+    /// [`MAX_FRAME_LEN`].
+    pub fn push_pooled(&mut self, chunk: &PooledBytes) -> Result<Vec<PooledBytes>, NetError> {
         let mut out = Vec::new();
-        loop {
-            if self.buf.len() < 4 {
-                break;
+        let mut rest = chunk.clone();
+        if self.buf.is_empty() {
+            // Fast path: whole frames at the front of the chunk are
+            // zero-copy slices of its backing storage.
+            while let Some(total) = frame_total_len(&rest)? {
+                out.push(rest.slice(4..total));
+                rest = rest.slice(total..rest.len());
             }
-            let len = u32::from_le_bytes(self.buf[..4].try_into().expect("4 bytes"));
-            if len > MAX_FRAME_LEN {
-                return Err(NetError::BadFrame {
-                    reason: format!("length prefix {len} exceeds limit"),
-                });
-            }
-            let total = 4 + len as usize;
-            if self.buf.len() < total {
-                break;
-            }
-            let mut rest = self.buf.split_off(total);
-            std::mem::swap(&mut self.buf, &mut rest);
-            out.push(rest[4..].to_vec());
+        }
+        if !rest.is_empty() {
+            self.buf.extend_from_slice(&rest);
+        }
+        while let Some(total) = frame_total_len(&self.buf)? {
+            out.push(PooledBytes::from_vec(self.buf[4..total].to_vec()));
+            self.buf.drain(..total);
         }
         Ok(out)
     }
@@ -91,6 +137,22 @@ impl FrameAssembler {
     pub fn pending_bytes(&self) -> usize {
         self.buf.len()
     }
+}
+
+/// Total length (prefix + payload) of the frame at the front of
+/// `bytes`, `None` while incomplete.
+fn frame_total_len(bytes: &[u8]) -> Result<Option<usize>, NetError> {
+    if bytes.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes"));
+    if len > MAX_FRAME_LEN {
+        return Err(NetError::BadFrame {
+            reason: format!("length prefix {len} exceeds limit"),
+        });
+    }
+    let total = 4 + len as usize;
+    Ok((bytes.len() >= total).then_some(total))
 }
 
 #[cfg(test)]
@@ -113,9 +175,19 @@ mod tests {
     }
 
     #[test]
+    fn single_chunk_segmentation_borrows_the_frame() {
+        let frame = encode_frame(&[5u8; 100]);
+        let chunks: Vec<&[u8]> = segment(&frame).collect();
+        assert_eq!(chunks.len(), 1);
+        // The ≤ MTU common case must not copy: same allocation.
+        assert!(std::ptr::eq(chunks[0], frame.as_slice()));
+    }
+
+    #[test]
     fn large_frame_segments_and_reassembles() {
         let payload: Vec<u8> = (0..10_000).map(|i| (i % 251) as u8).collect();
-        let chunks = segment(&encode_frame(&payload));
+        let frame = encode_frame(&payload);
+        let chunks: Vec<&[u8]> = segment(&frame).collect();
         assert!(chunks.len() > 1);
         assert!(chunks.iter().all(|c| c.len() <= MTU));
         let mut asm = FrameAssembler::new();
@@ -124,6 +196,37 @@ mod tests {
             frames.extend(asm.push(c).unwrap());
         }
         assert_eq!(frames, vec![payload]);
+    }
+
+    #[test]
+    fn pooled_segmentation_shares_storage() {
+        let pool = BufferPool::new();
+        let payload = vec![3u8; 4000];
+        let frame = encode_frame_pooled(&pool, |v| v.extend_from_slice(&payload));
+        assert_eq!(frame.len(), 4004);
+        let chunks: Vec<PooledBytes> = segment_pooled(&frame).collect();
+        assert_eq!(chunks.len(), 3);
+        // Chunk views alias the frame's allocation, not copies of it.
+        assert!(std::ptr::eq(&chunks[0][..MTU], &frame[..MTU]));
+        let mut asm = FrameAssembler::new();
+        let mut frames = Vec::new();
+        for c in &chunks {
+            frames.extend(asm.push_pooled(c).unwrap());
+        }
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0], payload);
+    }
+
+    #[test]
+    fn assembler_fast_path_is_zero_copy() {
+        let pool = BufferPool::new();
+        let chunk = encode_frame_pooled(&pool, |v| v.extend_from_slice(b"tiny"));
+        let mut asm = FrameAssembler::new();
+        let frames = asm.push_pooled(&chunk).unwrap();
+        assert_eq!(frames.len(), 1);
+        // The returned frame is a view into the chunk's own storage.
+        assert!(std::ptr::eq(&frames[0][..], &chunk[4..]));
+        assert_eq!(asm.pending_bytes(), 0);
     }
 
     #[test]
@@ -190,6 +293,29 @@ mod proptests {
                 frames.extend(asm.push(piece).unwrap());
             }
             prop_assert_eq!(frames, payloads);
+            prop_assert_eq!(asm.pending_bytes(), 0);
+        }
+
+        #[test]
+        fn pooled_and_copying_paths_agree(
+            payloads in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 0..4000), 1..5),
+            cut in 1usize..1600,
+        ) {
+            let pool = BufferPool::new();
+            let mut stream = Vec::new();
+            for p in &payloads {
+                let f = encode_frame_pooled(&pool, |v| v.extend_from_slice(p));
+                stream.extend_from_slice(&f);
+            }
+            let mut asm = FrameAssembler::new();
+            let mut frames = Vec::new();
+            for piece in stream.chunks(cut) {
+                let chunk = PooledBytes::copy_from_slice(piece);
+                frames.extend(asm.push_pooled(&chunk).unwrap());
+            }
+            let got: Vec<Vec<u8>> = frames.iter().map(|f| f.to_vec()).collect();
+            prop_assert_eq!(got, payloads);
             prop_assert_eq!(asm.pending_bytes(), 0);
         }
     }

@@ -14,6 +14,9 @@
 //!   paper's Fig. 2 scaling curves.
 //! * [`frame`] — length-prefixed frames, segmented into Ethernet-MTU
 //!   chunks and reassembled at the receiver.
+//! * [`pool`] — recycled frame buffers behind cheaply sliceable
+//!   [`PooledBytes`] views; segmentation and reassembly share one
+//!   allocation per frame instead of copying per chunk.
 //! * [`chaos`] — seeded, deterministic fault injection (drops, delays,
 //!   duplication, reordering, resets, crashes, partitions) installed on
 //!   a fabric via [`Fabric::install_chaos`].
@@ -41,9 +44,11 @@ pub mod chaos;
 pub mod error;
 pub mod fabric;
 pub mod frame;
+pub mod pool;
 
 pub use chaos::{ChaosPolicy, ChaosSpec, ChaosSummary, ChaosVerdict};
 pub use error::NetError;
 pub use fabric::{
     host_name_of, Conn, ConnReceiver, ConnSender, Fabric, FabricStats, LinkModel, Listener,
 };
+pub use pool::{BufferPool, PoolStats, PooledBytes};

@@ -49,6 +49,13 @@ pub mod names {
     /// Histogram: virtual ns from enqueue to completion, per kernel and
     /// device kind.
     pub const KERNEL_LATENCY: &str = "haocl_kernel_latency_nanos";
+    /// Counter: kernel-launch round trips completed, per node —
+    /// wall clock, not the virtual model (the `haocl-top` requests/sec
+    /// column divides this by [`WALL_NANOS`]).
+    pub const WALL_REQUESTS: &str = "haocl_wall_requests_total";
+    /// Counter: wall-clock (monotonic host) nanoseconds spent waiting
+    /// for kernel-launch round trips, per node.
+    pub const WALL_NANOS: &str = "haocl_wall_nanos_total";
     /// Counter: payload bytes moved per node and plane.
     pub const PLANE_BYTES: &str = "haocl_plane_bytes_total";
     /// Counter: frames sent per node and plane.

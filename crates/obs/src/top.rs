@@ -127,6 +127,11 @@ pub struct NodeRow {
     /// Compute-currency exchange rate of this node's device class
     /// (multiples of the base class's time).
     pub currency_rate: Option<f64>,
+    /// Wall-clock launch round trips per second on this node —
+    /// `haocl_wall_requests_total / haocl_wall_nanos_total`, real time
+    /// rather than the virtual model. Absent until the node completes a
+    /// launch.
+    pub wall_rps: Option<f64>,
 }
 
 /// The parsed fleet state `haocl-top` renders.
@@ -296,6 +301,14 @@ impl FleetSnapshot {
                 }
             }
             r.queue_depth = find(crate::names::QUEUE_DEPTH, "node", &r.node).map(|v| v as i64);
+            if let (Some(requests), Some(nanos)) = (
+                find(crate::names::WALL_REQUESTS, "node", &r.node),
+                find(crate::names::WALL_NANOS, "node", &r.node),
+            ) {
+                if nanos > 0.0 {
+                    r.wall_rps = Some(requests / (nanos / 1e9));
+                }
+            }
         }
         snapshot.nodes = rows.into_values().collect();
         snapshot
@@ -321,7 +334,7 @@ impl FleetSnapshot {
             self.autoscale_events
         ));
         out.push_str(&format!(
-            "{:<8} {:<6} {:<12} {:<9} {:>6} {:>9} {:>8} {:>6} {:>14} {:>9}\n",
+            "{:<8} {:<6} {:<12} {:<9} {:>6} {:>9} {:>8} {:>6} {:>14} {:>9} {:>9}\n",
             "NODE",
             "KIND",
             "HEALTH",
@@ -331,11 +344,12 @@ impl FleetSnapshot {
             "AVOIDED",
             "QUEUE",
             "MEAN.LAT(ns)",
-            "RATE"
+            "RATE",
+            "WALL.RPS"
         ));
         for n in &self.nodes {
             out.push_str(&format!(
-                "{:<8} {:<6} {:<12} {:<9} {:>6} {:>9} {:>8} {:>6} {:>14} {:>9}\n",
+                "{:<8} {:<6} {:<12} {:<9} {:>6} {:>9} {:>8} {:>6} {:>14} {:>9} {:>9}\n",
                 n.node,
                 n.kind,
                 n.health,
@@ -347,6 +361,7 @@ impl FleetSnapshot {
                 n.mean_latency_nanos
                     .map_or("-".into(), |v| format!("{v:.0}")),
                 n.currency_rate.map_or("-".into(), |v| format!("x{v:.3}")),
+                n.wall_rps.map_or("-".into(), |v| format!("{v:.0}")),
             ));
         }
         out
@@ -361,7 +376,7 @@ impl FleetSnapshot {
                 format!(
                     "{{\"node\":{},\"kind\":{},\"health\":{},\"state\":{},\"placements\":{},\
                      \"degraded_wins\":{},\"avoided\":{},\"queue_depth\":{},\
-                     \"mean_latency_nanos\":{},\"currency_rate\":{}}}",
+                     \"mean_latency_nanos\":{},\"currency_rate\":{},\"wall_rps\":{}}}",
                     json_str(&n.node),
                     json_str(&n.kind),
                     json_str(&n.health),
@@ -373,6 +388,7 @@ impl FleetSnapshot {
                     n.mean_latency_nanos
                         .map_or("null".into(), |v| format!("{v:.1}")),
                     n.currency_rate.map_or("null".into(), |v| format!("{v:.4}")),
+                    n.wall_rps.map_or("null".into(), |v| format!("{v:.1}")),
                 )
             })
             .collect();
@@ -471,6 +487,35 @@ place kernel=<membership> tenant=default policy=membership chosen=node1/- health
     }
 
     #[test]
+    fn wall_rps_divides_requests_by_wall_seconds() {
+        let metrics = "\
+# TYPE haocl_node_state gauge
+haocl_node_state{node=\"gpu0\"} 1
+haocl_node_state{node=\"gpu1\"} 1
+# TYPE haocl_wall_requests_total counter
+haocl_wall_requests_total{node=\"gpu0\"} 600
+haocl_wall_requests_total{node=\"gpu1\"} 4
+# TYPE haocl_wall_nanos_total counter
+haocl_wall_nanos_total{node=\"gpu0\"} 2000000000
+haocl_wall_nanos_total{node=\"gpu1\"} 0
+";
+        let snap = FleetSnapshot::from_text(metrics, "");
+        let by_name = |name: &str| snap.nodes.iter().find(|n| n.node == name).unwrap();
+        // 600 round trips over 2 wall-clock seconds.
+        assert_eq!(by_name("gpu0").wall_rps, Some(300.0));
+        // A zero wall-time denominator renders as unknown, not infinity.
+        assert_eq!(by_name("gpu1").wall_rps, None);
+        let text = snap.render();
+        assert!(text.contains("WALL.RPS"), "{text}");
+        assert!(text.contains("300"), "{text}");
+        assert!(
+            snap.to_json().contains("\"wall_rps\":300.0"),
+            "{}",
+            snap.to_json()
+        );
+    }
+
+    #[test]
     fn text_render_lists_every_node() {
         let snap = FleetSnapshot::from_text(METRICS, AUDIT);
         let text = snap.render();
@@ -522,10 +567,10 @@ place kernel=<autoscale> tenant=default policy=autoscale chosen=device0 health=-
              \"autoscale_events\":1,\"any_unhealthy\":false,\"nodes\":[\
              {\"node\":\"gpu0\",\"kind\":\"?\",\"health\":\"unknown\",\"state\":\"departed\",\
              \"placements\":0,\"degraded_wins\":0,\"avoided\":0,\"queue_depth\":null,\
-             \"mean_latency_nanos\":null,\"currency_rate\":null},\
+             \"mean_latency_nanos\":null,\"currency_rate\":null,\"wall_rps\":null},\
              {\"node\":\"gpu1\",\"kind\":\"?\",\"health\":\"unknown\",\"state\":\"active\",\
              \"placements\":0,\"degraded_wins\":0,\"avoided\":0,\"queue_depth\":null,\
-             \"mean_latency_nanos\":null,\"currency_rate\":null}]}"
+             \"mean_latency_nanos\":null,\"currency_rate\":null,\"wall_rps\":null}]}"
         );
     }
 

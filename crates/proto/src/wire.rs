@@ -96,6 +96,15 @@ pub fn encode_to_bytes<T: Encode>(value: &T) -> Bytes {
     buf.freeze()
 }
 
+/// Encodes a value by appending to an existing vector without copying
+/// it — the pooled wire path encodes straight into a recycled frame
+/// buffer this way.
+pub fn encode_into_vec<T: Encode>(value: &T, out: &mut Vec<u8>) {
+    let mut buf = BytesMut::from_vec(std::mem::take(out));
+    value.encode(&mut buf);
+    *out = buf.into_vec();
+}
+
 /// Decodes exactly one value from `bytes`, rejecting trailing garbage.
 ///
 /// # Errors

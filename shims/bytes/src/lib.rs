@@ -324,6 +324,18 @@ impl BytesMut {
         }
     }
 
+    /// Wraps an existing vector without copying, appending after its
+    /// current contents. With [`BytesMut::into_vec`], this lets pooled
+    /// frame buffers be encoded into directly.
+    pub fn from_vec(buf: Vec<u8>) -> Self {
+        BytesMut { buf }
+    }
+
+    /// Unwraps into the underlying vector without copying.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+
     /// Current length in bytes.
     pub fn len(&self) -> usize {
         self.buf.len()

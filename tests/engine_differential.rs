@@ -1,0 +1,373 @@
+//! Differential testing of the optimized execution engines against the
+//! checked interpreter oracle.
+//!
+//! [`run_ndrange_checked`] always interprets, so it never depends on the
+//! compiled paths it validates — that makes it the ground truth here.
+//! Every engine must match it exactly: byte-identical output buffers,
+//! identical [`ExecStats`], and identical structured errors. The corpus
+//! is every good lint-corpus kernel plus the five paper benchmark
+//! kernels, swept at their standard shapes and at proptest-randomized
+//! shapes, inputs, and scalar arguments.
+//!
+//! The only tolerated divergence is an oracle verdict the optimized
+//! engines cannot produce by design: `LocalRace` and `BudgetExhausted`
+//! exist in checked mode only, so cases where the oracle reports them
+//! are skipped rather than compared.
+
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+use haocl_clc::ast::ParamType;
+use haocl_clc::vm::{
+    run_ndrange_checked, run_ndrange_with_engine, ArgValue, CheckConfig, EngineKind, ExecErrorKind,
+    ExecStats, GlobalBuffer, NdRange,
+};
+use haocl_clc::{compile, AddressSpace, CompiledKernel, CompiledProgram, ScalarType};
+use proptest::prelude::*;
+
+/// One compiled source under test.
+struct Case {
+    origin: String,
+    program: CompiledProgram,
+}
+
+/// Every good-corpus file plus the five paper kernels, compiled once.
+fn corpus() -> &'static Vec<Case> {
+    static CORPUS: OnceLock<Vec<Case>> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/lint_corpus/good");
+        let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+            .map(|entry| entry.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "cl"))
+            .collect();
+        files.sort();
+        let mut out = Vec::new();
+        for path in files {
+            let source = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            out.push(Case {
+                origin: path.display().to_string(),
+                program: compile(&source).expect("good corpus builds"),
+            });
+        }
+        for (name, source) in [
+            ("matmul", haocl_workloads::matmul::KERNEL_SOURCE),
+            ("spmv", haocl_workloads::spmv::KERNEL_SOURCE),
+            ("bfs", haocl_workloads::bfs::KERNEL_SOURCE),
+            ("knn", haocl_workloads::knn::KERNEL_SOURCE),
+            ("cfd", haocl_workloads::cfd::KERNEL_SOURCE),
+        ] {
+            out.push(Case {
+                origin: name.to_string(),
+                program: compile(source).expect("paper kernel builds"),
+            });
+        }
+        out
+    })
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Synthesizes a launchable argument list: pseudo-random buffer bytes
+/// derived from `seed` for pointers, `scalar` for every scalar
+/// parameter. Out-of-range scalars and small buffers are fine — they
+/// drive the error paths, which must also match across engines.
+fn synth_args(
+    kernel: &CompiledKernel,
+    buf_bytes: usize,
+    scalar: i64,
+    seed: u64,
+) -> (Vec<ArgValue>, Vec<GlobalBuffer>) {
+    let mut state = seed ^ 0x5eed_cafe_f00d_d00d;
+    let mut args = Vec::new();
+    let mut buffers = Vec::new();
+    for param in &kernel.params {
+        match param {
+            ParamType::Pointer(AddressSpace::Local, _) => {
+                args.push(ArgValue::local_bytes(256));
+            }
+            ParamType::Pointer(_, _) => {
+                args.push(ArgValue::global(buffers.len()));
+                let mut bytes = vec![0u8; buf_bytes];
+                for chunk in bytes.chunks_mut(8) {
+                    let v = splitmix(&mut state).to_le_bytes();
+                    chunk.copy_from_slice(&v[..chunk.len()]);
+                }
+                buffers.push(GlobalBuffer::from_bytes(bytes));
+            }
+            ParamType::Scalar(st) => args.push(match st {
+                ScalarType::F32 => ArgValue::from_f32(scalar as f32),
+                ScalarType::F64 => ArgValue::from_f64(scalar as f64),
+                ScalarType::I64 => ArgValue::from_i64(scalar),
+                ScalarType::U64 => ArgValue::from_u64(scalar as u64),
+                ScalarType::U32 => ArgValue::from_u32(scalar as u32),
+                _ => ArgValue::from_i32(scalar as i32),
+            }),
+        }
+    }
+    (args, buffers)
+}
+
+/// Runs `kernel` on the checked oracle and on every optimized engine
+/// from identical starting buffers, and demands identical outcomes:
+/// same `Ok(ExecStats)` or same `(ExecErrorKind, message)`, and on
+/// success byte-identical buffer contents.
+fn compare_engines(
+    origin: &str,
+    kernel: &CompiledKernel,
+    args: &[ArgValue],
+    buffers: &[GlobalBuffer],
+    range: &NdRange,
+) -> Result<(), String> {
+    let mut oracle_bufs = buffers.to_vec();
+    let oracle = run_ndrange_checked(
+        kernel,
+        args,
+        &mut oracle_bufs,
+        range,
+        &CheckConfig::default(),
+    );
+    if let Err(e) = &oracle {
+        if matches!(
+            e.kind(),
+            ExecErrorKind::LocalRace | ExecErrorKind::BudgetExhausted
+        ) {
+            // Checked-mode-only verdicts; the plain engines run the
+            // kernel without these oracles, so there is nothing to
+            // compare against.
+            return Ok(());
+        }
+    }
+    let oracle_out: Result<ExecStats, (ExecErrorKind, String)> =
+        oracle.map_err(|e| (e.kind(), e.to_string()));
+    for engine in [EngineKind::CompiledSerial, EngineKind::Compiled] {
+        let mut engine_bufs = buffers.to_vec();
+        let got = run_ndrange_with_engine(kernel, args, &mut engine_bufs, range, engine)
+            .map_err(|e| (e.kind(), e.to_string()));
+        if got != oracle_out {
+            return Err(format!(
+                "{origin}: kernel `{}` on {engine:?} diverged from the oracle:\n  \
+                 oracle: {oracle_out:?}\n  engine: {got:?}",
+                kernel.name
+            ));
+        }
+        if oracle_out.is_ok() {
+            for (i, (want, have)) in oracle_bufs.iter().zip(&engine_bufs).enumerate() {
+                if want.as_bytes() != have.as_bytes() {
+                    return Err(format!(
+                        "{origin}: kernel `{}` on {engine:?}: buffer {i} bytes \
+                         diverge from the oracle",
+                        kernel.name
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The shape each corpus kernel was written for (mirrors the
+/// lint-corpus cross-check): square 2-D for the tiled kernels, one
+/// linear group of 8 otherwise.
+fn standard_range(kernel: &CompiledKernel) -> NdRange {
+    match kernel.name.as_str() {
+        "tiled_transpose" | "matmul" => NdRange::d2([4, 4], [4, 4]),
+        _ => NdRange::linear(8, 8),
+    }
+}
+
+#[test]
+fn engines_match_oracle_at_standard_shapes() {
+    for case in corpus() {
+        for kernel in case.program.kernels() {
+            let (args, buffers) = synth_args(kernel, 1 << 16, 4, 7);
+            compare_engines(
+                &case.origin,
+                kernel,
+                &args,
+                &buffers,
+                &standard_range(kernel),
+            )
+            .unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+}
+
+/// The five paper kernels with realistic inputs and their benchmark
+/// launch geometry (scaled down so the sweep stays fast in debug).
+#[test]
+fn engines_match_oracle_on_paper_launches() {
+    fn f32s(state: &mut u64, n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|_| (splitmix(state) % 1000) as f32 / 100.0 + 0.5)
+            .collect()
+    }
+    let mut state = 42u64;
+
+    // MatrixMul 16x16.
+    let n = 16usize;
+    let mm = compile(haocl_workloads::matmul::KERNEL_SOURCE).expect("matmul compiles");
+    let buffers = vec![
+        GlobalBuffer::from_f32(&f32s(&mut state, n * n)),
+        GlobalBuffer::from_f32(&f32s(&mut state, n * n)),
+        GlobalBuffer::zeroed(4 * n * n),
+    ];
+    compare_engines(
+        "MatrixMul",
+        mm.kernel(haocl_workloads::matmul::KERNEL_NAME).unwrap(),
+        &[
+            ArgValue::global(0),
+            ArgValue::global(1),
+            ArgValue::global(2),
+            ArgValue::from_i32(n as i32),
+            ArgValue::from_i32(n as i32),
+        ],
+        &buffers,
+        &NdRange::d2([n as u64, n as u64], [8, 8]),
+    )
+    .unwrap_or_else(|e| panic!("{e}"));
+
+    // SpMV: 256 rows, 8 nonzeros per row, CSR.
+    let rows = 256usize;
+    let nnz = rows * 8;
+    let row_ptr: Vec<i32> = (0..=rows).map(|r| (r * 8) as i32).collect();
+    let cols: Vec<i32> = (0..nnz)
+        .map(|_| (splitmix(&mut state) % rows as u64) as i32)
+        .collect();
+    let spmv = compile(haocl_workloads::spmv::KERNEL_SOURCE).expect("spmv compiles");
+    let buffers = vec![
+        GlobalBuffer::from_i32(&row_ptr),
+        GlobalBuffer::from_i32(&cols),
+        GlobalBuffer::from_f32(&f32s(&mut state, nnz)),
+        GlobalBuffer::from_f32(&f32s(&mut state, rows)),
+        GlobalBuffer::zeroed(4 * rows),
+    ];
+    compare_engines(
+        "SpMV",
+        spmv.kernel(haocl_workloads::spmv::KERNEL_NAME).unwrap(),
+        &[
+            ArgValue::global(0),
+            ArgValue::global(1),
+            ArgValue::global(2),
+            ArgValue::global(3),
+            ArgValue::global(4),
+            ArgValue::from_i32(rows as i32),
+        ],
+        &buffers,
+        &NdRange::linear(rows as u64, 64),
+    )
+    .unwrap_or_else(|e| panic!("{e}"));
+
+    // BFS apply: 512 scattered depth updates.
+    let count = 512usize;
+    let mut updates = Vec::with_capacity(2 * count);
+    for t in 0..count as i32 {
+        updates.push(t);
+        updates.push((splitmix(&mut state) % 32) as i32);
+    }
+    let bfs = compile(haocl_workloads::bfs::KERNEL_SOURCE).expect("bfs compiles");
+    let buffers = vec![
+        GlobalBuffer::from_i32(&vec![-1; count]),
+        GlobalBuffer::from_i32(&updates),
+    ];
+    compare_engines(
+        "BFS",
+        bfs.kernel(haocl_workloads::bfs::APPLY_KERNEL_NAME).unwrap(),
+        &[
+            ArgValue::global(0),
+            ArgValue::global(1),
+            ArgValue::from_i32(count as i32),
+        ],
+        &buffers,
+        &NdRange::linear(count as u64, 64),
+    )
+    .unwrap_or_else(|e| panic!("{e}"));
+
+    // KNN distance pass: 512 records against one query point.
+    let records = 512usize;
+    let knn = compile(haocl_workloads::knn::KERNEL_SOURCE).expect("knn compiles");
+    let buffers = vec![
+        GlobalBuffer::from_f32(&f32s(&mut state, records)),
+        GlobalBuffer::from_f32(&f32s(&mut state, records)),
+        GlobalBuffer::zeroed(4 * records),
+    ];
+    compare_engines(
+        "KNN",
+        knn.kernel(haocl_workloads::knn::DIST_KERNEL_NAME).unwrap(),
+        &[
+            ArgValue::global(0),
+            ArgValue::global(1),
+            ArgValue::global(2),
+            ArgValue::from_f32(3.25),
+            ArgValue::from_f32(7.5),
+            ArgValue::from_i32(records as i32),
+        ],
+        &buffers,
+        &NdRange::linear(records as u64, 64),
+    )
+    .unwrap_or_else(|e| panic!("{e}"));
+
+    // CFD flux: 256 cells, 4 neighbours each, 5 conserved variables.
+    let cells = 256usize;
+    let neigh: Vec<i32> = (0..4 * cells)
+        .map(|_| (splitmix(&mut state) % cells as u64) as i32)
+        .collect();
+    let cfd = compile(haocl_workloads::cfd::KERNEL_SOURCE).expect("cfd compiles");
+    let buffers = vec![
+        GlobalBuffer::from_f32(&f32s(&mut state, 5 * cells)),
+        GlobalBuffer::from_i32(&neigh),
+        GlobalBuffer::zeroed(4 * 5 * cells),
+    ];
+    compare_engines(
+        "CFD",
+        cfd.kernel(haocl_workloads::cfd::KERNEL_NAME).unwrap(),
+        &[
+            ArgValue::global(0),
+            ArgValue::global(1),
+            ArgValue::global(2),
+            ArgValue::from_i32(cells as i32),
+            ArgValue::from_i32(0),
+            ArgValue::from_i32(cells as i32),
+        ],
+        &buffers,
+        &NdRange::linear(cells as u64, 64),
+    )
+    .unwrap_or_else(|e| panic!("{e}"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(
+        if cfg!(debug_assertions) { 32 } else { 64 }
+    ))]
+
+    /// Random shapes, random buffer contents, random (possibly
+    /// out-of-range) scalar arguments — every engine must still match
+    /// the oracle outcome exactly, success or error.
+    #[test]
+    fn engines_match_oracle_at_random_shapes(
+        pick in 0usize..1_000_000,
+        local_exp in 0u32..5,
+        groups in 1u64..5,
+        buf_bytes in prop_oneof![Just(256usize), Just(4096usize), Just(65536usize)],
+        scalar in -2i64..48,
+        seed in any::<u64>(),
+    ) {
+        let cases = corpus();
+        let case = &cases[pick % cases.len()];
+        let local = 1u64 << local_exp;
+        let range = NdRange::linear(local * groups, local);
+        for kernel in case.program.kernels() {
+            let (args, buffers) = synth_args(kernel, buf_bytes, scalar, seed);
+            if let Err(msg) = compare_engines(&case.origin, kernel, &args, &buffers, &range) {
+                return Err(TestCaseError::fail(msg));
+            }
+        }
+    }
+}
